@@ -1,0 +1,30 @@
+"""Ablation — GreedySC candidate maintenance (Section 7.3's remark).
+
+The authors report replacing a PriorityQueue with a linear rescan because
+heap churn lost to the rescan on their data.  This bench times both on the
+same instances; the hard assertion is semantic equality (identical covers),
+the timing rows document which side wins in this Python setting.
+"""
+
+from repro.experiments import ablation_greedy_heap
+
+from .conftest import report
+
+
+def test_ablation_greedy_heap(benchmark):
+    rows = benchmark.pedantic(
+        lambda: ablation_greedy_heap.run(
+            seed=0,
+            sizes=(2, 5),
+            lam_minutes=(10.0, 30.0),
+            scale=0.005,
+            duration=21_600.0,
+        ),
+        rounds=1, iterations=1,
+    )
+    report(rows, ablation_greedy_heap.DESCRIPTION)
+
+    for row in rows:
+        assert row["rescan_size"] == row["lazy_heap_size"]
+        assert row["rescan_ms"] > 0
+        assert row["lazy_heap_ms"] > 0

@@ -1,0 +1,29 @@
+"""Ablation — Scan+'s label processing order (Section 4.3's remark).
+
+The paper notes Scan+'s effectiveness "depends on the ordering of the
+labels processed"; this bench quantifies the spread across three orders.
+No winner is asserted (the paper names none) — only that all orders yield
+valid covers of comparable size, i.e. the knob matters but is not a trap.
+"""
+
+from repro.experiments import ablation_scan_order
+
+from .conftest import report
+
+
+def test_ablation_scan_order(benchmark):
+    rows = benchmark.pedantic(
+        lambda: ablation_scan_order.run(
+            seed=0, overlaps=(1.2, 1.6, 2.0), trials=4
+        ),
+        rounds=1, iterations=1,
+    )
+    report(rows, ablation_scan_order.DESCRIPTION)
+
+    for row in rows:
+        sizes = [
+            row["sorted_size"],
+            row["longest_first_size"],
+            row["shortest_first_size"],
+        ]
+        assert max(sizes) <= min(sizes) * 1.5

@@ -1,0 +1,77 @@
+"""Extension benchmark — spatiotemporal MQDP (the paper's future work).
+
+No paper artifact to match; this bench documents the extension's
+behaviour: the greedy box-cover stays near the exact optimum on storm-track
+workloads, tightening the geographic radius grows the cover (the digest
+gains spatial resolution), and the 1-D special case matches the paper's
+GreedySC exactly.
+"""
+
+import random
+
+from repro.core.greedy_sc import greedy_sc
+from repro.core.instance import Instance
+from repro.core.post import Post
+from repro.multidim import MultiInstance, MultiPost, exact_box, greedy_box, sweep_box
+
+from .conftest import report
+
+
+def _storm_reports(rng, hours=10, per_hour=6):
+    posts = []
+    uid = 0
+    for hour in range(hours):
+        eye = -90.0 + hour
+        for _ in range(per_hour):
+            posts.append(
+                MultiPost(
+                    uid=uid,
+                    values=(hour * 3600.0 + rng.uniform(0, 3600.0),
+                            eye + rng.gauss(0.0, 0.5)),
+                    labels=frozenset({"storm"}),
+                )
+            )
+            uid += 1
+    return posts
+
+
+def test_ext_spatiotemporal(benchmark):
+    rng = random.Random(0)
+    posts = _storm_reports(rng)
+
+    def run():
+        rows = []
+        for geo_radius in (360.0, 3.0, 1.5, 0.75):
+            instance = MultiInstance(posts, radii=(7200.0, geo_radius))
+            greedy = greedy_box(instance)
+            sweep = sweep_box(instance)
+            exact = exact_box(instance)
+            assert instance.is_cover(greedy.posts)
+            assert instance.is_cover(sweep.posts)
+            rows.append(
+                {
+                    "geo_radius_deg": geo_radius,
+                    "exact_size": exact.size,
+                    "greedy_size": greedy.size,
+                    "sweep_size": sweep.size,
+                }
+            )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    report(rows, "Extension: spatiotemporal box covers vs geo radius")
+
+    sizes = [row["exact_size"] for row in rows]
+    assert sizes == sorted(sizes)  # tighter geography -> bigger cover
+    for row in rows:
+        assert row["greedy_size"] <= row["exact_size"] * 2
+        assert row["sweep_size"] >= row["exact_size"]
+
+    # 1-D special case: greedy_box == the paper's GreedySC, pick for pick
+    core = Instance(
+        [Post(uid=p.uid, value=p.values[0], labels=p.labels)
+         for p in posts],
+        lam=7200.0,
+    )
+    flat = MultiInstance(posts, radii=(7200.0, 360.0))
+    assert greedy_box(flat).uids == greedy_sc(core).uids

@@ -1,0 +1,53 @@
+"""Figure 10 — streaming relative error versus tau, per fixed lambda.
+
+Paper shapes: the Scan-based algorithms' error is *stable once tau exceeds
+lambda* (they then emit exactly the batch Scan output); the greedy
+algorithms reach their best error at tau = lambda, with a local bump when
+tau is slightly above 2*lambda (the "in-between posts" effect).
+"""
+
+from repro.evaluation.metrics import mean
+from repro.experiments import fig10_stream_tau
+
+from .conftest import report
+
+TAU_FACTORS = (0.25, 0.5, 1.0, 1.5, 2.0, 2.2, 2.5, 3.0)
+
+
+def test_fig10_stream_tau(benchmark):
+    rows = benchmark.pedantic(
+        lambda: fig10_stream_tau.run(
+            seed=0,
+            lams=(40.0, 60.0),
+            tau_factors=TAU_FACTORS,
+            trials=4,
+        ),
+        rounds=1, iterations=1,
+    )
+    report(rows, fig10_stream_tau.DESCRIPTION)
+
+    for lam in (40.0, 60.0):
+        series = {
+            row["tau_over_lam"]: row
+            for row in rows
+            if row["lam"] == lam
+        }
+        # Scan-based: identical output for every tau > lambda
+        beyond = [series[f]["stream_scan_err"]
+                  for f in (1.5, 2.0, 2.2, 2.5, 3.0)]
+        assert max(beyond) - min(beyond) < 1e-9
+        beyond_plus = [series[f]["stream_scan+_err"]
+                       for f in (1.5, 2.0, 2.2, 2.5, 3.0)]
+        assert max(beyond_plus) - min(beyond_plus) < 1e-9
+
+    # greedy error at tau = lambda no worse than at the tiny-tau end
+    # (the paper's minimum-at-lambda observation)
+    at_lam = mean(
+        r["stream_greedy_sc_err"] for r in rows
+        if r["tau_over_lam"] == 1.0
+    )
+    tiny = mean(
+        r["stream_greedy_sc_err"] for r in rows
+        if r["tau_over_lam"] == 0.25
+    )
+    assert at_lam <= tiny + 0.05

@@ -1,0 +1,38 @@
+"""Figure 11 — streaming absolute solution size versus overlap rate.
+
+Paper shapes: the greedy algorithms win (smaller output) at high overlap,
+the Scan-based ones are competitive near overlap = 1 — the streaming
+mirror of Figure 6's crossover.
+"""
+
+from repro.experiments import fig11_stream_overlap
+
+from .conftest import report
+
+
+def test_fig11_stream_overlap(benchmark):
+    rows = benchmark.pedantic(
+        lambda: fig11_stream_overlap.run(
+            seed=0,
+            overlaps=(1.0, 1.3, 1.6),
+            trials=4,
+        ),
+        rounds=1, iterations=1,
+    )
+    report(rows, fig11_stream_overlap.DESCRIPTION)
+
+    by_overlap = {row["overlap_target"]: row for row in rows}
+
+    # the paper's crossover: Scan wins near overlap = 1 (it is per-label
+    # optimal there), the greedy family wins at higher overlap (hub posts
+    # cover several labels at once)
+    low = by_overlap[1.0]
+    assert low["stream_scan_size"] <= low["stream_greedy_sc_size"]
+    high = by_overlap[1.6]
+    assert high["stream_greedy_sc_size"] <= high["stream_scan_size"]
+    # everyone's output shrinks as overlap rises (posts pull double duty)
+    for name in ("stream_scan", "stream_greedy_sc"):
+        assert (
+            by_overlap[1.6][f"{name}_size"]
+            < by_overlap[1.0][f"{name}_size"]
+        )

@@ -1,0 +1,45 @@
+"""Figure 12 — streaming solution sizes on a (scaled) day of posts vs |L|.
+
+Paper shapes: outputs grow with |L| for every algorithm; larger lambda
+shrinks everyone's output; the greedy family stays at or below the
+Scan-based family.
+"""
+
+from repro.experiments import fig12_stream_daylong
+
+from .conftest import report
+
+
+def test_fig12_stream_daylong(benchmark):
+    rows = benchmark.pedantic(
+        lambda: fig12_stream_daylong.run(
+            seed=0,
+            sizes=(2, 5, 10),
+            lam_minutes=(10.0, 30.0),
+            tau=30.0,
+            scale=0.005,
+            duration=21_600.0,
+        ),
+        rounds=1, iterations=1,
+    )
+    report(rows, fig12_stream_daylong.DESCRIPTION)
+
+    for lam_min in (10.0, 30.0):
+        series = [r for r in rows if r["lam_min"] == lam_min]
+        # output grows with |L|
+        for name in ("stream_scan", "stream_greedy_sc"):
+            sizes = [r[f"{name}_size"] for r in series]
+            assert sizes == sorted(sizes)
+        # greedy at or below scan+ at or below scan
+        for row in series:
+            assert (
+                row["stream_greedy_sc_size"]
+                <= row["stream_scan_size"] * 1.05
+            )
+            assert (
+                row["stream_scan+_size"] <= row["stream_scan_size"]
+            )
+    narrow = [r for r in rows if r["lam_min"] == 10.0]
+    wide = [r for r in rows if r["lam_min"] == 30.0]
+    for n_row, w_row in zip(narrow, wide):
+        assert w_row["stream_scan_size"] < n_row["stream_scan_size"]

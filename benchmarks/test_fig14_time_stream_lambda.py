@@ -1,0 +1,43 @@
+"""Figure 14 — streaming execution time per post versus lambda (fixed tau).
+
+Paper shapes: StreamScan/StreamScan+ timing is stable across lambda; the
+windowed greedy algorithms generally get cheaper per post as lambda grows
+(fewer set-cover invocations, smaller outputs).
+"""
+
+from repro.evaluation.metrics import mean
+from repro.experiments import fig14_time_stream_lambda
+
+from .conftest import report
+
+
+def test_fig14_time_stream_lambda(benchmark):
+    rows = benchmark.pedantic(
+        lambda: fig14_time_stream_lambda.run(
+            seed=0,
+            sizes=(2, 5),
+            lam_minutes=(5.0, 10.0, 20.0, 30.0),
+            tau=300.0,
+            scale=0.005,
+            duration=21_600.0,
+        ),
+        rounds=1, iterations=1,
+    )
+    report(rows, fig14_time_stream_lambda.DESCRIPTION)
+
+    for size in (2, 5):
+        series = [r for r in rows if r["num_labels"] == size]
+        # StreamScan flat in lambda (within 5x across the sweep)
+        times = [r["stream_scan_us_per_post"] for r in series]
+        assert max(times) <= 5 * max(min(times), 0.5)
+        # greedy not more expensive at the largest lambda than the smallest
+        assert (
+            series[-1]["stream_greedy_sc_us_per_post"]
+            <= series[0]["stream_greedy_sc_us_per_post"] * 1.5
+        )
+        # scan-based cheaper than greedy-based on average
+        assert mean(
+            r["stream_scan_us_per_post"] for r in series
+        ) <= mean(
+            r["stream_greedy_sc_us_per_post"] for r in series
+        )

@@ -1,0 +1,44 @@
+"""Figure 15 — streaming execution time per post versus tau (fixed lambda).
+
+Paper shapes: the Scan-based algorithms' timing is stable in tau; the
+windowed greedy algorithms get slightly slower as tau grows (each deadline
+processes a larger window).
+"""
+
+from repro.evaluation.metrics import mean
+from repro.experiments import fig15_time_stream_tau
+
+from .conftest import report
+
+
+def test_fig15_time_stream_tau(benchmark):
+    rows = benchmark.pedantic(
+        lambda: fig15_time_stream_tau.run(
+            seed=0,
+            sizes=(2, 5),
+            lam=300.0,
+            taus=(60.0, 150.0, 300.0, 600.0),
+            scale=0.005,
+            duration=21_600.0,
+        ),
+        rounds=1, iterations=1,
+    )
+    report(rows, fig15_time_stream_tau.DESCRIPTION)
+
+    for size in (2, 5):
+        series = [r for r in rows if r["num_labels"] == size]
+        # StreamScan flat in tau
+        times = [r["stream_scan_us_per_post"] for r in series]
+        assert max(times) <= 5 * max(min(times), 0.5)
+        # greedy slower at the largest tau than at the smallest, or at
+        # least not dramatically faster (window growth effect)
+        assert (
+            series[-1]["stream_greedy_sc_us_per_post"]
+            >= series[0]["stream_greedy_sc_us_per_post"] * 0.5
+        )
+        # scan-based cheaper than greedy-based on average
+        assert mean(
+            r["stream_scan_us_per_post"] for r in series
+        ) <= mean(
+            r["stream_greedy_sc_us_per_post"] for r in series
+        )

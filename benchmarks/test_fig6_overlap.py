@@ -1,0 +1,41 @@
+"""Figure 6 — relative error and absolute size versus overlap rate.
+
+Paper shapes: (a-c) GreedySC's error sits below Scan/Scan+ except when the
+overlap rate approaches 1, where Scan's per-label optimality makes it
+exact; (d) absolute sizes fall as overlap grows.
+"""
+
+from repro.experiments import fig6_overlap
+
+from .conftest import report
+
+
+def test_fig6_overlap(benchmark):
+    rows = benchmark.pedantic(
+        lambda: fig6_overlap.run(
+            seed=0,
+            overlaps=(1.0, 1.3, 1.6, 2.0),
+            trials=3,
+            lam=30.0,
+        ),
+        rounds=1, iterations=1,
+    )
+    report(rows, fig6_overlap.DESCRIPTION)
+
+    by_overlap = {row["overlap_target"]: row for row in rows}
+
+    # overlap == 1: Scan is optimal (per-label optimality => global)
+    assert by_overlap[1.0]["scan_err"] == 0.0
+    assert by_overlap[1.0]["scan+_err"] == 0.0
+
+    # away from overlap 1, GreedySC beats Scan
+    for overlap in (1.3, 1.6, 2.0):
+        row = by_overlap[overlap]
+        assert row["greedy_sc_err"] <= row["scan_err"]
+
+    # absolute sizes shrink as overlap grows (Fig 6d)
+    assert (
+        by_overlap[2.0]["greedy_sc_size"]
+        < by_overlap[1.0]["greedy_sc_size"]
+    )
+    assert by_overlap[2.0]["scan+_size"] < by_overlap[1.0]["scan+_size"]

@@ -1,0 +1,31 @@
+"""Figure 7 — relative solution-size error versus lambda (|L| = 2).
+
+Paper shapes: every approximation's error grows with lambda; GreedySC's
+error stays below Scan's across the sweep (its improvement over Scan+
+peaks around 60% at the largest lambda in the paper).
+"""
+
+from repro.experiments import fig7_lambda
+
+from .conftest import report
+
+
+def test_fig7_lambda(benchmark):
+    lams = (10.0, 20.0, 30.0, 45.0, 60.0, 90.0)
+    rows = benchmark.pedantic(
+        lambda: fig7_lambda.run(seed=0, lams=lams, trials=3),
+        rounds=1, iterations=1,
+    )
+    report(rows, fig7_lambda.DESCRIPTION)
+
+    # errors grow with lambda: compare the sweep's ends
+    first, last = rows[0], rows[-1]
+    for algorithm in ("scan", "scan+", "greedy_sc"):
+        assert last[f"{algorithm}_err"] >= first[f"{algorithm}_err"]
+
+    # GreedySC dominates Scan at every lambda
+    for row in rows:
+        assert row["greedy_sc_err"] <= row["scan_err"]
+    # and Scan+ never loses to plain Scan
+    for row in rows:
+        assert row["scan+_err"] <= row["scan_err"] + 1e-9

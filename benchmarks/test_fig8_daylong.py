@@ -1,0 +1,46 @@
+"""Figure 8 — absolute solution sizes on a (scaled) day of posts vs |L|.
+
+Paper shapes: Scan's output grows linearly in |L| (it pays per label);
+GreedySC is the smallest everywhere and its advantage widens with |L|.
+The run is scaled per EXPERIMENTS.md (rate x0.005, 6-hour window).
+"""
+
+from repro.experiments import fig8_daylong
+
+from .conftest import report
+
+
+def test_fig8_daylong(benchmark):
+    rows = benchmark.pedantic(
+        lambda: fig8_daylong.run(
+            seed=0,
+            sizes=(2, 5, 10),
+            lam_minutes=(10.0, 30.0),
+            scale=0.005,
+            duration=21_600.0,
+        ),
+        rounds=1, iterations=1,
+    )
+    report(rows, fig8_daylong.DESCRIPTION)
+
+    for lam_min in (10.0, 30.0):
+        series = [r for r in rows if r["lam_min"] == lam_min]
+        # GreedySC smallest (up to one pick of noise at these scaled
+        # sizes), Scan largest, Scan+ in between
+        for row in series:
+            assert row["greedy_sc_size"] <= row["scan+_size"] + 1
+            assert row["greedy_sc_size"] <= row["scan_size"]
+            assert row["scan+_size"] <= row["scan_size"]
+        # Scan ~linear in |L|: 5x labels -> between 3x and 7x output
+        ratio = series[-1]["scan_size"] / series[0]["scan_size"]
+        assert 3.0 <= ratio <= 7.0
+        # GreedySC's advantage widens with |L| in absolute terms (its
+        # ratio over Scan is roughly constant at this scaled density)
+        gap_small = series[0]["scan_size"] - series[0]["greedy_sc_size"]
+        gap_large = series[-1]["scan_size"] - series[-1]["greedy_sc_size"]
+        assert gap_large > gap_small
+    # larger lambda -> smaller outputs across the board
+    small_lam = [r for r in rows if r["lam_min"] == 10.0]
+    large_lam = [r for r in rows if r["lam_min"] == 30.0]
+    for narrow, wide in zip(small_lam, large_lam):
+        assert wide["scan_size"] < narrow["scan_size"]

@@ -1,0 +1,41 @@
+"""Figure 9 — streaming relative error versus lambda, per fixed tau.
+
+Paper shapes: errors generally increase with lambda (more coverage
+combinations make the offline optimum harder to match), and
+StreamGreedySC+ tracks at or slightly below StreamGreedySC.
+"""
+
+from repro.evaluation.metrics import mean
+from repro.experiments import fig9_stream_lambda
+
+from .conftest import report
+
+
+def test_fig9_stream_lambda(benchmark):
+    rows = benchmark.pedantic(
+        lambda: fig9_stream_lambda.run(
+            seed=0,
+            taus=(30.0, 60.0, 90.0),
+            lams=(30.0, 60.0, 90.0, 120.0),
+            trials=4,
+        ),
+        rounds=1, iterations=1,
+    )
+    report(rows, fig9_stream_lambda.DESCRIPTION)
+
+    # StreamGreedySC+ at or below StreamGreedySC on average per tau
+    for tau in (30.0, 60.0, 90.0):
+        series = [r for r in rows if r["tau"] == tau]
+        plus = mean(r["stream_greedy_sc+_err"] for r in series)
+        plain = mean(r["stream_greedy_sc_err"] for r in series)
+        assert plus <= plain + 0.05
+
+    # errors grow with lambda on average across taus (sweep endpoints)
+    for name in ("stream_scan+", "stream_greedy_sc"):
+        low = mean(
+            r[f"{name}_err"] for r in rows if r["lam"] == 30.0
+        )
+        high = mean(
+            r[f"{name}_err"] for r in rows if r["lam"] == 120.0
+        )
+        assert high >= low - 0.1

@@ -1,0 +1,35 @@
+"""Table 1 — example topics with their highest-weight keywords.
+
+Paper artifact: two Sports and two Politics topics, each shown as its
+top keywords.  Ours regenerates the same table from the synthetic topic
+model; the shape to hold is structural — topics grouped under their broad
+topic, keyword lists dominated by that broad topic's vocabulary.
+"""
+
+from repro.experiments import table1_topics
+from repro.text.vocab import BROAD_TOPICS
+
+from .conftest import report
+
+
+def test_table1_topics(benchmark):
+    rows = benchmark.pedantic(
+        lambda: table1_topics.run(seed=0),
+        rounds=1, iterations=1,
+    )
+    report(rows, table1_topics.DESCRIPTION)
+
+    assert len(rows) == 4
+    assert [r["broad_topic"] for r in rows] == [
+        "sports", "sports", "politics", "politics"
+    ]
+    # keywords must be rooted in the right broad vocabulary: every shown
+    # keyword is a pool word or a compound of pool words of its broad topic
+    for row in rows:
+        pool = BROAD_TOPICS[row["broad_topic"]]
+        for keyword in row["keywords"].split():
+            rooted = keyword in pool or any(
+                keyword.startswith(word) and keyword != word
+                for word in pool
+            )
+            assert rooted, (row["broad_topic"], keyword)

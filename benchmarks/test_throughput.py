@@ -1,0 +1,58 @@
+"""Microbenchmarks — raw solver throughput on a reference workload.
+
+Unlike the figure benches (single-shot experiment regeneration), these use
+pytest-benchmark's real measurement loop, giving stable per-call numbers
+for the solvers a deployment would run per user: Scan, Scan+, GreedySC and
+the streaming pass.  The reference workload is a 10-minute window at the
+paper's |L|=2 matching rate, scaled as per EXPERIMENTS.md.
+"""
+
+import pytest
+
+from repro.core.greedy_sc import greedy_sc
+from repro.core.scan import scan, scan_plus
+from repro.core.streaming import stream_solve
+from repro.experiments.common import make_effectiveness_instance
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return make_effectiveness_instance(
+        seed=0, num_labels=3, lam=30.0, overlap=1.4
+    )
+
+
+def test_throughput_scan(benchmark, workload):
+    solution = benchmark(lambda: scan(workload))
+    assert solution.size > 0
+
+
+def test_throughput_scan_plus(benchmark, workload):
+    solution = benchmark(lambda: scan_plus(workload))
+    assert solution.size > 0
+
+
+def test_throughput_greedy_sc(benchmark, workload):
+    solution = benchmark(lambda: greedy_sc(workload))
+    assert solution.size > 0
+
+
+def test_throughput_stream_scan(benchmark, workload):
+    result = benchmark(
+        lambda: stream_solve("stream_scan", workload, tau=15.0)
+    )
+    assert result.size > 0
+
+
+def test_throughput_stream_greedy(benchmark, workload):
+    result = benchmark(
+        lambda: stream_solve("stream_greedy_sc", workload, tau=15.0)
+    )
+    assert result.size > 0
+
+
+def test_throughput_instant(benchmark, workload):
+    result = benchmark(
+        lambda: stream_solve("instant", workload, tau=0.0)
+    )
+    assert result.size > 0

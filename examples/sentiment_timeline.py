@@ -1,0 +1,102 @@
+"""Sentiment as the diversity dimension, with proportional diversity.
+
+The paper's second flagship dimension: instead of spreading representatives
+over *time*, spread them over *sentiment polarity* — e.g. a brand monitor
+wants to see the full spectrum of reactions, not fifty variations of the
+same complaint.  Section 6's variable lambda then makes the selection
+*proportional*: if reactions skew negative, show more negative posts while
+keeping at least one voice from the positive tail.
+
+Run with::
+
+    python examples/sentiment_timeline.py
+"""
+
+import random
+
+from repro import (
+    Instance,
+    Post,
+    ProportionalLambda,
+    scan,
+    scan_variable,
+    verify_cover,
+)
+from repro.text.sentiment import sentiment_score
+
+# Reactions to a (bad) earnings report: a dense, varied negative cluster
+# and a sparse positive tail — the distribution Section 6 motivates.
+REACTIONS = [
+    ("earnings", "extremely terrible awful disaster crash numbers"),
+    ("earnings", "so bad concern growth worry"),
+    ("earnings", "really bad disappointing weak results"),
+    ("earnings", "terrible awful crash miss"),
+    ("earnings", "awful horrible numbers"),
+    ("earnings", "bad miss this quarter"),
+    ("earnings", "mixed results concern and hope"),
+    ("earnings", "decent but unexciting cash flow"),
+    ("earnings", "good cost control quietly solid"),
+    ("earnings", "extremely great amazing buying opportunity love it"),
+    ("guidance", "absolutely horrible worst collapse painful outlook"),
+    ("guidance", "very bad terrible guidance miss"),
+    ("guidance", "so bad demand worry fear"),
+    ("guidance", "awful horrible roadmap"),
+    ("guidance", "weak but stable not a disaster"),
+    ("guidance", "very good pipeline promising roadmap"),
+]
+
+
+def main() -> None:
+    posts = [
+        Post(
+            uid=i,
+            value=sentiment_score(text),
+            labels=frozenset({label}),
+            text=text,
+        )
+        for i, (label, text) in enumerate(REACTIONS)
+    ]
+    instance = Instance(posts, lam=0.25)
+
+    print("sentiment spectrum of the reactions:")
+    for post in instance.posts:
+        bar = "#" * int((post.value + 1) * 12)
+        print(f"  {post.value:+.2f} {bar:<26} {post.text[:44]}")
+    print()
+
+    # -- fixed lambda: evenly spread representatives -------------------------
+    fixed = scan(instance)
+    verify_cover(instance, fixed.posts)
+    print(f"fixed lambda=0.25 selects {fixed.size} posts:")
+    for post in fixed.posts:
+        print(f"  {post.value:+.2f} {post.text[:52]}")
+    print()
+
+    # -- proportional (variable) lambda: density-weighted --------------------
+    model = ProportionalLambda(instance, lam0=0.25)
+    proportional = scan_variable(instance, model)
+    verify_cover(instance, proportional.posts, model)
+    print(
+        f"proportional lambda selects {proportional.size} posts "
+        "(more where opinion concentrates):"
+    )
+    for post in proportional.posts:
+        radius = min(
+            model.radius(post, label) for label in post.labels
+        )
+        print(
+            f"  {post.value:+.2f} (radius {radius:.2f}) {post.text[:52]}"
+        )
+
+    negative = sum(1 for p in proportional.posts if p.value < 0)
+    positive = proportional.size - negative
+    print()
+    print(
+        f"proportional split: {negative} negative vs {positive} "
+        "non-negative representatives — tracking the skew of the input "
+        "while keeping the positive tail visible"
+    )
+
+
+if __name__ == "__main__":
+    main()

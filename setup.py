@@ -1,0 +1,8 @@
+"""Setup shim for environments without the `wheel` package.
+
+`pip install -e . --no-use-pep517` takes the legacy `setup.py develop`
+path, which works offline; all metadata lives in pyproject.toml.
+"""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,90 @@
+"""The paper's primary contribution: MQDP models and solvers.
+
+Layout:
+
+* :mod:`~repro.core.post`, :mod:`~repro.core.instance` — the data model
+  (posts on a diversity dimension, label universe, posting lists);
+* :mod:`~repro.core.coverage` — lambda-cover semantics and verification;
+* :mod:`~repro.core.opt` — exact end-pattern dynamic programming;
+* :mod:`~repro.core.greedy_sc`, :mod:`~repro.core.scan` — the two
+  approximation families (set-cover greedy; per-label scan);
+* :mod:`~repro.core.streaming` — the StreamMQDP algorithms;
+* :mod:`~repro.core.proportional` — variable-lambda proportional diversity;
+* :mod:`~repro.core.brute_force` — exact baselines for cross-checking;
+* :mod:`~repro.core.registry` — name-based solver dispatch.
+"""
+
+from .budgeted import coverage_curve, max_coverage
+from .brute_force import brute_force, exact_via_setcover, optimal_size
+from .coverage import (
+    CoverageModel,
+    FixedLambda,
+    VariableLambda,
+    is_cover,
+    uncovered_pairs,
+    verify_cover,
+)
+from .greedy_sc import greedy_sc
+from .instance import Instance, PostingList
+from .opt import opt, opt_size
+from .post import Post, make_posts
+from .proportional import (
+    ProportionalLambda,
+    exact_variable,
+    greedy_sc_variable,
+    scan_variable,
+)
+from .registry import available_algorithms, register, solve
+from .scan import scan, scan_plus
+from .solution import Solution
+from .stream_proportional import (
+    OnlineDensityEstimator,
+    StreamScanProportional,
+)
+from .streaming import (
+    InstantCover,
+    StreamGreedySC,
+    StreamGreedySCPlus,
+    StreamScan,
+    StreamScanPlus,
+    stream_solve,
+)
+
+__all__ = [
+    "Post",
+    "make_posts",
+    "Instance",
+    "PostingList",
+    "Solution",
+    "CoverageModel",
+    "FixedLambda",
+    "VariableLambda",
+    "is_cover",
+    "uncovered_pairs",
+    "verify_cover",
+    "opt",
+    "opt_size",
+    "brute_force",
+    "exact_via_setcover",
+    "optimal_size",
+    "greedy_sc",
+    "scan",
+    "scan_plus",
+    "StreamScan",
+    "StreamScanPlus",
+    "StreamScanProportional",
+    "OnlineDensityEstimator",
+    "InstantCover",
+    "StreamGreedySC",
+    "StreamGreedySCPlus",
+    "stream_solve",
+    "ProportionalLambda",
+    "scan_variable",
+    "greedy_sc_variable",
+    "exact_variable",
+    "max_coverage",
+    "coverage_curve",
+    "solve",
+    "register",
+    "available_algorithms",
+]

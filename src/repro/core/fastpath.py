@@ -1,0 +1,117 @@
+"""Vectorised set-cover family construction for GreedySC.
+
+Profiling the day-long workloads (Figure 13) shows GreedySC's cost split
+between two phases: materialising the within-lambda pair family and the
+greedy rounds themselves.  The pure-Python builder pays per-pair tuple
+allocation and hashing; this module replaces it with numpy:
+
+* pairs are encoded as flat integers ``post_index * |L| + label_index``
+  (int hashing is several times cheaper than tuple hashing, and the
+  encoding is reversible);
+* for each label, the within-lambda windows come from two
+  ``numpy.searchsorted`` calls over the posting values, and the
+  (coverer, covered) index pairs from ``repeat``/``arange`` arithmetic —
+  no Python-level inner loop;
+* the same ulp-widened-then-exact-filter discipline as everywhere else
+  guards the float boundaries.
+
+The output is semantically identical to
+:func:`repro.core.greedy_sc.build_setcover_family` (property-tested pick
+for pick through the greedy), so ``greedy_sc(instance, engine="numpy")``
+is a drop-in.  The ``ablation_greedy_heap`` benchmark's sibling,
+``benchmarks/test_ablation_engine.py``, times the engines against each
+other.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set, Tuple
+
+import numpy as np
+
+from .instance import Instance
+
+__all__ = ["build_family_encoded", "decode_pair"]
+
+
+def build_family_encoded(
+    instance: Instance,
+) -> Tuple[List[Set[int]], Set[int], List[str]]:
+    """The GreedySC family with integer-encoded pair elements.
+
+    Returns ``(family, universe, label_order)``: ``family[k]`` holds the
+    encoded pairs post ``k`` covers, and a pair encodes as
+    ``post_index * len(label_order) + label_order.index(label)``.
+    """
+    labels = sorted(instance.labels)
+    label_pos = {label: idx for idx, label in enumerate(labels)}
+    n_labels = len(labels)
+    posts = instance.posts
+    index_of: Dict[int, int] = {p.uid: k for k, p in enumerate(posts)}
+    lam = instance.lam
+
+    family: List[Set[int]] = [set() for _ in posts]
+    universe: Set[int] = set()
+
+    for label in labels:
+        plist = instance.posting(label)
+        if len(plist) == 0:
+            continue
+        offsets = np.fromiter(
+            (index_of[p.uid] for p in plist), dtype=np.int64,
+            count=len(plist),
+        )
+        values = np.fromiter(
+            (p.value for p in plist), dtype=np.float64, count=len(plist),
+        )
+        # ulp-widened bisect windows; the exact subtraction filter below
+        # is the arbiter (same discipline as the scalar code paths)
+        lo = np.searchsorted(values, values - lam, side="left")
+        hi = np.searchsorted(values, values + lam, side="right")
+        lo = np.maximum(lo - 1, 0)
+        hi = np.minimum(hi + 1, len(values))
+
+        counts = hi - lo
+        coverer_local = np.repeat(
+            np.arange(len(values), dtype=np.int64), counts
+        )
+        # covered_local: for row j, the indices lo[j] .. hi[j]-1
+        starts = np.repeat(lo, counts)
+        within_row = (
+            np.arange(counts.sum(), dtype=np.int64)
+            - np.repeat(np.cumsum(counts) - counts, counts)
+        )
+        covered_local = starts + within_row
+
+        keep = np.abs(
+            values[coverer_local] - values[covered_local]
+        ) <= lam
+        coverer_local = coverer_local[keep]
+        covered_local = covered_local[keep]
+
+        encoded = offsets[covered_local] * n_labels + label_pos[label]
+        coverer_global = offsets[coverer_local]
+
+        order = np.argsort(coverer_global, kind="stable")
+        coverer_sorted = coverer_global[order]
+        encoded_sorted = encoded[order]
+        boundaries = np.flatnonzero(np.diff(coverer_sorted)) + 1
+        groups = np.split(encoded_sorted, boundaries)
+        group_owners = coverer_sorted[
+            np.concatenate(([0], boundaries))
+        ] if len(coverer_sorted) else []
+        for owner, group in zip(group_owners, groups):
+            family[int(owner)].update(int(v) for v in group)
+
+        universe.update(
+            int(v) for v in offsets * n_labels + label_pos[label]
+        )
+    return family, universe, labels
+
+
+def decode_pair(
+    encoded: int, instance: Instance, labels: List[str]
+) -> Tuple[int, str]:
+    """Inverse of the encoding: ``(post uid, label)`` for a pair id."""
+    post_index, label_index = divmod(encoded, len(labels))
+    return instance.posts[post_index].uid, labels[label_index]

@@ -1,0 +1,216 @@
+"""MQDP problem instances.
+
+An :class:`Instance` bundles everything an algorithm needs: the posts sorted
+by diversity value, the distance threshold ``lam`` (the paper's lambda) and,
+derived from those, the per-label posting lists ``LP(a)`` of Section 2.
+
+Instances are immutable once built; algorithms never mutate them.  Posting
+lists are computed once and shared, which mirrors the inverted-index feeding
+described in the paper's system architecture (Figure 1).
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+from ..errors import InvalidInstanceError
+from .post import Post, make_posts
+
+__all__ = ["Instance", "PostingList"]
+
+
+class PostingList:
+    """The time-sorted list ``LP(a)`` of posts relevant to one label.
+
+    Provides the two primitives every algorithm needs:
+
+    * ordered iteration (``Scan`` and friends), and
+    * O(log n) range queries for the window ``[value - lam, value + lam]``
+      (the exact DP and the greedy set-cover transform).
+    """
+
+    __slots__ = ("label", "posts", "_values")
+
+    def __init__(self, label: str, posts: Sequence[Post]):
+        self.label = label
+        self.posts: Tuple[Post, ...] = tuple(posts)
+        self._values: List[float] = [p.value for p in self.posts]
+
+    def __len__(self) -> int:
+        return len(self.posts)
+
+    def __iter__(self):
+        return iter(self.posts)
+
+    def __getitem__(self, idx):
+        return self.posts[idx]
+
+    def range(self, lo: float, hi: float) -> Tuple[Post, ...]:
+        """Posts with value in the closed interval ``[lo, hi]``."""
+        left = bisect.bisect_left(self._values, lo)
+        right = bisect.bisect_right(self._values, hi)
+        return self.posts[left:right]
+
+    def range_indices(self, lo: float, hi: float) -> Tuple[int, int]:
+        """Half-open index range of posts with value in ``[lo, hi]``."""
+        left = bisect.bisect_left(self._values, lo)
+        right = bisect.bisect_right(self._values, hi)
+        return left, right
+
+    def count_in(self, lo: float, hi: float) -> int:
+        """Number of posts with value in ``[lo, hi]``."""
+        left, right = self.range_indices(lo, hi)
+        return right - left
+
+    def first_after(self, value: float) -> Optional[Post]:
+        """The earliest post with value strictly greater than ``value``."""
+        idx = bisect.bisect_right(self._values, value)
+        if idx >= len(self.posts):
+            return None
+        return self.posts[idx]
+
+
+class Instance:
+    """An immutable MQDP instance ``<P, lam>``.
+
+    Parameters
+    ----------
+    posts:
+        The post collection.  They are re-sorted by ``(value, uid)``; uids
+        must be unique.  Every post must carry at least one label.
+    lam:
+        The lambda distance threshold on the diversity dimension.  Must be
+        non-negative.
+    labels:
+        Optional explicit label universe ``L``.  Defaults to the union of the
+        posts' labels.  Declaring extra labels is allowed (they simply have
+        empty posting lists); declaring fewer than the posts use is an error.
+    """
+
+    def __init__(
+        self,
+        posts: Iterable[Post],
+        lam: float,
+        labels: Optional[Iterable[str]] = None,
+    ):
+        post_list = sorted(posts, key=lambda p: (p.value, p.uid))
+        if lam < 0:
+            raise InvalidInstanceError(f"lambda must be >= 0, got {lam}")
+        seen_uids = set()
+        for post in post_list:
+            if post.uid in seen_uids:
+                raise InvalidInstanceError(f"duplicate post uid {post.uid}")
+            seen_uids.add(post.uid)
+            if not post.labels:
+                raise InvalidInstanceError(
+                    f"post {post.uid} has an empty label set"
+                )
+
+        used = set()
+        for post in post_list:
+            used |= post.labels
+        if labels is None:
+            universe = frozenset(used)
+        else:
+            universe = frozenset(labels)
+            missing = used - universe
+            if missing:
+                raise InvalidInstanceError(
+                    "posts reference labels outside the declared universe: "
+                    + ", ".join(sorted(missing))
+                )
+
+        self._posts: Tuple[Post, ...] = tuple(post_list)
+        self._lam = float(lam)
+        self._labels = universe
+        self._by_uid: Dict[int, Post] = {p.uid: p for p in self._posts}
+        self._posting: Dict[str, PostingList] = {}
+        buckets: Dict[str, List[Post]] = {a: [] for a in universe}
+        for post in self._posts:
+            for label in post.labels:
+                buckets[label].append(post)
+        for label, bucket in buckets.items():
+            self._posting[label] = PostingList(label, bucket)
+
+    # -- basic accessors ---------------------------------------------------
+
+    @property
+    def posts(self) -> Tuple[Post, ...]:
+        """All posts, sorted by diversity value (ties broken by uid)."""
+        return self._posts
+
+    @property
+    def lam(self) -> float:
+        """The lambda distance threshold."""
+        return self._lam
+
+    @property
+    def labels(self) -> frozenset:
+        """The label universe ``L``."""
+        return self._labels
+
+    def __len__(self) -> int:
+        return len(self._posts)
+
+    def post(self, uid: int) -> Post:
+        """Look a post up by uid."""
+        return self._by_uid[uid]
+
+    def posting(self, label: str) -> PostingList:
+        """The posting list ``LP(label)``."""
+        return self._posting[label]
+
+    def posting_lists(self) -> Mapping[str, PostingList]:
+        """All posting lists, keyed by label."""
+        return dict(self._posting)
+
+    # -- derived statistics --------------------------------------------------
+
+    def overlap_rate(self) -> float:
+        """Average number of labels per post (the paper's *overlap rate*)."""
+        if not self._posts:
+            return 0.0
+        return sum(len(p.labels) for p in self._posts) / len(self._posts)
+
+    def max_labels_per_post(self) -> int:
+        """``s`` — the largest label-set size over all posts."""
+        if not self._posts:
+            return 0
+        return max(len(p.labels) for p in self._posts)
+
+    def span(self) -> float:
+        """Extent of the diversity dimension covered by the posts."""
+        if not self._posts:
+            return 0.0
+        return self._posts[-1].value - self._posts[0].value
+
+    # -- construction helpers -------------------------------------------------
+
+    @classmethod
+    def from_specs(
+        cls,
+        specs: Iterable[tuple],
+        lam: float,
+        labels: Optional[Iterable[str]] = None,
+    ) -> "Instance":
+        """Build an instance from compact ``(value, labels)`` tuples.
+
+        See :func:`repro.core.post.make_posts` for the spec format.
+        """
+        return cls(make_posts(specs), lam, labels=labels)
+
+    def restricted_to(self, lo: float, hi: float) -> "Instance":
+        """A sub-instance containing only posts with value in ``[lo, hi]``."""
+        subset = [p for p in self._posts if lo <= p.value <= hi]
+        return Instance(subset, self._lam)
+
+    def with_lam(self, lam: float) -> "Instance":
+        """The same posts under a different lambda threshold."""
+        return Instance(self._posts, lam, labels=self._labels)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Instance(|P|={len(self._posts)}, |L|={len(self._labels)}, "
+            f"lam={self._lam:g})"
+        )

@@ -1,0 +1,116 @@
+"""The post data model.
+
+A *post* is the atomic unit of the Multi-Query Diversification Problem: a
+microblogging message projected onto (i) a value on an ordered *diversity
+dimension* (publication time, sentiment polarity, distance from a location,
+...) and (ii) the set of *labels* (user queries / topics / hashtags) the post
+is relevant to.  Following Section 2 of the paper we write a post as
+``P_i = (F(P_i), label(P_i))``.
+
+The raw text and any auxiliary metadata are deliberately optional: every
+algorithm in :mod:`repro.core` consumes only ``value`` and ``labels``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import FrozenSet, Iterable, Optional
+
+__all__ = ["Post", "make_posts"]
+
+
+@dataclass(frozen=True)
+class Post:
+    """A single microblogging post.
+
+    Parameters
+    ----------
+    uid:
+        A stable identifier, unique within one instance.  Algorithms use it
+        to refer to posts unambiguously (two posts may share ``value`` and
+        ``labels`` yet still be distinct messages).
+    value:
+        The post's coordinate on the diversity dimension ``F``.  For the time
+        dimension this is the publication timestamp in seconds; for the
+        sentiment dimension a polarity in ``[-1, 1]``.
+    labels:
+        The set of labels (queries) the post matches.  Must be non-empty for
+        posts that take part in an MQDP instance — a post matching no query
+        is simply not part of the problem.
+    text:
+        Optional raw text, kept for display and for the text substrates
+        (tokenisation, SimHash, sentiment).
+    """
+
+    uid: int
+    value: float
+    labels: FrozenSet[str]
+    text: str = field(default="", compare=False)
+
+    def __post_init__(self) -> None:
+        # Normalise labels to a frozenset so callers may pass any iterable.
+        if not isinstance(self.labels, frozenset):
+            object.__setattr__(self, "labels", frozenset(self.labels))
+
+    @property
+    def time(self) -> float:
+        """Alias of :attr:`value` for the common time-dimension reading."""
+        return self.value
+
+    def matches(self, label: str) -> bool:
+        """Return True when this post is relevant to ``label``."""
+        return label in self.labels
+
+    def distance(self, other: "Post") -> float:
+        """Absolute distance to ``other`` on the diversity dimension."""
+        return abs(self.value - other.value)
+
+    def covers(self, label: str, other: "Post", lam: float) -> bool:
+        """Return True when this post lambda-covers ``label in other``.
+
+        Per Section 2: both posts must be relevant to ``label`` and lie at
+        distance at most ``lam`` on the diversity dimension.
+        """
+        return (
+            label in self.labels
+            and label in other.labels
+            and self.distance(other) <= lam
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        labels = ",".join(sorted(self.labels))
+        return f"Post(uid={self.uid}, value={self.value:g}, labels={{{labels}}})"
+
+
+def make_posts(specs: Iterable[tuple], start_uid: int = 0) -> list:
+    """Build a list of posts from compact ``(value, labels)`` tuples.
+
+    A convenience used pervasively by tests and examples::
+
+        posts = make_posts([(1.0, "ab"), (2.0, ["a"]), (3.0, {"b", "c"})])
+
+    Labels given as a plain string are interpreted character-wise, matching
+    the single-letter label names used in the paper's figures.
+
+    Parameters
+    ----------
+    specs:
+        Iterable of ``(value, labels)`` or ``(value, labels, text)`` tuples.
+    start_uid:
+        The uid assigned to the first post; subsequent posts get consecutive
+        uids.
+    """
+    posts = []
+    for offset, spec in enumerate(specs):
+        text: Optional[str] = ""
+        if len(spec) == 3:
+            value, labels, text = spec
+        else:
+            value, labels = spec
+        if isinstance(labels, str):
+            labels = frozenset(labels)
+        posts.append(
+            Post(uid=start_uid + offset, value=float(value),
+                 labels=frozenset(labels), text=text or "")
+        )
+    return posts

@@ -1,0 +1,54 @@
+"""Name-based access to the batch MQDP solvers.
+
+The experiment drivers and the command-line interface refer to algorithms by
+the names the paper uses; this registry is the single mapping from those
+names to callables.  Every registered solver has the uniform signature
+``solver(instance) -> Solution``.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from ..errors import UnknownAlgorithmError
+from .brute_force import brute_force, exact_via_setcover
+from .greedy_sc import greedy_sc
+from .instance import Instance
+from .opt import opt
+from .scan import scan, scan_plus
+from .solution import Solution
+
+__all__ = ["solve", "available_algorithms", "register"]
+
+_REGISTRY: Dict[str, Callable[[Instance], Solution]] = {
+    "opt": opt,
+    "brute_force": brute_force,
+    "exact_setcover": exact_via_setcover,
+    "greedy_sc": greedy_sc,
+    "scan": scan,
+    "scan+": scan_plus,
+}
+
+
+def available_algorithms() -> List[str]:
+    """Names of every registered batch solver, sorted."""
+    return sorted(_REGISTRY)
+
+
+def register(name: str, solver: Callable[[Instance], Solution]) -> None:
+    """Register a custom solver under ``name`` (overwriting is an error)."""
+    if name in _REGISTRY:
+        raise ValueError(f"algorithm {name!r} is already registered")
+    _REGISTRY[name] = solver
+
+
+def solve(name: str, instance: Instance, **kwargs) -> Solution:
+    """Run the named batch algorithm on ``instance``."""
+    try:
+        solver = _REGISTRY[name]
+    except KeyError:
+        raise UnknownAlgorithmError(
+            f"unknown algorithm {name!r}; available: "
+            + ", ".join(available_algorithms())
+        ) from None
+    return solver(instance, **kwargs)

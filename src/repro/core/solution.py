@@ -1,0 +1,76 @@
+"""The common result type returned by every MQDP solver."""
+
+from __future__ import annotations
+
+import time as _time
+from dataclasses import dataclass, field
+from typing import Iterator, List, Tuple
+
+from .instance import Instance
+from .post import Post
+
+__all__ = ["Solution", "timed_solution"]
+
+
+@dataclass(frozen=True)
+class Solution:
+    """A (candidate) lambda-cover produced by a solver.
+
+    Attributes
+    ----------
+    algorithm:
+        Name of the producing algorithm (``"opt"``, ``"scan"``, ...).
+    posts:
+        The selected posts, sorted by diversity value.
+    elapsed:
+        Wall-clock seconds spent inside the solver, for the efficiency
+        studies (Figures 13-15); ``0.0`` when not measured.
+    """
+
+    algorithm: str
+    posts: Tuple[Post, ...]
+    elapsed: float = field(default=0.0, compare=False)
+
+    @property
+    def size(self) -> int:
+        """Solution cardinality ``|Z|`` — the objective the paper minimises."""
+        return len(self.posts)
+
+    @property
+    def uids(self) -> Tuple[int, ...]:
+        """The selected posts' uids, in value order."""
+        return tuple(post.uid for post in self.posts)
+
+    def __iter__(self) -> Iterator[Post]:
+        return iter(self.posts)
+
+    def __len__(self) -> int:
+        return len(self.posts)
+
+    def relative_error(self, optimum: int) -> float:
+        """``(|Z| - |OPT|) / |OPT|`` — the paper's relative solution size error."""
+        if optimum <= 0:
+            raise ValueError("optimum size must be positive")
+        return (self.size - optimum) / optimum
+
+    @staticmethod
+    def from_posts(algorithm: str, posts: List[Post],
+                   elapsed: float = 0.0) -> "Solution":
+        """Normalise an unordered post list into a :class:`Solution`."""
+        unique = {post.uid: post for post in posts}
+        ordered = sorted(unique.values(), key=lambda p: (p.value, p.uid))
+        return Solution(algorithm=algorithm, posts=tuple(ordered),
+                        elapsed=elapsed)
+
+
+def timed_solution(algorithm: str, solve, instance: Instance,
+                   *args, **kwargs) -> Solution:
+    """Run ``solve(instance, *args, **kwargs)`` and wrap the timing.
+
+    ``solve`` must return a list of posts; the wall-clock time is recorded on
+    the resulting :class:`Solution`.
+    """
+    start = _time.perf_counter()
+    posts = solve(instance, *args, **kwargs)
+    elapsed = _time.perf_counter() - start
+    return Solution.from_posts(algorithm, posts, elapsed=elapsed)

@@ -1,0 +1,48 @@
+"""Synthetic data generation.
+
+Replaces the paper's 4.3M-tweet, 24-hour Twitter Streaming API sample
+(collected 2013-06-12) with a generator whose *observable statistics* —
+arrival burstiness, diurnal rhythm, topical overlap, per-label matching
+rates — are what the algorithms actually react to:
+
+* :mod:`~repro.datagen.arrivals` — Poisson, diurnally modulated and bursty
+  (self-exciting) arrival processes;
+* :mod:`~repro.datagen.tweets` — tweet text synthesis from the topic model
+  (topical keywords + filler + sentiment carriers);
+* :mod:`~repro.datagen.workload` — end-to-end builders producing MQDP
+  instances, including the direct labelled-post generator used when an
+  experiment needs precise control of the overlap rate, and the
+  calibration constants tying generated volumes to the paper's Table 2.
+"""
+
+from .arrivals import bursty_times, nonhomogeneous_poisson_times, poisson_times
+from .loaders import (
+    documents_from_csv,
+    instance_from_jsonl,
+    instance_to_jsonl,
+    posts_from_jsonl,
+    solution_to_csv,
+)
+from .tweets import TweetGenerator
+from .workload import (
+    PAPER_MATCH_RATES_PER_MIN,
+    day_workload,
+    instance_with_overlap,
+    labelled_posts,
+)
+
+__all__ = [
+    "poisson_times",
+    "nonhomogeneous_poisson_times",
+    "bursty_times",
+    "TweetGenerator",
+    "documents_from_csv",
+    "posts_from_jsonl",
+    "instance_to_jsonl",
+    "instance_from_jsonl",
+    "solution_to_csv",
+    "labelled_posts",
+    "instance_with_overlap",
+    "day_workload",
+    "PAPER_MATCH_RATES_PER_MIN",
+]

@@ -1,0 +1,124 @@
+"""Arrival-time processes for synthetic post streams.
+
+Three generators of increasing realism; all return sorted timestamp lists
+within ``[start, end)`` and are driven by a seeded ``random.Random`` so
+every experiment is reproducible.
+
+* :func:`poisson_times` — homogeneous Poisson: the memoryless baseline.
+* :func:`nonhomogeneous_poisson_times` — thinning (Lewis & Shedler) under
+  an arbitrary rate function; :func:`diurnal_rate` supplies the day/night
+  modulation real Twitter volume shows.
+* :func:`bursty_times` — exogenous events each triggering an
+  exponentially decaying burst on top of a base rate, the news-spike shape
+  that makes microblogging streams redundant in the first place.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import Callable, List, Tuple
+
+__all__ = [
+    "poisson_times",
+    "nonhomogeneous_poisson_times",
+    "diurnal_rate",
+    "bursty_times",
+]
+
+
+def poisson_times(
+    rng: random.Random, rate: float, start: float, end: float
+) -> List[float]:
+    """Homogeneous Poisson arrivals at ``rate`` events per time unit."""
+    if rate < 0:
+        raise ValueError(f"rate must be non-negative, got {rate}")
+    if end <= start or rate == 0:
+        return []
+    times: List[float] = []
+    t = start
+    while True:
+        t += rng.expovariate(rate)
+        if t >= end:
+            return times
+        times.append(t)
+
+
+def nonhomogeneous_poisson_times(
+    rng: random.Random,
+    rate_fn: Callable[[float], float],
+    rate_max: float,
+    start: float,
+    end: float,
+) -> List[float]:
+    """Thinning sampler: accept a rate-``rate_max`` arrival at time ``t``
+    with probability ``rate_fn(t) / rate_max``."""
+    if rate_max <= 0:
+        return []
+    times: List[float] = []
+    for t in poisson_times(rng, rate_max, start, end):
+        local = rate_fn(t)
+        if local < 0 or local > rate_max * (1 + 1e-9):
+            raise ValueError(
+                f"rate_fn({t}) = {local} escapes [0, rate_max={rate_max}]"
+            )
+        if rng.random() < local / rate_max:
+            times.append(t)
+    return times
+
+
+def diurnal_rate(
+    base_rate: float,
+    amplitude: float = 0.5,
+    period: float = 86_400.0,
+    peak_at: float = 0.75,
+) -> Callable[[float], float]:
+    """A sinusoidal day/night rate profile.
+
+    ``peak_at`` is the fraction of the period where volume peaks (0.75 =
+    evening for a midnight-anchored day).  Returns a function usable with
+    :func:`nonhomogeneous_poisson_times`; its maximum is
+    ``base_rate * (1 + amplitude)``.
+    """
+    if not 0 <= amplitude <= 1:
+        raise ValueError(f"amplitude must be in [0, 1], got {amplitude}")
+
+    def rate(t: float) -> float:
+        phase = 2.0 * math.pi * (t / period - peak_at)
+        return base_rate * (1.0 + amplitude * math.cos(phase))
+
+    return rate
+
+
+def bursty_times(
+    rng: random.Random,
+    base_rate: float,
+    start: float,
+    end: float,
+    n_bursts: int = 3,
+    burst_rate: float = None,
+    burst_decay: float = 600.0,
+) -> Tuple[List[float], List[float]]:
+    """Base Poisson traffic plus news-event bursts.
+
+    Each of ``n_bursts`` events (at rng-chosen epochs) adds an
+    exponentially decaying rate ``burst_rate * exp(-(t - epoch)/decay)``.
+    Returns ``(times, burst_epochs)`` so callers can label which spikes
+    they injected.
+    """
+    if burst_rate is None:
+        burst_rate = 4.0 * base_rate
+    epochs = sorted(
+        rng.uniform(start, end) for _ in range(max(0, n_bursts))
+    )
+
+    def rate(t: float) -> float:
+        total = base_rate
+        for epoch in epochs:
+            if t >= epoch:
+                total += burst_rate * math.exp(-(t - epoch) / burst_decay)
+        return total
+
+    rate_max = base_rate + burst_rate * max(1, n_bursts)
+    times = nonhomogeneous_poisson_times(rng, rate, rate_max, start, end)
+    return times, epochs

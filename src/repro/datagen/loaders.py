@@ -1,0 +1,154 @@
+"""Loading external post data.
+
+A downstream user's data rarely starts as :class:`repro.core.post.Post`
+objects; these loaders accept the shapes it usually does start as:
+
+* :func:`documents_from_csv` — ``timestamp,text`` rows (a tweet dump);
+* :func:`posts_from_jsonl` — one JSON object per line with ``value`` /
+  ``labels`` (pre-matched posts, e.g. exported from another system);
+* :func:`instance_to_jsonl` / :func:`solution_to_csv` — the reverse
+  direction, so digests can leave the library.
+
+Formats are deliberately boring: CSV and JSON Lines round-trip through
+spreadsheets and ``jq`` alike.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+from typing import List, Optional, TextIO, Union
+
+from ..core.instance import Instance
+from ..core.post import Post
+from ..core.solution import Solution
+from ..errors import InvalidInstanceError
+from ..index.inverted_index import Document
+
+__all__ = [
+    "documents_from_csv",
+    "posts_from_jsonl",
+    "instance_to_jsonl",
+    "instance_from_jsonl",
+    "solution_to_csv",
+]
+
+
+def _reader(source: Union[str, TextIO]) -> TextIO:
+    if isinstance(source, str):
+        return io.StringIO(source)
+    return source
+
+
+def documents_from_csv(
+    source: Union[str, TextIO],
+    timestamp_field: str = "timestamp",
+    text_field: str = "text",
+    id_field: Optional[str] = None,
+) -> List[Document]:
+    """Parse a CSV of posts into :class:`Document` objects.
+
+    Accepts a header row naming at least the timestamp and text columns;
+    ``id_field`` is optional (row order assigns ids otherwise).  Rows with
+    an unparsable timestamp raise — silently dropping data is worse than
+    failing loudly on a malformed dump.
+    """
+    rows = csv.DictReader(_reader(source))
+    documents: List[Document] = []
+    for offset, row in enumerate(rows):
+        if timestamp_field not in row or text_field not in row:
+            raise InvalidInstanceError(
+                f"CSV row {offset} lacks '{timestamp_field}' or "
+                f"'{text_field}' (header: {sorted(row)})"
+            )
+        try:
+            timestamp = float(row[timestamp_field])
+        except (TypeError, ValueError) as error:
+            raise InvalidInstanceError(
+                f"row {offset}: bad timestamp {row[timestamp_field]!r}"
+            ) from error
+        doc_id = offset
+        if id_field is not None:
+            doc_id = int(row[id_field])
+        documents.append(
+            Document(doc_id=doc_id, timestamp=timestamp,
+                     text=row[text_field] or "")
+        )
+    return documents
+
+
+def posts_from_jsonl(source: Union[str, TextIO]) -> List[Post]:
+    """Parse JSON Lines of ``{"uid", "value", "labels", ["text"]}``."""
+    posts: List[Post] = []
+    for lineno, line in enumerate(_reader(source), start=1):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            payload = json.loads(line)
+        except json.JSONDecodeError as error:
+            raise InvalidInstanceError(
+                f"line {lineno}: invalid JSON"
+            ) from error
+        missing = {"uid", "value", "labels"} - set(payload)
+        if missing:
+            raise InvalidInstanceError(
+                f"line {lineno}: missing fields {sorted(missing)}"
+            )
+        posts.append(
+            Post(
+                uid=int(payload["uid"]),
+                value=float(payload["value"]),
+                labels=frozenset(payload["labels"]),
+                text=payload.get("text", ""),
+            )
+        )
+    return posts
+
+
+def instance_to_jsonl(instance: Instance) -> str:
+    """Serialise an instance's posts as JSON Lines (lambda goes in the
+    first line as a header object)."""
+    lines = [json.dumps({"lam": instance.lam,
+                         "labels": sorted(instance.labels)})]
+    for post in instance.posts:
+        lines.append(
+            json.dumps(
+                {
+                    "uid": post.uid,
+                    "value": post.value,
+                    "labels": sorted(post.labels),
+                    "text": post.text,
+                }
+            )
+        )
+    return "\n".join(lines) + "\n"
+
+
+def instance_from_jsonl(source: Union[str, TextIO]) -> Instance:
+    """Inverse of :func:`instance_to_jsonl`."""
+    handle = _reader(source)
+    header_line = handle.readline()
+    try:
+        header = json.loads(header_line)
+        lam = float(header["lam"])
+        labels = header.get("labels")
+    except (json.JSONDecodeError, KeyError, TypeError) as error:
+        raise InvalidInstanceError("missing or malformed header line") \
+            from error
+    posts = posts_from_jsonl(handle)
+    return Instance(posts, lam, labels=labels)
+
+
+def solution_to_csv(solution: Solution) -> str:
+    """Serialise a digest as CSV: uid, value, labels, text."""
+    buffer = io.StringIO()
+    writer = csv.writer(buffer)
+    writer.writerow(["uid", "value", "labels", "text"])
+    for post in solution.posts:
+        writer.writerow(
+            [post.uid, post.value, " ".join(sorted(post.labels)),
+             post.text]
+        )
+    return buffer.getvalue()

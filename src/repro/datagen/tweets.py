@@ -1,0 +1,144 @@
+"""Tweet text synthesis.
+
+Generates microblogging posts whose text actually flows through the full
+pipeline — tokenizer, keyword matcher, inverted index, SimHash, sentiment —
+so the substrate experiments exercise the same code paths the paper's real
+data did.
+
+Each tweet mixes: keywords from one or two topics (weight-proportional
+sampling, so high-weight keywords dominate, as with real LDA topics),
+conversational filler, and an optional sentiment carrier word whose
+polarity follows a per-broad-topic bias.  A configurable fraction of
+near-duplicates (light rewording of a recent tweet) feeds the SimHash
+dedup stage.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from ..index.inverted_index import Document
+from ..index.query import TopicQuery
+from ..text.sentiment import NEGATIVE_WORDS, POSITIVE_WORDS
+from ..text.vocab import FILLER_WORDS
+from ..topics.lda_sim import SyntheticTopicModel
+
+__all__ = ["TweetGenerator"]
+
+_POSITIVE = sorted(POSITIVE_WORDS)
+_NEGATIVE = sorted(NEGATIVE_WORDS)
+
+
+@dataclass
+class TweetGenerator:
+    """Synthesises tweet documents over a topic model.
+
+    Parameters
+    ----------
+    model:
+        The trained synthetic topic model.
+    rng:
+        Seeded random source.
+    topical_fraction:
+        Probability a tweet is about some topic at all; the rest is pure
+        filler chatter (it will match no query, as most of the paper's
+        4.3M tweets match none of a given profile).
+    second_topic_prob:
+        Probability a topical tweet blends a second topic from the same
+        broad topic — the direct source of multi-label posts.
+    duplicate_prob:
+        Probability a tweet is a near-duplicate (light rewording) of a
+        recent tweet, feeding the SimHash stage.
+    sentiment_bias:
+        Broad topic -> probability that its sentiment carrier is positive
+        (defaults to 0.5 everywhere).
+    """
+
+    model: SyntheticTopicModel
+    rng: random.Random
+    topical_fraction: float = 0.7
+    second_topic_prob: float = 0.35
+    duplicate_prob: float = 0.05
+    words_per_tweet: int = 9
+    sentiment_bias: Optional[Dict[str, float]] = None
+
+    def __post_init__(self) -> None:
+        self._by_broad = self.model.by_broad()
+        self._broads = sorted(self._by_broad)
+        # Broad-topic popularity: a fixed Zipf-ish skew, mirroring how real
+        # news volume concentrates on a few beats.
+        weights = [1.0 / (rank + 1) for rank in range(len(self._broads))]
+        total = sum(weights)
+        self._broad_weights = [w / total for w in weights]
+        self._recent: List[str] = []
+
+    # -- internals ------------------------------------------------------------
+
+    def _pick_broad(self) -> str:
+        return self.rng.choices(self._broads, self._broad_weights, k=1)[0]
+
+    def _keywords_from(self, topic: TopicQuery, count: int) -> List[str]:
+        if topic.weights:
+            words = [keyword for keyword, _ in topic.weights]
+            weights = [weight for _, weight in topic.weights]
+            return self.rng.choices(words, weights, k=count)
+        return self.rng.choices(sorted(topic.keywords), k=count)
+
+    def _sentiment_word(self, broad: str) -> str:
+        bias = 0.5
+        if self.sentiment_bias:
+            bias = self.sentiment_bias.get(broad, 0.5)
+        pool = _POSITIVE if self.rng.random() < bias else _NEGATIVE
+        return self.rng.choice(pool)
+
+    def _reword(self, text: str) -> str:
+        """A near-duplicate: swap one word for filler, maybe add 'rt'."""
+        words = text.split()
+        if words:
+            slot = self.rng.randrange(len(words))
+            words[slot] = self.rng.choice(FILLER_WORDS)
+        if self.rng.random() < 0.5:
+            words.insert(0, "rt")
+        return " ".join(words)
+
+    def compose(self) -> str:
+        """One tweet's text (no timestamp)."""
+        if self._recent and self.rng.random() < self.duplicate_prob:
+            return self._reword(self.rng.choice(self._recent))
+        words: List[str] = []
+        if self.rng.random() < self.topical_fraction:
+            broad = self._pick_broad()
+            topics = self._by_broad[broad]
+            primary = self.rng.choice(topics)
+            topical_count = max(2, self.words_per_tweet // 2)
+            words.extend(self._keywords_from(primary, topical_count))
+            if len(topics) > 1 and self.rng.random() < self.second_topic_prob:
+                secondary = self.rng.choice(
+                    [t for t in topics if t.label != primary.label]
+                )
+                words.extend(self._keywords_from(secondary, 2))
+            if self.rng.random() < 0.6:
+                words.append(self._sentiment_word(broad))
+        filler_needed = max(0, self.words_per_tweet - len(words))
+        words.extend(self.rng.choices(FILLER_WORDS, k=filler_needed))
+        self.rng.shuffle(words)
+        text = " ".join(words)
+        self._recent.append(text)
+        if len(self._recent) > 50:
+            self._recent.pop(0)
+        return text
+
+    def generate(
+        self, timestamps: Sequence[float], start_doc_id: int = 0
+    ) -> List[Document]:
+        """Documents at the given (sorted) arrival times."""
+        return [
+            Document(
+                doc_id=start_doc_id + offset,
+                timestamp=float(t),
+                text=self.compose(),
+            )
+            for offset, t in enumerate(timestamps)
+        ]

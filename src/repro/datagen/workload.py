@@ -1,0 +1,197 @@
+"""End-to-end workload builders for the experiments.
+
+Two construction paths, mirroring Figure 1's two input options:
+
+* the *text path* (:func:`tweet_workload`): synthesize tweet documents,
+  run the keyword matcher, keep posts matching at least one profile topic
+  — used where the substrate itself is under test (Table 2);
+* the *direct path* (:func:`labelled_posts`, :func:`instance_with_overlap`,
+  :func:`day_workload`): generate ``(timestamp, label-set)`` posts with
+  exact control over the statistics the algorithms react to (overlap rate,
+  per-minute matching volume) — used by the effectiveness and efficiency
+  experiments, where text would only add noise and runtime.
+
+Calibration
+-----------
+``PAPER_MATCH_RATES_PER_MIN`` records Table 2's matching posts per minute
+(136 / 308 / 1180 for ``|L|`` = 2 / 5 / 20).  Day-long experiments scale
+these by ``scale`` (default 1/20) and scale lambda identically, which
+preserves the quantity the algorithms actually see — expected posts per
+lambda-window — while keeping pure-Python runtimes sane.  EXPERIMENTS.md
+documents the scaling next to every affected figure.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..core.instance import Instance
+from ..core.post import Post
+from ..index.inverted_index import Document
+from ..index.query import LabelMatcher, TopicQuery
+from .arrivals import bursty_times, poisson_times
+
+__all__ = [
+    "PAPER_MATCH_RATES_PER_MIN",
+    "match_rate_per_min",
+    "labelled_posts",
+    "instance_with_overlap",
+    "day_workload",
+    "tweet_workload",
+]
+
+#: Table 2 — average unique matching posts per minute per label-set size.
+PAPER_MATCH_RATES_PER_MIN: Dict[int, float] = {2: 136.0, 5: 308.0, 20: 1180.0}
+
+
+def match_rate_per_min(num_labels: int) -> float:
+    """Interpolated Table 2 matching rate for any ``|L|``.
+
+    Table 2's three data points are nearly linear in ``|L|`` with a
+    per-label rate of ~60-68 posts/min; we interpolate/extrapolate
+    linearly between the published points.
+    """
+    if num_labels <= 0:
+        raise ValueError(f"|L| must be positive, got {num_labels}")
+    known = sorted(PAPER_MATCH_RATES_PER_MIN.items())
+    if num_labels <= known[0][0]:
+        return known[0][1] * num_labels / known[0][0]
+    for (lo_l, lo_r), (hi_l, hi_r) in zip(known, known[1:]):
+        if num_labels <= hi_l:
+            frac = (num_labels - lo_l) / (hi_l - lo_l)
+            return lo_r + frac * (hi_r - lo_r)
+    hi_l, hi_r = known[-1]
+    return hi_r * num_labels / hi_l
+
+
+def _zipf_weights(count: int, exponent: float = 0.8) -> List[float]:
+    weights = [1.0 / (rank ** exponent) for rank in range(1, count + 1)]
+    total = sum(weights)
+    return [w / total for w in weights]
+
+
+def labelled_posts(
+    rng: random.Random,
+    labels: Sequence[str],
+    times: Sequence[float],
+    overlap: float = 1.3,
+    start_uid: int = 0,
+) -> List[Post]:
+    """Posts at the given times with controlled label statistics.
+
+    Each post carries ``1 + Binomial(|L| - 1, p)`` labels with ``p`` chosen
+    so the expected overlap rate (mean labels per post) equals ``overlap``;
+    labels are drawn without replacement under a Zipf popularity skew, so
+    some queries are hot and some cold, as in real topic data.
+    """
+    labels = list(labels)
+    if not labels:
+        raise ValueError("need at least one label")
+    if not 1.0 <= overlap <= len(labels):
+        raise ValueError(
+            f"overlap must be in [1, |L|={len(labels)}], got {overlap}"
+        )
+    extra_p = (
+        (overlap - 1.0) / (len(labels) - 1) if len(labels) > 1 else 0.0
+    )
+    weights = _zipf_weights(len(labels))
+    posts: List[Post] = []
+    for offset, t in enumerate(times):
+        count = 1
+        for _ in range(len(labels) - 1):
+            if rng.random() < extra_p:
+                count += 1
+        chosen: List[str] = []
+        remaining = list(labels)
+        remaining_weights = list(weights)
+        for _ in range(count):
+            pick = rng.choices(
+                range(len(remaining)), remaining_weights, k=1
+            )[0]
+            chosen.append(remaining.pop(pick))
+            remaining_weights.pop(pick)
+        posts.append(
+            Post(
+                uid=start_uid + offset,
+                value=float(t),
+                labels=frozenset(chosen),
+            )
+        )
+    return posts
+
+
+def instance_with_overlap(
+    rng: random.Random,
+    num_labels: int,
+    duration: float,
+    lam: float,
+    overlap: float = 1.3,
+    rate_per_min: Optional[float] = None,
+) -> Instance:
+    """A Poisson-arrival instance with a target overlap rate.
+
+    ``rate_per_min`` defaults to the Table 2 interpolation for
+    ``num_labels``.  This is the workhorse of the 10-minute-window
+    effectiveness experiments (Figures 6, 7, 9, 10, 11).
+    """
+    if rate_per_min is None:
+        rate_per_min = match_rate_per_min(num_labels)
+    labels = [f"q{idx}" for idx in range(num_labels)]
+    times = poisson_times(rng, rate_per_min / 60.0, 0.0, duration)
+    if not times:  # degenerate but legal: one post keeps Instance non-empty
+        times = [duration / 2.0]
+    posts = labelled_posts(rng, labels, times, overlap=overlap)
+    return Instance(posts, lam, labels=labels)
+
+
+def day_workload(
+    rng: random.Random,
+    num_labels: int,
+    lam: float,
+    scale: float = 0.05,
+    overlap: float = 1.3,
+    duration: float = 86_400.0,
+    n_bursts: int = 8,
+) -> Instance:
+    """A scaled one-day bursty stream (Figures 8, 12, 13, 14, 15).
+
+    The matching rate is Table 2's value times ``scale``; callers scale
+    lambda by the same factor to preserve posts-per-window.  Arrivals are
+    bursty (news spikes) on top of the base rate.
+    """
+    rate_per_sec = match_rate_per_min(num_labels) * scale / 60.0
+    times, _ = bursty_times(
+        rng,
+        base_rate=rate_per_sec,
+        start=0.0,
+        end=duration,
+        n_bursts=n_bursts,
+        burst_rate=3.0 * rate_per_sec,
+        burst_decay=duration / 50.0,
+    )
+    if not times:
+        times = [duration / 2.0]
+    labels = [f"q{idx}" for idx in range(num_labels)]
+    posts = labelled_posts(rng, labels, times, overlap=overlap)
+    return Instance(posts, lam, labels=labels)
+
+
+def tweet_workload(
+    rng: random.Random,
+    queries: Sequence[TopicQuery],
+    documents: Sequence[Document],
+    lam: float,
+) -> Tuple[Instance, List[Post]]:
+    """The text path: match documents against a profile, build an instance.
+
+    Returns ``(instance, posts)``; documents matching no query are dropped
+    (they are not part of the MQDP input).  Raises ``ValueError`` when
+    nothing matches — a sign the caller's generator and profile are
+    misaligned.
+    """
+    matcher = LabelMatcher(queries)
+    posts = matcher.to_posts(documents)
+    if not posts:
+        raise ValueError("no document matched any query in the profile")
+    return Instance(posts, lam, labels=matcher.labels), posts

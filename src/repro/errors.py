@@ -1,0 +1,47 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+All library-raised exceptions derive from :class:`ReproError`, so callers can
+catch everything coming out of this package with a single ``except`` clause
+while still being able to discriminate the precise failure mode.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every exception raised by the :mod:`repro` package."""
+
+
+class InvalidInstanceError(ReproError):
+    """An MQDP instance violates a structural invariant.
+
+    Raised for example when a post carries an empty label set, when a label
+    referenced by a post is missing from the declared universe, or when the
+    distance threshold ``lam`` is negative.
+    """
+
+
+class InvalidCoverError(ReproError):
+    """A candidate solution is not a valid lambda-cover of its instance."""
+
+
+class AlgorithmBudgetExceeded(ReproError):
+    """An exact algorithm was asked to solve an instance beyond its budget.
+
+    The exact dynamic program (:mod:`repro.core.opt`) and the brute-force
+    solver (:mod:`repro.core.brute_force`) are exponential; they refuse, with
+    this exception, inputs whose projected state space exceeds the configured
+    limit rather than silently running forever.
+    """
+
+
+class StreamOrderError(ReproError):
+    """Posts were fed to a streaming algorithm out of timestamp order."""
+
+
+class UnknownAlgorithmError(ReproError):
+    """A name passed to the algorithm registry does not match any algorithm."""
+
+
+class ReductionError(ReproError):
+    """The CNF-to-MQDP reduction received a malformed formula."""

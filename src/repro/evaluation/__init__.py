@@ -1,0 +1,25 @@
+"""Measurement and reporting utilities for the Section 7 experiments.
+
+* :mod:`~repro.evaluation.metrics` — relative solution-size error, overlap
+  rate, per-post execution time, summary statistics;
+* :mod:`~repro.evaluation.harness` — grid running, row collection, aligned
+  text tables and CSV export shared by every experiment driver.
+"""
+
+from .harness import format_table, rows_to_csv, run_grid
+from .metrics import (
+    mean,
+    per_post_time,
+    relative_error,
+    summary,
+)
+
+__all__ = [
+    "relative_error",
+    "per_post_time",
+    "mean",
+    "summary",
+    "run_grid",
+    "format_table",
+    "rows_to_csv",
+]

@@ -1,0 +1,95 @@
+"""Experiment harness: grid running, tables, CSV.
+
+Every experiment driver in :mod:`repro.experiments` produces *rows* (lists
+of dicts with scalar values); this module owns the shared mechanics so the
+drivers stay declarative.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from typing import Callable, Dict, Iterable, List, Optional, Sequence
+
+__all__ = ["run_grid", "format_table", "rows_to_csv"]
+
+Row = Dict[str, object]
+
+
+def run_grid(
+    points: Iterable[object],
+    runner: Callable[[object], List[Row]],
+) -> List[Row]:
+    """Run ``runner`` at every grid point and concatenate the row lists."""
+    rows: List[Row] = []
+    for point in points:
+        rows.extend(runner(point))
+    return rows
+
+
+def _format_value(value: object) -> str:
+    if isinstance(value, bool):
+        return str(value)
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000 or abs(value) < 0.001:
+            return f"{value:.3e}"
+        return f"{value:.4g}"
+    return str(value)
+
+
+def format_table(
+    rows: Sequence[Row], columns: Optional[Sequence[str]] = None,
+    title: str = "",
+) -> str:
+    """Render rows as an aligned text table (the benches print these).
+
+    Column order defaults to first-appearance order across the rows, which
+    keeps the output stable for drivers that emit uniform rows.
+    """
+    if not rows:
+        return f"{title}\n(no rows)" if title else "(no rows)"
+    if columns is None:
+        seen: Dict[str, None] = {}
+        for row in rows:
+            for key in row:
+                seen.setdefault(key, None)
+        columns = list(seen)
+    rendered = [
+        [_format_value(row.get(col, "")) for col in columns] for row in rows
+    ]
+    widths = [
+        max(len(col), *(len(line[idx]) for line in rendered))
+        for idx, col in enumerate(columns)
+    ]
+    header = "  ".join(col.ljust(widths[idx])
+                       for idx, col in enumerate(columns))
+    separator = "  ".join("-" * width for width in widths)
+    body = [
+        "  ".join(line[idx].ljust(widths[idx])
+                  for idx in range(len(columns)))
+        for line in rendered
+    ]
+    lines = ([title] if title else []) + [header, separator] + body
+    return "\n".join(lines)
+
+
+def rows_to_csv(rows: Sequence[Row],
+                columns: Optional[Sequence[str]] = None) -> str:
+    """Serialise rows to CSV text (for piping results into plotting)."""
+    if not rows:
+        return ""
+    if columns is None:
+        seen: Dict[str, None] = {}
+        for row in rows:
+            for key in row:
+                seen.setdefault(key, None)
+        columns = list(seen)
+    buffer = io.StringIO()
+    writer = csv.DictWriter(buffer, fieldnames=list(columns),
+                            extrasaction="ignore")
+    writer.writeheader()
+    for row in rows:
+        writer.writerow(row)
+    return buffer.getvalue()

@@ -1,0 +1,63 @@
+"""Metrics used throughout the Section 7 evaluation.
+
+The paper's effectiveness metric is the *relative solution size error*
+``(estimated - optimal) / optimal`` against an exact solver's optimum, and
+its efficiency metric is *execution time per post* (throughput is what
+matters when the algorithm runs per user across millions of users).
+"""
+
+from __future__ import annotations
+
+import statistics
+from typing import Dict, Iterable, Sequence
+
+from ..core.instance import Instance
+from ..core.solution import Solution
+
+__all__ = ["relative_error", "per_post_time", "mean", "summary"]
+
+
+def relative_error(estimated: int, optimal: int) -> float:
+    """``(estimated - optimal) / optimal`` — Section 7.2's error measure.
+
+    Raises ``ValueError`` on a non-positive optimum (an empty-instance
+    optimum means the experiment itself is degenerate) and on an estimate
+    below the optimum (which would mean the "optimal" reference was not
+    optimal — a bug worth failing loudly for).
+    """
+    if optimal <= 0:
+        raise ValueError(f"optimal size must be positive, got {optimal}")
+    if estimated < optimal:
+        raise ValueError(
+            f"estimate {estimated} beats the optimum {optimal}; "
+            "the reference solver is not optimal"
+        )
+    return (estimated - optimal) / optimal
+
+
+def per_post_time(solution: Solution, instance: Instance) -> float:
+    """Execution seconds per input post (Figures 13-15's y-axis)."""
+    if len(instance) == 0:
+        return 0.0
+    return solution.elapsed / len(instance)
+
+
+def mean(values: Iterable[float]) -> float:
+    """Arithmetic mean; 0.0 for an empty sequence (grid cells may be)."""
+    values = list(values)
+    return statistics.fmean(values) if values else 0.0
+
+
+def summary(values: Sequence[float]) -> Dict[str, float]:
+    """``{mean, median, min, max, stdev}`` for a measurement series."""
+    if not values:
+        return {
+            "mean": 0.0, "median": 0.0, "min": 0.0, "max": 0.0, "stdev": 0.0
+        }
+    return {
+        "mean": statistics.fmean(values),
+        "median": statistics.median(values),
+        "min": min(values),
+        "max": max(values),
+        "stdev": statistics.stdev(values) if len(values) > 1 else 0.0,
+    }

@@ -1,0 +1,57 @@
+"""Experiment drivers: one module per table/figure of Section 7.
+
+Every driver exposes ``run(**params) -> list[dict]`` returning the rows the
+paper's artifact reports (one row per x-axis point, one column per
+algorithm/series) plus a module-level ``DESCRIPTION``.  The drivers are
+invoked three ways:
+
+* programmatically (the benchmarks call them with scaled-down defaults);
+* via the CLI: ``python -m repro.experiments <name> [--full]``;
+* from the examples.
+
+Scaling: pure-Python throughput is orders of magnitude below the paper's
+Java/i5 setup, so defaults are scaled as documented in
+:mod:`repro.experiments.common` and EXPERIMENTS.md; pass ``--full`` /
+larger params to approach the paper's raw sizes.
+"""
+
+from . import (
+    ablation_greedy_heap,
+    ext_stream_proportional,
+    ablation_proportional,
+    ablation_scan_order,
+    common,
+    fig6_overlap,
+    fig7_lambda,
+    fig8_daylong,
+    fig9_stream_lambda,
+    fig10_stream_tau,
+    fig11_stream_overlap,
+    fig12_stream_daylong,
+    fig13_time_mqdp,
+    fig14_time_stream_lambda,
+    fig15_time_stream_tau,
+    table1_topics,
+    table2_matching,
+)
+
+ALL_EXPERIMENTS = {
+    "table1": table1_topics,
+    "table2": table2_matching,
+    "fig6": fig6_overlap,
+    "fig7": fig7_lambda,
+    "fig8": fig8_daylong,
+    "fig9": fig9_stream_lambda,
+    "fig10": fig10_stream_tau,
+    "fig11": fig11_stream_overlap,
+    "fig12": fig12_stream_daylong,
+    "fig13": fig13_time_mqdp,
+    "fig14": fig14_time_stream_lambda,
+    "fig15": fig15_time_stream_tau,
+    "ablation_scan_order": ablation_scan_order,
+    "ablation_greedy_heap": ablation_greedy_heap,
+    "ablation_proportional": ablation_proportional,
+    "ext_stream_proportional": ext_stream_proportional,
+}
+
+__all__ = ["ALL_EXPERIMENTS", "common"]

@@ -1,0 +1,71 @@
+"""Command-line entry point: ``python -m repro.experiments <name>``.
+
+``list`` enumerates the experiments; ``all`` runs everything with default
+(scaled) parameters; ``--csv`` switches the output format; ``--seed``
+re-seeds the generators.  Driver-specific knobs are exposed through the
+programmatic API (each driver's ``run``), not the CLI — the CLI exists to
+regenerate the paper's artifacts, which the defaults do.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from ..evaluation.harness import format_table, rows_to_csv
+from . import ALL_EXPERIMENTS
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Regenerate the paper's tables and figures.",
+    )
+    parser.add_argument(
+        "name",
+        help="experiment name (see 'list'), 'all', or 'list'",
+    )
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--csv", action="store_true",
+                        help="emit CSV instead of an aligned table")
+    parser.add_argument(
+        "--full", action="store_true",
+        help="paper-scale parameters (each driver's FULL_PARAMS); "
+             "expect long runtimes",
+    )
+    args = parser.parse_args(argv)
+
+    if args.name == "list":
+        for name, module in sorted(ALL_EXPERIMENTS.items()):
+            print(f"{name:24s} {module.DESCRIPTION}")
+        return 0
+
+    names = (
+        sorted(ALL_EXPERIMENTS) if args.name == "all" else [args.name]
+    )
+    unknown = [n for n in names if n not in ALL_EXPERIMENTS]
+    if unknown:
+        print(f"unknown experiment(s): {', '.join(unknown)}",
+              file=sys.stderr)
+        print("use 'list' to see what is available", file=sys.stderr)
+        return 2
+
+    for name in names:
+        module = ALL_EXPERIMENTS[name]
+        params = dict(getattr(module, "FULL_PARAMS", {})) if args.full \
+            else {}
+        started = time.perf_counter()
+        rows = module.run(seed=args.seed, **params)
+        elapsed = time.perf_counter() - started
+        if args.csv:
+            print(rows_to_csv(rows), end="")
+        else:
+            print(format_table(rows, title=f"== {module.DESCRIPTION} =="))
+            print(f"({len(rows)} rows in {elapsed:.1f}s)")
+            print()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,69 @@
+"""Figure 10 — streaming relative error versus tau, per fixed lambda.
+
+Paper setup: ``|L| = 2``, 10-minute window, lambda in {10, 15, 20} s,
+tau swept.  Expected shapes (Section 7.2's discussion):
+
+* Scan-based algorithms are flat once ``tau > lambda`` — they then emit
+  exactly what batch Scan would;
+* the greedy algorithms hit their *minimum* error at ``tau = lambda`` and
+  show a local *peak* when tau is slightly above ``2 lambda``, the
+  "in-between posts" effect.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from ..evaluation.metrics import mean, relative_error
+from .common import (
+    STREAM_ALGORITHMS,
+    make_effectiveness_instance,
+    optimum_size,
+    stream_sizes,
+)
+
+DESCRIPTION = "Fig 10: streaming relative error vs tau (|L|=2)"
+
+#: Overrides applied by the CLI's --full flag (paper-scale runs).
+FULL_PARAMS = {'tau_factors': (0.25, 0.5, 0.75, 1.0, 1.25, 1.5, 1.75, 2.0, 2.2, 2.5, 2.75, 3.0), 'trials': 10}
+
+
+def run(
+    seed: int = 0,
+    num_labels: int = 2,
+    lams: tuple = (40.0, 60.0),
+    tau_factors: tuple = (0.25, 0.5, 1.0, 1.5, 2.0, 2.2, 2.5, 3.0),
+    overlap: float = 1.4,
+    trials: int = 3,
+) -> List[Dict[str, object]]:
+    """One row per (lambda, tau); tau is swept as a multiple of lambda so
+    the ``tau = lambda`` minimum and ``tau ~ 2 lambda`` peak are visible."""
+    rows: List[Dict[str, object]] = []
+    for lam in lams:
+        for factor in tau_factors:
+            tau = factor * lam
+            errors: Dict[str, List[float]] = {}
+            opt_sizes: List[float] = []
+            for trial in range(trials):
+                instance = make_effectiveness_instance(
+                    seed=seed * 1000 + trial,
+                    num_labels=num_labels,
+                    lam=lam,
+                    overlap=overlap,
+                )
+                opt = optimum_size(instance)
+                opt_sizes.append(opt)
+                for name, result in stream_sizes(instance, tau).items():
+                    errors.setdefault(name, []).append(
+                        relative_error(result.size, opt)
+                    )
+            row: Dict[str, object] = {
+                "lam": lam,
+                "tau": round(tau, 1),
+                "tau_over_lam": factor,
+                "opt_size": round(mean(opt_sizes), 1),
+            }
+            for name in STREAM_ALGORITHMS:
+                row[f"{name}_err"] = round(mean(errors[name]), 4)
+            rows.append(row)
+    return rows

@@ -1,0 +1,49 @@
+"""Figure 12 — streaming solution sizes on one day of posts vs ``|L|``.
+
+Paper setup: full-day stream, tau = 30 s, lambda of 10 and 30 minutes.
+Expected shape: same family ordering as Figure 8, with StreamGreedySC
+overtaking StreamGreedySC+ at large lambda (Section 7.2's observation).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from .common import make_day_instance, stream_sizes
+
+DESCRIPTION = "Fig 12: streaming solution sizes on 1 day of posts vs |L|"
+
+#: Overrides applied by the CLI's --full flag (paper-scale runs).
+FULL_PARAMS = {'sizes': (2, 5, 10, 15, 20), 'scale': 0.02, 'duration': 86_400.0}
+
+
+def run(
+    seed: int = 0,
+    sizes: tuple = (2, 5, 10, 15, 20),
+    lam_minutes: tuple = (10.0, 30.0),
+    tau: float = 30.0,
+    scale: float = 0.02,
+    duration: float = 86_400.0,
+    overlap: float = 1.3,
+) -> List[Dict[str, object]]:
+    """One row per (lambda, |L|) with each streaming algorithm's size."""
+    rows: List[Dict[str, object]] = []
+    for lam_min in lam_minutes:
+        for num_labels in sizes:
+            instance = make_day_instance(
+                seed=seed,
+                num_labels=num_labels,
+                lam=lam_min * 60.0,
+                scale=scale,
+                overlap=overlap,
+                duration=duration,
+            )
+            row: Dict[str, object] = {
+                "lam_min": lam_min,
+                "num_labels": num_labels,
+                "posts": len(instance),
+            }
+            for name, result in stream_sizes(instance, tau).items():
+                row[f"{name}_size"] = result.size
+            rows.append(row)
+    return rows

@@ -1,0 +1,57 @@
+"""Figure 13 — MQDP execution time per post versus lambda.
+
+Paper setup: one day of tweets, ``|L|`` in {2, 5, 20}, per-post execution
+time on a log axis.  Expected shapes (Section 7.3):
+
+* Scan/Scan+ are orders of magnitude faster than GreedySC and flat in
+  lambda (one sequential pass regardless);
+* GreedySC gets *faster* as lambda grows (fewer greedy rounds) and
+  *slower* as ``|L|`` grows (more pairs to maintain);
+* Scan gets slightly faster as ``|L|`` grows (posts cover more pairs).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from ..evaluation.metrics import per_post_time
+from .common import BATCH_ALGORITHMS, make_day_instance
+
+DESCRIPTION = "Fig 13: MQDP execution time per post vs lambda"
+
+#: Overrides applied by the CLI's --full flag (paper-scale runs).
+FULL_PARAMS = {'sizes': (2, 5, 20), 'scale': 0.02, 'duration': 86_400.0}
+
+
+def run(
+    seed: int = 0,
+    sizes: tuple = (2, 5, 20),
+    lam_minutes: tuple = (5.0, 10.0, 20.0, 30.0),
+    scale: float = 0.02,
+    duration: float = 86_400.0,
+    overlap: float = 1.3,
+) -> List[Dict[str, object]]:
+    """One row per (|L|, lambda) with per-post seconds per algorithm."""
+    rows: List[Dict[str, object]] = []
+    for num_labels in sizes:
+        for lam_min in lam_minutes:
+            instance = make_day_instance(
+                seed=seed,
+                num_labels=num_labels,
+                lam=lam_min * 60.0,
+                scale=scale,
+                overlap=overlap,
+                duration=duration,
+            )
+            row: Dict[str, object] = {
+                "num_labels": num_labels,
+                "lam_min": lam_min,
+                "posts": len(instance),
+            }
+            for name, solver in BATCH_ALGORITHMS.items():
+                solution = solver(instance)
+                row[f"{name}_us_per_post"] = round(
+                    per_post_time(solution, instance) * 1e6, 2
+                )
+            rows.append(row)
+    return rows

@@ -1,0 +1,51 @@
+"""Figure 14 — streaming execution time per post versus lambda (fixed tau).
+
+Paper setup: one day of tweets, tau = 300 s, ``|L|`` in {2, 5, 20}.
+Expected shapes: StreamScan/StreamScan+ flat in lambda; the greedy pair
+speeds up with larger lambda (fewer set-cover invocations per window).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from .common import make_day_instance, stream_sizes
+
+DESCRIPTION = "Fig 14: streaming execution time per post vs lambda"
+
+#: Overrides applied by the CLI's --full flag (paper-scale runs).
+FULL_PARAMS = {'sizes': (2, 5, 20), 'scale': 0.02, 'duration': 86_400.0}
+
+
+def run(
+    seed: int = 0,
+    sizes: tuple = (2, 5, 20),
+    lam_minutes: tuple = (5.0, 10.0, 20.0, 30.0),
+    tau: float = 300.0,
+    scale: float = 0.02,
+    duration: float = 86_400.0,
+    overlap: float = 1.3,
+) -> List[Dict[str, object]]:
+    """One row per (|L|, lambda) with per-post microseconds per algorithm."""
+    rows: List[Dict[str, object]] = []
+    for num_labels in sizes:
+        for lam_min in lam_minutes:
+            instance = make_day_instance(
+                seed=seed,
+                num_labels=num_labels,
+                lam=lam_min * 60.0,
+                scale=scale,
+                overlap=overlap,
+                duration=duration,
+            )
+            row: Dict[str, object] = {
+                "num_labels": num_labels,
+                "lam_min": lam_min,
+                "posts": len(instance),
+            }
+            for name, result in stream_sizes(instance, tau).items():
+                row[f"{name}_us_per_post"] = round(
+                    result.elapsed / max(1, len(instance)) * 1e6, 2
+                )
+            rows.append(row)
+    return rows

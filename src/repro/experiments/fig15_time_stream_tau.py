@@ -1,0 +1,51 @@
+"""Figure 15 — streaming execution time per post versus tau (fixed lambda).
+
+Paper setup: one day of tweets, lambda = 300 s, ``|L|`` in {2, 5, 20}.
+Expected shapes: Scan-based timing flat in tau; the greedy pair slows down
+slightly as tau grows (larger windows per set-cover invocation).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from .common import make_day_instance, stream_sizes
+
+DESCRIPTION = "Fig 15: streaming execution time per post vs tau"
+
+#: Overrides applied by the CLI's --full flag (paper-scale runs).
+FULL_PARAMS = {'sizes': (2, 5, 20), 'scale': 0.02, 'duration': 86_400.0}
+
+
+def run(
+    seed: int = 0,
+    sizes: tuple = (2, 5, 20),
+    lam: float = 300.0,
+    taus: tuple = (60.0, 150.0, 300.0, 600.0),
+    scale: float = 0.02,
+    duration: float = 86_400.0,
+    overlap: float = 1.3,
+) -> List[Dict[str, object]]:
+    """One row per (|L|, tau) with per-post microseconds per algorithm."""
+    rows: List[Dict[str, object]] = []
+    for num_labels in sizes:
+        instance = make_day_instance(
+            seed=seed,
+            num_labels=num_labels,
+            lam=lam,
+            scale=scale,
+            overlap=overlap,
+            duration=duration,
+        )
+        for tau in taus:
+            row: Dict[str, object] = {
+                "num_labels": num_labels,
+                "tau": tau,
+                "posts": len(instance),
+            }
+            for name, result in stream_sizes(instance, tau).items():
+                row[f"{name}_us_per_post"] = round(
+                    result.elapsed / max(1, len(instance)) * 1e6, 2
+                )
+            rows.append(row)
+    return rows

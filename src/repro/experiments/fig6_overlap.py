@@ -1,0 +1,75 @@
+"""Figure 6 — solution-size error and absolute size versus overlap rate.
+
+Paper setup: ``|L| = 3``, lambda = 5 s, 10-minute window; each point is a
+label set with its own post-overlap rate; the y-axis is the relative error
+against OPT (6a-6c) and the absolute solution size (6d).
+
+Expected shape (Section 7.2): GreedySC error below Scan/Scan+ except when
+the overlap rate approaches 1 (where Scan is per-label optimal, hence
+globally optimal); absolute sizes fall as overlap grows because one post
+covers pairs of several labels.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from ..evaluation.metrics import mean, relative_error
+from .common import (
+    batch_sizes,
+    make_effectiveness_instance,
+    optimum_size,
+)
+
+DESCRIPTION = (
+    "Fig 6: relative error & solution size vs overlap rate "
+    "(|L|=3, 10-min window)"
+)
+
+#: Overrides applied by the CLI's --full flag (paper-scale runs).
+FULL_PARAMS = {
+    "overlaps": (1.0, 1.1, 1.2, 1.3, 1.4, 1.5, 1.6, 1.8, 2.0),
+    "trials": 10,
+}
+
+
+def run(
+    seed: int = 0,
+    num_labels: int = 3,
+    lam: float = 30.0,
+    overlaps: tuple = (1.0, 1.2, 1.4, 1.6, 1.8, 2.0),
+    trials: int = 3,
+) -> List[Dict[str, object]]:
+    """One row per target overlap, averaged over ``trials`` label sets."""
+    rows: List[Dict[str, object]] = []
+    for overlap in overlaps:
+        errors: Dict[str, List[float]] = {}
+        sizes: Dict[str, List[float]] = {}
+        measured: List[float] = []
+        opt_sizes: List[float] = []
+        for trial in range(trials):
+            instance = make_effectiveness_instance(
+                seed=seed * 1000 + trial,
+                num_labels=num_labels,
+                lam=lam,
+                overlap=overlap,
+            )
+            opt = optimum_size(instance)
+            measured.append(instance.overlap_rate())
+            opt_sizes.append(opt)
+            for name, solution in batch_sizes(instance).items():
+                errors.setdefault(name, []).append(
+                    relative_error(solution.size, opt)
+                )
+                sizes.setdefault(name, []).append(solution.size)
+        row: Dict[str, object] = {
+            "overlap_target": overlap,
+            "overlap_measured": round(mean(measured), 3),
+            "opt_size": round(mean(opt_sizes), 1),
+        }
+        for name in sorted(errors):
+            row[f"{name}_err"] = round(mean(errors[name]), 4)
+        for name in sorted(sizes):
+            row[f"{name}_size"] = round(mean(sizes[name]), 1)
+        rows.append(row)
+    return rows

@@ -1,0 +1,58 @@
+"""Figure 7 — relative solution-size error versus lambda (``|L| = 2``).
+
+Paper setup: 10-minute window, lambda swept over seconds-scale values.
+Expected shape: every approximation algorithm's error grows with lambda,
+because larger windows admit more cover combinations and the problem gets
+harder for greedy/scan heuristics relative to the optimum.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from ..evaluation.metrics import mean, relative_error
+from .common import (
+    batch_sizes,
+    make_effectiveness_instance,
+    optimum_size,
+)
+
+DESCRIPTION = "Fig 7: relative error vs lambda (|L|=2, 10-min window)"
+
+#: Overrides applied by the CLI's --full flag (paper-scale runs).
+FULL_PARAMS = {'lams': (10.0, 15.0, 20.0, 30.0, 45.0, 60.0, 90.0, 120.0), 'trials': 10}
+
+
+def run(
+    seed: int = 0,
+    num_labels: int = 2,
+    lams: tuple = (10.0, 20.0, 30.0, 45.0, 60.0, 90.0),
+    overlap: float = 1.4,
+    trials: int = 3,
+) -> List[Dict[str, object]]:
+    """One row per lambda, averaged over ``trials`` label sets."""
+    rows: List[Dict[str, object]] = []
+    for lam in lams:
+        errors: Dict[str, List[float]] = {}
+        opt_sizes: List[float] = []
+        for trial in range(trials):
+            instance = make_effectiveness_instance(
+                seed=seed * 1000 + trial,
+                num_labels=num_labels,
+                lam=lam,
+                overlap=overlap,
+            )
+            opt = optimum_size(instance)
+            opt_sizes.append(opt)
+            for name, solution in batch_sizes(instance).items():
+                errors.setdefault(name, []).append(
+                    relative_error(solution.size, opt)
+                )
+        row: Dict[str, object] = {
+            "lam": lam,
+            "opt_size": round(mean(opt_sizes), 1),
+        }
+        for name in sorted(errors):
+            row[f"{name}_err"] = round(mean(errors[name]), 4)
+        rows.append(row)
+    return rows

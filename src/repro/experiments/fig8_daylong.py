@@ -1,0 +1,49 @@
+"""Figure 8 — absolute solution sizes on one day of tweets vs ``|L|``.
+
+Paper setup: the full 1-day dataset, lambda of 10 and 30 minutes, label
+set sizes 2-20.  Expected shape: Scan's size grows linearly in ``|L|``
+(it solves labels independently); GreedySC is smallest, and its advantage
+widens as ``|L|`` grows (more cross-label coverage to exploit).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from .common import batch_sizes, make_day_instance
+
+DESCRIPTION = "Fig 8: solution sizes on 1 day of posts vs |L|"
+
+#: Overrides applied by the CLI's --full flag (paper-scale runs).
+FULL_PARAMS = {'sizes': (2, 5, 10, 15, 20), 'scale': 0.02, 'duration': 86_400.0}
+
+
+def run(
+    seed: int = 0,
+    sizes: tuple = (2, 5, 10, 15, 20),
+    lam_minutes: tuple = (10.0, 30.0),
+    scale: float = 0.02,
+    duration: float = 86_400.0,
+    overlap: float = 1.3,
+) -> List[Dict[str, object]]:
+    """One row per (lambda, |L|) with each algorithm's solution size."""
+    rows: List[Dict[str, object]] = []
+    for lam_min in lam_minutes:
+        for num_labels in sizes:
+            instance = make_day_instance(
+                seed=seed,
+                num_labels=num_labels,
+                lam=lam_min * 60.0,
+                scale=scale,
+                overlap=overlap,
+                duration=duration,
+            )
+            row: Dict[str, object] = {
+                "lam_min": lam_min,
+                "num_labels": num_labels,
+                "posts": len(instance),
+            }
+            for name, solution in batch_sizes(instance).items():
+                row[f"{name}_size"] = solution.size
+            rows.append(row)
+    return rows

@@ -1,0 +1,62 @@
+"""Figure 9 — streaming relative error versus lambda, per fixed tau.
+
+Paper setup: ``|L| = 2``, 10-minute window, tau in {5, 10, 15} s; the
+optimum is the *offline* optimum over the same window (a streaming
+algorithm cannot beat it).  Expected shape: errors grow with lambda, and
+StreamGreedySC+ tracks slightly below StreamGreedySC.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from ..evaluation.metrics import mean, relative_error
+from .common import (
+    STREAM_ALGORITHMS,
+    make_effectiveness_instance,
+    optimum_size,
+    stream_sizes,
+)
+
+DESCRIPTION = "Fig 9: streaming relative error vs lambda (|L|=2)"
+
+#: Overrides applied by the CLI's --full flag (paper-scale runs).
+FULL_PARAMS = {'lams': (30.0, 45.0, 60.0, 90.0, 120.0, 150.0), 'trials': 10}
+
+
+def run(
+    seed: int = 0,
+    num_labels: int = 2,
+    taus: tuple = (30.0, 60.0, 90.0),
+    lams: tuple = (30.0, 60.0, 90.0, 120.0),
+    overlap: float = 1.4,
+    trials: int = 3,
+) -> List[Dict[str, object]]:
+    """One row per (tau, lambda), averaged over ``trials`` label sets."""
+    rows: List[Dict[str, object]] = []
+    for tau in taus:
+        for lam in lams:
+            errors: Dict[str, List[float]] = {}
+            opt_sizes: List[float] = []
+            for trial in range(trials):
+                instance = make_effectiveness_instance(
+                    seed=seed * 1000 + trial,
+                    num_labels=num_labels,
+                    lam=lam,
+                    overlap=overlap,
+                )
+                opt = optimum_size(instance)
+                opt_sizes.append(opt)
+                for name, result in stream_sizes(instance, tau).items():
+                    errors.setdefault(name, []).append(
+                        relative_error(result.size, opt)
+                    )
+            row: Dict[str, object] = {
+                "tau": tau,
+                "lam": lam,
+                "opt_size": round(mean(opt_sizes), 1),
+            }
+            for name in STREAM_ALGORITHMS:
+                row[f"{name}_err"] = round(mean(errors[name]), 4)
+            rows.append(row)
+    return rows

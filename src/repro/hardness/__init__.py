@@ -1,0 +1,50 @@
+"""NP-hardness machinery for MQDP (Section 3, Lemma 1).
+
+The paper proves MQDP NP-hard — even with at most two labels per post — by a
+polynomial reduction from CNF satisfiability.  This package makes the proof
+executable:
+
+* :mod:`~repro.hardness.cnf` — CNF formulas, evaluation, DIMACS I/O and
+  random formula generation;
+* :mod:`~repro.hardness.sat` — a DPLL satisfiability solver (unit
+  propagation + pure-literal elimination), the independent oracle the
+  reduction is validated against;
+* :mod:`~repro.hardness.reduction` — the Lemma 1 construction mapping a
+  formula to an MQDP instance and a cover budget ``n(2m+3)``, together with
+  the certificate translations in both directions (assignment -> cover,
+  cover -> assignment);
+* :mod:`~repro.hardness.sound` — a **sound** replacement reduction.
+
+Reproduction finding: Lemma 1's budget argument is incorrect as printed —
+covers cheaper than ``n(2m+3)`` exist for unsatisfiable formulas (see the
+counterexample pinned in ``tests/hardness/test_reduction.py``), because a
+post at unit spacing covers three rail slots, not two.  The forward
+direction (satisfiable => budget-sized cover) *does* hold and is tested;
+the sound module restores the equivalence via the paper's own
+"all posts at one timestamp = set cover" observation.
+"""
+
+from .cnf import CNFFormula, parse_dimacs, random_cnf, to_dimacs
+from .reduction import (
+    MQDPReduction,
+    assignment_to_cover,
+    cover_to_assignment,
+    reduce_cnf_to_mqdp,
+)
+from .sat import dpll_satisfiable
+from .sound import SoundReduction, reduce_cnf_sound, setcover_to_mqdp
+
+__all__ = [
+    "SoundReduction",
+    "reduce_cnf_sound",
+    "setcover_to_mqdp",
+    "CNFFormula",
+    "parse_dimacs",
+    "to_dimacs",
+    "random_cnf",
+    "dpll_satisfiable",
+    "MQDPReduction",
+    "reduce_cnf_to_mqdp",
+    "assignment_to_cover",
+    "cover_to_assignment",
+]

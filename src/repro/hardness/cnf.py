@@ -1,0 +1,143 @@
+"""CNF formulas: representation, evaluation, DIMACS I/O, random generation.
+
+Literals follow the DIMACS convention: variable ``i`` (1-based) appears as
+the integer ``i``, its negation as ``-i``.  A clause is a tuple of literals;
+a formula is a conjunction of clauses.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+from ..errors import ReductionError
+
+__all__ = ["CNFFormula", "parse_dimacs", "to_dimacs", "random_cnf"]
+
+
+@dataclass(frozen=True)
+class CNFFormula:
+    """An immutable CNF formula ``C_1 and ... and C_m``."""
+
+    num_vars: int
+    clauses: Tuple[Tuple[int, ...], ...]
+
+    def __post_init__(self) -> None:
+        for clause in self.clauses:
+            if not clause:
+                raise ReductionError("empty clause makes the formula trivial")
+            for literal in clause:
+                var = abs(literal)
+                if literal == 0 or var > self.num_vars:
+                    raise ReductionError(
+                        f"literal {literal} out of range for "
+                        f"{self.num_vars} variables"
+                    )
+
+    @property
+    def num_clauses(self) -> int:
+        return len(self.clauses)
+
+    def evaluate(self, assignment: Dict[int, bool]) -> bool:
+        """True when ``assignment`` (var -> bool) satisfies every clause."""
+        for clause in self.clauses:
+            satisfied = False
+            for literal in clause:
+                value = assignment.get(abs(literal))
+                if value is None:
+                    continue
+                if value == (literal > 0):
+                    satisfied = True
+                    break
+            if not satisfied:
+                return False
+        return True
+
+    def variables(self) -> List[int]:
+        """The variables that actually occur, sorted."""
+        present = {abs(literal) for clause in self.clauses
+                   for literal in clause}
+        return sorted(present)
+
+    @classmethod
+    def from_clauses(cls, clauses: Iterable[Sequence[int]],
+                     num_vars: int = None) -> "CNFFormula":
+        """Build a formula, inferring ``num_vars`` when omitted."""
+        tupled = tuple(tuple(clause) for clause in clauses)
+        if num_vars is None:
+            num_vars = max(
+                (abs(lit) for clause in tupled for lit in clause), default=0
+            )
+        return cls(num_vars=num_vars, clauses=tupled)
+
+
+def parse_dimacs(text: str) -> CNFFormula:
+    """Parse the standard DIMACS CNF format.
+
+    Comment lines (``c ...``) are skipped; the problem line
+    (``p cnf <vars> <clauses>``) is honoured; clauses are
+    zero-terminated integer sequences and may span lines.
+    """
+    num_vars = None
+    declared_clauses = None
+    clauses: List[Tuple[int, ...]] = []
+    current: List[int] = []
+    for line in text.splitlines():
+        line = line.strip()
+        if not line or line.startswith("c"):
+            continue
+        if line.startswith("p"):
+            parts = line.split()
+            if len(parts) != 4 or parts[1] != "cnf":
+                raise ReductionError(f"malformed problem line: {line!r}")
+            num_vars = int(parts[2])
+            declared_clauses = int(parts[3])
+            continue
+        for token in line.split():
+            literal = int(token)
+            if literal == 0:
+                if current:
+                    clauses.append(tuple(current))
+                    current = []
+            else:
+                current.append(literal)
+    if current:
+        clauses.append(tuple(current))
+    if num_vars is None:
+        raise ReductionError("missing 'p cnf' problem line")
+    if declared_clauses is not None and declared_clauses != len(clauses):
+        raise ReductionError(
+            f"problem line declares {declared_clauses} clauses, "
+            f"found {len(clauses)}"
+        )
+    return CNFFormula(num_vars=num_vars, clauses=tuple(clauses))
+
+
+def to_dimacs(formula: CNFFormula) -> str:
+    """Serialise a formula to DIMACS CNF."""
+    lines = [f"p cnf {formula.num_vars} {formula.num_clauses}"]
+    for clause in formula.clauses:
+        lines.append(" ".join(str(lit) for lit in clause) + " 0")
+    return "\n".join(lines) + "\n"
+
+
+def random_cnf(
+    rng: random.Random, num_vars: int, num_clauses: int,
+    clause_size: int = 3,
+) -> CNFFormula:
+    """A uniform random k-CNF formula (no tautological clauses).
+
+    At ratio ``m/n ~ 4.26`` random 3-CNF sits at the satisfiability phase
+    transition; tests use ratios on either side to exercise both outcomes.
+    """
+    if clause_size > num_vars:
+        raise ReductionError("clause size cannot exceed variable count")
+    clauses = []
+    for _ in range(num_clauses):
+        chosen = rng.sample(range(1, num_vars + 1), clause_size)
+        clause = tuple(
+            var if rng.random() < 0.5 else -var for var in chosen
+        )
+        clauses.append(clause)
+    return CNFFormula(num_vars=num_vars, clauses=tuple(clauses))

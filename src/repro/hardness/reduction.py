@@ -1,0 +1,199 @@
+"""The Lemma 1 reduction: CNF satisfiability -> MQDP.
+
+Given a CNF formula with ``n`` variables and ``m`` clauses, the construction
+builds an MQDP instance with ``lambda = 1``, labels
+``{u_i, v_i, w_i}_{i<=n} + {c_j}_{j<=m}`` (``v_i`` encodes the paper's
+``u-bar``), and the following posts for every variable ``x_i``:
+
+* anchors ``(1, {u_i, w_i})``, ``(1, {v_i, w_i})`` and the mirrored pair at
+  time ``2m + 3``;
+* fillers ``(2j, {u_i})``, ``(2j, {v_i})`` for ``j = 1..m+1``;
+* clause posts ``(2j+1, U_ij)`` and ``(2j+1, V_ij)`` for ``j = 1..m``,
+  where ``U_ij`` gains label ``c_j`` when ``x_i`` occurs positively in
+  clause ``C_j`` and ``V_ij`` gains it when ``x_i`` occurs negated.
+
+Lemma 1 claims the formula is satisfiable **iff** the instance admits a
+1-cover of at most ``n(2m + 3)`` posts.  **Reproduction finding: only the
+forward direction holds.**  The proof's counting argument assumes covering
+a rail of ``2m + 3`` unit-spaced same-label posts needs at least ``m + 1``
+selections, achieved only by the even fillers; in fact a selection covers
+*three* consecutive slots, so ``ceil((2m+3)/3)`` suffice and phase-mixed
+covers beat the budget — e.g. the unsatisfiable ``x1 and not-x1 and
+not-x1`` (``n=1, m=3``) admits an 8-post cover against the budget of 9.
+The construction is kept faithfully for study (its forward certificate
+:func:`assignment_to_cover` is correct and tested); use
+:mod:`repro.hardness.sound` for a reduction whose equivalence actually
+holds.
+
+Every post carries at most two labels — the stronger form of hardness the
+paper emphasises, since realistic microblogging posts match few queries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Tuple
+
+from ..core.instance import Instance
+from ..core.post import Post
+from ..errors import ReductionError
+from .cnf import CNFFormula
+
+__all__ = [
+    "MQDPReduction",
+    "reduce_cnf_to_mqdp",
+    "assignment_to_cover",
+    "cover_to_assignment",
+]
+
+# Post roles, keyed structurally so certificates can be translated.
+# ("anchor", i, side, t) / ("filler", i, side, j) / ("clause", i, side, j)
+Role = Tuple
+
+
+def _u(i: int) -> str:
+    return f"u{i}"
+
+
+def _v(i: int) -> str:
+    return f"v{i}"
+
+
+def _w(i: int) -> str:
+    return f"w{i}"
+
+
+def _c(j: int) -> str:
+    return f"c{j}"
+
+
+@dataclass(frozen=True)
+class MQDPReduction:
+    """The reduction output: instance, budget, and the role maps."""
+
+    formula: CNFFormula
+    instance: Instance
+    budget: int
+    role_to_uid: Dict[Role, int]
+    uid_to_role: Dict[int, Role]
+
+    def post_for(self, role: Role) -> Post:
+        """The instance post playing a structural role."""
+        return self.instance.post(self.role_to_uid[role])
+
+
+def reduce_cnf_to_mqdp(formula: CNFFormula) -> MQDPReduction:
+    """Build the Lemma 1 instance for ``formula`` (lambda = 1)."""
+    n = formula.num_vars
+    m = formula.num_clauses
+    if n == 0:
+        raise ReductionError("formula has no variables")
+    top = 2 * m + 3
+
+    positive: Dict[Tuple[int, int], bool] = {}
+    negative: Dict[Tuple[int, int], bool] = {}
+    for j, clause in enumerate(formula.clauses, start=1):
+        for literal in clause:
+            if literal > 0:
+                positive[(literal, j)] = True
+            else:
+                negative[(-literal, j)] = True
+
+    posts: List[Post] = []
+    role_to_uid: Dict[Role, int] = {}
+
+    def add(role: Role, time: int, labels: Iterable[str]) -> None:
+        uid = len(posts)
+        role_to_uid[role] = uid
+        posts.append(Post(uid=uid, value=float(time),
+                          labels=frozenset(labels)))
+
+    for i in range(1, n + 1):
+        add(("anchor", i, "u", 1), 1, {_u(i), _w(i)})
+        add(("anchor", i, "v", 1), 1, {_v(i), _w(i)})
+        add(("anchor", i, "u", top), top, {_u(i), _w(i)})
+        add(("anchor", i, "v", top), top, {_v(i), _w(i)})
+        for j in range(1, m + 2):
+            add(("filler", i, "u", j), 2 * j, {_u(i)})
+            add(("filler", i, "v", j), 2 * j, {_v(i)})
+        for j in range(1, m + 1):
+            u_labels = {_u(i), _c(j)} if (i, j) in positive else {_u(i)}
+            v_labels = {_v(i), _c(j)} if (i, j) in negative else {_v(i)}
+            add(("clause", i, "u", j), 2 * j + 1, u_labels)
+            add(("clause", i, "v", j), 2 * j + 1, v_labels)
+
+    labels = (
+        {_u(i) for i in range(1, n + 1)}
+        | {_v(i) for i in range(1, n + 1)}
+        | {_w(i) for i in range(1, n + 1)}
+        | {_c(j) for j in range(1, m + 1)}
+    )
+    instance = Instance(posts, lam=1.0, labels=labels)
+    uid_to_role = {uid: role for role, uid in role_to_uid.items()}
+    return MQDPReduction(
+        formula=formula,
+        instance=instance,
+        budget=n * (2 * m + 3),
+        role_to_uid=role_to_uid,
+        uid_to_role=uid_to_role,
+    )
+
+
+def assignment_to_cover(
+    reduction: MQDPReduction, assignment: Dict[int, bool]
+) -> List[Post]:
+    """The forward certificate: a satisfying assignment yields a cover of
+    exactly ``n(2m+3)`` posts (the ``=>`` direction of Lemma 1)."""
+    formula = reduction.formula
+    if not formula.evaluate(assignment):
+        raise ReductionError("assignment does not satisfy the formula")
+    n, m = formula.num_vars, formula.num_clauses
+    top = 2 * m + 3
+    cover: List[Post] = []
+    for i in range(1, n + 1):
+        # `side` carries the chosen literal's clause posts and anchors;
+        # `other` supplies the even fillers that cover the opposite rail.
+        side, other = ("u", "v") if assignment.get(i, False) else ("v", "u")
+        cover.append(reduction.post_for(("anchor", i, side, 1)))
+        cover.append(reduction.post_for(("anchor", i, side, top)))
+        for j in range(1, m + 1):
+            cover.append(reduction.post_for(("clause", i, side, j)))
+        for j in range(1, m + 2):
+            cover.append(reduction.post_for(("filler", i, other, j)))
+    return cover
+
+
+def cover_to_assignment(
+    reduction: MQDPReduction, cover: Iterable[Post]
+) -> Dict[int, bool]:
+    """The backward certificate: decode a budget-respecting cover.
+
+    Follows the ``<=`` direction of the Lemma 1 proof: within the budget
+    each variable's gadget admits only two shapes, distinguished by which
+    time-1 anchor was selected.
+    """
+    uids = {post.uid for post in cover}
+    formula = reduction.formula
+    assignment: Dict[int, bool] = {}
+    for i in range(1, formula.num_vars + 1):
+        u_anchor = reduction.role_to_uid[("anchor", i, "u", 1)]
+        v_anchor = reduction.role_to_uid[("anchor", i, "v", 1)]
+        has_u = u_anchor in uids
+        has_v = v_anchor in uids
+        if has_u == has_v:
+            # Non-canonical covers (both or neither anchor): fall back to
+            # counting which rail's clause posts dominate.
+            u_count = sum(
+                1
+                for j in range(1, formula.num_clauses + 1)
+                if reduction.role_to_uid[("clause", i, "u", j)] in uids
+            )
+            v_count = sum(
+                1
+                for j in range(1, formula.num_clauses + 1)
+                if reduction.role_to_uid[("clause", i, "v", j)] in uids
+            )
+            assignment[i] = u_count >= v_count
+        else:
+            assignment[i] = has_u
+    return assignment

@@ -1,0 +1,90 @@
+"""A DPLL satisfiability solver.
+
+Serves as the independent oracle for validating the CNF-to-MQDP reduction:
+the reduction's verdict (via an exact MQDP solver) must agree with DPLL on
+every formula.  Plain recursive DPLL with unit propagation, pure-literal
+elimination, and most-frequent-variable branching — entirely adequate for
+the formula sizes the exact MQDP solvers can keep up with.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Dict, List, Optional, Tuple
+
+from .cnf import CNFFormula
+
+__all__ = ["dpll_satisfiable"]
+
+Clause = Tuple[int, ...]
+
+
+def _simplify(clauses: List[Clause], literal: int) -> Optional[List[Clause]]:
+    """Assign ``literal`` true; return simplified clauses or None on conflict."""
+    result: List[Clause] = []
+    for clause in clauses:
+        if literal in clause:
+            continue  # clause satisfied
+        if -literal in clause:
+            reduced = tuple(lit for lit in clause if lit != -literal)
+            if not reduced:
+                return None  # empty clause: conflict
+            result.append(reduced)
+        else:
+            result.append(clause)
+    return result
+
+
+def _dpll(clauses: List[Clause],
+          assignment: Dict[int, bool]) -> Optional[Dict[int, bool]]:
+    # Unit propagation.
+    while True:
+        unit = next((c[0] for c in clauses if len(c) == 1), None)
+        if unit is None:
+            break
+        assignment[abs(unit)] = unit > 0
+        clauses = _simplify(clauses, unit)
+        if clauses is None:
+            return None
+
+    # Pure-literal elimination.
+    literals = {lit for clause in clauses for lit in clause}
+    pures = [lit for lit in literals if -lit not in literals]
+    for pure in pures:
+        if abs(pure) not in assignment:
+            assignment[abs(pure)] = pure > 0
+            clauses = _simplify(clauses, pure)
+            if clauses is None:  # pragma: no cover - pure cannot conflict
+                return None
+
+    if not clauses:
+        return assignment
+
+    counts = Counter(abs(lit) for clause in clauses for lit in clause)
+    variable = counts.most_common(1)[0][0]
+    for value in (True, False):
+        literal = variable if value else -variable
+        simplified = _simplify(clauses, literal)
+        if simplified is None:
+            continue
+        attempt = dict(assignment)
+        attempt[variable] = value
+        found = _dpll(simplified, attempt)
+        if found is not None:
+            return found
+    return None
+
+
+def dpll_satisfiable(formula: CNFFormula) -> Optional[Dict[int, bool]]:
+    """Return a satisfying assignment, or None when unsatisfiable.
+
+    Variables absent from the returned assignment are unconstrained; the
+    caller may fix them arbitrarily.  The reduction tests complete them
+    with False.
+    """
+    result = _dpll(list(formula.clauses), {})
+    if result is None:
+        return None
+    for var in range(1, formula.num_vars + 1):
+        result.setdefault(var, False)
+    return result

@@ -1,0 +1,136 @@
+"""A sound CNF -> MQDP reduction (replacement for the flawed Lemma 1 gadget).
+
+Reproduction finding
+--------------------
+The paper's Lemma 1 construction does **not** establish NP-hardness as
+printed.  Its counting argument claims that covering a label rail of
+``2m + 3`` posts at unit-spaced times with ``lambda = 1`` requires at least
+``m + 1`` posts, the minimum being achieved only by the even-time fillers.
+Both claims are false: a post covers *three* consecutive slots (itself and
+one neighbour on each side), so ``ceil((2m+3)/3)`` posts suffice and the
+minimising covers are far from unique.  Concretely, for the unsatisfiable
+formula ``x1 and not-x1 and not-x1`` (``n = 1``, ``m = 3``) the instance
+admits an 8-post cover — under the budget ``n(2m+3) = 9`` — so the decision
+procedure would wrongly report "satisfiable".
+``tests/hardness/test_reduction.py`` pins this counterexample.
+
+The repair implemented here uses the paper's *own* Section 3 observation:
+when every post carries the same timestamp, MQDP **is** set cover.  We chain
+the textbook reduction
+
+    CNF -SAT  ->  SET COVER  ->  single-timestamp MQDP
+
+* elements: one per variable (``x_i``) and one per clause (``C_j``);
+* sets: one per literal — the positive literal's set is
+  ``{x_i} + {C_j : x_i in C_j}``, the negative literal's mirrors it;
+* a cover of at most ``n`` sets exists iff the formula is satisfiable
+  (one literal per variable must be chosen, and every clause element forces
+  a true literal).
+
+Unlike Lemma 1's gadget this does not bound the labels per post (a post
+carries one label per occurrence of its literal, plus one), but it is
+correct, certificate-preserving in both directions, and NP-hardness of
+MQDP follows.  Both reductions ship: the faithful gadget in
+:mod:`repro.hardness.reduction` (still useful for its forward direction and
+as a documented negative result) and this sound one.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List
+
+from ..core.instance import Instance
+from ..core.post import Post
+from ..errors import ReductionError
+from .cnf import CNFFormula
+
+__all__ = ["SoundReduction", "reduce_cnf_sound", "setcover_to_mqdp"]
+
+
+@dataclass(frozen=True)
+class SoundReduction:
+    """Output of the sound reduction.
+
+    ``uid_to_literal`` maps each post to the DIMACS literal whose set it
+    represents; the formula is satisfiable iff ``instance`` has a cover of
+    at most ``budget`` posts.
+    """
+
+    formula: CNFFormula
+    instance: Instance
+    budget: int
+    uid_to_literal: Dict[int, int]
+
+    def decode(self, cover: Iterable[Post]) -> Dict[int, bool]:
+        """Translate a budget-respecting cover into a satisfying assignment.
+
+        For each variable, the selected literal-post fixes its value; a
+        variable with no selected literal (possible when the cover is below
+        budget) is unconstrained and defaults to False.
+        """
+        assignment = {
+            var: False for var in range(1, self.formula.num_vars + 1)
+        }
+        for post in cover:
+            literal = self.uid_to_literal[post.uid]
+            assignment[abs(literal)] = literal > 0
+        return assignment
+
+    def encode(self, assignment: Dict[int, bool]) -> List[Post]:
+        """Translate a satisfying assignment into a budget-sized cover."""
+        if not self.formula.evaluate(assignment):
+            raise ReductionError("assignment does not satisfy the formula")
+        wanted = {
+            (var if assignment.get(var, False) else -var)
+            for var in range(1, self.formula.num_vars + 1)
+        }
+        return [
+            self.instance.post(uid)
+            for uid, literal in self.uid_to_literal.items()
+            if literal in wanted
+        ]
+
+
+def setcover_to_mqdp(
+    family: Iterable[Iterable[str]], lam: float = 1.0
+) -> Instance:
+    """Embed a set-cover family as a single-timestamp MQDP instance.
+
+    Every set becomes a post at time 0 labelled with its elements; since all
+    posts coincide, a subset of posts lambda-covers the instance exactly
+    when the corresponding sets cover the union — the Section 3 observation.
+    """
+    posts = [
+        Post(uid=idx, value=0.0, labels=frozenset(s))
+        for idx, s in enumerate(family)
+    ]
+    if any(not post.labels for post in posts):
+        raise ReductionError("empty set in the family")
+    return Instance(posts, lam=lam)
+
+
+def reduce_cnf_sound(formula: CNFFormula) -> SoundReduction:
+    """CNF -> set cover -> MQDP, satisfiable iff cover of size <= n exists."""
+    n = formula.num_vars
+    if n == 0:
+        raise ReductionError("formula has no variables")
+    literals: List[int] = []
+    family: List[frozenset] = []
+    for var in range(1, n + 1):
+        for sign in (1, -1):
+            literal = sign * var
+            elements = {f"x{var}"}
+            for j, clause in enumerate(formula.clauses, start=1):
+                if literal in clause:
+                    elements.add(f"C{j}")
+            literals.append(literal)
+            family.append(frozenset(elements))
+    instance = setcover_to_mqdp(family)
+    uid_to_literal = {uid: literals[uid] for uid in range(len(literals))}
+    return SoundReduction(
+        formula=formula,
+        instance=instance,
+        budget=n,
+        uid_to_literal=uid_to_literal,
+    )

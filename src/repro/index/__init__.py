@@ -1,0 +1,35 @@
+"""Indexing and matching substrate.
+
+The paper's system architecture (Figure 1) feeds the diversification
+algorithms from either an inverted index over microblogging posts (built
+with Apache Lucene in the paper) or a live matching module on the stream.
+This package is our pure-Python stand-in:
+
+* :mod:`~repro.index.tokenizer` — lower-casing, punctuation-stripping,
+  hashtag-aware tokenisation with a stopword list;
+* :mod:`~repro.index.inverted_index` — term -> time-sorted posting lists
+  with boolean and time-range search;
+* :mod:`~repro.index.query` — topic queries (labels backed by keyword
+  sets) and the post/label matching module;
+* :mod:`~repro.index.simhash` — SimHash near-duplicate detection [17],
+  the preprocessing step the paper applies before diversification.
+"""
+
+from .inverted_index import Document, InvertedIndex
+from .query import LabelMatcher, TopicQuery
+from .scoring import BM25Scorer
+from .simhash import SimHashIndex, hamming_distance, simhash
+from .tokenizer import STOPWORDS, tokenize
+
+__all__ = [
+    "tokenize",
+    "STOPWORDS",
+    "Document",
+    "InvertedIndex",
+    "TopicQuery",
+    "LabelMatcher",
+    "BM25Scorer",
+    "simhash",
+    "hamming_distance",
+    "SimHashIndex",
+]

@@ -1,0 +1,130 @@
+"""An in-memory inverted index over timestamped documents.
+
+Stands in for the Apache Lucene index of the paper's architecture
+(Section 7.1 — "The tweets inverted index ... was implemented using Apache
+Lucene"; indexing itself is explicitly out of the paper's scope).  It
+supports exactly what the MQDP pipeline needs:
+
+* incremental document addition (documents may arrive out of order);
+* per-term postings sorted by timestamp;
+* boolean OR / AND search restricted to a time range — the "issue a search
+  query against an inverted index" input path of Figure 1.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Set
+
+from .tokenizer import tokenize
+
+__all__ = ["Document", "InvertedIndex"]
+
+
+@dataclass(frozen=True)
+class Document:
+    """A stored document: id, timestamp, raw text."""
+
+    doc_id: int
+    timestamp: float
+    text: str
+
+
+class _Postings:
+    """A term's postings: parallel (timestamp, doc_id) arrays kept sorted."""
+
+    __slots__ = ("timestamps", "doc_ids")
+
+    def __init__(self) -> None:
+        self.timestamps: List[float] = []
+        self.doc_ids: List[int] = []
+
+    def add(self, timestamp: float, doc_id: int) -> None:
+        # Stable insertion point keeps equal-timestamp docs in add order.
+        idx = bisect.bisect_right(self.timestamps, timestamp)
+        self.timestamps.insert(idx, timestamp)
+        self.doc_ids.insert(idx, doc_id)
+
+    def in_range(self, start: float, end: float) -> List[int]:
+        lo = bisect.bisect_left(self.timestamps, start)
+        hi = bisect.bisect_right(self.timestamps, end)
+        return self.doc_ids[lo:hi]
+
+    def __len__(self) -> int:
+        return len(self.doc_ids)
+
+
+class InvertedIndex:
+    """Term -> time-sorted postings, with range-restricted boolean search."""
+
+    def __init__(self) -> None:
+        self._postings: Dict[str, _Postings] = {}
+        self._documents: Dict[int, Document] = {}
+
+    def __len__(self) -> int:
+        return len(self._documents)
+
+    def __contains__(self, doc_id: int) -> bool:
+        return doc_id in self._documents
+
+    def add(self, doc_id: int, timestamp: float, text: str) -> Document:
+        """Index one document; doc ids must be unique."""
+        if doc_id in self._documents:
+            raise ValueError(f"duplicate document id {doc_id}")
+        document = Document(doc_id=doc_id, timestamp=timestamp, text=text)
+        self._documents[doc_id] = document
+        for term in set(tokenize(text)):
+            postings = self._postings.get(term)
+            if postings is None:
+                postings = self._postings[term] = _Postings()
+            postings.add(timestamp, doc_id)
+        return document
+
+    def document(self, doc_id: int) -> Document:
+        """Fetch a stored document by id."""
+        return self._documents[doc_id]
+
+    def vocabulary_size(self) -> int:
+        """Number of distinct indexed terms."""
+        return len(self._postings)
+
+    def document_frequency(self, term: str) -> int:
+        """Number of documents containing ``term``."""
+        postings = self._postings.get(term.lower())
+        return len(postings) if postings is not None else 0
+
+    def search(
+        self,
+        keywords: Iterable[str],
+        start: float = float("-inf"),
+        end: float = float("inf"),
+        mode: str = "or",
+    ) -> List[Document]:
+        """Boolean search restricted to ``[start, end]``.
+
+        ``mode="or"`` returns documents containing *any* keyword — the
+        paper's topic-matching semantics; ``mode="and"`` requires all.
+        Results are sorted by (timestamp, doc_id).
+        """
+        keyword_list = [k.lower() for k in keywords]
+        if mode not in ("or", "and"):
+            raise ValueError(f"unknown mode {mode!r}")
+        hit_sets: List[Set[int]] = []
+        for keyword in keyword_list:
+            postings = self._postings.get(keyword)
+            hits = set(postings.in_range(start, end)) if postings else set()
+            hit_sets.append(hits)
+        if not hit_sets:
+            return []
+        if mode == "or":
+            merged: Set[int] = set()
+            for hits in hit_sets:
+                merged |= hits
+        else:
+            merged = set(hit_sets[0])
+            for hits in hit_sets[1:]:
+                merged &= hits
+        documents = [self._documents[doc_id] for doc_id in merged]
+        documents.sort(key=lambda d: (d.timestamp, d.doc_id))
+        return documents

@@ -1,0 +1,136 @@
+"""BM25 ranked retrieval over the inverted index.
+
+The paper's architecture issues keyword queries against a Lucene index;
+Lucene ranks.  Boolean matching is all MQDP strictly needs, but a
+realistic deployment shows users the *top* posts too (e.g. to pick the
+display representative among near-ties), so the substrate carries the
+standard Okapi BM25 scorer:
+
+    score(q, d) = sum_t idf(t) * tf(t,d) * (k1 + 1)
+                           / (tf(t,d) + k1 * (1 - b + b * |d| / avgdl))
+
+with the non-negative idf variant ``log(1 + (N - df + 0.5)/(df + 0.5))``.
+The scorer wraps an existing :class:`~repro.index.inverted_index
+.InvertedIndex` and lazily caches term frequencies and document lengths.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter
+from typing import Dict, Iterable, List, Tuple
+
+from .inverted_index import Document, InvertedIndex
+from .tokenizer import tokenize
+
+__all__ = ["BM25Scorer"]
+
+
+class BM25Scorer:
+    """Okapi BM25 over an :class:`InvertedIndex`.
+
+    Parameters
+    ----------
+    index:
+        The index to score against.  Documents added to the index after
+        the scorer's first use are picked up lazily (statistics refresh
+        when the index size changes).
+    k1, b:
+        The usual BM25 knobs: term-frequency saturation and length
+        normalisation.  Defaults are the standard 1.2 / 0.75.
+    """
+
+    def __init__(self, index: InvertedIndex, k1: float = 1.2,
+                 b: float = 0.75):
+        if k1 < 0:
+            raise ValueError(f"k1 must be >= 0, got {k1}")
+        if not 0.0 <= b <= 1.0:
+            raise ValueError(f"b must be in [0, 1], got {b}")
+        self.index = index
+        self.k1 = float(k1)
+        self.b = float(b)
+        self._tf: Dict[int, Counter] = {}
+        self._lengths: Dict[int, int] = {}
+        self._indexed_size = -1
+        self._avgdl = 0.0
+
+    # -- statistics -------------------------------------------------------------
+
+    def _refresh(self) -> None:
+        if self._indexed_size == len(self.index):
+            return
+        # A document may have been added since the last refresh: (re)build
+        # the per-document stats we have not seen yet.
+        for doc_id in self._missing_doc_ids():
+            document = self.index.document(doc_id)
+            tokens = tokenize(document.text)
+            self._tf[doc_id] = Counter(tokens)
+            self._lengths[doc_id] = len(tokens)
+        total = sum(self._lengths.values())
+        self._avgdl = total / len(self._lengths) if self._lengths else 0.0
+        self._indexed_size = len(self.index)
+
+    def _missing_doc_ids(self) -> List[int]:
+        # Same-package access to the document store: the scorer is part of
+        # the index subsystem and only needs id enumeration.
+        return [
+            doc_id
+            for doc_id in self.index._documents  # noqa: SLF001
+            if doc_id not in self._tf
+        ]
+
+    def idf(self, term: str) -> float:
+        """Non-negative BM25 idf of a term."""
+        self._refresh()
+        n = len(self.index)
+        df = self.index.document_frequency(term)
+        return math.log(1.0 + (n - df + 0.5) / (df + 0.5))
+
+    # -- scoring ---------------------------------------------------------------
+
+    def score(self, query: Iterable[str], doc_id: int) -> float:
+        """BM25 score of one document for a bag of query terms."""
+        self._refresh()
+        tf = self._tf.get(doc_id)
+        if tf is None:
+            raise KeyError(f"unknown document id {doc_id}")
+        length = self._lengths[doc_id]
+        norm = 1.0 - self.b
+        if self._avgdl > 0:
+            norm = 1.0 - self.b + self.b * (length / self._avgdl)
+        total = 0.0
+        for term in set(t.lower() for t in query):
+            frequency = tf.get(term, 0)
+            if frequency == 0:
+                continue
+            total += (
+                self.idf(term)
+                * frequency * (self.k1 + 1.0)
+                / (frequency + self.k1 * norm)
+            )
+        return total
+
+    def search(
+        self,
+        query: Iterable[str],
+        k: int = 10,
+        start: float = float("-inf"),
+        end: float = float("inf"),
+    ) -> List[Tuple[Document, float]]:
+        """Top-``k`` documents for the query within a time range.
+
+        Returns ``(document, score)`` pairs, best first; ties break by
+        (timestamp, doc id) so results are deterministic.
+        """
+        self._refresh()
+        terms = [t.lower() for t in query]
+        candidates = self.index.search(terms, start=start, end=end,
+                                       mode="or")
+        scored = [
+            (document, self.score(terms, document.doc_id))
+            for document in candidates
+        ]
+        scored.sort(
+            key=lambda pair: (-pair[1], pair[0].timestamp, pair[0].doc_id)
+        )
+        return scored[:k]

@@ -1,0 +1,149 @@
+"""SimHash near-duplicate detection (Manku, Jain, Das Sarma — [17]).
+
+The paper removes near-duplicate posts before diversification ("we
+eliminate near-duplicate posts using existing duplicate detection methods
+like SimHash").  This module implements the full pipeline:
+
+* :func:`simhash` — the 64-bit similarity-preserving fingerprint over
+  token features;
+* :func:`hamming_distance` — bit distance between fingerprints;
+* :class:`SimHashIndex` — banded lookup: fingerprints are split into
+  ``bands`` equal slices; candidates share at least one identical slice
+  (guaranteed to catch every pair within ``bands - 1`` differing bits),
+  then candidates are confirmed with an exact Hamming check.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from .tokenizer import tokenize
+
+__all__ = ["simhash", "hamming_distance", "SimHashIndex"]
+
+_BITS = 64
+_MASK = (1 << _BITS) - 1
+
+
+def _feature_hash(token: str) -> int:
+    """A stable 64-bit hash (Python's builtin hash is salted per process)."""
+    digest = hashlib.blake2b(token.encode("utf-8"), digest_size=8).digest()
+    return int.from_bytes(digest, "big")
+
+
+def simhash(text: str, weights: Optional[Dict[str, float]] = None) -> int:
+    """Compute the 64-bit SimHash fingerprint of ``text``.
+
+    Each token contributes its (optionally weighted) hash bits to a signed
+    accumulator per bit position; the fingerprint's bit is 1 where the
+    accumulator is positive.  Stopwords are kept — duplicates share their
+    function words too, and dropping them makes short posts collide.
+    """
+    accumulator = [0.0] * _BITS
+    tokens = tokenize(text, keep_stopwords=True)
+    for token in tokens:
+        weight = weights.get(token, 1.0) if weights else 1.0
+        hashed = _feature_hash(token)
+        for bit in range(_BITS):
+            if hashed & (1 << bit):
+                accumulator[bit] += weight
+            else:
+                accumulator[bit] -= weight
+    fingerprint = 0
+    for bit in range(_BITS):
+        if accumulator[bit] > 0:
+            fingerprint |= 1 << bit
+    return fingerprint
+
+
+def hamming_distance(a: int, b: int) -> int:
+    """Number of differing bits between two fingerprints."""
+    return bin((a ^ b) & _MASK).count("1")
+
+
+class SimHashIndex:
+    """Banded SimHash lookup for streaming near-duplicate elimination.
+
+    Parameters
+    ----------
+    max_distance:
+        Two fingerprints within this Hamming distance are duplicates.
+    bands:
+        Number of fingerprint slices used for candidate lookup.  With
+        ``bands = max_distance + 1`` every true duplicate pair shares at
+        least one identical band (pigeonhole), so recall is exact.
+    """
+
+    def __init__(self, max_distance: int = 3, bands: Optional[int] = None):
+        if not 0 <= max_distance < _BITS:
+            raise ValueError(f"max_distance out of range: {max_distance}")
+        self.max_distance = max_distance
+        self.bands = bands if bands is not None else max_distance + 1
+        if self.bands < 1 or self.bands > _BITS:
+            raise ValueError(f"bands out of range: {self.bands}")
+        self._band_bits = _BITS // self.bands
+        self._tables: List[Dict[int, List[int]]] = [
+            {} for _ in range(self.bands)
+        ]
+        self._fingerprints: Dict[int, int] = {}
+
+    def __len__(self) -> int:
+        return len(self._fingerprints)
+
+    def _band_keys(self, fingerprint: int) -> List[int]:
+        keys = []
+        for band in range(self.bands):
+            shift = band * self._band_bits
+            width = (
+                _BITS - shift
+                if band == self.bands - 1
+                else self._band_bits
+            )
+            keys.append((fingerprint >> shift) & ((1 << width) - 1))
+        return keys
+
+    def query(self, fingerprint: int) -> List[int]:
+        """Item ids whose fingerprints are within ``max_distance``."""
+        seen: Set[int] = set()
+        matches: List[int] = []
+        for band, key in enumerate(self._band_keys(fingerprint)):
+            for item_id in self._tables[band].get(key, ()):
+                if item_id in seen:
+                    continue
+                seen.add(item_id)
+                if hamming_distance(
+                    fingerprint, self._fingerprints[item_id]
+                ) <= self.max_distance:
+                    matches.append(item_id)
+        return matches
+
+    def add(self, item_id: int, fingerprint: int) -> None:
+        """Register a fingerprint under ``item_id``."""
+        if item_id in self._fingerprints:
+            raise ValueError(f"duplicate item id {item_id}")
+        self._fingerprints[item_id] = fingerprint
+        for band, key in enumerate(self._band_keys(fingerprint)):
+            self._tables[band].setdefault(key, []).append(item_id)
+
+    def deduplicate(
+        self, items: Iterable[Tuple[int, str]]
+    ) -> Tuple[List[int], List[Tuple[int, int]]]:
+        """Stream ``(item_id, text)`` pairs; return survivors and drops.
+
+        Returns ``(kept_ids, dropped)`` where ``dropped`` holds
+        ``(duplicate_id, first_seen_id)`` pairs.  The first occurrence of a
+        near-duplicate cluster always survives, matching the paper's
+        pre-filtering step.
+        """
+        kept: List[int] = []
+        dropped: List[Tuple[int, int]] = []
+        for item_id, text in items:
+            fingerprint = simhash(text)
+            matches = self.query(fingerprint)
+            if matches:
+                dropped.append((item_id, matches[0]))
+                continue
+            self.add(item_id, fingerprint)
+            kept.append(item_id)
+        return kept, dropped

@@ -1,0 +1,51 @@
+"""Tokenisation for microblogging text.
+
+Deliberately simple — the paper's matching rule is "the post contains at
+least one keyword of the topic", so all the tokenizer must guarantee is a
+stable, lower-cased vocabulary.  Hashtags keep their word ('#nba' matches
+keyword 'nba'), @-mentions are preserved as user tokens, URLs are dropped.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import FrozenSet, List
+
+__all__ = ["tokenize", "STOPWORDS"]
+
+# A compact English stopword list: function words that would otherwise make
+# every post match every topic through incidental keyword overlap.
+STOPWORDS: FrozenSet[str] = frozenset(
+    """
+    a an and are as at be but by for from has have he her his i in is it its
+    me my of on or our she so that the their them they this to was we were
+    what when which who will with you your not no if then than too very can
+    just do does did done am been being rt via
+    """.split()
+)
+
+_URL = re.compile(r"https?://\S+|www\.\S+")
+_TOKEN = re.compile(r"[#@]?[a-z0-9']+")
+
+
+def tokenize(text: str, keep_stopwords: bool = False) -> List[str]:
+    """Split text into normalised tokens.
+
+    * lower-cases and removes URLs;
+    * ``#hashtag`` yields ``hashtag`` (hashtags are just topic keywords in
+      the paper's examples), ``@user`` stays distinct as ``@user``;
+    * stopwords are dropped unless ``keep_stopwords`` is set (SimHash keeps
+      them: near-duplicate detection benefits from full shingles).
+    """
+    text = _URL.sub(" ", text.lower())
+    tokens: List[str] = []
+    for match in _TOKEN.finditer(text):
+        token = match.group()
+        if token.startswith("#"):
+            token = token[1:]
+        if not token:
+            continue
+        if not keep_stopwords and token in STOPWORDS:
+            continue
+        tokens.append(token)
+    return tokens

@@ -1,0 +1,35 @@
+"""Multi-dimensional diversification — the paper's Section 9 future work.
+
+The conclusions sketch extending MQDP "to the spatiotemporal space, where
+the selected posts need to cover both the time and geospatial dimension".
+This package implements that generalisation: a post carries a *vector* of
+diversity values (e.g. ``(timestamp, longitude)``), the threshold becomes a
+per-dimension radius vector, and ``P_i`` box-covers ``a in P_j`` when they
+share the label and differ by at most the radius in *every* dimension.
+
+With one dimension the definitions collapse to the paper's MQDP exactly
+(tested), so the solvers here are strict generalisations:
+
+* :func:`~repro.multidim.solvers.greedy_box` — GreedySC lifted to boxes;
+* :func:`~repro.multidim.solvers.sweep_box` — the Scan idea lifted to a
+  primary-dimension sweep (optimal per label in 1-D; a well-behaved
+  heuristic beyond, since interval-covering optimality does not survive
+  extra dimensions);
+* :func:`~repro.multidim.solvers.exact_box` — exact branch and bound, the
+  ground truth for the extension's benchmark.
+"""
+
+from .model import BoxCoverage, MultiInstance, MultiPost
+from .solvers import exact_box, greedy_box, sweep_box
+from .streaming import InstantBoxCover, StreamGreedyBox
+
+__all__ = [
+    "MultiPost",
+    "MultiInstance",
+    "BoxCoverage",
+    "greedy_box",
+    "sweep_box",
+    "exact_box",
+    "InstantBoxCover",
+    "StreamGreedyBox",
+]

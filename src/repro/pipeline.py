@@ -1,0 +1,218 @@
+"""The high-level facade: documents in, diversified digest out.
+
+The examples wire tokenizer -> SimHash -> matcher -> instance -> solver by
+hand to show the moving parts; applications should not have to.
+:class:`DiversificationPipeline` packages the full Figure 1 flow behind
+two calls:
+
+* :meth:`~DiversificationPipeline.digest` — the batch path: a document
+  collection becomes a :class:`DigestResult` (the selected posts, the
+  instance they cover, and what the dedup stage dropped);
+* :meth:`~DiversificationPipeline.feed` — the streaming path: push
+  documents one at a time (timestamp-ordered) and receive emissions as
+  the underlying streaming algorithm decides, with
+  :meth:`~DiversificationPipeline.finish` draining the tail.
+
+The diversity dimension is pluggable: ``dimension="time"`` (default),
+``"sentiment"`` (lexicon polarity), or any callable mapping a
+:class:`~repro.index.inverted_index.Document` to a float.  Note the
+streaming path requires a dimension that is non-decreasing in arrival
+order — time is, sentiment is not — and refuses otherwise.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterable, List, Optional, Sequence, Union
+
+from .core.instance import Instance
+from .core.post import Post
+from .core.registry import solve
+from .core.solution import Solution
+from .core.streaming import _STREAM_FACTORIES
+from .errors import ReproError, StreamOrderError
+from .index.inverted_index import Document
+from .index.query import LabelMatcher, TopicQuery
+from .index.simhash import SimHashIndex, simhash
+from .stream.events import Emission
+from .text.sentiment import sentiment_score
+
+__all__ = ["DiversificationPipeline", "DigestResult"]
+
+Dimension = Union[str, Callable[[Document], float]]
+
+
+def _resolve_dimension(dimension: Dimension) -> Callable[[Document], float]:
+    if callable(dimension):
+        return dimension
+    if dimension == "time":
+        return lambda document: document.timestamp
+    if dimension == "sentiment":
+        return lambda document: sentiment_score(document.text)
+    raise ReproError(
+        f"unknown dimension {dimension!r}; use 'time', 'sentiment' or a "
+        "callable"
+    )
+
+
+@dataclass(frozen=True)
+class DigestResult:
+    """Outcome of a batch digest."""
+
+    solution: Solution
+    instance: Instance
+    matched: int
+    duplicates_dropped: int
+    unmatched_dropped: int
+
+    @property
+    def posts(self):
+        """The digest posts, in dimension order."""
+        return self.solution.posts
+
+    @property
+    def size(self) -> int:
+        return self.solution.size
+
+
+class DiversificationPipeline:
+    """Documents -> (dedup) -> matching -> diversification.
+
+    Parameters
+    ----------
+    queries:
+        The user's topics (labels with keyword sets).
+    lam:
+        Coverage threshold on the chosen dimension.
+    algorithm:
+        Batch solver name for :meth:`digest` (any registry name) —
+        default ``"greedy_sc"``.
+    stream_algorithm:
+        Streaming solver name for :meth:`feed` — default
+        ``"stream_scan+"``.
+    tau:
+        Streaming decision delay.
+    dimension:
+        ``"time"``, ``"sentiment"`` or a ``Document -> float`` callable.
+    dedup_distance:
+        SimHash Hamming budget; ``None`` disables deduplication.
+    """
+
+    def __init__(
+        self,
+        queries: Sequence[TopicQuery],
+        lam: float,
+        algorithm: str = "greedy_sc",
+        stream_algorithm: str = "stream_scan+",
+        tau: float = 0.0,
+        dimension: Dimension = "time",
+        dedup_distance: Optional[int] = 3,
+    ):
+        self.matcher = LabelMatcher(queries)
+        self.lam = float(lam)
+        self.algorithm = algorithm
+        if stream_algorithm not in _STREAM_FACTORIES:
+            raise ReproError(
+                f"unknown streaming algorithm {stream_algorithm!r}; "
+                f"choose from {sorted(_STREAM_FACTORIES)}"
+            )
+        self.stream_algorithm = stream_algorithm
+        self.tau = float(tau)
+        self.dimension = dimension
+        self._value_of = _resolve_dimension(dimension)
+        self.dedup_distance = dedup_distance
+        # streaming state, created lazily on the first feed()
+        self._stream = None
+        self._stream_dedup: Optional[SimHashIndex] = None
+        self._last_value = float("-inf")
+
+    # -- batch path --------------------------------------------------------------
+
+    def digest(self, documents: Iterable[Document]) -> DigestResult:
+        """Run the full batch pipeline over a document collection."""
+        documents = list(documents)
+        duplicates = 0
+        if self.dedup_distance is not None:
+            dedup = SimHashIndex(max_distance=self.dedup_distance)
+            kept_ids, dropped = dedup.deduplicate(
+                (doc.doc_id, doc.text) for doc in documents
+            )
+            duplicates = len(dropped)
+            kept = set(kept_ids)
+            documents = [d for d in documents if d.doc_id in kept]
+        posts = self.matcher.to_posts_with_value(
+            documents, value_of=self._value_of
+        )
+        unmatched = len(documents) - len(posts)
+        instance = Instance(posts, self.lam, labels=self.matcher.labels)
+        solution = solve(self.algorithm, instance)
+        return DigestResult(
+            solution=solution,
+            instance=instance,
+            matched=len(posts),
+            duplicates_dropped=duplicates,
+            unmatched_dropped=unmatched,
+        )
+
+    # -- streaming path -----------------------------------------------------------
+
+    def _ensure_stream(self):
+        if self._stream is None:
+            factory = _STREAM_FACTORIES[self.stream_algorithm]
+            self._stream = factory(
+                self.matcher.labels, self.lam, self.tau
+            )
+            if self.dedup_distance is not None:
+                self._stream_dedup = SimHashIndex(
+                    max_distance=self.dedup_distance
+                )
+        return self._stream
+
+    def feed(self, document: Document) -> List[Emission]:
+        """Push one document through the streaming path.
+
+        Returns the emissions this arrival (plus any deadlines it
+        overtook) triggered.  Documents must arrive in non-decreasing
+        dimension order; time does naturally, anything else raises.
+        """
+        stream = self._ensure_stream()
+        value = float(self._value_of(document))
+        if value < self._last_value:
+            raise StreamOrderError(
+                f"document {document.doc_id} regresses on the "
+                f"{self.dimension!r} dimension ({value} < "
+                f"{self._last_value}); streaming needs a monotone "
+                "dimension"
+            )
+        emissions: List[Emission] = []
+        # fire deadlines the wall clock has passed
+        while True:
+            deadline = stream.next_deadline()
+            if deadline is None or deadline >= value:
+                break
+            emissions.extend(stream.on_deadline(deadline))
+        self._last_value = value
+        if self._stream_dedup is not None:
+            fingerprint = simhash(document.text)
+            if self._stream_dedup.query(fingerprint):
+                return emissions
+            self._stream_dedup.add(document.doc_id, fingerprint)
+        labels = self.matcher.match(document.text)
+        if not labels:
+            return emissions
+        post = Post(
+            uid=document.doc_id, value=value, labels=labels,
+            text=document.text,
+        )
+        emissions.extend(stream.on_arrival(post))
+        return emissions
+
+    def finish(self) -> List[Emission]:
+        """Drain the streaming state at end of stream."""
+        if self._stream is None:
+            return []
+        emissions = self._stream.flush()
+        self._stream = None
+        self._stream_dedup = None
+        self._last_value = float("-inf")
+        return emissions

@@ -1,0 +1,131 @@
+"""Greedy set cover.
+
+The classical rule: repeatedly pick the set covering the most still-uncovered
+elements.  Feige [12 in the paper] shows this is a ``ln k`` approximation
+(``k`` the largest set size) and that no polynomial algorithm does better in
+general.
+
+Two candidate-maintenance strategies are provided because the paper's
+Section 7.3 explicitly discusses the choice:
+
+* ``strategy="rescan"`` — each round linearly scans all sets for the largest
+  residual one.  This is what the authors report using, after finding the
+  heap's delete/re-insert churn slower on bursty data.
+* ``strategy="lazy_heap"`` — a max-heap with lazily re-validated stale
+  entries (the standard "lazy deletion" trick).
+
+Both return identical covers when ties are broken the same way; the ablation
+benchmark :mod:`benchmarks.test_ablation_greedy_heap` compares their speed.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Hashable, Iterable, List, Sequence, Set, Tuple
+
+__all__ = ["greedy_set_cover"]
+
+
+def _normalise(
+    sets: Sequence[Iterable[Hashable]],
+) -> Tuple[List[Set[Hashable]], Set[Hashable]]:
+    families = [set(s) for s in sets]
+    universe: Set[Hashable] = set()
+    for family in families:
+        universe |= family
+    return families, universe
+
+
+def greedy_set_cover(
+    sets: Sequence[Iterable[Hashable]],
+    universe: Iterable[Hashable] = None,
+    strategy: str = "rescan",
+) -> List[int]:
+    """Greedily cover ``universe`` with the given family of sets.
+
+    Parameters
+    ----------
+    sets:
+        The family; element ``i`` of the result indexes into this sequence.
+    universe:
+        Elements that must be covered.  Defaults to the union of ``sets``.
+        Must be coverable (a subset of the union) or ``ValueError`` is
+        raised.
+    strategy:
+        ``"rescan"`` (paper's implementation) or ``"lazy_heap"``.
+
+    Returns
+    -------
+    list of int
+        Indices of the chosen sets, in pick order.  Ties are broken by the
+        lowest index, making the output deterministic.
+    """
+    families, implied = _normalise(sets)
+    if universe is None:
+        remaining = implied
+    else:
+        remaining = set(universe)
+        if not remaining <= implied:
+            missing = sorted(remaining - implied)[:5]
+            raise ValueError(f"universe has uncoverable elements: {missing}")
+
+    if strategy == "rescan":
+        return _greedy_rescan(families, remaining)
+    if strategy == "lazy_heap":
+        return _greedy_lazy_heap(families, remaining)
+    raise ValueError(f"unknown strategy {strategy!r}")
+
+
+def _greedy_rescan(
+    families: List[Set[Hashable]], remaining: Set[Hashable]
+) -> List[int]:
+    chosen: List[int] = []
+    residual = [family & remaining for family in families]
+    while remaining:
+        best_idx = -1
+        best_gain = 0
+        for idx, family in enumerate(residual):
+            gain = len(family)
+            if gain > best_gain:
+                best_gain = gain
+                best_idx = idx
+        if best_idx < 0:
+            break  # nothing left can make progress (already validated above)
+        chosen.append(best_idx)
+        # Copy before subtracting: residual[best_idx] is aliased by `newly`
+        # and would otherwise be emptied mid-loop, leaving later sets stale.
+        newly = set(residual[best_idx])
+        remaining -= newly
+        for family in residual:
+            if family:
+                family -= newly
+    return chosen
+
+
+def _greedy_lazy_heap(
+    families: List[Set[Hashable]], remaining: Set[Hashable]
+) -> List[int]:
+    residual = [family & remaining for family in families]
+    # Max-heap via negated gains; entries go stale as elements get covered
+    # and are re-validated on pop.
+    heap: List[Tuple[int, int]] = [
+        (-len(family), idx) for idx, family in enumerate(residual) if family
+    ]
+    heapq.heapify(heap)
+    chosen: List[int] = []
+    while remaining and heap:
+        neg_gain, idx = heapq.heappop(heap)
+        residual[idx] &= remaining
+        actual = len(residual[idx])
+        if actual == 0:
+            continue
+        if -neg_gain != actual:
+            heapq.heappush(heap, (-actual, idx))
+            continue
+        # To match the rescan tie-break (lowest index wins among equal
+        # gains), drain equal-gain entries with smaller indices first: the
+        # heap orders by (gain, idx) already since tuples compare
+        # lexicographically and gains are negated.
+        chosen.append(idx)
+        remaining -= residual[idx]
+    return chosen

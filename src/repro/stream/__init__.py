@@ -1,0 +1,18 @@
+"""Streaming substrate: simulated clock, emissions and the stream driver.
+
+The paper's StreamMQDP variant consumes posts as they arrive and must report
+each selected post within ``tau`` of its publication time.  This package
+provides the harness those algorithms run on:
+
+* :class:`repro.stream.events.Emission` — a selected post together with the
+  simulated time it was reported at (so delays can be audited);
+* :class:`repro.stream.events.StreamingAlgorithm` — the interface every
+  streaming solver implements (arrival callback, deadline queue, flush);
+* :func:`repro.stream.runner.run_stream` — the event loop interleaving
+  arrivals with deadline firings in simulated-time order.
+"""
+
+from .events import Emission, StreamingAlgorithm
+from .runner import StreamResult, run_stream
+
+__all__ = ["Emission", "StreamingAlgorithm", "StreamResult", "run_stream"]

@@ -1,0 +1,70 @@
+"""Event types and the streaming-algorithm interface."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from ..core.post import Post
+
+__all__ = ["Emission", "StreamingAlgorithm"]
+
+
+@dataclass(frozen=True)
+class Emission:
+    """A post selected by a streaming algorithm, stamped with the simulated
+    time of the decision.
+
+    The *delay* — how long after publication the user sees the post — is the
+    quantity Problem 2 bounds by ``tau``; it is derived rather than stored so
+    it can never drift out of sync.
+    """
+
+    post: Post
+    emitted_at: float
+
+    @property
+    def delay(self) -> float:
+        """Seconds between the post's timestamp and its emission."""
+        return self.emitted_at - self.post.value
+
+
+class StreamingAlgorithm:
+    """Interface implemented by every StreamMQDP solver.
+
+    The driver (:func:`repro.stream.runner.run_stream`) interleaves calls in
+    simulated-time order:
+
+    * :meth:`on_arrival` for each post, by increasing timestamp;
+    * :meth:`on_deadline` whenever the algorithm's earliest pending deadline
+      (:meth:`next_deadline`) precedes the next arrival;
+    * :meth:`flush` once the stream ends, which must fire any remaining
+      deadlines.
+
+    Implementations return the posts they decide to output as
+    :class:`Emission` lists; they must never emit the same post twice (the
+    driver enforces this).
+    """
+
+    name: str = "streaming"
+
+    def on_arrival(self, post: Post) -> List[Emission]:
+        """Handle a newly arrived post at simulated time ``post.value``."""
+        raise NotImplementedError
+
+    def next_deadline(self) -> Optional[float]:
+        """Earliest pending timer, or None when nothing is scheduled."""
+        raise NotImplementedError
+
+    def on_deadline(self, now: float) -> List[Emission]:
+        """Fire every timer scheduled at exactly ``now``."""
+        raise NotImplementedError
+
+    def flush(self) -> List[Emission]:
+        """Drain remaining state at end of stream (fires pending timers)."""
+        emissions: List[Emission] = []
+        while True:
+            deadline = self.next_deadline()
+            if deadline is None:
+                return emissions
+            emissions.extend(self.on_deadline(deadline))

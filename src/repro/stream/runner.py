@@ -1,0 +1,110 @@
+"""The stream driver: an event loop over simulated time.
+
+Feeds a time-ordered post sequence into a
+:class:`~repro.stream.events.StreamingAlgorithm`, firing the algorithm's
+deadlines whenever they precede the next arrival — exactly how a wall-clock
+deployment would interleave timer callbacks with socket reads.  The result
+records every emission with its decision time so tests can assert the
+paper's delay bounds.
+"""
+
+from __future__ import annotations
+
+import time as _time
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+from ..core.post import Post
+from ..core.solution import Solution
+from ..errors import StreamOrderError
+from .events import Emission, StreamingAlgorithm
+
+__all__ = ["StreamResult", "run_stream"]
+
+
+@dataclass(frozen=True)
+class StreamResult:
+    """Outcome of one streaming run."""
+
+    algorithm: str
+    emissions: Tuple[Emission, ...]
+    elapsed: float = field(default=0.0, compare=False)
+
+    @property
+    def posts(self) -> Tuple[Post, ...]:
+        """The emitted posts, in emission order."""
+        return tuple(e.post for e in self.emissions)
+
+    @property
+    def size(self) -> int:
+        """Number of distinct posts output — the quantity being minimised."""
+        return len(self.emissions)
+
+    def max_delay(self) -> float:
+        """Largest publication-to-emission delay over all outputs."""
+        if not self.emissions:
+            return 0.0
+        return max(e.delay for e in self.emissions)
+
+    def to_solution(self) -> Solution:
+        """View the emitted set as a batch solution (for cover checking)."""
+        return Solution.from_posts(
+            self.algorithm, [e.post for e in self.emissions],
+            elapsed=self.elapsed,
+        )
+
+
+def run_stream(
+    algorithm: StreamingAlgorithm, posts: Sequence[Post]
+) -> StreamResult:
+    """Run ``algorithm`` over ``posts`` (which must be time-ordered).
+
+    Raises :class:`~repro.errors.StreamOrderError` if the input regresses in
+    time, and ``AssertionError`` if the algorithm emits a post twice or
+    emits before a post has arrived — both invariant violations we want loud
+    in tests.
+    """
+    emissions: List[Emission] = []
+    seen: Dict[int, float] = {}
+    arrived: set = set()
+
+    def collect(batch: Iterable[Emission]) -> None:
+        for emission in batch:
+            uid = emission.post.uid
+            if uid in seen:
+                raise AssertionError(
+                    f"post {uid} emitted twice (first at {seen[uid]})"
+                )
+            if uid not in arrived:
+                raise AssertionError(f"post {uid} emitted before arrival")
+            if emission.emitted_at < emission.post.value:
+                raise AssertionError(
+                    f"post {uid} emitted before its own timestamp"
+                )
+            seen[uid] = emission.emitted_at
+            emissions.append(emission)
+
+    start = _time.perf_counter()
+    last_time = float("-inf")
+    for post in posts:
+        if post.value < last_time:
+            raise StreamOrderError(
+                f"post {post.uid} at {post.value} arrived after time "
+                f"{last_time}"
+            )
+        last_time = post.value
+        # Fire every deadline strictly before this arrival.
+        while True:
+            deadline = algorithm.next_deadline()
+            if deadline is None or deadline >= post.value:
+                break
+            collect(algorithm.on_deadline(deadline))
+        arrived.add(post.uid)
+        collect(algorithm.on_arrival(post))
+    collect(algorithm.flush())
+    elapsed = _time.perf_counter() - start
+    return StreamResult(
+        algorithm=algorithm.name,
+        emissions=tuple(emissions),
+        elapsed=elapsed,
+    )

@@ -1,0 +1,19 @@
+"""Text substrate: vocabularies and sentiment scoring.
+
+* :mod:`~repro.text.vocab` — the structured vocabulary the synthetic topic
+  model and tweet generator draw from (10 broad-topic word pools mirroring
+  the paper's 10 manually grouped broad topics, plus filler words);
+* :mod:`~repro.text.sentiment` — a lexicon-based polarity scorer used when
+  sentiment is the diversity dimension.
+"""
+
+from .sentiment import SentimentAnalyzer, sentiment_score
+from .vocab import BROAD_TOPICS, FILLER_WORDS, broad_topic_names
+
+__all__ = [
+    "BROAD_TOPICS",
+    "FILLER_WORDS",
+    "broad_topic_names",
+    "SentimentAnalyzer",
+    "sentiment_score",
+]

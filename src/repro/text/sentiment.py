@@ -1,0 +1,127 @@
+"""Lexicon-based sentiment polarity scoring.
+
+Time and sentiment are the paper's two flagship diversity dimensions.  For
+the sentiment dimension each post needs a polarity value; a compact
+lexicon scorer (positive/negative word lists, negation flipping, intensity
+modifiers) is faithful to what 2013-era microblogging pipelines used and
+keeps the whole reproduction dependency-free.
+
+Scores live in ``[-1, 1]``: the signed fraction of polar tokens, squashed
+so that short all-positive posts do not all collapse onto exactly 1.0
+(distinct values matter for a diversity dimension).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, Optional
+
+from ..index.tokenizer import tokenize
+
+__all__ = ["SentimentAnalyzer", "sentiment_score", "POSITIVE_WORDS",
+           "NEGATIVE_WORDS"]
+
+POSITIVE_WORDS: FrozenSet[str] = frozenset(
+    """
+    good great excellent amazing awesome fantastic wonderful love loved
+    loves loving best better happy glad delighted thrilled excited
+    exciting win wins winning won victory success successful strong
+    strongest gain gains gained rally rallies surge surges soared soaring
+    record beautiful brilliant outstanding superb impressive remarkable
+    positive optimistic hope hopeful hopes promising improve improved
+    improves improvement recovery recovering recovered boom booming
+    celebrate celebrates celebrated celebration cheer cheers cheering
+    support supports supported praise praised praises breakthrough
+    triumph thriving safe saved saves rescue rescued relief grateful
+    thanks thankful congrats congratulations perfect proud pride
+    """.split()
+)
+
+NEGATIVE_WORDS: FrozenSet[str] = frozenset(
+    """
+    bad terrible horrible awful worst worse hate hated hates hating angry
+    anger furious outrage outraged sad sadly tragic tragedy disaster
+    disastrous fail fails failed failing failure lose loses losing lost
+    loss losses crash crashes crashed crashing plunge plunged plunges
+    collapse collapsed collapsing crisis fear fears feared scary scared
+    panic worried worry worries concern concerned concerns warning warn
+    warns threat threats threatened dead death deaths die dies died dying
+    kill killed kills killing injured injuries hurt damage damaged
+    destroy destroyed destroys destruction corrupt corruption scandal
+    fraud guilty wrong broken breaks weak weakest decline declined
+    declines drop dropped drops slump recession layoffs shutdown violence
+    violent attack attacked attacks war
+    """.split()
+)
+
+_NEGATIONS: FrozenSet[str] = frozenset(
+    ("not", "no", "never", "nobody", "nothing", "neither", "nor", "cannot",
+     "cant", "dont", "doesnt", "didnt", "wont", "wouldnt", "isnt", "arent",
+     "wasnt", "werent", "hasnt", "havent", "hadnt")
+)
+
+_INTENSIFIERS: Dict[str, float] = {
+    "very": 1.5, "really": 1.5, "extremely": 2.0, "absolutely": 2.0,
+    "totally": 1.5, "so": 1.3, "incredibly": 2.0, "super": 1.5,
+}
+
+
+class SentimentAnalyzer:
+    """Configurable lexicon scorer.
+
+    Custom lexicons can be supplied (the tests do, to pin exact values);
+    the defaults are the built-in word lists above.
+    """
+
+    def __init__(
+        self,
+        positive: Optional[Iterable[str]] = None,
+        negative: Optional[Iterable[str]] = None,
+        negation_window: int = 2,
+    ):
+        self.positive = frozenset(positive) if positive else POSITIVE_WORDS
+        self.negative = frozenset(negative) if negative else NEGATIVE_WORDS
+        overlap = self.positive & self.negative
+        if overlap:
+            raise ValueError(
+                f"lexicons overlap on: {sorted(overlap)[:5]}"
+            )
+        self.negation_window = negation_window
+
+    def score(self, text: str) -> float:
+        """Polarity in ``[-1, 1]``; 0.0 for neutral or empty text."""
+        # Keep stopwords: the negation words are in the stopword list.
+        tokens = tokenize(text, keep_stopwords=True)
+        signed = 0.0
+        polar_count = 0
+        for position, token in enumerate(tokens):
+            polarity = 0.0
+            if token in self.positive:
+                polarity = 1.0
+            elif token in self.negative:
+                polarity = -1.0
+            if polarity == 0.0:
+                continue
+            weight = 1.0
+            window = tokens[
+                max(0, position - self.negation_window):position
+            ]
+            for prior in window:
+                if prior in _NEGATIONS:
+                    polarity = -polarity
+                if prior in _INTENSIFIERS:
+                    weight *= _INTENSIFIERS[prior]
+            signed += polarity * weight
+            polar_count += 1
+        if polar_count == 0:
+            return 0.0
+        # Squash: one polar word scores +-0.5, saturating towards +-1.
+        raw = signed / (polar_count + 1.0)
+        return max(-1.0, min(1.0, raw))
+
+
+_DEFAULT = SentimentAnalyzer()
+
+
+def sentiment_score(text: str) -> float:
+    """Score with the default lexicons (module-level convenience)."""
+    return _DEFAULT.score(text)

@@ -1,0 +1,168 @@
+"""Structured vocabulary for synthetic news topics and tweets.
+
+The paper trains 300 LDA topics on ~1M news articles and has researchers
+group them into 10 broad topics (Section 7.1, Table 1).  We cannot ship
+that corpus, so the synthetic topic model draws from these curated pools:
+one word pool per broad topic (the same categories a 2013 news crawl
+yields) plus a shared filler pool for the non-topical bulk of tweet text.
+
+Pool sizes (~60 words each) are chosen so that 30 topics per broad topic,
+40 keywords each, overlap partially within a broad topic but almost never
+across broad topics — reproducing the structure that makes the paper's
+label sets (drawn within one broad topic) overlap on posts.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+__all__ = ["BROAD_TOPICS", "FILLER_WORDS", "broad_topic_names"]
+
+BROAD_TOPICS: Dict[str, Tuple[str, ...]] = {
+    "politics": (
+        "obama", "president", "barack", "michelle", "inauguration", "house",
+        "administration", "congress", "presidential", "republican",
+        "democrat", "election", "vote", "poll", "party", "political",
+        "race", "candidate", "campaign", "electoral", "coalition", "senate",
+        "senator", "representative", "bill", "legislation", "veto",
+        "filibuster", "caucus", "primary", "ballot", "governor", "mayor",
+        "whitehouse", "capitol", "washington", "policy", "reform",
+        "immigration", "budget", "debt", "ceiling", "shutdown", "lobbyist",
+        "scandal", "hearing", "testimony", "committee", "speaker",
+        "minority", "majority", "leader", "whip", "amendment",
+        "constitution", "supreme", "court", "justice", "nomination",
+        "confirmation", "diplomacy",
+    ),
+    "sports": (
+        "woods", "tiger", "golf", "masters", "championship", "mcilroy",
+        "garcia", "pga", "augusta", "rory", "mickelson", "nfl", "super",
+        "bowl", "draft", "ravens", "football", "baltimore", "patriots",
+        "jets", "quarterback", "giants", "eagles", "nba", "basketball",
+        "playoffs", "finals", "heat", "lebron", "spurs", "lakers",
+        "baseball", "mlb", "yankees", "soccer", "league", "premier", "goal",
+        "striker", "tennis", "wimbledon", "federer", "nadal", "serena",
+        "olympics", "medal", "sprint", "marathon", "coach", "referee",
+        "stadium", "season", "roster", "trade", "injury", "touchdown",
+        "homerun", "pitcher", "batter", "hockey",
+    ),
+    "business": (
+        "goog", "msft", "aapl", "nasdaq", "dow", "stocks", "shares",
+        "market", "investor", "earnings", "profit", "revenue", "quarterly",
+        "forecast", "economy", "economic", "growth", "recession", "fed",
+        "federal", "reserve", "bernanke", "interest", "rate", "inflation",
+        "unemployment", "jobs", "payroll", "hiring", "layoffs", "merger",
+        "acquisition", "ipo", "valuation", "startup", "venture", "capital",
+        "fund", "hedge", "bond", "treasury", "yield", "currency", "dollar",
+        "euro", "yen", "trade", "tariff", "export", "import", "oil",
+        "crude", "barrel", "gas", "energy", "retail", "consumer",
+        "spending", "bank", "lending",
+    ),
+    "technology": (
+        "apple", "iphone", "ipad", "android", "google", "microsoft",
+        "windows", "samsung", "galaxy", "tablet", "smartphone", "app",
+        "software", "hardware", "chip", "processor", "intel", "cloud",
+        "server", "data", "privacy", "security", "hack", "breach",
+        "malware", "encryption", "nsa", "surveillance", "internet",
+        "broadband", "wireless", "network", "startup", "silicon", "valley",
+        "facebook", "twitter", "social", "media", "search", "browser",
+        "update", "release", "beta", "developer", "code", "programming",
+        "robot", "drone", "patent", "lawsuit", "gadget", "wearable",
+        "battery", "screen", "display", "camera", "sensor", "storage",
+        "download",
+    ),
+    "entertainment": (
+        "movie", "film", "premiere", "boxoffice", "hollywood", "actor",
+        "actress", "director", "oscar", "academy", "award", "nominee",
+        "grammy", "album", "single", "chart", "billboard", "concert",
+        "tour", "tickets", "singer", "band", "pop", "rock", "hiphop",
+        "rapper", "beyonce", "kanye", "taylor", "swift", "bieber", "gaga",
+        "celebrity", "gossip", "divorce", "wedding", "television", "series",
+        "episode", "season", "finale", "netflix", "hbo", "drama", "comedy",
+        "sitcom", "reality", "show", "host", "ratings", "premieres",
+        "trailer", "sequel", "franchise", "studio", "script", "casting",
+        "redcarpet", "fashion", "designer",
+    ),
+    "health": (
+        "health", "hospital", "doctor", "patient", "disease", "virus",
+        "flu", "outbreak", "epidemic", "vaccine", "vaccination", "cancer",
+        "tumor", "diabetes", "obesity", "diet", "nutrition", "exercise",
+        "fitness", "surgery", "transplant", "drug", "medication",
+        "antibiotic", "fda", "approval", "trial", "clinical", "study",
+        "researchers", "medicare", "medicaid", "insurance", "coverage",
+        "obamacare", "affordable", "care", "act", "mental", "depression",
+        "anxiety", "therapy", "treatment", "diagnosis", "symptom",
+        "infection", "bacteria", "heart", "stroke", "blood", "pressure",
+        "cholesterol", "smoking", "tobacco", "alcohol", "addiction",
+        "pregnancy", "birth", "aging", "alzheimer",
+    ),
+    "science": (
+        "nasa", "space", "station", "astronaut", "launch", "rocket",
+        "orbit", "satellite", "mars", "rover", "curiosity", "moon",
+        "asteroid", "comet", "meteor", "telescope", "hubble", "galaxy",
+        "planet", "exoplanet", "physics", "particle", "higgs", "collider",
+        "cern", "quantum", "chemistry", "biology", "genome", "dna", "gene",
+        "evolution", "species", "fossil", "dinosaur", "archaeology",
+        "climate", "warming", "carbon", "emissions", "glacier", "arctic",
+        "antarctic", "ocean", "coral", "ecosystem", "conservation",
+        "wildlife", "research", "experiment", "laboratory", "discovery",
+        "breakthrough", "journal", "peer", "theory", "hypothesis",
+        "observation", "measurement", "energy",
+    ),
+    "world": (
+        "syria", "syrian", "damascus", "assad", "rebels", "egypt", "cairo",
+        "morsi", "protest", "protesters", "iran", "tehran", "nuclear",
+        "sanctions", "israel", "palestinian", "gaza", "peace", "talks",
+        "korea", "pyongyang", "seoul", "missile", "china", "beijing",
+        "russia", "moscow", "putin", "europe", "brussels", "germany",
+        "merkel", "france", "paris", "britain", "london", "parliament",
+        "minister", "embassy", "ambassador", "united", "nations",
+        "security", "council", "resolution", "refugee", "border", "crisis",
+        "conflict", "ceasefire", "troops", "military", "airstrike",
+        "insurgent", "taliban", "afghanistan", "kabul", "iraq", "baghdad",
+        "diplomat",
+    ),
+    "crime": (
+        "police", "arrest", "arrested", "suspect", "charged", "charges",
+        "murder", "homicide", "shooting", "gunman", "victim", "witness",
+        "investigation", "detective", "fbi", "robbery", "burglary", "theft",
+        "fraud", "trial", "jury", "verdict", "guilty", "sentence",
+        "sentenced", "prison", "jail", "parole", "probation", "attorney",
+        "prosecutor", "defense", "judge", "courtroom", "evidence",
+        "forensic", "dna", "warrant", "custody", "kidnapping", "assault",
+        "manhunt", "fugitive", "hostage", "standoff", "bomb", "explosion",
+        "terrorism", "terrorist", "plot", "conspiracy", "smuggling",
+        "trafficking", "cartel", "gang", "violence", "shooter", "firearm",
+        "ammunition", "crime",
+    ),
+    "weather": (
+        "storm", "hurricane", "tornado", "twister", "cyclone", "typhoon",
+        "flood", "flooding", "rain", "rainfall", "snow", "snowstorm",
+        "blizzard", "ice", "freeze", "frost", "cold", "heat", "heatwave",
+        "drought", "wildfire", "fire", "evacuation", "evacuate", "shelter",
+        "damage", "destroyed", "debris", "power", "outage", "utility",
+        "forecast", "meteorologist", "radar", "warning", "watch",
+        "advisory", "emergency", "fema", "disaster", "relief", "recovery",
+        "rebuilding", "wind", "gust", "hail", "lightning", "thunder",
+        "temperature", "record", "degrees", "humidity", "landfall",
+        "surge", "coastal", "inland", "season", "atlantic", "pacific",
+    ),
+}
+
+# Non-topical bulk of tweet text: conversational filler sampled by the
+# generator alongside topical keywords.
+FILLER_WORDS: Tuple[str, ...] = (
+    "today", "tonight", "morning", "breaking", "news", "report", "reports",
+    "live", "video", "photo", "story", "read", "latest", "big",
+    "new", "first", "last", "next", "people", "world", "time", "day",
+    "week", "year", "really", "think", "know", "want", "need", "look",
+    "looks", "feel", "right", "wrong", "never", "always", "still", "well",
+    "much", "many", "more", "most", "some", "every", "thing", "things",
+    "way", "back", "down", "over", "under", "about", "after", "before",
+    "finally", "happening", "thread", "moment", "everyone", "anyone",
+    "nobody", "actually", "literally", "basically", "apparently",
+)
+
+
+def broad_topic_names() -> List[str]:
+    """The 10 broad-topic names, sorted for determinism."""
+    return sorted(BROAD_TOPICS)

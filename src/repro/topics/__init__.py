@@ -1,0 +1,24 @@
+"""Synthetic topic model and user profiles.
+
+Stands in for the paper's query-generation pipeline (Section 7.1): LDA via
+Mallet over ~1M news articles -> 300 topics -> manual grouping into 10
+broad topics, discarding ambiguous ones (215 survive) -> label sets drawn
+as ``|L|`` topics within one randomly chosen broad topic.
+
+* :mod:`~repro.topics.lda_sim` — Dirichlet-sampled topics over the broad
+  word pools of :mod:`repro.text.vocab`; reproduces the *structure* the
+  real pipeline yields (top-40 weighted keywords, heavy intra-broad-topic
+  keyword overlap, near-zero cross-broad overlap);
+* :mod:`~repro.topics.profiles` — broad-topic grouping, ambiguity
+  filtering, and label-set (user profile) sampling.
+"""
+
+from .lda_sim import SyntheticTopicModel
+from .profiles import discard_ambiguous, make_label_set, make_label_sets
+
+__all__ = [
+    "SyntheticTopicModel",
+    "discard_ambiguous",
+    "make_label_set",
+    "make_label_sets",
+]

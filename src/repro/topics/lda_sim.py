@@ -1,0 +1,170 @@
+"""A synthetic stand-in for the paper's Mallet LDA topic training.
+
+The real pipeline trains 300 LDA topics on a million news articles and
+keeps the top-40 weighted keywords per topic.  Without that corpus we
+sample topics *as if* they came from LDA:
+
+* each topic belongs to one broad topic and draws its keywords from that
+  broad topic's vocabulary (plus a pinch of cross-pool leakage, as real
+  LDA topics exhibit);
+* keyword weights are a Dirichlet draw, sorted descending — the same shape
+  as an LDA topic-word distribution restricted to its head.
+
+A broad topic's vocabulary has two strata, mirroring real news vocabulary:
+~60 curated *base* words (hot terms shared across that beat's topics) and
+a few hundred derived *compound* tokens — hashtag-style pairings of base
+words ("tigergolf", "senatevote") — that act as each topic's distinctive
+tail.  Each topic keeps 40 keywords, mostly compounds with a handful of
+base words, so same-broad topics overlap on the hot words (a post can
+match several of one user's queries — the paper's multi-label overlap)
+while still being distinguishable (matching volume grows near-linearly
+with ``|L|``, as in Table 2).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from ..index.query import TopicQuery
+from ..text.vocab import BROAD_TOPICS, broad_topic_names
+
+__all__ = ["SyntheticTopicModel"]
+
+
+@dataclass(frozen=True)
+class SyntheticTopicModel:
+    """A trained (synthesised) topic model.
+
+    Attributes
+    ----------
+    topics:
+        Every topic, as a :class:`~repro.index.query.TopicQuery` whose
+        ``weights`` carry the sampled keyword distribution.
+    broad_of:
+        Topic label -> broad topic name.
+    """
+
+    topics: Tuple[TopicQuery, ...]
+    broad_of: Dict[str, str]
+
+    @classmethod
+    def train(
+        cls,
+        rng: random.Random,
+        topics_per_broad: int = 30,
+        keywords_per_topic: int = 40,
+        base_keywords: int = 1,
+        leakage: float = 0.005,
+        concentration: float = 0.3,
+    ) -> "SyntheticTopicModel":
+        """Sample a model (default 10 x 30 = 300 topics, as in the paper).
+
+        Parameters
+        ----------
+        rng:
+            Seeded random source — training is fully reproducible.
+        topics_per_broad:
+            Topics sampled per broad topic.
+        keywords_per_topic:
+            Keywords kept per topic (the paper keeps the top 40).
+        base_keywords:
+            How many of those come from the shared base pool; the rest are
+            compound tokens, mostly unique to the topic.  This knob sets
+            the intra-broad-topic match overlap.
+        leakage:
+            Probability that a keyword slot is filled from a *different*
+            broad pool, modelling LDA's imperfect separation.
+        concentration:
+            Dirichlet concentration for keyword weights; small values give
+            the heavy-headed distributions LDA produces.
+        """
+        names = broad_topic_names()
+        compound_pools = {
+            broad: _compound_pool(BROAD_TOPICS[broad])
+            for broad in names
+        }
+        topics: List[TopicQuery] = []
+        broad_of: Dict[str, str] = {}
+        for broad in names:
+            pool = list(BROAD_TOPICS[broad])
+            compounds = compound_pools[broad]
+            other_pools = [
+                word
+                for name in names
+                if name != broad
+                for word in BROAD_TOPICS[name]
+            ]
+            for k in range(topics_per_broad):
+                base_count = min(base_keywords, len(pool))
+                tail_count = min(
+                    keywords_per_topic - base_count, len(compounds)
+                )
+                chosen = rng.sample(pool, base_count)
+                chosen += rng.sample(compounds, tail_count)
+                for slot in range(len(chosen)):
+                    if rng.random() < leakage:
+                        chosen[slot] = rng.choice(other_pools)
+                chosen = list(dict.fromkeys(chosen))  # dedupe, keep order
+                weights = _dirichlet(rng, len(chosen), concentration)
+                ranked = sorted(
+                    zip(chosen, weights), key=lambda kw: -kw[1]
+                )
+                label = f"{broad}-{k:02d}"
+                topics.append(
+                    TopicQuery(
+                        label=label,
+                        keywords=frozenset(chosen),
+                        weights=tuple(ranked),
+                    )
+                )
+                broad_of[label] = broad
+        return cls(topics=tuple(topics), broad_of=broad_of)
+
+    def by_broad(self) -> Dict[str, List[TopicQuery]]:
+        """Topics grouped by broad topic."""
+        groups: Dict[str, List[TopicQuery]] = {}
+        for topic in self.topics:
+            groups.setdefault(self.broad_of[topic.label], []).append(topic)
+        return groups
+
+    def topic(self, label: str) -> TopicQuery:
+        """Look a topic up by label."""
+        for candidate in self.topics:
+            if candidate.label == label:
+                return candidate
+        raise KeyError(label)
+
+    def subset(self, labels: Sequence[str]) -> List[TopicQuery]:
+        """The topics for an ordered list of labels."""
+        wanted = {label: None for label in labels}
+        found = {t.label: t for t in self.topics if t.label in wanted}
+        missing = [label for label in labels if label not in found]
+        if missing:
+            raise KeyError(f"unknown topic labels: {missing}")
+        return [found[label] for label in labels]
+
+
+def _compound_pool(words: Sequence[str]) -> List[str]:
+    """Hashtag-style compound tokens derived from a base pool.
+
+    Pairs nearby base words ("tiger" + "golf" -> "tigergolf"), giving each
+    broad topic a few hundred distinctive tail tokens without hand-curating
+    thousands of words.  Deterministic, so training stays reproducible.
+    """
+    compounds: List[str] = []
+    n = len(words)
+    for i in range(n):
+        for j in range(i + 1, n):
+            compounds.append(words[i] + words[j])
+    return compounds
+
+
+def _dirichlet(
+    rng: random.Random, size: int, concentration: float
+) -> List[float]:
+    """A symmetric Dirichlet draw via normalised Gamma variates."""
+    draws = [rng.gammavariate(concentration, 1.0) for _ in range(size)]
+    total = sum(draws) or 1.0
+    return [d / total for d in draws]

@@ -1,0 +1,115 @@
+"""Terminal visualisation of instances, covers and streams.
+
+Plots in a paper live in matplotlib; a library living in terminals renders
+ASCII.  These helpers draw the pictures the paper's figures draw — a
+timeline of posts with the selected cover marked (Figure 2's style), a
+per-label lane view (Figure 4's style), and a coverage-vs-budget bar chart
+for the budgeted variant — and the examples use them for their output.
+
+Everything returns a string; nothing prints, so the functions compose with
+logging and tests alike.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+from .core.instance import Instance
+from .core.post import Post
+
+__all__ = ["timeline", "label_lanes", "budget_bars"]
+
+
+def _scale(values: Sequence[float], width: int) -> List[int]:
+    lo = min(values)
+    hi = max(values)
+    span = hi - lo
+    if span <= 0:
+        return [0 for _ in values]
+    return [
+        min(width - 1, int((value - lo) / span * (width - 1)))
+        for value in values
+    ]
+
+
+def timeline(
+    instance: Instance,
+    selected: Iterable[Post] = (),
+    width: int = 72,
+) -> str:
+    """One-line timeline: ``.`` posts, ``#`` selected posts.
+
+    Posts sharing a character cell collapse; a selected post wins the
+    cell.  The axis labels show the dimension's range.
+    """
+    if len(instance) == 0:
+        return "(empty instance)"
+    values = [post.value for post in instance.posts]
+    cells = _scale(values, width)
+    selected_uids = {post.uid for post in selected}
+    row = [" "] * width
+    for post, cell in zip(instance.posts, cells):
+        if post.uid in selected_uids:
+            row[cell] = "#"
+        elif row[cell] == " ":
+            row[cell] = "."
+    lo, hi = min(values), max(values)
+    axis = f"{lo:g}".ljust(width - len(f"{hi:g}")) + f"{hi:g}"
+    return "".join(row) + "\n" + axis
+
+
+def label_lanes(
+    instance: Instance,
+    selected: Iterable[Post] = (),
+    width: int = 64,
+) -> str:
+    """One lane per label (Figure 4's layout): ``.`` posts carrying the
+    label, ``#`` selected ones, so per-label coverage is eyeballable."""
+    if len(instance) == 0:
+        return "(empty instance)"
+    values = [post.value for post in instance.posts]
+    selected_uids = {post.uid for post in selected}
+    cells = dict(zip(
+        (post.uid for post in instance.posts), _scale(values, width)
+    ))
+    lines: List[str] = []
+    label_pad = max(len(label) for label in instance.labels)
+    for label in sorted(instance.labels):
+        row = [" "] * width
+        for post in instance.posting(label):
+            cell = cells[post.uid]
+            if post.uid in selected_uids:
+                row[cell] = "#"
+            elif row[cell] == " ":
+                row[cell] = "."
+        lines.append(f"{label.rjust(label_pad)} |{''.join(row)}|")
+    return "\n".join(lines)
+
+
+def budget_bars(
+    curve: Sequence[Tuple[int, float]],
+    width: int = 40,
+    max_rows: Optional[int] = 15,
+) -> str:
+    """Render a coverage-vs-budget curve as horizontal bars.
+
+    Input is :func:`repro.core.budgeted.coverage_curve` output; rows
+    beyond ``max_rows`` are thinned evenly so long curves stay readable.
+    """
+    if not curve:
+        return "(empty curve)"
+    points = list(curve)
+    if max_rows is not None and len(points) > max_rows:
+        step = (len(points) - 1) / (max_rows - 1)
+        points = [
+            points[round(i * step)] for i in range(max_rows)
+        ]
+    k_pad = max(len(str(k)) for k, _ in points)
+    lines = []
+    for k, fraction in points:
+        bar = "#" * int(round(fraction * width))
+        lines.append(
+            f"k={str(k).rjust(k_pad)} |{bar.ljust(width)}| "
+            f"{fraction * 100:5.1f}%"
+        )
+    return "\n".join(lines)

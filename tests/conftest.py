@@ -1,0 +1,87 @@
+"""Shared fixtures and hypothesis strategies for the test suite."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import strategies as st
+
+from repro.core.instance import Instance
+from repro.core.post import Post
+
+
+# ---------------------------------------------------------------------------
+# Plain fixtures
+# ---------------------------------------------------------------------------
+
+@pytest.fixture
+def figure2_instance() -> Instance:
+    """The paper's Figure 2 example: four posts at Delta-t spacing.
+
+    P1{a}, P2{a}, P3{a,c}, P4{c} with lambda = Delta-t = 1.  Example 2
+    shows {P2, P4} is a lambda-cover.
+    """
+    return Instance.from_specs(
+        [(0.0, "a"), (1.0, "a"), (2.0, "ac"), (3.0, "c")], lam=1.0
+    )
+
+
+@pytest.fixture
+def rng() -> random.Random:
+    return random.Random(0xC0FFEE)
+
+
+# ---------------------------------------------------------------------------
+# Hypothesis strategies
+# ---------------------------------------------------------------------------
+
+LABELS = "abcd"
+
+
+@st.composite
+def small_instances(
+    draw,
+    max_posts: int = 12,
+    max_labels: int = 3,
+    max_value: float = 30.0,
+):
+    """Random small MQDP instances for property-based tests.
+
+    Sizes are kept small enough that the exact solvers stay fast, while
+    values/lambdas vary enough to hit boundary cases (ties, lambda = 0,
+    posts beyond every window).
+    """
+    n_labels = draw(st.integers(min_value=1, max_value=max_labels))
+    labels = LABELS[:n_labels]
+    n_posts = draw(st.integers(min_value=1, max_value=max_posts))
+    posts = []
+    for uid in range(n_posts):
+        value = draw(
+            st.floats(
+                min_value=0.0,
+                max_value=max_value,
+                allow_nan=False,
+                allow_infinity=False,
+            )
+        )
+        k = draw(st.integers(min_value=1, max_value=n_labels))
+        chosen = draw(
+            st.permutations(list(labels)).map(lambda p, k=k: p[:k])
+        )
+        posts.append(
+            Post(uid=uid, value=value, labels=frozenset(chosen))
+        )
+    lam = draw(
+        st.sampled_from([0.0, 0.5, 1.0, 2.0, 5.0, 10.0, max_value])
+    )
+    return Instance(posts, lam)
+
+
+@st.composite
+def streaming_instances(draw, max_posts: int = 40):
+    """Larger single-to-three-label instances for streaming properties."""
+    instance = draw(small_instances(max_posts=max_posts, max_labels=3,
+                                    max_value=100.0))
+    tau = draw(st.sampled_from([0.0, 0.5, 1.0, 2.0, 5.0, 20.0, 200.0]))
+    return instance, tau

@@ -1,0 +1,58 @@
+"""The exact baselines (brute force, exact set cover)."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.core.brute_force import (
+    brute_force,
+    exact_via_setcover,
+    optimal_size,
+)
+from repro.core.coverage import is_cover
+from repro.core.instance import Instance
+from repro.errors import AlgorithmBudgetExceeded
+
+from ..conftest import small_instances
+
+
+class TestBruteForce:
+    def test_empty_instance(self):
+        assert brute_force(Instance([], lam=1.0)).size == 0
+
+    def test_figure2(self, figure2_instance):
+        solution = brute_force(figure2_instance)
+        assert solution.size == 2
+        assert is_cover(figure2_instance, solution.posts)
+
+    def test_post_cap_enforced(self):
+        instance = Instance.from_specs(
+            [(float(i), "a") for i in range(25)], lam=1.0
+        )
+        with pytest.raises(AlgorithmBudgetExceeded):
+            brute_force(instance, max_posts=20)
+
+    def test_finds_singleton_cover(self):
+        instance = Instance.from_specs(
+            [(0.0, "ab"), (0.5, "a"), (1.0, "b")], lam=1.0
+        )
+        assert brute_force(instance).size == 1
+
+
+class TestExactViaSetcover:
+    def test_figure2(self, figure2_instance):
+        assert exact_via_setcover(figure2_instance).size == 2
+
+    def test_optimal_size_helper(self, figure2_instance):
+        assert optimal_size(figure2_instance) == 2
+
+    @given(small_instances(max_posts=10))
+    @settings(deadline=None, max_examples=60)
+    def test_agrees_with_brute_force(self, instance):
+        assert (
+            exact_via_setcover(instance).size
+            == brute_force(instance).size
+        )
+
+    @given(small_instances())
+    def test_returns_valid_cover(self, instance):
+        assert is_cover(instance, exact_via_setcover(instance).posts)

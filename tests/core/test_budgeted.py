@@ -1,0 +1,101 @@
+"""Budgeted diversification (max coverage under a post budget)."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.core.budgeted import coverage_curve, max_coverage
+from repro.core.coverage import is_cover
+from repro.core.instance import Instance
+from repro.core.proportional import ProportionalLambda
+
+from ..conftest import small_instances
+
+
+class TestMaxCoverage:
+    def test_zero_budget(self, figure2_instance):
+        solution, fraction = max_coverage(figure2_instance, 0)
+        assert solution.size == 0
+        assert fraction == 0.0
+
+    def test_negative_budget_rejected(self, figure2_instance):
+        with pytest.raises(ValueError):
+            max_coverage(figure2_instance, -1)
+
+    def test_sufficient_budget_reaches_full_coverage(
+        self, figure2_instance
+    ):
+        solution, fraction = max_coverage(figure2_instance, 4)
+        assert fraction == 1.0
+        assert is_cover(figure2_instance, solution.posts)
+
+    def test_stops_early_when_covered(self, figure2_instance):
+        # full coverage needs 2 posts; a budget of 4 must not pad
+        solution, fraction = max_coverage(figure2_instance, 4)
+        assert solution.size == 2
+
+    def test_budget_respected(self):
+        instance = Instance.from_specs(
+            [(float(v) * 10, "a") for v in range(10)], lam=1.0
+        )
+        solution, fraction = max_coverage(instance, 3)
+        assert solution.size == 3
+        assert fraction == pytest.approx(0.3)
+
+    def test_first_pick_is_the_hub(self):
+        instance = Instance.from_specs(
+            [(0.0, "a"), (0.1, "b"), (0.2, "c"), (0.3, "abc")], lam=1.0
+        )
+        solution, fraction = max_coverage(instance, 1)
+        assert solution.posts[0].labels == frozenset("abc")
+        assert fraction == 1.0
+
+    def test_variable_lambda_model_supported(self):
+        instance = Instance.from_specs(
+            [(float(v), "a") for v in range(6)], lam=1.0
+        )
+        model = ProportionalLambda(instance, lam0=1.0)
+        solution, fraction = max_coverage(instance, 2, model=model)
+        assert solution.size <= 2
+        assert 0.0 < fraction <= 1.0
+
+
+class TestCoverageCurve:
+    def test_monotone_and_bounded(self, figure2_instance):
+        curve = coverage_curve(figure2_instance)
+        fractions = [fraction for _, fraction in curve]
+        assert fractions == sorted(fractions)
+        assert fractions[0] == 0.0
+        assert fractions[-1] == 1.0
+
+    def test_curve_matches_pointwise_max_coverage(self, figure2_instance):
+        curve = dict(coverage_curve(figure2_instance))
+        for k in range(len(figure2_instance) + 1):
+            _, fraction = max_coverage(figure2_instance, k)
+            assert curve[k] == pytest.approx(fraction)
+
+    def test_max_k_truncates(self, figure2_instance):
+        curve = coverage_curve(figure2_instance, max_k=1)
+        assert [k for k, _ in curve] == [0, 1]
+
+
+class TestBudgetedProperties:
+    @given(small_instances())
+    @settings(deadline=None, max_examples=40)
+    def test_diminishing_returns(self, instance):
+        """Greedy max coverage is submodular: marginal gains shrink."""
+        curve = coverage_curve(instance)
+        gains = [
+            round(curve[i + 1][1] - curve[i][1], 12)
+            for i in range(len(curve) - 1)
+        ]
+        assert all(
+            later <= earlier + 1e-9
+            for earlier, later in zip(gains, gains[1:])
+        )
+
+    @given(small_instances())
+    @settings(deadline=None, max_examples=40)
+    def test_full_budget_is_a_cover(self, instance):
+        solution, fraction = max_coverage(instance, len(instance))
+        assert fraction == 1.0
+        assert is_cover(instance, solution.posts)

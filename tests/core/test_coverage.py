@@ -1,0 +1,157 @@
+"""Coverage semantics: the paper's Definitions 1 & 2 plus Examples 1 & 2."""
+
+import pytest
+from hypothesis import given
+
+from repro.core.coverage import (
+    FixedLambda,
+    VariableLambda,
+    covered_pairs_by,
+    is_cover,
+    uncovered_pairs,
+    verify_cover,
+)
+from repro.core.instance import Instance
+from repro.core.post import Post
+from repro.errors import InvalidCoverError
+
+from ..conftest import small_instances
+
+
+class TestFigure2Examples:
+    """Example 1 and Example 2 from the paper, verbatim."""
+
+    def test_example1_single_label_coverage(self, figure2_instance):
+        p1, p2, p3, p4 = figure2_instance.posts
+        lam = figure2_instance.lam
+        assert p2.covers("a", p1, lam)
+        assert p2.covers("a", p3, lam)
+        assert p1.covers("a", p2, lam)
+        assert p3.covers("a", p2, lam)
+        assert p3.covers("c", p4, lam)
+        assert p4.covers("c", p3, lam)
+        # and the pairs the example implies are NOT covered
+        assert not p1.covers("a", p3, lam)  # distance 2 Delta-t
+        assert not p2.covers("c", p4, lam)  # P2 has no label c
+
+    def test_example2_p2_p4_is_a_cover(self, figure2_instance):
+        p1, p2, p3, p4 = figure2_instance.posts
+        assert is_cover(figure2_instance, [p2, p4])
+
+    def test_p2_alone_is_not_a_cover(self, figure2_instance):
+        p2 = figure2_instance.posts[1]
+        missing = uncovered_pairs(figure2_instance, [p2])
+        assert (3, "c") in missing  # P4 (uid 3) left uncovered on c
+
+    def test_full_set_always_covers_itself(self, figure2_instance):
+        assert is_cover(figure2_instance, figure2_instance.posts)
+
+
+class TestUncoveredPairs:
+    def test_empty_selection_misses_every_pair(self):
+        instance = Instance.from_specs([(1.0, "ab"), (2.0, "a")], lam=1.0)
+        missing = set(uncovered_pairs(instance, []))
+        assert missing == {(0, "a"), (0, "b"), (1, "a")}
+
+    def test_pairwise_granularity(self):
+        """A post can be covered on one label but not another."""
+        instance = Instance.from_specs(
+            [(0.0, "a"), (0.5, "ab")], lam=1.0
+        )
+        first = instance.posts[0]
+        missing = uncovered_pairs(instance, [first])
+        assert missing == [(1, "b")]
+
+    def test_lambda_zero_requires_exact_colocation(self):
+        instance = Instance.from_specs(
+            [(1.0, "a"), (1.0, "a"), (2.0, "a")], lam=0.0
+        )
+        chosen = [instance.posts[0]]
+        missing = uncovered_pairs(instance, chosen)
+        assert missing == [(2, "a")]
+
+    def test_verify_cover_raises_with_details(self, figure2_instance):
+        with pytest.raises(InvalidCoverError) as excinfo:
+            verify_cover(figure2_instance, [])
+        assert "uncovered" in str(excinfo.value)
+
+    def test_verify_cover_passes_silently(self, figure2_instance):
+        p2, p4 = figure2_instance.posts[1], figure2_instance.posts[3]
+        verify_cover(figure2_instance, [p2, p4])
+
+
+class TestCoveredPairsBy:
+    def test_pairs_within_lambda_both_directions(self):
+        instance = Instance.from_specs(
+            [(0.0, "a"), (1.0, "a"), (2.0, "a")], lam=1.0
+        )
+        middle = instance.posts[1]
+        pairs = covered_pairs_by(instance, middle)
+        assert pairs == {(0, "a"), (1, "a"), (2, "a")}
+
+    def test_pairs_limited_to_own_labels(self):
+        instance = Instance.from_specs(
+            [(0.0, "ab"), (0.5, "b")], lam=1.0
+        )
+        first = instance.posts[0]
+        assert covered_pairs_by(instance, first) == {
+            (0, "a"), (0, "b"), (1, "b")
+        }
+
+
+class TestVariableLambda:
+    def test_directional_coverage(self):
+        """With per-post radii the relation is asymmetric (Section 6)."""
+        wide = Post(uid=0, value=0.0, labels=frozenset("a"))
+        narrow = Post(uid=1, value=3.0, labels=frozenset("a"))
+        radii = {0: 5.0, 1: 1.0}
+        model = VariableLambda(
+            radius_fn=lambda post, label: radii[post.uid], upper_bound=5.0
+        )
+        assert model.covers(wide, "a", narrow)
+        assert not model.covers(narrow, "a", wide)
+
+    def test_variable_model_in_uncovered_pairs(self):
+        posts = [
+            Post(uid=0, value=0.0, labels=frozenset("a")),
+            Post(uid=1, value=3.0, labels=frozenset("a")),
+        ]
+        instance = Instance(posts, lam=1.0)
+        radii = {0: 5.0, 1: 1.0}
+        model = VariableLambda(
+            radius_fn=lambda post, label: radii[post.uid], upper_bound=5.0
+        )
+        # selecting the wide post covers everything...
+        assert is_cover(instance, [posts[0]], model)
+        # ...but the narrow post covers only itself
+        assert uncovered_pairs(instance, [posts[1]], model) == [(0, "a")]
+
+    def test_fixed_lambda_radius(self):
+        model = FixedLambda(2.5)
+        post = Post(uid=0, value=0.0, labels=frozenset("a"))
+        assert model.radius(post, "a") == 2.5
+        assert model.max_radius() == 2.5
+
+
+class TestCoverageProperties:
+    @given(small_instances())
+    def test_all_posts_always_a_cover(self, instance):
+        assert is_cover(instance, instance.posts)
+
+    @given(small_instances())
+    def test_uncovered_pairs_of_empty_selection_is_universe(self, instance):
+        missing = set(uncovered_pairs(instance, []))
+        universe = {
+            (post.uid, label)
+            for post in instance.posts
+            for label in post.labels
+        }
+        assert missing == universe
+
+    @given(small_instances())
+    def test_monotone_in_selection(self, instance):
+        """Adding posts to a selection never uncovers anything."""
+        half = list(instance.posts[::2])
+        missing_half = set(uncovered_pairs(instance, half))
+        missing_all = set(uncovered_pairs(instance, instance.posts))
+        assert missing_all <= missing_half

@@ -1,0 +1,89 @@
+"""The vectorised (numpy) set-cover family builder."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+
+from repro.core.fastpath import build_family_encoded, decode_pair
+from repro.core.greedy_sc import build_setcover_family, greedy_sc
+from repro.core.instance import Instance
+
+from ..conftest import small_instances
+
+
+class TestEncodedFamily:
+    def test_matches_python_builder(self):
+        instance = Instance.from_specs(
+            [(0.0, "ab"), (1.0, "a"), (3.0, "b"), (3.5, "ab")], lam=1.0
+        )
+        py_family, py_universe = build_setcover_family(instance)
+        np_family, np_universe, labels = build_family_encoded(instance)
+
+        def decode_set(encoded_set):
+            return {
+                decode_pair(code, instance, labels)
+                for code in encoded_set
+            }
+
+        assert decode_set(np_universe) == py_universe
+        for py_set, np_set in zip(py_family, np_family):
+            assert decode_set(np_set) == py_set
+
+    def test_empty_label_lists_tolerated(self):
+        instance = Instance.from_specs(
+            [(0.0, "a")], lam=1.0, labels="ab"
+        )
+        family, universe, labels = build_family_encoded(instance)
+        assert len(universe) == 1
+        assert family[0]
+
+    def test_decode_roundtrip(self):
+        instance = Instance.from_specs(
+            [(0.0, "a"), (1.0, "b")], lam=1.0
+        )
+        _, universe, labels = build_family_encoded(instance)
+        decoded = {
+            decode_pair(code, instance, labels) for code in universe
+        }
+        assert decoded == {(0, "a"), (1, "b")}
+
+    @given(small_instances())
+    @settings(deadline=None, max_examples=60)
+    def test_families_equivalent_property(self, instance):
+        py_family, py_universe = build_setcover_family(instance)
+        np_family, np_universe, labels = build_family_encoded(instance)
+        assert len(np_universe) == len(py_universe)
+        for py_set, np_set in zip(py_family, np_family):
+            assert len(py_set) == len(np_set)
+            assert {
+                decode_pair(code, instance, labels) for code in np_set
+            } == py_set
+
+
+class TestEngineEquivalence:
+    def test_unknown_engine_rejected(self, figure2_instance):
+        with pytest.raises(ValueError):
+            greedy_sc(figure2_instance, engine="fortran")
+
+    @given(small_instances())
+    @settings(deadline=None, max_examples=60)
+    def test_engines_pick_identically(self, instance):
+        python = greedy_sc(instance, engine="python")
+        vectorised = greedy_sc(instance, engine="numpy")
+        assert python.uids == vectorised.uids
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_engines_on_float_boundaries(self, seed):
+        """The numpy windows must honour the same ulp discipline."""
+        rng = random.Random(seed)
+        values = [0.0, 0.3, 0.5, 0.8, 0.3 + 0.5, 0.8 - 0.3, 1.1]
+        specs = [
+            (rng.choice(values), rng.choice(["a", "b", "ab"]))
+            for _ in range(10)
+        ]
+        instance = Instance.from_specs(specs, lam=0.3)
+        assert (
+            greedy_sc(instance, engine="python").uids
+            == greedy_sc(instance, engine="numpy").uids
+        )

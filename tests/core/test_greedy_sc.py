@@ -1,0 +1,107 @@
+"""Algorithm GreedySC (Section 4.2)."""
+
+import math
+
+import pytest
+from hypothesis import given
+
+from repro.core.brute_force import exact_via_setcover
+from repro.core.coverage import is_cover
+from repro.core.greedy_sc import build_setcover_family, greedy_sc
+from repro.core.instance import Instance
+
+from ..conftest import small_instances
+
+
+class TestSetCoverFamily:
+    def test_universe_is_all_pairs(self):
+        instance = Instance.from_specs(
+            [(0.0, "ab"), (5.0, "a")], lam=1.0
+        )
+        _, universe = build_setcover_family(instance)
+        assert universe == {(0, "a"), (0, "b"), (1, "a")}
+
+    def test_sets_symmetric_within_lambda(self):
+        instance = Instance.from_specs(
+            [(0.0, "a"), (1.0, "a")], lam=1.0
+        )
+        family, _ = build_setcover_family(instance)
+        assert family[0] == {(0, "a"), (1, "a")}
+        assert family[1] == {(0, "a"), (1, "a")}
+
+    def test_no_coverage_across_labels(self):
+        instance = Instance.from_specs(
+            [(0.0, "a"), (0.0, "b")], lam=1.0
+        )
+        family, _ = build_setcover_family(instance)
+        assert family[0] == {(0, "a")}
+        assert family[1] == {(1, "b")}
+
+    def test_window_respects_lambda(self):
+        instance = Instance.from_specs(
+            [(0.0, "a"), (2.0, "a"), (4.0, "a")], lam=2.0
+        )
+        family, _ = build_setcover_family(instance)
+        # the middle post reaches both neighbours; the ends reach only it
+        assert family[1] == {(0, "a"), (1, "a"), (2, "a")}
+        assert family[0] == {(0, "a"), (1, "a")}
+
+    def test_multilabel_post_set(self):
+        instance = Instance.from_specs(
+            [(0.0, "ab"), (0.5, "a"), (0.5, "b")], lam=1.0
+        )
+        family, _ = build_setcover_family(instance)
+        assert family[0] == {
+            (0, "a"), (0, "b"), (1, "a"), (2, "b")
+        }
+
+
+class TestGreedySC:
+    def test_figure2(self, figure2_instance):
+        solution = greedy_sc(figure2_instance)
+        assert is_cover(figure2_instance, solution.posts)
+        assert solution.size == 2
+
+    def test_prefers_multilabel_hub(self):
+        """GreedySC's whole advantage: one hub post covers pairs of many
+        labels at once."""
+        specs = [(0.0, "a"), (0.1, "b"), (0.2, "c"), (0.3, "abc")]
+        instance = Instance.from_specs(specs, lam=1.0)
+        solution = greedy_sc(instance)
+        assert solution.size == 1
+        assert solution.posts[0].labels == frozenset("abc")
+
+    def test_strategies_agree_on_result(self):
+        instance = Instance.from_specs(
+            [(0, "a"), (30, "ab"), (65, "b"), (70, "ab"), (120, "a")],
+            lam=40,
+        )
+        rescan = greedy_sc(instance, strategy="rescan")
+        heap = greedy_sc(instance, strategy="lazy_heap")
+        assert rescan.uids == heap.uids
+
+    def test_unknown_strategy_rejected(self, figure2_instance):
+        with pytest.raises(ValueError):
+            greedy_sc(figure2_instance, strategy="magic")
+
+
+class TestGreedySCProperties:
+    @given(small_instances())
+    def test_valid_cover(self, instance):
+        assert is_cover(instance, greedy_sc(instance).posts)
+
+    @given(small_instances())
+    def test_logarithmic_bound(self, instance):
+        """|GreedySC| <= H(k) * |OPT| with k the largest set size
+        (Feige's bound for greedy set cover)."""
+        family, _ = build_setcover_family(instance)
+        k = max((len(s) for s in family), default=1)
+        harmonic = sum(1.0 / i for i in range(1, k + 1))
+        optimum = exact_via_setcover(instance).size
+        assert greedy_sc(instance).size <= math.ceil(harmonic * optimum)
+
+    @given(small_instances())
+    def test_strategies_agree(self, instance):
+        rescan = greedy_sc(instance, strategy="rescan")
+        heap = greedy_sc(instance, strategy="lazy_heap")
+        assert rescan.uids == heap.uids

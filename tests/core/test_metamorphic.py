@@ -1,0 +1,170 @@
+"""Metamorphic tests: transformations that must not change the answer.
+
+The diversity dimension is only ever consumed through *differences*
+against lambda, and labels only through identity — so solutions must be
+invariant under value translation, value+lambda scaling, axis mirroring
+and label renaming.  Each property is checked for every batch solver and
+(where the transformation preserves arrival order) the streaming ones.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.brute_force import exact_via_setcover
+from repro.core.greedy_sc import greedy_sc
+from repro.core.instance import Instance
+from repro.core.opt import opt_size
+from repro.core.post import Post
+from repro.core.scan import scan, scan_plus
+from repro.core.streaming import stream_solve
+
+BATCH_SIZES = {
+    "scan": lambda i: scan(i).size,
+    "scan+": lambda i: scan_plus(i).size,
+    "greedy_sc": lambda i: greedy_sc(i).size,
+    "exact": lambda i: exact_via_setcover(i).size,
+    "opt": opt_size,
+}
+
+
+def _random_instance(seed: int) -> Instance:
+    rng = random.Random(seed)
+    n = rng.randint(1, 12)
+    posts = [
+        Post(
+            uid=i,
+            value=rng.uniform(0, 20),
+            labels=frozenset(rng.sample("abc", rng.randint(1, 2))),
+        )
+        for i in range(n)
+    ]
+    return Instance(posts, rng.choice([0.5, 1.5, 4.0]))
+
+
+def _translate(instance: Instance, offset: float) -> Instance:
+    posts = [
+        Post(uid=p.uid, value=p.value + offset, labels=p.labels)
+        for p in instance.posts
+    ]
+    return Instance(posts, instance.lam)
+
+
+def _scale(instance: Instance, factor: float) -> Instance:
+    posts = [
+        Post(uid=p.uid, value=p.value * factor, labels=p.labels)
+        for p in instance.posts
+    ]
+    return Instance(posts, instance.lam * factor)
+
+
+def _mirror(instance: Instance) -> Instance:
+    posts = [
+        Post(uid=p.uid, value=-p.value, labels=p.labels)
+        for p in instance.posts
+    ]
+    return Instance(posts, instance.lam)
+
+
+def _rename(instance: Instance) -> Instance:
+    mapping = {"a": "xx", "b": "yy", "c": "zz"}
+    posts = [
+        Post(
+            uid=p.uid,
+            value=p.value,
+            labels=frozenset(mapping[label] for label in p.labels),
+        )
+        for p in instance.posts
+    ]
+    return Instance(posts, instance.lam)
+
+
+class TestTranslationInvariance:
+    @pytest.mark.parametrize("seed", range(10))
+    def test_batch_sizes_unchanged(self, seed):
+        instance = _random_instance(seed)
+        # power-of-two offset: exactly representable, so the float
+        # differences the solvers compare are bit-identical
+        shifted = _translate(instance, 4096.0)
+        for name, size_of in BATCH_SIZES.items():
+            assert size_of(instance) == size_of(shifted), name
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_streaming_sizes_unchanged(self, seed):
+        instance = _random_instance(seed)
+        shifted = _translate(instance, 4096.0)
+        for name in ("stream_scan", "instant", "stream_greedy_sc"):
+            before = stream_solve(name, instance, tau=1.0).size
+            after = stream_solve(name, shifted, tau=1.0).size
+            assert before == after, name
+
+
+class TestScaleInvariance:
+    @pytest.mark.parametrize("seed", range(10))
+    def test_batch_sizes_unchanged(self, seed):
+        instance = _random_instance(seed)
+        scaled = _scale(instance, 4.0)  # power of two: exact
+        for name, size_of in BATCH_SIZES.items():
+            assert size_of(instance) == size_of(scaled), name
+
+
+class TestMirrorInvariance:
+    @pytest.mark.parametrize("seed", range(10))
+    def test_exact_sizes_unchanged(self, seed):
+        """Reversing the axis cannot change the optimum (coverage is
+        symmetric); greedy tie-breaks may shift picks but exact solvers
+        must agree exactly."""
+        instance = _random_instance(seed)
+        mirrored = _mirror(instance)
+        assert opt_size(instance) == opt_size(mirrored)
+        assert (
+            exact_via_setcover(instance).size
+            == exact_via_setcover(mirrored).size
+        )
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_scan_per_label_counts_unchanged(self, seed):
+        """Scan's per-label pick *counts* are mirror-proof (per-label
+        optimality); the union size is not, because mirroring changes
+        which picks happen to coincide across labels."""
+        from repro.core.scan import scan_label
+
+        instance = _random_instance(seed)
+        mirrored = _mirror(instance)
+        for label in instance.labels:
+            before = len(
+                scan_label(instance.posting(label), instance.lam)
+            )
+            after = len(
+                scan_label(mirrored.posting(label), mirrored.lam)
+            )
+            assert before == after, label
+
+
+class TestLabelRenamingInvariance:
+    @pytest.mark.parametrize("seed", range(10))
+    def test_all_sizes_unchanged(self, seed):
+        instance = _random_instance(seed)
+        renamed = _rename(instance)
+        for name, size_of in BATCH_SIZES.items():
+            assert size_of(instance) == size_of(renamed), name
+
+
+class TestUidRelabelingInvariance:
+    @given(st.integers(min_value=0, max_value=10_000))
+    @settings(deadline=None, max_examples=25)
+    def test_exact_size_ignores_uid_values(self, seed):
+        instance = _random_instance(seed)
+        remapped = Instance(
+            [
+                Post(uid=p.uid * 17 + 3, value=p.value, labels=p.labels)
+                for p in instance.posts
+            ],
+            instance.lam,
+        )
+        assert (
+            exact_via_setcover(instance).size
+            == exact_via_setcover(remapped).size
+        )

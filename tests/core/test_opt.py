@@ -1,0 +1,116 @@
+"""Algorithm OPT — the exact end-pattern dynamic program (Section 4.1)."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.core.brute_force import brute_force, exact_via_setcover
+from repro.core.coverage import is_cover
+from repro.core.instance import Instance
+from repro.core.opt import opt, opt_size
+from repro.errors import AlgorithmBudgetExceeded
+
+from ..conftest import small_instances
+
+
+class TestOptBasics:
+    def test_empty_instance(self):
+        assert opt(Instance([], lam=1.0)).size == 0
+
+    def test_single_post(self):
+        assert opt_size(Instance.from_specs([(1.0, "a")], lam=1.0)) == 1
+
+    def test_figure2(self, figure2_instance):
+        solution = opt(figure2_instance)
+        assert is_cover(figure2_instance, solution.posts)
+        assert solution.size == 2
+
+    def test_smoke_instance(self):
+        instance = Instance.from_specs(
+            [(0, "a"), (30, "ab"), (65, "b"), (70, "ab"), (120, "a")],
+            lam=40,
+        )
+        solution = opt(instance)
+        assert is_cover(instance, solution.posts)
+        assert solution.size == 2
+        assert solution.uids == (1, 4)
+
+    def test_identical_timestamps(self):
+        """Set-cover-like degenerate case: everything at one time."""
+        instance = Instance.from_specs(
+            [(0.0, "a"), (0.0, "b"), (0.0, "ab")], lam=1.0
+        )
+        assert opt_size(instance) == 1
+
+    def test_disjoint_labels_need_one_pick_each(self):
+        instance = Instance.from_specs(
+            [(0.0, "a"), (0.0, "b"), (0.0, "c")], lam=5.0
+        )
+        assert opt_size(instance) == 3
+
+    def test_lambda_zero(self):
+        instance = Instance.from_specs(
+            [(0.0, "a"), (1.0, "a"), (2.0, "a")], lam=0.0
+        )
+        assert opt_size(instance) == 3
+
+    def test_future_post_can_cover(self):
+        """A selected post may come after the covered one (f(j) > j)."""
+        instance = Instance.from_specs(
+            [(0.0, "a"), (1.0, "ab")], lam=1.0
+        )
+        # picking only the later post covers both
+        assert opt_size(instance) == 1
+
+    def test_budget_exceeded_raises(self):
+        specs = [(float(i), "abc"[i % 3] + "abc"[(i + 1) % 3])
+                 for i in range(40)]
+        instance = Instance.from_specs(specs, lam=20.0)
+        with pytest.raises(AlgorithmBudgetExceeded):
+            opt(instance, budget=100)
+
+    def test_solution_posts_are_instance_posts(self, figure2_instance):
+        solution = opt(figure2_instance)
+        uids = {p.uid for p in figure2_instance.posts}
+        assert all(p.uid in uids for p in solution.posts)
+
+
+class TestSizeOnlyMode:
+    """opt_size runs the two-frontier (lower-space) DP variant."""
+
+    def test_empty(self):
+        assert opt_size(Instance([], lam=1.0)) == 0
+
+    def test_matches_reconstructing_mode(self, figure2_instance):
+        assert opt_size(figure2_instance) == opt(figure2_instance).size
+
+    @given(small_instances(max_posts=10, max_labels=3))
+    @settings(deadline=None, max_examples=40)
+    def test_agreement_property(self, instance):
+        assert opt_size(instance) == opt(instance).size
+
+
+class TestOptCrossValidation:
+    """The heart of the test pyramid: three independent exact solvers
+    must agree on every random instance."""
+
+    @given(small_instances(max_posts=9, max_labels=3))
+    @settings(deadline=None, max_examples=60)
+    def test_opt_matches_brute_force(self, instance):
+        dp = opt(instance)
+        assert is_cover(instance, dp.posts)
+        assert dp.size == brute_force(instance).size
+
+    @given(small_instances(max_posts=12, max_labels=3))
+    @settings(deadline=None, max_examples=60)
+    def test_opt_matches_exact_setcover(self, instance):
+        assert opt_size(instance) == exact_via_setcover(instance).size
+
+    @given(small_instances(max_posts=12, max_labels=3))
+    @settings(deadline=None, max_examples=40)
+    def test_opt_lower_bounds_everything(self, instance):
+        from repro.core.greedy_sc import greedy_sc
+        from repro.core.scan import scan, scan_plus
+
+        optimum = opt_size(instance)
+        for solver in (scan, scan_plus, greedy_sc):
+            assert solver(instance).size >= optimum

@@ -1,0 +1,134 @@
+"""Pathological inputs: every solver must behave at the edges.
+
+Degenerate shapes a production system will eventually receive: single
+posts, everything at one timestamp (the set-cover degeneration of
+Section 3), enormous and zero lambdas, one post per label, thousand-post
+single-label lines, adversarial duplicate values.
+"""
+
+import pytest
+
+from repro.core.brute_force import exact_via_setcover
+from repro.core.coverage import is_cover
+from repro.core.greedy_sc import greedy_sc
+from repro.core.instance import Instance
+from repro.core.opt import opt, opt_size
+from repro.core.post import Post
+from repro.core.scan import scan, scan_plus
+from repro.core.streaming import stream_solve
+
+BATCH = (scan, scan_plus, greedy_sc, exact_via_setcover, opt)
+STREAMING = ("stream_scan", "stream_scan+", "instant",
+             "stream_greedy_sc", "stream_greedy_sc+")
+
+
+def _check_all(instance, expected_exact=None):
+    exact = exact_via_setcover(instance).size
+    if expected_exact is not None:
+        assert exact == expected_exact
+    for solver in BATCH:
+        solution = solver(instance)
+        assert is_cover(instance, solution.posts), solver
+        assert solution.size >= exact
+    for name in STREAMING:
+        result = stream_solve(name, instance, tau=1.0)
+        assert is_cover(instance, result.to_solution().posts), name
+    return exact
+
+
+class TestDegenerateShapes:
+    def test_single_post(self):
+        instance = Instance.from_specs([(0.0, "a")], lam=1.0)
+        assert _check_all(instance, expected_exact=1) == 1
+
+    def test_all_posts_identical(self):
+        instance = Instance.from_specs([(5.0, "a")] * 7, lam=1.0)
+        _check_all(instance, expected_exact=1)
+
+    def test_single_timestamp_is_set_cover(self):
+        """Section 3's observation: all posts at one time = set cover."""
+        instance = Instance.from_specs(
+            [(0.0, "ab"), (0.0, "bc"), (0.0, "ac"), (0.0, "a")], lam=1.0
+        )
+        # {ab, ac} or {ab, bc} etc: two sets cover {a, b, c}
+        _check_all(instance, expected_exact=2)
+
+    def test_one_post_per_label(self):
+        instance = Instance.from_specs(
+            [(float(i), letter) for i, letter in enumerate("abcd")],
+            lam=100.0,
+        )
+        _check_all(instance, expected_exact=4)
+
+    def test_huge_lambda_collapses_to_set_cover(self):
+        instance = Instance.from_specs(
+            [(0.0, "a"), (1e9, "ab"), (2e9, "b")], lam=1e18
+        )
+        _check_all(instance, expected_exact=1)
+
+    def test_zero_lambda_requires_colocation(self):
+        instance = Instance.from_specs(
+            [(0.0, "a"), (1.0, "a"), (1.0, "a"), (2.0, "a")], lam=0.0
+        )
+        _check_all(instance, expected_exact=3)
+
+    def test_negative_values_fine(self):
+        instance = Instance.from_specs(
+            [(-10.0, "a"), (-9.5, "a"), (3.0, "a")], lam=1.0
+        )
+        _check_all(instance, expected_exact=2)
+
+    def test_long_single_label_line(self):
+        """A thousand evenly spaced posts: scan must be optimal and every
+        solver must stay linear-ish (this also smoke-tests memory)."""
+        instance = Instance.from_specs(
+            [(float(i), "a") for i in range(1000)], lam=3.5
+        )
+        expected = scan(instance).size
+        assert is_cover(instance, scan(instance).posts)
+        assert greedy_sc(instance).size >= expected
+        # streaming with tau >= lambda equals batch scan
+        streamed = stream_solve("stream_scan", instance, tau=4.0)
+        assert streamed.size == expected
+
+    def test_interleaved_duplicate_values_two_labels(self):
+        specs = []
+        for i in range(20):
+            specs.append((float(i // 2), "a" if i % 2 else "b"))
+        instance = Instance.from_specs(specs, lam=2.0)
+        _check_all(instance)
+
+    def test_extreme_overlap_every_post_all_labels(self):
+        instance = Instance.from_specs(
+            [(float(i), "abc") for i in range(12)], lam=2.0
+        )
+        exact = _check_all(instance)
+        # with total overlap, greedy matches the single-label optimum
+        assert greedy_sc(instance).size == exact
+
+
+class TestNumericalExtremes:
+    def test_tiny_value_gaps(self):
+        base = 1e15  # float spacing here is 0.125
+        instance = Instance.from_specs(
+            [(base, "a"), (base + 1.0, "a"), (base + 2.0, "a")], lam=1.0
+        )
+        for solver in BATCH:
+            assert is_cover(instance, solver(instance).posts)
+
+    def test_mixed_magnitudes(self):
+        instance = Instance.from_specs(
+            [(1e-9, "a"), (1.0, "a"), (1e9, "a")], lam=0.5
+        )
+        _check_all(instance, expected_exact=3)
+
+    def test_opt_size_only_on_pathologies(self):
+        for specs, lam in (
+            ([(5.0, "a")] * 5, 1.0),
+            ([(float(i), "ab") for i in range(8)], 0.0),
+            ([(0.0, "a"), (0.0, "b")], 10.0),
+        ):
+            instance = Instance.from_specs(specs, lam)
+            assert opt_size(instance) == exact_via_setcover(
+                instance
+            ).size

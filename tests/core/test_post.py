@@ -1,0 +1,78 @@
+"""Unit tests for the Post data model."""
+
+import pytest
+
+from repro.core.post import Post, make_posts
+
+
+class TestPost:
+    def test_labels_normalised_to_frozenset(self):
+        post = Post(uid=0, value=1.0, labels={"a", "b"})
+        assert isinstance(post.labels, frozenset)
+        assert post.labels == frozenset({"a", "b"})
+
+    def test_time_aliases_value(self):
+        post = Post(uid=0, value=42.5, labels=frozenset("a"))
+        assert post.time == 42.5
+
+    def test_matches(self):
+        post = Post(uid=0, value=0.0, labels=frozenset("ab"))
+        assert post.matches("a")
+        assert post.matches("b")
+        assert not post.matches("c")
+
+    def test_distance_is_absolute(self):
+        early = Post(uid=0, value=1.0, labels=frozenset("a"))
+        late = Post(uid=1, value=4.0, labels=frozenset("a"))
+        assert early.distance(late) == 3.0
+        assert late.distance(early) == 3.0
+
+    def test_covers_requires_shared_label(self):
+        only_a = Post(uid=0, value=0.0, labels=frozenset("a"))
+        only_b = Post(uid=1, value=0.0, labels=frozenset("b"))
+        assert not only_a.covers("a", only_b, lam=10.0)
+        assert not only_a.covers("b", only_b, lam=10.0)
+
+    def test_covers_requires_distance_within_lambda(self):
+        first = Post(uid=0, value=0.0, labels=frozenset("a"))
+        second = Post(uid=1, value=5.0, labels=frozenset("a"))
+        assert first.covers("a", second, lam=5.0)
+        assert not first.covers("a", second, lam=4.999)
+
+    def test_covers_is_reflexive_with_nonnegative_lambda(self):
+        post = Post(uid=0, value=3.0, labels=frozenset("a"))
+        assert post.covers("a", post, lam=0.0)
+
+    def test_same_time_different_labels_do_not_cover(self):
+        """The paper's key example: an 'Obama' post does not cover an
+        'economy' post even at the same timestamp."""
+        obama = Post(uid=0, value=100.0, labels=frozenset({"obama"}))
+        economy = Post(uid=1, value=100.0, labels=frozenset({"economy"}))
+        assert not obama.covers("economy", economy, lam=60.0)
+
+    def test_text_not_part_of_equality(self):
+        one = Post(uid=0, value=0.0, labels=frozenset("a"), text="x")
+        two = Post(uid=0, value=0.0, labels=frozenset("a"), text="y")
+        assert one == two
+
+
+class TestMakePosts:
+    def test_string_labels_split_characterwise(self):
+        posts = make_posts([(1.0, "ab")])
+        assert posts[0].labels == frozenset({"a", "b"})
+
+    def test_iterable_labels_accepted(self):
+        posts = make_posts([(1.0, ["news", "sports"])])
+        assert posts[0].labels == frozenset({"news", "sports"})
+
+    def test_sequential_uids_from_start(self):
+        posts = make_posts([(1.0, "a"), (2.0, "a")], start_uid=7)
+        assert [p.uid for p in posts] == [7, 8]
+
+    def test_optional_text_member(self):
+        posts = make_posts([(1.0, "a", "hello world")])
+        assert posts[0].text == "hello world"
+
+    def test_values_coerced_to_float(self):
+        posts = make_posts([(3, "a")])
+        assert isinstance(posts[0].value, float)

@@ -1,0 +1,149 @@
+"""Proportional diversity via variable lambda (Section 6)."""
+
+import math
+import random
+
+import pytest
+from hypothesis import given, settings
+
+from repro.core.coverage import VariableLambda, is_cover
+from repro.core.instance import Instance
+from repro.core.proportional import (
+    ProportionalLambda,
+    exact_variable,
+    greedy_sc_variable,
+    scan_variable,
+)
+from repro.core.scan import scan
+
+from ..conftest import small_instances
+
+
+def _dense_sparse_instance(lam0=2.0):
+    """30 posts bunched in [0, 3], then 4 posts spread over [50, 80]."""
+    specs = [(i * 0.1, "a") for i in range(30)]
+    specs += [(50.0 + 10.0 * i, "a") for i in range(4)]
+    return Instance.from_specs(specs, lam=lam0)
+
+
+class TestProportionalLambda:
+    def test_radius_formula_matches_equation2(self):
+        instance = Instance.from_specs(
+            [(0.0, "a"), (1.0, "a"), (2.0, "a")], lam=1.0
+        )
+        lam0 = 1.0
+        model = ProportionalLambda(instance, lam0=lam0, density0=1.0)
+        middle = instance.posts[1]
+        # density_a around the middle post: 3 posts in [0, 2] / (2*lam0)
+        local = 3 / 2.0
+        expected = lam0 * math.exp(1.0 - local / 1.0)
+        assert model.radius(middle, "a") == pytest.approx(expected)
+
+    def test_dense_regions_get_smaller_radii(self):
+        instance = _dense_sparse_instance()
+        model = ProportionalLambda(instance, lam0=2.0)
+        dense_post = instance.posts[15]   # inside the bunch
+        sparse_post = instance.posts[-1]  # in the tail
+        assert model.radius(dense_post, "a") < model.radius(
+            sparse_post, "a"
+        )
+
+    def test_radius_upper_bound_is_e_lam0(self):
+        instance = _dense_sparse_instance()
+        lam0 = 2.0
+        model = ProportionalLambda(instance, lam0=lam0)
+        assert model.max_radius() == pytest.approx(lam0 * math.e)
+        for post in instance.posts:
+            assert model.radius(post, "a") <= lam0 * math.e + 1e-12
+
+    def test_invalid_parameters(self):
+        instance = _dense_sparse_instance()
+        with pytest.raises(ValueError):
+            ProportionalLambda(instance, lam0=0.0)
+        with pytest.raises(ValueError):
+            ProportionalLambda(instance, lam0=1.0, density0=-1.0)
+
+    def test_radius_of_by_uid(self):
+        instance = _dense_sparse_instance()
+        model = ProportionalLambda(instance, lam0=2.0)
+        post = instance.posts[0]
+        assert model.radius_of(post.uid, "a") == model.radius(post, "a")
+
+
+class TestVariableSolvers:
+    def test_scan_variable_valid_cover(self):
+        instance = _dense_sparse_instance()
+        model = ProportionalLambda(instance, lam0=2.0)
+        solution = scan_variable(instance, model)
+        assert is_cover(instance, solution.posts, model)
+
+    def test_greedy_variable_valid_cover(self):
+        instance = _dense_sparse_instance()
+        model = ProportionalLambda(instance, lam0=2.0)
+        solution = greedy_sc_variable(instance, model)
+        assert is_cover(instance, solution.posts, model)
+
+    def test_exact_variable_valid_and_minimal(self):
+        instance = _dense_sparse_instance()
+        model = ProportionalLambda(instance, lam0=2.0)
+        exact = exact_variable(instance, model)
+        assert is_cover(instance, exact.posts, model)
+        assert exact.size <= scan_variable(instance, model).size
+        assert exact.size <= greedy_sc_variable(instance, model).size
+
+    def test_proportionality_shifts_output_to_dense_region(self):
+        """More representatives in dense regions than fixed lambda gives."""
+        instance = _dense_sparse_instance(lam0=2.0)
+        model = ProportionalLambda(instance, lam0=2.0)
+        fixed = scan(instance)
+        variable = scan_variable(instance, model)
+
+        def dense_count(solution):
+            return sum(1 for p in solution.posts if p.value <= 3.0)
+
+        # fixed lambda=2 covers the whole dense bunch with one post;
+        # the variable radius there is much smaller, forcing several.
+        assert dense_count(variable) > dense_count(fixed)
+
+    def test_directional_asymmetry_respected(self):
+        posts = Instance.from_specs(
+            [(0.0, "a"), (3.0, "a")], lam=1.0
+        )
+        radii = {0: 5.0, 1: 0.5}
+        model = VariableLambda(
+            radius_fn=lambda post, label: radii[post.uid],
+            upper_bound=5.0,
+        )
+        solution = scan_variable(posts, model)
+        assert is_cover(posts, solution.posts, model)
+        # the wide-radius post alone is the optimal directional cover
+        assert exact_variable(posts, model).size == 1
+
+
+class TestVariableProperties:
+    @given(small_instances(max_posts=10))
+    @settings(deadline=None, max_examples=40)
+    def test_variable_solvers_cover_under_equation2(self, instance):
+        lam0 = max(instance.lam, 0.5)
+        model = ProportionalLambda(instance, lam0=lam0)
+        for solver in (scan_variable, greedy_sc_variable):
+            solution = solver(instance, model)
+            assert is_cover(instance, solution.posts, model)
+
+    @given(small_instances(max_posts=10))
+    @settings(deadline=None, max_examples=40)
+    def test_exact_variable_lower_bounds_approximations(self, instance):
+        lam0 = max(instance.lam, 0.5)
+        model = ProportionalLambda(instance, lam0=lam0)
+        exact = exact_variable(instance, model).size
+        assert scan_variable(instance, model).size >= exact
+        assert greedy_sc_variable(instance, model).size >= exact
+
+    @given(small_instances(max_posts=10, max_labels=2))
+    @settings(deadline=None, max_examples=30)
+    def test_scan_variable_s_bound(self, instance):
+        lam0 = max(instance.lam, 0.5)
+        model = ProportionalLambda(instance, lam0=lam0)
+        s = instance.max_labels_per_post()
+        exact = exact_variable(instance, model).size
+        assert scan_variable(instance, model).size <= s * exact

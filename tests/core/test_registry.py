@@ -1,0 +1,41 @@
+"""The algorithm registry."""
+
+import pytest
+
+from repro.core.registry import available_algorithms, register, solve
+from repro.core.solution import Solution
+from repro.errors import UnknownAlgorithmError
+
+
+class TestRegistry:
+    def test_expected_algorithms_present(self):
+        names = available_algorithms()
+        for expected in ("opt", "scan", "scan+", "greedy_sc",
+                         "brute_force", "exact_setcover"):
+            assert expected in names
+
+    def test_solve_dispatches(self, figure2_instance):
+        solution = solve("scan", figure2_instance)
+        assert isinstance(solution, Solution)
+        assert solution.algorithm == "scan"
+
+    def test_unknown_name_raises_with_suggestions(self, figure2_instance):
+        with pytest.raises(UnknownAlgorithmError) as excinfo:
+            solve("scanner", figure2_instance)
+        assert "scan" in str(excinfo.value)
+
+    def test_kwargs_forwarded(self, figure2_instance):
+        solution = solve("greedy_sc", figure2_instance,
+                         strategy="lazy_heap")
+        assert solution.size == 2
+
+    def test_register_custom_and_reject_duplicates(self, figure2_instance):
+        def fake(instance):
+            return Solution.from_posts("fake", list(instance.posts))
+
+        name = "all_posts_test_only"
+        if name not in available_algorithms():
+            register(name, fake)
+        assert solve(name, figure2_instance).size == 4
+        with pytest.raises(ValueError):
+            register(name, fake)

@@ -1,0 +1,150 @@
+"""Algorithm Scan / Scan+ (Section 4.3)."""
+
+import pytest
+from hypothesis import given
+
+from repro.core.brute_force import exact_via_setcover
+from repro.core.coverage import is_cover
+from repro.core.instance import Instance
+from repro.core.scan import order_labels, scan, scan_label, scan_plus
+
+from ..conftest import small_instances
+
+
+class TestScanLabel:
+    def _plist(self, values, label="a"):
+        instance = Instance.from_specs(
+            [(v, label) for v in values], lam=1.0
+        )
+        return instance.posting(label)
+
+    def test_single_post(self):
+        picks = scan_label(self._plist([5.0]), lam=1.0)
+        assert [p.value for p in picks] == [5.0]
+
+    def test_cluster_covered_by_furthest(self):
+        """Posts 0,1,2 with lambda=1: picking the middle one suffices."""
+        picks = scan_label(self._plist([0.0, 1.0, 2.0]), lam=1.0)
+        assert [p.value for p in picks] == [1.0]
+
+    def test_far_apart_posts_each_picked(self):
+        picks = scan_label(self._plist([0.0, 10.0, 20.0]), lam=3.0)
+        assert [p.value for p in picks] == [0.0, 10.0, 20.0]
+
+    def test_trailing_post_added_when_uncovered(self):
+        # 0,5 with lam 2: pick 0 (covers 0), then 5 must be added
+        picks = scan_label(self._plist([0.0, 5.0]), lam=2.0)
+        assert [p.value for p in picks] == [0.0, 5.0]
+
+    def test_paper_greedy_shape(self):
+        # 0, 5, 6, 12 with lam=2 -> picks 0 (alone), 6 (covers 5,6), 12
+        picks = scan_label(self._plist([0.0, 5.0, 6.0, 12.0]), lam=2.0)
+        assert [p.value for p in picks] == [0.0, 6.0, 12.0]
+
+    def test_is_covered_skips_targets_but_not_picks(self):
+        plist = self._plist([0.0, 1.0, 2.0])
+        # mark index 0 covered: scan starts from index 1, picks value 2.0
+        picks = scan_label(
+            plist, lam=1.0, is_covered=lambda idx: idx == 0
+        )
+        assert [p.value for p in picks] == [2.0]
+
+    def test_on_pick_callback_sees_every_pick(self):
+        seen = []
+        scan_label(self._plist([0.0, 10.0]), lam=1.0,
+                   on_pick=seen.append)
+        assert [p.value for p in seen] == [0.0, 10.0]
+
+    def test_single_label_optimality_against_exact(self):
+        """Scan is optimal per label (claimed in the Section 4.3 proof)."""
+        values = [0.0, 0.4, 1.1, 2.0, 2.1, 5.0, 5.5, 9.0]
+        instance = Instance.from_specs([(v, "a") for v in values], lam=1.0)
+        picks = scan_label(instance.posting("a"), lam=1.0)
+        optimal = exact_via_setcover(instance)
+        assert len(picks) == optimal.size
+
+
+class TestScan:
+    def test_figure2_scan(self, figure2_instance):
+        solution = scan(figure2_instance)
+        assert is_cover(figure2_instance, solution.posts)
+        # per-label optima: a -> 1 pick (P2), c -> 1 pick; union size 2
+        assert solution.size == 2
+
+    def test_scan_processes_labels_independently(self):
+        # identical timelines under two labels: scan pays twice
+        specs = [(0.0, "a"), (0.0, "b"), (10.0, "a"), (10.0, "b")]
+        instance = Instance.from_specs(specs, lam=1.0)
+        assert scan(instance).size == 4
+
+    def test_label_order_does_not_change_plain_scan(self):
+        instance = Instance.from_specs(
+            [(0.0, "ab"), (1.0, "a"), (2.0, "b"), (8.0, "ab")], lam=1.0
+        )
+        sizes = {
+            order: scan(instance, label_order=order).size
+            for order in ("sorted", "longest_first", "shortest_first")
+        }
+        assert len(set(sizes.values())) == 1
+
+    def test_unknown_order_rejected(self, figure2_instance):
+        with pytest.raises(ValueError):
+            order_labels(figure2_instance, "random")
+
+
+class TestScanPlus:
+    def test_cross_label_pick_reused(self):
+        """A post picked for label a also covers its b pairs, so Scan+
+        skips them while plain Scan pays again."""
+        specs = [(0.0, "a"), (1.0, "ab"), (2.0, "b")]
+        instance = Instance.from_specs(specs, lam=1.0)
+        # plain Scan picks (1,'ab') for a, then (2,'b') for b
+        assert scan(instance).size == 2
+        # Scan+'s pick for a is the multi-label post, which strikes the
+        # b pairs, so label b needs no pick at all
+        plus = scan_plus(instance)
+        assert is_cover(instance, plus.posts)
+        assert plus.size == 1
+
+    def test_never_worse_than_scan_on_disjoint_labels(self):
+        specs = [(0.0, "a"), (5.0, "b"), (10.0, "a")]
+        instance = Instance.from_specs(specs, lam=1.0)
+        assert scan_plus(instance).size == scan(instance).size == 3
+
+    def test_smoke_instance(self):
+        instance = Instance.from_specs(
+            [(0, "a"), (30, "ab"), (65, "b"), (70, "ab"), (120, "a")],
+            lam=40,
+        )
+        solution = scan_plus(instance)
+        assert is_cover(instance, solution.posts)
+        assert solution.size <= scan(instance).size
+
+
+class TestScanProperties:
+    @given(small_instances())
+    def test_scan_produces_valid_cover(self, instance):
+        assert is_cover(instance, scan(instance).posts)
+
+    @given(small_instances())
+    def test_scan_plus_produces_valid_cover(self, instance):
+        assert is_cover(instance, scan_plus(instance).posts)
+
+    @given(small_instances())
+    def test_approximation_bound_s(self, instance):
+        """|Scan| <= s * |OPT| with s the max labels per post."""
+        optimum = exact_via_setcover(instance).size
+        s = instance.max_labels_per_post()
+        assert scan(instance).size <= s * optimum
+
+    @given(small_instances(max_labels=1))
+    def test_single_label_scan_is_optimal(self, instance):
+        optimum = exact_via_setcover(instance).size
+        assert scan(instance).size == optimum
+
+    @given(small_instances())
+    def test_scan_plus_never_over_scan_times_labels(self, instance):
+        # Scan+ is also an s-approximation (it never adds picks).
+        optimum = exact_via_setcover(instance).size
+        s = instance.max_labels_per_post()
+        assert scan_plus(instance).size <= s * optimum

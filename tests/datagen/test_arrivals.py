@@ -1,0 +1,113 @@
+"""Arrival processes."""
+
+import math
+import random
+
+import pytest
+
+from repro.datagen.arrivals import (
+    bursty_times,
+    diurnal_rate,
+    nonhomogeneous_poisson_times,
+    poisson_times,
+)
+
+
+class TestPoisson:
+    def test_sorted_within_bounds(self):
+        times = poisson_times(random.Random(0), 2.0, 10.0, 20.0)
+        assert times == sorted(times)
+        assert all(10.0 <= t < 20.0 for t in times)
+
+    def test_rate_approximately_honoured(self):
+        times = poisson_times(random.Random(1), 5.0, 0.0, 1000.0)
+        rate = len(times) / 1000.0
+        assert rate == pytest.approx(5.0, rel=0.1)
+
+    def test_zero_rate_empty(self):
+        assert poisson_times(random.Random(0), 0.0, 0.0, 10.0) == []
+
+    def test_negative_rate_rejected(self):
+        with pytest.raises(ValueError):
+            poisson_times(random.Random(0), -1.0, 0.0, 1.0)
+
+    def test_empty_interval(self):
+        assert poisson_times(random.Random(0), 1.0, 5.0, 5.0) == []
+
+    def test_deterministic_under_seed(self):
+        one = poisson_times(random.Random(9), 1.0, 0.0, 50.0)
+        two = poisson_times(random.Random(9), 1.0, 0.0, 50.0)
+        assert one == two
+
+
+class TestNonhomogeneous:
+    def test_thinning_respects_rate_shape(self):
+        """Twice the rate in the second half -> roughly twice the events."""
+        def rate(t):
+            return 2.0 if t >= 500.0 else 1.0
+
+        times = nonhomogeneous_poisson_times(
+            random.Random(2), rate, rate_max=2.0, start=0.0, end=1000.0
+        )
+        first = sum(1 for t in times if t < 500.0)
+        second = len(times) - first
+        assert second / max(first, 1) == pytest.approx(2.0, rel=0.25)
+
+    def test_rate_escape_detected(self):
+        with pytest.raises(ValueError):
+            nonhomogeneous_poisson_times(
+                random.Random(0), lambda t: 5.0, rate_max=1.0,
+                start=0.0, end=100.0,
+            )
+
+    def test_zero_max_rate_empty(self):
+        assert nonhomogeneous_poisson_times(
+            random.Random(0), lambda t: 0.0, 0.0, 0.0, 10.0
+        ) == []
+
+
+class TestDiurnal:
+    def test_peak_at_requested_phase(self):
+        rate = diurnal_rate(10.0, amplitude=0.5, period=100.0,
+                            peak_at=0.25)
+        assert rate(25.0) == pytest.approx(15.0)
+        assert rate(75.0) == pytest.approx(5.0)
+
+    def test_max_is_base_times_one_plus_amplitude(self):
+        rate = diurnal_rate(10.0, amplitude=0.3)
+        values = [rate(t) for t in range(0, 86_400, 600)]
+        assert max(values) <= 13.0 + 1e-9
+
+    def test_invalid_amplitude(self):
+        with pytest.raises(ValueError):
+            diurnal_rate(1.0, amplitude=1.5)
+
+
+class TestBursty:
+    def test_returns_times_and_epochs(self):
+        times, epochs = bursty_times(
+            random.Random(3), base_rate=0.5, start=0.0, end=1000.0,
+            n_bursts=2,
+        )
+        assert times == sorted(times)
+        assert len(epochs) == 2
+        assert all(0.0 <= e <= 1000.0 for e in epochs)
+
+    def test_bursts_raise_local_volume(self):
+        rng = random.Random(4)
+        times, epochs = bursty_times(
+            rng, base_rate=0.2, start=0.0, end=5000.0,
+            n_bursts=1, burst_rate=5.0, burst_decay=100.0,
+        )
+        epoch = epochs[0]
+        inside = sum(1 for t in times if epoch <= t <= epoch + 100.0)
+        before = sum(1 for t in times if epoch - 100.0 <= t < epoch)
+        assert inside > before
+
+    def test_no_bursts_is_plain_poisson_volume(self):
+        times, epochs = bursty_times(
+            random.Random(5), base_rate=1.0, start=0.0, end=1000.0,
+            n_bursts=0,
+        )
+        assert epochs == []
+        assert len(times) / 1000.0 == pytest.approx(1.0, rel=0.15)

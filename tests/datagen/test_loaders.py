@@ -1,0 +1,105 @@
+"""Data loaders and serialisers."""
+
+import io
+
+import pytest
+
+from repro.core.instance import Instance
+from repro.core.solution import Solution
+from repro.core.post import make_posts
+from repro.datagen.loaders import (
+    documents_from_csv,
+    instance_from_jsonl,
+    instance_to_jsonl,
+    posts_from_jsonl,
+    solution_to_csv,
+)
+from repro.errors import InvalidInstanceError
+
+
+class TestDocumentsFromCsv:
+    CSV = "timestamp,text\n1.5,obama speech\n2.0,nba finals\n"
+
+    def test_parse_string(self):
+        docs = documents_from_csv(self.CSV)
+        assert len(docs) == 2
+        assert docs[0].timestamp == 1.5
+        assert docs[0].text == "obama speech"
+        assert [d.doc_id for d in docs] == [0, 1]
+
+    def test_parse_file_object(self):
+        docs = documents_from_csv(io.StringIO(self.CSV))
+        assert len(docs) == 2
+
+    def test_custom_field_names(self):
+        csv_text = "ts,body,id\n3.0,hello,7\n"
+        docs = documents_from_csv(
+            csv_text, timestamp_field="ts", text_field="body",
+            id_field="id",
+        )
+        assert docs[0].doc_id == 7
+        assert docs[0].timestamp == 3.0
+
+    def test_missing_column_raises(self):
+        with pytest.raises(InvalidInstanceError):
+            documents_from_csv("time,text\n1,hello\n")
+
+    def test_bad_timestamp_raises(self):
+        with pytest.raises(InvalidInstanceError):
+            documents_from_csv("timestamp,text\nnoon,hello\n")
+
+
+class TestPostsFromJsonl:
+    def test_parse(self):
+        lines = (
+            '{"uid": 1, "value": 2.5, "labels": ["a", "b"]}\n'
+            '{"uid": 2, "value": 3.0, "labels": ["a"], "text": "hi"}\n'
+        )
+        posts = posts_from_jsonl(lines)
+        assert posts[0].labels == {"a", "b"}
+        assert posts[1].text == "hi"
+
+    def test_blank_lines_skipped(self):
+        posts = posts_from_jsonl(
+            '\n{"uid": 1, "value": 1.0, "labels": ["a"]}\n\n'
+        )
+        assert len(posts) == 1
+
+    def test_invalid_json_raises(self):
+        with pytest.raises(InvalidInstanceError):
+            posts_from_jsonl("{not json}\n")
+
+    def test_missing_fields_raise(self):
+        with pytest.raises(InvalidInstanceError):
+            posts_from_jsonl('{"uid": 1, "value": 1.0}\n')
+
+
+class TestInstanceRoundTrip:
+    def test_jsonl_round_trip(self):
+        instance = Instance.from_specs(
+            [(1.0, "ab", "first"), (2.0, "b", "second")], lam=1.5,
+            labels="abc",
+        )
+        text = instance_to_jsonl(instance)
+        loaded = instance_from_jsonl(text)
+        assert loaded.lam == instance.lam
+        assert loaded.labels == instance.labels
+        assert loaded.posts == instance.posts
+        assert [p.text for p in loaded.posts] == ["first", "second"]
+
+    def test_missing_header_raises(self):
+        with pytest.raises(InvalidInstanceError):
+            instance_from_jsonl(
+                '{"uid": 1, "value": 1.0, "labels": ["a"]}\n'
+            )
+
+
+class TestSolutionToCsv:
+    def test_header_and_rows(self):
+        solution = Solution.from_posts(
+            "scan", make_posts([(1.0, "ab", "hello world")])
+        )
+        text = solution_to_csv(solution)
+        lines = text.strip().splitlines()
+        assert lines[0] == "uid,value,labels,text"
+        assert lines[1] == "0,1.0,a b,hello world"

@@ -1,0 +1,82 @@
+"""The tweet text generator."""
+
+import random
+
+import pytest
+
+from repro.datagen.tweets import TweetGenerator
+from repro.index.query import LabelMatcher
+from repro.index.simhash import SimHashIndex
+from repro.text.sentiment import sentiment_score
+from repro.topics.lda_sim import SyntheticTopicModel
+
+
+@pytest.fixture(scope="module")
+def model():
+    return SyntheticTopicModel.train(random.Random(42))
+
+
+def _generator(model, seed=0, **kwargs):
+    return TweetGenerator(model, random.Random(seed), **kwargs)
+
+
+class TestGenerate:
+    def test_documents_at_given_times(self, model):
+        generator = _generator(model)
+        docs = generator.generate([1.0, 2.0, 5.0], start_doc_id=10)
+        assert [d.doc_id for d in docs] == [10, 11, 12]
+        assert [d.timestamp for d in docs] == [1.0, 2.0, 5.0]
+        assert all(d.text for d in docs)
+
+    def test_deterministic_under_seed(self, model):
+        one = _generator(model, seed=3).generate([1.0, 2.0, 3.0])
+        two = _generator(model, seed=3).generate([1.0, 2.0, 3.0])
+        assert [d.text for d in one] == [d.text for d in two]
+
+    def test_topical_fraction_zero_matches_nothing(self, model):
+        generator = _generator(model, topical_fraction=0.0,
+                               duplicate_prob=0.0)
+        docs = generator.generate([float(i) for i in range(100)])
+        matcher = LabelMatcher(model.topics[:50])
+        assert all(not matcher.match(d.text) for d in docs)
+
+    def test_topical_fraction_one_mostly_matches(self, model):
+        generator = _generator(model, topical_fraction=1.0,
+                               duplicate_prob=0.0)
+        docs = generator.generate([float(i) for i in range(200)])
+        matcher = LabelMatcher(model.topics)  # all topics
+        matched = sum(1 for d in docs if matcher.match(d.text))
+        assert matched / len(docs) > 0.9
+
+    def test_near_duplicates_produced(self, model):
+        generator = _generator(model, duplicate_prob=0.5)
+        docs = generator.generate([float(i) for i in range(300)])
+        index = SimHashIndex(max_distance=12)
+        kept, dropped = index.deduplicate(
+            (d.doc_id, d.text) for d in docs
+        )
+        assert dropped, "expected some near-duplicates to be caught"
+
+    def test_sentiment_bias_shifts_polarity(self, model):
+        broads = sorted(model.by_broad())
+        positive_bias = {broad: 1.0 for broad in broads}
+        negative_bias = {broad: 0.0 for broad in broads}
+        up = _generator(model, seed=5, topical_fraction=1.0,
+                        duplicate_prob=0.0, sentiment_bias=positive_bias)
+        down = _generator(model, seed=5, topical_fraction=1.0,
+                          duplicate_prob=0.0, sentiment_bias=negative_bias)
+        times = [float(i) for i in range(300)]
+        up_mean = sum(
+            sentiment_score(d.text) for d in up.generate(times)
+        ) / 300
+        down_mean = sum(
+            sentiment_score(d.text) for d in down.generate(times)
+        ) / 300
+        assert up_mean > 0 > down_mean
+
+    def test_word_budget_roughly_respected(self, model):
+        generator = _generator(model, words_per_tweet=9,
+                               duplicate_prob=0.0)
+        docs = generator.generate([float(i) for i in range(50)])
+        lengths = [len(d.text.split()) for d in docs]
+        assert all(5 <= n <= 14 for n in lengths)

@@ -1,0 +1,116 @@
+"""Workload builders and calibration."""
+
+import random
+
+import pytest
+
+from repro.datagen.workload import (
+    PAPER_MATCH_RATES_PER_MIN,
+    day_workload,
+    instance_with_overlap,
+    labelled_posts,
+    match_rate_per_min,
+    tweet_workload,
+)
+from repro.index.inverted_index import Document
+from repro.index.query import TopicQuery
+
+
+class TestMatchRateInterpolation:
+    def test_published_points_exact(self):
+        for size, rate in PAPER_MATCH_RATES_PER_MIN.items():
+            assert match_rate_per_min(size) == rate
+
+    def test_interpolation_monotone(self):
+        rates = [match_rate_per_min(k) for k in range(1, 30)]
+        assert rates == sorted(rates)
+
+    def test_extrapolation_below(self):
+        assert match_rate_per_min(1) == pytest.approx(68.0)
+
+    def test_extrapolation_above(self):
+        assert match_rate_per_min(40) == pytest.approx(2360.0)
+
+    def test_invalid_size(self):
+        with pytest.raises(ValueError):
+            match_rate_per_min(0)
+
+
+class TestLabelledPosts:
+    def test_overlap_rate_calibrated(self):
+        rng = random.Random(0)
+        labels = [f"q{i}" for i in range(5)]
+        times = [float(i) for i in range(4000)]
+        posts = labelled_posts(rng, labels, times, overlap=1.8)
+        measured = sum(len(p.labels) for p in posts) / len(posts)
+        assert measured == pytest.approx(1.8, abs=0.08)
+
+    def test_single_label_universe(self):
+        posts = labelled_posts(random.Random(0), ["only"], [1.0, 2.0],
+                               overlap=1.0)
+        assert all(p.labels == {"only"} for p in posts)
+
+    def test_overlap_bounds_validated(self):
+        rng = random.Random(0)
+        with pytest.raises(ValueError):
+            labelled_posts(rng, ["a", "b"], [1.0], overlap=0.5)
+        with pytest.raises(ValueError):
+            labelled_posts(rng, ["a", "b"], [1.0], overlap=3.0)
+
+    def test_empty_labels_rejected(self):
+        with pytest.raises(ValueError):
+            labelled_posts(random.Random(0), [], [1.0])
+
+    def test_popularity_skew_present(self):
+        """Zipf weighting: the first label should be the most frequent."""
+        rng = random.Random(1)
+        labels = [f"q{i}" for i in range(8)]
+        posts = labelled_posts(rng, labels, [float(i) for i in range(5000)],
+                               overlap=1.2)
+        counts = {label: 0 for label in labels}
+        for post in posts:
+            for label in post.labels:
+                counts[label] += 1
+        assert counts["q0"] > counts["q7"]
+
+
+class TestInstanceBuilders:
+    def test_instance_with_overlap_defaults_to_table2_rate(self):
+        instance = instance_with_overlap(
+            random.Random(0), num_labels=2, duration=600.0, lam=30.0
+        )
+        # 136/min for 10 minutes ~ 1360 posts
+        assert 1100 <= len(instance) <= 1650
+        assert instance.labels == {"q0", "q1"}
+
+    def test_day_workload_scaled(self):
+        instance = day_workload(
+            random.Random(0), num_labels=2, lam=600.0, scale=0.01,
+            duration=86_400.0,
+        )
+        # 136/min * 0.01 * 1440 min ~ 2000 posts, bursts add ~50%
+        assert 1200 <= len(instance) <= 5000
+        assert instance.lam == 600.0
+
+    def test_tweet_workload_builds_instance(self):
+        queries = [
+            TopicQuery(label="golf", keywords=frozenset({"tiger"})),
+            TopicQuery(label="nba", keywords=frozenset({"lebron"})),
+        ]
+        documents = [
+            Document(0, 1.0, "tiger wins"),
+            Document(1, 2.0, "lebron dunks"),
+            Document(2, 3.0, "irrelevant chatter"),
+        ]
+        instance, posts = tweet_workload(
+            random.Random(0), queries, documents, lam=5.0
+        )
+        assert len(instance) == 2
+        assert instance.labels == {"golf", "nba"}
+
+    def test_tweet_workload_no_matches_raises(self):
+        queries = [TopicQuery(label="golf",
+                              keywords=frozenset({"tiger"}))]
+        documents = [Document(0, 1.0, "nothing here")]
+        with pytest.raises(ValueError):
+            tweet_workload(random.Random(0), queries, documents, lam=5.0)

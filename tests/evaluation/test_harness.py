@@ -1,0 +1,64 @@
+"""Grid runner, table formatting and CSV export."""
+
+from repro.evaluation.harness import format_table, rows_to_csv, run_grid
+
+
+class TestRunGrid:
+    def test_concatenates_rows(self):
+        rows = run_grid([1, 2], lambda x: [{"x": x}, {"x": x * 10}])
+        assert rows == [{"x": 1}, {"x": 10}, {"x": 2}, {"x": 20}]
+
+    def test_empty_grid(self):
+        assert run_grid([], lambda x: [{"x": x}]) == []
+
+
+class TestFormatTable:
+    def test_header_and_alignment(self):
+        rows = [{"alg": "scan", "err": 0.25}, {"alg": "greedy", "err": 0.5}]
+        table = format_table(rows)
+        lines = table.splitlines()
+        assert lines[0].startswith("alg")
+        assert "err" in lines[0]
+        assert lines[1].startswith("---")
+        assert "scan" in lines[2]
+
+    def test_title_included(self):
+        table = format_table([{"a": 1}], title="== T ==")
+        assert table.splitlines()[0] == "== T =="
+
+    def test_column_order_first_appearance(self):
+        rows = [{"b": 1, "a": 2}]
+        assert format_table(rows).splitlines()[0].startswith("b")
+
+    def test_missing_cells_blank(self):
+        rows = [{"a": 1}, {"a": 2, "b": 3}]
+        table = format_table(rows)
+        assert "3" in table
+
+    def test_no_rows(self):
+        assert "(no rows)" in format_table([])
+
+    def test_float_formatting(self):
+        table = format_table([{"v": 0.123456}])
+        assert "0.1235" in table
+
+    def test_large_float_scientific(self):
+        table = format_table([{"v": 123456.0}])
+        assert "e+05" in table
+
+
+class TestCsv:
+    def test_round_trippable(self):
+        rows = [{"a": 1, "b": "x"}, {"a": 2, "b": "y"}]
+        text = rows_to_csv(rows)
+        lines = text.strip().splitlines()
+        assert lines[0] == "a,b"
+        assert lines[1] == "1,x"
+
+    def test_empty(self):
+        assert rows_to_csv([]) == ""
+
+    def test_explicit_columns_filter(self):
+        rows = [{"a": 1, "b": 2}]
+        text = rows_to_csv(rows, columns=["a"])
+        assert text.strip().splitlines() == ["a", "1"]

@@ -1,0 +1,70 @@
+"""Evaluation metrics."""
+
+import pytest
+
+from repro.core.instance import Instance
+from repro.core.post import make_posts
+from repro.core.solution import Solution
+from repro.evaluation.metrics import (
+    mean,
+    per_post_time,
+    relative_error,
+    summary,
+)
+
+
+class TestRelativeError:
+    def test_matches_paper_definition(self):
+        assert relative_error(15, 10) == pytest.approx(0.5)
+
+    def test_zero_when_optimal(self):
+        assert relative_error(10, 10) == 0.0
+
+    def test_nonpositive_optimum_rejected(self):
+        with pytest.raises(ValueError):
+            relative_error(5, 0)
+
+    def test_estimate_below_optimum_rejected(self):
+        with pytest.raises(ValueError):
+            relative_error(9, 10)
+
+
+class TestPerPostTime:
+    def test_divides_by_instance_size(self):
+        instance = Instance.from_specs([(1.0, "a"), (2.0, "a")], lam=1.0)
+        solution = Solution(
+            algorithm="x",
+            posts=tuple(make_posts([(1.0, "a")])),
+            elapsed=4.0,
+        )
+        assert per_post_time(solution, instance) == 2.0
+
+    def test_empty_instance_zero(self):
+        instance = Instance([], lam=1.0)
+        solution = Solution(algorithm="x", posts=(), elapsed=1.0)
+        assert per_post_time(solution, instance) == 0.0
+
+
+class TestAggregates:
+    def test_mean(self):
+        assert mean([1.0, 2.0, 3.0]) == 2.0
+
+    def test_mean_empty(self):
+        assert mean([]) == 0.0
+
+    def test_summary_fields(self):
+        stats = summary([1.0, 3.0])
+        assert stats["mean"] == 2.0
+        assert stats["median"] == 2.0
+        assert stats["min"] == 1.0
+        assert stats["max"] == 3.0
+        assert stats["stdev"] > 0
+
+    def test_summary_single_value_no_stdev(self):
+        assert summary([5.0])["stdev"] == 0.0
+
+    def test_summary_empty(self):
+        assert summary([]) == {
+            "mean": 0.0, "median": 0.0, "min": 0.0, "max": 0.0,
+            "stdev": 0.0,
+        }

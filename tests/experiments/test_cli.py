@@ -1,0 +1,36 @@
+"""The experiments command-line interface."""
+
+import pytest
+
+from repro.experiments.__main__ import main
+
+
+class TestCli:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for name in ("table1", "table2", "fig6", "fig15"):
+            assert name in out
+
+    def test_unknown_experiment(self, capsys):
+        assert main(["fig99"]) == 2
+        err = capsys.readouterr().err
+        assert "unknown" in err
+
+    def test_run_one_table(self, capsys):
+        assert main(["table1"]) == 0
+        out = capsys.readouterr().out
+        assert "broad_topic" in out
+        assert "rows in" in out
+
+    def test_csv_output(self, capsys):
+        assert main(["table1", "--csv"]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("broad_topic,topic,keywords")
+
+    def test_seed_flag_changes_sampling(self, capsys):
+        main(["table1", "--seed", "1", "--csv"])
+        first = capsys.readouterr().out
+        main(["table1", "--seed", "2", "--csv"])
+        second = capsys.readouterr().out
+        assert first != second

@@ -1,0 +1,176 @@
+"""Smoke and shape tests for every experiment driver (tiny configs).
+
+Each driver must run end to end and produce rows with the expected
+columns; where the paper states a robust qualitative shape, we assert it
+on a small-but-not-trivial configuration.
+"""
+
+import pytest
+
+from repro.experiments import (
+    ALL_EXPERIMENTS,
+    ablation_greedy_heap,
+    ablation_proportional,
+    ablation_scan_order,
+    fig6_overlap,
+    fig7_lambda,
+    fig8_daylong,
+    fig9_stream_lambda,
+    fig10_stream_tau,
+    fig11_stream_overlap,
+    fig12_stream_daylong,
+    fig13_time_mqdp,
+    table1_topics,
+    table2_matching,
+)
+
+
+class TestRegistryCompleteness:
+    def test_every_table_and_figure_present(self):
+        expected = {
+            "table1", "table2",
+            "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12",
+            "fig13", "fig14", "fig15",
+        }
+        assert expected <= set(ALL_EXPERIMENTS)
+
+    def test_all_have_descriptions(self):
+        for module in ALL_EXPERIMENTS.values():
+            assert module.DESCRIPTION
+
+
+class TestTable1:
+    def test_rows_shape(self):
+        rows = table1_topics.run(seed=0)
+        assert len(rows) == 4
+        assert {"broad_topic", "topic", "keywords"} <= set(rows[0])
+
+    def test_requested_broads_only(self):
+        rows = table1_topics.run(seed=0, broads=("health",))
+        assert all(r["broad_topic"] == "health" for r in rows)
+
+
+class TestTable2:
+    def test_matching_grows_with_label_set_size(self):
+        rows = table2_matching.run(
+            seed=0, sizes=(2, 5, 20), minutes=1.0,
+            tweets_per_sec=15.0, sets_per_size=8,
+        )
+        rates = [row["matching_per_min"] for row in rows]
+        assert rates[0] < rates[1] < rates[2]
+
+
+class TestFig6:
+    def test_shapes(self):
+        rows = fig6_overlap.run(
+            seed=1, overlaps=(1.0, 1.8), trials=2, lam=30.0
+        )
+        # at overlap=1 Scan is optimal (per-label optimality)
+        assert rows[0]["scan_err"] == pytest.approx(0.0, abs=1e-9)
+        # sizes shrink as overlap grows (posts cover several labels)
+        assert rows[1]["greedy_sc_size"] < rows[0]["greedy_sc_size"]
+
+
+class TestFig7:
+    def test_error_grows_with_lambda(self):
+        rows = fig7_lambda.run(seed=1, lams=(10.0, 90.0), trials=2)
+        assert rows[0]["scan_err"] < rows[1]["scan_err"]
+
+    def test_greedy_beats_scan(self):
+        rows = fig7_lambda.run(seed=1, lams=(30.0,), trials=3)
+        assert rows[0]["greedy_sc_err"] < rows[0]["scan_err"]
+
+
+class TestFig8:
+    def test_scan_linear_and_greedy_smallest(self):
+        rows = fig8_daylong.run(
+            seed=0, sizes=(2, 8), lam_minutes=(10.0,),
+            scale=0.004, duration=21_600.0,
+        )
+        assert rows[0]["posts"] > 0
+        for row in rows:
+            assert row["greedy_sc_size"] <= row["scan_size"]
+        # scan roughly linear in |L| (x4 labels -> ~x4 size)
+        ratio = rows[1]["scan_size"] / rows[0]["scan_size"]
+        assert 2.0 < ratio < 7.0
+
+
+class TestStreamingFigures:
+    def test_fig9_scan_plus_beats_scan(self):
+        rows = fig9_stream_lambda.run(
+            seed=1, taus=(30.0,), lams=(30.0, 120.0), trials=2
+        )
+        for row in rows:
+            assert row["stream_scan+_err"] <= row["stream_scan_err"]
+            assert 0.0 <= row["stream_greedy_sc_err"] <= 3.0
+
+    def test_fig10_scan_flat_beyond_lambda(self):
+        rows = fig10_stream_tau.run(
+            seed=1, lams=(40.0,), tau_factors=(1.5, 3.0), trials=2
+        )
+        # both taus exceed lambda: StreamScan output identical
+        assert rows[0]["stream_scan_err"] == pytest.approx(
+            rows[1]["stream_scan_err"]
+        )
+
+    def test_fig11_columns(self):
+        rows = fig11_stream_overlap.run(
+            seed=0, overlaps=(1.0, 2.0), trials=1
+        )
+        assert len(rows) == 2
+        assert "stream_greedy_sc_size" in rows[0]
+
+    def test_fig12_runs(self):
+        rows = fig12_stream_daylong.run(
+            seed=0, sizes=(2,), lam_minutes=(10.0,),
+            scale=0.004, duration=21_600.0,
+        )
+        assert rows[0]["stream_scan_size"] > 0
+
+
+class TestTimingFigures:
+    def test_fig13_scan_faster_than_greedy(self):
+        rows = fig13_time_mqdp.run(
+            seed=0, sizes=(2,), lam_minutes=(10.0,),
+            scale=0.004, duration=21_600.0,
+        )
+        row = rows[0]
+        assert row["scan_us_per_post"] < row["greedy_sc_us_per_post"]
+
+
+class TestAblations:
+    def test_scan_order_rows(self):
+        rows = ablation_scan_order.run(seed=0, overlaps=(1.5,), trials=2)
+        assert {"sorted_size", "longest_first_size",
+                "shortest_first_size"} <= set(rows[0])
+
+    def test_greedy_heap_strategies_agree_on_size(self):
+        rows = ablation_greedy_heap.run(
+            seed=0, sizes=(2,), lam_minutes=(10.0,),
+            scale=0.004, duration=10_800.0,
+        )
+        for row in rows:
+            assert row["rescan_size"] == row["lazy_heap_size"]
+
+    def test_proportional_shifts_output_to_dense_half(self):
+        rows = ablation_proportional.run(seed=0, trials=2)
+        for row in rows:
+            assert (
+                row["variable_dense_share"] >= row["fixed_dense_share"]
+            )
+
+
+class TestExtensions:
+    def test_stream_proportional_tracks_input(self):
+        from repro.experiments import ext_stream_proportional
+
+        rows = ext_stream_proportional.run(seed=0, trials=2)
+        assert rows
+        for row in rows:
+            assert row["prop_dense_share"] >= row["fixed_dense_share"]
+            # tracks the input distribution more closely
+            assert abs(
+                row["prop_dense_share"] - row["input_dense_share"]
+            ) <= abs(
+                row["fixed_dense_share"] - row["input_dense_share"]
+            )

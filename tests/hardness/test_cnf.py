@@ -1,0 +1,103 @@
+"""CNF formula representation and DIMACS I/O."""
+
+import random
+
+import pytest
+
+from repro.errors import ReductionError
+from repro.hardness.cnf import CNFFormula, parse_dimacs, random_cnf, to_dimacs
+
+
+class TestCNFFormula:
+    def test_evaluate_satisfying(self):
+        formula = CNFFormula.from_clauses([(1, -2), (2,)])
+        assert formula.evaluate({1: True, 2: True})
+
+    def test_evaluate_falsifying(self):
+        formula = CNFFormula.from_clauses([(1,), (-1,)])
+        assert not formula.evaluate({1: True})
+        assert not formula.evaluate({1: False})
+
+    def test_partial_assignment_unsatisfied_clause(self):
+        formula = CNFFormula.from_clauses([(1, 2)])
+        assert not formula.evaluate({})
+
+    def test_empty_clause_rejected(self):
+        with pytest.raises(ReductionError):
+            CNFFormula.from_clauses([()])
+
+    def test_out_of_range_literal_rejected(self):
+        with pytest.raises(ReductionError):
+            CNFFormula(num_vars=1, clauses=((2,),))
+
+    def test_zero_literal_rejected(self):
+        with pytest.raises(ReductionError):
+            CNFFormula(num_vars=1, clauses=((0,),))
+
+    def test_variables_listed(self):
+        formula = CNFFormula.from_clauses([(3, -1)])
+        assert formula.variables() == [1, 3]
+
+    def test_num_vars_inferred(self):
+        formula = CNFFormula.from_clauses([(5,)])
+        assert formula.num_vars == 5
+
+
+class TestDimacs:
+    SAMPLE = """c a comment
+p cnf 3 2
+1 -2 0
+2 3 0
+"""
+
+    def test_parse(self):
+        formula = parse_dimacs(self.SAMPLE)
+        assert formula.num_vars == 3
+        assert formula.clauses == ((1, -2), (2, 3))
+
+    def test_roundtrip(self):
+        formula = parse_dimacs(self.SAMPLE)
+        assert parse_dimacs(to_dimacs(formula)) == formula
+
+    def test_multiline_clause(self):
+        text = "p cnf 2 1\n1\n-2 0\n"
+        formula = parse_dimacs(text)
+        assert formula.clauses == ((1, -2),)
+
+    def test_missing_problem_line_rejected(self):
+        with pytest.raises(ReductionError):
+            parse_dimacs("1 2 0\n")
+
+    def test_clause_count_mismatch_rejected(self):
+        with pytest.raises(ReductionError):
+            parse_dimacs("p cnf 2 2\n1 0\n")
+
+    def test_malformed_problem_line(self):
+        with pytest.raises(ReductionError):
+            parse_dimacs("p sat 2 1\n1 0\n")
+
+
+class TestRandomCNF:
+    def test_shape(self):
+        formula = random_cnf(random.Random(0), num_vars=5,
+                             num_clauses=7, clause_size=3)
+        assert formula.num_vars == 5
+        assert formula.num_clauses == 7
+        assert all(len(c) == 3 for c in formula.clauses)
+
+    def test_no_duplicate_variables_within_clause(self):
+        formula = random_cnf(random.Random(1), num_vars=4,
+                             num_clauses=20, clause_size=3)
+        for clause in formula.clauses:
+            variables = [abs(lit) for lit in clause]
+            assert len(set(variables)) == len(variables)
+
+    def test_clause_size_exceeding_vars_rejected(self):
+        with pytest.raises(ReductionError):
+            random_cnf(random.Random(0), num_vars=2,
+                       num_clauses=1, clause_size=3)
+
+    def test_deterministic_under_seed(self):
+        one = random_cnf(random.Random(7), 4, 6)
+        two = random_cnf(random.Random(7), 4, 6)
+        assert one == two

@@ -1,0 +1,125 @@
+"""The faithful Lemma 1 gadget — including the reproduction finding.
+
+The forward direction of Lemma 1 holds and is tested (satisfying
+assignment -> budget-sized cover).  The backward direction does NOT hold
+as printed in the paper; ``test_lemma1_counterexample`` pins the concrete
+failure so the finding stays documented and reproducible.
+"""
+
+import random
+
+import pytest
+
+from repro.core.brute_force import exact_via_setcover
+from repro.core.coverage import is_cover
+from repro.errors import ReductionError
+from repro.hardness.cnf import CNFFormula, random_cnf
+from repro.hardness.reduction import (
+    assignment_to_cover,
+    cover_to_assignment,
+    reduce_cnf_to_mqdp,
+)
+from repro.hardness.sat import dpll_satisfiable
+
+
+class TestConstructionShape:
+    def test_post_count(self):
+        # per variable: 4 anchors + 2(m+1) fillers + 2m clause posts
+        formula = CNFFormula.from_clauses([(1, -2), (2,)])
+        reduction = reduce_cnf_to_mqdp(formula)
+        n, m = 2, 2
+        assert len(reduction.instance) == n * (4 * m + 6)
+
+    def test_budget_formula(self):
+        formula = CNFFormula.from_clauses([(1, -2), (2,)])
+        reduction = reduce_cnf_to_mqdp(formula)
+        assert reduction.budget == 2 * (2 * 2 + 3)
+
+    def test_at_most_two_labels_per_post(self):
+        """The property Lemma 1 advertises: posts carry <= 2 labels."""
+        formula = random_cnf(random.Random(0), 3, 4, clause_size=2)
+        reduction = reduce_cnf_to_mqdp(formula)
+        assert reduction.instance.max_labels_per_post() <= 2
+
+    def test_lambda_is_one(self):
+        formula = CNFFormula.from_clauses([(1,)])
+        assert reduce_cnf_to_mqdp(formula).instance.lam == 1.0
+
+    def test_clause_labels_on_correct_side(self):
+        formula = CNFFormula.from_clauses([(1, -2)])
+        reduction = reduce_cnf_to_mqdp(formula)
+        positive = reduction.post_for(("clause", 1, "u", 1))
+        assert "c1" in positive.labels
+        negative = reduction.post_for(("clause", 2, "v", 1))
+        assert "c1" in negative.labels
+        # and not on the opposite rails
+        assert "c1" not in reduction.post_for(("clause", 1, "v", 1)).labels
+        assert "c1" not in reduction.post_for(("clause", 2, "u", 1)).labels
+
+    def test_empty_formula_rejected(self):
+        with pytest.raises(ReductionError):
+            reduce_cnf_to_mqdp(CNFFormula(num_vars=0, clauses=()))
+
+
+class TestForwardDirection:
+    """Satisfiable formula => a budget-sized cover exists (this half of
+    Lemma 1 is correct)."""
+
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3, 5, 6, 7, 9])
+    def test_assignment_yields_budget_cover(self, seed):
+        rng = random.Random(seed)
+        num_vars = rng.randint(1, 3)
+        formula = random_cnf(rng, num_vars, rng.randint(1, 4),
+                             clause_size=min(2, num_vars))
+        model = dpll_satisfiable(formula)
+        assert model is not None, "seeds are chosen satisfiable"
+        reduction = reduce_cnf_to_mqdp(formula)
+        cover = assignment_to_cover(reduction, model)
+        assert len(cover) == reduction.budget
+        assert is_cover(reduction.instance, cover)
+
+    def test_unsatisfying_assignment_rejected(self):
+        formula = CNFFormula.from_clauses([(1,)])
+        reduction = reduce_cnf_to_mqdp(formula)
+        with pytest.raises(ReductionError):
+            assignment_to_cover(reduction, {1: False})
+
+    def test_roundtrip_decodes_canonical_cover(self):
+        formula = CNFFormula.from_clauses([(1, 2), (-1, 2)])
+        model = dpll_satisfiable(formula)
+        reduction = reduce_cnf_to_mqdp(formula)
+        cover = assignment_to_cover(reduction, model)
+        decoded = cover_to_assignment(reduction, cover)
+        assert formula.evaluate(decoded)
+
+
+class TestReproductionFinding:
+    def test_lemma1_counterexample(self):
+        """REPRODUCTION FINDING: the backward direction of Lemma 1 fails.
+
+        For the unsatisfiable formula ``x1 and not-x1 and not-x1``
+        (n = 1, m = 3), the gadget instance admits a cover of 8 posts —
+        strictly below the budget n(2m+3) = 9 — because a post at unit
+        spacing covers three rail slots, not the two the proof's counting
+        assumes.  The decision procedure implied by Lemma 1 would wrongly
+        declare this formula satisfiable.
+        """
+        formula = CNFFormula.from_clauses([(1,), (-1,), (-1,)])
+        assert dpll_satisfiable(formula) is None
+        reduction = reduce_cnf_to_mqdp(formula)
+        optimum = exact_via_setcover(reduction.instance)
+        assert is_cover(reduction.instance, optimum.posts)
+        assert optimum.size == 8
+        assert optimum.size < reduction.budget  # the lemma's claim breaks
+
+    def test_rail_coverable_below_m_plus_one(self):
+        """The root cause, in isolation: 2m+3 unit-spaced same-label posts
+        need only ceil((2m+3)/3) picks, not m+1."""
+        m = 3
+        from repro.core.instance import Instance
+
+        instance = Instance.from_specs(
+            [(float(t), "u") for t in range(1, 2 * m + 4)], lam=1.0
+        )
+        optimum = exact_via_setcover(instance)
+        assert optimum.size == 3  # ceil(9/3), below m+1 = 4

@@ -1,0 +1,71 @@
+"""The DPLL solver, validated against exhaustive truth tables."""
+
+import itertools
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hardness.cnf import CNFFormula, random_cnf
+from repro.hardness.sat import dpll_satisfiable
+
+
+def _truth_table_satisfiable(formula: CNFFormula) -> bool:
+    for bits in itertools.product(
+        (False, True), repeat=formula.num_vars
+    ):
+        assignment = {var: bits[var - 1]
+                      for var in range(1, formula.num_vars + 1)}
+        if formula.evaluate(assignment):
+            return True
+    return False
+
+
+class TestDPLLBasics:
+    def test_single_positive_unit(self):
+        model = dpll_satisfiable(CNFFormula.from_clauses([(1,)]))
+        assert model == {1: True}
+
+    def test_contradiction(self):
+        formula = CNFFormula.from_clauses([(1,), (-1,)])
+        assert dpll_satisfiable(formula) is None
+
+    def test_model_actually_satisfies(self):
+        formula = CNFFormula.from_clauses([(1, 2), (-1, 2), (1, -2)])
+        model = dpll_satisfiable(formula)
+        assert model is not None
+        assert formula.evaluate(model)
+
+    def test_all_variables_assigned(self):
+        formula = CNFFormula(num_vars=3, clauses=((1,),))
+        model = dpll_satisfiable(formula)
+        assert set(model) == {1, 2, 3}
+
+    def test_pure_literal_case(self):
+        formula = CNFFormula.from_clauses([(1, 2), (1, 3)])
+        model = dpll_satisfiable(formula)
+        assert formula.evaluate(model)
+
+    def test_unsatisfiable_3cnf(self):
+        # all eight clauses over three variables: unsatisfiable
+        clauses = [
+            tuple(s * v for s, v in zip(signs, (1, 2, 3)))
+            for signs in itertools.product((1, -1), repeat=3)
+        ]
+        assert dpll_satisfiable(CNFFormula.from_clauses(clauses)) is None
+
+
+class TestDPLLAgainstTruthTable:
+    @given(st.integers(min_value=0, max_value=10_000))
+    @settings(deadline=None, max_examples=80)
+    def test_agreement_on_random_formulas(self, seed):
+        rng = random.Random(seed)
+        num_vars = rng.randint(1, 6)
+        num_clauses = rng.randint(1, 12)
+        clause_size = rng.randint(1, min(3, num_vars))
+        formula = random_cnf(rng, num_vars, num_clauses, clause_size)
+        model = dpll_satisfiable(formula)
+        expected = _truth_table_satisfiable(formula)
+        assert (model is not None) == expected
+        if model is not None:
+            assert formula.evaluate(model)

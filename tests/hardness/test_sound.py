@@ -1,0 +1,102 @@
+"""The sound CNF -> set cover -> MQDP reduction, validated against DPLL."""
+
+import random
+
+import pytest
+
+from repro.core.brute_force import exact_via_setcover
+from repro.core.coverage import is_cover
+from repro.errors import ReductionError
+from repro.hardness.cnf import CNFFormula, random_cnf
+from repro.hardness.sat import dpll_satisfiable
+from repro.hardness.sound import (
+    reduce_cnf_sound,
+    setcover_to_mqdp,
+)
+
+
+class TestSetcoverEmbedding:
+    def test_all_posts_at_time_zero(self):
+        instance = setcover_to_mqdp([{"a"}, {"a", "b"}])
+        assert all(post.value == 0.0 for post in instance.posts)
+
+    def test_min_cover_equals_min_setcover(self):
+        # family where the optimum is the two complementary sets
+        instance = setcover_to_mqdp(
+            [{"x", "y", "z", "w"}, {"x", "p"}, {"y", "z", "w", "q"},
+             {"p", "q"}]
+        )
+        assert exact_via_setcover(instance).size == 2
+
+    def test_empty_set_rejected(self):
+        with pytest.raises(ReductionError):
+            setcover_to_mqdp([set()])
+
+
+class TestSoundReductionShape:
+    def test_two_posts_per_variable(self):
+        formula = CNFFormula.from_clauses([(1, -2)])
+        reduction = reduce_cnf_sound(formula)
+        assert len(reduction.instance) == 2 * formula.num_vars
+
+    def test_budget_is_num_vars(self):
+        formula = CNFFormula.from_clauses([(1, -2), (2,)])
+        assert reduce_cnf_sound(formula).budget == 2
+
+    def test_literal_sets_contain_their_clauses(self):
+        formula = CNFFormula.from_clauses([(1, -2), (-1, 2)])
+        reduction = reduce_cnf_sound(formula)
+        by_literal = {
+            literal: reduction.instance.post(uid)
+            for uid, literal in reduction.uid_to_literal.items()
+        }
+        assert by_literal[1].labels == {"x1", "C1"}
+        assert by_literal[-1].labels == {"x1", "C2"}
+        assert by_literal[2].labels == {"x2", "C2"}
+        assert by_literal[-2].labels == {"x2", "C1"}
+
+    def test_empty_formula_rejected(self):
+        with pytest.raises(ReductionError):
+            reduce_cnf_sound(CNFFormula(num_vars=0, clauses=()))
+
+
+class TestEquivalence:
+    """Satisfiable <=> cover of size <= n, cross-checked against DPLL
+    over a spread of random formulas on both sides of the phase
+    transition."""
+
+    @pytest.mark.parametrize("seed", range(20))
+    def test_decision_agreement(self, seed):
+        rng = random.Random(seed)
+        num_vars = rng.randint(1, 5)
+        num_clauses = rng.randint(1, 10)
+        formula = random_cnf(rng, num_vars, num_clauses,
+                             clause_size=min(3, num_vars))
+        reduction = reduce_cnf_sound(formula)
+        model = dpll_satisfiable(formula)
+        optimum = exact_via_setcover(reduction.instance)
+        assert (optimum.size <= reduction.budget) == (model is not None)
+
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3, 5, 6, 7, 9, 10, 11])
+    def test_certificates_roundtrip(self, seed):
+        rng = random.Random(100 + seed)
+        num_vars = rng.randint(1, 5)
+        formula = random_cnf(rng, num_vars, rng.randint(1, 6),
+                             clause_size=min(3, num_vars))
+        model = dpll_satisfiable(formula)
+        assert model is not None, "seeds are chosen satisfiable"
+        reduction = reduce_cnf_sound(formula)
+        # encode: assignment -> budget-sized cover
+        cover = reduction.encode(model)
+        assert len(cover) == reduction.budget
+        assert is_cover(reduction.instance, cover)
+        # decode: optimal cover -> satisfying assignment
+        optimum = exact_via_setcover(reduction.instance)
+        decoded = reduction.decode(optimum.posts)
+        assert formula.evaluate(decoded)
+
+    def test_encode_rejects_bad_assignment(self):
+        formula = CNFFormula.from_clauses([(1,)])
+        reduction = reduce_cnf_sound(formula)
+        with pytest.raises(ReductionError):
+            reduction.encode({1: False})

@@ -1,0 +1,101 @@
+"""The in-memory inverted index."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.index.inverted_index import InvertedIndex
+from repro.index.tokenizer import tokenize
+
+
+def _build(docs):
+    index = InvertedIndex()
+    for doc_id, (timestamp, text) in enumerate(docs):
+        index.add(doc_id, timestamp, text)
+    return index
+
+
+class TestAdd:
+    def test_documents_stored(self):
+        index = _build([(1.0, "obama wins")])
+        assert len(index) == 1
+        assert index.document(0).text == "obama wins"
+        assert 0 in index
+
+    def test_duplicate_id_rejected(self):
+        index = _build([(1.0, "x")])
+        with pytest.raises(ValueError):
+            index.add(0, 2.0, "y")
+
+    def test_out_of_order_timestamps_accepted(self):
+        index = _build([(5.0, "late obama"), (1.0, "early obama")])
+        results = index.search(["obama"])
+        assert [d.timestamp for d in results] == [1.0, 5.0]
+
+    def test_vocabulary_and_document_frequency(self):
+        index = _build([(1.0, "obama wins"), (2.0, "obama loses")])
+        assert index.document_frequency("obama") == 2
+        assert index.document_frequency("wins") == 1
+        assert index.document_frequency("absent") == 0
+        assert index.vocabulary_size() == 3
+
+
+class TestSearch:
+    DOCS = [
+        (1.0, "obama speech tonight"),
+        (2.0, "nba finals heat"),
+        (3.0, "obama nba courtside"),
+        (4.0, "weather storm warning"),
+    ]
+
+    def test_or_semantics(self):
+        index = _build(self.DOCS)
+        hits = index.search(["obama", "nba"])
+        assert [d.doc_id for d in hits] == [0, 1, 2]
+
+    def test_and_semantics(self):
+        index = _build(self.DOCS)
+        hits = index.search(["obama", "nba"], mode="and")
+        assert [d.doc_id for d in hits] == [2]
+
+    def test_time_range_restriction(self):
+        index = _build(self.DOCS)
+        hits = index.search(["obama", "nba"], start=2.0, end=3.0)
+        assert [d.doc_id for d in hits] == [1, 2]
+
+    def test_case_insensitive_keywords(self):
+        index = _build(self.DOCS)
+        assert index.search(["OBAMA"])
+
+    def test_no_keywords_no_hits(self):
+        index = _build(self.DOCS)
+        assert index.search([]) == []
+
+    def test_unknown_mode_rejected(self):
+        index = _build(self.DOCS)
+        with pytest.raises(ValueError):
+            index.search(["x"], mode="xor")
+
+    @given(st.integers(min_value=0, max_value=10_000))
+    @settings(deadline=None, max_examples=30)
+    def test_range_search_equals_naive_filter(self, seed):
+        """Property: index range search == brute-force text filtering."""
+        rng = random.Random(seed)
+        words = ["alpha", "beta", "gamma", "delta"]
+        docs = [
+            (rng.uniform(0, 100),
+             " ".join(rng.choices(words, k=rng.randint(1, 4))))
+            for _ in range(30)
+        ]
+        index = _build(docs)
+        keyword = rng.choice(words)
+        start, end = sorted((rng.uniform(0, 100), rng.uniform(0, 100)))
+        expected = sorted(
+            doc_id
+            for doc_id, (ts, text) in enumerate(docs)
+            if keyword in tokenize(text) and start <= ts <= end
+        )
+        hits = [d.doc_id for d in index.search([keyword], start, end)]
+        assert sorted(hits) == expected

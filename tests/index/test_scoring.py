@@ -1,0 +1,114 @@
+"""BM25 ranked retrieval."""
+
+import pytest
+
+from repro.index.inverted_index import InvertedIndex
+from repro.index.scoring import BM25Scorer
+
+
+def _index(texts):
+    index = InvertedIndex()
+    for doc_id, text in enumerate(texts):
+        index.add(doc_id, float(doc_id), text)
+    return index
+
+
+class TestIdf:
+    def test_rare_terms_score_higher(self):
+        index = _index([
+            "obama speech", "obama rally", "obama press", "hurricane watch",
+        ])
+        scorer = BM25Scorer(index)
+        assert scorer.idf("hurricane") > scorer.idf("obama")
+
+    def test_unknown_term_gets_max_idf(self):
+        index = _index(["obama speech"])
+        scorer = BM25Scorer(index)
+        assert scorer.idf("zebra") >= scorer.idf("obama")
+
+    def test_idf_nonnegative(self):
+        index = _index(["common word"] * 1)
+        scorer = BM25Scorer(index)
+        assert scorer.idf("common") >= 0.0
+
+
+class TestScore:
+    def test_matching_doc_beats_nonmatching(self):
+        index = _index(["hurricane warning coast", "nba finals game"])
+        scorer = BM25Scorer(index)
+        assert scorer.score(["hurricane"], 0) > scorer.score(
+            ["hurricane"], 1
+        )
+        assert scorer.score(["hurricane"], 1) == 0.0
+
+    def test_term_frequency_saturates(self):
+        index = _index([
+            "storm",
+            "storm storm",
+            "storm storm storm storm storm storm storm storm",
+        ])
+        scorer = BM25Scorer(index, b=0.0)  # isolate tf saturation
+        single = scorer.score(["storm"], 0)
+        double = scorer.score(["storm"], 1)
+        many = scorer.score(["storm"], 2)
+        assert single < double < many
+        # diminishing returns: the jump 1->2 beats the average jump 2->8
+        assert (double - single) > (many - double) / 6
+
+    def test_length_normalisation_penalises_long_docs(self):
+        index = _index([
+            "storm",
+            "storm plus lots of extra unrelated words here today",
+        ])
+        scorer = BM25Scorer(index, b=0.75)
+        assert scorer.score(["storm"], 0) > scorer.score(["storm"], 1)
+
+    def test_unknown_doc_raises(self):
+        scorer = BM25Scorer(_index(["x y"]))
+        with pytest.raises(KeyError):
+            scorer.score(["x"], 99)
+
+    def test_case_insensitive_query(self):
+        index = _index(["Hurricane warning"])
+        scorer = BM25Scorer(index)
+        assert scorer.score(["HURRICANE"], 0) > 0
+
+    def test_parameter_validation(self):
+        index = _index(["x"])
+        with pytest.raises(ValueError):
+            BM25Scorer(index, k1=-1.0)
+        with pytest.raises(ValueError):
+            BM25Scorer(index, b=1.5)
+
+
+class TestSearch:
+    TEXTS = [
+        "hurricane warning for the gulf coast",      # t=0
+        "hurricane heading inland storm surge",      # t=1
+        "nba finals tonight",                        # t=2
+        "coast guard rescue after the hurricane",    # t=3
+    ]
+
+    def test_topk_ranked(self):
+        scorer = BM25Scorer(_index(self.TEXTS))
+        results = scorer.search(["hurricane", "surge"], k=2)
+        assert len(results) == 2
+        assert results[0][0].doc_id == 1  # matches both terms
+        assert results[0][1] >= results[1][1]
+
+    def test_time_range_respected(self):
+        scorer = BM25Scorer(_index(self.TEXTS))
+        results = scorer.search(["hurricane"], k=10, start=2.0, end=4.0)
+        assert [doc.doc_id for doc, _ in results] == [3]
+
+    def test_no_matches_empty(self):
+        scorer = BM25Scorer(_index(self.TEXTS))
+        assert scorer.search(["zebra"], k=5) == []
+
+    def test_incremental_documents_picked_up(self):
+        index = _index(self.TEXTS)
+        scorer = BM25Scorer(index)
+        scorer.search(["hurricane"], k=1)  # builds statistics
+        index.add(99, 9.0, "another hurricane report")
+        results = scorer.search(["hurricane"], k=10)
+        assert 99 in {doc.doc_id for doc, _ in results}

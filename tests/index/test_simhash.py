@@ -1,0 +1,123 @@
+"""SimHash near-duplicate detection."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.index.simhash import SimHashIndex, hamming_distance, simhash
+
+
+class TestSimhash:
+    def test_deterministic(self):
+        assert simhash("obama wins the vote") == simhash(
+            "obama wins the vote"
+        )
+
+    def test_word_order_invariant(self):
+        """Bag-of-features hashing ignores order (as in [17])."""
+        assert simhash("a b c") == simhash("c b a")
+
+    def test_fits_in_64_bits(self):
+        assert 0 <= simhash("any text at all") < (1 << 64)
+
+    def test_similar_texts_close(self):
+        base = "breaking storm warning for the entire gulf coast tonight"
+        tweaked = "breaking storm warning for the entire gulf coast today"
+        different = "nba finals heat lebron spurs game seven tonight"
+        near = hamming_distance(simhash(base), simhash(tweaked))
+        far = hamming_distance(simhash(base), simhash(different))
+        assert near < far
+
+    def test_weights_change_fingerprint(self):
+        text = "storm heat"
+        unweighted = simhash(text)
+        weighted = simhash(text, weights={"storm": 10.0})
+        # not necessarily different for every pair, but for this one it is
+        assert unweighted != weighted
+
+    def test_empty_text_is_zero(self):
+        assert simhash("") == 0
+
+
+class TestHamming:
+    def test_identical(self):
+        assert hamming_distance(0xDEAD, 0xDEAD) == 0
+
+    def test_single_bit(self):
+        assert hamming_distance(0b1000, 0b0000) == 1
+
+    def test_symmetry(self):
+        assert hamming_distance(5, 9) == hamming_distance(9, 5)
+
+    @given(st.integers(min_value=0, max_value=(1 << 64) - 1),
+           st.integers(min_value=0, max_value=(1 << 64) - 1),
+           st.integers(min_value=0, max_value=(1 << 64) - 1))
+    def test_triangle_inequality(self, a, b, c):
+        assert hamming_distance(a, c) <= (
+            hamming_distance(a, b) + hamming_distance(b, c)
+        )
+
+
+class TestSimHashIndex:
+    def test_exact_duplicate_found(self):
+        index = SimHashIndex(max_distance=3)
+        fp = simhash("obama speech tonight")
+        index.add(1, fp)
+        assert index.query(fp) == [1]
+
+    def test_distant_fingerprint_not_matched(self):
+        index = SimHashIndex(max_distance=1)
+        index.add(1, 0)
+        assert index.query((1 << 40) - 1) == []
+
+    def test_banding_recall_guarantee(self):
+        """With bands = max_distance + 1, every pair within the distance
+        budget shares a band (pigeonhole) and must be found."""
+        index = SimHashIndex(max_distance=3)
+        base = simhash("storm warning issued for the coast")
+        index.add(1, base)
+        for bit in (0, 17, 63):
+            assert index.query(base ^ (1 << bit)) == [1]
+
+    def test_duplicate_item_id_rejected(self):
+        index = SimHashIndex()
+        index.add(1, 42)
+        with pytest.raises(ValueError):
+            index.add(1, 43)
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            SimHashIndex(max_distance=64)
+        with pytest.raises(ValueError):
+            SimHashIndex(max_distance=3, bands=0)
+
+    def test_deduplicate_stream(self):
+        texts = [
+            (1, "breaking storm warning for the gulf coast tonight"),
+            (2, "breaking storm warning for the gulf coast tonight"),
+            (3, "nba finals game seven heat against the spurs"),
+        ]
+        index = SimHashIndex(max_distance=3)
+        kept, dropped = index.deduplicate(texts)
+        assert kept == [1, 3]
+        assert dropped == [(2, 1)]
+
+    def test_first_occurrence_survives(self):
+        index = SimHashIndex(max_distance=3)
+        kept, dropped = index.deduplicate(
+            [(10, "same text here"), (20, "same text here"),
+             (30, "same text here")]
+        )
+        assert kept == [10]
+        assert {d for d, _ in dropped} == {20, 30}
+
+    @given(st.integers(min_value=0, max_value=(1 << 64) - 1),
+           st.integers(min_value=0, max_value=3))
+    @settings(max_examples=40)
+    def test_query_matches_within_budget_property(self, fingerprint, flips):
+        index = SimHashIndex(max_distance=3)
+        index.add(7, fingerprint)
+        corrupted = fingerprint
+        for bit in range(flips):
+            corrupted ^= 1 << (bit * 11)
+        assert index.query(corrupted) == [7]

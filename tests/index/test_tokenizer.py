@@ -1,0 +1,41 @@
+"""The tokenizer substrate."""
+
+from repro.index.tokenizer import STOPWORDS, tokenize
+
+
+class TestTokenize:
+    def test_lowercases(self):
+        assert tokenize("Obama WINS") == ["obama", "wins"]
+
+    def test_hashtag_stripped_to_word(self):
+        assert tokenize("#nba finals") == ["nba", "finals"]
+
+    def test_mention_preserved_distinct(self):
+        assert tokenize("@nasa launch") == ["@nasa", "launch"]
+
+    def test_urls_removed(self):
+        assert tokenize("read https://t.co/xyz now") == ["read", "now"]
+        assert tokenize("see www.example.com page") == ["see", "page"]
+
+    def test_stopwords_dropped_by_default(self):
+        assert tokenize("the game was great") == ["game", "great"]
+
+    def test_stopwords_kept_on_request(self):
+        tokens = tokenize("the game", keep_stopwords=True)
+        assert tokens == ["the", "game"]
+
+    def test_punctuation_split(self):
+        assert tokenize("win,lose;draw!") == ["win", "lose", "draw"]
+
+    def test_apostrophes_kept_within_words(self):
+        assert "don't" in tokenize("don't stop", keep_stopwords=True)
+
+    def test_numbers_kept(self):
+        assert tokenize("super bowl 48") == ["super", "bowl", "48"]
+
+    def test_empty_text(self):
+        assert tokenize("") == []
+
+    def test_rt_marker_is_stopword(self):
+        assert "rt" in STOPWORDS
+        assert tokenize("rt great game") == ["great", "game"]

@@ -1,0 +1,80 @@
+"""Exact branch-and-bound set cover."""
+
+from itertools import combinations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import AlgorithmBudgetExceeded
+from repro.setcover.exact import exact_set_cover
+from repro.setcover.greedy import greedy_set_cover
+
+from .test_greedy import families
+
+
+def _min_cover_size_bruteforce(sets, universe):
+    for size in range(0, len(sets) + 1):
+        for combo in combinations(range(len(sets)), size):
+            covered = set()
+            for idx in combo:
+                covered |= set(sets[idx])
+            if universe <= covered:
+                return size
+    raise AssertionError("family does not cover the universe")
+
+
+class TestExactBasics:
+    def test_single_set(self):
+        assert exact_set_cover([{1, 2}]) == [0]
+
+    def test_beats_greedy_on_the_trap(self):
+        sets = [{1, 2, 3, 4}, {1, 2, 5}, {3, 4, 6}]
+        exact = exact_set_cover(sets)
+        greedy = greedy_set_cover(sets)
+        assert len(exact) < len(greedy)
+        assert sorted(exact) == [1, 2]
+
+    def test_disjoint_sets_all_needed(self):
+        sets = [{1}, {2}, {3}]
+        assert exact_set_cover(sets) == [0, 1, 2]
+
+    def test_uncoverable_rejected(self):
+        with pytest.raises(ValueError):
+            exact_set_cover([{1}], universe={2})
+
+    def test_node_budget_enforced(self):
+        sets = [set(range(i, i + 3)) for i in range(40)]
+        with pytest.raises(AlgorithmBudgetExceeded):
+            exact_set_cover(sets, node_budget=0)
+
+    def test_empty_universe(self):
+        assert exact_set_cover([{1}], universe=set()) == []
+
+
+class TestExactProperties:
+    @given(families(max_sets=6, max_elements=8))
+    @settings(deadline=None, max_examples=60)
+    def test_matches_subset_enumeration(self, sets):
+        universe = set()
+        for s in sets:
+            universe |= s
+        expected = _min_cover_size_bruteforce(sets, universe)
+        assert len(exact_set_cover(sets)) == expected
+
+    @given(families())
+    @settings(deadline=None)
+    def test_result_is_a_cover(self, sets):
+        chosen = exact_set_cover(sets)
+        covered = set()
+        for idx in chosen:
+            covered |= sets[idx]
+        universe = set()
+        for s in sets:
+            universe |= s
+        assert covered == universe
+
+    @given(families())
+    @settings(deadline=None)
+    def test_never_worse_than_greedy(self, sets):
+        assert len(exact_set_cover(sets)) <= len(greedy_set_cover(sets))

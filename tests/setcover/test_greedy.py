@@ -1,0 +1,91 @@
+"""Generic greedy set cover."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.setcover.greedy import greedy_set_cover
+
+
+@st.composite
+def families(draw, max_sets=8, max_elements=12):
+    n_elements = draw(st.integers(min_value=1, max_value=max_elements))
+    elements = list(range(n_elements))
+    n_sets = draw(st.integers(min_value=1, max_value=max_sets))
+    sets = [
+        draw(st.sets(st.sampled_from(elements)))
+        for _ in range(n_sets)
+    ]
+    # guarantee coverability by adding each element somewhere
+    for element in elements:
+        idx = draw(st.integers(min_value=0, max_value=n_sets - 1))
+        sets[idx].add(element)
+    return sets
+
+
+class TestGreedyBasics:
+    def test_single_set_covers_all(self):
+        assert greedy_set_cover([{1, 2, 3}]) == [0]
+
+    def test_picks_largest_first(self):
+        chosen = greedy_set_cover([{1}, {1, 2, 3}, {2}])
+        assert chosen[0] == 1
+
+    def test_classic_greedy_trap(self):
+        """Greedy takes the big middle set even though two sets suffice."""
+        sets = [{1, 2, 3, 4}, {1, 2, 5}, {3, 4, 6}]
+        chosen = greedy_set_cover(sets)
+        assert chosen[0] == 0  # largest first
+        assert len(chosen) == 3  # optimal is 2 (sets 1 and 2)
+
+    def test_tie_broken_by_lowest_index(self):
+        chosen = greedy_set_cover([{1, 2}, {1, 2}])
+        assert chosen == [0]
+
+    def test_explicit_universe_subset(self):
+        # only element 1 must be covered; the small set wins nothing
+        chosen = greedy_set_cover([{1}, {2, 3}], universe={1})
+        assert chosen == [0]
+
+    def test_uncoverable_universe_rejected(self):
+        with pytest.raises(ValueError):
+            greedy_set_cover([{1}], universe={1, 99})
+
+    def test_empty_universe_no_picks(self):
+        assert greedy_set_cover([{1, 2}], universe=set()) == []
+
+    def test_unknown_strategy(self):
+        with pytest.raises(ValueError):
+            greedy_set_cover([{1}], strategy="bogus")
+
+
+class TestGreedyProperties:
+    @given(families())
+    @settings(deadline=None)
+    def test_result_is_a_cover(self, sets):
+        chosen = greedy_set_cover(sets)
+        covered = set()
+        for idx in chosen:
+            covered |= sets[idx]
+        universe = set()
+        for s in sets:
+            universe |= s
+        assert covered == universe
+
+    @given(families())
+    @settings(deadline=None)
+    def test_no_redundant_zero_gain_picks(self, sets):
+        """Every pick must contribute at least one new element."""
+        chosen = greedy_set_cover(sets)
+        covered = set()
+        for idx in chosen:
+            gain = sets[idx] - covered
+            assert gain, f"set {idx} contributed nothing"
+            covered |= sets[idx]
+
+    @given(families())
+    @settings(deadline=None)
+    def test_strategies_identical(self, sets):
+        rescan = greedy_set_cover(sets, strategy="rescan")
+        heap = greedy_set_cover(sets, strategy="lazy_heap")
+        assert rescan == heap

@@ -1,0 +1,72 @@
+"""Emission semantics and the StreamingAlgorithm protocol."""
+
+import pytest
+
+from repro.core.post import Post
+from repro.stream.events import Emission, StreamingAlgorithm
+
+
+def _post(value=1.0):
+    return Post(uid=0, value=value, labels=frozenset("a"))
+
+
+class TestEmission:
+    def test_delay_derived(self):
+        emission = Emission(post=_post(10.0), emitted_at=12.5)
+        assert emission.delay == 2.5
+
+    def test_zero_delay(self):
+        emission = Emission(post=_post(3.0), emitted_at=3.0)
+        assert emission.delay == 0.0
+
+    def test_frozen(self):
+        emission = Emission(post=_post(), emitted_at=1.0)
+        with pytest.raises(AttributeError):
+            emission.emitted_at = 5.0
+
+
+class TestDefaultFlush:
+    def test_flush_drains_deadlines_in_order(self):
+        class Queued(StreamingAlgorithm):
+            def __init__(self):
+                self.deadlines = [3.0, 1.0, 2.0]
+
+            def on_arrival(self, post):
+                return []
+
+            def next_deadline(self):
+                return min(self.deadlines) if self.deadlines else None
+
+            def on_deadline(self, now):
+                self.deadlines.remove(now)
+                return [Emission(post=Post(uid=int(now * 10),
+                                           value=now,
+                                           labels=frozenset("a")),
+                                 emitted_at=now)]
+
+        algorithm = Queued()
+        emissions = algorithm.flush()
+        assert [e.emitted_at for e in emissions] == [1.0, 2.0, 3.0]
+        assert algorithm.next_deadline() is None
+
+    def test_flush_empty_when_no_deadlines(self):
+        class Idle(StreamingAlgorithm):
+            def on_arrival(self, post):
+                return []
+
+            def next_deadline(self):
+                return None
+
+            def on_deadline(self, now):  # pragma: no cover
+                return []
+
+        assert Idle().flush() == []
+
+    def test_base_class_abstract_methods(self):
+        base = StreamingAlgorithm()
+        with pytest.raises(NotImplementedError):
+            base.on_arrival(_post())
+        with pytest.raises(NotImplementedError):
+            base.next_deadline()
+        with pytest.raises(NotImplementedError):
+            base.on_deadline(0.0)

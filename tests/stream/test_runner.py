@@ -1,0 +1,122 @@
+"""The stream driver."""
+
+import pytest
+
+from repro.core.post import Post, make_posts
+from repro.errors import StreamOrderError
+from repro.stream.events import Emission, StreamingAlgorithm
+from repro.stream.runner import run_stream
+
+
+class EchoAlgorithm(StreamingAlgorithm):
+    """Emits every arriving post immediately (a valid trivial solver)."""
+
+    name = "echo"
+
+    def on_arrival(self, post):
+        return [Emission(post=post, emitted_at=post.value)]
+
+    def next_deadline(self):
+        return None
+
+    def on_deadline(self, now):
+        return []
+
+
+class TimerAlgorithm(StreamingAlgorithm):
+    """Buffers arrivals and emits them `delay` later, one timer each."""
+
+    name = "timer"
+
+    def __init__(self, delay):
+        self.delay = delay
+        self._pending = []
+
+    def on_arrival(self, post):
+        self._pending.append(post)
+        return []
+
+    def next_deadline(self):
+        if not self._pending:
+            return None
+        return self._pending[0].value + self.delay
+
+    def on_deadline(self, now):
+        due = [p for p in self._pending if p.value + self.delay == now]
+        self._pending = [
+            p for p in self._pending if p.value + self.delay != now
+        ]
+        return [Emission(post=p, emitted_at=now) for p in due]
+
+
+class MisbehavingAlgorithm(StreamingAlgorithm):
+    """Emits the same post twice — the runner must catch this."""
+
+    name = "bad"
+
+    def __init__(self):
+        self._seen = []
+
+    def on_arrival(self, post):
+        return [
+            Emission(post=post, emitted_at=post.value),
+            Emission(post=post, emitted_at=post.value),
+        ]
+
+    def next_deadline(self):
+        return None
+
+    def on_deadline(self, now):
+        return []
+
+
+class TestRunStream:
+    def test_echo_emits_everything(self):
+        posts = make_posts([(1.0, "a"), (2.0, "a")])
+        result = run_stream(EchoAlgorithm(), posts)
+        assert result.size == 2
+        assert result.max_delay() == 0.0
+        assert result.algorithm == "echo"
+
+    def test_deadlines_fire_between_arrivals(self):
+        posts = make_posts([(0.0, "a"), (10.0, "a")])
+        result = run_stream(TimerAlgorithm(delay=2.0), posts)
+        # the first post's timer (t=2) fires before the second arrival
+        assert result.emissions[0].post.uid == 0
+        assert result.emissions[0].emitted_at == 2.0
+
+    def test_flush_drains_trailing_timers(self):
+        posts = make_posts([(0.0, "a")])
+        result = run_stream(TimerAlgorithm(delay=5.0), posts)
+        assert result.size == 1
+        assert result.emissions[0].emitted_at == 5.0
+
+    def test_out_of_order_input_rejected(self):
+        posts = make_posts([(5.0, "a"), (1.0, "a")])
+        # bypass Instance sorting by passing the raw list
+        with pytest.raises(StreamOrderError):
+            run_stream(EchoAlgorithm(), posts)
+
+    def test_double_emission_detected(self):
+        posts = make_posts([(1.0, "a")])
+        with pytest.raises(AssertionError):
+            run_stream(MisbehavingAlgorithm(), posts)
+
+    def test_delays_recorded(self):
+        posts = make_posts([(0.0, "a"), (1.0, "a")])
+        result = run_stream(TimerAlgorithm(delay=3.0), posts)
+        assert result.max_delay() == pytest.approx(3.0)
+        assert all(e.delay == pytest.approx(3.0)
+                   for e in result.emissions)
+
+    def test_to_solution_roundtrip(self):
+        posts = make_posts([(1.0, "a"), (2.0, "a")])
+        result = run_stream(EchoAlgorithm(), posts)
+        solution = result.to_solution()
+        assert solution.size == 2
+        assert solution.algorithm == "echo"
+
+    def test_empty_stream(self):
+        result = run_stream(EchoAlgorithm(), [])
+        assert result.size == 0
+        assert result.max_delay() == 0.0

@@ -1,0 +1,165 @@
+"""Cross-module integration tests: the full Figure 1 pipeline, end to end.
+
+Each test wires several subsystems together the way the examples (and a
+real deployment) would, asserting the joints rather than the units.
+"""
+
+import random
+
+import pytest
+
+from repro import (
+    Instance,
+    Post,
+    ProportionalLambda,
+    greedy_sc,
+    is_cover,
+    opt,
+    scan,
+    scan_variable,
+    stream_solve,
+    verify_cover,
+)
+from repro.core.streaming import StreamScan
+from repro.datagen.arrivals import bursty_times, poisson_times
+from repro.datagen.tweets import TweetGenerator
+from repro.datagen.workload import tweet_workload
+from repro.index import BM25Scorer, InvertedIndex, LabelMatcher, SimHashIndex
+from repro.stream.runner import run_stream
+from repro.text.sentiment import sentiment_score
+from repro.topics import SyntheticTopicModel, discard_ambiguous, make_label_set
+
+
+@pytest.fixture(scope="module")
+def pipeline():
+    """Shared expensive fixtures: model, profile, one hour of tweets."""
+    rng = random.Random(99)
+    model = discard_ambiguous(rng, SyntheticTopicModel.train(rng))
+    profile = make_label_set(rng, model, size=3)
+    generator = TweetGenerator(model, rng, duplicate_prob=0.08)
+    times = poisson_times(rng, rate=1.5, start=0.0, end=3600.0)
+    documents = generator.generate(times)
+    return model, profile, documents
+
+
+class TestIndexPath:
+    """Figure 1's first input option: search an inverted index."""
+
+    def test_search_match_diversify(self, pipeline):
+        _, profile, documents = pipeline
+        index = InvertedIndex()
+        for doc in documents:
+            index.add(doc.doc_id, doc.timestamp, doc.text)
+        matcher = LabelMatcher(profile)
+        posts = matcher.search_posts(index)
+        assert posts, "profile should match something in an hour of tweets"
+
+        instance = Instance(posts, lam=300.0, labels=matcher.labels)
+        digest = greedy_sc(instance)
+        verify_cover(instance, digest.posts)
+        assert digest.size < len(posts)
+
+    def test_index_path_equals_direct_matching(self, pipeline):
+        """Searching the index then labelling must give the same posts as
+        matching the raw documents directly."""
+        _, profile, documents = pipeline
+        index = InvertedIndex()
+        for doc in documents:
+            index.add(doc.doc_id, doc.timestamp, doc.text)
+        matcher = LabelMatcher(profile)
+        via_index = {p.uid for p in matcher.search_posts(index)}
+        direct = {p.uid for p in matcher.to_posts(documents)}
+        assert via_index == direct
+
+    def test_bm25_ranks_within_matched_set(self, pipeline):
+        _, profile, documents = pipeline
+        index = InvertedIndex()
+        for doc in documents:
+            index.add(doc.doc_id, doc.timestamp, doc.text)
+        scorer = BM25Scorer(index)
+        keywords = sorted(profile[0].keywords)[:5]
+        ranked = scorer.search(keywords, k=5)
+        scores = [score for _, score in ranked]
+        assert scores == sorted(scores, reverse=True)
+
+
+class TestDedupThenDiversify:
+    def test_simhash_before_mqdp_shrinks_input_not_coverage(self, pipeline):
+        _, profile, documents = pipeline
+        dedup = SimHashIndex(max_distance=3)
+        kept_ids, dropped = dedup.deduplicate(
+            (d.doc_id, d.text) for d in documents
+        )
+        assert dropped, "duplicate_prob=0.08 should produce duplicates"
+        kept = set(kept_ids)
+        surviving = [d for d in documents if d.doc_id in kept]
+        rng = random.Random(0)
+        instance, posts = tweet_workload(
+            rng, profile, surviving, lam=300.0
+        )
+        solution = scan(instance)
+        assert is_cover(instance, solution.posts)
+
+
+class TestStreamPath:
+    """Figure 1's second input option: the matching module on a stream."""
+
+    def test_matched_stream_into_streaming_algorithms(self, pipeline):
+        _, profile, documents = pipeline
+        matcher = LabelMatcher(profile)
+        posts = matcher.to_posts(documents)
+        instance = Instance(posts, lam=300.0, labels=matcher.labels)
+        for name in ("stream_scan", "stream_scan+", "instant",
+                     "stream_greedy_sc", "stream_greedy_sc+"):
+            result = stream_solve(name, instance, tau=120.0)
+            assert is_cover(instance, result.to_solution().posts), name
+            assert result.max_delay() <= max(120.0, 300.0) + 1e-9
+
+    def test_streaming_equals_batch_on_matched_data(self, pipeline):
+        _, profile, documents = pipeline
+        matcher = LabelMatcher(profile)
+        posts = matcher.to_posts(documents)
+        instance = Instance(posts, lam=300.0, labels=matcher.labels)
+        batch = scan(instance)
+        algorithm = StreamScan(instance.labels, lam=300.0, tau=301.0)
+        streamed = run_stream(algorithm, instance.posts)
+        assert set(streamed.to_solution().uids) == set(batch.uids)
+
+
+class TestSentimentDimension:
+    def test_sentiment_pipeline(self, pipeline):
+        """Swap the diversity dimension: score texts, cover the polarity
+        axis instead of the timeline."""
+        _, profile, documents = pipeline
+        matcher = LabelMatcher(profile)
+        posts = matcher.to_posts_with_value(
+            documents, value_of=lambda d: sentiment_score(d.text)
+        )
+        assert posts
+        instance = Instance(posts, lam=0.3, labels=matcher.labels)
+        solution = greedy_sc(instance)
+        verify_cover(instance, solution.posts)
+        # proportional variant on the same axis
+        model = ProportionalLambda(instance, lam0=0.3)
+        proportional = scan_variable(instance, model)
+        assert is_cover(instance, proportional.posts, model)
+
+
+class TestSmallExactOnRealisticData:
+    def test_opt_on_a_short_burst(self):
+        """The paper's usage envelope for OPT: |L| = 2, small window."""
+        rng = random.Random(3)
+        times, _ = bursty_times(rng, base_rate=0.05, start=0.0,
+                                end=600.0, n_bursts=1)
+        posts = [
+            Post(
+                uid=i, value=t,
+                labels=frozenset(rng.sample(["a", "b"],
+                                            rng.randint(1, 2))),
+            )
+            for i, t in enumerate(times)
+        ] or [Post(uid=0, value=0.0, labels=frozenset("a"))]
+        instance = Instance(posts, lam=60.0)
+        exact = opt(instance)
+        assert is_cover(instance, exact.posts)
+        assert exact.size <= scan(instance).size

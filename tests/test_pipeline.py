@@ -1,0 +1,150 @@
+"""The DiversificationPipeline facade."""
+
+import pytest
+
+from repro import DiversificationPipeline, is_cover
+from repro.errors import ReproError, StreamOrderError
+from repro.index.inverted_index import Document
+from repro.index.query import TopicQuery
+
+
+def _queries():
+    return [
+        TopicQuery(label="golf", keywords=frozenset({"tiger", "golf"})),
+        TopicQuery(label="nba", keywords=frozenset({"lebron", "nba"})),
+    ]
+
+
+def _documents():
+    return [
+        Document(0, 0.0, "tiger wins the open"),
+        Document(1, 30.0, "tiger wins the open"),            # duplicate
+        Document(2, 60.0, "lebron dominates the nba game"),
+        Document(3, 90.0, "weather is nice today"),          # unmatched
+        Document(4, 400.0, "golf playoff goes to extra holes"),
+        Document(5, 500.0, "nba trade rumors heat up"),
+    ]
+
+
+class TestBatchDigest:
+    def test_end_to_end(self):
+        pipeline = DiversificationPipeline(_queries(), lam=120.0)
+        result = pipeline.digest(_documents())
+        assert result.duplicates_dropped == 1
+        assert result.unmatched_dropped == 1
+        assert result.matched == 4
+        assert is_cover(result.instance, result.posts)
+        assert 0 < result.size <= result.matched
+
+    def test_dedup_disabled(self):
+        pipeline = DiversificationPipeline(
+            _queries(), lam=120.0, dedup_distance=None
+        )
+        result = pipeline.digest(_documents())
+        assert result.duplicates_dropped == 0
+        assert result.matched == 5
+
+    def test_algorithm_selectable(self):
+        for algorithm in ("scan", "scan+", "greedy_sc", "opt"):
+            pipeline = DiversificationPipeline(
+                _queries(), lam=120.0, algorithm=algorithm
+            )
+            result = pipeline.digest(_documents())
+            assert is_cover(result.instance, result.posts), algorithm
+
+    def test_sentiment_dimension(self):
+        documents = [
+            Document(0, 0.0, "tiger great amazing win"),
+            Document(1, 1.0, "tiger terrible awful collapse"),
+            Document(2, 2.0, "tiger plays golf"),
+        ]
+        pipeline = DiversificationPipeline(
+            _queries(), lam=0.4, dimension="sentiment",
+            dedup_distance=None,
+        )
+        result = pipeline.digest(documents)
+        values = [post.value for post in result.instance.posts]
+        assert min(values) < 0 < max(values)
+        assert is_cover(result.instance, result.posts)
+
+    def test_custom_dimension_callable(self):
+        pipeline = DiversificationPipeline(
+            _queries(), lam=1.0,
+            dimension=lambda document: float(len(document.text)),
+            dedup_distance=None,
+        )
+        result = pipeline.digest(_documents())
+        assert is_cover(result.instance, result.posts)
+
+    def test_unknown_dimension_rejected(self):
+        with pytest.raises(ReproError):
+            DiversificationPipeline(_queries(), lam=1.0,
+                                    dimension="geography")
+
+    def test_unknown_stream_algorithm_rejected(self):
+        with pytest.raises(ReproError):
+            DiversificationPipeline(_queries(), lam=1.0,
+                                    stream_algorithm="nope")
+
+
+class TestStreamingFeed:
+    def test_feed_then_finish_covers(self):
+        pipeline = DiversificationPipeline(
+            _queries(), lam=120.0, tau=60.0,
+            stream_algorithm="stream_scan",
+        )
+        emissions = []
+        for document in _documents():
+            emissions.extend(pipeline.feed(document))
+        emissions.extend(pipeline.finish())
+        emitted_uids = {e.post.uid for e in emissions}
+        assert emitted_uids  # something was selected
+        # every emission corresponds to a matched document
+        assert 3 not in emitted_uids  # the unmatched one
+
+    def test_duplicates_never_emitted(self):
+        pipeline = DiversificationPipeline(
+            _queries(), lam=1.0, tau=0.0,
+            stream_algorithm="instant",
+        )
+        emissions = []
+        for document in _documents():
+            emissions.extend(pipeline.feed(document))
+        emissions.extend(pipeline.finish())
+        assert 1 not in {e.post.uid for e in emissions}
+
+    def test_order_violation_rejected(self):
+        pipeline = DiversificationPipeline(_queries(), lam=10.0, tau=1.0)
+        pipeline.feed(Document(0, 100.0, "tiger"))
+        with pytest.raises(StreamOrderError):
+            pipeline.feed(Document(1, 50.0, "tiger"))
+
+    def test_finish_resets_state(self):
+        pipeline = DiversificationPipeline(_queries(), lam=10.0, tau=1.0)
+        pipeline.feed(Document(0, 100.0, "tiger"))
+        pipeline.finish()
+        # a fresh stream accepts earlier timestamps again
+        emissions = pipeline.feed(Document(1, 0.0, "tiger"))
+        assert pipeline.finish() or emissions
+
+    def test_finish_without_feed(self):
+        pipeline = DiversificationPipeline(_queries(), lam=10.0)
+        assert pipeline.finish() == []
+
+    def test_stream_matches_batch_when_tau_exceeds_lambda(self):
+        documents = [d for d in _documents() if d.doc_id != 1]
+        batch = DiversificationPipeline(
+            _queries(), lam=120.0, algorithm="scan",
+            dedup_distance=None,
+        ).digest(documents)
+        stream = DiversificationPipeline(
+            _queries(), lam=120.0, tau=121.0,
+            stream_algorithm="stream_scan", dedup_distance=None,
+        )
+        emissions = []
+        for document in documents:
+            emissions.extend(stream.feed(document))
+        emissions.extend(stream.finish())
+        assert {e.post.uid for e in emissions} == set(
+            batch.solution.uids
+        )

@@ -1,0 +1,86 @@
+"""Property tests for the pipeline facade over random document streams."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import DiversificationPipeline, is_cover
+from repro.index.inverted_index import Document
+from repro.index.query import TopicQuery
+
+WORDS = ["tiger", "golf", "lebron", "nba", "storm", "flood",
+         "lunch", "coffee", "weekend"]
+
+QUERIES = [
+    TopicQuery(label="golf", keywords=frozenset({"tiger", "golf"})),
+    TopicQuery(label="nba", keywords=frozenset({"lebron", "nba"})),
+    TopicQuery(label="weather", keywords=frozenset({"storm", "flood"})),
+]
+
+
+def _documents(seed: int, n: int):
+    rng = random.Random(seed)
+    timestamps = sorted(rng.uniform(0, 600) for _ in range(n))
+    return [
+        Document(
+            doc_id=i,
+            timestamp=t,
+            text=" ".join(rng.choices(WORDS, k=rng.randint(2, 6))),
+        )
+        for i, t in enumerate(timestamps)
+    ]
+
+
+@given(st.integers(min_value=0, max_value=10_000),
+       st.integers(min_value=1, max_value=40))
+@settings(deadline=None, max_examples=30)
+def test_batch_digest_always_covers(seed, n):
+    pipeline = DiversificationPipeline(
+        QUERIES, lam=60.0, dedup_distance=None
+    )
+    result = pipeline.digest(_documents(seed, n))
+    assert is_cover(result.instance, result.posts)
+    assert result.matched + result.unmatched_dropped == n
+
+
+@given(st.integers(min_value=0, max_value=10_000),
+       st.integers(min_value=1, max_value=40))
+@settings(deadline=None, max_examples=30)
+def test_stream_feed_emissions_are_matched_posts(seed, n):
+    pipeline = DiversificationPipeline(
+        QUERIES, lam=60.0, tau=20.0,
+        stream_algorithm="stream_scan", dedup_distance=None,
+    )
+    documents = _documents(seed, n)
+    emissions = []
+    for document in documents:
+        emissions.extend(pipeline.feed(document))
+    emissions.extend(pipeline.finish())
+    matcher = pipeline.matcher
+    by_id = {d.doc_id: d for d in documents}
+    for emission in emissions:
+        document = by_id[emission.post.uid]
+        assert matcher.match(document.text)
+        assert emission.delay <= max(20.0, 60.0) + 1e-9
+
+
+@given(st.integers(min_value=0, max_value=10_000))
+@settings(deadline=None, max_examples=15)
+def test_dedup_only_reduces_output(seed):
+    documents = _documents(seed, 30)
+    # duplicate a handful of texts verbatim
+    documents += [
+        Document(doc_id=100 + i, timestamp=d.timestamp + 600.0,
+                 text=d.text)
+        for i, d in enumerate(documents[:5])
+    ]
+    documents.sort(key=lambda d: d.timestamp)
+    with_dedup = DiversificationPipeline(
+        QUERIES, lam=60.0, dedup_distance=0
+    ).digest(documents)
+    without = DiversificationPipeline(
+        QUERIES, lam=60.0, dedup_distance=None
+    ).digest(documents)
+    assert with_dedup.matched <= without.matched

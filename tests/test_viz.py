@@ -1,0 +1,84 @@
+"""Terminal visualisation helpers."""
+
+from repro.core.budgeted import coverage_curve
+from repro.core.instance import Instance
+from repro.viz import budget_bars, label_lanes, timeline
+
+
+def _instance():
+    return Instance.from_specs(
+        [(0.0, "a"), (5.0, "ab"), (10.0, "b")], lam=2.0
+    )
+
+
+class TestTimeline:
+    def test_marks_posts_and_selection(self):
+        instance = _instance()
+        art = timeline(instance, selected=[instance.posts[1]], width=21)
+        row = art.splitlines()[0]
+        assert row[0] == "."
+        assert row[10] == "#"
+        assert row[20] == "."
+
+    def test_axis_shows_range(self):
+        art = timeline(_instance(), width=21)
+        axis = art.splitlines()[1]
+        assert axis.startswith("0")
+        assert axis.endswith("10")
+
+    def test_empty_instance(self):
+        assert "empty" in timeline(Instance([], lam=1.0))
+
+    def test_identical_values_collapse_left(self):
+        instance = Instance.from_specs(
+            [(3.0, "a"), (3.0, "a")], lam=1.0
+        )
+        row = timeline(instance, width=10).splitlines()[0]
+        assert row[0] == "."
+        assert row.count(".") == 1
+
+
+class TestLabelLanes:
+    def test_one_lane_per_label(self):
+        art = label_lanes(_instance(), width=21)
+        lines = art.splitlines()
+        assert len(lines) == 2
+        assert lines[0].startswith("a |")
+        assert lines[1].startswith("b |")
+
+    def test_lane_contents(self):
+        instance = _instance()
+        art = label_lanes(instance, selected=[instance.posts[1]],
+                          width=21)
+        lane_a = art.splitlines()[0].split("|")[1]
+        # the multilabel post at value 5 is selected, shown as '#'
+        assert lane_a[10] == "#"
+        assert lane_a[0] == "."
+        # value 10 post has no label a
+        assert lane_a[20] == " "
+
+    def test_empty_instance(self):
+        assert "empty" in label_lanes(Instance([], lam=1.0))
+
+
+class TestBudgetBars:
+    def test_bars_track_fractions(self):
+        curve = [(0, 0.0), (1, 0.5), (2, 1.0)]
+        art = budget_bars(curve, width=10)
+        lines = art.splitlines()
+        assert lines[0].endswith("0.0%")
+        assert "#####" in lines[1]
+        assert lines[2].count("#") == 10
+
+    def test_thinning_long_curves(self):
+        curve = [(k, k / 100.0) for k in range(101)]
+        art = budget_bars(curve, max_rows=5)
+        assert len(art.splitlines()) == 5
+
+    def test_empty_curve(self):
+        assert "empty" in budget_bars([])
+
+    def test_integration_with_coverage_curve(self):
+        instance = _instance()
+        art = budget_bars(coverage_curve(instance))
+        assert "100.0%" in art

@@ -1,0 +1,107 @@
+"""The lexicon sentiment scorer."""
+
+import pytest
+
+from repro.text.sentiment import (
+    NEGATIVE_WORDS,
+    POSITIVE_WORDS,
+    SentimentAnalyzer,
+    sentiment_score,
+)
+
+
+class TestDefaultLexicons:
+    def test_lexicons_disjoint(self):
+        assert not POSITIVE_WORDS & NEGATIVE_WORDS
+
+    def test_positive_text_positive_score(self):
+        assert sentiment_score("great amazing win") > 0
+
+    def test_negative_text_negative_score(self):
+        assert sentiment_score("terrible awful crash") < 0
+
+    def test_neutral_text_zero(self):
+        assert sentiment_score("the meeting is on tuesday") == 0.0
+
+    def test_empty_text_zero(self):
+        assert sentiment_score("") == 0.0
+
+    def test_range_bounded(self):
+        assert -1.0 <= sentiment_score("love " * 50) <= 1.0
+        assert -1.0 <= sentiment_score("hate " * 50) <= 1.0
+
+
+class TestNegation:
+    def test_negation_flips_polarity(self):
+        assert sentiment_score("not good") < 0
+        assert sentiment_score("not bad") > 0
+
+    def test_negation_window_limited(self):
+        # negation three tokens back is out of the default window of 2
+        far = sentiment_score("not the big exciting win")
+        assert far > 0
+
+    def test_double_negation(self):
+        # "never not good": both negations flip -> positive
+        assert sentiment_score("never not good") > 0
+
+
+class TestIntensifiers:
+    def test_intensifier_amplifies(self):
+        plain = sentiment_score("a good game")
+        intense = sentiment_score("an extremely good game")
+        assert intense > plain
+
+    def test_intensified_negative(self):
+        plain = sentiment_score("a bad game")
+        intense = sentiment_score("an extremely bad game")
+        assert intense < plain
+
+
+class TestCustomAnalyzer:
+    def test_custom_lexicons(self):
+        analyzer = SentimentAnalyzer(
+            positive={"bullish"}, negative={"bearish"}
+        )
+        assert analyzer.score("feeling bullish") > 0
+        assert analyzer.score("feeling bearish") < 0
+        # default lexicon words mean nothing to it
+        assert analyzer.score("great") == 0.0
+
+    def test_overlapping_lexicons_rejected(self):
+        with pytest.raises(ValueError):
+            SentimentAnalyzer(positive={"odd"}, negative={"odd"})
+
+    def test_single_polar_word_scores_half(self):
+        analyzer = SentimentAnalyzer(
+            positive={"up"}, negative={"down"}
+        )
+        assert analyzer.score("up") == pytest.approx(0.5)
+        assert analyzer.score("down") == pytest.approx(-0.5)
+
+    def test_mixed_text_balances(self):
+        score = sentiment_score("great game but terrible refs")
+        assert abs(score) < 0.5
+
+
+class TestAsDiversityDimension:
+    def test_scores_usable_as_post_values(self):
+        """Sentiment scores feed straight into the MQDP value slot."""
+        from repro.core.instance import Instance
+        from repro.core.post import Post
+        from repro.core.scan import scan
+
+        texts = [
+            "amazing win tonight",
+            "good game",
+            "terrible loss",
+            "awful crash disaster",
+        ]
+        posts = [
+            Post(uid=i, value=sentiment_score(t),
+                 labels=frozenset({"game"}), text=t)
+            for i, t in enumerate(texts)
+        ]
+        instance = Instance(posts, lam=0.3)
+        solution = scan(instance)
+        assert 1 <= solution.size <= 4

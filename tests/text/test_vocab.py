@@ -1,0 +1,48 @@
+"""The structured vocabulary."""
+
+from repro.index.tokenizer import STOPWORDS
+from repro.text.vocab import BROAD_TOPICS, FILLER_WORDS, broad_topic_names
+
+
+class TestBroadTopics:
+    def test_ten_broad_topics(self):
+        assert len(BROAD_TOPICS) == 10
+
+    def test_names_sorted_and_stable(self):
+        names = broad_topic_names()
+        assert names == sorted(names)
+        assert "politics" in names and "sports" in names
+
+    def test_pools_large_enough_for_topics(self):
+        # the topic model samples keywords per topic; pools must be solid
+        for name, pool in BROAD_TOPICS.items():
+            assert len(pool) >= 55, name
+
+    def test_no_duplicates_within_pool(self):
+        for name, pool in BROAD_TOPICS.items():
+            assert len(set(pool)) == len(pool), name
+
+    def test_words_are_tokenizer_stable(self):
+        """Every vocab word must survive tokenisation unchanged, or the
+        matcher could never hit it."""
+        from repro.index.tokenizer import tokenize
+
+        for pool in BROAD_TOPICS.values():
+            for word in pool:
+                assert tokenize(word) == [word], word
+
+    def test_pool_words_not_stopwords(self):
+        for pool in BROAD_TOPICS.values():
+            assert not set(pool) & STOPWORDS
+
+
+class TestFiller:
+    def test_filler_nonempty(self):
+        assert len(FILLER_WORDS) >= 40
+
+    def test_filler_disjoint_from_topic_pools(self):
+        """Filler must not accidentally make every tweet topical."""
+        topical = set()
+        for pool in BROAD_TOPICS.values():
+            topical |= set(pool)
+        assert not set(FILLER_WORDS) & topical

@@ -1,0 +1,87 @@
+"""The synthetic topic model."""
+
+import random
+
+import pytest
+
+from repro.text.vocab import BROAD_TOPICS
+from repro.topics.lda_sim import SyntheticTopicModel
+
+
+@pytest.fixture(scope="module")
+def model():
+    return SyntheticTopicModel.train(random.Random(42))
+
+
+class TestTraining:
+    def test_default_topic_count(self, model):
+        assert len(model.topics) == 300
+
+    def test_ten_broad_groups_of_thirty(self, model):
+        groups = model.by_broad()
+        assert len(groups) == 10
+        assert all(len(topics) == 30 for topics in groups.values())
+
+    def test_keywords_capped_at_forty(self, model):
+        assert all(len(t.keywords) <= 40 for t in model.topics)
+        # dedup may trim a few, but topics should stay near-full
+        assert all(len(t.keywords) >= 30 for t in model.topics)
+
+    def test_weights_normalised(self, model):
+        for topic in model.topics[:20]:
+            total = sum(weight for _, weight in topic.weights)
+            assert total == pytest.approx(1.0)
+
+    def test_deterministic_under_seed(self):
+        one = SyntheticTopicModel.train(random.Random(7))
+        two = SyntheticTopicModel.train(random.Random(7))
+        assert [t.label for t in one.topics] == [t.label for t in two.topics]
+        assert [t.keywords for t in one.topics] == [
+            t.keywords for t in two.topics
+        ]
+
+    def test_lookup_by_label(self, model):
+        topic = model.topic("sports-00")
+        assert model.broad_of[topic.label] == "sports"
+        with pytest.raises(KeyError):
+            model.topic("nope-99")
+
+    def test_subset_preserves_order(self, model):
+        labels = ["politics-02", "politics-00"]
+        subset = model.subset(labels)
+        assert [t.label for t in subset] == labels
+        with pytest.raises(KeyError):
+            model.subset(["politics-00", "ghost-01"])
+
+
+class TestTopicStructure:
+    def test_intra_broad_overlap_small_but_present(self, model):
+        """Same-broad topics share a few keywords (hot base words), not
+        most of them — the calibration behind Table 2's scaling."""
+        sports = model.by_broad()["sports"]
+        a, b = sports[0], sports[1]
+        shared = a.keywords & b.keywords
+        assert len(shared) < 10
+
+    def test_cross_broad_overlap_negligible(self, model):
+        groups = model.by_broad()
+        sports = groups["sports"][0]
+        politics = groups["politics"][0]
+        assert len(sports.keywords & politics.keywords) <= 2
+
+    def test_keywords_rooted_in_broad_vocabulary(self, model):
+        """Every keyword is a pool word or a compound of pool words from
+        some broad topic (leakage allows foreign pools)."""
+        all_base = set()
+        for pool in BROAD_TOPICS.values():
+            all_base |= set(pool)
+        compounds = set()
+        for pool in BROAD_TOPICS.values():
+            words = list(pool)
+            for i in range(len(words)):
+                for j in range(i + 1, len(words)):
+                    compounds.add(words[i] + words[j])
+        vocabulary = all_base | compounds
+        for topic in model.topics[:30]:
+            for keyword in topic.keywords:
+                assert keyword in vocabulary, keyword

@@ -1,0 +1,68 @@
+"""Profiles (label sets) and the ambiguity filter."""
+
+import random
+
+import pytest
+
+from repro.topics.lda_sim import SyntheticTopicModel
+from repro.topics.profiles import (
+    discard_ambiguous,
+    make_label_set,
+    make_label_sets,
+)
+
+
+@pytest.fixture(scope="module")
+def model():
+    return SyntheticTopicModel.train(random.Random(42))
+
+
+class TestDiscardAmbiguous:
+    def test_keeps_215_by_default(self, model):
+        trimmed = discard_ambiguous(random.Random(0), model)
+        assert len(trimmed.topics) == 215
+
+    def test_noop_when_keep_exceeds_size(self, model):
+        same = discard_ambiguous(random.Random(0), model, keep=9999)
+        assert same is model
+
+    def test_broad_mapping_consistent(self, model):
+        trimmed = discard_ambiguous(random.Random(0), model)
+        assert set(trimmed.broad_of) == {
+            t.label for t in trimmed.topics
+        }
+
+    def test_kept_topics_are_a_subset(self, model):
+        trimmed = discard_ambiguous(random.Random(0), model)
+        original = {t.label for t in model.topics}
+        assert {t.label for t in trimmed.topics} <= original
+
+
+class TestLabelSets:
+    def test_profile_within_one_broad_topic(self, model):
+        profile = make_label_set(random.Random(1), model, size=5)
+        broads = {model.broad_of[t.label] for t in profile}
+        assert len(broads) == 1
+        assert len(profile) == 5
+
+    def test_distinct_topics_in_profile(self, model):
+        profile = make_label_set(random.Random(2), model, size=20)
+        assert len({t.label for t in profile}) == 20
+
+    def test_oversized_profile_rejected(self, model):
+        with pytest.raises(ValueError):
+            make_label_set(random.Random(0), model, size=31)
+
+    def test_many_profiles(self, model):
+        profiles = make_label_sets(random.Random(3), model, size=2,
+                                   count=10)
+        assert len(profiles) == 10
+        assert all(len(p) == 2 for p in profiles)
+
+    def test_profiles_vary(self, model):
+        profiles = make_label_sets(random.Random(4), model, size=2,
+                                   count=20)
+        signatures = {
+            tuple(sorted(t.label for t in p)) for p in profiles
+        }
+        assert len(signatures) > 1
