@@ -61,13 +61,29 @@ from .core import (
 )
 from .errors import (
     AlgorithmBudgetExceeded,
+    CheckpointError,
+    EmissionInvariantError,
     InvalidCoverError,
     InvalidInstanceError,
+    LoaderError,
     ReproError,
+    SanitizationError,
     StreamOrderError,
     UnknownAlgorithmError,
 )
 from .stream import Emission, StreamResult, run_stream
+from .resilience import (
+    Checkpoint,
+    DowngradeEvent,
+    FaultInjector,
+    QuarantineRecord,
+    ResilienceConfig,
+    SanitizationPolicy,
+    StreamSupervisor,
+    SupervisorHealth,
+    run_supervised,
+    solve_with_ladder,
+)
 from .pipeline import DigestResult, DiversificationPipeline
 from .viz import budget_bars, label_lanes, timeline
 
@@ -118,12 +134,27 @@ __all__ = [
     "scan_variable",
     "greedy_sc_variable",
     "exact_variable",
+    # resilience
+    "StreamSupervisor",
+    "SupervisorHealth",
+    "SanitizationPolicy",
+    "QuarantineRecord",
+    "ResilienceConfig",
+    "Checkpoint",
+    "DowngradeEvent",
+    "FaultInjector",
+    "run_supervised",
+    "solve_with_ladder",
     # errors
     "ReproError",
     "InvalidInstanceError",
     "InvalidCoverError",
     "AlgorithmBudgetExceeded",
     "StreamOrderError",
+    "EmissionInvariantError",
+    "SanitizationError",
+    "CheckpointError",
+    "LoaderError",
     "UnknownAlgorithmError",
     # pipeline facade
     "DiversificationPipeline",

@@ -11,6 +11,13 @@ objects; these loaders accept the shapes it usually does start as:
 
 Formats are deliberately boring: CSV and JSON Lines round-trip through
 spreadsheets and ``jq`` alike.
+
+Every loader also accepts an :class:`os.PathLike` (e.g.
+``pathlib.Path``): the file is then read through
+:func:`read_text_with_retry`, an exponential-backoff loop that shrugs off
+transient I/O failures (NFS hiccups, a dump mid-rotation) and raises
+:class:`~repro.errors.LoaderError` only once the attempt budget is spent.
+Plain strings keep their historical meaning of literal file *content*.
 """
 
 from __future__ import annotations
@@ -18,12 +25,15 @@ from __future__ import annotations
 import csv
 import io
 import json
-from typing import List, Optional, TextIO, Union
+import os
+import random
+import time
+from typing import Callable, List, Optional, TextIO, Union
 
 from ..core.instance import Instance
 from ..core.post import Post
 from ..core.solution import Solution
-from ..errors import InvalidInstanceError
+from ..errors import InvalidInstanceError, LoaderError
 from ..index.inverted_index import Document
 
 __all__ = [
@@ -32,17 +42,68 @@ __all__ = [
     "instance_to_jsonl",
     "instance_from_jsonl",
     "solution_to_csv",
+    "read_text_with_retry",
 ]
 
+Source = Union[str, "os.PathLike[str]", TextIO]
 
-def _reader(source: Union[str, TextIO]) -> TextIO:
+
+def read_text_with_retry(
+    path: "Union[str, os.PathLike[str]]",
+    *,
+    attempts: int = 4,
+    base_delay: float = 0.05,
+    max_delay: float = 2.0,
+    jitter: float = 0.25,
+    sleep: Callable[[float], None] = time.sleep,
+    rng: Optional[random.Random] = None,
+    encoding: str = "utf-8",
+    opener: Callable = open,
+) -> str:
+    """Read a text file, retrying transient ``OSError`` with backoff.
+
+    The pause before attempt ``k`` is ``base_delay * 2**(k-1)`` capped at
+    ``max_delay``, stretched by up to ``jitter`` (a fraction) of random
+    smear so a fleet of restarting consumers does not hammer the same
+    file in lockstep.  ``sleep``, ``rng`` and ``opener`` are injectable
+    so tests run instantly and deterministically.  After ``attempts``
+    failures the last ``OSError`` is wrapped in
+    :class:`~repro.errors.LoaderError`.
+    """
+    if attempts < 1:
+        raise ValueError("attempts must be at least 1")
+    if rng is None:
+        rng = random.Random()
+    delay = base_delay
+    last_error: Optional[OSError] = None
+    for attempt in range(attempts):
+        try:
+            with opener(path, "r", encoding=encoding) as handle:
+                return handle.read()
+        except OSError as error:
+            last_error = error
+            if attempt + 1 == attempts:
+                break
+            pause = min(delay, max_delay)
+            pause += pause * jitter * rng.random()
+            sleep(pause)
+            delay *= 2
+    raise LoaderError(
+        f"could not read {os.fspath(path)!r} after {attempts} attempts: "
+        f"{last_error}"
+    ) from last_error
+
+
+def _reader(source: Source) -> TextIO:
+    if isinstance(source, os.PathLike):
+        return io.StringIO(read_text_with_retry(source))
     if isinstance(source, str):
         return io.StringIO(source)
     return source
 
 
 def documents_from_csv(
-    source: Union[str, TextIO],
+    source: Source,
     timestamp_field: str = "timestamp",
     text_field: str = "text",
     id_field: Optional[str] = None,
@@ -78,7 +139,7 @@ def documents_from_csv(
     return documents
 
 
-def posts_from_jsonl(source: Union[str, TextIO]) -> List[Post]:
+def posts_from_jsonl(source: Source) -> List[Post]:
     """Parse JSON Lines of ``{"uid", "value", "labels", ["text"]}``."""
     posts: List[Post] = []
     for lineno, line in enumerate(_reader(source), start=1):
@@ -126,7 +187,7 @@ def instance_to_jsonl(instance: Instance) -> str:
     return "\n".join(lines) + "\n"
 
 
-def instance_from_jsonl(source: Union[str, TextIO]) -> Instance:
+def instance_from_jsonl(source: Source) -> Instance:
     """Inverse of :func:`instance_to_jsonl`."""
     handle = _reader(source)
     header_line = handle.readline()

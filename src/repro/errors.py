@@ -39,6 +39,45 @@ class StreamOrderError(ReproError):
     """Posts were fed to a streaming algorithm out of timestamp order."""
 
 
+class EmissionInvariantError(ReproError):
+    """A streaming algorithm violated an emission invariant.
+
+    Raised by the stream driver (and by the resilience supervisor) when an
+    algorithm emits the same post twice, emits a post that never arrived, or
+    stamps an emission before the post's own timestamp.  These used to be
+    bare ``assert`` statements, but asserts vanish under ``python -O`` and
+    invariant enforcement must not depend on interpreter flags.
+    """
+
+
+class SanitizationError(ReproError):
+    """A malformed post was rejected by a ``raise`` sanitization policy.
+
+    The resilience supervisor raises this when its
+    :class:`~repro.resilience.policies.SanitizationPolicy` is configured to
+    refuse (rather than quarantine or repair) a malformed arrival: a
+    non-finite diversity value, an empty label set, or a duplicate uid.
+    """
+
+
+class CheckpointError(ReproError):
+    """A supervisor checkpoint could not be restored.
+
+    Raised when a serialized checkpoint is malformed, or when replaying its
+    arrival journal does not reproduce the recorded emission sequence (the
+    recovery-equivalence check failed).
+    """
+
+
+class LoaderError(ReproError):
+    """A data file could not be read after the configured retry budget.
+
+    Raised by :func:`repro.datagen.loaders.read_text_with_retry` once every
+    attempt of the exponential-backoff loop has failed; the original
+    ``OSError`` is attached as ``__cause__``.
+    """
+
+
 class UnknownAlgorithmError(ReproError):
     """A name passed to the algorithm registry does not match any algorithm."""
 

@@ -23,7 +23,8 @@ order — time is, sentiment is not — and refuses otherwise.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Iterable, List, Optional, Sequence, Union
+from typing import Callable, Iterable, List, Optional, Sequence, Tuple, \
+    Union
 
 from .core.instance import Instance
 from .core.post import Post
@@ -34,6 +35,8 @@ from .errors import ReproError, StreamOrderError
 from .index.inverted_index import Document
 from .index.query import LabelMatcher, TopicQuery
 from .index.simhash import SimHashIndex, simhash
+from .resilience.ladder import DowngradeEvent, solve_with_ladder
+from .resilience.supervisor import ResilienceConfig, StreamSupervisor
 from .stream.events import Emission
 from .text.sentiment import sentiment_score
 
@@ -57,13 +60,19 @@ def _resolve_dimension(dimension: Dimension) -> Callable[[Document], float]:
 
 @dataclass(frozen=True)
 class DigestResult:
-    """Outcome of a batch digest."""
+    """Outcome of a batch digest.
+
+    ``downgrades`` is empty unless the pipeline runs with a
+    :class:`~repro.resilience.supervisor.ResilienceConfig` whose batch
+    ladder had to step down (budget overrun or solver error).
+    """
 
     solution: Solution
     instance: Instance
     matched: int
     duplicates_dropped: int
     unmatched_dropped: int
+    downgrades: Tuple[DowngradeEvent, ...] = ()
 
     @property
     def posts(self):
@@ -96,6 +105,15 @@ class DiversificationPipeline:
         ``"time"``, ``"sentiment"`` or a ``Document -> float`` callable.
     dedup_distance:
         SimHash Hamming budget; ``None`` disables deduplication.
+    resilience:
+        Optional :class:`~repro.resilience.supervisor.ResilienceConfig`.
+        When set, :meth:`feed` routes posts through a
+        :class:`~repro.resilience.supervisor.StreamSupervisor`
+        (sanitization, quarantine, watchdog, checkpointing — reachable
+        via :attr:`supervisor`) and :meth:`digest` solves down a
+        degradation ladder under the configured time budget.  Batch
+        degradation is sticky: once a digest steps down a rung, later
+        digests start from that rung.
     """
 
     def __init__(
@@ -107,6 +125,7 @@ class DiversificationPipeline:
         tau: float = 0.0,
         dimension: Dimension = "time",
         dedup_distance: Optional[int] = 3,
+        resilience: Optional[ResilienceConfig] = None,
     ):
         self.matcher = LabelMatcher(queries)
         self.lam = float(lam)
@@ -121,10 +140,23 @@ class DiversificationPipeline:
         self.dimension = dimension
         self._value_of = _resolve_dimension(dimension)
         self.dedup_distance = dedup_distance
+        self.resilience = resilience
+        # batch degradation is sticky across digests
+        self._batch_rung = 0
         # streaming state, created lazily on the first feed()
         self._stream = None
+        self._supervisor: Optional[StreamSupervisor] = None
         self._stream_dedup: Optional[SimHashIndex] = None
         self._last_value = float("-inf")
+
+    @property
+    def supervisor(self) -> Optional[StreamSupervisor]:
+        """The active stream supervisor (health, quarantine, checkpoints).
+
+        ``None`` until the first supervised :meth:`feed`, and again after
+        :meth:`finish`.
+        """
+        return self._supervisor
 
     # -- batch path --------------------------------------------------------------
 
@@ -145,38 +177,100 @@ class DiversificationPipeline:
         )
         unmatched = len(documents) - len(posts)
         instance = Instance(posts, self.lam, labels=self.matcher.labels)
-        solution = solve(self.algorithm, instance)
+        downgrades: Tuple[DowngradeEvent, ...] = ()
+        if self.resilience is not None:
+            ladder = self.resilience.batch_ladder or (self.algorithm,)
+            solution, self._batch_rung, downgrades = solve_with_ladder(
+                instance,
+                ladder,
+                budget=self.resilience.digest_budget,
+                clock=self.resilience.clock,
+                start_rung=self._batch_rung,
+            )
+        else:
+            solution = solve(self.algorithm, instance)
         return DigestResult(
             solution=solution,
             instance=instance,
             matched=len(posts),
             duplicates_dropped=duplicates,
             unmatched_dropped=unmatched,
+            downgrades=downgrades,
         )
 
     # -- streaming path -----------------------------------------------------------
 
     def _ensure_stream(self):
-        if self._stream is None:
-            factory = _STREAM_FACTORIES[self.stream_algorithm]
-            self._stream = factory(
-                self.matcher.labels, self.lam, self.tau
-            )
+        if self._stream is None and self._supervisor is None:
+            if self.resilience is not None:
+                ladder = (
+                    self.resilience.stream_ladder
+                    or (self.stream_algorithm,)
+                )
+                self._supervisor = StreamSupervisor(
+                    self.matcher.labels,
+                    self.lam,
+                    self.tau,
+                    ladder=ladder,
+                    policy=self.resilience.policy,
+                    arrival_budget=self.resilience.arrival_budget,
+                    clock=self.resilience.clock,
+                )
+            else:
+                factory = _STREAM_FACTORIES[self.stream_algorithm]
+                self._stream = factory(
+                    self.matcher.labels, self.lam, self.tau
+                )
             if self.dedup_distance is not None:
                 self._stream_dedup = SimHashIndex(
                     max_distance=self.dedup_distance
                 )
         return self._stream
 
+    def _is_duplicate(self, document: Document) -> bool:
+        if self._stream_dedup is None:
+            return False
+        fingerprint = simhash(document.text)
+        if self._stream_dedup.query(fingerprint):
+            return True
+        self._stream_dedup.add(document.doc_id, fingerprint)
+        return False
+
     def feed(self, document: Document) -> List[Emission]:
         """Push one document through the streaming path.
 
         Returns the emissions this arrival (plus any deadlines it
         overtook) triggered.  Documents must arrive in non-decreasing
-        dimension order; time does naturally, anything else raises.
+        dimension order; time does naturally, anything else raises —
+        unless the pipeline is supervised, in which case the
+        sanitization policy decides.
+
+        The stream clock advances only on *admitted* documents: a
+        near-duplicate or unmatched document never reaches the solver,
+        so it neither tightens the monotonicity gate nor fires
+        deadlines.  Acting on its dimension value would let a document
+        the solver never sees (whose value may be garbage — think a
+        mis-parsed timestamp on an unmatched post) poison the gate for
+        every later arrival.
         """
         stream = self._ensure_stream()
         value = float(self._value_of(document))
+        if self._supervisor is not None:
+            # The supervisor owns ordering, dedup-by-uid and malformed
+            # values; SimHash near-duplicate dropping stays here.
+            if self._is_duplicate(document):
+                return []
+            labels = self.matcher.match(document.text)
+            post = Post(
+                uid=document.doc_id, value=value, labels=labels,
+                text=document.text,
+            )
+            return self._supervisor.ingest(post)
+        if self._is_duplicate(document):
+            return []
+        labels = self.matcher.match(document.text)
+        if not labels:
+            return []
         if value < self._last_value:
             raise StreamOrderError(
                 f"document {document.doc_id} regresses on the "
@@ -192,14 +286,6 @@ class DiversificationPipeline:
                 break
             emissions.extend(stream.on_deadline(deadline))
         self._last_value = value
-        if self._stream_dedup is not None:
-            fingerprint = simhash(document.text)
-            if self._stream_dedup.query(fingerprint):
-                return emissions
-            self._stream_dedup.add(document.doc_id, fingerprint)
-        labels = self.matcher.match(document.text)
-        if not labels:
-            return emissions
         post = Post(
             uid=document.doc_id, value=value, labels=labels,
             text=document.text,
@@ -209,10 +295,14 @@ class DiversificationPipeline:
 
     def finish(self) -> List[Emission]:
         """Drain the streaming state at end of stream."""
-        if self._stream is None:
+        if self._stream is None and self._supervisor is None:
             return []
-        emissions = self._stream.flush()
+        if self._supervisor is not None:
+            emissions = self._supervisor.flush()
+        else:
+            emissions = self._stream.flush()
         self._stream = None
+        self._supervisor = None
         self._stream_dedup = None
         self._last_value = float("-inf")
         return emissions

@@ -1,0 +1,58 @@
+"""Resilient streaming runtime: survive the stream, don't assert on it.
+
+The core packages assume clean input and infinite patience; this package
+assumes neither.  It provides:
+
+* :class:`~repro.resilience.supervisor.StreamSupervisor` — wraps any
+  registered streaming algorithm with input sanitization
+  (:class:`~repro.resilience.policies.SanitizationPolicy` + quarantine
+  log), a watchdog-driven degradation ladder, checkpoint/restore, and
+  health counters; :func:`~repro.resilience.supervisor.run_supervised` is
+  the matching drop-in for :func:`repro.stream.runner.run_stream`.
+* :class:`~repro.resilience.checkpoint.Checkpoint` — the JSON-safe
+  snapshot format (arrival journal + emission record), restored by
+  deterministic replay.
+* :func:`~repro.resilience.ladder.solve_with_ladder` — the batch half of
+  graceful degradation, used by the pipeline's supervised digest.
+* :class:`~repro.resilience.faults.FaultInjector` — a seeded harness that
+  drops, duplicates, delays, reorders and corrupts posts so tests and
+  benchmarks can exercise all of the above deterministically.
+
+See ``docs/robustness.md`` for the guided tour.
+"""
+
+from .checkpoint import CHECKPOINT_VERSION, Checkpoint
+from .faults import FaultEvent, FaultInjector, FaultReport
+from .ladder import (
+    DEFAULT_BATCH_LADDER,
+    DEFAULT_STREAM_LADDER,
+    DowngradeEvent,
+    solve_with_ladder,
+    validate_stream_ladder,
+)
+from .policies import QuarantineRecord, SanitizationPolicy
+from .supervisor import (
+    ResilienceConfig,
+    StreamSupervisor,
+    SupervisorHealth,
+    run_supervised,
+)
+
+__all__ = [
+    "Checkpoint",
+    "CHECKPOINT_VERSION",
+    "FaultEvent",
+    "FaultInjector",
+    "FaultReport",
+    "DowngradeEvent",
+    "DEFAULT_BATCH_LADDER",
+    "DEFAULT_STREAM_LADDER",
+    "solve_with_ladder",
+    "validate_stream_ladder",
+    "QuarantineRecord",
+    "ResilienceConfig",
+    "SanitizationPolicy",
+    "StreamSupervisor",
+    "SupervisorHealth",
+    "run_supervised",
+]

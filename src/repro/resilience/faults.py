@@ -1,0 +1,185 @@
+"""Deterministic fault injection for streaming tests and benchmarks.
+
+The supervisor exists to survive hostile streams; this module manufactures
+them on demand.  A :class:`FaultInjector` takes a clean, time-ordered post
+sequence and applies five fault families, each gated by its own
+probability and all driven by a single seeded :class:`random.Random` so a
+given ``(seed, knobs, input)`` triple always yields the identical faulty
+stream — tests can assert exact outcomes and benchmarks are repeatable.
+
+* **drop** — the post never arrives;
+* **duplicate** — the post arrives again a few positions later (same uid,
+  same payload, exactly what an at-least-once transport produces);
+* **delay** — the post keeps its timestamp but is displaced later in the
+  arrival sequence, i.e. it shows up out of order;
+* **reorder** — two adjacent arrivals swap places (a milder delay);
+* **corrupt** — the payload itself is damaged: the value becomes NaN or
+  ``±inf``, or the label set is emptied.
+
+Every decision is recorded as a :class:`FaultEvent`, and the injector
+exposes the uid sets tests need to reason about ground truth: which posts
+were dropped, which were corrupted beyond repair, which merely moved.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass, field
+from typing import Iterable, List, Sequence, Set, Tuple
+
+from ..core.post import Post
+
+__all__ = ["FaultEvent", "FaultInjector", "FaultReport"]
+
+_CORRUPTIONS = ("nan", "inf", "-inf", "empty-labels")
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One fault applied to one post."""
+
+    kind: str  # drop | duplicate | delay | reorder | corrupt
+    uid: int
+    detail: str = ""
+
+
+@dataclass
+class FaultReport:
+    """Bookkeeping from one :meth:`FaultInjector.apply` run."""
+
+    events: List[FaultEvent] = field(default_factory=list)
+    dropped: Set[int] = field(default_factory=set)
+    duplicated: Set[int] = field(default_factory=set)
+    displaced: Set[int] = field(default_factory=set)
+    corrupted: Set[int] = field(default_factory=set)
+
+    def record(self, kind: str, uid: int, detail: str = "") -> None:
+        self.events.append(FaultEvent(kind=kind, uid=uid, detail=detail))
+        bucket = {
+            "drop": self.dropped,
+            "duplicate": self.duplicated,
+            "delay": self.displaced,
+            "reorder": self.displaced,
+            "corrupt": self.corrupted,
+        }[kind]
+        bucket.add(uid)
+
+
+class FaultInjector:
+    """Seeded, probabilistic post-stream mangler.
+
+    Parameters
+    ----------
+    seed:
+        Seed for the private RNG; equal seeds give equal fault sequences.
+    drop, duplicate, delay, reorder, corrupt:
+        Per-post probabilities for each fault family, each in ``[0, 1]``.
+    displacement:
+        Maximum number of positions a duplicated or delayed post is pushed
+        later in the sequence (drawn uniformly from ``1..displacement``).
+        A reorder buffer of at least this size can fully repair delay and
+        reorder faults.
+    """
+
+    def __init__(
+        self,
+        seed: int = 0,
+        *,
+        drop: float = 0.0,
+        duplicate: float = 0.0,
+        delay: float = 0.0,
+        reorder: float = 0.0,
+        corrupt: float = 0.0,
+        displacement: int = 3,
+    ):
+        for name, p in (
+            ("drop", drop), ("duplicate", duplicate), ("delay", delay),
+            ("reorder", reorder), ("corrupt", corrupt),
+        ):
+            if not 0.0 <= p <= 1.0:
+                raise ValueError(f"{name} probability must be in [0, 1]")
+        if displacement < 1:
+            raise ValueError("displacement must be at least 1")
+        self.seed = seed
+        self.drop = drop
+        self.duplicate = duplicate
+        self.delay = delay
+        self.reorder = reorder
+        self.corrupt = corrupt
+        self.displacement = displacement
+        self.report = FaultReport()
+
+    # -- fault families ---------------------------------------------------
+
+    def _corrupt_post(self, rng: random.Random, post: Post,
+                      report: FaultReport) -> Post:
+        mode = rng.choice(_CORRUPTIONS)
+        report.record("corrupt", post.uid, mode)
+        if mode == "empty-labels":
+            return Post(uid=post.uid, value=post.value,
+                        labels=frozenset(), text=post.text)
+        value = {"nan": math.nan, "inf": math.inf,
+                 "-inf": -math.inf}[mode]
+        return Post(uid=post.uid, value=value, labels=post.labels,
+                    text=post.text)
+
+    def _displace(self, stream: List[Post], index: int, offset: int) -> None:
+        post = stream.pop(index)
+        stream.insert(min(index + offset, len(stream)), post)
+
+    # -- driver -----------------------------------------------------------
+
+    def apply(self, posts: Sequence[Post]) -> List[Post]:
+        """Return a faulty copy of ``posts``; details land in ``report``.
+
+        Calling ``apply`` again resets :attr:`report` and replays the same
+        RNG sequence from :attr:`seed`, so repeated applications to the
+        same input are identical.
+        """
+        rng = random.Random(self.seed)
+        report = FaultReport()
+        stream: List[Post] = []
+        # Payload faults and insertions first, one rng draw block per post
+        # so the decision sequence is independent of list surgery below.
+        pending_dupes: List[Tuple[int, Post]] = []
+        for index, post in enumerate(posts):
+            if rng.random() < self.drop:
+                report.record("drop", post.uid)
+                continue
+            mangled = post
+            if rng.random() < self.corrupt:
+                mangled = self._corrupt_post(rng, post, report)
+            stream.append(mangled)
+            if rng.random() < self.duplicate:
+                offset = rng.randint(1, self.displacement)
+                report.record("duplicate", post.uid, f"+{offset}")
+                pending_dupes.append((len(stream) - 1 + offset, mangled))
+        for position, post in pending_dupes:
+            stream.insert(min(position, len(stream)), post)
+        # Ordering faults on the surviving sequence.
+        for index in range(len(stream)):
+            if rng.random() < self.delay:
+                offset = rng.randint(1, self.displacement)
+                report.record("delay", stream[index].uid, f"+{offset}")
+                self._displace(stream, index, offset)
+        for index in range(len(stream) - 1):
+            if rng.random() < self.reorder:
+                report.record("reorder", stream[index].uid, "swap")
+                stream[index], stream[index + 1] = (
+                    stream[index + 1], stream[index]
+                )
+        self.report = report
+        return stream
+
+    def clean_uids(self, posts: Iterable[Post]) -> Set[int]:
+        """Uids from ``posts`` that were neither dropped nor corrupted.
+
+        These are the posts a drop-and-quarantine supervisor is expected to
+        admit (possibly late, possibly deduplicated) and therefore cover.
+        """
+        return {
+            p.uid for p in posts
+            if p.uid not in self.report.dropped
+            and p.uid not in self.report.corrupted
+        }

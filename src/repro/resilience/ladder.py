@@ -1,0 +1,135 @@
+"""Degradation ladders: trade solution quality for bounded latency.
+
+A ladder is an ordered tuple of algorithm names, best quality first.  When
+the active rung blows its time budget (or raises), the runtime records a
+:class:`DowngradeEvent` and steps down one rung; the bottom rung is the
+always-works fallback and is never abandoned.  The paper's own quality
+ordering supplies the defaults: ``opt`` > ``greedy_sc`` > ``scan+`` in
+batch, ``stream_greedy_sc+`` > ``stream_scan+`` > ``stream_scan`` in
+streaming (Sections 4-5 and the Figure 13/14 timing experiments).
+
+:func:`solve_with_ladder` is the batch half, used by
+:meth:`repro.pipeline.DiversificationPipeline.digest`; the streaming half
+lives inside :class:`~repro.resilience.supervisor.StreamSupervisor`, which
+replays its arrival journal into the next rung so no already-arrived post
+loses coverage.
+"""
+
+from __future__ import annotations
+
+import time as _time
+from dataclasses import dataclass
+from typing import Callable, Optional, Sequence, Tuple
+
+from ..core.instance import Instance
+from ..core.registry import solve
+from ..core.solution import Solution
+from ..core.streaming import _STREAM_FACTORIES
+from ..errors import ReproError
+
+__all__ = [
+    "DowngradeEvent",
+    "DEFAULT_BATCH_LADDER",
+    "DEFAULT_STREAM_LADDER",
+    "solve_with_ladder",
+    "validate_stream_ladder",
+]
+
+DEFAULT_BATCH_LADDER: Tuple[str, ...] = ("opt", "greedy_sc", "scan+")
+DEFAULT_STREAM_LADDER: Tuple[str, ...] = (
+    "stream_greedy_sc+", "stream_scan+", "stream_scan",
+)
+
+
+@dataclass(frozen=True)
+class DowngradeEvent:
+    """One step down a degradation ladder.
+
+    ``trigger`` is ``"budget"`` (the rung finished but took longer than
+    allowed) or ``"error"`` (the rung raised); ``at`` is the simulated
+    stream time of the downgrade for streaming ladders and ``None`` for
+    batch; ``elapsed`` is the wall-clock cost of the abandoned attempt.
+    """
+
+    from_algorithm: str
+    to_algorithm: str
+    trigger: str
+    elapsed: float = 0.0
+    at: Optional[float] = None
+
+
+def validate_stream_ladder(ladder: Sequence[str]) -> Tuple[str, ...]:
+    """Check every rung names a registered streaming algorithm."""
+    rungs = tuple(ladder)
+    if not rungs:
+        raise ReproError("a degradation ladder needs at least one rung")
+    unknown = [name for name in rungs if name not in _STREAM_FACTORIES]
+    if unknown:
+        raise ReproError(
+            f"unknown streaming algorithms in ladder: {unknown}; "
+            f"choose from {sorted(_STREAM_FACTORIES)}"
+        )
+    return rungs
+
+
+def solve_with_ladder(
+    instance: Instance,
+    ladder: Sequence[str] = DEFAULT_BATCH_LADDER,
+    *,
+    budget: Optional[float] = None,
+    clock: Callable[[], float] = _time.perf_counter,
+    start_rung: int = 0,
+) -> Tuple[Solution, int, Tuple[DowngradeEvent, ...]]:
+    """Solve ``instance``, stepping down ``ladder`` on overrun or error.
+
+    Returns ``(solution, rung, downgrades)`` where ``rung`` indexes the
+    ladder entry that produced the accepted solution — callers that want
+    sticky degradation (stay down once down) pass it back as
+    ``start_rung`` on the next digest.
+
+    A rung's result is *discarded* when it exceeds ``budget`` seconds:
+    by then the deadline the budget models has already passed, and
+    accepting a late answer would teach the caller nothing about which
+    rung it can afford.  Exceptions (e.g.
+    :class:`~repro.errors.AlgorithmBudgetExceeded` from the exact DP on a
+    too-large instance) downgrade the same way.  The bottom rung is
+    always accepted — if *it* raises, there is no ladder left and the
+    error propagates.
+    """
+    rungs = tuple(ladder)
+    if not rungs:
+        raise ReproError("a degradation ladder needs at least one rung")
+    if not 0 <= start_rung < len(rungs):
+        raise ReproError(
+            f"start_rung {start_rung} outside ladder of {len(rungs)} rungs"
+        )
+    downgrades = []
+    rung = start_rung
+    while True:
+        name = rungs[rung]
+        last = rung == len(rungs) - 1
+        started = clock()
+        try:
+            solution = solve(name, instance)
+        except ReproError:
+            if last:
+                raise
+            downgrades.append(DowngradeEvent(
+                from_algorithm=name,
+                to_algorithm=rungs[rung + 1],
+                trigger="error",
+                elapsed=clock() - started,
+            ))
+            rung += 1
+            continue
+        elapsed = clock() - started
+        if budget is not None and elapsed > budget and not last:
+            downgrades.append(DowngradeEvent(
+                from_algorithm=name,
+                to_algorithm=rungs[rung + 1],
+                trigger="budget",
+                elapsed=elapsed,
+            ))
+            rung += 1
+            continue
+        return solution, rung, tuple(downgrades)

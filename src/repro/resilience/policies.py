@@ -1,0 +1,144 @@
+"""Input-sanitization policies for the stream supervisor.
+
+Real microblog feeds are dirty: timestamps come back NaN from a broken
+parser, a matcher bug yields an empty label set, network retries duplicate
+posts, and fan-in from several shards delivers arrivals out of order.  The
+core algorithms (:mod:`repro.core.streaming`) are deliberately strict — they
+assume clean, time-ordered input — so the cleaning lives here, in one
+configurable policy object consumed by
+:class:`~repro.resilience.supervisor.StreamSupervisor`.
+
+Each malformation class gets its own knob:
+
+* ``on_malformed_value`` — the post's diversity value is NaN or infinite;
+* ``on_empty_labels`` — the post matches no query at all;
+* ``on_duplicate`` — a uid the supervisor has already seen arrives again;
+* ``on_out_of_order`` — a post regresses behind the admitted frontier even
+  after the bounded reorder buffer had its chance to fix it.
+
+The actions are ``"raise"`` (refuse the stream loudly), ``"drop"``
+(quarantine the post and keep going) and — where a repair is meaningful —
+``"clamp"`` (rewrite the offending value to the nearest legal one and admit
+the repaired post).  Every non-``raise`` decision is recorded as a
+:class:`QuarantineRecord` so no data loss is ever silent.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..core.post import Post
+from ..errors import ReproError
+
+__all__ = [
+    "SanitizationPolicy",
+    "QuarantineRecord",
+    "RAISE",
+    "DROP",
+    "CLAMP",
+]
+
+RAISE = "raise"
+DROP = "drop"
+CLAMP = "clamp"
+
+_VALUE_ACTIONS = (RAISE, DROP, CLAMP)
+_LABEL_ACTIONS = (RAISE, DROP)
+_ORDER_ACTIONS = (RAISE, DROP, CLAMP)
+_DUPLICATE_ACTIONS = (RAISE, DROP)
+
+
+@dataclass(frozen=True)
+class QuarantineRecord:
+    """One post the supervisor refused to pass through unmodified.
+
+    ``action`` is what the policy did (``"drop"`` or ``"clamp"``);
+    ``repaired`` carries the admitted replacement when the action was a
+    clamp, and ``None`` when the post was dropped outright.
+    """
+
+    post: Post
+    reason: str
+    action: str
+    repaired: Optional[Post] = None
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"QuarantineRecord(uid={self.post.uid}, reason={self.reason!r}, "
+            f"action={self.action!r})"
+        )
+
+
+@dataclass(frozen=True)
+class SanitizationPolicy:
+    """What the supervisor does with each class of malformed arrival.
+
+    Parameters
+    ----------
+    on_malformed_value:
+        ``"raise"``, ``"drop"`` or ``"clamp"``.  A clamp rewrites a
+        non-finite value to the admitted frontier (the last admitted value,
+        or ``0.0`` on an empty stream), which keeps the stream monotone.
+    on_empty_labels:
+        ``"raise"`` or ``"drop"``.  There is no meaningful repair for a
+        post that matches no query — it simply is not part of the problem.
+    on_duplicate:
+        ``"raise"`` or ``"drop"``.  Admitting a duplicate uid would make
+        the emission invariants unsatisfiable, so it is never an option.
+    on_out_of_order:
+        ``"raise"``, ``"drop"`` or ``"clamp"``.  Applies only to posts
+        that regress behind the admitted frontier *after* the reorder
+        buffer; a clamp lifts the value up to the frontier.
+    reorder_buffer:
+        Number of arrivals held back in a min-heap before admission.  A
+        post displaced by at most ``reorder_buffer`` positions is restored
+        to its correct place with no quarantine at all; ``0`` disables
+        buffering (every regression hits ``on_out_of_order`` directly).
+        Note the buffer trades latency for order: an arrival is only
+        admitted once ``reorder_buffer`` later posts have arrived (or the
+        stream is flushed).
+    """
+
+    on_malformed_value: str = DROP
+    on_empty_labels: str = DROP
+    on_duplicate: str = DROP
+    on_out_of_order: str = DROP
+    reorder_buffer: int = 0
+
+    def __post_init__(self) -> None:
+        checks = (
+            ("on_malformed_value", self.on_malformed_value, _VALUE_ACTIONS),
+            ("on_empty_labels", self.on_empty_labels, _LABEL_ACTIONS),
+            ("on_duplicate", self.on_duplicate, _DUPLICATE_ACTIONS),
+            ("on_out_of_order", self.on_out_of_order, _ORDER_ACTIONS),
+        )
+        for name, value, allowed in checks:
+            if value not in allowed:
+                raise ReproError(
+                    f"{name} must be one of {allowed}, got {value!r}"
+                )
+        if self.reorder_buffer < 0:
+            raise ReproError("reorder_buffer must be non-negative")
+
+    @classmethod
+    def strict(cls) -> "SanitizationPolicy":
+        """Refuse every malformation — the legacy fail-fast behaviour."""
+        return cls(
+            on_malformed_value=RAISE,
+            on_empty_labels=RAISE,
+            on_duplicate=RAISE,
+            on_out_of_order=RAISE,
+            reorder_buffer=0,
+        )
+
+    @classmethod
+    def lenient(cls, reorder_buffer: int = 8) -> "SanitizationPolicy":
+        """Repair what can be repaired, quarantine the rest, never raise."""
+        return cls(
+            on_malformed_value=CLAMP,
+            on_empty_labels=DROP,
+            on_duplicate=DROP,
+            on_out_of_order=CLAMP,
+            reorder_buffer=reorder_buffer,
+        )

@@ -1,0 +1,535 @@
+"""The stream supervisor: sanitize, watch, checkpoint, degrade.
+
+:class:`StreamSupervisor` wraps the strict streaming solvers of
+:mod:`repro.core.streaming` with the machinery a production consumer needs
+when the feed is hostile and the clock is real:
+
+* **Sanitization** — every raw arrival passes through a
+  :class:`~repro.resilience.policies.SanitizationPolicy` before the
+  algorithm sees it: non-finite values, empty label sets, duplicate uids
+  and out-of-order arrivals are raised on, quarantined, or repaired per
+  policy, with a bounded reorder buffer restoring mildly shuffled streams.
+* **Watchdog + degradation ladder** — each delegated call is timed with an
+  injectable clock; a call that overruns ``arrival_budget`` (or raises)
+  steps the supervisor down its ladder of algorithms, rebuilding the next
+  rung by replaying the arrival journal so no admitted post loses
+  coverage.
+* **Checkpoint/restore** — :meth:`checkpoint` snapshots the journal,
+  buffer, and emission record as a JSON-safe
+  :class:`~repro.resilience.checkpoint.Checkpoint`; :meth:`restore`
+  rebuilds a supervisor from one by journal replay and verifies the replay
+  reproduced the recorded emissions bit-for-bit.
+* **Health counters** — arrivals, quarantines, emissions, downgrades,
+  checkpoints and friends are tallied on :class:`SupervisorHealth` for the
+  observability layer to scrape.
+
+The deterministic core makes all of this cheap: a streaming algorithm's
+state is a pure function of its admitted arrival sequence, so the journal
+doubles as both the recovery log and the downgrade migration path.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+import time as _time
+from dataclasses import asdict, dataclass
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, \
+    Set, Tuple, Union
+
+from ..core.instance import Instance
+from ..core.post import Post
+from ..core.streaming import _STREAM_FACTORIES
+from ..errors import (
+    CheckpointError,
+    EmissionInvariantError,
+    SanitizationError,
+    StreamOrderError,
+)
+from ..stream.events import Emission, StreamingAlgorithm
+from ..stream.runner import StreamResult
+from .checkpoint import Checkpoint
+from .ladder import DowngradeEvent, validate_stream_ladder
+from .policies import CLAMP, DROP, RAISE, QuarantineRecord, \
+    SanitizationPolicy
+
+__all__ = [
+    "ResilienceConfig",
+    "SupervisorHealth",
+    "StreamSupervisor",
+    "run_supervised",
+]
+
+
+@dataclass(frozen=True)
+class ResilienceConfig:
+    """Opt-in resilience settings for the high-level pipeline.
+
+    Passing one of these to :class:`repro.pipeline.DiversificationPipeline`
+    routes the streaming path through a :class:`StreamSupervisor` and the
+    batch path through :func:`~repro.resilience.ladder.solve_with_ladder`.
+    ``None`` ladders fall back to the pipeline's configured single
+    algorithm, i.e. supervision without degradation.
+    """
+
+    policy: SanitizationPolicy = SanitizationPolicy()
+    stream_ladder: Optional[Tuple[str, ...]] = None
+    batch_ladder: Optional[Tuple[str, ...]] = None
+    arrival_budget: Optional[float] = None
+    digest_budget: Optional[float] = None
+    clock: Callable[[], float] = _time.perf_counter
+
+
+@dataclass
+class SupervisorHealth:
+    """Monotone counters describing one supervisor's lifetime."""
+
+    arrivals: int = 0
+    admitted: int = 0
+    quarantined: int = 0
+    repaired: int = 0
+    duplicates: int = 0
+    reordered: int = 0
+    emissions: int = 0
+    suppressed: int = 0
+    downgrades: int = 0
+    checkpoints: int = 0
+    restores: int = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        return asdict(self)
+
+
+class StreamSupervisor:
+    """Resilient front-end for the streaming MQDP algorithms.
+
+    Parameters
+    ----------
+    labels:
+        The query universe (labels a post may carry).
+    lam, tau:
+        Coverage threshold and decision delay, as everywhere else.
+    ladder:
+        Algorithm names, best quality first; a single name (or 1-tuple)
+        disables degradation.  Validated against the streaming registry.
+    policy:
+        A :class:`SanitizationPolicy`; defaults to drop-and-quarantine
+        with no reorder buffer.
+    arrival_budget:
+        Wall-clock seconds allowed per delegated algorithm call
+        (``on_arrival`` / ``on_deadline``); ``None`` disables the
+        watchdog.
+    clock:
+        Monotonic time source for the watchdog — injectable so tests can
+        trigger downgrades deterministically.
+    """
+
+    def __init__(
+        self,
+        labels: Iterable[str],
+        lam: float,
+        tau: float = 0.0,
+        *,
+        ladder: Union[str, Sequence[str]] = ("stream_scan+",),
+        policy: Optional[SanitizationPolicy] = None,
+        arrival_budget: Optional[float] = None,
+        clock: Callable[[], float] = _time.perf_counter,
+    ):
+        if isinstance(ladder, str):
+            ladder = (ladder,)
+        self.ladder: Tuple[str, ...] = validate_stream_ladder(ladder)
+        self.labels: Tuple[str, ...] = tuple(sorted(set(labels)))
+        self._label_set = frozenset(self.labels)
+        self.lam = float(lam)
+        self.tau = float(tau)
+        self.policy = policy if policy is not None else SanitizationPolicy()
+        self.arrival_budget = arrival_budget
+        self._clock = clock
+        self.health = SupervisorHealth()
+        self.quarantine: List[QuarantineRecord] = []
+        self.downgrades: List[DowngradeEvent] = []
+        self._rung = 0
+        self._algorithm: StreamingAlgorithm = self._build(0)
+        self._journal: List[Post] = []
+        self._journal_uids: Set[int] = set()
+        self._buffer: List[Tuple[float, int, Post]] = []
+        self._buffer_seq = 0
+        self._seen: Set[int] = set()
+        self._emitted: Dict[int, float] = {}
+        self._emissions: List[Emission] = []
+        self._last_value = float("-inf")
+        # After a downgrade the active rung cannot know what earlier rungs
+        # emitted, so a re-emission of a recorded uid stops being an
+        # algorithm bug and becomes expected overlap to suppress.
+        self._tolerate_reemission = False
+
+    # -- introspection ----------------------------------------------------
+
+    @property
+    def algorithm_name(self) -> str:
+        """Name of the currently active ladder rung."""
+        return self.ladder[self._rung]
+
+    @property
+    def rung(self) -> int:
+        return self._rung
+
+    @property
+    def journal(self) -> Tuple[Post, ...]:
+        """Every admitted post, in admission order."""
+        return tuple(self._journal)
+
+    @property
+    def emissions(self) -> Tuple[Emission, ...]:
+        """Every emission so far, in emission order."""
+        return tuple(self._emissions)
+
+    def admitted_instance(self) -> Instance:
+        """The admitted posts as a batch instance, for cover verification."""
+        return Instance(self._journal, self.lam, labels=self.labels)
+
+    # -- construction helpers ---------------------------------------------
+
+    def _build(self, rung: int) -> StreamingAlgorithm:
+        return _STREAM_FACTORIES[self.ladder[rung]](
+            self.labels, self.lam, self.tau
+        )
+
+    # -- sanitization ------------------------------------------------------
+
+    def _reject(self, post: Post, reason: str, action: str,
+                repaired: Optional[Post] = None) -> None:
+        self.quarantine.append(QuarantineRecord(
+            post=post, reason=reason, action=action, repaired=repaired,
+        ))
+        if repaired is None:
+            self.health.quarantined += 1
+        else:
+            self.health.repaired += 1
+
+    def _sanitize_payload(self, post: Post) -> Optional[Post]:
+        """Apply value/label/duplicate policies; None means quarantined."""
+        if not math.isfinite(post.value):
+            action = self.policy.on_malformed_value
+            reason = f"non-finite value {post.value!r}"
+            if action == RAISE:
+                raise SanitizationError(
+                    f"post {post.uid}: {reason}"
+                )
+            if action == DROP:
+                self._reject(post, reason, DROP)
+                return None
+            frontier = (
+                self._last_value if math.isfinite(self._last_value) else 0.0
+            )
+            repaired = Post(uid=post.uid, value=frontier,
+                            labels=post.labels, text=post.text)
+            self._reject(post, reason, CLAMP, repaired=repaired)
+            post = repaired
+        known = post.labels & self._label_set
+        if not known:
+            reason = (
+                "empty label set" if not post.labels
+                else f"no known labels in {sorted(post.labels)}"
+            )
+            if self.policy.on_empty_labels == RAISE:
+                raise SanitizationError(f"post {post.uid}: {reason}")
+            self._reject(post, reason, DROP)
+            return None
+        if known != post.labels:
+            repaired = Post(uid=post.uid, value=post.value,
+                            labels=known, text=post.text)
+            self._reject(post, "unknown labels projected out", CLAMP,
+                         repaired=repaired)
+            post = repaired
+        if post.uid in self._seen:
+            self.health.duplicates += 1
+            if self.policy.on_duplicate == RAISE:
+                raise SanitizationError(
+                    f"post {post.uid} arrived twice"
+                )
+            self._reject(post, "duplicate uid", DROP)
+            return None
+        return post
+
+    # -- event flow --------------------------------------------------------
+
+    def ingest(self, post: Post) -> List[Emission]:
+        """Feed one raw arrival; returns the emissions it triggered."""
+        self.health.arrivals += 1
+        clean = self._sanitize_payload(post)
+        if clean is None:
+            return []
+        self._seen.add(clean.uid)
+        heapq.heappush(
+            self._buffer, (clean.value, self._buffer_seq, clean)
+        )
+        self._buffer_seq += 1
+        out: List[Emission] = []
+        while len(self._buffer) > self.policy.reorder_buffer:
+            out.extend(self._admit(self._release()))
+        return out
+
+    def _release(self) -> Post:
+        _, seq, post = heapq.heappop(self._buffer)
+        if any(entry[1] < seq for entry in self._buffer):
+            self.health.reordered += 1
+        return post
+
+    def _admit(self, post: Post) -> List[Emission]:
+        if post.value < self._last_value:
+            action = self.policy.on_out_of_order
+            reason = (
+                f"value {post.value} behind admitted frontier "
+                f"{self._last_value}"
+            )
+            if action == RAISE:
+                raise StreamOrderError(f"post {post.uid}: {reason}")
+            if action == DROP:
+                self._reject(post, reason, DROP)
+                return []
+            repaired = Post(uid=post.uid, value=self._last_value,
+                            labels=post.labels, text=post.text)
+            self._reject(post, reason, CLAMP, repaired=repaired)
+            post = repaired
+        out = self._fire_deadlines(post.value)
+        self._last_value = post.value
+        self._journal.append(post)
+        self._journal_uids.add(post.uid)
+        self.health.admitted += 1
+        out.extend(self._delegate("on_arrival", post, at=post.value))
+        return out
+
+    def _fire_deadlines(self, until: float) -> List[Emission]:
+        out: List[Emission] = []
+        while True:
+            deadline = self._algorithm.next_deadline()
+            if deadline is None or deadline >= until:
+                return out
+            out.extend(self._delegate("on_deadline", deadline, at=deadline))
+
+    def flush(self) -> List[Emission]:
+        """Drain the reorder buffer and every pending deadline."""
+        out: List[Emission] = []
+        while self._buffer:
+            out.extend(self._admit(self._release()))
+        while True:
+            deadline = self._algorithm.next_deadline()
+            if deadline is None:
+                return out
+            out.extend(self._delegate("on_deadline", deadline, at=deadline))
+
+    # -- delegation, watchdog, degradation --------------------------------
+
+    def _delegate(self, method: str, arg, at: float) -> List[Emission]:
+        started = self._clock()
+        try:
+            batch = getattr(self._algorithm, method)(arg)
+        except Exception as error:
+            if self._rung + 1 >= len(self.ladder):
+                raise
+            # The journal already contains the arrival that crashed the
+            # rung, so the replay below retries it on the next algorithm.
+            return self._downgrade(
+                "error", at, self._clock() - started, repr(error)
+            )
+        elapsed = self._clock() - started
+        out = self._record(batch)
+        if (
+            self.arrival_budget is not None
+            and elapsed > self.arrival_budget
+            and self._rung + 1 < len(self.ladder)
+        ):
+            out.extend(self._downgrade("budget", at, elapsed))
+        return out
+
+    def _record(self, batch: Iterable[Emission]) -> List[Emission]:
+        out: List[Emission] = []
+        for emission in batch:
+            uid = emission.post.uid
+            if uid in self._emitted:
+                if self._tolerate_reemission:
+                    self.health.suppressed += 1
+                    continue
+                raise EmissionInvariantError(
+                    f"post {uid} emitted twice "
+                    f"(first at {self._emitted[uid]})"
+                )
+            if uid not in self._journal_uids:
+                raise EmissionInvariantError(
+                    f"post {uid} emitted before admission"
+                )
+            if emission.emitted_at < emission.post.value:
+                raise EmissionInvariantError(
+                    f"post {uid} emitted before its own timestamp"
+                )
+            self._emitted[uid] = emission.emitted_at
+            self._emissions.append(emission)
+            self.health.emissions += 1
+            out.append(emission)
+        return out
+
+    def _downgrade(self, trigger: str, at: float, elapsed: float,
+                   detail: str = "") -> List[Emission]:
+        previous = self.ladder[self._rung]
+        self._rung += 1
+        self.downgrades.append(DowngradeEvent(
+            from_algorithm=previous,
+            to_algorithm=self.ladder[self._rung],
+            trigger=trigger,
+            elapsed=elapsed,
+            at=at,
+        ))
+        self.health.downgrades += 1
+        self._tolerate_reemission = True
+        self._algorithm, replayed = self._replay(self._rung)
+        # Posts the new rung selected during replay but the old rung never
+        # emitted are emitted now: they are decisions genuinely made at the
+        # downgrade point, and dropping them could leave admitted posts
+        # uncovered.  Posts both rungs selected stay suppressed.
+        carryover: List[Emission] = []
+        for emission in replayed:
+            uid = emission.post.uid
+            if uid in self._emitted:
+                self.health.suppressed += 1
+                continue
+            stamped = Emission(post=emission.post, emitted_at=at)
+            self._emitted[uid] = stamped.emitted_at
+            self._emissions.append(stamped)
+            self.health.emissions += 1
+            carryover.append(stamped)
+        return carryover
+
+    def _replay(
+        self, rung: int
+    ) -> Tuple[StreamingAlgorithm, List[Emission]]:
+        """Rebuild the rung's algorithm by replaying the journal.
+
+        Pending end-of-journal deadlines are deliberately left unfired —
+        the stream continues after a downgrade or restore, and the live
+        event flow will fire them at the right simulated times.
+        """
+        algorithm = self._build(rung)
+        emissions: List[Emission] = []
+        for post in self._journal:
+            while True:
+                deadline = algorithm.next_deadline()
+                if deadline is None or deadline >= post.value:
+                    break
+                emissions.extend(algorithm.on_deadline(deadline))
+            emissions.extend(algorithm.on_arrival(post))
+        return algorithm, emissions
+
+    # -- checkpoint / restore ----------------------------------------------
+
+    def checkpoint(self) -> Checkpoint:
+        """Snapshot the supervisor; safe to take between any two events."""
+        self.health.checkpoints += 1
+        buffered = tuple(entry[2] for entry in sorted(self._buffer))
+        return Checkpoint(
+            ladder=self.ladder,
+            rung=self._rung,
+            labels=self.labels,
+            lam=self.lam,
+            tau=self.tau,
+            journal=tuple(self._journal),
+            buffered=buffered,
+            seen_uids=tuple(sorted(self._seen)),
+            last_value=self._last_value,
+            emissions=tuple(
+                (e.post.uid, e.emitted_at) for e in self._emissions
+            ),
+            counters=self.health.as_dict(),
+        )
+
+    @classmethod
+    def restore(
+        cls,
+        checkpoint: Checkpoint,
+        *,
+        policy: Optional[SanitizationPolicy] = None,
+        arrival_budget: Optional[float] = None,
+        clock: Callable[[], float] = _time.perf_counter,
+    ) -> "StreamSupervisor":
+        """Rebuild a supervisor from a checkpoint by journal replay.
+
+        When the checkpointed run never downgraded, the replayed emission
+        sequence must reproduce the recorded one bit-for-bit; any
+        divergence raises :class:`~repro.errors.CheckpointError` rather
+        than resuming from a state that provably differs from the
+        pre-crash one.  (After a downgrade the record spans two
+        algorithms and single-rung replay cannot reproduce the prefix, so
+        the equivalence check is skipped and recorded uids are simply
+        suppressed.)
+        """
+        supervisor = cls(
+            checkpoint.labels,
+            checkpoint.lam,
+            checkpoint.tau,
+            ladder=checkpoint.ladder,
+            policy=policy,
+            arrival_budget=arrival_budget,
+            clock=clock,
+        )
+        supervisor._rung = checkpoint.rung
+        supervisor._journal = list(checkpoint.journal)
+        supervisor._journal_uids = {p.uid for p in checkpoint.journal}
+        supervisor._seen = set(checkpoint.seen_uids)
+        supervisor._last_value = checkpoint.last_value
+        for name, value in checkpoint.counters.items():
+            if hasattr(supervisor.health, name):
+                setattr(supervisor.health, name, value)
+        algorithm, replayed = supervisor._replay(checkpoint.rung)
+        supervisor._algorithm = algorithm
+        if checkpoint.counters.get("downgrades", 0):
+            supervisor._tolerate_reemission = True
+        else:
+            observed = tuple(
+                (e.post.uid, e.emitted_at) for e in replayed
+            )
+            if observed != checkpoint.emissions:
+                raise CheckpointError(
+                    "journal replay diverged from the recorded emission "
+                    f"sequence: replayed {observed!r}, recorded "
+                    f"{checkpoint.emissions!r}"
+                )
+        by_uid = {p.uid: p for p in checkpoint.journal}
+        for uid, emitted_at in checkpoint.emissions:
+            if uid not in by_uid:
+                raise CheckpointError(
+                    f"recorded emission of uid {uid} absent from journal"
+                )
+            supervisor._emitted[uid] = emitted_at
+            supervisor._emissions.append(
+                Emission(post=by_uid[uid], emitted_at=emitted_at)
+            )
+        for post in checkpoint.buffered:
+            heapq.heappush(
+                supervisor._buffer,
+                (post.value, supervisor._buffer_seq, post),
+            )
+            supervisor._buffer_seq += 1
+        supervisor.health.restores += 1
+        return supervisor
+
+
+def run_supervised(
+    supervisor: StreamSupervisor, posts: Sequence[Post]
+) -> StreamResult:
+    """Drive ``supervisor`` over ``posts`` — the resilient ``run_stream``.
+
+    Unlike :func:`repro.stream.runner.run_stream` the input need not be
+    clean or time-ordered; the supervisor's policy decides what survives.
+    The result's algorithm name records the final ladder rung.
+    """
+    emissions: List[Emission] = []
+    start = _time.perf_counter()
+    for post in posts:
+        emissions.extend(supervisor.ingest(post))
+    emissions.extend(supervisor.flush())
+    elapsed = _time.perf_counter() - start
+    return StreamResult(
+        algorithm=f"supervised:{supervisor.algorithm_name}",
+        emissions=tuple(emissions),
+        elapsed=elapsed,
+    )

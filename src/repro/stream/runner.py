@@ -16,7 +16,7 @@ from typing import Dict, Iterable, List, Sequence, Tuple
 
 from ..core.post import Post
 from ..core.solution import Solution
-from ..errors import StreamOrderError
+from ..errors import EmissionInvariantError, StreamOrderError
 from .events import Emission, StreamingAlgorithm
 
 __all__ = ["StreamResult", "run_stream"]
@@ -60,9 +60,15 @@ def run_stream(
     """Run ``algorithm`` over ``posts`` (which must be time-ordered).
 
     Raises :class:`~repro.errors.StreamOrderError` if the input regresses in
-    time, and ``AssertionError`` if the algorithm emits a post twice or
-    emits before a post has arrived — both invariant violations we want loud
-    in tests.
+    time, and :class:`~repro.errors.EmissionInvariantError` if the algorithm
+    emits a post twice or emits before a post has arrived — both invariant
+    violations we want loud everywhere, including under ``python -O`` where
+    a bare ``assert`` would be stripped.
+
+    For untrusted streams (malformed posts, out-of-order arrivals, stalling
+    solvers) see :func:`repro.resilience.run_supervised`, which wraps the
+    algorithm in a sanitizing, checkpointable supervisor instead of failing
+    on the first bad input.
     """
     emissions: List[Emission] = []
     seen: Dict[int, float] = {}
@@ -72,13 +78,15 @@ def run_stream(
         for emission in batch:
             uid = emission.post.uid
             if uid in seen:
-                raise AssertionError(
+                raise EmissionInvariantError(
                     f"post {uid} emitted twice (first at {seen[uid]})"
                 )
             if uid not in arrived:
-                raise AssertionError(f"post {uid} emitted before arrival")
+                raise EmissionInvariantError(
+                    f"post {uid} emitted before arrival"
+                )
             if emission.emitted_at < emission.post.value:
-                raise AssertionError(
+                raise EmissionInvariantError(
                     f"post {uid} emitted before its own timestamp"
                 )
             seen[uid] = emission.emitted_at

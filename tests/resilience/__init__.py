@@ -1,0 +1,1 @@
+"""Resilience subsystem tests."""

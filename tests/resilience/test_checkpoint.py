@@ -1,0 +1,158 @@
+"""Checkpoint/restore: crash anywhere, recover to the exact same run.
+
+The headline property: for random streams and random crash points,
+checkpoint + replay emits exactly the same emission sequence — uids *and*
+decision timestamps, bit-for-bit — as the uninterrupted run, for every
+registered streaming algorithm.
+"""
+
+import random
+
+import pytest
+
+from repro.core.post import Post
+from repro.core.streaming import _STREAM_FACTORIES
+from repro.errors import CheckpointError
+from repro.resilience import (
+    Checkpoint,
+    SanitizationPolicy,
+    StreamSupervisor,
+    run_supervised,
+)
+
+LABELS = "abc"
+
+
+def _stream(seed, n=40):
+    rng = random.Random(seed)
+    value = 0.0
+    posts = []
+    for uid in range(n):
+        value += rng.random() * 2.0
+        posts.append(Post(
+            uid=uid,
+            value=value,
+            labels=frozenset(rng.sample(LABELS, rng.randint(1, 2))),
+        ))
+    return posts
+
+
+def _emission_trace(emissions):
+    return [(e.post.uid, e.emitted_at) for e in emissions]
+
+
+def _fresh(algorithm, policy=None):
+    return StreamSupervisor(
+        LABELS, lam=1.5, tau=1.0, ladder=algorithm, policy=policy,
+    )
+
+
+class TestCrashRecoveryProperty:
+    @pytest.mark.parametrize("algorithm", sorted(_STREAM_FACTORIES))
+    def test_checkpoint_replay_matches_uninterrupted(self, algorithm):
+        rng = random.Random(hash(algorithm) & 0xFFFF)
+        for trial in range(5):
+            posts = _stream(seed=trial * 131 + 7)
+            reference = _fresh(algorithm)
+            run_supervised(reference, posts)
+            expected = _emission_trace(reference.emissions)
+
+            crash_at = rng.randint(0, len(posts))
+            crashed = _fresh(algorithm)
+            for post in posts[:crash_at]:
+                crashed.ingest(post)
+            # serialize through JSON: what a real recovery would load
+            snapshot = Checkpoint.from_json(crashed.checkpoint().to_json())
+            # the crashed process is gone; a new one restores and resumes
+            revived = StreamSupervisor.restore(snapshot)
+            for post in posts[crash_at:]:
+                revived.ingest(post)
+            revived.flush()
+            assert _emission_trace(revived.emissions) == expected, (
+                f"{algorithm}, trial {trial}, crash at {crash_at}"
+            )
+
+    @pytest.mark.parametrize(
+        "algorithm", ["stream_scan+", "stream_greedy_sc+", "instant"]
+    )
+    def test_checkpoint_with_reorder_buffer_in_flight(self, algorithm):
+        # a crash with posts still sitting in the reorder buffer must not
+        # lose them: they are serialized and re-buffered on restore
+        policy = SanitizationPolicy.lenient(reorder_buffer=3)
+        posts = _stream(seed=99, n=25)
+        reference = _fresh(algorithm, policy=policy)
+        run_supervised(reference, posts)
+        expected = _emission_trace(reference.emissions)
+
+        crashed = _fresh(algorithm, policy=policy)
+        for post in posts[:10]:
+            crashed.ingest(post)
+        snapshot = crashed.checkpoint()
+        assert snapshot.buffered  # the buffer really was non-empty
+        revived = StreamSupervisor.restore(snapshot, policy=policy)
+        for post in posts[10:]:
+            revived.ingest(post)
+        revived.flush()
+        assert _emission_trace(revived.emissions) == expected
+
+
+class TestCheckpointFormat:
+    def test_json_round_trip_preserves_everything(self):
+        supervisor = _fresh("stream_scan+")
+        for post in _stream(seed=3, n=15):
+            supervisor.ingest(post)
+        checkpoint = supervisor.checkpoint()
+        clone = Checkpoint.from_json(checkpoint.to_json())
+        assert clone == checkpoint
+        assert clone.algorithm == "stream_scan+"
+
+    def test_counters_survive_restore(self):
+        supervisor = _fresh("stream_scan+")
+        for post in _stream(seed=4, n=10):
+            supervisor.ingest(post)
+        checkpoint = supervisor.checkpoint()
+        revived = StreamSupervisor.restore(checkpoint)
+        assert revived.health.admitted == supervisor.health.admitted
+        assert revived.health.arrivals == supervisor.health.arrivals
+        assert revived.health.restores == 1
+        assert revived.health.checkpoints == 1
+
+    def test_invalid_json_rejected(self):
+        with pytest.raises(CheckpointError):
+            Checkpoint.from_json("not json at all {")
+
+    def test_non_object_rejected(self):
+        with pytest.raises(CheckpointError):
+            Checkpoint.from_json("[1, 2, 3]")
+
+    def test_missing_fields_rejected(self):
+        with pytest.raises(CheckpointError):
+            Checkpoint.from_dict({"version": 1, "ladder": ["stream_scan"]})
+
+    def test_unknown_version_rejected(self):
+        supervisor = _fresh("stream_scan")
+        payload = supervisor.checkpoint().to_dict()
+        payload["version"] = 999
+        with pytest.raises(CheckpointError):
+            Checkpoint.from_dict(payload)
+
+    def test_tampered_emission_record_fails_equivalence(self):
+        supervisor = _fresh("stream_scan+")
+        posts = _stream(seed=5, n=20)
+        for post in posts:
+            supervisor.ingest(post)
+        assert supervisor.emissions  # the check below must have teeth
+        payload = supervisor.checkpoint().to_dict()
+        uid, at = payload["emissions"][0]
+        payload["emissions"][0] = [uid, at + 0.25]
+        with pytest.raises(CheckpointError):
+            StreamSupervisor.restore(Checkpoint.from_dict(payload))
+
+    def test_emission_absent_from_journal_rejected(self):
+        supervisor = _fresh("instant")
+        for post in _stream(seed=6, n=5):
+            supervisor.ingest(post)
+        payload = supervisor.checkpoint().to_dict()
+        payload["emissions"].append([12345, 1.0])
+        with pytest.raises(CheckpointError):
+            StreamSupervisor.restore(Checkpoint.from_dict(payload))

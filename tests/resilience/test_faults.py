@@ -1,0 +1,165 @@
+"""The fault-injection harness, and the headline resilience property:
+under drops, duplicates, bounded reorders and corruption, every supervised
+streaming algorithm finishes cleanly and still lambda-covers everything it
+admitted.
+"""
+
+import math
+import random
+
+import pytest
+
+from repro.core.coverage import is_cover
+from repro.core.post import Post
+from repro.core.streaming import _STREAM_FACTORIES
+from repro.resilience import (
+    FaultInjector,
+    SanitizationPolicy,
+    StreamSupervisor,
+    run_supervised,
+)
+
+LABELS = "abcd"
+
+
+def _clean_stream(seed, n=50):
+    rng = random.Random(seed)
+    return [
+        Post(
+            uid=uid,
+            value=uid + rng.random(),
+            labels=frozenset(rng.sample(LABELS, rng.randint(1, 3))),
+        )
+        for uid in range(n)
+    ]
+
+
+class TestFaultInjector:
+    def test_identity_when_all_probabilities_zero(self):
+        posts = _clean_stream(1)
+        injector = FaultInjector(seed=0)
+        assert injector.apply(posts) == posts
+        assert injector.report.events == []
+
+    def test_deterministic_for_equal_seeds(self):
+        posts = _clean_stream(2)
+        knobs = dict(drop=0.2, duplicate=0.2, delay=0.2, reorder=0.2,
+                     corrupt=0.2)
+        first = FaultInjector(seed=42, **knobs)
+        second = FaultInjector(seed=42, **knobs)
+        assert first.apply(posts) == second.apply(posts)
+        assert first.report.events == second.report.events
+
+    def test_reapply_resets_report(self):
+        posts = _clean_stream(3)
+        injector = FaultInjector(seed=7, drop=0.3)
+        one = injector.apply(posts)
+        events = list(injector.report.events)
+        two = injector.apply(posts)
+        assert one == two
+        assert injector.report.events == events
+
+    def test_different_seeds_differ(self):
+        posts = _clean_stream(4)
+        knobs = dict(drop=0.3, delay=0.3)
+        assert FaultInjector(seed=1, **knobs).apply(posts) != \
+            FaultInjector(seed=2, **knobs).apply(posts)
+
+    def test_drop_removes_posts(self):
+        posts = _clean_stream(5)
+        injector = FaultInjector(seed=0, drop=0.5)
+        stream = injector.apply(posts)
+        assert len(stream) < len(posts)
+        surviving = {p.uid for p in stream}
+        assert surviving.isdisjoint(injector.report.dropped)
+        assert surviving | injector.report.dropped == \
+            {p.uid for p in posts}
+
+    def test_duplicate_repeats_uids(self):
+        posts = _clean_stream(6)
+        injector = FaultInjector(seed=0, duplicate=0.5)
+        stream = injector.apply(posts)
+        assert len(stream) > len(posts)
+        seen = [p.uid for p in stream]
+        for uid in injector.report.duplicated:
+            assert seen.count(uid) == 2
+
+    def test_corrupt_damages_payload(self):
+        posts = _clean_stream(7)
+        injector = FaultInjector(seed=0, corrupt=0.5)
+        stream = injector.apply(posts)
+        damaged = [
+            p for p in stream
+            if not math.isfinite(p.value) or not p.labels
+        ]
+        assert damaged
+        assert {p.uid for p in damaged} <= injector.report.corrupted
+
+    def test_delay_and_reorder_displace_but_preserve_payload(self):
+        posts = _clean_stream(8)
+        injector = FaultInjector(seed=0, delay=0.4, reorder=0.4,
+                                 displacement=3)
+        stream = injector.apply(posts)
+        assert sorted(stream, key=lambda p: p.uid) == posts
+        assert stream != posts
+        assert injector.report.displaced
+
+    def test_probability_validation(self):
+        with pytest.raises(ValueError):
+            FaultInjector(drop=1.5)
+        with pytest.raises(ValueError):
+            FaultInjector(displacement=0)
+
+    def test_clean_uids_excludes_dropped_and_corrupted(self):
+        posts = _clean_stream(9)
+        injector = FaultInjector(seed=0, drop=0.3, corrupt=0.3)
+        injector.apply(posts)
+        clean = injector.clean_uids(posts)
+        assert clean.isdisjoint(injector.report.dropped)
+        assert clean.isdisjoint(injector.report.corrupted)
+
+
+class TestSupervisedUnderFaults:
+    """Acceptance: no uncaught exceptions, admitted posts stay covered."""
+
+    @pytest.mark.parametrize("algorithm", sorted(_STREAM_FACTORIES))
+    @pytest.mark.parametrize("seed", [11, 23, 37])
+    def test_survives_and_covers(self, algorithm, seed):
+        posts = _clean_stream(seed)
+        injector = FaultInjector(
+            seed=seed, drop=0.1, duplicate=0.15, delay=0.15,
+            reorder=0.15, corrupt=0.1, displacement=3,
+        )
+        faulty = injector.apply(posts)
+        supervisor = StreamSupervisor(
+            LABELS, lam=2.5, tau=1.5, ladder=algorithm,
+            policy=SanitizationPolicy.lenient(reorder_buffer=4),
+        )
+        result = run_supervised(supervisor, faulty)
+        # the emission set lambda-covers every clean, admitted post
+        instance = supervisor.admitted_instance()
+        assert is_cover(instance, result.to_solution().posts), algorithm
+        # reorders stayed within the buffer bound, so every clean post
+        # was admitted (possibly value-clamped, never lost)
+        admitted = {p.uid for p in supervisor.journal}
+        assert injector.clean_uids(posts) <= admitted
+        # health counters reconcile with what the injector did
+        health = supervisor.health
+        assert health.arrivals == len(faulty)
+        assert health.admitted == len(supervisor.journal)
+        assert health.emissions == result.size
+
+    def test_drop_policy_quarantines_corrupted(self):
+        posts = _clean_stream(99)
+        injector = FaultInjector(seed=5, corrupt=0.4)
+        faulty = injector.apply(posts)
+        supervisor = StreamSupervisor(
+            LABELS, lam=2.0, tau=1.0, ladder="stream_scan+",
+            policy=SanitizationPolicy(),  # drop-and-quarantine defaults
+        )
+        run_supervised(supervisor, faulty)
+        quarantined_uids = {
+            record.post.uid for record in supervisor.quarantine
+        }
+        assert quarantined_uids == injector.report.corrupted
+        assert supervisor.health.quarantined == len(quarantined_uids)

@@ -1,0 +1,180 @@
+"""Degradation ladders: batch solve_with_ladder and the streaming watchdog."""
+
+import random
+
+import pytest
+
+from repro.core.coverage import is_cover
+from repro.core.instance import Instance
+from repro.core.post import Post, make_posts
+from repro.core.streaming import _STREAM_FACTORIES, StreamScan
+from repro.errors import ReproError
+from repro.resilience import (
+    StreamSupervisor,
+    run_supervised,
+    solve_with_ladder,
+)
+
+
+def _ticking_clock(step=1.0):
+    """A deterministic clock advancing `step` per reading."""
+    state = {"now": 0.0}
+
+    def clock():
+        state["now"] += step
+        return state["now"]
+
+    return clock
+
+
+def _instance(n=30, lam=2.0, seed=0):
+    rng = random.Random(seed)
+    posts = [
+        Post(uid=uid, value=float(uid) + rng.random(),
+             labels=frozenset(rng.sample("abc", rng.randint(1, 2))))
+        for uid in range(n)
+    ]
+    return Instance(posts, lam)
+
+
+class TestBatchLadder:
+    def test_no_budget_stays_on_top_rung(self):
+        solution, rung, downgrades = solve_with_ladder(
+            _instance(n=8), ("greedy_sc", "scan+"),
+        )
+        assert rung == 0
+        assert downgrades == ()
+        assert solution.algorithm == "greedy_sc"
+
+    def test_budget_overrun_steps_down(self):
+        # every solver call appears to take 1s against a 0.5s budget,
+        # so the ladder falls straight to the bottom rung
+        solution, rung, downgrades = solve_with_ladder(
+            _instance(),
+            ("greedy_sc", "scan+", "scan"),
+            budget=0.5,
+            clock=_ticking_clock(),
+        )
+        assert rung == 2
+        assert [d.trigger for d in downgrades] == ["budget", "budget"]
+        assert [d.from_algorithm for d in downgrades] == \
+            ["greedy_sc", "scan+"]
+        assert solution.algorithm == "scan"
+
+    def test_bottom_rung_always_accepted(self):
+        solution, rung, downgrades = solve_with_ladder(
+            _instance(n=6), ("scan",), budget=0.0,
+            clock=_ticking_clock(),
+        )
+        assert rung == 0
+        assert downgrades == ()
+        assert solution.algorithm == "scan"
+
+    def test_error_triggers_downgrade(self):
+        # brute_force refuses instances beyond its 18-post budget with
+        # AlgorithmBudgetExceeded; the ladder must absorb that and fall
+        solution, rung, downgrades = solve_with_ladder(
+            _instance(n=25), ("brute_force", "greedy_sc"),
+        )
+        assert rung == 1
+        assert [d.trigger for d in downgrades] == ["error"]
+        assert solution.algorithm == "greedy_sc"
+
+    def test_error_on_bottom_rung_propagates(self):
+        with pytest.raises(ReproError):
+            solve_with_ladder(_instance(n=25), ("brute_force",))
+
+    def test_start_rung_is_sticky_entry_point(self):
+        solution, rung, downgrades = solve_with_ladder(
+            _instance(n=8), ("opt", "greedy_sc", "scan+"), start_rung=2,
+        )
+        assert rung == 2
+        assert solution.algorithm == "scan+"
+
+    def test_validation(self):
+        with pytest.raises(ReproError):
+            solve_with_ladder(_instance(n=4), ())
+        with pytest.raises(ReproError):
+            solve_with_ladder(_instance(n=4), ("scan",), start_rung=5)
+
+
+class TestStreamingLadder:
+    LADDER = ("stream_greedy_sc+", "stream_scan+", "stream_scan")
+
+    def test_tight_budget_walks_down_the_ladder(self):
+        posts = make_posts(
+            [(float(i), "ab"[i % 2]) for i in range(20)]
+        )
+        supervisor = StreamSupervisor(
+            "ab", lam=2.0, tau=1.0,
+            ladder=self.LADDER,
+            arrival_budget=0.5,
+            clock=_ticking_clock(),  # every call measures 1s > 0.5s
+        )
+        result = run_supervised(supervisor, posts)
+        assert supervisor.health.downgrades == 2
+        assert supervisor.algorithm_name == "stream_scan"
+        assert result.algorithm == "supervised:stream_scan"
+        steps = [
+            (d.from_algorithm, d.to_algorithm) for d in supervisor.downgrades
+        ]
+        assert steps == [
+            ("stream_greedy_sc+", "stream_scan+"),
+            ("stream_scan+", "stream_scan"),
+        ]
+        assert all(d.trigger == "budget" for d in supervisor.downgrades)
+        # degradation never loses coverage of admitted posts
+        assert is_cover(
+            supervisor.admitted_instance(), result.to_solution().posts
+        )
+
+    def test_no_budget_never_downgrades(self):
+        posts = make_posts([(float(i), "a") for i in range(10)])
+        supervisor = StreamSupervisor(
+            "ab", lam=2.0, tau=1.0, ladder=self.LADDER,
+        )
+        run_supervised(supervisor, posts)
+        assert supervisor.health.downgrades == 0
+        assert supervisor.algorithm_name == "stream_greedy_sc+"
+
+    def test_crashing_rung_degrades_instead_of_dying(self, monkeypatch):
+        class ExplodingScan(StreamScan):
+            name = "exploding"
+
+            def on_arrival(self, post):
+                if post.uid >= 5:
+                    raise RuntimeError("solver bug")
+                return super().on_arrival(post)
+
+        monkeypatch.setitem(
+            _STREAM_FACTORIES, "exploding",
+            lambda labels, lam, tau: ExplodingScan(labels, lam, tau),
+        )
+        posts = make_posts([(float(i), "a") for i in range(10)])
+        supervisor = StreamSupervisor(
+            "ab", lam=2.0, tau=1.0, ladder=("exploding", "stream_scan"),
+        )
+        result = run_supervised(supervisor, posts)
+        assert supervisor.health.downgrades == 1
+        downgrade, = supervisor.downgrades
+        assert downgrade.trigger == "error"
+        assert downgrade.from_algorithm == "exploding"
+        assert is_cover(
+            supervisor.admitted_instance(), result.to_solution().posts
+        )
+
+    def test_crash_on_bottom_rung_propagates(self, monkeypatch):
+        class AlwaysBroken(StreamScan):
+            def on_arrival(self, post):
+                raise RuntimeError("no rung left")
+
+        monkeypatch.setitem(
+            _STREAM_FACTORIES, "broken",
+            lambda labels, lam, tau: AlwaysBroken(labels, lam, tau),
+        )
+        supervisor = StreamSupervisor(
+            "ab", lam=2.0, tau=1.0, ladder=("broken",),
+        )
+        with pytest.raises(RuntimeError):
+            supervisor.ingest(Post(uid=0, value=1.0,
+                                   labels=frozenset("a")))

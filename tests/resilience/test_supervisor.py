@@ -1,0 +1,227 @@
+"""StreamSupervisor sanitization, quarantine, and health accounting."""
+
+import math
+
+import pytest
+
+from repro.core.post import Post, make_posts
+from repro.errors import (
+    EmissionInvariantError,
+    ReproError,
+    SanitizationError,
+    StreamOrderError,
+)
+from repro.resilience import (
+    SanitizationPolicy,
+    StreamSupervisor,
+    run_supervised,
+)
+
+
+def _post(uid, value, labels="a"):
+    return Post(uid=uid, value=value, labels=frozenset(labels))
+
+
+def _supervisor(policy=None, **kwargs):
+    kwargs.setdefault("ladder", "stream_scan+")
+    return StreamSupervisor("ab", lam=1.0, tau=0.5, policy=policy,
+                            **kwargs)
+
+
+class TestPolicyValidation:
+    def test_bad_action_rejected(self):
+        with pytest.raises(ReproError):
+            SanitizationPolicy(on_malformed_value="ignore")
+
+    def test_clamp_invalid_for_labels(self):
+        with pytest.raises(ReproError):
+            SanitizationPolicy(on_empty_labels="clamp")
+
+    def test_negative_buffer_rejected(self):
+        with pytest.raises(ReproError):
+            SanitizationPolicy(reorder_buffer=-1)
+
+    def test_unknown_ladder_rung_rejected(self):
+        with pytest.raises(ReproError):
+            StreamSupervisor("ab", lam=1.0, ladder=("no_such_algo",))
+
+    def test_empty_ladder_rejected(self):
+        with pytest.raises(ReproError):
+            StreamSupervisor("ab", lam=1.0, ladder=())
+
+
+class TestMalformedValues:
+    @pytest.mark.parametrize("bad", [math.nan, math.inf, -math.inf])
+    def test_raise_policy(self, bad):
+        supervisor = _supervisor(SanitizationPolicy.strict())
+        with pytest.raises(SanitizationError):
+            supervisor.ingest(_post(0, bad))
+
+    def test_drop_policy_quarantines(self):
+        supervisor = _supervisor(
+            SanitizationPolicy(on_malformed_value="drop")
+        )
+        assert supervisor.ingest(_post(0, math.nan)) == []
+        assert supervisor.journal == ()
+        record, = supervisor.quarantine
+        assert record.action == "drop"
+        assert "non-finite" in record.reason
+        assert supervisor.health.quarantined == 1
+
+    def test_clamp_policy_repairs_to_frontier(self):
+        supervisor = _supervisor(
+            SanitizationPolicy(on_malformed_value="clamp")
+        )
+        supervisor.ingest(_post(0, 5.0))
+        supervisor.ingest(_post(1, math.nan))
+        assert [p.value for p in supervisor.journal] == [5.0, 5.0]
+        record, = supervisor.quarantine
+        assert record.action == "clamp"
+        assert record.repaired.value == 5.0
+        assert supervisor.health.repaired == 1
+        assert supervisor.health.quarantined == 0
+
+    def test_clamp_on_empty_stream_uses_zero(self):
+        supervisor = _supervisor(
+            SanitizationPolicy(on_malformed_value="clamp")
+        )
+        supervisor.ingest(_post(0, math.inf))
+        assert supervisor.journal[0].value == 0.0
+
+
+class TestLabels:
+    def test_empty_labels_raise(self):
+        supervisor = _supervisor(
+            SanitizationPolicy(on_empty_labels="raise")
+        )
+        with pytest.raises(SanitizationError):
+            supervisor.ingest(_post(0, 1.0, labels=""))
+
+    def test_empty_labels_drop(self):
+        supervisor = _supervisor(SanitizationPolicy())
+        assert supervisor.ingest(_post(0, 1.0, labels="")) == []
+        assert supervisor.health.quarantined == 1
+
+    def test_unknown_labels_projected_out(self):
+        supervisor = _supervisor(SanitizationPolicy())
+        supervisor.ingest(_post(0, 1.0, labels="az"))
+        assert supervisor.journal[0].labels == frozenset("a")
+        record, = supervisor.quarantine
+        assert record.action == "clamp"
+        assert record.repaired.labels == frozenset("a")
+
+    def test_all_unknown_labels_counts_as_empty(self):
+        supervisor = _supervisor(SanitizationPolicy())
+        assert supervisor.ingest(_post(0, 1.0, labels="xyz")) == []
+        assert supervisor.health.quarantined == 1
+
+
+class TestDuplicates:
+    def test_duplicate_raise(self):
+        supervisor = _supervisor(
+            SanitizationPolicy(on_duplicate="raise")
+        )
+        supervisor.ingest(_post(0, 1.0))
+        with pytest.raises(SanitizationError):
+            supervisor.ingest(_post(0, 2.0))
+
+    def test_duplicate_drop(self):
+        supervisor = _supervisor(SanitizationPolicy())
+        supervisor.ingest(_post(0, 1.0))
+        assert supervisor.ingest(_post(0, 2.0)) == []
+        assert supervisor.health.duplicates == 1
+        assert len(supervisor.journal) == 1
+
+
+class TestOrdering:
+    def test_out_of_order_raise(self):
+        supervisor = _supervisor(
+            SanitizationPolicy(on_out_of_order="raise")
+        )
+        supervisor.ingest(_post(0, 10.0))
+        with pytest.raises(StreamOrderError):
+            supervisor.ingest(_post(1, 5.0))
+
+    def test_out_of_order_drop(self):
+        supervisor = _supervisor(SanitizationPolicy())
+        supervisor.ingest(_post(0, 10.0))
+        assert supervisor.ingest(_post(1, 5.0)) == []
+        assert supervisor.health.quarantined == 1
+        assert [p.uid for p in supervisor.journal] == [0]
+
+    def test_out_of_order_clamp_lifts_to_frontier(self):
+        supervisor = _supervisor(
+            SanitizationPolicy(on_out_of_order="clamp")
+        )
+        supervisor.ingest(_post(0, 10.0))
+        supervisor.ingest(_post(1, 5.0))
+        assert [p.value for p in supervisor.journal] == [10.0, 10.0]
+
+    def test_reorder_buffer_restores_order(self):
+        supervisor = _supervisor(
+            SanitizationPolicy(on_out_of_order="raise", reorder_buffer=2)
+        )
+        # shuffled within the buffer bound: 2, 1, 3, 4
+        for uid, value in [(2, 2.0), (1, 1.0), (3, 3.0), (4, 4.0)]:
+            supervisor.ingest(_post(uid, value))
+        supervisor.flush()
+        assert [p.uid for p in supervisor.journal] == [1, 2, 3, 4]
+        assert supervisor.health.reordered >= 1
+        assert supervisor.quarantine == []
+
+    def test_displacement_beyond_buffer_hits_policy(self):
+        supervisor = _supervisor(
+            SanitizationPolicy(on_out_of_order="drop", reorder_buffer=1)
+        )
+        # post 1 is displaced three positions; buffer of one can't fix it
+        for uid, value in [(2, 2.0), (3, 3.0), (4, 4.0), (1, 1.0)]:
+            supervisor.ingest(_post(uid, value))
+        supervisor.flush()
+        assert 1 not in {p.uid for p in supervisor.journal}
+        assert supervisor.health.quarantined == 1
+
+
+class TestEmissionInvariants:
+    def test_supervised_run_covers_clean_stream(self):
+        posts = make_posts(
+            [(0.0, "a"), (0.5, "ab"), (3.0, "b"), (7.0, "a")]
+        )
+        supervisor = _supervisor()
+        result = run_supervised(supervisor, posts)
+        assert result.algorithm == "supervised:stream_scan+"
+        assert supervisor.health.admitted == 4
+        assert supervisor.health.emissions == result.size
+        from repro.core.coverage import is_cover
+        assert is_cover(
+            supervisor.admitted_instance(), result.to_solution().posts
+        )
+
+    def test_record_rejects_double_emission(self):
+        from repro.stream.events import Emission
+
+        supervisor = _supervisor()
+        supervisor.ingest(_post(0, 1.0))
+        post = supervisor.journal[0]
+        if post.uid not in supervisor._emitted:
+            supervisor._record([Emission(post=post, emitted_at=2.0)])
+        with pytest.raises(EmissionInvariantError):
+            supervisor._record([Emission(post=post, emitted_at=3.0)])
+
+    def test_record_rejects_unadmitted_post(self):
+        from repro.stream.events import Emission
+
+        supervisor = _supervisor()
+        ghost = _post(99, 1.0)
+        with pytest.raises(EmissionInvariantError):
+            supervisor._record([Emission(post=ghost, emitted_at=2.0)])
+
+    def test_record_rejects_time_travel(self):
+        from repro.stream.events import Emission
+
+        supervisor = _supervisor()
+        supervisor.ingest(_post(0, 5.0))
+        post = supervisor.journal[0]
+        if post.uid in supervisor._emitted:
+            pytest.skip("algorithm already emitted the post")
+        with pytest.raises(EmissionInvariantError):
+            supervisor._record([Emission(post=post, emitted_at=1.0)])

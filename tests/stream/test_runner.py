@@ -3,7 +3,7 @@
 import pytest
 
 from repro.core.post import Post, make_posts
-from repro.errors import StreamOrderError
+from repro.errors import EmissionInvariantError, StreamOrderError
 from repro.stream.events import Emission, StreamingAlgorithm
 from repro.stream.runner import run_stream
 
@@ -99,8 +99,64 @@ class TestRunStream:
 
     def test_double_emission_detected(self):
         posts = make_posts([(1.0, "a")])
-        with pytest.raises(AssertionError):
+        with pytest.raises(EmissionInvariantError):
             run_stream(MisbehavingAlgorithm(), posts)
+
+    def test_emission_before_arrival_detected(self):
+        class Premature(EchoAlgorithm):
+            def on_arrival(self, post):
+                ghost = Post(uid=post.uid + 1000, value=post.value,
+                             labels=post.labels)
+                return [Emission(post=ghost, emitted_at=post.value)]
+
+        with pytest.raises(EmissionInvariantError):
+            run_stream(Premature(), make_posts([(1.0, "a")]))
+
+    def test_emission_before_timestamp_detected(self):
+        class TimeTraveller(EchoAlgorithm):
+            def on_arrival(self, post):
+                return [Emission(post=post, emitted_at=post.value - 1.0)]
+
+        with pytest.raises(EmissionInvariantError):
+            run_stream(TimeTraveller(), make_posts([(1.0, "a")]))
+
+    def test_invariants_survive_python_O(self):
+        # The invariant checks are real raises, not asserts, so they must
+        # fire even when Python strips assert statements (python -O).
+        import subprocess
+        import sys
+
+        code = (
+            "from repro.errors import EmissionInvariantError\n"
+            "from repro.core.post import make_posts\n"
+            "from repro.stream.runner import run_stream\n"
+            "from repro.stream.events import Emission, StreamingAlgorithm\n"
+            "class Bad(StreamingAlgorithm):\n"
+            "    def on_arrival(self, post):\n"
+            "        e = Emission(post=post, emitted_at=post.value)\n"
+            "        return [e, e]\n"
+            "    def next_deadline(self):\n"
+            "        return None\n"
+            "    def on_deadline(self, now):\n"
+            "        return []\n"
+            "try:\n"
+            "    run_stream(Bad(), make_posts([(1.0, 'a')]))\n"
+            "except EmissionInvariantError:\n"
+            "    print('caught')\n"
+        )
+        import os
+        import pathlib
+
+        import repro
+
+        src = str(pathlib.Path(repro.__file__).resolve().parents[1])
+        env = dict(os.environ)
+        env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+        proc = subprocess.run(
+            [sys.executable, "-O", "-c", code],
+            capture_output=True, text=True, env=env,
+        )
+        assert proc.stdout.strip() == "caught", proc.stderr
 
     def test_delays_recorded(self):
         posts = make_posts([(0.0, "a"), (1.0, "a")])

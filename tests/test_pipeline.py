@@ -115,9 +115,35 @@ class TestStreamingFeed:
 
     def test_order_violation_rejected(self):
         pipeline = DiversificationPipeline(_queries(), lam=10.0, tau=1.0)
-        pipeline.feed(Document(0, 100.0, "tiger"))
+        pipeline.feed(Document(0, 100.0, "tiger wins the open"))
         with pytest.raises(StreamOrderError):
-            pipeline.feed(Document(1, 50.0, "tiger"))
+            pipeline.feed(Document(1, 50.0, "tiger misses the cut"))
+
+    def test_dropped_documents_do_not_tighten_order_gate(self):
+        # Regression: a near-duplicate (or unmatched) document never
+        # reaches the solver, so its dimension value must not advance the
+        # monotonicity gate.  Before the fix, feeding the duplicate at
+        # t=100 made the perfectly valid t=50 arrival raise.
+        pipeline = DiversificationPipeline(_queries(), lam=10.0, tau=1.0)
+        pipeline.feed(Document(0, 10.0, "tiger wins the open"))
+        # exact duplicate text, later timestamp: dropped by dedup
+        assert pipeline.feed(Document(1, 100.0, "tiger wins the open")) \
+            == []
+        # unmatched text, even later timestamp: dropped by the matcher
+        assert pipeline.feed(Document(2, 200.0, "weather is nice")) == []
+        # a matched document between the duplicate's value and the last
+        # admitted one must still be accepted
+        emissions = pipeline.feed(Document(3, 50.0, "tiger misses cut"))
+        emissions += pipeline.finish()
+        assert {e.post.uid for e in emissions} >= {3}
+
+    def test_admitted_documents_still_gate(self):
+        # The gate still protects the solver: two *admitted* documents
+        # regressing on the dimension is a real order violation.
+        pipeline = DiversificationPipeline(_queries(), lam=10.0, tau=1.0)
+        pipeline.feed(Document(0, 100.0, "tiger wins the open"))
+        with pytest.raises(StreamOrderError):
+            pipeline.feed(Document(1, 99.0, "lebron nba classic"))
 
     def test_finish_resets_state(self):
         pipeline = DiversificationPipeline(_queries(), lam=10.0, tau=1.0)
@@ -148,3 +174,111 @@ class TestStreamingFeed:
         assert {e.post.uid for e in emissions} == set(
             batch.solution.uids
         )
+
+
+class TestSupervisedPipeline:
+    """The opt-in resilient variants of feed() and digest()."""
+
+    @staticmethod
+    def _ticking_clock(step=1.0):
+        state = {"now": 0.0}
+
+        def clock():
+            state["now"] += step
+            return state["now"]
+
+        return clock
+
+    def test_supervised_feed_survives_out_of_order(self):
+        from repro.resilience import ResilienceConfig, SanitizationPolicy
+
+        pipeline = DiversificationPipeline(
+            _queries(), lam=10.0, tau=1.0,
+            resilience=ResilienceConfig(
+                policy=SanitizationPolicy.lenient(reorder_buffer=2),
+            ),
+        )
+        emissions = []
+        shuffled = [
+            Document(0, 100.0, "tiger wins the open"),
+            Document(1, 50.0, "lebron nba classic"),   # out of order
+            Document(2, 150.0, "golf playoff thriller"),
+            Document(3, 200.0, "nba finals game seven"),
+        ]
+        for document in shuffled:
+            emissions.extend(pipeline.feed(document))
+        supervisor = pipeline.supervisor
+        emissions.extend(pipeline.finish())
+        # no StreamOrderError; the buffer restored order and everything
+        # was admitted
+        assert supervisor.health.admitted == 4
+        assert [p.uid for p in supervisor.journal] == [1, 0, 2, 3]
+        assert {e.post.uid for e in emissions}  # something emitted
+
+    def test_supervised_feed_quarantines_unmatched(self):
+        from repro.resilience import ResilienceConfig
+
+        pipeline = DiversificationPipeline(
+            _queries(), lam=10.0, tau=1.0,
+            resilience=ResilienceConfig(),
+        )
+        pipeline.feed(Document(0, 1.0, "tiger wins the open"))
+        pipeline.feed(Document(1, 2.0, "weather is nice today"))
+        assert pipeline.supervisor.health.quarantined == 1
+        assert pipeline.supervisor.health.admitted == 1
+        pipeline.finish()
+        assert pipeline.supervisor is None  # finish resets the stream
+
+    def test_supervised_feed_checkpointable(self):
+        from repro.resilience import ResilienceConfig
+
+        pipeline = DiversificationPipeline(
+            _queries(), lam=10.0, tau=1.0,
+            resilience=ResilienceConfig(),
+        )
+        pipeline.feed(Document(0, 1.0, "tiger wins the open"))
+        checkpoint = pipeline.supervisor.checkpoint()
+        assert checkpoint.journal[0].uid == 0
+        assert pipeline.supervisor.health.checkpoints == 1
+
+    def test_stream_ladder_downgrade_via_config(self):
+        from repro.resilience import ResilienceConfig
+
+        pipeline = DiversificationPipeline(
+            _queries(), lam=10.0, tau=1.0,
+            resilience=ResilienceConfig(
+                stream_ladder=("stream_greedy_sc+", "stream_scan"),
+                arrival_budget=0.5,
+                clock=self._ticking_clock(),
+            ),
+        )
+        pipeline.feed(Document(0, 1.0, "tiger wins the open"))
+        pipeline.feed(Document(1, 2.0, "lebron nba classic"))
+        assert pipeline.supervisor.health.downgrades == 1
+        assert pipeline.supervisor.algorithm_name == "stream_scan"
+
+    def test_digest_ladder_downgrades_and_sticks(self):
+        from repro.resilience import ResilienceConfig
+
+        pipeline = DiversificationPipeline(
+            _queries(), lam=120.0,
+            resilience=ResilienceConfig(
+                batch_ladder=("greedy_sc", "scan+", "scan"),
+                digest_budget=0.5,
+                clock=self._ticking_clock(),
+            ),
+        )
+        result = pipeline.digest(_documents())
+        assert result.solution.algorithm == "scan"
+        assert [d.trigger for d in result.downgrades] == \
+            ["budget", "budget"]
+        assert is_cover(result.instance, result.posts)
+        # sticky: the next digest starts straight at the bottom rung
+        second = pipeline.digest(_documents())
+        assert second.solution.algorithm == "scan"
+        assert second.downgrades == ()
+
+    def test_unsupervised_digest_reports_no_downgrades(self):
+        pipeline = DiversificationPipeline(_queries(), lam=120.0)
+        result = pipeline.digest(_documents())
+        assert result.downgrades == ()
