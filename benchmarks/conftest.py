@@ -10,16 +10,36 @@ would quintuple wall-clock for no statistical gain.
 Each ``report`` call also writes its table to ``benchmarks/results/`` so
 the regenerated artifacts survive pytest's output capturing — after a
 bench run, that directory holds the reproduced paper tables as plain text.
+
+The run additionally accumulates one bench trajectory
+(:class:`repro.observability.bench.BenchTrajectory`): the throughput
+benches record per-solver wall time, work counters, and solution size via
+the ``bench_record`` fixture, and every ``report`` call attaches its raw
+rows as a figure table.  At session end the document is validated and
+written to ``benchmarks/results/BENCH_throughput.json`` — the artifact the
+CI smoke job uploads and ``python -m repro.observability.bench
+--validate`` guards.
+
+``BENCH_SMOKE=1`` shrinks the throughput workload (and relaxes the
+overhead gate) so the emission path can run in seconds on a CI runner.
 """
 
 from __future__ import annotations
 
+import os
 import pathlib
 import re
 
+import pytest
+
 from repro.evaluation.harness import format_table
+from repro.observability.bench import BenchTrajectory, validate_bench
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+BENCH_ARTIFACT = RESULTS_DIR / "BENCH_throughput.json"
+SMOKE = bool(os.environ.get("BENCH_SMOKE"))
+
+_TRAJECTORY = BenchTrajectory("throughput")
 
 
 def report(rows, title: str) -> None:
@@ -30,3 +50,25 @@ def report(rows, title: str) -> None:
     RESULTS_DIR.mkdir(exist_ok=True)
     slug = re.sub(r"[^a-z0-9]+", "_", title.lower()).strip("_")[:60]
     (RESULTS_DIR / f"{slug}.txt").write_text(table + "\n")
+    _TRAJECTORY.record_figure(slug, rows)
+
+
+@pytest.fixture(scope="session")
+def bench_record():
+    """Record one solver run into the session's bench trajectory."""
+    return _TRAJECTORY.record_solver
+
+
+def pytest_sessionfinish(session, exitstatus):
+    # Only the throughput benches produce solver entries; a figure-only
+    # run has nothing a BENCH reader requires, so skip emission then.
+    if not _TRAJECTORY.solvers:
+        return
+    RESULTS_DIR.mkdir(exist_ok=True)
+    document = _TRAJECTORY.write(BENCH_ARTIFACT)
+    validate_bench(BENCH_ARTIFACT)
+    print(
+        f"\nBENCH trajectory: {BENCH_ARTIFACT} "
+        f"({len(document['solvers'])} solver entries, "
+        f"{len(document['figures'])} figure tables)"
+    )

@@ -4,54 +4,111 @@ Unlike the figure benches (single-shot experiment regeneration), these use
 pytest-benchmark's real measurement loop, giving stable per-call numbers
 for the solvers a deployment would run per user: Scan, Scan+, GreedySC and
 the streaming pass.  The reference workload is a 10-minute window at the
-paper's |L|=2 matching rate, scaled as per EXPERIMENTS.md.
+paper's |L|=2 matching rate, scaled as per EXPERIMENTS.md; ``BENCH_SMOKE=1``
+shrinks it to a one-minute window so CI can exercise the emission path.
+
+Each bench also performs one *observed* run under a fresh observability
+session and records wall time, work counters and solution size into the
+session's BENCH trajectory (see conftest) — the per-solver entries of
+``benchmarks/results/BENCH_throughput.json``.
 """
 
 import pytest
+
+from .conftest import SMOKE
 
 from repro.core.greedy_sc import greedy_sc
 from repro.core.scan import scan, scan_plus
 from repro.core.streaming import stream_solve
 from repro.experiments.common import make_effectiveness_instance
+from repro.observability import facade
 
 
 @pytest.fixture(scope="module")
 def workload():
     return make_effectiveness_instance(
-        seed=0, num_labels=3, lam=30.0, overlap=1.4
+        seed=0, num_labels=3, lam=30.0, overlap=1.4,
+        **({"duration": 60.0} if SMOKE else {}),
     )
 
 
-def test_throughput_scan(benchmark, workload):
+def _observed_run(bench_record, workload, solver, run, **extra):
+    """One instrumented run, recorded into the BENCH trajectory."""
+    with facade.session() as bundle:
+        result = run()
+    bench_record(
+        solver,
+        wall_time_s=result.elapsed,
+        solution_size=result.size,
+        instance={
+            "posts": len(workload.posts),
+            "labels": len(workload.labels),
+            "lam": workload.lam,
+            "smoke": SMOKE,
+        },
+        counters=bundle.registry.counters(),
+        **extra,
+    )
+    return result
+
+
+def test_throughput_scan(benchmark, workload, bench_record):
+    observed = _observed_run(
+        bench_record, workload, "scan", lambda: scan(workload)
+    )
     solution = benchmark(lambda: scan(workload))
     assert solution.size > 0
+    assert solution.uids == observed.uids
 
 
-def test_throughput_scan_plus(benchmark, workload):
+def test_throughput_scan_plus(benchmark, workload, bench_record):
+    observed = _observed_run(
+        bench_record, workload, "scan_plus", lambda: scan_plus(workload)
+    )
     solution = benchmark(lambda: scan_plus(workload))
     assert solution.size > 0
+    assert solution.uids == observed.uids
 
 
-def test_throughput_greedy_sc(benchmark, workload):
+def test_throughput_greedy_sc(benchmark, workload, bench_record):
+    observed = _observed_run(
+        bench_record, workload, "greedy_sc", lambda: greedy_sc(workload)
+    )
     solution = benchmark(lambda: greedy_sc(workload))
     assert solution.size > 0
+    assert solution.uids == observed.uids
 
 
-def test_throughput_stream_scan(benchmark, workload):
+def test_throughput_stream_scan(benchmark, workload, bench_record):
+    _observed_run(
+        bench_record, workload, "stream_scan",
+        lambda: stream_solve("stream_scan", workload, tau=15.0),
+        tau=15.0,
+    )
     result = benchmark(
         lambda: stream_solve("stream_scan", workload, tau=15.0)
     )
     assert result.size > 0
 
 
-def test_throughput_stream_greedy(benchmark, workload):
+def test_throughput_stream_greedy(benchmark, workload, bench_record):
+    _observed_run(
+        bench_record, workload, "stream_greedy_sc",
+        lambda: stream_solve("stream_greedy_sc", workload, tau=15.0),
+        tau=15.0,
+    )
     result = benchmark(
         lambda: stream_solve("stream_greedy_sc", workload, tau=15.0)
     )
     assert result.size > 0
 
 
-def test_throughput_instant(benchmark, workload):
+def test_throughput_instant(benchmark, workload, bench_record):
+    _observed_run(
+        bench_record, workload, "instant",
+        lambda: stream_solve("instant", workload, tau=0.0),
+        tau=0.0,
+    )
     result = benchmark(
         lambda: stream_solve("instant", workload, tau=0.0)
     )

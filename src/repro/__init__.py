@@ -84,6 +84,7 @@ from .resilience import (
     run_supervised,
     solve_with_ladder,
 )
+from . import observability
 from .pipeline import DigestResult, DiversificationPipeline
 from .viz import budget_bars, label_lanes, timeline
 
@@ -159,6 +160,8 @@ __all__ = [
     # pipeline facade
     "DiversificationPipeline",
     "DigestResult",
+    # observability (metrics, tracing, exporters, bench trajectories)
+    "observability",
     # visualisation
     "timeline",
     "label_lanes",

@@ -29,6 +29,7 @@ from typing import Dict, List, Set, Tuple
 
 import numpy as np
 
+from ..observability import facade as _obs
 from .instance import Instance
 
 __all__ = ["build_family_encoded", "decode_pair"]
@@ -52,6 +53,8 @@ def build_family_encoded(
 
     family: List[Set[int]] = [set() for _ in posts]
     universe: Set[int] = set()
+    enumerated = 0
+    kept = 0
 
     for label in labels:
         plist = instance.posting(label)
@@ -86,8 +89,10 @@ def build_family_encoded(
         keep = np.abs(
             values[coverer_local] - values[covered_local]
         ) <= lam
+        enumerated += int(counts.sum())
         coverer_local = coverer_local[keep]
         covered_local = covered_local[keep]
+        kept += len(coverer_local)
 
         encoded = offsets[covered_local] * n_labels + label_pos[label]
         coverer_global = offsets[coverer_local]
@@ -106,6 +111,12 @@ def build_family_encoded(
         universe.update(
             int(v) for v in offsets * n_labels + label_pos[label]
         )
+    if _obs.enabled():
+        # enumerated counts the ulp-widened windows before the exact
+        # filter — comparable with the scalar builder's enumeration count
+        _obs.count("fastpath.family_pairs_enumerated", enumerated)
+        _obs.count("fastpath.family_pairs_kept", kept)
+        _obs.count("fastpath.universe_size", len(universe))
     return family, universe, labels
 
 

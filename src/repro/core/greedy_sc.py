@@ -19,6 +19,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Set, Tuple
 
+from ..observability import facade as _obs
 from ..setcover import greedy_set_cover
 from .instance import Instance
 from .post import Post
@@ -41,6 +42,9 @@ def build_setcover_family(
     index_of: Dict[int, int] = {p.uid: k for k, p in enumerate(posts)}
     family: List[Set[Tuple[int, str]]] = [set() for _ in posts]
     universe: Set[Tuple[int, str]] = set()
+    # candidate pairs enumerated — the builder's unit of work; one int
+    # add per window is noise next to the inner set updates
+    enumerated = 0
 
     for label in instance.labels:
         plist = instance.posting(label)
@@ -54,6 +58,7 @@ def build_setcover_family(
                 hi = j
             while hi + 1 < n and values[hi + 1] - values[j] <= lam:
                 hi += 1
+            enumerated += hi - j + 1
             # posts j..hi mutually relevant: each covers the others' pairs
             pair_j = (plist[j].uid, label)
             set_j = family[index_of[plist[j].uid]]
@@ -61,6 +66,9 @@ def build_setcover_family(
                 pair_i = (plist[i].uid, label)
                 set_j.add(pair_i)
                 family[index_of[plist[i].uid]].add(pair_j)
+    if _obs.enabled():
+        _obs.count("greedy_sc.family_pairs_enumerated", enumerated)
+        _obs.count("greedy_sc.universe_size", len(universe))
     return family, universe
 
 

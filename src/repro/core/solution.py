@@ -2,10 +2,10 @@
 
 from __future__ import annotations
 
-import time as _time
 from dataclasses import dataclass, field
-from typing import Iterator, List, Tuple
+from typing import Callable, Iterator, List, Optional, Tuple
 
+from ..observability import facade as _obs
 from .instance import Instance
 from .post import Post
 
@@ -64,13 +64,28 @@ class Solution:
 
 
 def timed_solution(algorithm: str, solve, instance: Instance,
-                   *args, **kwargs) -> Solution:
+                   *args, clock: Optional[Callable[[], float]] = None,
+                   **kwargs) -> Solution:
     """Run ``solve(instance, *args, **kwargs)`` and wrap the timing.
 
-    ``solve`` must return a list of posts; the wall-clock time is recorded on
-    the resulting :class:`Solution`.
+    ``solve`` must return a list of posts; the wall-clock time is recorded
+    on the resulting :class:`Solution`.  The time source is, in order:
+    the ``clock`` argument, the active observability clock
+    (:func:`repro.observability.clock`), else ``time.perf_counter`` — so
+    enabling observability with a fake clock makes every solver's
+    recorded ``elapsed`` deterministic.
     """
-    start = _time.perf_counter()
-    posts = solve(instance, *args, **kwargs)
-    elapsed = _time.perf_counter() - start
-    return Solution.from_posts(algorithm, posts, elapsed=elapsed)
+    tick = clock if clock is not None else _obs.clock()
+    with _obs.span(f"solver.{algorithm}", algorithm=algorithm) as span:
+        start = tick()
+        posts = solve(instance, *args, **kwargs)
+        elapsed = tick() - start
+        solution = Solution.from_posts(algorithm, posts, elapsed=elapsed)
+        span.set_attribute("solution_size", solution.size)
+        span.set_attribute("elapsed", elapsed)
+    if _obs.enabled():
+        _obs.count(f"solver.{algorithm}.calls")
+        _obs.observe(f"solver.{algorithm}.elapsed", elapsed)
+        _obs.set_gauge(f"solver.{algorithm}.last_solution_size",
+                       solution.size)
+    return solution

@@ -27,6 +27,7 @@ from __future__ import annotations
 import bisect
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
+from ..observability import facade as _obs
 from ..stream.events import Emission, StreamingAlgorithm
 from ..stream.runner import StreamResult, run_stream
 from .instance import Instance
@@ -262,6 +263,9 @@ class StreamGreedySC(StreamingAlgorithm):
             p for p in self._buffer if window_start <= p.value <= now
         ]
         emissions: List[Emission] = []
+        # (candidate, pending) pairs examined across this window's greedy
+        # rounds — the windowed set cover's unit of work
+        gain_evaluations = 0
         while self._pending:
             if self.stop_at_oldest and not self._pending[0][1]:
                 # P' got covered: reschedule around the next uncovered post.
@@ -272,6 +276,7 @@ class StreamGreedySC(StreamingAlgorithm):
             if not any(labels for _, labels in self._pending):
                 self._pending = []
                 break
+            gain_evaluations += len(candidates) * len(self._pending)
             picked = self._best_candidate(candidates)
             if picked is None:  # pragma: no cover - every pending post is
                 break  # its own candidate, so this cannot happen
@@ -280,6 +285,10 @@ class StreamGreedySC(StreamingAlgorithm):
             self._apply_coverage(picked)
         if self._pending:
             self._prune_buffer(self._pending[0][0].value)
+        if _obs.enabled():
+            _obs.count("stream_greedy.windows")
+            _obs.count("stream_greedy.gain_evaluations", gain_evaluations)
+            _obs.count("stream_greedy.window_emissions", len(emissions))
         return emissions
 
     def _best_candidate(self, candidates: Sequence[Post]) -> Optional[Post]:
@@ -346,4 +355,5 @@ def stream_solve(
             f"choose from {sorted(_STREAM_FACTORIES)}"
         ) from None
     algorithm = factory(instance.labels, instance.lam, tau)
-    return run_stream(algorithm, instance.posts)
+    with _obs.span("stream.solve", algorithm=name, tau=tau):
+        return run_stream(algorithm, instance.posts)

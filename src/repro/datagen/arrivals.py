@@ -17,7 +17,7 @@ from __future__ import annotations
 
 import math
 import random
-from typing import Callable, List, Tuple
+from typing import Callable, List, Optional, Tuple
 
 __all__ = [
     "poisson_times",
@@ -96,7 +96,7 @@ def bursty_times(
     start: float,
     end: float,
     n_bursts: int = 3,
-    burst_rate: float = None,
+    burst_rate: Optional[float] = None,
     burst_decay: float = 600.0,
 ) -> Tuple[List[float], List[float]]:
     """Base Poisson traffic plus news-event bursts.

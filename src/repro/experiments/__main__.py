@@ -11,13 +11,15 @@ from __future__ import annotations
 
 import argparse
 import sys
-import time
+from typing import Callable, Optional
 
 from ..evaluation.harness import format_table, rows_to_csv
+from ..observability import facade as _obs
 from . import ALL_EXPERIMENTS
 
 
-def main(argv=None) -> int:
+def main(argv=None, *,
+         clock: Optional[Callable[[], float]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.experiments",
         description="Regenerate the paper's tables and figures.",
@@ -51,13 +53,16 @@ def main(argv=None) -> int:
         print("use 'list' to see what is available", file=sys.stderr)
         return 2
 
+    # None defers to the observability clock (time.perf_counter unless a
+    # deterministic one was enabled) — the supervisor's clock= pattern.
+    tick = clock if clock is not None else _obs.clock()
     for name in names:
         module = ALL_EXPERIMENTS[name]
         params = dict(getattr(module, "FULL_PARAMS", {})) if args.full \
             else {}
-        started = time.perf_counter()
+        started = tick()
         rows = module.run(seed=args.seed, **params)
-        elapsed = time.perf_counter() - started
+        elapsed = tick() - started
         if args.csv:
             print(rows_to_csv(rows), end="")
         else:

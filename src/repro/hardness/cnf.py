@@ -9,7 +9,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Sequence, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from ..errors import ReductionError
 
@@ -62,7 +62,7 @@ class CNFFormula:
 
     @classmethod
     def from_clauses(cls, clauses: Iterable[Sequence[int]],
-                     num_vars: int = None) -> "CNFFormula":
+                     num_vars: Optional[int] = None) -> "CNFFormula":
         """Build a formula, inferring ``num_vars`` when omitted."""
         tupled = tuple(tuple(clause) for clause in clauses)
         if num_vars is None:

@@ -7,12 +7,14 @@ Solution is not reused).
 
 from __future__ import annotations
 
-import time as _time
 from dataclasses import dataclass, field
-from typing import List, Tuple
+from typing import Callable, List, Optional, Tuple
 
+from ..observability import facade as _obs
 from ..setcover import exact_set_cover, greedy_set_cover
 from .model import MultiInstance, MultiPost
+
+Clock = Callable[[], float]
 
 __all__ = ["MultiSolution", "greedy_box", "sweep_box", "exact_box"]
 
@@ -34,14 +36,20 @@ class MultiSolution:
         return tuple(post.uid for post in self.posts)
 
 
+def _resolve_clock(clock: Optional[Clock]) -> Clock:
+    # None defers to the observability clock (time.perf_counter unless a
+    # deterministic one was enabled) — the supervisor's clock= pattern.
+    return clock if clock is not None else _obs.clock()
+
+
 def _finish(algorithm: str, picks: List[MultiPost],
-            started: float) -> MultiSolution:
+            started: float, clock: Clock) -> MultiSolution:
     unique = {post.uid: post for post in picks}
     ordered = sorted(unique.values(), key=lambda p: (p.primary(), p.uid))
     return MultiSolution(
         algorithm=algorithm,
         posts=tuple(ordered),
-        elapsed=_time.perf_counter() - started,
+        elapsed=clock() - started,
     )
 
 
@@ -51,28 +59,33 @@ def _family(instance: MultiInstance):
 
 
 def greedy_box(instance: MultiInstance,
-               strategy: str = "rescan") -> MultiSolution:
+               strategy: str = "rescan",
+               clock: Optional[Clock] = None) -> MultiSolution:
     """GreedySC lifted to box coverage: still ``ln(|P||L|)``-approximate,
     since the transform to set cover is unchanged."""
-    started = _time.perf_counter()
+    clock = _resolve_clock(clock)
+    started = clock()
     family, universe = _family(instance)
     chosen = greedy_set_cover(family, universe=universe, strategy=strategy)
     picks = [instance.posts[idx] for idx in chosen]
-    return _finish("greedy_box", picks, started)
+    return _finish("greedy_box", picks, started, clock)
 
 
 def exact_box(instance: MultiInstance,
-              node_budget: int = 2_000_000) -> MultiSolution:
+              node_budget: int = 2_000_000,
+              clock: Optional[Clock] = None) -> MultiSolution:
     """Minimum box-cover via exact set cover (small instances)."""
-    started = _time.perf_counter()
+    clock = _resolve_clock(clock)
+    started = clock()
     family, universe = _family(instance)
     chosen = exact_set_cover(family, universe=universe,
                              node_budget=node_budget)
     picks = [instance.posts[idx] for idx in chosen]
-    return _finish("exact_box", picks, started)
+    return _finish("exact_box", picks, started, clock)
 
 
-def sweep_box(instance: MultiInstance) -> MultiSolution:
+def sweep_box(instance: MultiInstance,
+              clock: Optional[Clock] = None) -> MultiSolution:
     """The Scan idea lifted to a primary-dimension sweep.
 
     Per label, repeatedly take the sweep-order-first uncovered post and
@@ -83,7 +96,8 @@ def sweep_box(instance: MultiInstance) -> MultiSolution:
     lost (covering points with unit squares is NP-hard), but the output is
     always a valid cover and each pick is locally maximal.
     """
-    started = _time.perf_counter()
+    clock = _resolve_clock(clock)
+    started = clock()
     picks: List[MultiPost] = []
     for label in sorted(instance.labels):
         plist = instance.posting(label)
@@ -115,4 +129,4 @@ def sweep_box(instance: MultiInstance) -> MultiSolution:
             for other in instance.candidates_near(label, best):
                 if instance.coverage.within(best, other):
                     uncovered.discard(other.uid)
-    return _finish("sweep_box", picks, started)
+    return _finish("sweep_box", picks, started, clock)

@@ -1,0 +1,78 @@
+"""Observability: metrics, tracing, exporters, bench trajectories.
+
+The measurement substrate for the perf roadmap.  Four pieces:
+
+* :mod:`~repro.observability.metrics` — counters, gauges and histograms
+  in a :class:`MetricsRegistry` with an injectable clock;
+* :mod:`~repro.observability.tracing` — span-based :class:`Tracer`;
+* :mod:`~repro.observability.facade` — the zero-overhead-when-disabled
+  switch the instrumented hot paths call through (off by default;
+  ``enable()`` / ``session()`` to turn on);
+* :mod:`~repro.observability.exporters` / ``bench`` — JSON and
+  Prometheus text output, and the versioned ``BENCH_*.json`` artifacts
+  the benchmark suite emits.
+
+Typical use::
+
+    from repro import observability
+    from repro.core.scan import scan
+
+    with observability.session() as obs:
+        solution = scan(instance)
+    print(obs.registry.counters())   # {'scan.picks': ..., ...}
+
+See ``docs/observability.md`` for the metric catalogue and artifact
+schema.
+"""
+
+from .bench import (
+    BENCH_SCHEMA,
+    BENCH_SCHEMA_VERSION,
+    BenchSchemaError,
+    BenchTrajectory,
+    validate_bench,
+)
+from .exporters import to_json, to_prometheus, write_json
+from .facade import (
+    Observability,
+    active,
+    clock,
+    count,
+    disable,
+    enable,
+    enabled,
+    observe,
+    session,
+    set_gauge,
+    span,
+)
+from .metrics import Counter, Gauge, Histogram, MetricsRegistry
+from .tracing import Span, Tracer
+
+__all__ = [
+    "BENCH_SCHEMA",
+    "BENCH_SCHEMA_VERSION",
+    "BenchSchemaError",
+    "BenchTrajectory",
+    "validate_bench",
+    "to_json",
+    "to_prometheus",
+    "write_json",
+    "Observability",
+    "active",
+    "clock",
+    "count",
+    "disable",
+    "enable",
+    "enabled",
+    "observe",
+    "session",
+    "set_gauge",
+    "span",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "Span",
+    "Tracer",
+]

@@ -1,0 +1,197 @@
+"""Versioned bench-trajectory emission (the ``BENCH_*.json`` artifacts).
+
+Every bench run writes one JSON document recording, per solver, the wall
+time, the work counters the observability layer collected, and the
+solution size against a description of the instance solved — the three
+axes a perf trajectory needs (Abboud et al.'s lower bounds make the
+quality axis non-optional: a "speedup" that inflates solution sizes is a
+regression).  Future PRs diff these artifacts to show their effect.
+
+The document is versioned through ``schema`` / ``schema_version`` so a
+reader can reject artifacts it does not understand, and
+:func:`validate_bench` is the single arbiter of well-formedness — the CI
+smoke job runs it (``python -m repro.observability.bench --validate``)
+and fails the build when emission breaks.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time as _time
+from typing import Dict, List, Optional, Sequence, Union
+
+__all__ = [
+    "BENCH_SCHEMA",
+    "BENCH_SCHEMA_VERSION",
+    "BenchTrajectory",
+    "validate_bench",
+    "BenchSchemaError",
+]
+
+BENCH_SCHEMA = "repro.bench"
+BENCH_SCHEMA_VERSION = 1
+
+_REQUIRED_SOLVER_FIELDS = ("solver", "wall_time_s", "solution_size",
+                           "instance", "counters")
+
+
+class BenchSchemaError(ValueError):
+    """A BENCH document failed validation."""
+
+
+class BenchTrajectory:
+    """Accumulates bench entries and writes the versioned artifact.
+
+    Parameters
+    ----------
+    suite:
+        Artifact name stem; ``"throughput"`` yields
+        ``BENCH_throughput.json``.
+    now:
+        Injectable wall-clock (epoch seconds) for the ``created_unix``
+        stamp; defaults to :func:`time.time`.
+    """
+
+    def __init__(self, suite: str,
+                 now: Optional[float] = None):
+        self.suite = suite
+        self.created_unix = float(_time.time() if now is None else now)
+        self.solvers: List[dict] = []
+        self.figures: Dict[str, List[dict]] = {}
+
+    def record_solver(
+        self,
+        solver: str,
+        *,
+        wall_time_s: float,
+        solution_size: int,
+        instance: Dict[str, Union[int, float, str, None]],
+        counters: Optional[Dict[str, int]] = None,
+        **extra: Union[int, float, str, None],
+    ) -> dict:
+        """Record one solver run; returns the entry appended."""
+        entry = {
+            "solver": solver,
+            "wall_time_s": float(wall_time_s),
+            "solution_size": int(solution_size),
+            "instance": dict(instance),
+            "counters": dict(counters or {}),
+        }
+        entry.update(extra)
+        self.solvers.append(entry)
+        return entry
+
+    def record_figure(self, title: str, rows: Sequence[dict]) -> None:
+        """Attach a figure bench's raw rows (fig13-15 timing tables)."""
+        self.figures[title] = [dict(row) for row in rows]
+
+    def to_dict(self) -> dict:
+        return {
+            "schema": BENCH_SCHEMA,
+            "schema_version": BENCH_SCHEMA_VERSION,
+            "suite": self.suite,
+            "created_unix": self.created_unix,
+            "solvers": list(self.solvers),
+            "figures": dict(self.figures),
+        }
+
+    def write(self, path: Union[str, "os.PathLike"]) -> dict:
+        """Validate and write the artifact; returns the document."""
+        document = self.to_dict()
+        validate_bench(document)
+        with open(os.fspath(path), "w", encoding="utf-8") as handle:
+            json.dump(document, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        return document
+
+
+def validate_bench(source: Union[dict, str, "os.PathLike"]) -> dict:
+    """Check a BENCH document (or a path to one); returns it parsed.
+
+    Raises :class:`BenchSchemaError` describing the first problem found.
+    """
+    if isinstance(source, dict):
+        document = source
+    else:
+        try:
+            with open(os.fspath(source), "r", encoding="utf-8") as handle:
+                document = json.load(handle)
+        except FileNotFoundError:
+            raise BenchSchemaError(f"no BENCH artifact at {source!r}")
+        except json.JSONDecodeError as error:
+            raise BenchSchemaError(
+                f"BENCH artifact {source!r} is not JSON: {error}"
+            )
+    if not isinstance(document, dict):
+        raise BenchSchemaError("BENCH document must be a JSON object")
+    if document.get("schema") != BENCH_SCHEMA:
+        raise BenchSchemaError(
+            f"unknown schema {document.get('schema')!r}; "
+            f"expected {BENCH_SCHEMA!r}"
+        )
+    if document.get("schema_version") != BENCH_SCHEMA_VERSION:
+        raise BenchSchemaError(
+            f"unsupported schema_version "
+            f"{document.get('schema_version')!r}; "
+            f"this reader understands {BENCH_SCHEMA_VERSION}"
+        )
+    solvers = document.get("solvers")
+    if not isinstance(solvers, list) or not solvers:
+        raise BenchSchemaError(
+            "BENCH document records no solver entries — emission is broken"
+        )
+    for position, entry in enumerate(solvers):
+        if not isinstance(entry, dict):
+            raise BenchSchemaError(f"solvers[{position}] is not an object")
+        for field in _REQUIRED_SOLVER_FIELDS:
+            if field not in entry:
+                raise BenchSchemaError(
+                    f"solvers[{position}] missing {field!r}"
+                )
+        if entry["wall_time_s"] < 0:
+            raise BenchSchemaError(
+                f"solvers[{position}] has negative wall_time_s"
+            )
+        if entry["solution_size"] < 0:
+            raise BenchSchemaError(
+                f"solvers[{position}] has negative solution_size"
+            )
+        if not isinstance(entry["counters"], dict):
+            raise BenchSchemaError(
+                f"solvers[{position}].counters is not an object"
+            )
+        if not isinstance(entry["instance"], dict):
+            raise BenchSchemaError(
+                f"solvers[{position}].instance is not an object"
+            )
+    if not isinstance(document.get("figures", {}), dict):
+        raise BenchSchemaError("figures must be an object")
+    return document
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.observability.bench",
+        description="Validate a BENCH_*.json bench-trajectory artifact.",
+    )
+    parser.add_argument("--validate", metavar="PATH", required=True,
+                        help="path to the artifact to check")
+    args = parser.parse_args(argv)
+    try:
+        document = validate_bench(args.validate)
+    except BenchSchemaError as error:
+        print(f"INVALID: {error}", file=sys.stderr)
+        return 1
+    print(
+        f"OK: {args.validate} — schema {document['schema']}/"
+        f"{document['schema_version']}, {len(document['solvers'])} solver "
+        f"entries, {len(document.get('figures', {}))} figure tables"
+    )
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via CLI test
+    sys.exit(main())

@@ -1,0 +1,96 @@
+"""Exporters: JSON snapshots and Prometheus text exposition.
+
+Two consumers, two formats:
+
+* :func:`to_json` / :func:`write_json` — the full bundle (metrics and
+  spans) as one JSON document, for the bench trajectory and offline
+  analysis;
+* :func:`to_prometheus` — the metrics as Prometheus text exposition
+  format 0.0.4, for scraping a long-running deployment.  Dotted metric
+  names become underscore-separated (``scan.window_advances`` →
+  ``scan_window_advances``), counters get the ``_total`` suffix, and
+  histograms emit the standard ``_bucket`` / ``_sum`` / ``_count``
+  series with cumulative ``le`` labels.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import os
+import re
+from typing import List, Union
+
+from .facade import Observability
+from .metrics import Counter, Gauge, Histogram, MetricsRegistry
+
+__all__ = ["to_json", "write_json", "to_prometheus"]
+
+_INVALID = re.compile(r"[^a-zA-Z0-9_:]")
+
+
+def _prom_name(name: str) -> str:
+    cleaned = _INVALID.sub("_", name.replace(".", "_"))
+    if cleaned and cleaned[0].isdigit():
+        cleaned = "_" + cleaned
+    return cleaned
+
+
+def _prom_value(value: float) -> str:
+    if math.isinf(value):
+        return "+Inf" if value > 0 else "-Inf"
+    return repr(float(value))
+
+
+def to_json(bundle: Observability, *, indent: int = 2) -> str:
+    """The whole bundle — metrics snapshot plus finished spans."""
+    return json.dumps(
+        {
+            "metrics": bundle.registry.snapshot(),
+            "spans": bundle.tracer.as_dicts(),
+        },
+        indent=indent,
+        sort_keys=True,
+    )
+
+
+def write_json(bundle: Observability, path: Union[str, "os.PathLike"],
+               *, indent: int = 2) -> None:
+    with open(os.fspath(path), "w", encoding="utf-8") as handle:
+        handle.write(to_json(bundle, indent=indent))
+        handle.write("\n")
+
+
+def to_prometheus(
+    source: Union[Observability, MetricsRegistry]
+) -> str:
+    """Prometheus text exposition of every registered instrument."""
+    registry = (
+        source.registry if isinstance(source, Observability) else source
+    )
+    lines: List[str] = []
+    for name in registry.names():
+        instrument = registry._instruments[name]
+        prom = _prom_name(name)
+        if isinstance(instrument, Counter):
+            lines.append(f"# TYPE {prom}_total counter")
+            lines.append(f"{prom}_total {instrument.value}")
+        elif isinstance(instrument, Gauge):
+            lines.append(f"# TYPE {prom} gauge")
+            lines.append(f"{prom} {_prom_value(instrument.value)}")
+        elif isinstance(instrument, Histogram):
+            lines.append(f"# TYPE {prom} histogram")
+            cumulative = 0
+            for bound, count in zip(
+                instrument.buckets, instrument.bucket_counts
+            ):
+                cumulative += count
+                lines.append(
+                    f'{prom}_bucket{{le="{_prom_value(bound)}"}} '
+                    f"{cumulative}"
+                )
+            cumulative += instrument.bucket_counts[-1]
+            lines.append(f'{prom}_bucket{{le="+Inf"}} {cumulative}')
+            lines.append(f"{prom}_sum {_prom_value(instrument.total)}")
+            lines.append(f"{prom}_count {instrument.count}")
+    return "\n".join(lines) + ("\n" if lines else "")

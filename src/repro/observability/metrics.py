@@ -1,0 +1,191 @@
+"""The metrics registry: counters, gauges, histograms.
+
+The unit of cost in this codebase is not wall-clock alone.  Succinct
+coverage-oracle accounting (see PAPERS.md) argues for counting the *work
+units* a solver performs — candidate pairs enumerated, residual-set
+updates, posting-list window advances — alongside its elapsed time, so a
+perf regression is attributable to an algorithmic change rather than to
+machine noise.  This module provides the primitive instruments; the hot
+paths publish into them through :mod:`repro.observability.facade`, which
+costs nothing when observability is disabled.
+
+Everything here is deliberately dependency-free and deterministic: the
+registry takes an injectable ``clock`` (the supervisor's ``clock=``
+pattern) so tests can pin timings, and instruments are plain attribute
+holders — no locks, no background threads.  The solvers are
+single-threaded per call; callers running registries across threads
+should use one registry per thread and merge snapshots.
+"""
+
+from __future__ import annotations
+
+import time as _time
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "DEFAULT_BUCKETS",
+]
+
+# Geometric-ish latency buckets (seconds): generous coverage from
+# microseconds to minutes without per-metric tuning.
+DEFAULT_BUCKETS: Tuple[float, ...] = (
+    1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 0.1, 0.5, 1.0, 5.0, 30.0, 120.0,
+)
+
+
+class Counter:
+    """A monotone counter; ``inc`` with a negative amount is rejected."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        if amount < 0:
+            raise ValueError(
+                f"counter {self.name!r} cannot decrease (inc {amount})"
+            )
+        self.value += amount
+
+
+class Gauge:
+    """A point-in-time value (queue depth, rung index, buffer size)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        self.value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        self.value -= amount
+
+
+class Histogram:
+    """Fixed-bucket cumulative histogram with count/sum/min/max.
+
+    ``buckets`` are upper bounds; an implicit ``+Inf`` bucket catches the
+    rest, mirroring the Prometheus histogram model so the text exporter
+    is a straight transcription.
+    """
+
+    __slots__ = ("name", "buckets", "bucket_counts", "count", "total",
+                 "min", "max")
+
+    def __init__(self, name: str,
+                 buckets: Sequence[float] = DEFAULT_BUCKETS):
+        if list(buckets) != sorted(buckets):
+            raise ValueError(f"histogram {name!r} buckets must be sorted")
+        self.name = name
+        self.buckets: Tuple[float, ...] = tuple(buckets)
+        self.bucket_counts: List[int] = [0] * (len(self.buckets) + 1)
+        self.count = 0
+        self.total = 0.0
+        self.min: Optional[float] = None
+        self.max: Optional[float] = None
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        self.count += 1
+        self.total += value
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+        for idx, bound in enumerate(self.buckets):
+            if value <= bound:
+                self.bucket_counts[idx] += 1
+                return
+        self.bucket_counts[-1] += 1
+
+    @property
+    def mean(self) -> Optional[float]:
+        return self.total / self.count if self.count else None
+
+
+class MetricsRegistry:
+    """Name-keyed instrument store with an injectable clock.
+
+    ``counter`` / ``gauge`` / ``histogram`` are get-or-create; asking for
+    an existing name with a different instrument kind raises, which
+    catches name collisions at the instrumentation site rather than at
+    export time.
+    """
+
+    def __init__(self, clock: Callable[[], float] = _time.perf_counter):
+        self.clock = clock
+        self._instruments: Dict[str, object] = {}
+
+    def _get(self, name: str, kind, factory):
+        instrument = self._instruments.get(name)
+        if instrument is None:
+            instrument = factory()
+            self._instruments[name] = instrument
+        elif not isinstance(instrument, kind):
+            raise TypeError(
+                f"metric {name!r} already registered as "
+                f"{type(instrument).__name__}, not {kind.__name__}"
+            )
+        return instrument
+
+    def counter(self, name: str) -> Counter:
+        return self._get(name, Counter, lambda: Counter(name))
+
+    def gauge(self, name: str) -> Gauge:
+        return self._get(name, Gauge, lambda: Gauge(name))
+
+    def histogram(
+        self, name: str, buckets: Sequence[float] = DEFAULT_BUCKETS
+    ) -> Histogram:
+        return self._get(name, Histogram, lambda: Histogram(name, buckets))
+
+    # -- introspection ----------------------------------------------------
+
+    def names(self) -> List[str]:
+        return sorted(self._instruments)
+
+    def counters(self) -> Dict[str, int]:
+        """Counter values only — the work-unit view the benches record."""
+        return {
+            name: instrument.value
+            for name, instrument in sorted(self._instruments.items())
+            if isinstance(instrument, Counter)
+        }
+
+    def snapshot(self) -> Dict[str, dict]:
+        """Every instrument as a JSON-safe dict, keyed by name."""
+        out: Dict[str, dict] = {}
+        for name, instrument in sorted(self._instruments.items()):
+            if isinstance(instrument, Counter):
+                out[name] = {"type": "counter", "value": instrument.value}
+            elif isinstance(instrument, Gauge):
+                out[name] = {"type": "gauge", "value": instrument.value}
+            else:
+                hist = instrument
+                out[name] = {
+                    "type": "histogram",
+                    "count": hist.count,
+                    "sum": hist.total,
+                    "min": hist.min,
+                    "max": hist.max,
+                    "mean": hist.mean,
+                    "buckets": [
+                        {"le": bound, "count": count}
+                        for bound, count in zip(
+                            hist.buckets, hist.bucket_counts
+                        )
+                    ] + [{"le": "+Inf", "count": hist.bucket_counts[-1]}],
+                }
+        return out

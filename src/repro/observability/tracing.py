@@ -1,0 +1,95 @@
+"""Span-based tracing with an injectable clock.
+
+A :class:`Span` is one timed region (a digest, a solver call, a stream
+run); spans nest, and the :class:`Tracer` keeps the finished ones in
+completion order for the exporters.  Like the metrics registry this is
+single-threaded by design — one tracer per pipeline — and the clock is
+injectable so tests can assert exact durations.
+"""
+
+from __future__ import annotations
+
+import time as _time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterator, List, Optional, Union
+
+__all__ = ["Span", "Tracer"]
+
+Attr = Union[str, int, float, bool, None]
+
+
+@dataclass
+class Span:
+    """One timed region.  ``ended`` is None while the span is open."""
+
+    name: str
+    started: float
+    span_id: int
+    parent_id: Optional[int] = None
+    ended: Optional[float] = None
+    attributes: Dict[str, Attr] = field(default_factory=dict)
+
+    @property
+    def duration(self) -> Optional[float]:
+        if self.ended is None:
+            return None
+        return self.ended - self.started
+
+    def set_attribute(self, key: str, value: Attr) -> None:
+        self.attributes[key] = value
+
+    def as_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "started": self.started,
+            "ended": self.ended,
+            "duration": self.duration,
+            "attributes": dict(self.attributes),
+        }
+
+
+class Tracer:
+    """Collects spans; nesting is tracked through a stack of open spans."""
+
+    def __init__(self, clock: Callable[[], float] = _time.perf_counter):
+        self.clock = clock
+        self.finished: List[Span] = []
+        self._stack: List[Span] = []
+        self._next_id = 1
+
+    @property
+    def depth(self) -> int:
+        return len(self._stack)
+
+    @contextmanager
+    def span(self, name: str, **attributes: Attr) -> Iterator[Span]:
+        """Open a span; it closes (and is recorded) on context exit.
+
+        The span is recorded even when the body raises — a crashed solver
+        still shows up in the trace, flagged with an ``error`` attribute.
+        """
+        parent = self._stack[-1] if self._stack else None
+        span = Span(
+            name=name,
+            started=self.clock(),
+            span_id=self._next_id,
+            parent_id=parent.span_id if parent else None,
+            attributes=dict(attributes),
+        )
+        self._next_id += 1
+        self._stack.append(span)
+        try:
+            yield span
+        except BaseException as error:
+            span.attributes.setdefault("error", repr(error))
+            raise
+        finally:
+            span.ended = self.clock()
+            self._stack.pop()
+            self.finished.append(span)
+
+    def as_dicts(self) -> List[dict]:
+        return [span.as_dict() for span in self.finished]

@@ -34,6 +34,7 @@ from .core.streaming import _STREAM_FACTORIES
 from .errors import ReproError, StreamOrderError
 from .index.inverted_index import Document
 from .index.query import LabelMatcher, TopicQuery
+from .observability import facade as _obs
 from .index.simhash import SimHashIndex, simhash
 from .resilience.ladder import DowngradeEvent, solve_with_ladder
 from .resilience.supervisor import ResilienceConfig, StreamSupervisor
@@ -163,32 +164,42 @@ class DiversificationPipeline:
     def digest(self, documents: Iterable[Document]) -> DigestResult:
         """Run the full batch pipeline over a document collection."""
         documents = list(documents)
-        duplicates = 0
-        if self.dedup_distance is not None:
-            dedup = SimHashIndex(max_distance=self.dedup_distance)
-            kept_ids, dropped = dedup.deduplicate(
-                (doc.doc_id, doc.text) for doc in documents
+        with _obs.span(
+            "pipeline.digest", algorithm=self.algorithm,
+            documents=len(documents),
+        ) as span:
+            duplicates = 0
+            if self.dedup_distance is not None:
+                dedup = SimHashIndex(max_distance=self.dedup_distance)
+                kept_ids, dropped = dedup.deduplicate(
+                    (doc.doc_id, doc.text) for doc in documents
+                )
+                duplicates = len(dropped)
+                kept = set(kept_ids)
+                documents = [d for d in documents if d.doc_id in kept]
+            posts = self.matcher.to_posts_with_value(
+                documents, value_of=self._value_of
             )
-            duplicates = len(dropped)
-            kept = set(kept_ids)
-            documents = [d for d in documents if d.doc_id in kept]
-        posts = self.matcher.to_posts_with_value(
-            documents, value_of=self._value_of
-        )
-        unmatched = len(documents) - len(posts)
-        instance = Instance(posts, self.lam, labels=self.matcher.labels)
-        downgrades: Tuple[DowngradeEvent, ...] = ()
-        if self.resilience is not None:
-            ladder = self.resilience.batch_ladder or (self.algorithm,)
-            solution, self._batch_rung, downgrades = solve_with_ladder(
-                instance,
-                ladder,
-                budget=self.resilience.digest_budget,
-                clock=self.resilience.clock,
-                start_rung=self._batch_rung,
-            )
-        else:
-            solution = solve(self.algorithm, instance)
+            unmatched = len(documents) - len(posts)
+            instance = Instance(posts, self.lam, labels=self.matcher.labels)
+            downgrades: Tuple[DowngradeEvent, ...] = ()
+            if self.resilience is not None:
+                ladder = self.resilience.batch_ladder or (self.algorithm,)
+                solution, self._batch_rung, downgrades = solve_with_ladder(
+                    instance,
+                    ladder,
+                    budget=self.resilience.digest_budget,
+                    clock=self.resilience.clock,
+                    start_rung=self._batch_rung,
+                )
+            else:
+                solution = solve(self.algorithm, instance)
+            span.set_attribute("digest_size", solution.size)
+        if _obs.enabled():
+            _obs.count("pipeline.digests")
+            _obs.count("pipeline.documents", len(documents) + duplicates)
+            _obs.count("pipeline.duplicates_dropped", duplicates)
+            _obs.count("pipeline.unmatched_dropped", unmatched)
         return DigestResult(
             solution=solution,
             instance=instance,
@@ -255,10 +266,15 @@ class DiversificationPipeline:
         """
         stream = self._ensure_stream()
         value = float(self._value_of(document))
+        observed = _obs.enabled()
+        if observed:
+            _obs.count("pipeline.fed")
         if self._supervisor is not None:
             # The supervisor owns ordering, dedup-by-uid and malformed
             # values; SimHash near-duplicate dropping stays here.
             if self._is_duplicate(document):
+                if observed:
+                    _obs.count("pipeline.stream_duplicates_dropped")
                 return []
             labels = self.matcher.match(document.text)
             post = Post(
@@ -267,9 +283,13 @@ class DiversificationPipeline:
             )
             return self._supervisor.ingest(post)
         if self._is_duplicate(document):
+            if observed:
+                _obs.count("pipeline.stream_duplicates_dropped")
             return []
         labels = self.matcher.match(document.text)
         if not labels:
+            if observed:
+                _obs.count("pipeline.stream_unmatched_dropped")
             return []
         if value < self._last_value:
             raise StreamOrderError(
@@ -291,6 +311,8 @@ class DiversificationPipeline:
             text=document.text,
         )
         emissions.extend(stream.on_arrival(post))
+        if observed and emissions:
+            _obs.count("pipeline.stream_emissions", len(emissions))
         return emissions
 
     def finish(self) -> List[Emission]:

@@ -46,6 +46,7 @@ from ..errors import (
     SanitizationError,
     StreamOrderError,
 )
+from ..observability import facade as _obs
 from ..stream.events import Emission, StreamingAlgorithm
 from ..stream.runner import StreamResult
 from .checkpoint import Checkpoint
@@ -204,8 +205,10 @@ class StreamSupervisor:
         ))
         if repaired is None:
             self.health.quarantined += 1
+            _obs.count("supervisor.quarantined")
         else:
             self.health.repaired += 1
+            _obs.count("supervisor.repaired")
 
     def _sanitize_payload(self, post: Post) -> Optional[Post]:
         """Apply value/label/duplicate policies; None means quarantined."""
@@ -257,6 +260,7 @@ class StreamSupervisor:
     def ingest(self, post: Post) -> List[Emission]:
         """Feed one raw arrival; returns the emissions it triggered."""
         self.health.arrivals += 1
+        _obs.count("supervisor.arrivals")
         clean = self._sanitize_payload(post)
         if clean is None:
             return []
@@ -297,6 +301,9 @@ class StreamSupervisor:
         self._journal.append(post)
         self._journal_uids.add(post.uid)
         self.health.admitted += 1
+        if _obs.enabled():
+            _obs.count("supervisor.admitted")
+            _obs.set_gauge("supervisor.journal_depth", len(self._journal))
         out.extend(self._delegate("on_arrival", post, at=post.value))
         return out
 
@@ -366,6 +373,7 @@ class StreamSupervisor:
             self._emitted[uid] = emission.emitted_at
             self._emissions.append(emission)
             self.health.emissions += 1
+            _obs.count("supervisor.emissions")
             out.append(emission)
         return out
 
@@ -381,6 +389,9 @@ class StreamSupervisor:
             at=at,
         ))
         self.health.downgrades += 1
+        if _obs.enabled():
+            _obs.count("supervisor.downgrades")
+            _obs.set_gauge("supervisor.rung", self._rung)
         self._tolerate_reemission = True
         self._algorithm, replayed = self._replay(self._rung)
         # Posts the new rung selected during replay but the old rung never
@@ -523,11 +534,17 @@ def run_supervised(
     The result's algorithm name records the final ladder rung.
     """
     emissions: List[Emission] = []
-    start = _time.perf_counter()
-    for post in posts:
-        emissions.extend(supervisor.ingest(post))
-    emissions.extend(supervisor.flush())
-    elapsed = _time.perf_counter() - start
+    tick = _obs.clock()
+    with _obs.span(
+        "supervisor.run", algorithm=supervisor.algorithm_name
+    ) as span:
+        start = tick()
+        for post in posts:
+            emissions.extend(supervisor.ingest(post))
+        emissions.extend(supervisor.flush())
+        elapsed = tick() - start
+        span.set_attribute("emissions", len(emissions))
+        span.set_attribute("final_rung", supervisor.rung)
     return StreamResult(
         algorithm=f"supervised:{supervisor.algorithm_name}",
         emissions=tuple(emissions),

@@ -14,7 +14,7 @@ hundred elements when structure is favourable).
 
 from __future__ import annotations
 
-from typing import Dict, Hashable, Iterable, List, Sequence, Set
+from typing import Dict, Hashable, Iterable, List, Optional, Sequence, Set
 
 from ..errors import AlgorithmBudgetExceeded
 from .greedy import greedy_set_cover
@@ -24,7 +24,7 @@ __all__ = ["exact_set_cover"]
 
 def exact_set_cover(
     sets: Sequence[Iterable[Hashable]],
-    universe: Iterable[Hashable] = None,
+    universe: Optional[Iterable[Hashable]] = None,
     node_budget: int = 2_000_000,
 ) -> List[int]:
     """Compute a minimum-cardinality cover of ``universe``.

@@ -21,7 +21,9 @@ benchmark :mod:`benchmarks.test_ablation_greedy_heap` compares their speed.
 from __future__ import annotations
 
 import heapq
-from typing import Hashable, Iterable, List, Sequence, Set, Tuple
+from typing import Hashable, Iterable, List, Optional, Sequence, Set, Tuple
+
+from ..observability import facade as _obs
 
 __all__ = ["greedy_set_cover"]
 
@@ -38,7 +40,7 @@ def _normalise(
 
 def greedy_set_cover(
     sets: Sequence[Iterable[Hashable]],
-    universe: Iterable[Hashable] = None,
+    universe: Optional[Iterable[Hashable]] = None,
     strategy: str = "rescan",
 ) -> List[int]:
     """Greedily cover ``universe`` with the given family of sets.
@@ -81,7 +83,11 @@ def _greedy_rescan(
 ) -> List[int]:
     chosen: List[int] = []
     residual = [family & remaining for family in families]
+    rounds = 0
+    scanned = 0
+    updates = 0
     while remaining:
+        rounds += 1
         best_idx = -1
         best_gain = 0
         for idx, family in enumerate(residual):
@@ -89,6 +95,7 @@ def _greedy_rescan(
             if gain > best_gain:
                 best_gain = gain
                 best_idx = idx
+        scanned += len(residual)
         if best_idx < 0:
             break  # nothing left can make progress (already validated above)
         chosen.append(best_idx)
@@ -99,6 +106,11 @@ def _greedy_rescan(
         for family in residual:
             if family:
                 family -= newly
+                updates += 1
+    if _obs.enabled():
+        _obs.count("setcover.rescan.rounds", rounds)
+        _obs.count("setcover.rescan.sets_scanned", scanned)
+        _obs.count("setcover.rescan.residual_updates", updates)
     return chosen
 
 
@@ -113,13 +125,17 @@ def _greedy_lazy_heap(
     ]
     heapq.heapify(heap)
     chosen: List[int] = []
+    pops = 0
+    revalidations = 0
     while remaining and heap:
+        pops += 1
         neg_gain, idx = heapq.heappop(heap)
         residual[idx] &= remaining
         actual = len(residual[idx])
         if actual == 0:
             continue
         if -neg_gain != actual:
+            revalidations += 1
             heapq.heappush(heap, (-actual, idx))
             continue
         # To match the rescan tie-break (lowest index wins among equal
@@ -128,4 +144,8 @@ def _greedy_lazy_heap(
         # lexicographically and gains are negated.
         chosen.append(idx)
         remaining -= residual[idx]
+    if _obs.enabled():
+        _obs.count("setcover.lazy_heap.pops", pops)
+        _obs.count("setcover.lazy_heap.revalidations", revalidations)
+        _obs.count("setcover.lazy_heap.picks", len(chosen))
     return chosen

@@ -10,13 +10,13 @@ paper's delay bounds.
 
 from __future__ import annotations
 
-import time as _time
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Sequence, Tuple
 
 from ..core.post import Post
 from ..core.solution import Solution
 from ..errors import EmissionInvariantError, StreamOrderError
+from ..observability import facade as _obs
 from .events import Emission, StreamingAlgorithm
 
 __all__ = ["StreamResult", "run_stream"]
@@ -92,25 +92,36 @@ def run_stream(
             seen[uid] = emission.emitted_at
             emissions.append(emission)
 
-    start = _time.perf_counter()
-    last_time = float("-inf")
-    for post in posts:
-        if post.value < last_time:
-            raise StreamOrderError(
-                f"post {post.uid} at {post.value} arrived after time "
-                f"{last_time}"
-            )
-        last_time = post.value
-        # Fire every deadline strictly before this arrival.
-        while True:
-            deadline = algorithm.next_deadline()
-            if deadline is None or deadline >= post.value:
-                break
-            collect(algorithm.on_deadline(deadline))
-        arrived.add(post.uid)
-        collect(algorithm.on_arrival(post))
-    collect(algorithm.flush())
-    elapsed = _time.perf_counter() - start
+    tick = _obs.clock()
+    deadlines_fired = 0
+    with _obs.span("stream.run", algorithm=algorithm.name) as span:
+        start = tick()
+        last_time = float("-inf")
+        for post in posts:
+            if post.value < last_time:
+                raise StreamOrderError(
+                    f"post {post.uid} at {post.value} arrived after time "
+                    f"{last_time}"
+                )
+            last_time = post.value
+            # Fire every deadline strictly before this arrival.
+            while True:
+                deadline = algorithm.next_deadline()
+                if deadline is None or deadline >= post.value:
+                    break
+                deadlines_fired += 1
+                collect(algorithm.on_deadline(deadline))
+            arrived.add(post.uid)
+            collect(algorithm.on_arrival(post))
+        collect(algorithm.flush())
+        elapsed = tick() - start
+        span.set_attribute("arrivals", len(arrived))
+        span.set_attribute("emissions", len(emissions))
+    if _obs.enabled():
+        _obs.count("stream.arrivals", len(arrived))
+        _obs.count("stream.deadlines_fired", deadlines_fired)
+        _obs.count("stream.emissions", len(emissions))
+        _obs.observe("stream.run.elapsed", elapsed)
     return StreamResult(
         algorithm=algorithm.name,
         emissions=tuple(emissions),

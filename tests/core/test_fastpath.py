@@ -87,3 +87,112 @@ class TestEngineEquivalence:
             greedy_sc(instance, engine="python").uids
             == greedy_sc(instance, engine="numpy").uids
         )
+
+
+def _decoded_family(instance):
+    family, universe, labels = build_family_encoded(instance)
+    decode = lambda s: {  # noqa: E731
+        decode_pair(code, instance, labels) for code in s
+    }
+    return [decode(s) for s in family], decode(universe)
+
+
+def _assert_family_parity(instance):
+    py_family, py_universe = build_setcover_family(instance)
+    np_family, np_universe = _decoded_family(instance)
+    assert np_universe == py_universe
+    for idx, (py_set, np_set) in enumerate(zip(py_family, np_family)):
+        assert np_set == py_set, (
+            f"family[{idx}] diverges: numpy-only "
+            f"{sorted(np_set - py_set)}, python-only "
+            f"{sorted(py_set - np_set)}"
+        )
+
+
+class TestExactLambdaBoundary:
+    """Pairs at distance exactly ``lambda`` — the float-equality edge of
+    the ulp-widened ``searchsorted`` windows.
+
+    ``values ± lam`` computed in float can land one ulp off the true
+    boundary, which is why both builders widen the bisect window and then
+    re-filter with the exact ``abs`` subtraction.  Each case here places
+    posts *exactly* lambda apart (including sums that round, like
+    ``0.1 + 0.2``) and asserts the two builders produce identical pair
+    sets, not merely identical greedy picks.
+    """
+
+    def test_exact_distance_is_included_by_both(self):
+        instance = Instance.from_specs(
+            [(0.0, "a"), (1.5, "a"), (3.0, "a")], lam=1.5
+        )
+        py_family, _ = build_setcover_family(instance)
+        # the middle post covers all three; the outer two cover two each
+        assert len(py_family[1]) == 3
+        assert len(py_family[0]) == len(py_family[2]) == 2
+        _assert_family_parity(instance)
+
+    def test_rounded_sum_boundary(self):
+        # 0.1 + 0.2 = 0.30000000000000004 > 0.3: the pair (0.1+0.2, 0.3+0.3)
+        # sits one ulp beyond lam while (0.3, 0.3+0.3) sits exactly on it
+        instance = Instance.from_specs(
+            [(0.3, "a"), (0.1 + 0.2, "a"), (0.3 + 0.3, "a")], lam=0.3
+        )
+        _assert_family_parity(instance)
+
+    def test_subtraction_asymmetry(self):
+        # 0.8 - 0.5 > 0.3 in floats although 0.5 + 0.3 == 0.8: windows
+        # derived from v + lam disagree with the subtraction filter here
+        instance = Instance.from_specs(
+            [(0.5, "a"), (0.8, "a"), (0.8 - 0.3, "a")], lam=0.3
+        )
+        py_family, _ = build_setcover_family(instance)
+        np_family, _ = _decoded_family(instance)
+        # 0.8 - 0.5 > 0.3, so posts 0 and 1 must NOT cover each other
+        assert (1, "a") not in py_family[0]
+        assert (1, "a") not in np_family[0]
+        _assert_family_parity(instance)
+
+    def test_duplicate_values_at_boundary(self):
+        instance = Instance.from_specs(
+            [(0.0, "a"), (0.0, "ab"), (0.3, "ab"), (0.3, "b"),
+             (0.6, "a")],
+            lam=0.3,
+        )
+        _assert_family_parity(instance)
+
+    def test_lambda_zero_only_exact_duplicates_pair(self):
+        tiny = 5e-324  # smallest subnormal: adjacent but not equal
+        instance = Instance.from_specs(
+            [(0.0, "a"), (0.0, "a"), (tiny, "a")], lam=0.0
+        )
+        py_family, _ = build_setcover_family(instance)
+        assert (2, "a") not in py_family[0]
+        _assert_family_parity(instance)
+
+    def test_large_magnitude_boundary(self):
+        # at 1e15 the spacing between floats exceeds 0.1: v + lam rounds
+        base = 1e15
+        instance = Instance.from_specs(
+            [(base, "a"), (base + 0.1, "a"), (base + 0.25, "a")],
+            lam=0.1,
+        )
+        _assert_family_parity(instance)
+
+    @pytest.mark.parametrize("lam", [0.3, 0.1 + 0.2, 0.5, 1e-9])
+    def test_grid_of_exact_multiples(self, lam):
+        # every adjacent pair exactly lam apart, accumulated by addition
+        # so rounding drifts across the grid
+        values, v = [], 0.0
+        for _ in range(8):
+            values.append(v)
+            v += lam
+        specs = [
+            (value, "ab" if k % 2 else "a")
+            for k, value in enumerate(values)
+        ]
+        instance = Instance.from_specs(specs, lam=lam)
+        _assert_family_parity(instance)
+        assert (
+            greedy_sc(instance, engine="python").uids
+            == greedy_sc(instance, engine="numpy").uids
+        )

@@ -34,3 +34,18 @@ class TestCli:
         main(["table1", "--seed", "2", "--csv"])
         second = capsys.readouterr().out
         assert first != second
+
+    def test_injected_clock_times_the_run(self, capsys):
+        ticks = [5.0, 7.5]
+        assert main(["table1"], clock=lambda: ticks.pop(0)) == 0
+        out = capsys.readouterr().out
+        assert "rows in 2.5s" in out
+
+    def test_session_clock_is_the_default(self, capsys):
+        from repro.observability import facade
+
+        ticks = [0.0, 0.4]
+        with facade.session(clock=lambda: ticks.pop(0)):
+            assert main(["table1"]) == 0
+        out = capsys.readouterr().out
+        assert "rows in 0.4s" in out

@@ -172,3 +172,46 @@ class TestProperties:
             solution = solver(instance)
             assert instance.is_cover(solution.posts), solver
             assert solution.size >= exact.size
+
+
+class _ScriptedClock:
+    """Deterministic clock: returns the scripted instants in order."""
+
+    def __init__(self, *instants):
+        self.instants = list(instants)
+
+    def __call__(self):
+        return self.instants.pop(0)
+
+
+class TestClockInjection:
+    """``clock=`` routes every timestamp through the injected callable —
+    the supervisor's pattern, so timing is testable without wall time."""
+
+    @pytest.mark.parametrize(
+        "solver", [greedy_box, exact_box, sweep_box]
+    )
+    def test_elapsed_from_injected_clock(self, solver):
+        instance = _grid_instance()
+        solution = solver(instance, clock=_ScriptedClock(10.0, 12.5))
+        assert solution.elapsed == 2.5
+
+    def test_observability_clock_is_the_default(self):
+        from repro.observability import facade
+
+        instance = _grid_instance()
+        with facade.session(clock=_ScriptedClock(0.0, 0.75)):
+            solution = greedy_box(instance)
+        facade.disable()
+        assert solution.elapsed == 0.75
+
+    def test_explicit_clock_wins_over_session(self):
+        from repro.observability import facade
+
+        instance = _grid_instance()
+        with facade.session(clock=_ScriptedClock(0.0, 100.0)):
+            solution = sweep_box(
+                instance, clock=_ScriptedClock(1.0, 1.5)
+            )
+        facade.disable()
+        assert solution.elapsed == 0.5

@@ -1,0 +1,40 @@
+"""Observability test fixtures.
+
+The facade is module-global state; every test in this package runs with a
+guard that restores the disabled default afterwards, so a failing test
+cannot leak an enabled registry into the rest of the suite.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.observability import facade
+
+
+@pytest.fixture(autouse=True)
+def _observability_disabled_after():
+    yield
+    facade.disable()
+
+
+class FakeClock:
+    """Deterministic clock: each call returns the next scripted instant,
+    or advances by ``step`` once the script is exhausted."""
+
+    def __init__(self, *instants: float, step: float = 1.0):
+        self.instants = list(instants)
+        self.step = step
+        self.now = instants[-1] if instants else 0.0
+
+    def __call__(self) -> float:
+        if self.instants:
+            self.now = self.instants.pop(0)
+        else:
+            self.now += self.step
+        return self.now
+
+
+@pytest.fixture
+def fake_clock():
+    return FakeClock

@@ -1,0 +1,137 @@
+"""The versioned BENCH_*.json trajectory artifacts."""
+
+import json
+
+import pytest
+
+from repro.observability.bench import (
+    BENCH_SCHEMA,
+    BENCH_SCHEMA_VERSION,
+    BenchSchemaError,
+    BenchTrajectory,
+    main,
+    validate_bench,
+)
+
+
+def _trajectory() -> BenchTrajectory:
+    trajectory = BenchTrajectory("throughput", now=1_700_000_000.0)
+    trajectory.record_solver(
+        "scan",
+        wall_time_s=0.012,
+        solution_size=34,
+        instance={"posts": 820, "labels": 3, "lam": 30.0},
+        counters={"scan.window_advances": 2400},
+    )
+    trajectory.record_figure(
+        "fig13", [{"lam": 30.0, "scan_ms": 1.2}]
+    )
+    return trajectory
+
+
+class TestEmission:
+    def test_document_is_versioned(self):
+        document = _trajectory().to_dict()
+        assert document["schema"] == BENCH_SCHEMA
+        assert document["schema_version"] == BENCH_SCHEMA_VERSION
+        assert document["suite"] == "throughput"
+        assert document["created_unix"] == 1_700_000_000.0
+
+    def test_write_emits_valid_json(self, tmp_path):
+        path = tmp_path / "BENCH_throughput.json"
+        _trajectory().write(path)
+        document = json.loads(path.read_text())
+        (entry,) = document["solvers"]
+        assert entry["solver"] == "scan"
+        assert entry["wall_time_s"] == 0.012
+        assert entry["solution_size"] == 34
+        assert entry["counters"]["scan.window_advances"] == 2400
+        assert document["figures"]["fig13"][0]["scan_ms"] == 1.2
+
+    def test_extra_fields_preserved(self):
+        trajectory = BenchTrajectory("throughput")
+        entry = trajectory.record_solver(
+            "scan", wall_time_s=0.1, solution_size=1,
+            instance={}, tau=15.0,
+        )
+        assert entry["tau"] == 15.0
+
+
+class TestValidation:
+    def test_round_trip_validates(self, tmp_path):
+        path = tmp_path / "BENCH_throughput.json"
+        _trajectory().write(path)
+        assert validate_bench(path)["suite"] == "throughput"
+
+    def test_missing_file_rejected(self, tmp_path):
+        with pytest.raises(BenchSchemaError, match="no BENCH artifact"):
+            validate_bench(tmp_path / "nope.json")
+
+    def test_non_json_rejected(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{not json")
+        with pytest.raises(BenchSchemaError, match="not JSON"):
+            validate_bench(path)
+
+    def test_wrong_schema_rejected(self):
+        document = _trajectory().to_dict()
+        document["schema"] = "someone.else"
+        with pytest.raises(BenchSchemaError, match="unknown schema"):
+            validate_bench(document)
+
+    def test_future_version_rejected(self):
+        document = _trajectory().to_dict()
+        document["schema_version"] = BENCH_SCHEMA_VERSION + 1
+        with pytest.raises(BenchSchemaError, match="schema_version"):
+            validate_bench(document)
+
+    def test_empty_solvers_rejected(self):
+        document = _trajectory().to_dict()
+        document["solvers"] = []
+        with pytest.raises(BenchSchemaError, match="no solver entries"):
+            validate_bench(document)
+
+    def test_missing_field_rejected(self):
+        document = _trajectory().to_dict()
+        del document["solvers"][0]["counters"]
+        with pytest.raises(BenchSchemaError, match="counters"):
+            validate_bench(document)
+
+    def test_negative_wall_time_rejected(self):
+        document = _trajectory().to_dict()
+        document["solvers"][0]["wall_time_s"] = -1.0
+        with pytest.raises(BenchSchemaError, match="negative wall_time_s"):
+            validate_bench(document)
+
+    def test_write_refuses_invalid_document(self, tmp_path):
+        trajectory = BenchTrajectory("empty")
+        with pytest.raises(BenchSchemaError):
+            trajectory.write(tmp_path / "BENCH_empty.json")
+
+
+class TestCli:
+    def test_validate_ok(self, tmp_path, capsys):
+        path = tmp_path / "BENCH_throughput.json"
+        _trajectory().write(path)
+        assert main(["--validate", str(path)]) == 0
+        assert "OK" in capsys.readouterr().out
+
+    def test_validate_broken(self, tmp_path, capsys):
+        path = tmp_path / "BENCH_throughput.json"
+        path.write_text("{}")
+        assert main(["--validate", str(path)]) == 1
+        assert "INVALID" in capsys.readouterr().err
+
+    def test_module_entry_point(self, tmp_path):
+        import subprocess
+        import sys
+
+        path = tmp_path / "BENCH_throughput.json"
+        _trajectory().write(path)
+        completed = subprocess.run(
+            [sys.executable, "-m", "repro.observability.bench",
+             "--validate", str(path)],
+            capture_output=True, text=True,
+        )
+        assert completed.returncode == 0, completed.stderr
+        assert "OK" in completed.stdout

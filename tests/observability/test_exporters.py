@@ -1,0 +1,73 @@
+"""JSON and Prometheus exporters."""
+
+import json
+
+from repro.observability import facade
+from repro.observability.exporters import to_json, to_prometheus, write_json
+from repro.observability.facade import Observability
+
+
+def _sample_bundle(fake_clock) -> Observability:
+    bundle = Observability(clock=fake_clock(step=1.0))
+    bundle.registry.counter("scan.window_advances").inc(120)
+    bundle.registry.gauge("supervisor.rung").set(1)
+    bundle.registry.histogram("solver.scan.elapsed",
+                              buckets=(0.1, 1.0)).observe(0.05)
+    bundle.registry.histogram("solver.scan.elapsed").observe(2.0)
+    with bundle.tracer.span("solver.scan", algorithm="scan"):
+        pass
+    return bundle
+
+
+class TestJson:
+    def test_document_shape(self, fake_clock):
+        document = json.loads(to_json(_sample_bundle(fake_clock)))
+        assert document["metrics"]["scan.window_advances"]["value"] == 120
+        assert document["spans"][0]["name"] == "solver.scan"
+
+    def test_write_json_round_trip(self, tmp_path, fake_clock):
+        path = tmp_path / "obs.json"
+        write_json(_sample_bundle(fake_clock), path)
+        document = json.loads(path.read_text())
+        assert set(document) == {"metrics", "spans"}
+
+
+class TestPrometheus:
+    def test_counter_rendering(self, fake_clock):
+        text = to_prometheus(_sample_bundle(fake_clock))
+        assert "# TYPE scan_window_advances_total counter" in text
+        assert "scan_window_advances_total 120" in text
+
+    def test_gauge_rendering(self, fake_clock):
+        text = to_prometheus(_sample_bundle(fake_clock))
+        assert "supervisor_rung 1.0" in text
+
+    def test_histogram_cumulative_buckets(self, fake_clock):
+        text = to_prometheus(_sample_bundle(fake_clock))
+        lines = text.splitlines()
+        assert 'solver_scan_elapsed_bucket{le="0.1"} 1' in lines
+        assert 'solver_scan_elapsed_bucket{le="1.0"} 1' in lines
+        assert 'solver_scan_elapsed_bucket{le="+Inf"} 2' in lines
+        assert "solver_scan_elapsed_count 2" in lines
+        assert "solver_scan_elapsed_sum 2.05" in lines
+
+    def test_accepts_bare_registry(self, fake_clock):
+        bundle = _sample_bundle(fake_clock)
+        assert to_prometheus(bundle.registry) == to_prometheus(bundle)
+
+    def test_empty_registry_renders_empty(self):
+        assert to_prometheus(Observability()) == ""
+
+    def test_dotted_names_sanitised(self):
+        bundle = Observability()
+        bundle.registry.counter("a.b-c/d").inc()
+        text = to_prometheus(bundle)
+        assert "a_b_c_d_total 1" in text
+
+
+class TestEndToEnd:
+    def test_facade_session_exports(self, fake_clock):
+        with facade.session(clock=fake_clock(step=1.0)) as bundle:
+            facade.count("hits", 3)
+        assert "hits_total 3" in to_prometheus(bundle)
+        assert json.loads(to_json(bundle))["metrics"]["hits"]["value"] == 3

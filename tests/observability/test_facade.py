@@ -1,0 +1,79 @@
+"""The zero-overhead facade: disabled no-ops, enable/disable/session."""
+
+import time
+
+from repro.observability import facade
+
+
+class TestDisabledDefault:
+    def test_disabled_by_default(self):
+        assert not facade.enabled()
+        assert facade.active() is None
+
+    def test_disabled_helpers_are_noops(self):
+        facade.count("x", 3)
+        facade.observe("y", 1.0)
+        facade.set_gauge("z", 2.0)
+        with facade.span("nothing") as span:
+            span.set_attribute("ignored", 1)
+        assert facade.active() is None
+
+    def test_disabled_clock_is_perf_counter(self):
+        assert facade.clock() is time.perf_counter
+
+
+class TestEnableDisable:
+    def test_enable_records_and_disable_returns_bundle(self):
+        bundle = facade.enable()
+        facade.count("hits", 2)
+        facade.observe("lat", 0.5)
+        facade.set_gauge("depth", 4)
+        returned = facade.disable()
+        assert returned is bundle
+        assert bundle.registry.counter("hits").value == 2
+        assert bundle.registry.histogram("lat").count == 1
+        assert bundle.registry.gauge("depth").value == 4.0
+        assert not facade.enabled()
+
+    def test_enable_with_injected_clock(self, fake_clock):
+        bundle = facade.enable(clock=fake_clock(5.0, 7.0))
+        assert facade.clock() is bundle.clock
+        with facade.span("timed") as span:
+            pass
+        assert span.duration == 2.0
+
+    def test_enable_resumes_existing_bundle(self):
+        bundle = facade.enable()
+        facade.count("hits")
+        facade.disable()
+        facade.enable(bundle)
+        facade.count("hits")
+        assert bundle.registry.counter("hits").value == 2
+
+    def test_spans_share_registry_clock(self):
+        bundle = facade.enable()
+        assert bundle.registry.clock is bundle.tracer.clock
+
+
+class TestSession:
+    def test_session_scopes_enablement(self):
+        with facade.session() as bundle:
+            assert facade.active() is bundle
+            facade.count("inside")
+        assert facade.active() is None
+        assert bundle.registry.counter("inside").value == 1
+
+    def test_session_restores_previous_bundle(self):
+        outer = facade.enable()
+        with facade.session() as inner:
+            assert facade.active() is inner
+            assert inner is not outer
+        assert facade.active() is outer
+
+    def test_session_restores_on_exception(self):
+        try:
+            with facade.session():
+                raise RuntimeError("boom")
+        except RuntimeError:
+            pass
+        assert facade.active() is None

@@ -1,0 +1,61 @@
+"""Span-based tracing with a deterministic clock."""
+
+import pytest
+
+from repro.observability.tracing import Tracer
+
+
+class TestTracer:
+    def test_span_duration_from_injected_clock(self, fake_clock):
+        tracer = Tracer(clock=fake_clock(10.0, 13.5))
+        with tracer.span("work") as span:
+            pass
+        assert span.duration == 3.5
+        assert tracer.finished == [span]
+
+    def test_nesting_records_parent_ids(self, fake_clock):
+        tracer = Tracer(clock=fake_clock(step=1.0))
+        with tracer.span("outer") as outer:
+            with tracer.span("inner") as inner:
+                assert tracer.depth == 2
+        assert inner.parent_id == outer.span_id
+        assert outer.parent_id is None
+        # children finish (and are recorded) before their parents
+        assert [s.name for s in tracer.finished] == ["inner", "outer"]
+
+    def test_attributes_at_open_and_during(self, fake_clock):
+        tracer = Tracer(clock=fake_clock(step=1.0))
+        with tracer.span("solve", algorithm="scan") as span:
+            span.set_attribute("solution_size", 7)
+        assert span.attributes == {
+            "algorithm": "scan", "solution_size": 7,
+        }
+
+    def test_exception_closes_span_and_flags_error(self, fake_clock):
+        tracer = Tracer(clock=fake_clock(step=1.0))
+        with pytest.raises(RuntimeError):
+            with tracer.span("doomed"):
+                raise RuntimeError("boom")
+        (span,) = tracer.finished
+        assert span.ended is not None
+        assert "RuntimeError" in span.attributes["error"]
+        assert tracer.depth == 0
+
+    def test_open_span_has_no_duration(self, fake_clock):
+        tracer = Tracer(clock=fake_clock(step=1.0))
+        manager = tracer.span("open")
+        span = manager.__enter__()
+        assert span.duration is None
+        manager.__exit__(None, None, None)
+        assert span.duration is not None
+
+    def test_as_dicts_round_trips_json(self, fake_clock):
+        import json
+
+        tracer = Tracer(clock=fake_clock(step=1.0))
+        with tracer.span("a", flag=True):
+            pass
+        json.dumps(tracer.as_dicts())  # must not raise
+        (record,) = tracer.as_dicts()
+        assert record["name"] == "a"
+        assert record["duration"] == pytest.approx(1.0)

@@ -89,3 +89,76 @@ class TestGreedyProperties:
         rescan = greedy_set_cover(sets, strategy="rescan")
         heap = greedy_set_cover(sets, strategy="lazy_heap")
         assert rescan == heap
+
+
+@st.composite
+def tie_heavy_families(draw, max_sets=10, max_elements=10):
+    """Families engineered to force gain ties in (almost) every round.
+
+    Elements are drawn from a small pool and every set gets one of only
+    two sizes, so many sets share the maximum residual gain and the
+    lowest-index tie-break decides most picks.  Duplicated sets (same
+    elements, different index) sharpen it further.
+    """
+    n_elements = draw(st.integers(min_value=2, max_value=max_elements))
+    elements = list(range(n_elements))
+    small, large = draw(
+        st.tuples(st.integers(1, 2), st.integers(2, 4)).map(sorted)
+    )
+    n_sets = draw(st.integers(min_value=2, max_value=max_sets))
+    sets = []
+    for _ in range(n_sets):
+        size = draw(st.sampled_from([small, large]))
+        size = min(size, n_elements)
+        start = draw(st.integers(0, n_elements - 1))
+        # contiguous windows over a ring: heavy overlap, frequent ties
+        sets.append({
+            elements[(start + k) % n_elements] for k in range(size)
+        })
+    if draw(st.booleans()):
+        sets.append(set(sets[draw(st.integers(0, len(sets) - 1))]))
+    # guarantee coverability
+    for element in elements:
+        idx = draw(st.integers(min_value=0, max_value=len(sets) - 1))
+        sets[idx].add(element)
+    return sets
+
+
+class TestTieBreakParity:
+    """The module docstring claims both strategies return identical
+    covers when ties break the same way; these tests enforce it on
+    tie-dense inputs, not just equal sizes."""
+
+    @given(tie_heavy_families())
+    @settings(deadline=None, max_examples=200)
+    def test_identical_covers_on_tie_heavy_families(self, sets):
+        rescan = greedy_set_cover(sets, strategy="rescan")
+        heap = greedy_set_cover(sets, strategy="lazy_heap")
+        # identical picks in identical order — the strong contract the
+        # ablation benchmark's speed comparison rests on
+        assert rescan == heap
+
+    @given(tie_heavy_families(), st.data())
+    @settings(deadline=None, max_examples=100)
+    def test_identical_covers_with_partial_universe(self, sets, data):
+        universe = set()
+        for s in sets:
+            universe |= s
+        subset = data.draw(
+            st.sets(st.sampled_from(sorted(universe)))
+        ) if universe else set()
+        rescan = greedy_set_cover(
+            sets, universe=subset, strategy="rescan"
+        )
+        heap = greedy_set_cover(
+            sets, universe=subset, strategy="lazy_heap"
+        )
+        assert rescan == heap
+
+    def test_stale_equal_gain_entries_keep_index_order(self):
+        """Regression pin for the lazy-heap drain order: after set 0's
+        stale entry is re-validated down to the same gain as set 1's
+        fresh entry, the smaller index must still win the tie."""
+        sets = [{1, 2, 3}, {3, 4}, {1, 4}, {2, 5}, {5}]
+        assert greedy_set_cover(sets, strategy="rescan") == \
+            greedy_set_cover(sets, strategy="lazy_heap")
