@@ -37,9 +37,11 @@ from repro.observability.bench import BenchTrajectory, validate_bench
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
 BENCH_ARTIFACT = RESULTS_DIR / "BENCH_throughput.json"
+PARALLEL_ARTIFACT = RESULTS_DIR / "BENCH_parallel.json"
 SMOKE = bool(os.environ.get("BENCH_SMOKE"))
 
 _TRAJECTORY = BenchTrajectory("throughput")
+_PARALLEL_TRAJECTORY = BenchTrajectory("parallel")
 
 
 def report(rows, title: str) -> None:
@@ -59,16 +61,34 @@ def bench_record():
     return _TRAJECTORY.record_solver
 
 
-def pytest_sessionfinish(session, exitstatus):
-    # Only the throughput benches produce solver entries; a figure-only
-    # run has nothing a BENCH reader requires, so skip emission then.
-    if not _TRAJECTORY.solvers:
-        return
+@pytest.fixture(scope="session")
+def parallel_record():
+    """Record one solver run into the parallel-engine trajectory
+    (``BENCH_parallel.json``)."""
+    return _PARALLEL_TRAJECTORY.record_solver
+
+
+@pytest.fixture(scope="session")
+def parallel_figure():
+    """Attach a comparison table to the parallel trajectory."""
+    return _PARALLEL_TRAJECTORY.record_figure
+
+
+def _emit(trajectory, artifact):
     RESULTS_DIR.mkdir(exist_ok=True)
-    document = _TRAJECTORY.write(BENCH_ARTIFACT)
-    validate_bench(BENCH_ARTIFACT)
+    document = trajectory.write(artifact)
+    validate_bench(artifact)
     print(
-        f"\nBENCH trajectory: {BENCH_ARTIFACT} "
+        f"\nBENCH trajectory: {artifact} "
         f"({len(document['solvers'])} solver entries, "
         f"{len(document['figures'])} figure tables)"
     )
+
+
+def pytest_sessionfinish(session, exitstatus):
+    # Each trajectory is emitted only when its benches ran; a figure-only
+    # run has nothing a BENCH reader requires, so skip emission then.
+    if _TRAJECTORY.solvers:
+        _emit(_TRAJECTORY, BENCH_ARTIFACT)
+    if _PARALLEL_TRAJECTORY.solvers:
+        _emit(_PARALLEL_TRAJECTORY, PARALLEL_ARTIFACT)

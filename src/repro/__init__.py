@@ -85,6 +85,7 @@ from .resilience import (
     solve_with_ladder,
 )
 from . import observability
+from .engine import parallel_greedy_sc, parallel_scan, parallel_scan_plus
 from .pipeline import DigestResult, DiversificationPipeline
 from .viz import budget_bars, label_lanes, timeline
 
@@ -118,6 +119,10 @@ __all__ = [
     "available_algorithms",
     "max_coverage",
     "coverage_curve",
+    # sharded parallel engine
+    "parallel_scan",
+    "parallel_scan_plus",
+    "parallel_greedy_sc",
     # streaming
     "StreamScan",
     "StreamScanPlus",

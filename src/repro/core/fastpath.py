@@ -15,6 +15,13 @@ allocation and hashing; this module replaces it with numpy:
 * the same ulp-widened-then-exact-filter discipline as everywhere else
   guards the float boundaries.
 
+The per-label posting arrays come from the columnar snapshot
+(:func:`repro.engine.columnar.snapshot`), built once per instance and
+shared with every other accelerated path — the ``np.fromiter`` rebuild
+this module used to pay on every call is gone, and the per-label stage
+(:func:`_label_window_pairs`) is a flat-array function the parallel
+engine fans out across executor workers.
+
 The output is semantically identical to
 :func:`repro.core.greedy_sc.build_setcover_family` (property-tested pick
 for pick through the greedy), so ``greedy_sc(instance, engine="numpy")``
@@ -25,7 +32,7 @@ other.
 
 from __future__ import annotations
 
-from typing import Dict, List, Set, Tuple
+from typing import List, Set, Tuple
 
 import numpy as np
 
@@ -33,6 +40,75 @@ from ..observability import facade as _obs
 from .instance import Instance
 
 __all__ = ["build_family_encoded", "decode_pair"]
+
+
+def _label_window_pairs(
+    values: np.ndarray,
+    offsets: np.ndarray,
+    lam: float,
+    label_index: int,
+    n_labels: int,
+) -> Tuple[np.ndarray, np.ndarray, int]:
+    """One label's (coverer, covered-pair) arrays, fully vectorised.
+
+    ``values``/``offsets`` are the label's posting values and the
+    corresponding global post indices (the columnar snapshot's arrays).
+    Returns ``(coverer_global, encoded, enumerated)``: for every
+    within-lambda ordered pair, the covering post's global index and the
+    covered pair's flat encoding; ``enumerated`` counts the ulp-widened
+    candidates inspected before the exact filter.
+
+    Module-level and operating on plain arrays so process executors can
+    ship it to workers as-is.
+    """
+    lo = np.searchsorted(values, values - lam, side="left")
+    hi = np.searchsorted(values, values + lam, side="right")
+    # ulp-widened bisect windows; the exact subtraction filter below
+    # is the arbiter (same discipline as the scalar code paths)
+    lo = np.maximum(lo - 1, 0)
+    hi = np.minimum(hi + 1, len(values))
+
+    counts = hi - lo
+    coverer_local = np.repeat(
+        np.arange(len(values), dtype=np.int64), counts
+    )
+    # covered_local: for row j, the indices lo[j] .. hi[j]-1
+    starts = np.repeat(lo, counts)
+    within_row = (
+        np.arange(counts.sum(), dtype=np.int64)
+        - np.repeat(np.cumsum(counts) - counts, counts)
+    )
+    covered_local = starts + within_row
+
+    keep = np.abs(
+        values[coverer_local] - values[covered_local]
+    ) <= lam
+    enumerated = int(counts.sum())
+    coverer_local = coverer_local[keep]
+    covered_local = covered_local[keep]
+
+    encoded = offsets[covered_local] * n_labels + label_index
+    coverer_global = offsets[coverer_local]
+    return coverer_global, encoded, enumerated
+
+
+def _update_family(
+    family: List[Set[int]],
+    coverer_global: np.ndarray,
+    encoded: np.ndarray,
+) -> None:
+    """Merge one label's pair arrays into the family's Python sets,
+    grouped per coverer so each set gets one bulk ``update``."""
+    if len(coverer_global) == 0:
+        return
+    order = np.argsort(coverer_global, kind="stable")
+    coverer_sorted = coverer_global[order]
+    encoded_sorted = encoded[order]
+    boundaries = np.flatnonzero(np.diff(coverer_sorted)) + 1
+    groups = np.split(encoded_sorted, boundaries)
+    group_owners = coverer_sorted[np.concatenate(([0], boundaries))]
+    for owner, group in zip(group_owners, groups):
+        family[int(owner)].update(group.tolist())
 
 
 def build_family_encoded(
@@ -44,72 +120,31 @@ def build_family_encoded(
     encoded pairs post ``k`` covers, and a pair encodes as
     ``post_index * len(label_order) + label_order.index(label)``.
     """
-    labels = sorted(instance.labels)
-    label_pos = {label: idx for idx, label in enumerate(labels)}
+    from ..engine.columnar import snapshot
+
+    snap = snapshot(instance)
+    labels = list(snap.labels)
     n_labels = len(labels)
-    posts = instance.posts
-    index_of: Dict[int, int] = {p.uid: k for k, p in enumerate(posts)}
     lam = instance.lam
 
-    family: List[Set[int]] = [set() for _ in posts]
+    family: List[Set[int]] = [set() for _ in instance.posts]
     universe: Set[int] = set()
     enumerated = 0
     kept = 0
 
-    for label in labels:
-        plist = instance.posting(label)
-        if len(plist) == 0:
+    for label_index, label in enumerate(labels):
+        values = snap.posting_values[label]
+        if len(values) == 0:
             continue
-        offsets = np.fromiter(
-            (index_of[p.uid] for p in plist), dtype=np.int64,
-            count=len(plist),
+        offsets = snap.posting_indices[label]
+        coverer_global, encoded, label_enumerated = _label_window_pairs(
+            values, offsets, lam, label_index, n_labels
         )
-        values = np.fromiter(
-            (p.value for p in plist), dtype=np.float64, count=len(plist),
-        )
-        # ulp-widened bisect windows; the exact subtraction filter below
-        # is the arbiter (same discipline as the scalar code paths)
-        lo = np.searchsorted(values, values - lam, side="left")
-        hi = np.searchsorted(values, values + lam, side="right")
-        lo = np.maximum(lo - 1, 0)
-        hi = np.minimum(hi + 1, len(values))
-
-        counts = hi - lo
-        coverer_local = np.repeat(
-            np.arange(len(values), dtype=np.int64), counts
-        )
-        # covered_local: for row j, the indices lo[j] .. hi[j]-1
-        starts = np.repeat(lo, counts)
-        within_row = (
-            np.arange(counts.sum(), dtype=np.int64)
-            - np.repeat(np.cumsum(counts) - counts, counts)
-        )
-        covered_local = starts + within_row
-
-        keep = np.abs(
-            values[coverer_local] - values[covered_local]
-        ) <= lam
-        enumerated += int(counts.sum())
-        coverer_local = coverer_local[keep]
-        covered_local = covered_local[keep]
-        kept += len(coverer_local)
-
-        encoded = offsets[covered_local] * n_labels + label_pos[label]
-        coverer_global = offsets[coverer_local]
-
-        order = np.argsort(coverer_global, kind="stable")
-        coverer_sorted = coverer_global[order]
-        encoded_sorted = encoded[order]
-        boundaries = np.flatnonzero(np.diff(coverer_sorted)) + 1
-        groups = np.split(encoded_sorted, boundaries)
-        group_owners = coverer_sorted[
-            np.concatenate(([0], boundaries))
-        ] if len(coverer_sorted) else []
-        for owner, group in zip(group_owners, groups):
-            family[int(owner)].update(int(v) for v in group)
-
+        enumerated += label_enumerated
+        kept += len(coverer_global)
+        _update_family(family, coverer_global, encoded)
         universe.update(
-            int(v) for v in offsets * n_labels + label_pos[label]
+            (offsets * n_labels + label_index).tolist()
         )
     if _obs.enabled():
         # enumerated counts the ulp-widened windows before the exact

@@ -75,6 +75,10 @@ def build_setcover_family(
 def _greedy_posts(
     instance: Instance, strategy: str, engine: str
 ) -> List[Post]:
+    if engine == "auto":
+        from ..engine.auto import choose_engine
+
+        engine = choose_engine(instance)
     if engine == "numpy":
         from .fastpath import build_family_encoded
 
@@ -90,7 +94,7 @@ def _greedy_posts(
 def greedy_sc(
     instance: Instance,
     strategy: str = "rescan",
-    engine: str = "python",
+    engine: str = "auto",
 ) -> Solution:
     """Algorithm GreedySC.
 
@@ -104,7 +108,10 @@ def greedy_sc(
     engine:
         Family construction: ``"python"`` (the paper's Algorithm 2 shape)
         or ``"numpy"`` (vectorised, integer-encoded pairs — identical
-        picks, see :mod:`repro.core.fastpath`).
+        picks, see :mod:`repro.core.fastpath`).  The default ``"auto"``
+        probes the instance's within-lambda pair density and picks the
+        cheaper builder per instance (:mod:`repro.engine.auto`) — the
+        builders are pick-identical, so only speed is at stake.
     """
     return timed_solution(
         "greedy_sc", _greedy_posts, instance, strategy, engine

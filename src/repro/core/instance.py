@@ -14,10 +14,16 @@ from __future__ import annotations
 import bisect
 from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
+import numpy as np
+
 from ..errors import InvalidInstanceError
 from .post import Post, make_posts
 
 __all__ = ["Instance", "PostingList"]
+
+# Below this length the numpy searchsorted call overhead exceeds what
+# bisect pays walking the list; above it the vectorised path wins.
+_SEARCHSORTED_MIN = 64
 
 
 class PostingList:
@@ -30,12 +36,23 @@ class PostingList:
       (the exact DP and the greedy set-cover transform).
     """
 
-    __slots__ = ("label", "posts", "_values")
+    __slots__ = ("label", "posts", "_values", "_np_values")
 
     def __init__(self, label: str, posts: Sequence[Post]):
         self.label = label
         self.posts: Tuple[Post, ...] = tuple(posts)
         self._values: List[float] = [p.value for p in self.posts]
+        # lazily materialised float64 view for searchsorted range queries
+        self._np_values: Optional[np.ndarray] = None
+
+    @property
+    def values_array(self) -> np.ndarray:
+        """The posting values as a float64 array (built once, cached)."""
+        arr = self._np_values
+        if arr is None:
+            arr = np.asarray(self._values, dtype=np.float64)
+            self._np_values = arr
+        return arr
 
     def __len__(self) -> int:
         return len(self.posts)
@@ -54,6 +71,11 @@ class PostingList:
 
     def range_indices(self, lo: float, hi: float) -> Tuple[int, int]:
         """Half-open index range of posts with value in ``[lo, hi]``."""
+        if len(self._values) >= _SEARCHSORTED_MIN:
+            arr = self.values_array
+            left = int(np.searchsorted(arr, lo, side="left"))
+            right = int(np.searchsorted(arr, hi, side="right"))
+            return left, right
         left = bisect.bisect_left(self._values, lo)
         right = bisect.bisect_right(self._values, hi)
         return left, right

@@ -175,13 +175,21 @@ def _scan_plus_posts(
     covered: Dict[str, List[bool]] = {
         a: [False] * len(instance.posting(a)) for a in instance.labels
     }
+    # Striking is only useful for labels still to be processed: flags of
+    # the current label are never consulted again past the pick's own
+    # lambda window (the value-based advance skips it anyway), and flags
+    # of earlier labels are never read again at all.  Restricting strikes
+    # to strictly-later labels is therefore pick-preserving (asserted by
+    # the full-strike reference parity test) and skips the dead work.
+    label_rank = {a: rank for rank, a in enumerate(label_order)}
     # single-cell accumulator: positions examined while striking pairs
     # (per pick per label — far off the inner loop, so always counted)
     strike_window = [0]
 
-    def mark(picked: Post) -> None:
+    def mark(picked: Post, current_rank: int) -> None:
         for other_label in picked.labels:
-            if other_label not in covered:
+            rank = label_rank.get(other_label)
+            if rank is None or rank <= current_rank:
                 continue
             plist = instance.posting(other_label)
             lo, hi = plist.range_indices(
@@ -198,13 +206,14 @@ def _scan_plus_posts(
 
     picks: List[Post] = []
     advances = 0
-    for label in label_order:
+    for rank, label in enumerate(label_order):
         flags = covered[label]
         is_covered = lambda idx, flags=flags: flags[idx]  # noqa: E731
+        on_pick = lambda post, rank=rank: mark(post, rank)  # noqa: E731
         if observed:
             label_picks, label_advances = _scan_label_counted(
                 instance.posting(label), lam,
-                is_covered=is_covered, on_pick=mark,
+                is_covered=is_covered, on_pick=on_pick,
             )
             picks.extend(label_picks)
             advances += label_advances
@@ -214,7 +223,7 @@ def _scan_plus_posts(
                     instance.posting(label),
                     lam,
                     is_covered=is_covered,
-                    on_pick=mark,
+                    on_pick=on_pick,
                 )
             )
     if observed:

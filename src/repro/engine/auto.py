@@ -1,0 +1,81 @@
+"""The ``engine="auto"`` family-builder selector for GreedySC.
+
+``BENCH_throughput.json``'s builder ablation shows neither GreedySC
+family builder dominates: on the day-long workload the numpy builder
+*loses* to pure Python at lambda = 10 min (0.71x) and wins at
+lambda = 60 min (4.52x).  The flip is explained by what each engine pays
+per unit of work: the Python builder's cost is essentially linear in the
+number of within-lambda (coverer, covered) pairs it enumerates
+(~2.5 us/pair on the calibration machine), while the numpy builder pays
+a large per-call constant (array setup, group splitting, the final
+Python-level set merge) and a far smaller per-pair cost.  Equating the
+two cost lines on the recorded ablation numbers puts the crossover near
+~80k enumerated pairs; :data:`AUTO_PAIR_THRESHOLD` sits just under it.
+
+:func:`probe_pair_count` computes the *exact* pair count cheaply before
+building anything: for each label, two ``searchsorted`` calls over the
+columnar posting values yield every window width at once —
+``O(|LP| log |LP|)`` per label, microseconds against the milliseconds a
+wrong engine choice wastes.  (The probe ignores the one-ulp window
+widening the builders apply; a heuristic does not need it.)
+
+Every decision is recorded through the observability facade
+(``engine.auto.python_selected`` / ``engine.auto.numpy_selected``
+counters and the ``engine.auto.probe_pairs`` gauge), so a bench
+trajectory shows which engine actually ran.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.instance import Instance
+from ..observability import facade as _obs
+from .columnar import snapshot
+
+__all__ = ["AUTO_PAIR_THRESHOLD", "probe_pair_count", "choose_engine"]
+
+#: Estimated within-lambda pair count above which the numpy family
+#: builder wins.  Calibrated from the BENCH_throughput.json builder
+#: ablation (1671 posts, |L|=5): python 146.6 ms at ~59k pairs vs numpy
+#: 205.1 ms, python 1000.9 ms at ~293k pairs vs numpy 221.4 ms; the
+#: fitted cost lines cross near 8e4 pairs.
+AUTO_PAIR_THRESHOLD = 75_000
+
+
+def probe_pair_count(instance: Instance) -> int:
+    """The number of within-lambda same-label (coverer, covered) pairs.
+
+    This is exactly the work the Python family builder enumerates
+    (``greedy_sc.family_pairs_enumerated`` counts one side of each
+    window, this counts both), computed without enumerating: per label,
+    ``searchsorted`` of each value's window edges against the posting
+    values gives all window widths vectorised.
+    """
+    snap = snapshot(instance)
+    lam = snap.lam
+    total = 0
+    for label in snap.labels:
+        values = snap.posting_values[label]
+        if len(values) == 0:
+            continue
+        hi = np.searchsorted(values, values + lam, side="right")
+        lo = np.searchsorted(values, values - lam, side="left")
+        total += int((hi - lo).sum())
+    return total
+
+
+def choose_engine(instance: Instance) -> str:
+    """Pick the GreedySC family builder for this instance.
+
+    Returns ``"numpy"`` when the density probe predicts enough pair
+    volume to amortise the vectorised builder's constant, ``"python"``
+    otherwise; the decision and the probe value are published as
+    observability counters/gauges.
+    """
+    pairs = probe_pair_count(instance)
+    engine = "numpy" if pairs >= AUTO_PAIR_THRESHOLD else "python"
+    if _obs.enabled():
+        _obs.count(f"engine.auto.{engine}_selected")
+        _obs.set_gauge("engine.auto.probe_pairs", pairs)
+    return engine

@@ -1,0 +1,168 @@
+"""Columnar (struct-of-arrays) instance snapshots.
+
+Every accelerated path in :mod:`repro.engine` wants the same three things
+from an :class:`~repro.core.instance.Instance`: the global value array,
+the per-label posting lists as *index arrays* into it, and a cheap way to
+ship a contiguous slice of posts to another process.  Building those from
+the object model costs one ``np.fromiter`` per posting list per call —
+exactly the rebuild :mod:`repro.core.fastpath` used to pay on every
+``build_family_encoded`` invocation.
+
+A :class:`ColumnarInstance` materialises them **once per instance** and is
+cached in a :class:`weakref.WeakKeyDictionary`, so every solver, probe and
+shard planner reuses the same arrays; the cache dies with the instance.
+
+For process executors the snapshot slices into :class:`ShardPayload`
+objects: plain arrays plus integer-encoded label sets, which pickle in
+microseconds and rebuild into a fully-fledged sub-``Instance`` on the
+worker side (:meth:`ShardPayload.to_instance`).
+"""
+
+from __future__ import annotations
+
+import weakref
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..core.instance import Instance
+from ..core.post import Post
+
+__all__ = ["ColumnarInstance", "ShardPayload", "snapshot"]
+
+
+class ColumnarInstance:
+    """Struct-of-arrays view of an instance (posts stay in value order).
+
+    Attributes
+    ----------
+    lam:
+        The instance's lambda threshold.
+    labels:
+        The label universe, sorted — label *index* means position here.
+    values:
+        ``float64[n]`` — every post's diversity value, ascending.
+    uids:
+        ``int64[n]`` — the posts' uids, aligned with ``values``.
+    label_sets:
+        Per post, the tuple of label indices it carries (ragged, so a
+        tuple of tuples rather than an array).
+    posting_indices:
+        label -> ``int64`` array of *global post indices* in ``LP(label)``
+        order (which is value order, so each array is sorted).
+    posting_values:
+        label -> ``float64`` array, ``values[posting_indices[label]]``.
+    """
+
+    __slots__ = (
+        "lam", "labels", "values", "uids", "label_sets",
+        "posting_indices", "posting_values", "__weakref__",
+    )
+
+    def __init__(self, instance: Instance):
+        posts = instance.posts
+        self.lam = instance.lam
+        self.labels: Tuple[str, ...] = tuple(sorted(instance.labels))
+        label_pos = {label: idx for idx, label in enumerate(self.labels)}
+        n = len(posts)
+        self.values = np.fromiter(
+            (p.value for p in posts), dtype=np.float64, count=n
+        )
+        self.uids = np.fromiter(
+            (p.uid for p in posts), dtype=np.int64, count=n
+        )
+        self.label_sets: Tuple[Tuple[int, ...], ...] = tuple(
+            tuple(sorted(label_pos[a] for a in p.labels)) for p in posts
+        )
+        buckets: Dict[str, List[int]] = {a: [] for a in self.labels}
+        for k, p in enumerate(posts):
+            for a in p.labels:
+                buckets[a].append(k)
+        self.posting_indices = {
+            a: np.asarray(bucket, dtype=np.int64)
+            for a, bucket in buckets.items()
+        }
+        self.posting_values = {
+            a: self.values[idx] for a, idx in self.posting_indices.items()
+        }
+
+    def __len__(self) -> int:
+        return len(self.values)
+
+    def payload(self, start: int, end: int) -> "ShardPayload":
+        """The picklable payload for the post slice ``[start, end)``."""
+        return ShardPayload(
+            lam=self.lam,
+            labels=self.labels,
+            values=self.values[start:end],
+            uids=self.uids[start:end],
+            label_sets=self.label_sets[start:end],
+        )
+
+
+class ShardPayload:
+    """A contiguous post slice in columnar form, cheap to pickle.
+
+    Process workers receive one of these instead of an :class:`Instance`:
+    two flat arrays plus integer label sets, reconstructed into a
+    sub-instance on the far side.  The declared label universe is the
+    *parent's*, so label indices (and the fastpath pair encoding) agree
+    across shards.
+    """
+
+    __slots__ = ("lam", "labels", "values", "uids", "label_sets")
+
+    def __init__(
+        self,
+        lam: float,
+        labels: Sequence[str],
+        values: np.ndarray,
+        uids: np.ndarray,
+        label_sets: Sequence[Tuple[int, ...]],
+    ):
+        self.lam = lam
+        self.labels = tuple(labels)
+        self.values = values
+        self.uids = uids
+        self.label_sets = tuple(label_sets)
+
+    # ShardPayload is pickled into process workers; __slots__ classes
+    # need explicit state hooks.
+    def __getstate__(self):
+        return (self.lam, self.labels, self.values, self.uids,
+                self.label_sets)
+
+    def __setstate__(self, state):
+        (self.lam, self.labels, self.values, self.uids,
+         self.label_sets) = state
+
+    def __len__(self) -> int:
+        return len(self.values)
+
+    def to_instance(self) -> Instance:
+        """Rebuild the shard as a real :class:`Instance`."""
+        posts = [
+            Post(
+                uid=int(uid),
+                value=float(value),
+                labels=frozenset(self.labels[i] for i in label_set),
+            )
+            for uid, value, label_set in zip(
+                self.uids, self.values, self.label_sets
+            )
+        ]
+        return Instance(posts, self.lam, labels=self.labels)
+
+
+_CACHE: "weakref.WeakKeyDictionary[Instance, ColumnarInstance]" = (
+    weakref.WeakKeyDictionary()
+)
+
+
+def snapshot(instance: Instance) -> ColumnarInstance:
+    """The cached columnar snapshot of ``instance`` (built on first use)."""
+    snap = _CACHE.get(instance)
+    if snap is None:
+        snap = ColumnarInstance(instance)
+        _CACHE[instance] = snap
+    return snap

@@ -1,0 +1,101 @@
+"""Pluggable shard executors: serial / thread / process.
+
+A deliberately narrow contract: an executor maps a **top-level function**
+over a list of task tuples and returns the results in task order.  That
+is all the parallel solvers need, and it is the strictest common
+denominator — process pools additionally require the function to be
+importable and every task to be picklable, which the solvers honour by
+shipping :class:`~repro.engine.columnar.ShardPayload` objects (flat
+arrays) rather than live instances.
+
+``get_executor`` resolves the user-facing spec:
+
+========== ===========================================================
+``serial``  in-process loop; zero overhead, the parity baseline
+``thread``  ``ThreadPoolExecutor``; shares memory, helps when the work
+            releases the GIL (numpy kernels) or is I/O-bound
+``process`` ``ProcessPoolExecutor``; true parallelism, pays pickling —
+            kept cheap by the columnar payloads
+========== ===========================================================
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from typing import Callable, List, Optional, Sequence, Tuple
+
+__all__ = ["ShardExecutor", "SerialExecutor", "ThreadExecutor",
+           "ProcessExecutor", "get_executor", "default_workers"]
+
+
+def default_workers() -> int:
+    """A sane worker default: the CPU count, at least 1."""
+    return max(1, os.cpu_count() or 1)
+
+
+class ShardExecutor:
+    """Maps a function over task tuples, preserving task order."""
+
+    name = "abstract"
+    workers = 1
+
+    def run(self, fn: Callable, tasks: Sequence[tuple]) -> List:
+        raise NotImplementedError
+
+
+class SerialExecutor(ShardExecutor):
+    """The in-process baseline every parity test compares against."""
+
+    name = "serial"
+
+    def run(self, fn: Callable, tasks: Sequence[tuple]) -> List:
+        return [fn(*task) for task in tasks]
+
+
+class ThreadExecutor(ShardExecutor):
+    name = "thread"
+
+    def __init__(self, workers: Optional[int] = None):
+        self.workers = workers or default_workers()
+
+    def run(self, fn: Callable, tasks: Sequence[tuple]) -> List:
+        if len(tasks) <= 1 or self.workers <= 1:
+            return [fn(*task) for task in tasks]
+        with ThreadPoolExecutor(max_workers=self.workers) as pool:
+            return list(pool.map(lambda task: fn(*task), tasks))
+
+
+class ProcessExecutor(ShardExecutor):
+    """Worker processes; ``fn`` must be a module-level function and every
+    task element picklable (the solvers pass columnar payloads)."""
+
+    name = "process"
+
+    def __init__(self, workers: Optional[int] = None):
+        self.workers = workers or default_workers()
+
+    def run(self, fn: Callable, tasks: Sequence[tuple]) -> List:
+        if len(tasks) <= 1 or self.workers <= 1:
+            return [fn(*task) for task in tasks]
+        with ProcessPoolExecutor(max_workers=self.workers) as pool:
+            futures = [pool.submit(fn, *task) for task in tasks]
+            return [future.result() for future in futures]
+
+
+def get_executor(
+    spec, workers: Optional[int] = None
+) -> ShardExecutor:
+    """Resolve an executor spec: a name, or an executor instance."""
+    if isinstance(spec, ShardExecutor):
+        return spec
+    if spec == "serial":
+        return SerialExecutor()
+    if spec == "thread":
+        return ThreadExecutor(workers)
+    if spec == "process":
+        return ProcessExecutor(workers)
+    raise ValueError(
+        f"unknown executor {spec!r}; expected 'serial', 'thread', "
+        f"'process', or a ShardExecutor instance"
+    )

@@ -1,0 +1,149 @@
+"""Vectorised scan kernels.
+
+:func:`repro.core.scan.scan_label` walks a posting list one index at a
+time: ``O(|LP|)`` Python-level loop iterations however sparse the picks
+are.  On the day-long workloads a single lambda window holds dozens of
+posts, so almost all of those iterations merely step *through* a window
+already decided.  :func:`scan_label_kernel` replaces both inner walks
+with ``numpy.searchsorted`` hops over the columnar value array: one
+``O(log n)`` hop to find the furthest post within lambda of the leftmost
+uncovered one, one hop to skip everything the pick covers.  The loop now
+runs once per *pick*, not once per post.
+
+Parity discipline: ``searchsorted`` compares against ``left + lam``
+(an addition) while the scalar kernel compares ``values[j] - left <= lam``
+(a subtraction); the two can disagree by one ulp at window boundaries.
+As everywhere else in this repository the bisect result is only a
+pre-seek — short exact-arithmetic correction loops around each hop make
+the *subtraction* test the final arbiter, so the kernel is pick-for-pick
+identical to the scalar loop (property-tested, and re-checked under
+``python -O`` by the CI job that strips asserts: the kernel's correctness
+never rests on an ``assert``).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+__all__ = ["scan_label_kernel", "scan_values_kernel",
+           "scan_segment_kernel", "first_uncovered"]
+
+
+def scan_values_kernel(values: np.ndarray, lam: float) -> List[int]:
+    """Pick indices for one sorted value array (vectorised Scan inner loop).
+
+    Parameters
+    ----------
+    values:
+        Ascending ``float64`` array — one label's posting values.
+    lam:
+        Coverage threshold.
+
+    Returns
+    -------
+    list of int
+        Indices into ``values`` of the picks, in order; identical to the
+        indices :func:`repro.core.scan.scan_label` would pick.
+    """
+    picks: List[int] = []
+    n = len(values)
+    i = 0
+    while i < n:
+        left = values[i]
+        # furthest index whose value is within lam of `left`
+        j = int(np.searchsorted(values, left + lam, side="right")) - 1
+        if j < i:
+            j = i
+        # exact-arithmetic correction: the subtraction test decides
+        while j + 1 < n and values[j + 1] - left <= lam:
+            j += 1
+        while j > i and values[j] - left > lam:
+            j -= 1
+        picks.append(j)
+        picked = values[j]
+        # first index not covered by the pick
+        i = int(np.searchsorted(values, picked + lam, side="right"))
+        if i <= j:
+            i = j + 1
+        while i < n and values[i] - picked <= lam:
+            i += 1
+        while i > j + 1 and values[i - 1] - picked > lam:
+            i -= 1
+    return picks
+
+
+def scan_segment_kernel(
+    values: np.ndarray, lam: float, start: int, boundary: int,
+) -> List[int]:
+    """The kernel run over one shard: anchors in ``[start, boundary)``.
+
+    The *leftmost-uncovered* pointer is confined to the segment, but each
+    pick's reach is looked up over the whole array — a pick may therefore
+    lie at or beyond ``boundary`` (that is the lambda halo a shard needs
+    to see), and its coverage may consume posts past the boundary.  The
+    caller chains segments by computing where coverage actually stopped
+    with :func:`first_uncovered` on the last pick.
+
+    Returns pick indices into ``values``; ``scan_segment_kernel(v, lam,
+    0, len(v))`` is exactly :func:`scan_values_kernel`.
+    """
+    picks: List[int] = []
+    n = len(values)
+    i = start
+    while i < boundary:
+        left = values[i]
+        j = int(np.searchsorted(values, left + lam, side="right")) - 1
+        if j < i:
+            j = i
+        while j + 1 < n and values[j + 1] - left <= lam:
+            j += 1
+        while j > i and values[j] - left > lam:
+            j -= 1
+        picks.append(j)
+        picked = values[j]
+        i = int(np.searchsorted(values, picked + lam, side="right"))
+        if i <= j:
+            i = j + 1
+        while i < n and values[i] - picked <= lam:
+            i += 1
+        while i > j + 1 and values[i - 1] - picked > lam:
+            i -= 1
+    return picks
+
+
+def first_uncovered(
+    values: np.ndarray, last_pick_value: float, lam: float, lo: int = 0,
+) -> int:
+    """First index at or after ``lo`` not covered by the last pick.
+
+    The seam primitive of the sharded Scan: given the carry state (the
+    previous shard's final pick), it tells the next shard where the
+    serial kernel would really resume — the exact subtraction arithmetic
+    is again the arbiter after a ``searchsorted`` pre-seek.
+    """
+    n = len(values)
+    i = int(np.searchsorted(values, last_pick_value + lam, side="right"))
+    if i < lo:
+        i = lo
+    while i < n and values[i] - last_pick_value <= lam:
+        i += 1
+    while i > lo and values[i - 1] - last_pick_value > lam:
+        i -= 1
+    return i
+
+
+def scan_label_kernel(
+    posting_values: np.ndarray, lam: float, start: int = 0,
+    end: int = None,
+) -> List[int]:
+    """:func:`scan_values_kernel` over a slice ``[start, end)``.
+
+    Returns indices relative to the *full* ``posting_values`` array, which
+    is what the shard merger wants.
+    """
+    if end is None:
+        end = len(posting_values)
+    local = scan_values_kernel(posting_values[start:end], lam)
+    return [start + idx for idx in local]

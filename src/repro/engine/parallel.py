@@ -1,0 +1,459 @@
+"""Sharded parallel MQDP solvers.
+
+The public entry points — :func:`parallel_scan`,
+:func:`parallel_scan_plus`, :func:`parallel_greedy_sc` — sit *beneath*
+the existing solver API: same inputs, same :class:`Solution` outputs,
+same covers, but the work is cut into shards and pushed through a
+pluggable executor (``serial`` / ``thread`` / ``process``).
+
+Parity contract (enforced by the property suite in
+``tests/engine/test_parallel_parity.py``):
+
+* With the default ``split="auto"``, every solver is **pick-for-pick
+  identical** to its serial counterpart: Scan shards per label (chained
+  exactly through the carry state, with speculative chunks re-run when a
+  seam prediction misses), Scan+ and GreedySC shard only at global gaps
+  wider than lambda, which are provably independent (see
+  :mod:`repro.engine.sharding`).
+* With ``split="halo"`` (forced sharding of gap-free instances), Scan+
+  and GreedySC solve overlapping halo shards and the merged result goes
+  through :func:`~repro.engine.sharding.stitch_repair` — the cover is
+  re-verified by the existing verifier and seam damage repaired, so the
+  output is always a valid cover, though its size may exceed the serial
+  one by a few seam picks.
+
+Process executors never pickle live instances: shards travel as
+:class:`~repro.engine.columnar.ShardPayload` arrays and are rebuilt on
+the worker.  Worker-side observability counters stay in the worker
+process; the engine publishes its own counters (shards, tasks, halo
+posts, fix-up re-runs, stitch repairs) in the parent, so the PR-2 facade
+still tells the whole planning story.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..core.instance import Instance
+from ..core.post import Post
+from ..core.scan import _scan_plus_posts, order_labels
+from ..core.solution import Solution, timed_solution
+from ..observability import facade as _obs
+from .columnar import ShardPayload, snapshot
+from .executors import ProcessExecutor, ShardExecutor, get_executor
+from .kernels import first_uncovered, scan_segment_kernel
+from .sharding import plan_halo_shards, plan_shards, stitch_repair
+
+__all__ = ["parallel_scan", "parallel_scan_plus", "parallel_greedy_sc"]
+
+
+def exec_is_process(executor: ShardExecutor) -> bool:
+    return isinstance(executor, ProcessExecutor)
+
+
+# ---------------------------------------------------------------------------
+# worker functions (module-level: process executors must import them)
+# ---------------------------------------------------------------------------
+
+def _scan_task(values: np.ndarray, lam: float, start: int,
+               boundary: int) -> Tuple[List[int], float]:
+    """One Scan shard: picks (indices into ``values``) plus the last
+    pick's value, the carry the merger chains on."""
+    picks = scan_segment_kernel(values, lam, start, boundary)
+    last = float(values[picks[-1]]) if picks else float("-inf")
+    return picks, last
+
+
+def _scan_plus_shard(payload: ShardPayload,
+                     label_order: Sequence[str]) -> List[int]:
+    """Scan+ over one shard, labels processed in the *global* order (the
+    order restricted to a shard is what the serial run would apply to the
+    shard's posts, which is what pick parity needs)."""
+    sub = payload.to_instance()
+    return [post.uid for post in _scan_plus_posts(sub, list(label_order))]
+
+
+def _greedy_shard(payload: ShardPayload, strategy: str,
+                  engine: str) -> List[int]:
+    """GreedySC over one shard (engine resolved per shard when 'auto')."""
+    from ..core.greedy_sc import _greedy_posts
+
+    sub = payload.to_instance()
+    return [post.uid for post in _greedy_posts(sub, strategy, engine)]
+
+
+def _family_label_task(
+    values: np.ndarray, offsets: np.ndarray, lam: float,
+    label_index: int, n_labels: int,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """One label's slice of the encoded set-cover family."""
+    from ..core.fastpath import _label_window_pairs
+
+    coverer, encoded, _ = _label_window_pairs(
+        values, offsets, lam, label_index, n_labels
+    )
+    return coverer, encoded
+
+
+# ---------------------------------------------------------------------------
+# Scan: per-label shards chained through the carry state
+# ---------------------------------------------------------------------------
+
+def _plan_label_tasks(
+    values: np.ndarray, lam: float, quota: int,
+) -> List[Tuple[int, int]]:
+    """Split one posting array into ``[start, boundary)`` shard cores.
+
+    Cuts first at the label's own within-list gaps wider than lambda
+    (exact restarts); when the quota asks for more parallelism than the
+    gaps offer, the largest pieces are chunked at arbitrary boundaries —
+    those chunks are *speculative* and the merger may re-run them.
+    """
+    n = len(values)
+    if n == 0:
+        return []
+    gaps = np.flatnonzero(values[1:] - values[:-1] > lam) + 1
+    bounds = [0] + [int(g) for g in gaps] + [n]
+    segments = list(zip(bounds, bounds[1:]))
+    if len(segments) >= quota or quota <= 1:
+        return segments
+    # chunk the largest segments until the quota is met
+    target = max(1, n // quota)
+    tasks: List[Tuple[int, int]] = []
+    for start, end in segments:
+        size = end - start
+        pieces = min(max(1, size // target), quota)
+        if pieces <= 1:
+            tasks.append((start, end))
+            continue
+        step = size / pieces
+        cuts = sorted({start + round(k * step) for k in range(1, pieces)})
+        cuts = [c for c in cuts if start < c < end]
+        edges = [start] + cuts + [end]
+        tasks.extend(zip(edges, edges[1:]))
+    return tasks
+
+
+def _scan_posts_parallel(
+    instance: Instance,
+    label_order: Sequence[str],
+    executor: ShardExecutor,
+    max_shards: int,
+) -> List[Post]:
+    snap = snapshot(instance)
+    lam = snap.lam
+    total_posting = sum(
+        len(snap.posting_values[a]) for a in label_order
+    )
+    tasks: List[Tuple[str, int, int]] = []
+    gap_tasks = 0
+    for label in label_order:
+        values = snap.posting_values[label]
+        if len(values) == 0:
+            continue
+        quota = max(
+            1, round(max_shards * len(values) / max(total_posting, 1))
+        )
+        label_tasks = _plan_label_tasks(values, lam, quota)
+        gap_tasks += sum(
+            1 for start, _ in label_tasks
+            if start == 0 or values[start] - values[start - 1] > lam
+        )
+        tasks.extend((label, start, end) for start, end in label_tasks)
+
+    # Process workers get a copy of just the slice they need (the core
+    # plus the lambda reach past it); in-process executors share the
+    # full array and index into it.
+    slicing = exec_is_process(executor)
+    args: List[tuple] = []
+    rebase: List[int] = []
+    for label, start, end in tasks:
+        values = snap.posting_values[label]
+        if slicing:
+            reach = int(np.searchsorted(
+                values, values[end - 1] + lam, side="right"
+            ))
+            reach = min(len(values), reach + 1)
+            args.append((values[start:reach].copy(), lam, 0,
+                         end - start))
+            rebase.append(start)
+        else:
+            args.append((values, lam, start, end))
+            rebase.append(0)
+    results = executor.run(_scan_task, args)
+
+    # Merge per label, left to right, chaining the carry state.  A task
+    # whose speculative start does not match where coverage really
+    # stopped is re-run from the true start — the re-run uses the same
+    # vectorised kernel, so the worst (gap-free, fully mispredicted)
+    # case degrades to the serial vectorised scan, never to a wrong one.
+    picks_by_label: Dict[str, List[int]] = {a: [] for a in label_order}
+    fixup_reruns = 0
+    for (label, start, boundary), offset, (picks, last) in zip(
+        tasks, rebase, results
+    ):
+        if offset:
+            picks = [idx + offset for idx in picks]
+        values = snap.posting_values[label]
+        merged = picks_by_label[label]
+        if merged:
+            carry = values[merged[-1]]
+            resume = first_uncovered(values, carry, lam, lo=0)
+        else:
+            resume = 0
+        if resume >= boundary:
+            continue  # shard fully covered by earlier picks
+        if resume == start:
+            merged.extend(picks)
+        else:
+            fixup_reruns += 1
+            merged.extend(
+                scan_segment_kernel(values, lam, resume, boundary)
+            )
+
+    if _obs.enabled():
+        _obs.count("engine.scan.tasks", len(tasks))
+        _obs.count("engine.scan.gap_tasks", gap_tasks)
+        _obs.count("engine.scan.speculative_tasks",
+                   len(tasks) - gap_tasks)
+        _obs.count("engine.scan.fixup_reruns", fixup_reruns)
+
+    out: List[Post] = []
+    for label in label_order:
+        indices = snap.posting_indices[label]
+        out.extend(
+            instance.posts[int(indices[idx])]
+            for idx in picks_by_label[label]
+        )
+    return out
+
+
+def parallel_scan(
+    instance: Instance,
+    label_order: str = "sorted",
+    *,
+    executor="serial",
+    workers: Optional[int] = None,
+    max_shards: Optional[int] = None,
+) -> Solution:
+    """Sharded, vectorised Scan — pick-for-pick identical to
+    :func:`repro.core.scan.scan`.
+
+    Labels are embarrassingly parallel; inside a label the posting list
+    splits at its own gaps wider than lambda (exact restarts) and, when
+    more parallelism is requested than gaps exist, into speculative
+    chunks whose seams are re-verified and re-run on mismatch.
+    """
+    exec_ = get_executor(executor, workers)
+    shards = _resolve_max_shards(max_shards, exec_)
+    labels = order_labels(instance, label_order)
+    if _obs.enabled():
+        _obs.set_gauge("engine.workers", exec_.workers)
+    return timed_solution(
+        "parallel_scan", _scan_posts_parallel, instance, labels,
+        exec_, shards,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Scan+ / GreedySC: whole-instance shards at global gaps
+# ---------------------------------------------------------------------------
+
+def _resolve_max_shards(max_shards: Optional[int],
+                        executor: ShardExecutor) -> int:
+    """Default shard budget: a few tasks per worker for balance, with a
+    floor so even the serial executor benefits from decomposition (for
+    GreedySC, smaller shards mean quadratically fewer rescan steps)."""
+    if max_shards is not None:
+        if max_shards < 1:
+            raise ValueError(f"max_shards must be >= 1, got {max_shards}")
+        return max_shards
+    return min(max(8, 4 * executor.workers), 256)
+
+
+def _instance_shards(
+    instance: Instance, max_shards: int, split: str
+):
+    """Plan whole-instance shards; returns ``(plan, payloads)``."""
+    if split not in ("auto", "gap", "halo"):
+        raise ValueError(
+            f"unknown split {split!r}; expected 'auto', 'gap' or 'halo'"
+        )
+    snap = snapshot(instance)
+    plan = plan_shards(snap, max_shards)
+    if split == "halo" and len(plan) < max_shards:
+        plan = plan_halo_shards(snap, max_shards)
+    payloads = [
+        snap.payload(shard.halo_start, shard.halo_end)
+        for shard in plan.shards
+    ]
+    return plan, payloads
+
+
+def _count_plan(plan, algo: str) -> None:
+    if not _obs.enabled():
+        return
+    _obs.count(f"engine.{algo}.shards", len(plan))
+    _obs.count(f"engine.{algo}.gap_cuts_available",
+               plan.gap_cuts_available)
+    if plan.kind == "halo":
+        _obs.count(f"engine.{algo}.halo_shards", len(plan))
+        halo_posts = sum(
+            (shard.start - shard.halo_start)
+            + (shard.halo_end - shard.end)
+            for shard in plan.shards
+        )
+        _obs.count(f"engine.{algo}.halo_posts", halo_posts)
+
+
+def _merge_shard_uids(
+    instance: Instance, plan, uid_lists: Sequence[List[int]],
+    algo: str,
+) -> List[Post]:
+    """Union shard picks; for halo plans keep core picks, then stitch."""
+    if plan.kind != "halo":
+        return [
+            instance.post(uid) for uids in uid_lists for uid in uids
+        ]
+    snap = snapshot(instance)
+    index_of = {int(uid): k for k, uid in enumerate(snap.uids)}
+    kept: Dict[int, Post] = {}
+    for shard, uids in zip(plan.shards, uid_lists):
+        for uid in uids:
+            k = index_of[uid]
+            if shard.start <= k < shard.end:
+                kept[uid] = instance.post(uid)
+    picks, repairs = stitch_repair(instance, list(kept.values()))
+    if _obs.enabled():
+        _obs.count(f"engine.{algo}.stitch_repairs", repairs)
+    return picks
+
+
+def _scan_plus_posts_parallel(
+    instance: Instance,
+    label_order: Sequence[str],
+    executor: ShardExecutor,
+    max_shards: int,
+    split: str,
+) -> List[Post]:
+    plan, payloads = _instance_shards(instance, max_shards, split)
+    _count_plan(plan, "scan_plus")
+    if len(plan) == 1:
+        return _scan_plus_posts(instance, list(label_order))
+    order = tuple(label_order)
+    uid_lists = executor.run(
+        _scan_plus_shard, [(payload, order) for payload in payloads]
+    )
+    return _merge_shard_uids(instance, plan, uid_lists, "scan_plus")
+
+
+def parallel_scan_plus(
+    instance: Instance,
+    label_order: str = "sorted",
+    *,
+    executor="serial",
+    workers: Optional[int] = None,
+    max_shards: Optional[int] = None,
+    split: str = "auto",
+) -> Solution:
+    """Sharded Scan+.
+
+    Shards only at global gaps wider than lambda by default (cross-label
+    strikes never cross such a gap, so parity with
+    :func:`repro.core.scan.scan_plus` is exact; a gap-free instance runs
+    serially).  ``split="halo"`` forces equal-count halo shards whose
+    merged cover is stitch-repaired and re-verified.
+    """
+    exec_ = get_executor(executor, workers)
+    shards = _resolve_max_shards(max_shards, exec_)
+    labels = order_labels(instance, label_order)
+    if _obs.enabled():
+        _obs.set_gauge("engine.workers", exec_.workers)
+    return timed_solution(
+        "parallel_scan+", _scan_plus_posts_parallel, instance, labels,
+        exec_, shards, split,
+    )
+
+
+def _greedy_posts_parallel(
+    instance: Instance,
+    strategy: str,
+    engine: str,
+    executor: ShardExecutor,
+    max_shards: int,
+    split: str,
+) -> List[Post]:
+    from ..core.greedy_sc import _greedy_posts
+    from ..setcover import greedy_set_cover
+
+    plan, payloads = _instance_shards(instance, max_shards, split)
+    _count_plan(plan, "greedy_sc")
+    if len(plan) > 1:
+        uid_lists = executor.run(
+            _greedy_shard,
+            [(payload, strategy, engine) for payload in payloads],
+        )
+        return _merge_shard_uids(instance, plan, uid_lists, "greedy_sc")
+
+    # No safe cuts: the greedy rounds stay global, but the family build
+    # is embarrassingly parallel per label.
+    snap = snapshot(instance)
+    labels = snap.labels
+    n_labels = len(labels)
+    tasks = [
+        (snap.posting_values[label], snap.posting_indices[label],
+         snap.lam, label_index, n_labels)
+        for label_index, label in enumerate(labels)
+        if len(snap.posting_values[label])
+    ]
+    if not tasks:
+        return []
+    if _obs.enabled():
+        _obs.count("engine.greedy_sc.family_label_tasks", len(tasks))
+    from ..core.fastpath import _update_family
+
+    results = executor.run(_family_label_task, tasks)
+    family: List[set] = [set() for _ in instance.posts]
+    universe: set = set()
+    for (values, offsets, _lam, label_index, _nl), (coverer, encoded) \
+            in zip(tasks, results):
+        _update_family(family, coverer, encoded)
+        universe.update(
+            (offsets * n_labels + label_index).tolist()
+        )
+    chosen = greedy_set_cover(family, universe=universe,
+                              strategy=strategy)
+    return [instance.posts[k] for k in chosen]
+
+
+def parallel_greedy_sc(
+    instance: Instance,
+    strategy: str = "rescan",
+    engine: str = "auto",
+    *,
+    executor="serial",
+    workers: Optional[int] = None,
+    max_shards: Optional[int] = None,
+    split: str = "auto",
+) -> Solution:
+    """Sharded GreedySC.
+
+    At global gaps the set-cover family decomposes into independent
+    blocks, so per-shard greedy runs concatenate to exactly the global
+    greedy's picks — and each shard's rescan pays quadratically less
+    than the monolithic run, which is why this path is faster even on
+    one core.  Gap-free instances keep the greedy global but build the
+    pair family in parallel, one label per task.  ``split="halo"``
+    forces overlapping shards with stitch repair (verified, not
+    pick-parity).
+    """
+    exec_ = get_executor(executor, workers)
+    shards = _resolve_max_shards(max_shards, exec_)
+    if _obs.enabled():
+        _obs.set_gauge("engine.workers", exec_.workers)
+    return timed_solution(
+        "parallel_greedy_sc", _greedy_posts_parallel, instance,
+        strategy, engine, exec_, shards, split,
+    )

@@ -1,14 +1,60 @@
 """Algorithm Scan / Scan+ (Section 4.3)."""
 
+from typing import Dict, List
+
 import pytest
 from hypothesis import given
 
 from repro.core.brute_force import exact_via_setcover
 from repro.core.coverage import is_cover
 from repro.core.instance import Instance
+from repro.core.post import Post
 from repro.core.scan import order_labels, scan, scan_label, scan_plus
 
 from ..conftest import small_instances
+
+
+def scan_plus_full_strike_reference(
+    instance: Instance, label_order: List[str]
+) -> List[Post]:
+    """Scan+ with strikes applied to *every* pick label, processed or
+    not — the naive formulation.  Striking already-processed labels is
+    dead work (their flags are never read again) and striking the
+    current label is a no-op (the value-based advance skips its window
+    anyway), so the production code restricts strikes to strictly-later
+    labels; this reference is the arbiter that the restriction is
+    pick-preserving.
+    """
+    lam = instance.lam
+    covered: Dict[str, List[bool]] = {
+        a: [False] * len(instance.posting(a)) for a in instance.labels
+    }
+
+    def mark(picked: Post) -> None:
+        for other_label in picked.labels:
+            plist = instance.posting(other_label)
+            lo, hi = plist.range_indices(
+                picked.value - lam, picked.value + lam
+            )
+            lo = max(0, lo - 1)
+            hi = min(len(plist), hi + 1)
+            flags = covered[other_label]
+            for idx in range(lo, hi):
+                if abs(plist[idx].value - picked.value) <= lam:
+                    flags[idx] = True
+
+    picks: List[Post] = []
+    for label in label_order:
+        flags = covered[label]
+        picks.extend(
+            scan_label(
+                instance.posting(label),
+                lam,
+                is_covered=lambda idx, flags=flags: flags[idx],
+                on_pick=mark,
+            )
+        )
+    return picks
 
 
 class TestScanLabel:
@@ -148,3 +194,16 @@ class TestScanProperties:
         optimum = exact_via_setcover(instance).size
         s = instance.max_labels_per_post()
         assert scan_plus(instance).size <= s * optimum
+
+    @given(small_instances())
+    def test_scan_plus_matches_full_strike_reference(self, instance):
+        """Restricting strikes to later labels is pick-preserving."""
+        for order in ("sorted", "longest_first", "shortest_first"):
+            labels = order_labels(instance, order)
+            reference = scan_plus_full_strike_reference(instance, labels)
+            deduped = sorted(
+                {p.uid: p for p in reference}.values(),
+                key=lambda p: (p.value, p.uid),
+            )
+            assert scan_plus(instance, label_order=order).uids == \
+                tuple(p.uid for p in deduped)

@@ -1,0 +1,117 @@
+"""Columnar snapshots: array fidelity, caching, payload round-trips."""
+
+from __future__ import annotations
+
+import pickle
+
+import numpy as np
+import pytest
+from hypothesis import given
+
+from repro.core.instance import Instance
+from repro.engine.columnar import ColumnarInstance, snapshot
+
+from .conftest import engine_instances
+
+
+@pytest.fixture
+def instance() -> Instance:
+    return Instance.from_specs(
+        [(0.0, "a"), (1.0, "ab"), (2.5, "b"), (4.0, "ab"), (5.0, "a"),
+         (9.0, "b")],
+        lam=1.5,
+    )
+
+
+class TestColumnarInstance:
+    def test_values_and_uids_aligned(self, instance):
+        snap = ColumnarInstance(instance)
+        assert len(snap) == len(instance)
+        for k, post in enumerate(instance.posts):
+            assert snap.values[k] == post.value
+            assert snap.uids[k] == post.uid
+
+    def test_values_ascending(self, instance):
+        snap = ColumnarInstance(instance)
+        assert np.all(np.diff(snap.values) >= 0)
+
+    def test_labels_sorted(self, instance):
+        snap = ColumnarInstance(instance)
+        assert snap.labels == tuple(sorted(instance.labels))
+
+    def test_posting_indices_match_posting_lists(self, instance):
+        snap = ColumnarInstance(instance)
+        for label in instance.labels:
+            plist = instance.posting(label)
+            idx = snap.posting_indices[label]
+            assert [instance.posts[int(k)].uid for k in idx] == \
+                [p.uid for p in plist]
+            assert np.array_equal(
+                snap.posting_values[label],
+                np.asarray([p.value for p in plist]),
+            )
+
+    def test_label_sets_roundtrip(self, instance):
+        snap = ColumnarInstance(instance)
+        for k, post in enumerate(instance.posts):
+            decoded = frozenset(snap.labels[i] for i in snap.label_sets[k])
+            assert decoded == post.labels
+
+    @given(engine_instances())
+    def test_property_posting_fidelity(self, inst):
+        snap = ColumnarInstance(inst)
+        for label in inst.labels:
+            plist = inst.posting(label)
+            idx = snap.posting_indices[label]
+            assert len(idx) == len(plist)
+            assert np.all(np.diff(idx) > 0)  # global order, unique
+
+
+class TestSnapshotCache:
+    def test_snapshot_cached_per_instance(self, instance):
+        assert snapshot(instance) is snapshot(instance)
+
+    def test_distinct_instances_distinct_snapshots(self, instance):
+        other = Instance.from_specs([(0.0, "a")], lam=1.0)
+        assert snapshot(instance) is not snapshot(other)
+
+
+class TestShardPayload:
+    def test_full_slice_rebuilds_instance(self, instance):
+        snap = snapshot(instance)
+        sub = snap.payload(0, len(snap)).to_instance()
+        assert [p.uid for p in sub.posts] == \
+            [p.uid for p in instance.posts]
+        assert sub.lam == instance.lam
+        assert sub.labels == instance.labels
+
+    def test_partial_slice_keeps_parent_label_universe(self, instance):
+        snap = snapshot(instance)
+        sub = snap.payload(0, 2).to_instance()
+        # posts 0..1 only use labels a/b, but the universe is declared
+        assert sub.labels == instance.labels
+        assert len(sub) == 2
+
+    def test_payload_pickle_roundtrip(self, instance):
+        snap = snapshot(instance)
+        payload = snap.payload(1, 4)
+        clone = pickle.loads(pickle.dumps(payload))
+        assert clone.lam == payload.lam
+        assert clone.labels == payload.labels
+        assert np.array_equal(clone.values, payload.values)
+        assert np.array_equal(clone.uids, payload.uids)
+        assert clone.label_sets == payload.label_sets
+        rebuilt = clone.to_instance()
+        assert [p.uid for p in rebuilt.posts] == \
+            [int(u) for u in payload.uids]
+
+    @given(engine_instances(max_posts=30))
+    def test_property_payload_posts_match_slice(self, inst):
+        snap = snapshot(inst)
+        n = len(snap)
+        mid = n // 2
+        sub = snap.payload(0, mid).to_instance()
+        assert [p.uid for p in sub.posts] == \
+            [p.uid for p in inst.posts[:mid]]
+        for post, original in zip(sub.posts, inst.posts[:mid]):
+            assert post.labels == original.labels

@@ -1,0 +1,68 @@
+"""Executor contract: ordered results across serial/thread/process."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.engine.executors import (
+    ProcessExecutor,
+    SerialExecutor,
+    ShardExecutor,
+    ThreadExecutor,
+    default_workers,
+    get_executor,
+)
+
+
+def square_plus(x, y):
+    """Module-level on purpose: process pools must import the task fn."""
+    return x * x + y
+
+
+class TestGetExecutor:
+    def test_names_resolve(self):
+        assert isinstance(get_executor("serial"), SerialExecutor)
+        assert isinstance(get_executor("thread", 2), ThreadExecutor)
+        assert isinstance(get_executor("process", 2), ProcessExecutor)
+
+    def test_instance_passes_through(self):
+        ex = SerialExecutor()
+        assert get_executor(ex) is ex
+
+    def test_workers_recorded(self):
+        assert get_executor("thread", 3).workers == 3
+        assert get_executor("process", 5).workers == 5
+
+    def test_default_workers_positive(self):
+        assert default_workers() >= 1
+        assert get_executor("thread").workers >= 1
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(ValueError, match="unknown executor"):
+            get_executor("gpu")
+
+    def test_abstract_run_raises(self):
+        with pytest.raises(NotImplementedError):
+            ShardExecutor().run(square_plus, [(1, 2)])
+
+
+TASKS = [(x, y) for x in range(7) for y in range(3)]
+EXPECTED = [x * x + y for x, y in TASKS]
+
+
+class TestRunContract:
+    @pytest.mark.parametrize("spec", ["serial", "thread", "process"])
+    def test_results_in_task_order(self, spec):
+        ex = get_executor(spec, 2)
+        assert ex.run(square_plus, TASKS) == EXPECTED
+
+    @pytest.mark.parametrize("spec", ["serial", "thread", "process"])
+    def test_empty_and_singleton(self, spec):
+        ex = get_executor(spec, 2)
+        assert ex.run(square_plus, []) == []
+        assert ex.run(square_plus, [(3, 1)]) == [10]
+
+    def test_single_worker_degrades_to_serial_loop(self):
+        # workers=1 must not spin up a pool (observable as: still correct)
+        assert ThreadExecutor(1).run(square_plus, TASKS) == EXPECTED
+        assert ProcessExecutor(1).run(square_plus, TASKS) == EXPECTED

@@ -1,0 +1,154 @@
+"""Vectorised scan kernels: pick-for-pick parity with the scalar loop."""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.instance import Instance
+from repro.core.scan import scan_label
+from repro.engine.kernels import (
+    first_uncovered,
+    scan_label_kernel,
+    scan_segment_kernel,
+    scan_values_kernel,
+)
+
+from .conftest import exact_lambda_instance
+
+
+def scalar_reference(values, lam):
+    """Index-level transliteration of :func:`scan_label` (the arbiter)."""
+    picks = []
+    n = len(values)
+    i = 0
+    while i < n:
+        left = values[i]
+        j = i
+        while j + 1 < n and values[j + 1] - left <= lam:
+            j += 1
+        picks.append(j)
+        picked = values[j]
+        i = j + 1
+        while i < n and values[i] - picked <= lam:
+            i += 1
+    return picks
+
+
+sorted_value_arrays = st.lists(
+    st.floats(min_value=0.0, max_value=100.0,
+              allow_nan=False, allow_infinity=False),
+    min_size=1, max_size=80,
+).map(sorted)
+
+lambdas = st.sampled_from([0.0, 0.25, 1.0, 3.0, 10.0, 100.0])
+
+
+class TestScanValuesKernel:
+    @given(sorted_value_arrays, lambdas)
+    def test_parity_with_scalar_reference(self, raw, lam):
+        values = np.asarray(raw, dtype=np.float64)
+        assert scan_values_kernel(values, lam) == \
+            scalar_reference(values, lam)
+
+    @given(sorted_value_arrays, lambdas)
+    def test_parity_with_scan_label(self, raw, lam):
+        inst = Instance.from_specs([(v, "a") for v in raw], lam)
+        plist = inst.posting("a")
+        values = np.asarray([p.value for p in plist], dtype=np.float64)
+        kernel_picks = [plist[i].uid
+                        for i in scan_values_kernel(values, lam)]
+        scalar_picks = [p.uid for p in scan_label(plist, lam)]
+        assert kernel_picks == scalar_picks
+
+    def test_exact_lambda_boundaries(self):
+        inst = exact_lambda_instance(lam=2.0, n=24)
+        values = np.asarray([p.value for p in inst.posts])
+        assert scan_values_kernel(values, 2.0) == \
+            scalar_reference(values, 2.0)
+
+    def test_all_ties(self):
+        values = np.zeros(10)
+        assert scan_values_kernel(values, 0.0) == [9]
+        assert scan_values_kernel(values, 1.0) == [9]
+
+    def test_empty(self):
+        assert scan_values_kernel(np.empty(0), 1.0) == []
+
+    def test_one_ulp_spacing(self):
+        # windows one ulp wide: the subtraction test must decide
+        base = 1.0
+        values = np.asarray([base, np.nextafter(base, 2.0),
+                             np.nextafter(np.nextafter(base, 2.0), 2.0)])
+        lam = values[1] - values[0]
+        assert scan_values_kernel(values, lam) == \
+            scalar_reference(values, lam)
+
+
+class TestScanSegmentKernel:
+    @given(sorted_value_arrays, lambdas)
+    def test_full_segment_equals_whole_kernel(self, raw, lam):
+        values = np.asarray(raw, dtype=np.float64)
+        assert scan_segment_kernel(values, lam, 0, len(values)) == \
+            scan_values_kernel(values, lam)
+
+    @given(sorted_value_arrays, lambdas, st.integers(2, 5))
+    def test_chained_segments_reproduce_serial(self, raw, lam, pieces):
+        """The shard merger's chaining contract: run arbitrary chunks,
+        chain via first_uncovered, accept only matching seams — the
+        result equals the serial kernel pick-for-pick."""
+        values = np.asarray(raw, dtype=np.float64)
+        n = len(values)
+        edges = sorted({round(k * n / pieces) for k in range(1, pieces)})
+        edges = [0] + [e for e in edges if 0 < e < n] + [n]
+        merged = []
+        for start, boundary in zip(edges, edges[1:]):
+            if merged:
+                carry = values[merged[-1]]
+                resume = first_uncovered(values, carry, lam)
+            else:
+                resume = 0
+            if resume >= boundary:
+                continue
+            # speculative result is only valid if the seam matched;
+            # otherwise re-run from the true resume point
+            if resume == start:
+                merged.extend(
+                    scan_segment_kernel(values, lam, start, boundary)
+                )
+            else:
+                merged.extend(
+                    scan_segment_kernel(values, lam, resume, boundary)
+                )
+        assert merged == scan_values_kernel(values, lam)
+
+
+class TestFirstUncovered:
+    def test_basic(self):
+        values = np.asarray([0.0, 1.0, 2.0, 3.5, 10.0])
+        assert first_uncovered(values, 1.0, 1.0) == 3
+        assert first_uncovered(values, 3.5, 1.0) == 4
+        assert first_uncovered(values, 10.0, 1.0) == 5
+
+    def test_lo_floor(self):
+        values = np.asarray([0.0, 1.0, 2.0])
+        assert first_uncovered(values, -100.0, 1.0, lo=2) == 2
+
+    @given(sorted_value_arrays, lambdas,
+           st.floats(min_value=-5.0, max_value=105.0,
+                     allow_nan=False, allow_infinity=False))
+    def test_matches_linear_scan(self, raw, lam, pick):
+        values = np.asarray(raw, dtype=np.float64)
+        idx = first_uncovered(values, pick, lam)
+        expect = 0
+        while expect < len(values) and values[expect] - pick <= lam:
+            expect += 1
+        assert idx == expect
+
+
+class TestScanLabelKernel:
+    def test_slice_offsets_are_global(self):
+        values = np.asarray([0.0, 5.0, 10.0, 15.0, 20.0])
+        picks = scan_label_kernel(values, 1.0, start=2)
+        assert picks == [2, 3, 4]

@@ -1,0 +1,236 @@
+"""Sharded-solver parity: the engine's central contract.
+
+With ``split="auto"`` every parallel solver must be pick-for-pick
+identical to its serial counterpart — across gapped, gap-free,
+exact-lambda-boundary and single-label-degenerate instances, and across
+executors.  With ``split="halo"`` (forced sharding of gap-free
+instances) the output must be a verifier-accepted cover.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+
+from repro.core.coverage import is_cover, verify_cover
+from repro.core.greedy_sc import greedy_sc
+from repro.core.instance import Instance
+from repro.core.scan import scan, scan_plus
+from repro.engine import (
+    parallel_greedy_sc,
+    parallel_scan,
+    parallel_scan_plus,
+)
+from repro.observability import facade
+
+from .conftest import engine_instances, exact_lambda_instance
+
+
+def assert_scan_parity(inst, **kw):
+    assert parallel_scan(inst, **kw).uids == scan(inst).uids
+
+
+def assert_scan_plus_parity(inst, **kw):
+    assert parallel_scan_plus(inst, **kw).uids == scan_plus(inst).uids
+
+
+def assert_greedy_parity(inst, **kw):
+    assert parallel_greedy_sc(inst, **kw).uids == greedy_sc(inst).uids
+
+
+class TestScanParity:
+    @given(engine_instances())
+    def test_random_instances(self, inst):
+        assert_scan_parity(inst)
+
+    @given(engine_instances(force_gaps=True))
+    def test_gapped_instances(self, inst):
+        assert_scan_parity(inst, max_shards=6)
+
+    @given(engine_instances(gap_free=True))
+    def test_gap_free_worst_case_forces_speculation(self, inst):
+        # no safe cuts inside any posting list: every extra shard is a
+        # speculative chunk whose seam the merger must verify
+        assert_scan_parity(inst, max_shards=5)
+
+    def test_exact_lambda_boundaries(self):
+        inst = exact_lambda_instance(lam=2.0, n=30)
+        assert_scan_parity(inst, max_shards=4)
+
+    def test_single_label_degenerate(self):
+        inst = Instance.from_specs(
+            [(float(i) * 0.25, "a") for i in range(50)], lam=1.0
+        )
+        assert_scan_parity(inst, max_shards=8)
+
+    @given(engine_instances(max_posts=40))
+    def test_label_orders(self, inst):
+        for order in ("sorted", "longest_first", "shortest_first"):
+            assert parallel_scan(inst, order).uids == \
+                scan(inst, order).uids
+
+    def test_thread_executor(self):
+        inst = exact_lambda_instance(lam=1.0, n=40)
+        assert_scan_parity(inst, executor="thread", workers=2)
+
+
+class TestScanPlusParity:
+    @given(engine_instances())
+    def test_random_instances(self, inst):
+        assert_scan_plus_parity(inst)
+
+    @given(engine_instances(force_gaps=True))
+    def test_gapped_instances(self, inst):
+        assert_scan_plus_parity(inst, max_shards=6)
+
+    @given(engine_instances(gap_free=True))
+    def test_gap_free_runs_serial_under_auto_split(self, inst):
+        # no gap cuts -> single shard -> serial path; still exact
+        assert_scan_plus_parity(inst, max_shards=5)
+
+    def test_exact_lambda_boundaries(self):
+        inst = exact_lambda_instance(lam=2.0, n=30)
+        assert_scan_plus_parity(inst, max_shards=4)
+
+    @given(engine_instances(force_gaps=True, max_posts=40))
+    def test_label_orders(self, inst):
+        for order in ("sorted", "longest_first", "shortest_first"):
+            assert parallel_scan_plus(inst, order, max_shards=4).uids \
+                == scan_plus(inst, order).uids
+
+    def test_thread_executor(self):
+        inst = Instance.from_specs(
+            [(float(i), "ab"[i % 2]) for i in range(0, 60, 3)], lam=1.0
+        )
+        assert_scan_plus_parity(inst, executor="thread", workers=2,
+                                max_shards=6)
+
+
+class TestGreedyScParity:
+    @given(engine_instances(max_posts=40))
+    def test_random_instances(self, inst):
+        assert_greedy_parity(inst)
+
+    @given(engine_instances(force_gaps=True, max_posts=40))
+    def test_gapped_instances(self, inst):
+        assert_greedy_parity(inst, max_shards=6)
+
+    @given(engine_instances(gap_free=True, max_posts=40))
+    def test_gap_free_parallel_family_build(self, inst):
+        # single shard -> the per-label family fan-out path
+        assert_greedy_parity(inst, max_shards=5)
+
+    def test_exact_lambda_boundaries(self):
+        inst = exact_lambda_instance(lam=2.0, n=30)
+        assert_greedy_parity(inst, max_shards=4)
+
+    def test_both_strategies(self):
+        inst = exact_lambda_instance(lam=2.0, n=24)
+        for strategy in ("rescan", "lazy_heap"):
+            assert parallel_greedy_sc(
+                inst, strategy=strategy, max_shards=4
+            ).uids == greedy_sc(inst, strategy=strategy).uids
+
+    def test_thread_executor(self):
+        inst = Instance.from_specs(
+            [(float(i), "ab"[i % 2]) for i in range(0, 60, 3)], lam=1.0
+        )
+        assert_greedy_parity(inst, executor="thread", workers=2,
+                             max_shards=6)
+
+
+class TestHaloSplit:
+    """Forced sharding of gap-free instances: verifier-accepted covers."""
+
+    @given(engine_instances(gap_free=True, max_posts=50))
+    @settings(deadline=None)
+    def test_scan_plus_halo_covers(self, inst):
+        solution = parallel_scan_plus(inst, split="halo", max_shards=4)
+        verify_cover(inst, solution.posts)
+
+    @given(engine_instances(gap_free=True, max_posts=40))
+    @settings(deadline=None)
+    def test_greedy_halo_covers(self, inst):
+        solution = parallel_greedy_sc(inst, split="halo", max_shards=4)
+        verify_cover(inst, solution.posts)
+
+    def test_halo_size_close_to_serial(self):
+        inst = Instance.from_specs(
+            [(float(i) * 0.4, "ab"[i % 2]) for i in range(80)], lam=1.0
+        )
+        serial = scan_plus(inst)
+        halo = parallel_scan_plus(inst, split="halo", max_shards=4)
+        assert is_cover(inst, halo.posts)
+        # seams may add a few picks but never explode the cover
+        assert halo.size <= serial.size + 2 * 4
+
+    def test_unknown_split_raises(self):
+        inst = Instance.from_specs([(0.0, "a")], lam=1.0)
+        with pytest.raises(ValueError, match="unknown split"):
+            parallel_scan_plus(inst, split="chunk")
+
+
+class TestProcessExecutor:
+    """One fixed instance per solver: process pools are expensive, the
+    pickling/rebuild path just needs to be exercised end to end."""
+
+    @pytest.fixture(scope="class")
+    def inst(self):
+        return Instance.from_specs(
+            [(float(i) * 0.8 + (3.0 if i > 40 else 0.0),
+              "abc"[i % 3] + ("a" if i % 5 == 0 and i % 3 else ""))
+             for i in range(70)],
+            lam=1.0,
+        )
+
+    def test_scan(self, inst):
+        assert_scan_parity(inst, executor="process", workers=2,
+                           max_shards=6)
+
+    def test_scan_plus(self, inst):
+        assert_scan_plus_parity(inst, executor="process", workers=2,
+                                max_shards=6)
+
+    def test_greedy_sc(self, inst):
+        assert_greedy_parity(inst, executor="process", workers=2,
+                             max_shards=6)
+
+
+class TestEngineObservability:
+    def test_scan_counters(self):
+        inst = Instance.from_specs(
+            [(float(i), "a") for i in range(0, 40, 2)], lam=1.0
+        )
+        with facade.session() as bundle:
+            parallel_scan(inst, max_shards=4)
+        counters = bundle.registry.counters()
+        assert counters["engine.scan.tasks"] >= 1
+        assert counters["engine.scan.gap_tasks"] >= 1
+        assert bundle.registry.gauge("engine.workers").value == 1
+
+    def test_halo_counters(self):
+        inst = Instance.from_specs(
+            [(float(i) * 0.4, "ab"[i % 2]) for i in range(60)], lam=1.0
+        )
+        with facade.session() as bundle:
+            parallel_scan_plus(inst, split="halo", max_shards=4)
+        counters = bundle.registry.counters()
+        assert counters["engine.scan_plus.shards"] == 4
+        assert counters["engine.scan_plus.halo_posts"] > 0
+        assert "engine.scan_plus.stitch_repairs" in counters
+
+    def test_family_fanout_counter(self):
+        inst = Instance.from_specs(
+            [(float(i) * 0.4, "ab"[i % 2]) for i in range(30)], lam=1.0
+        )
+        with facade.session() as bundle:
+            parallel_greedy_sc(inst, max_shards=1)
+        counters = bundle.registry.counters()
+        assert counters["engine.greedy_sc.family_label_tasks"] == 2
+
+    def test_results_identical_enabled_vs_disabled(self):
+        inst = exact_lambda_instance(lam=2.0, n=30)
+        plain = parallel_scan_plus(inst, max_shards=4)
+        with facade.session():
+            observed = parallel_scan_plus(inst, max_shards=4)
+        assert plain.uids == observed.uids

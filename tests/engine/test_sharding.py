@@ -1,0 +1,164 @@
+"""Shard planning and stitch repair."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given
+
+from repro.core.coverage import is_cover, uncovered_pairs
+from repro.core.instance import Instance
+from repro.core.scan import scan
+from repro.engine.columnar import snapshot
+from repro.engine.sharding import (
+    _gap_cut_positions,
+    plan_halo_shards,
+    plan_shards,
+    stitch_repair,
+)
+
+from .conftest import engine_instances
+
+
+def gapped_instance() -> Instance:
+    # three clusters separated by gaps wider than lam=1.0
+    specs = [(v, "ab") for v in (0.0, 0.5, 1.0)]
+    specs += [(v, "a") for v in (5.0, 5.5)]
+    specs += [(v, "b") for v in (10.0, 10.2, 10.9)]
+    return Instance.from_specs(specs, lam=1.0)
+
+
+class TestGapCuts:
+    def test_positions(self):
+        values = np.asarray([0.0, 0.5, 1.0, 5.0, 5.5, 10.0])
+        cuts = _gap_cut_positions(values, 1.0)
+        assert cuts.tolist() == [3, 5]
+
+    def test_exact_lambda_gap_is_not_a_cut(self):
+        # a gap of exactly lambda still couples the sides
+        values = np.asarray([0.0, 1.0, 2.0])
+        assert _gap_cut_positions(values, 1.0).tolist() == []
+
+    def test_short_arrays(self):
+        assert _gap_cut_positions(np.empty(0), 1.0).tolist() == []
+        assert _gap_cut_positions(np.asarray([3.0]), 1.0).tolist() == []
+
+
+class TestPlanShards:
+    def test_single_when_no_gaps(self):
+        inst = Instance.from_specs([(0.0, "a"), (0.5, "a")], lam=1.0)
+        plan = plan_shards(snapshot(inst), max_shards=4)
+        assert plan.kind == "single"
+        assert len(plan) == 1
+        assert plan.gap_cuts_available == 0
+
+    def test_gap_plan_partitions_instance(self):
+        inst = gapped_instance()
+        plan = plan_shards(snapshot(inst), max_shards=8)
+        assert plan.kind == "gap"
+        assert plan.shards[0].start == 0
+        assert plan.shards[-1].end == len(inst)
+        for left, right in zip(plan.shards, plan.shards[1:]):
+            assert left.end == right.start
+        for shard in plan.shards:
+            assert not shard.has_halo
+
+    def test_cut_points_really_are_gaps(self):
+        inst = gapped_instance()
+        snap = snapshot(inst)
+        plan = plan_shards(snap, max_shards=8)
+        for shard in plan.shards[1:]:
+            k = shard.start
+            assert snap.values[k] - snap.values[k - 1] > inst.lam
+
+    def test_max_shards_respected(self):
+        inst = gapped_instance()
+        plan = plan_shards(snapshot(inst), max_shards=2)
+        assert len(plan) == 2
+        assert plan.gap_cuts_available == 2
+
+    def test_max_shards_one_means_single(self):
+        plan = plan_shards(snapshot(gapped_instance()), max_shards=1)
+        assert plan.kind == "single"
+
+    @given(engine_instances(force_gaps=True))
+    def test_property_partition_and_gap_invariants(self, inst):
+        snap = snapshot(inst)
+        plan = plan_shards(snap, max_shards=6)
+        assert plan.shards[0].start == 0
+        assert plan.shards[-1].end == len(inst)
+        for left, right in zip(plan.shards, plan.shards[1:]):
+            assert left.end == right.start
+            k = right.start
+            assert snap.values[k] - snap.values[k - 1] > inst.lam
+
+
+class TestPlanHaloShards:
+    def test_cores_partition_posts(self):
+        inst = gapped_instance()
+        plan = plan_halo_shards(snapshot(inst), 3)
+        assert plan.kind == "halo"
+        assert plan.shards[0].start == 0
+        assert plan.shards[-1].end == len(inst)
+        for left, right in zip(plan.shards, plan.shards[1:]):
+            assert left.end == right.start
+
+    def test_halo_contains_lambda_neighbourhood(self):
+        inst = gapped_instance()
+        snap = snapshot(inst)
+        plan = plan_halo_shards(snap, 3)
+        lam = inst.lam
+        for shard in plan.shards:
+            lo_val = snap.values[shard.start] - lam
+            hi_val = snap.values[shard.end - 1] + lam
+            # every post within lambda of the core is inside the halo
+            for k, v in enumerate(snap.values):
+                if lo_val <= v <= hi_val:
+                    assert shard.halo_start <= k < shard.halo_end
+
+    @given(engine_instances(gap_free=True, max_posts=40))
+    def test_property_halo_invariants(self, inst):
+        snap = snapshot(inst)
+        plan = plan_halo_shards(snap, 4)
+        lam = inst.lam
+        for shard in plan.shards:
+            assert shard.halo_start <= shard.start
+            assert shard.halo_end >= shard.end
+            if shard.halo_start > 0:
+                # first excluded-left post is beyond lambda of the core
+                assert (snap.values[shard.start]
+                        - snap.values[shard.halo_start - 1]) > 0
+
+
+class TestStitchRepair:
+    def test_valid_cover_untouched(self):
+        inst = gapped_instance()
+        picks = list(scan(inst).posts)
+        repaired, added = stitch_repair(inst, picks)
+        assert added == 0
+        assert sorted(p.uid for p in repaired) == \
+            sorted(p.uid for p in picks)
+
+    def test_seam_damage_repaired(self):
+        inst = gapped_instance()
+        picks = list(scan(inst).posts)
+        # knock out a pick: simulated seam damage
+        broken = picks[:-1]
+        if not uncovered_pairs(inst, broken):
+            pytest.skip("dropping the last pick left the cover intact")
+        repaired, added = stitch_repair(inst, broken)
+        assert added >= 1
+        assert is_cover(inst, repaired)
+
+    def test_empty_picks_fully_repaired(self):
+        inst = gapped_instance()
+        repaired, added = stitch_repair(inst, [])
+        assert added >= 1
+        assert is_cover(inst, repaired)
+
+    @given(engine_instances(max_posts=30))
+    def test_property_repair_always_yields_cover(self, inst):
+        # start from half of scan's picks: arbitrary seam damage
+        picks = list(scan(inst).posts)[::2]
+        repaired, _added = stitch_repair(inst, picks)
+        assert is_cover(inst, repaired)
