@@ -38,10 +38,12 @@ from repro.observability.bench import BenchTrajectory, validate_bench
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
 BENCH_ARTIFACT = RESULTS_DIR / "BENCH_throughput.json"
 PARALLEL_ARTIFACT = RESULTS_DIR / "BENCH_parallel.json"
+SERVICE_ARTIFACT = RESULTS_DIR / "BENCH_service.json"
 SMOKE = bool(os.environ.get("BENCH_SMOKE"))
 
 _TRAJECTORY = BenchTrajectory("throughput")
 _PARALLEL_TRAJECTORY = BenchTrajectory("parallel")
+_SERVICE_TRAJECTORY = BenchTrajectory("service")
 
 
 def report(rows, title: str) -> None:
@@ -74,6 +76,19 @@ def parallel_figure():
     return _PARALLEL_TRAJECTORY.record_figure
 
 
+@pytest.fixture(scope="session")
+def service_record():
+    """Record one serving-layer workload into the service trajectory
+    (``BENCH_service.json``)."""
+    return _SERVICE_TRAJECTORY.record_solver
+
+
+@pytest.fixture(scope="session")
+def service_figure():
+    """Attach a latency/throughput table to the service trajectory."""
+    return _SERVICE_TRAJECTORY.record_figure
+
+
 def _emit(trajectory, artifact):
     RESULTS_DIR.mkdir(exist_ok=True)
     document = trajectory.write(artifact)
@@ -92,3 +107,5 @@ def pytest_sessionfinish(session, exitstatus):
         _emit(_TRAJECTORY, BENCH_ARTIFACT)
     if _PARALLEL_TRAJECTORY.solvers:
         _emit(_PARALLEL_TRAJECTORY, PARALLEL_ARTIFACT)
+    if _SERVICE_TRAJECTORY.solvers:
+        _emit(_SERVICE_TRAJECTORY, SERVICE_ARTIFACT)

@@ -68,6 +68,7 @@ from .errors import (
     LoaderError,
     ReproError,
     SanitizationError,
+    ServiceOverloadError,
     StreamOrderError,
     UnknownAlgorithmError,
 )
@@ -87,6 +88,14 @@ from .resilience import (
 from . import observability
 from .engine import parallel_greedy_sc, parallel_scan, parallel_scan_plus
 from .pipeline import DigestResult, DiversificationPipeline
+from .service import (
+    DigestRequest,
+    DiversificationService,
+    ResultCache,
+    ServiceConfig,
+    ServiceResponse,
+    Subscription,
+)
 from .viz import budget_bars, label_lanes, timeline
 
 __version__ = "1.0.0"
@@ -161,10 +170,18 @@ __all__ = [
     "SanitizationError",
     "CheckpointError",
     "LoaderError",
+    "ServiceOverloadError",
     "UnknownAlgorithmError",
     # pipeline facade
     "DiversificationPipeline",
     "DigestResult",
+    # serving layer
+    "DiversificationService",
+    "ServiceConfig",
+    "DigestRequest",
+    "ServiceResponse",
+    "Subscription",
+    "ResultCache",
     # observability (metrics, tracing, exporters, bench trajectories)
     "observability",
     # visualisation

@@ -12,7 +12,8 @@ described in the paper's system architecture (Figure 1).
 from __future__ import annotations
 
 import bisect
-from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+from typing import Any, Dict, Iterable, List, Mapping, Optional, \
+    Sequence, Tuple
 
 import numpy as np
 
@@ -221,6 +222,29 @@ class Instance:
         See :func:`repro.core.post.make_posts` for the spec format.
         """
         return cls(make_posts(specs), lam, labels=labels)
+
+    # -- wire format -------------------------------------------------------
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-safe representation: posts, lambda and the label universe.
+
+        Posting lists are derived state and are rebuilt on
+        :meth:`from_dict` rather than shipped.
+        """
+        return {
+            "posts": [post.to_dict() for post in self._posts],
+            "lam": self._lam,
+            "labels": sorted(self._labels),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "Instance":
+        """Inverse of :meth:`to_dict` (revalidates all invariants)."""
+        return cls(
+            (Post.from_dict(p) for p in payload["posts"]),
+            float(payload["lam"]),
+            labels=payload.get("labels"),
+        )
 
     def restricted_to(self, lo: float, hi: float) -> "Instance":
         """A sub-instance containing only posts with value in ``[lo, hi]``."""

@@ -14,7 +14,7 @@ algorithm in :mod:`repro.core` consumes only ``value`` and ``labels``.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import FrozenSet, Iterable, Optional
+from typing import Any, Dict, FrozenSet, Iterable, Mapping, Optional
 
 __all__ = ["Post", "make_posts"]
 
@@ -75,6 +75,28 @@ class Post:
             label in self.labels
             and label in other.labels
             and self.distance(other) <= lam
+        )
+
+    # -- wire format -------------------------------------------------------
+
+    def to_dict(self) -> Dict[str, Any]:
+        """A JSON-safe representation; labels are sorted for stability."""
+        return {
+            "uid": self.uid,
+            "value": self.value,
+            "labels": sorted(self.labels),
+            "text": self.text,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "Post":
+        """Inverse of :meth:`to_dict`; raises ``KeyError``/``TypeError``/
+        ``ValueError`` on malformed payloads (callers wrap as needed)."""
+        return cls(
+            uid=int(payload["uid"]),
+            value=float(payload["value"]),
+            labels=frozenset(payload["labels"]),
+            text=str(payload.get("text", "")),
         )
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic

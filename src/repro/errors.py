@@ -78,6 +78,17 @@ class LoaderError(ReproError):
     """
 
 
+class ServiceOverloadError(ReproError):
+    """The serving layer shed a request under admission control.
+
+    Raised by :class:`repro.service.DiversificationService` (when
+    configured with ``raise_on_shed=True``) once the token bucket is
+    drained or the pending-request queue crosses its hard watermark.  The
+    default behaviour is to return a ``"shed"`` response instead of
+    raising, so closed-loop clients can back off gracefully.
+    """
+
+
 class UnknownAlgorithmError(ReproError):
     """A name passed to the algorithm registry does not match any algorithm."""
 

@@ -12,13 +12,26 @@ costs nothing when observability is disabled.
 Everything here is deliberately dependency-free and deterministic: the
 registry takes an injectable ``clock`` (the supervisor's ``clock=``
 pattern) so tests can pin timings, and instruments are plain attribute
-holders — no locks, no background threads.  The solvers are
-single-threaded per call; callers running registries across threads
-should use one registry per thread and merge snapshots.
+holders — no background threads.
+
+Thread-safety: the solvers are single-threaded per call, but the serving
+layer (:mod:`repro.service`) publishes into one shared registry from
+concurrent executor threads, so every mutation is guarded.  Instrument
+updates take a per-instrument lock (CPython's ``+=`` on an attribute is
+*not* atomic — it compiles to a load/add/store triple that can interleave
+under preemption), and the registry's get-or-create path takes a registry
+lock so two threads racing to create the same name always converge on one
+instrument.  Reads of a single counter/gauge value stay lock-free (an
+attribute load is atomic); ``snapshot``/``counters`` lock only the
+instrument table iteration, so they are consistent per-instrument, not
+across instruments — fine for monitoring, which tolerates a tick of skew.
+The hammer test (``tests/observability/test_threadsafety.py``) pins the
+exact-total guarantees.
 """
 
 from __future__ import annotations
 
+import threading
 import time as _time
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
@@ -40,37 +53,43 @@ DEFAULT_BUCKETS: Tuple[float, ...] = (
 class Counter:
     """A monotone counter; ``inc`` with a negative amount is rejected."""
 
-    __slots__ = ("name", "value")
+    __slots__ = ("name", "value", "_lock")
 
     def __init__(self, name: str):
         self.name = name
         self.value = 0
+        self._lock = threading.Lock()
 
     def inc(self, amount: int = 1) -> None:
         if amount < 0:
             raise ValueError(
                 f"counter {self.name!r} cannot decrease (inc {amount})"
             )
-        self.value += amount
+        with self._lock:
+            self.value += amount
 
 
 class Gauge:
     """A point-in-time value (queue depth, rung index, buffer size)."""
 
-    __slots__ = ("name", "value")
+    __slots__ = ("name", "value", "_lock")
 
     def __init__(self, name: str):
         self.name = name
         self.value = 0.0
+        self._lock = threading.Lock()
 
     def set(self, value: float) -> None:
-        self.value = float(value)
+        with self._lock:
+            self.value = float(value)
 
     def inc(self, amount: float = 1.0) -> None:
-        self.value += amount
+        with self._lock:
+            self.value += amount
 
     def dec(self, amount: float = 1.0) -> None:
-        self.value -= amount
+        with self._lock:
+            self.value -= amount
 
 
 class Histogram:
@@ -82,7 +101,7 @@ class Histogram:
     """
 
     __slots__ = ("name", "buckets", "bucket_counts", "count", "total",
-                 "min", "max")
+                 "min", "max", "_lock")
 
     def __init__(self, name: str,
                  buckets: Sequence[float] = DEFAULT_BUCKETS):
@@ -95,20 +114,22 @@ class Histogram:
         self.total = 0.0
         self.min: Optional[float] = None
         self.max: Optional[float] = None
+        self._lock = threading.Lock()
 
     def observe(self, value: float) -> None:
         value = float(value)
-        self.count += 1
-        self.total += value
-        if self.min is None or value < self.min:
-            self.min = value
-        if self.max is None or value > self.max:
-            self.max = value
-        for idx, bound in enumerate(self.buckets):
-            if value <= bound:
-                self.bucket_counts[idx] += 1
-                return
-        self.bucket_counts[-1] += 1
+        with self._lock:
+            self.count += 1
+            self.total += value
+            if self.min is None or value < self.min:
+                self.min = value
+            if self.max is None or value > self.max:
+                self.max = value
+            for idx, bound in enumerate(self.buckets):
+                if value <= bound:
+                    self.bucket_counts[idx] += 1
+                    return
+            self.bucket_counts[-1] += 1
 
     @property
     def mean(self) -> Optional[float]:
@@ -127,18 +148,20 @@ class MetricsRegistry:
     def __init__(self, clock: Callable[[], float] = _time.perf_counter):
         self.clock = clock
         self._instruments: Dict[str, object] = {}
+        self._lock = threading.Lock()
 
     def _get(self, name: str, kind, factory):
-        instrument = self._instruments.get(name)
-        if instrument is None:
-            instrument = factory()
-            self._instruments[name] = instrument
-        elif not isinstance(instrument, kind):
-            raise TypeError(
-                f"metric {name!r} already registered as "
-                f"{type(instrument).__name__}, not {kind.__name__}"
-            )
-        return instrument
+        with self._lock:
+            instrument = self._instruments.get(name)
+            if instrument is None:
+                instrument = factory()
+                self._instruments[name] = instrument
+            elif not isinstance(instrument, kind):
+                raise TypeError(
+                    f"metric {name!r} already registered as "
+                    f"{type(instrument).__name__}, not {kind.__name__}"
+                )
+            return instrument
 
     def counter(self, name: str) -> Counter:
         return self._get(name, Counter, lambda: Counter(name))
@@ -154,38 +177,48 @@ class MetricsRegistry:
     # -- introspection ----------------------------------------------------
 
     def names(self) -> List[str]:
-        return sorted(self._instruments)
+        with self._lock:
+            return sorted(self._instruments)
 
     def counters(self) -> Dict[str, int]:
         """Counter values only — the work-unit view the benches record."""
+        with self._lock:
+            items = sorted(self._instruments.items())
         return {
             name: instrument.value
-            for name, instrument in sorted(self._instruments.items())
+            for name, instrument in items
             if isinstance(instrument, Counter)
         }
 
     def snapshot(self) -> Dict[str, dict]:
         """Every instrument as a JSON-safe dict, keyed by name."""
+        with self._lock:
+            items = sorted(self._instruments.items())
         out: Dict[str, dict] = {}
-        for name, instrument in sorted(self._instruments.items()):
+        for name, instrument in items:
             if isinstance(instrument, Counter):
                 out[name] = {"type": "counter", "value": instrument.value}
             elif isinstance(instrument, Gauge):
                 out[name] = {"type": "gauge", "value": instrument.value}
             else:
                 hist = instrument
-                out[name] = {
-                    "type": "histogram",
-                    "count": hist.count,
-                    "sum": hist.total,
-                    "min": hist.min,
-                    "max": hist.max,
-                    "mean": hist.mean,
-                    "buckets": [
-                        {"le": bound, "count": count}
-                        for bound, count in zip(
-                            hist.buckets, hist.bucket_counts
-                        )
-                    ] + [{"le": "+Inf", "count": hist.bucket_counts[-1]}],
-                }
+                with hist._lock:
+                    out[name] = {
+                        "type": "histogram",
+                        "count": hist.count,
+                        "sum": hist.total,
+                        "min": hist.min,
+                        "max": hist.max,
+                        "mean": (
+                            hist.total / hist.count if hist.count else None
+                        ),
+                        "buckets": [
+                            {"le": bound, "count": count}
+                            for bound, count in zip(
+                                hist.buckets, hist.bucket_counts
+                            )
+                        ] + [
+                            {"le": "+Inf", "count": hist.bucket_counts[-1]}
+                        ],
+                    }
         return out

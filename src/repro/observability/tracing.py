@@ -2,13 +2,21 @@
 
 A :class:`Span` is one timed region (a digest, a solver call, a stream
 run); spans nest, and the :class:`Tracer` keeps the finished ones in
-completion order for the exporters.  Like the metrics registry this is
-single-threaded by design — one tracer per pipeline — and the clock is
-injectable so tests can assert exact durations.
+completion order for the exporters.  The clock is injectable so tests can
+assert exact durations.
+
+Thread-safety: the serving layer opens spans from concurrent executor
+threads, so the open-span stack is **thread-local** — nesting is tracked
+per thread (a span's parent is the innermost open span *on the same
+thread*, which is the only parentage that is ever well-defined), while
+span-id allocation and the shared ``finished`` list are guarded by a
+lock.  A tracer therefore never interleaves two threads' nesting chains,
+and ``as_dicts`` sees each finished span exactly once.
 """
 
 from __future__ import annotations
 
+import threading
 import time as _time
 from contextlib import contextmanager
 from dataclasses import dataclass, field
@@ -52,17 +60,27 @@ class Span:
 
 
 class Tracer:
-    """Collects spans; nesting is tracked through a stack of open spans."""
+    """Collects spans; nesting is tracked through a per-thread stack of
+    open spans."""
 
     def __init__(self, clock: Callable[[], float] = _time.perf_counter):
         self.clock = clock
         self.finished: List[Span] = []
-        self._stack: List[Span] = []
+        self._local = threading.local()
+        self._lock = threading.Lock()
         self._next_id = 1
+
+    def _stack_for_thread(self) -> List[Span]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = []
+            self._local.stack = stack
+        return stack
 
     @property
     def depth(self) -> int:
-        return len(self._stack)
+        """Nesting depth of the *calling thread's* open spans."""
+        return len(self._stack_for_thread())
 
     @contextmanager
     def span(self, name: str, **attributes: Attr) -> Iterator[Span]:
@@ -71,16 +89,19 @@ class Tracer:
         The span is recorded even when the body raises — a crashed solver
         still shows up in the trace, flagged with an ``error`` attribute.
         """
-        parent = self._stack[-1] if self._stack else None
+        stack = self._stack_for_thread()
+        parent = stack[-1] if stack else None
+        with self._lock:
+            span_id = self._next_id
+            self._next_id += 1
         span = Span(
             name=name,
             started=self.clock(),
-            span_id=self._next_id,
+            span_id=span_id,
             parent_id=parent.span_id if parent else None,
             attributes=dict(attributes),
         )
-        self._next_id += 1
-        self._stack.append(span)
+        stack.append(span)
         try:
             yield span
         except BaseException as error:
@@ -88,8 +109,11 @@ class Tracer:
             raise
         finally:
             span.ended = self.clock()
-            self._stack.pop()
-            self.finished.append(span)
+            stack.pop()
+            with self._lock:
+                self.finished.append(span)
 
     def as_dicts(self) -> List[dict]:
-        return [span.as_dict() for span in self.finished]
+        with self._lock:
+            finished = list(self.finished)
+        return [span.as_dict() for span in finished]

@@ -23,8 +23,8 @@ order — time is, sentiment is not — and refuses otherwise.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Iterable, List, Optional, Sequence, Tuple, \
-    Union
+from typing import Any, Callable, Dict, Iterable, List, Mapping, \
+    Optional, Sequence, Tuple, Union
 
 from .core.instance import Instance
 from .core.post import Post
@@ -83,6 +83,34 @@ class DigestResult:
     @property
     def size(self) -> int:
         return self.solution.size
+
+    # -- wire format -------------------------------------------------------
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-safe representation — the serving layer's wire format."""
+        return {
+            "solution": self.solution.to_dict(),
+            "instance": self.instance.to_dict(),
+            "matched": self.matched,
+            "duplicates_dropped": self.duplicates_dropped,
+            "unmatched_dropped": self.unmatched_dropped,
+            "downgrades": [d.to_dict() for d in self.downgrades],
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "DigestResult":
+        """Inverse of :meth:`to_dict`."""
+        return cls(
+            solution=Solution.from_dict(payload["solution"]),
+            instance=Instance.from_dict(payload["instance"]),
+            matched=int(payload["matched"]),
+            duplicates_dropped=int(payload["duplicates_dropped"]),
+            unmatched_dropped=int(payload["unmatched_dropped"]),
+            downgrades=tuple(
+                DowngradeEvent.from_dict(d)
+                for d in payload.get("downgrades", [])
+            ),
+        )
 
 
 class DiversificationPipeline:
@@ -158,6 +186,36 @@ class DiversificationPipeline:
         :meth:`finish`.
         """
         return self._supervisor
+
+    def adopt_supervisor(self, supervisor: StreamSupervisor) -> None:
+        """Adopt a restored supervisor as this pipeline's stream state.
+
+        The checkpoint-recovery path (see :mod:`repro.service`): a
+        supervisor rebuilt by
+        :meth:`~repro.resilience.supervisor.StreamSupervisor.restore`
+        becomes the live stream, replacing whatever state this pipeline
+        had.  The SimHash dedup index is rebuilt from the supervisor's
+        journal so near-duplicates of already-admitted posts keep being
+        dropped after recovery.  Requires a resilience config (an
+        unsupervised pipeline has nowhere to put a supervisor).
+        """
+        if self.resilience is None:
+            raise ReproError(
+                "adopt_supervisor requires a pipeline constructed with a "
+                "resilience config"
+            )
+        self._stream = None
+        self._supervisor = supervisor
+        self._stream_dedup = None
+        self._last_value = float("-inf")
+        if self.dedup_distance is not None:
+            self._stream_dedup = SimHashIndex(
+                max_distance=self.dedup_distance
+            )
+            for post in supervisor.journal:
+                fingerprint = simhash(post.text)
+                if not self._stream_dedup.query(fingerprint):
+                    self._stream_dedup.add(post.uid, fingerprint)
 
     # -- batch path --------------------------------------------------------------
 
@@ -238,14 +296,25 @@ class DiversificationPipeline:
                 )
         return self._stream
 
-    def _is_duplicate(self, document: Document) -> bool:
+    def _dedup_probe(self, document: Document):
+        """Check the stream SimHash index without registering.
+
+        Returns ``(is_duplicate, fingerprint)``; the fingerprint is
+        ``None`` when dedup is disabled.  Registration is deferred to the
+        caller — a document must only enter the index once it is actually
+        *admitted* (matched, in order, sanitization-approved).  Registering
+        earlier lets a document the solver never sees shadow a later
+        legitimate post: an unmatched or order-violating arrival would
+        silently swallow its admitted near-twin.
+        """
         if self._stream_dedup is None:
-            return False
+            return False, None
         fingerprint = simhash(document.text)
-        if self._stream_dedup.query(fingerprint):
-            return True
-        self._stream_dedup.add(document.doc_id, fingerprint)
-        return False
+        return bool(self._stream_dedup.query(fingerprint)), fingerprint
+
+    def _dedup_register(self, document: Document, fingerprint) -> None:
+        if self._stream_dedup is not None and fingerprint is not None:
+            self._stream_dedup.add(document.doc_id, fingerprint)
 
     def feed(self, document: Document) -> List[Emission]:
         """Push one document through the streaming path.
@@ -262,30 +331,37 @@ class DiversificationPipeline:
         deadlines.  Acting on its dimension value would let a document
         the solver never sees (whose value may be garbage — think a
         mis-parsed timestamp on an unmatched post) poison the gate for
-        every later arrival.
+        every later arrival.  The SimHash index obeys the same rule: a
+        document's fingerprint is registered only once the document is
+        admitted, so a dropped arrival can never shadow a later
+        legitimate near-twin.
         """
         stream = self._ensure_stream()
         value = float(self._value_of(document))
         observed = _obs.enabled()
         if observed:
             _obs.count("pipeline.fed")
+        duplicate, fingerprint = self._dedup_probe(document)
+        if duplicate:
+            if observed:
+                _obs.count("pipeline.stream_duplicates_dropped")
+            return []
         if self._supervisor is not None:
             # The supervisor owns ordering, dedup-by-uid and malformed
             # values; SimHash near-duplicate dropping stays here.
-            if self._is_duplicate(document):
-                if observed:
-                    _obs.count("pipeline.stream_duplicates_dropped")
-                return []
             labels = self.matcher.match(document.text)
             post = Post(
                 uid=document.doc_id, value=value, labels=labels,
                 text=document.text,
             )
-            return self._supervisor.ingest(post)
-        if self._is_duplicate(document):
-            if observed:
-                _obs.count("pipeline.stream_duplicates_dropped")
-            return []
+            was_accepted = self._supervisor.accepted(post.uid)
+            emissions = self._supervisor.ingest(post)
+            # Register only on the transition into acceptance: a
+            # quarantined arrival must not shadow a later near-twin, and
+            # a duplicate-uid re-delivery must not re-register.
+            if not was_accepted and self._supervisor.accepted(post.uid):
+                self._dedup_register(document, fingerprint)
+            return emissions
         labels = self.matcher.match(document.text)
         if not labels:
             if observed:
@@ -298,6 +374,7 @@ class DiversificationPipeline:
                 f"{self._last_value}); streaming needs a monotone "
                 "dimension"
             )
+        self._dedup_register(document, fingerprint)
         emissions: List[Emission] = []
         # fire deadlines the wall clock has passed
         while True:

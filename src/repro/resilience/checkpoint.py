@@ -31,22 +31,12 @@ CHECKPOINT_VERSION = 1
 
 
 def _post_to_dict(post: Post) -> Dict[str, Any]:
-    return {
-        "uid": post.uid,
-        "value": post.value,
-        "labels": sorted(post.labels),
-        "text": post.text,
-    }
+    return post.to_dict()
 
 
 def _post_from_dict(payload: Mapping[str, Any]) -> Post:
     try:
-        return Post(
-            uid=int(payload["uid"]),
-            value=float(payload["value"]),
-            labels=frozenset(payload["labels"]),
-            text=payload.get("text", ""),
-        )
+        return Post.from_dict(payload)
     except (KeyError, TypeError, ValueError) as error:
         raise CheckpointError(f"malformed post record: {payload!r}") \
             from error

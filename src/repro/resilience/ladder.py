@@ -18,8 +18,8 @@ loses coverage.
 from __future__ import annotations
 
 import time as _time
-from dataclasses import dataclass
-from typing import Callable, Optional, Sequence, Tuple
+from dataclasses import asdict, dataclass
+from typing import Any, Callable, Dict, Mapping, Optional, Sequence, Tuple
 
 from ..core.instance import Instance
 from ..core.registry import solve
@@ -56,6 +56,22 @@ class DowngradeEvent:
     trigger: str
     elapsed: float = 0.0
     at: Optional[float] = None
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-safe representation."""
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "DowngradeEvent":
+        """Inverse of :meth:`to_dict`."""
+        at = payload.get("at")
+        return cls(
+            from_algorithm=str(payload["from_algorithm"]),
+            to_algorithm=str(payload["to_algorithm"]),
+            trigger=str(payload["trigger"]),
+            elapsed=float(payload.get("elapsed", 0.0)),
+            at=None if at is None else float(at),
+        )
 
 
 def validate_stream_ladder(ladder: Sequence[str]) -> Tuple[str, ...]:

@@ -189,6 +189,13 @@ class StreamSupervisor:
         """The admitted posts as a batch instance, for cover verification."""
         return Instance(self._journal, self.lam, labels=self.labels)
 
+    def accepted(self, uid: int) -> bool:
+        """True when an arrival with this uid passed sanitization — it is
+        either admitted (in the journal) or waiting in the reorder
+        buffer.  Quarantined arrivals return False, which is how the
+        pipeline knows not to register their SimHash fingerprints."""
+        return uid in self._seen
+
     # -- construction helpers ---------------------------------------------
 
     def _build(self, rung: int) -> StreamingAlgorithm:

@@ -1,0 +1,35 @@
+"""``repro.service`` — the async multi-tenant serving layer.
+
+The paper's motivating deployment: one diversification tier answering
+many sessions' digest queries over a shared, continuously-fed corpus.
+:class:`DiversificationService` is the front door; the supporting pieces
+(epoch-keyed :class:`ResultCache`, :class:`AdmissionController`,
+:class:`RequestCoalescer` / :class:`MicroBatcher`) are exported for
+direct use and testing.  See ``docs/serving.md`` for the tour.
+"""
+
+from .admission import ADMIT, DEGRADE, SHED, AdmissionController, \
+    AdmissionDecision, TokenBucket
+from .cache import CacheKey, CacheStats, ResultCache
+from .coalescer import MicroBatcher, RequestCoalescer
+from .service import DigestRequest, DiversificationService, \
+    ServiceConfig, ServiceResponse, Subscription
+
+__all__ = [
+    "ADMIT",
+    "DEGRADE",
+    "SHED",
+    "AdmissionController",
+    "AdmissionDecision",
+    "CacheKey",
+    "CacheStats",
+    "DigestRequest",
+    "DiversificationService",
+    "MicroBatcher",
+    "RequestCoalescer",
+    "ResultCache",
+    "ServiceConfig",
+    "ServiceResponse",
+    "Subscription",
+    "TokenBucket",
+]

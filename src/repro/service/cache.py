@@ -1,0 +1,210 @@
+"""The versioned digest-result cache.
+
+*Succinct Coverage Oracles* (PAPERS.md) argues that answering diversity
+queries at scale hinges on **reusable coverage structures**: the expensive
+part of a digest is the solver run, and a solver run is a pure function of
+``(corpus, labels, lambda, algorithm, dimension)``.  This cache exploits
+exactly that purity.  Every entry is keyed by a :class:`CacheKey` that
+embeds the **corpus epoch** — a version counter the service bumps whenever
+the corpus changes (batch ingest, stream advance, checkpoint restore) —
+so a stale entry is not merely evicted *eventually*: it becomes
+unreachable the instant the epoch moves, because no future lookup can
+construct its key.  :meth:`ResultCache.bump_epoch` additionally purges the
+dead generation eagerly so stale entries stop occupying LRU capacity.
+
+Bounds: LRU capacity (``capacity`` entries) and an optional per-entry TTL
+against the injectable clock.  All operations take the cache lock — the
+service reads from the event loop while solver threads publish results.
+
+Hit/miss/eviction/invalidation counts are tallied both locally (for the
+service health snapshot) and through the observability facade
+(``service.cache.*`` counters) when a session is active.
+"""
+
+from __future__ import annotations
+
+import threading
+import time as _time
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, FrozenSet, Iterable, NamedTuple, \
+    Optional, Tuple
+
+from ..observability import facade as _obs
+
+__all__ = ["CacheKey", "CacheStats", "ResultCache"]
+
+
+class CacheKey(NamedTuple):
+    """Identity of one digest computation.
+
+    ``epoch`` versions the corpus; the remaining fields identify the
+    query.  Two requests with equal keys are guaranteed (by solver
+    determinism) to produce identical digests, which is what makes both
+    caching and request coalescing sound.
+    """
+
+    epoch: int
+    labels: Tuple[str, ...]
+    lam: float
+    algorithm: str
+    dimension: str
+
+
+@dataclass
+class CacheStats:
+    """Monotone counters describing one cache's lifetime."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    expirations: int = 0
+    invalidations: int = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "expirations": self.expirations,
+            "invalidations": self.invalidations,
+        }
+
+
+class ResultCache:
+    """Epoch-keyed, TTL- and LRU-bounded result cache.
+
+    Parameters
+    ----------
+    capacity:
+        Maximum resident entries; the least recently used entry is
+        evicted on overflow.  Must be positive.
+    ttl:
+        Optional time-to-live in clock seconds; ``None`` disables
+        expiry.  Expiry is lazy (checked on lookup) plus purged wholesale
+        on :meth:`bump_epoch`.
+    clock:
+        Injectable monotonic time source, so tests pin TTL behaviour.
+    """
+
+    def __init__(
+        self,
+        capacity: int = 256,
+        ttl: Optional[float] = None,
+        clock: Callable[[], float] = _time.monotonic,
+    ):
+        if capacity < 1:
+            raise ValueError(f"cache capacity must be >= 1, got {capacity}")
+        if ttl is not None and ttl <= 0:
+            raise ValueError(f"cache ttl must be positive, got {ttl}")
+        self.capacity = capacity
+        self.ttl = ttl
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._entries: "OrderedDict[CacheKey, Tuple[float, Any]]" = \
+            OrderedDict()
+        self._epoch = 0
+        self.stats = CacheStats()
+
+    # -- epoch management --------------------------------------------------
+
+    @property
+    def epoch(self) -> int:
+        """The current corpus version; lookups key against it."""
+        return self._epoch
+
+    def key_for(
+        self,
+        labels: Iterable[str],
+        lam: float,
+        algorithm: str,
+        dimension: str,
+    ) -> CacheKey:
+        """Build the lookup key for the *current* epoch."""
+        return CacheKey(
+            epoch=self._epoch,
+            labels=tuple(sorted(set(labels))),
+            lam=float(lam),
+            algorithm=algorithm,
+            dimension=dimension,
+        )
+
+    def bump_epoch(self, reason: str = "") -> int:
+        """Advance the corpus version and purge the dead generation.
+
+        Called by the service on batch ingest, on every stream advance,
+        and on checkpoint restore.  Returns the new epoch.
+        """
+        with self._lock:
+            self._epoch += 1
+            stale = len(self._entries)
+            self._entries.clear()
+            self.stats.invalidations += stale
+        if _obs.enabled():
+            _obs.count("service.cache.invalidations", stale)
+            _obs.set_gauge("service.cache.epoch", self._epoch)
+        return self._epoch
+
+    # -- lookup / publish --------------------------------------------------
+
+    def get(self, key: CacheKey) -> Optional[Any]:
+        """The cached value, or ``None`` on miss/expiry/stale epoch."""
+        now = self._clock()
+        with self._lock:
+            if key.epoch != self._epoch:
+                # Unreachable via key_for, but callers may hold old keys
+                # across an epoch bump — treat them as plain misses.
+                self.stats.misses += 1
+                _obs.count("service.cache.misses")
+                return None
+            entry = self._entries.get(key)
+            if entry is None:
+                self.stats.misses += 1
+                _obs.count("service.cache.misses")
+                return None
+            stored_at, value = entry
+            if self.ttl is not None and now - stored_at > self.ttl:
+                del self._entries[key]
+                self.stats.expirations += 1
+                self.stats.misses += 1
+                if _obs.enabled():
+                    _obs.count("service.cache.expirations")
+                    _obs.count("service.cache.misses")
+                return None
+            self._entries.move_to_end(key)
+            self.stats.hits += 1
+            _obs.count("service.cache.hits")
+            return value
+
+    def put(self, key: CacheKey, value: Any) -> bool:
+        """Publish a result; silently refuses keys from a dead epoch
+        (a solve that straddled an invalidation must not resurrect the
+        old corpus).  Returns True when the entry was stored."""
+        with self._lock:
+            if key.epoch != self._epoch:
+                return False
+            self._entries[key] = (self._clock(), value)
+            self._entries.move_to_end(key)
+            evicted = 0
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+                evicted += 1
+            self.stats.evictions += evicted
+        if evicted and _obs.enabled():
+            _obs.count("service.cache.evictions", evicted)
+        return True
+
+    # -- introspection -----------------------------------------------------
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def __contains__(self, key: CacheKey) -> bool:
+        with self._lock:
+            return key in self._entries
+
+    def hit_rate(self) -> float:
+        """Hits over lookups; 0.0 before any lookup."""
+        total = self.stats.hits + self.stats.misses
+        return self.stats.hits / total if total else 0.0

@@ -1,0 +1,679 @@
+"""The asyncio multi-tenant serving front end.
+
+:class:`DiversificationService` is the tier the paper's motivating
+scenario calls for — an online digest service where many sessions
+subscribe to label sets and continuously receive lambda-covered
+summaries — implemented over the existing stack end to end:
+
+* **digest requests** flow through admission control
+  (:mod:`~repro.service.admission`), the epoch-keyed result cache
+  (:mod:`~repro.service.cache`), single-flight coalescing and solver
+  micro-batching (:mod:`~repro.service.coalescer`) onto
+  :class:`~repro.pipeline.DiversificationPipeline` running on a
+  :mod:`repro.engine` shard executor;
+* **stream traffic** feeds one supervised pipeline
+  (:class:`~repro.resilience.supervisor.StreamSupervisor` underneath),
+  so hostile arrivals are quarantined or repaired rather than crashing
+  the tier, and emissions fan out to per-session label-filtered
+  :class:`Subscription` queues;
+* **pressure degrades before it fails**: the soft watermark steps
+  requests down the batch ladder (GreedySC -> Scan+ -> Scan), the hard
+  watermark and token bucket shed, and supervisor faults surface as
+  quarantine counts and degraded responses — never unhandled exceptions;
+* **everything is observable**: RED metrics (``service.requests``,
+  ``service.errors``, ``service.latency`` histograms), cache hit/miss
+  counters, shed/degrade counters and per-stage spans, all through
+  :mod:`repro.observability`.
+
+Corpus versioning is the invariant the cache hangs off: any mutation of
+what a digest could see — batch ingest, an admitted stream arrival, a
+checkpoint restore — bumps the corpus epoch, which atomically unreaches
+every cached digest computed against the old corpus.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time as _time
+from collections import deque
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Iterable, List, Optional, \
+    Sequence, Tuple
+
+from ..core.registry import available_algorithms
+from ..core.streaming import _STREAM_FACTORIES
+from ..errors import ReproError, ServiceOverloadError
+from ..index.inverted_index import Document
+from ..index.query import TopicQuery
+from ..engine.executors import get_executor
+from ..observability import facade as _obs
+from ..pipeline import DigestResult, DiversificationPipeline
+from ..resilience.checkpoint import Checkpoint
+from ..resilience.policies import SanitizationPolicy
+from ..resilience.supervisor import ResilienceConfig, StreamSupervisor
+from ..stream.events import Emission
+from .admission import ADMIT, DEGRADE, SHED, AdmissionController, \
+    TokenBucket
+from .cache import CacheKey, ResultCache
+from .coalescer import MicroBatcher, RequestCoalescer
+
+__all__ = [
+    "DigestRequest",
+    "DiversificationService",
+    "ServiceConfig",
+    "ServiceResponse",
+    "Subscription",
+]
+
+DEFAULT_DEGRADE_LADDER: Tuple[str, ...] = ("greedy_sc", "scan+", "scan")
+
+OK = "ok"
+DEGRADED = "degraded"
+ERROR = "error"
+# SHED is reused from .admission as a response status
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Tuning knobs for one :class:`DiversificationService`.
+
+    See ``docs/serving.md`` for the tuning guide.  The defaults are
+    conservative: coalescing on (zero-window, i.e. same-tick), cache on,
+    rate limiting off, watermarks sized for a single-process deployment.
+    """
+
+    # solving
+    algorithm: str = "greedy_sc"
+    dimension: str = "time"
+    dedup_distance: Optional[int] = 3
+    degrade_ladder: Tuple[str, ...] = DEFAULT_DEGRADE_LADDER
+    executor: str = "thread"
+    workers: Optional[int] = None
+    # batching / coalescing
+    coalesce_window: float = 0.0
+    max_batch: int = 8
+    # cache
+    cache_capacity: int = 256
+    cache_ttl: Optional[float] = None
+    # admission
+    rate: Optional[float] = None
+    burst: Optional[float] = None
+    soft_watermark: int = 32
+    hard_watermark: int = 128
+    raise_on_shed: bool = False
+    # streaming
+    stream_lam: float = 60.0
+    stream_algorithm: str = "stream_scan+"
+    tau: float = 0.0
+    subscription_depth: int = 256
+    resilience: Optional[ResilienceConfig] = None
+    # time
+    clock: Callable[[], float] = _time.perf_counter
+
+    def __post_init__(self) -> None:
+        if self.algorithm not in available_algorithms():
+            raise ReproError(
+                f"unknown algorithm {self.algorithm!r}; available: "
+                + ", ".join(available_algorithms())
+            )
+        unknown = [
+            name for name in self.degrade_ladder
+            if name not in available_algorithms()
+        ]
+        if unknown:
+            raise ReproError(
+                f"unknown algorithms in degrade ladder: {unknown}"
+            )
+        if not self.degrade_ladder:
+            raise ReproError("degrade_ladder needs at least one rung")
+        if self.stream_algorithm not in _STREAM_FACTORIES:
+            raise ReproError(
+                f"unknown streaming algorithm {self.stream_algorithm!r}"
+            )
+        if self.executor not in ("serial", "thread"):
+            raise ReproError(
+                "the service batches live closures; executor must be "
+                f"'serial' or 'thread', got {self.executor!r}"
+            )
+
+
+@dataclass(frozen=True)
+class DigestRequest:
+    """One tenant's digest query.
+
+    ``labels=None`` requests the full topic universe; otherwise a subset
+    of the service's labels.  ``algorithm=None`` uses the service
+    default.  ``session`` is an opaque tenant tag for per-session
+    accounting only — it deliberately does NOT enter the cache/coalesce
+    key, which is what lets different tenants share one solver run.
+    """
+
+    lam: float
+    labels: Optional[Tuple[str, ...]] = None
+    algorithm: Optional[str] = None
+    dimension: Optional[str] = None
+    session: str = "anonymous"
+
+    def __post_init__(self) -> None:
+        if self.labels is not None:
+            object.__setattr__(
+                self, "labels", tuple(sorted(set(self.labels)))
+            )
+
+
+@dataclass(frozen=True)
+class ServiceResponse:
+    """Outcome of one digest request.
+
+    ``status`` is ``"ok"``, ``"degraded"`` (served at a lower ladder
+    rung), ``"shed"`` (refused; ``result`` is None) or ``"error"``
+    (solver failure surfaced as data, not as an exception).
+    """
+
+    status: str
+    result: Optional[DigestResult]
+    algorithm: str
+    cached: bool = False
+    coalesced: bool = False
+    latency_s: float = 0.0
+    epoch: int = 0
+    reason: str = ""
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-safe representation — the service's wire format."""
+        return {
+            "status": self.status,
+            "result": None if self.result is None else
+            self.result.to_dict(),
+            "algorithm": self.algorithm,
+            "cached": self.cached,
+            "coalesced": self.coalesced,
+            "latency_s": self.latency_s,
+            "epoch": self.epoch,
+            "reason": self.reason,
+        }
+
+
+class Subscription:
+    """A session-scoped, label-filtered stream of emissions.
+
+    The service offers every stream emission to every subscription; the
+    subscription keeps those intersecting its label filter (``None``
+    keeps everything).  The queue is bounded: on overflow the *oldest*
+    pending emission is dropped (freshness beats completeness in a live
+    digest) and ``dropped`` is incremented.
+
+    Deliberately not an :class:`asyncio.Queue`: on Python 3.9 a Queue
+    binds its event loop at construction, and subscriptions are created
+    from synchronous code, possibly before (or between) loops.  A deque
+    plus waiter futures created inside :meth:`next` is loop-agnostic.
+    """
+
+    def __init__(
+        self,
+        sid: int,
+        session: str,
+        labels: Optional[Iterable[str]] = None,
+        depth: int = 256,
+    ):
+        if depth < 1:
+            raise ValueError(f"subscription depth must be >= 1: {depth}")
+        self.sid = sid
+        self.session = session
+        self.labels = None if labels is None else frozenset(labels)
+        self.depth = depth
+        self._items: "deque" = deque()
+        self._waiters: "deque" = deque()
+        self.delivered = 0
+        self.dropped = 0
+        self.filtered = 0
+
+    def _offer(self, emission: Emission) -> bool:
+        if self.labels is not None and not (
+            emission.post.labels & self.labels
+        ):
+            self.filtered += 1
+            return False
+        self._items.append(emission)
+        self.delivered += 1
+        if len(self._items) > self.depth:
+            self._items.popleft()
+            self.dropped += 1
+            _obs.count("service.subscription.dropped")
+        while self._waiters:
+            waiter = self._waiters.popleft()
+            if not waiter.done():
+                waiter.set_result(None)
+                break
+        return True
+
+    async def next(self) -> Emission:
+        """Wait for the next matching emission."""
+        while not self._items:
+            waiter = asyncio.get_running_loop().create_future()
+            self._waiters.append(waiter)
+            try:
+                await waiter
+            finally:
+                if not waiter.done():
+                    waiter.cancel()
+        return self._items.popleft()
+
+    def drain(self) -> List[Emission]:
+        """Every emission currently queued, without waiting."""
+        out = list(self._items)
+        self._items.clear()
+        return out
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+
+class DiversificationService:
+    """Async multi-tenant serving layer over the diversification stack.
+
+    Parameters
+    ----------
+    queries:
+        The topic universe this service answers over.  Requests select
+        label subsets of it.
+    config:
+        A :class:`ServiceConfig`; defaults are sensible for tests and
+        small deployments.
+    """
+
+    def __init__(
+        self,
+        queries: Sequence[TopicQuery],
+        config: Optional[ServiceConfig] = None,
+    ):
+        self.config = config if config is not None else ServiceConfig()
+        self.queries: Tuple[TopicQuery, ...] = tuple(queries)
+        self._by_label: Dict[str, TopicQuery] = {
+            q.label: q for q in self.queries
+        }
+        if len(self._by_label) != len(self.queries):
+            raise ReproError("duplicate labels in service query set")
+        self.labels: Tuple[str, ...] = tuple(sorted(self._by_label))
+        self._clock = self.config.clock
+        self.cache = ResultCache(
+            capacity=self.config.cache_capacity,
+            ttl=self.config.cache_ttl,
+            clock=self._clock,
+        )
+        bucket = None
+        if self.config.rate is not None:
+            bucket = TokenBucket(
+                self.config.rate, self.config.burst, clock=self._clock
+            )
+        self.admission = AdmissionController(
+            bucket=bucket,
+            soft_watermark=self.config.soft_watermark,
+            hard_watermark=self.config.hard_watermark,
+        )
+        self.coalescer = RequestCoalescer()
+        self.batcher = MicroBatcher(
+            get_executor(self.config.executor, self.config.workers),
+            window=self.config.coalesce_window,
+            max_batch=self.config.max_batch,
+        )
+        self._resilience = (
+            self.config.resilience
+            if self.config.resilience is not None
+            else ResilienceConfig(policy=SanitizationPolicy())
+        )
+        self._stream_pipeline = self._build_stream_pipeline()
+        # Corpus: batch-ingested and stream-admitted documents, separate
+        # so checkpoint restore can roll back exactly the streamed part.
+        self._ingested: List[Document] = []
+        self._streamed: List[Document] = []
+        self._subscriptions: Dict[int, Subscription] = {}
+        self._next_sid = 1
+        self._pending = 0
+        self.solves = 0
+        self.requests = 0
+        self.errors = 0
+
+    # -- construction ------------------------------------------------------
+
+    def _build_stream_pipeline(self) -> DiversificationPipeline:
+        return DiversificationPipeline(
+            self.queries,
+            lam=self.config.stream_lam,
+            stream_algorithm=self.config.stream_algorithm,
+            tau=self.config.tau,
+            dimension=self.config.dimension,
+            dedup_distance=self.config.dedup_distance,
+            resilience=self._resilience,
+        )
+
+    # -- corpus ------------------------------------------------------------
+
+    @property
+    def epoch(self) -> int:
+        """The corpus version all cache keys embed."""
+        return self.cache.epoch
+
+    def corpus(self) -> Tuple[Document, ...]:
+        """Every document a digest may currently see."""
+        return tuple(self._ingested) + tuple(self._streamed)
+
+    def corpus_size(self) -> int:
+        return len(self._ingested) + len(self._streamed)
+
+    def ingest(self, documents: Iterable[Document]) -> int:
+        """Add a document batch to the corpus; invalidates the cache.
+
+        Returns the new corpus epoch.
+        """
+        documents = list(documents)
+        self._ingested.extend(documents)
+        _obs.count("service.ingested", len(documents))
+        return self.cache.bump_epoch("ingest")
+
+    # -- digest path -------------------------------------------------------
+
+    def _resolve_labels(
+        self, requested: Optional[Tuple[str, ...]]
+    ) -> Tuple[str, ...]:
+        if requested is None:
+            return self.labels
+        unknown = [lbl for lbl in requested if lbl not in self._by_label]
+        if unknown:
+            raise ReproError(
+                f"unknown labels {unknown}; this service answers over "
+                f"{list(self.labels)}"
+            )
+        if not requested:
+            raise ReproError("a digest request needs at least one label")
+        return requested
+
+    def _degraded_algorithm(self, algorithm: str, steps: int) -> str:
+        ladder = self.config.degrade_ladder
+        try:
+            start = ladder.index(algorithm)
+        except ValueError:
+            # requested algorithm is off-ladder: pressure maps straight
+            # onto the ladder from the top
+            start = -1
+        return ladder[min(start + steps, len(ladder) - 1)]
+
+    def _solve_job(
+        self,
+        labels: Tuple[str, ...],
+        lam: float,
+        algorithm: str,
+        dimension: str,
+        documents: Tuple[Document, ...],
+    ) -> DigestResult:
+        """The synchronous work unit shipped to the shard executor."""
+        queries = [self._by_label[label] for label in labels]
+        pipeline = DiversificationPipeline(
+            queries,
+            lam=lam,
+            algorithm=algorithm,
+            dimension=dimension,
+            dedup_distance=self.config.dedup_distance,
+            resilience=self.config.resilience,
+        )
+        with _obs.span(
+            "service.solve", algorithm=algorithm,
+            labels=len(labels), documents=len(documents),
+        ):
+            return pipeline.digest(documents)
+
+    async def digest(self, request: DigestRequest) -> ServiceResponse:
+        """Serve one digest request end to end.
+
+        Never raises for overload or solver failure (unless
+        ``raise_on_shed`` is set): pressure and faults come back as
+        ``shed`` / ``degraded`` / ``error`` responses.
+        """
+        started = self._clock()
+        self.requests += 1
+        if _obs.enabled():
+            _obs.count("service.requests")
+            _obs.count(f"service.sessions.{request.session}.requests")
+        decision = self.admission.admit(self._pending)
+        if decision.action == SHED:
+            _obs.count("service.shed")
+            if self.config.raise_on_shed:
+                raise ServiceOverloadError(decision.reason)
+            return ServiceResponse(
+                status=SHED, result=None,
+                algorithm=request.algorithm or self.config.algorithm,
+                latency_s=self._clock() - started,
+                epoch=self.epoch, reason=decision.reason,
+            )
+        try:
+            labels = self._resolve_labels(request.labels)
+        except ReproError as error:
+            self.errors += 1
+            _obs.count("service.errors")
+            return ServiceResponse(
+                status=ERROR, result=None,
+                algorithm=request.algorithm or self.config.algorithm,
+                latency_s=self._clock() - started,
+                epoch=self.epoch, reason=str(error),
+            )
+        algorithm = request.algorithm or self.config.algorithm
+        degraded = decision.action == DEGRADE
+        if degraded:
+            algorithm = self._degraded_algorithm(
+                algorithm, decision.degrade_steps
+            )
+            _obs.count("service.degraded")
+        dimension = request.dimension or self.config.dimension
+        key = self.cache.key_for(labels, request.lam, algorithm, dimension)
+        cached = self.cache.get(key)
+        if cached is not None:
+            latency = self._clock() - started
+            if _obs.enabled():
+                _obs.observe("service.latency", latency)
+                _obs.observe("service.latency.cache_hit", latency)
+            return ServiceResponse(
+                status=DEGRADED if degraded else OK,
+                result=cached, algorithm=algorithm, cached=True,
+                latency_s=latency, epoch=key.epoch,
+                reason=decision.reason,
+            )
+        documents = self.corpus()
+
+        async def compute() -> DigestResult:
+            self.solves += 1
+            _obs.count("service.solves")
+            return await self.batcher.run(
+                lambda: self._solve_job(
+                    labels, request.lam, algorithm, dimension, documents
+                )
+            )
+
+        self._pending += 1
+        if _obs.enabled():
+            _obs.set_gauge("service.pending", self._pending)
+        try:
+            result, coalesced = await self.coalescer.submit(key, compute)
+        except Exception as error:  # solver failure becomes data, not a crash
+            self.errors += 1
+            _obs.count("service.errors")
+            return ServiceResponse(
+                status=ERROR, result=None, algorithm=algorithm,
+                latency_s=self._clock() - started,
+                epoch=key.epoch, reason=repr(error),
+            )
+        finally:
+            self._pending -= 1
+            if _obs.enabled():
+                _obs.set_gauge("service.pending", self._pending)
+        if not coalesced:
+            self.cache.put(key, result)
+        latency = self._clock() - started
+        if _obs.enabled():
+            _obs.observe("service.latency", latency)
+            _obs.observe("service.latency.solve", latency)
+        return ServiceResponse(
+            status=DEGRADED if degraded or result.downgrades else OK,
+            result=result, algorithm=algorithm, coalesced=coalesced,
+            latency_s=latency, epoch=key.epoch, reason=decision.reason,
+        )
+
+    # -- streaming path ----------------------------------------------------
+
+    def subscribe(
+        self,
+        labels: Optional[Iterable[str]] = None,
+        session: str = "anonymous",
+    ) -> Subscription:
+        """Register a session-scoped, label-filtered emission stream."""
+        if labels is not None:
+            unknown = sorted(set(labels) - set(self.labels))
+            if unknown:
+                raise ReproError(
+                    f"unknown labels {unknown}; this service answers "
+                    f"over {list(self.labels)}"
+                )
+        subscription = Subscription(
+            sid=self._next_sid,
+            session=session,
+            labels=labels,
+            depth=self.config.subscription_depth,
+        )
+        self._next_sid += 1
+        self._subscriptions[subscription.sid] = subscription
+        _obs.count("service.subscriptions")
+        return subscription
+
+    def unsubscribe(self, subscription: Subscription) -> None:
+        self._subscriptions.pop(subscription.sid, None)
+
+    def _fan_out(self, emissions: List[Emission]) -> int:
+        delivered = 0
+        for emission in emissions:
+            for subscription in self._subscriptions.values():
+                if subscription._offer(emission):
+                    delivered += 1
+        if delivered and _obs.enabled():
+            _obs.count("service.fanned_out", delivered)
+        return delivered
+
+    async def feed(self, document: Document) -> List[Emission]:
+        """Push one stream arrival through the supervised pipeline.
+
+        Sanitization faults (corrupt values, unknown labels, duplicates,
+        disorder) are absorbed by the supervisor per its policy — this
+        call does not raise for hostile input.  Admitted documents join
+        the digest corpus and bump the epoch; emissions fan out to every
+        matching subscription before being returned.
+        """
+        with _obs.span("service.feed"):
+            supervisor_before = self._stream_pipeline.supervisor
+            accepted_before = (
+                supervisor_before is not None
+                and supervisor_before.accepted(document.doc_id)
+            )
+            emissions = self._stream_pipeline.feed(document)
+            supervisor = self._stream_pipeline.supervisor
+            accepted = (
+                supervisor is not None
+                and supervisor.accepted(document.doc_id)
+            )
+            if accepted and not accepted_before:
+                self._streamed.append(document)
+                self.cache.bump_epoch("stream-advance")
+            if emissions:
+                self._fan_out(emissions)
+        return emissions
+
+    async def flush_stream(self) -> List[Emission]:
+        """Drain pending stream state (reorder buffer, deadlines) and fan
+        the tail emissions out.  The supervisor stays live."""
+        supervisor = self._stream_pipeline.supervisor
+        if supervisor is None:
+            return []
+        emissions = supervisor.flush()
+        if emissions:
+            self._fan_out(emissions)
+        return emissions
+
+    @property
+    def supervisor(self) -> Optional[StreamSupervisor]:
+        """The stream supervisor (None until the first feed)."""
+        return self._stream_pipeline.supervisor
+
+    # -- checkpoint / restore ----------------------------------------------
+
+    def checkpoint(self) -> Checkpoint:
+        """Snapshot the streaming state (see resilience.checkpoint)."""
+        supervisor = self._stream_pipeline.supervisor
+        if supervisor is None:
+            raise ReproError(
+                "nothing to checkpoint: the stream has not started"
+            )
+        return supervisor.checkpoint()
+
+    def restore(self, checkpoint: Checkpoint) -> int:
+        """Adopt a restored supervisor and roll the corpus back to it.
+
+        The cache epoch is bumped **before** any request can observe the
+        restored state: digests cached against the pre-restore corpus —
+        including ones computed from stream state *newer* than the
+        checkpoint — become unreachable, so a rolled-back service can
+        never serve results from a future it no longer remembers.
+        Returns the new epoch.
+        """
+        supervisor = StreamSupervisor.restore(
+            checkpoint,
+            policy=self._resilience.policy,
+            arrival_budget=self._resilience.arrival_budget,
+            clock=self._resilience.clock,
+        )
+        self._stream_pipeline = self._build_stream_pipeline()
+        self._stream_pipeline.adopt_supervisor(supervisor)
+        self._streamed = [
+            Document(post.uid, post.value, post.text)
+            for post in checkpoint.journal
+        ]
+        _obs.count("service.restores")
+        return self.cache.bump_epoch("checkpoint-restore")
+
+    # -- lifecycle / health ------------------------------------------------
+
+    async def finish(self) -> List[Emission]:
+        """End the stream: drain everything, fan out the tail."""
+        emissions = self._stream_pipeline.finish()
+        if emissions:
+            self._fan_out(emissions)
+        return emissions
+
+    def health(self) -> Dict[str, Any]:
+        """A JSON-safe snapshot of the tier's vitals."""
+        supervisor = self._stream_pipeline.supervisor
+        return {
+            "epoch": self.epoch,
+            "corpus": {
+                "ingested": len(self._ingested),
+                "streamed": len(self._streamed),
+            },
+            "requests": self.requests,
+            "errors": self.errors,
+            "solves": self.solves,
+            "pending": self._pending,
+            "cache": self.cache.stats.as_dict(),
+            "cache_entries": len(self.cache),
+            "admission": dict(self.admission.decisions),
+            "batches": self.batcher.batches,
+            "subscriptions": {
+                sub.sid: {
+                    "session": sub.session,
+                    "delivered": sub.delivered,
+                    "dropped": sub.dropped,
+                    "filtered": sub.filtered,
+                    "queued": len(sub),
+                }
+                for sub in self._subscriptions.values()
+            },
+            "supervisor": (
+                None if supervisor is None
+                else supervisor.health.as_dict()
+            ),
+        }

@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import Any, Dict, List, Mapping, Optional
 
 from ..core.post import Post
 
@@ -27,6 +27,23 @@ class Emission:
     def delay(self) -> float:
         """Seconds between the post's timestamp and its emission."""
         return self.emitted_at - self.post.value
+
+    # -- wire format -------------------------------------------------------
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-safe representation — the serving layer's wire format."""
+        return {
+            "post": self.post.to_dict(),
+            "emitted_at": self.emitted_at,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "Emission":
+        """Inverse of :meth:`to_dict`."""
+        return cls(
+            post=Post.from_dict(payload["post"]),
+            emitted_at=float(payload["emitted_at"]),
+        )
 
 
 class StreamingAlgorithm:

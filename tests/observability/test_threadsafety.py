@@ -1,0 +1,181 @@
+"""Hammer tests: the metrics registry and tracer under concurrent load.
+
+The instruments were originally built for single-threaded solvers; the
+serving layer (:mod:`repro.service`) publishes into one shared registry
+from concurrent executor threads.  These tests drive every mutation path
+from many threads at once and assert the *exact* totals — a lost update
+(the classic ``+=`` load/add/store interleave) shows up as a short count.
+"""
+
+import threading
+
+import pytest
+
+from repro.observability import facade
+from repro.observability.metrics import MetricsRegistry
+from repro.observability.tracing import Tracer
+
+THREADS = 8
+ROUNDS = 2_000
+
+
+def _hammer(worker, threads=THREADS):
+    """Start ``threads`` copies of ``worker`` on a shared barrier."""
+    barrier = threading.Barrier(threads)
+    errors = []
+
+    def wrapped(index):
+        try:
+            barrier.wait()
+            worker(index)
+        except Exception as error:  # pragma: no cover - failure path
+            errors.append(error)
+
+    pool = [
+        threading.Thread(target=wrapped, args=(index,))
+        for index in range(threads)
+    ]
+    for thread in pool:
+        thread.start()
+    for thread in pool:
+        thread.join()
+    assert not errors, errors
+
+
+class TestRegistryHammer:
+    def test_counter_increments_are_exact(self):
+        registry = MetricsRegistry()
+
+        def worker(_index):
+            for _ in range(ROUNDS):
+                registry.counter("hits").inc()
+                registry.counter("bulk").inc(3)
+
+        _hammer(worker)
+        assert registry.counter("hits").value == THREADS * ROUNDS
+        assert registry.counter("bulk").value == THREADS * ROUNDS * 3
+
+    def test_histogram_totals_are_exact(self):
+        registry = MetricsRegistry()
+
+        def worker(index):
+            for round_no in range(ROUNDS):
+                registry.histogram("latency").observe(0.001 * (index + 1))
+
+        _hammer(worker)
+        hist = registry.histogram("latency")
+        assert hist.count == THREADS * ROUNDS
+        assert sum(hist.bucket_counts) == THREADS * ROUNDS
+        expected_total = sum(
+            0.001 * (index + 1) * ROUNDS for index in range(THREADS)
+        )
+        assert hist.total == pytest.approx(expected_total)
+
+    def test_get_or_create_race_converges_on_one_instrument(self):
+        registry = MetricsRegistry()
+        grabbed = [None] * THREADS
+
+        def worker(index):
+            counter = registry.counter("raced")
+            grabbed[index] = counter
+            counter.inc()
+
+        _hammer(worker)
+        assert all(c is grabbed[0] for c in grabbed)
+        assert registry.counter("raced").value == THREADS
+
+    def test_gauge_inc_dec_balance(self):
+        registry = MetricsRegistry()
+
+        def worker(_index):
+            gauge = registry.gauge("depth")
+            for _ in range(ROUNDS):
+                gauge.inc()
+                gauge.dec()
+
+        _hammer(worker)
+        assert registry.gauge("depth").value == pytest.approx(0.0)
+
+    def test_snapshot_while_writing_does_not_crash(self):
+        registry = MetricsRegistry()
+        stop = threading.Event()
+
+        def writer(_index):
+            while not stop.is_set():
+                registry.counter("spin").inc()
+                registry.histogram("h").observe(0.5)
+
+        threads = [
+            threading.Thread(target=writer, args=(i,)) for i in range(4)
+        ]
+        for thread in threads:
+            thread.start()
+        try:
+            for _ in range(200):
+                snap = registry.snapshot()
+                assert snap.get("h", {}).get("count", 0) >= 0
+        finally:
+            stop.set()
+            for thread in threads:
+                thread.join()
+
+
+class TestTracerHammer:
+    def test_concurrent_spans_all_recorded_with_unique_ids(self):
+        tracer = Tracer()
+
+        def worker(index):
+            for round_no in range(200):
+                with tracer.span("outer", thread=index):
+                    with tracer.span("inner", round=round_no):
+                        pass
+
+        _hammer(worker)
+        assert len(tracer.finished) == THREADS * 200 * 2
+        ids = [span.span_id for span in tracer.finished]
+        assert len(set(ids)) == len(ids)
+
+    def test_nesting_is_per_thread(self):
+        """A span's parent is always a span opened on the same thread."""
+        tracer = Tracer()
+        owner = {}  # span_id -> thread index
+
+        def worker(index):
+            for _ in range(200):
+                with tracer.span("outer") as outer:
+                    owner[outer.span_id] = index
+                    with tracer.span("inner") as inner:
+                        owner[inner.span_id] = index
+
+        _hammer(worker)
+        by_id = {span.span_id: span for span in tracer.finished}
+        for span in tracer.finished:
+            if span.parent_id is None:
+                continue
+            assert span.parent_id in by_id
+            assert owner[span.parent_id] == owner[span.span_id]
+
+    def test_depth_is_thread_local(self):
+        tracer = Tracer()
+        with tracer.span("main-thread"):
+            seen = []
+
+            def other():
+                seen.append(tracer.depth)
+
+            thread = threading.Thread(target=other)
+            thread.start()
+            thread.join()
+        assert seen == [0]
+
+
+class TestFacadeHammer:
+    def test_shared_session_counts_exactly(self):
+        with facade.session() as bundle:
+            def worker(_index):
+                for _ in range(ROUNDS):
+                    facade.count("service.requests")
+
+            _hammer(worker)
+            value = bundle.registry.counter("service.requests").value
+        assert value == THREADS * ROUNDS

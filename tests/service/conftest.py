@@ -1,0 +1,69 @@
+"""Shared fixtures for the serving-layer tests.
+
+Everything here is deterministic: texts carry per-document unique tokens
+so SimHash never accidentally merges two fixtures, timestamps are evenly
+spaced, and services default to ``dedup_distance=None`` so document
+counts stay exact unless a test opts dedup back in.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import List, Optional, Sequence
+
+import pytest
+
+from repro.index.inverted_index import Document
+from repro.index.query import TopicQuery
+from repro.service import DiversificationService, ServiceConfig
+
+TOPIC_TEXTS = ("golf putt", "nba dunk", "cpu kernel")
+
+
+def make_queries() -> List[TopicQuery]:
+    return [
+        TopicQuery("golf", ["golf", "putt"]),
+        TopicQuery("nba", ["nba", "dunk"]),
+        TopicQuery("tech", ["cpu", "kernel"]),
+    ]
+
+
+def make_docs(
+    n: int = 24, step: float = 10.0, offset: int = 0
+) -> List[Document]:
+    """``n`` documents cycling through the three topics, ``step`` apart."""
+    docs = []
+    for i in range(n):
+        uid = offset + i
+        text = (
+            f"{TOPIC_TEXTS[i % 3]} update number{uid} "
+            f"token{uid * 7} extra{uid * 13}"
+        )
+        docs.append(Document(uid, uid * step, text))
+    return docs
+
+
+def make_service(
+    queries: Optional[Sequence[TopicQuery]] = None,
+    **overrides,
+) -> DiversificationService:
+    overrides.setdefault("dedup_distance", None)
+    return DiversificationService(
+        queries if queries is not None else make_queries(),
+        ServiceConfig(**overrides),
+    )
+
+
+def run(coro):
+    """The suite has no pytest-asyncio; drive coroutines explicitly."""
+    return asyncio.run(coro)
+
+
+@pytest.fixture
+def queries() -> List[TopicQuery]:
+    return make_queries()
+
+
+@pytest.fixture
+def docs() -> List[Document]:
+    return make_docs()

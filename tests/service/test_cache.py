@@ -1,0 +1,122 @@
+"""Unit tests for the epoch-keyed result cache."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.service import ResultCache
+from repro.service.cache import CacheKey
+
+
+class FakeClock:
+    def __init__(self, now: float = 0.0):
+        self.now = now
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, dt: float) -> None:
+        self.now += dt
+
+
+@pytest.fixture
+def clock():
+    return FakeClock()
+
+
+def key(cache, labels=("golf",), lam=30.0, algorithm="greedy_sc"):
+    return cache.key_for(labels, lam, algorithm, "time")
+
+
+def test_put_get_round_trip(clock):
+    cache = ResultCache(clock=clock)
+    k = key(cache)
+    assert cache.get(k) is None
+    assert cache.put(k, "digest")
+    assert cache.get(k) == "digest"
+    assert cache.stats.hits == 1
+    assert cache.stats.misses == 1
+
+
+def test_key_for_normalises_labels(clock):
+    cache = ResultCache(clock=clock)
+    assert key(cache, labels=("b", "a", "a")) == key(cache, labels=("a", "b"))
+
+
+def test_distinct_parameters_distinct_keys(clock):
+    cache = ResultCache(clock=clock)
+    base = key(cache)
+    assert key(cache, lam=31.0) != base
+    assert key(cache, algorithm="scan+") != base
+    assert key(cache, labels=("nba",)) != base
+
+
+def test_bump_epoch_purges_and_unreaches(clock):
+    cache = ResultCache(clock=clock)
+    k = key(cache)
+    cache.put(k, "old")
+    assert cache.bump_epoch("ingest") == 1
+    assert len(cache) == 0
+    assert cache.stats.invalidations == 1
+    # the stale key misses even if a caller kept it around
+    assert cache.get(k) is None
+    # and a fresh key for the same query is a different key
+    assert key(cache) != k
+    assert key(cache).epoch == 1
+
+
+def test_put_refuses_dead_epoch_keys(clock):
+    """A solve that straddled an invalidation must not resurrect the old
+    corpus."""
+    cache = ResultCache(clock=clock)
+    stale = key(cache)
+    cache.bump_epoch("stream-advance")
+    assert not cache.put(stale, "stale-digest")
+    assert len(cache) == 0
+
+
+def test_lru_eviction_order(clock):
+    cache = ResultCache(capacity=2, clock=clock)
+    k1, k2, k3 = (key(cache, lam=float(i)) for i in range(3))
+    cache.put(k1, 1)
+    cache.put(k2, 2)
+    assert cache.get(k1) == 1  # refresh k1; k2 becomes LRU
+    cache.put(k3, 3)
+    assert cache.get(k2) is None
+    assert cache.get(k1) == 1
+    assert cache.get(k3) == 3
+    assert cache.stats.evictions == 1
+
+
+def test_ttl_expiry_is_lazy(clock):
+    cache = ResultCache(ttl=5.0, clock=clock)
+    k = key(cache)
+    cache.put(k, "digest")
+    clock.advance(4.9)
+    assert cache.get(k) == "digest"
+    clock.advance(0.2)
+    assert cache.get(k) is None
+    assert cache.stats.expirations == 1
+    assert k not in cache
+
+
+def test_hit_rate(clock):
+    cache = ResultCache(clock=clock)
+    k = key(cache)
+    assert cache.hit_rate() == 0.0
+    cache.get(k)
+    cache.put(k, 1)
+    cache.get(k)
+    assert cache.hit_rate() == 0.5
+
+
+def test_rejects_bad_parameters():
+    with pytest.raises(ValueError):
+        ResultCache(capacity=0)
+    with pytest.raises(ValueError):
+        ResultCache(ttl=0.0)
+
+
+def test_cache_key_is_hashable_and_value_typed():
+    k = CacheKey(0, ("a",), 1.0, "scan", "time")
+    assert hash(k) == hash(CacheKey(0, ("a",), 1.0, "scan", "time"))

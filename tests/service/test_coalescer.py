@@ -1,0 +1,190 @@
+"""Unit tests for single-flight coalescing and solver micro-batching."""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+
+import pytest
+
+from repro.engine.executors import SerialExecutor, ThreadExecutor
+from repro.service import MicroBatcher, RequestCoalescer
+
+from .conftest import run
+
+
+def test_lone_submit_computes():
+    async def main():
+        coalescer = RequestCoalescer()
+
+        async def compute():
+            return 42
+
+        result, coalesced = await coalescer.submit("k", compute)
+        assert (result, coalesced) == (42, False)
+        assert coalescer.inflight() == 0
+
+    run(main())
+
+
+def test_concurrent_identical_keys_share_one_run():
+    async def main():
+        coalescer = RequestCoalescer()
+        gate = asyncio.Event()
+        calls = []
+
+        async def compute():
+            calls.append(1)
+            await gate.wait()
+            return object()  # identity proves sharing
+
+        async def late_release():
+            await asyncio.sleep(0)
+            gate.set()
+
+        results = await asyncio.gather(
+            *[coalescer.submit("k", compute) for _ in range(6)],
+            late_release(),
+        )
+        outcomes = results[:6]
+        assert len(calls) == 1
+        leaders = [r for r, c in outcomes if not c]
+        followers = [r for r, c in outcomes if c]
+        assert len(leaders) == 1 and len(followers) == 5
+        assert all(f is leaders[0] for f in followers)
+
+    run(main())
+
+
+def test_distinct_keys_do_not_coalesce():
+    async def main():
+        coalescer = RequestCoalescer()
+
+        async def compute_for(key):
+            await asyncio.sleep(0)
+            return key * 2
+
+        pairs = await asyncio.gather(
+            *[
+                coalescer.submit(k, lambda k=k: compute_for(k))
+                for k in range(4)
+            ]
+        )
+        assert [r for r, _ in pairs] == [0, 2, 4, 6]
+        assert not any(c for _, c in pairs)
+
+    run(main())
+
+
+def test_leader_failure_propagates_and_releases_key():
+    async def main():
+        coalescer = RequestCoalescer()
+        gate = asyncio.Event()
+
+        async def explode():
+            await gate.wait()
+            raise ValueError("boom")
+
+        async def late_release():
+            await asyncio.sleep(0)
+            gate.set()
+
+        outcomes = await asyncio.gather(
+            coalescer.submit("k", explode),
+            coalescer.submit("k", explode),
+            late_release(),
+            return_exceptions=True,
+        )
+        assert all(
+            isinstance(o, ValueError) for o in outcomes[:2]
+        ), outcomes
+        # key released: the next submit computes fresh
+        async def recover():
+            return "fine"
+
+        assert await coalescer.submit("k", recover) == ("fine", False)
+
+    run(main())
+
+
+def test_sequential_submits_compute_each_time():
+    """Coalescing is in-flight-only; memoisation is the cache's job."""
+
+    async def main():
+        coalescer = RequestCoalescer()
+        calls = []
+
+        async def compute():
+            calls.append(1)
+            return len(calls)
+
+        first = await coalescer.submit("k", compute)
+        second = await coalescer.submit("k", compute)
+        assert first == (1, False)
+        assert second == (2, False)
+
+    run(main())
+
+
+def test_batcher_collects_same_tick_jobs_into_one_batch():
+    async def main():
+        batcher = MicroBatcher(SerialExecutor(), window=0.0, max_batch=8)
+        results = await asyncio.gather(
+            *[batcher.run(lambda i=i: i * i) for i in range(5)]
+        )
+        assert results == [0, 1, 4, 9, 16]
+        assert batcher.batches == 1
+        assert batcher.jobs == 5
+
+    run(main())
+
+
+def test_batcher_flushes_at_max_batch():
+    async def main():
+        batcher = MicroBatcher(SerialExecutor(), window=60.0, max_batch=2)
+        results = await asyncio.gather(
+            *[batcher.run(lambda i=i: i) for i in range(4)]
+        )
+        assert results == [0, 1, 2, 3]
+        assert batcher.batches == 2  # never waited for the 60s window
+
+    run(main())
+
+
+def test_batcher_isolates_job_failures():
+    async def main():
+        batcher = MicroBatcher(SerialExecutor(), max_batch=3)
+
+        def ok():
+            return "ok"
+
+        def bad():
+            raise RuntimeError("this job only")
+
+        outcomes = await asyncio.gather(
+            batcher.run(ok), batcher.run(bad), batcher.run(ok),
+            return_exceptions=True,
+        )
+        assert outcomes[0] == "ok" and outcomes[2] == "ok"
+        assert isinstance(outcomes[1], RuntimeError)
+
+    run(main())
+
+
+def test_batcher_on_thread_executor_runs_off_loop():
+    async def main():
+        batcher = MicroBatcher(ThreadExecutor(2), max_batch=4)
+        loop_thread = threading.get_ident()
+        threads = await asyncio.gather(
+            *[batcher.run(threading.get_ident) for _ in range(4)]
+        )
+        assert all(t != loop_thread for t in threads)
+
+    run(main())
+
+
+def test_batcher_rejects_bad_parameters():
+    with pytest.raises(ValueError):
+        MicroBatcher(SerialExecutor(), window=-1.0)
+    with pytest.raises(ValueError):
+        MicroBatcher(SerialExecutor(), max_batch=0)

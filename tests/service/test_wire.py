@@ -1,0 +1,180 @@
+"""Round-trip property tests for the wire format (satellite 1).
+
+Every serializable type must satisfy ``from_dict(json.loads(json.dumps(
+x.to_dict()))) == x`` — i.e. survive a real JSON hop, not just a dict
+copy.  ``Instance`` has identity equality by design, so its round trip is
+checked field-wise.
+"""
+
+from __future__ import annotations
+
+import json
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.instance import Instance
+from repro.core.post import Post
+from repro.core.solution import Solution
+from repro.pipeline import DigestResult
+from repro.resilience.ladder import DowngradeEvent
+from repro.service import DigestRequest, ServiceResponse
+from repro.stream.events import Emission
+
+finite = st.floats(allow_nan=False, allow_infinity=False, width=32)
+labels_st = st.frozensets(
+    st.sampled_from(["a", "b", "c", "d", "e"]), min_size=1, max_size=4
+)
+texts = st.text(max_size=40)
+
+posts_st = st.builds(
+    Post,
+    uid=st.integers(min_value=0, max_value=10**6),
+    value=finite,
+    labels=labels_st,
+    text=texts,
+)
+
+
+def hop(payload):
+    """Force the payload through an actual JSON encode/decode."""
+    return json.loads(json.dumps(payload))
+
+
+@st.composite
+def instances(draw):
+    posts = draw(
+        st.lists(posts_st, min_size=1, max_size=8, unique_by=lambda p: p.uid)
+    )
+    lam = draw(st.floats(min_value=0.0, max_value=1e6, width=32))
+    universe = frozenset().union(*(p.labels for p in posts))
+    return Instance(posts, lam, labels=universe)
+
+
+@st.composite
+def solutions(draw):
+    instance = draw(instances())
+    size = draw(st.integers(min_value=0, max_value=len(instance.posts)))
+    return Solution(
+        algorithm=draw(st.sampled_from(["opt", "greedy_sc", "scan+"])),
+        posts=tuple(instance.posts[:size]),
+        elapsed=draw(st.floats(min_value=0.0, max_value=10.0, width=32)),
+    )
+
+
+downgrades_st = st.builds(
+    DowngradeEvent,
+    from_algorithm=st.sampled_from(["opt", "greedy_sc"]),
+    to_algorithm=st.sampled_from(["scan+", "scan"]),
+    trigger=st.sampled_from(["budget", "error"]),
+    elapsed=st.floats(min_value=0.0, max_value=5.0, width=32),
+    at=st.one_of(st.none(), finite),
+)
+
+
+@given(posts_st)
+def test_post_round_trips(post):
+    assert Post.from_dict(hop(post.to_dict())) == post
+
+
+@given(posts_st)
+def test_post_labels_serialize_sorted(post):
+    assert post.to_dict()["labels"] == sorted(post.labels)
+
+
+@settings(max_examples=50)
+@given(instances())
+def test_instance_round_trips_fieldwise(instance):
+    back = Instance.from_dict(hop(instance.to_dict()))
+    assert back.posts == instance.posts
+    assert back.lam == instance.lam
+    assert back.labels == instance.labels
+
+
+@settings(max_examples=50)
+@given(solutions())
+def test_solution_round_trips(solution):
+    back = Solution.from_dict(hop(solution.to_dict()))
+    assert back == solution
+    assert back.elapsed == solution.elapsed  # compare=False, check anyway
+
+
+@given(posts_st, st.floats(min_value=0.0, max_value=1e6, width=32))
+def test_emission_round_trips(post, delay):
+    emission = Emission(post=post, emitted_at=post.value + delay)
+    back = Emission.from_dict(hop(emission.to_dict()))
+    assert back == emission
+    assert back.delay == emission.delay
+
+
+@given(downgrades_st)
+def test_downgrade_event_round_trips(event):
+    assert DowngradeEvent.from_dict(hop(event.to_dict())) == event
+
+
+@settings(max_examples=30)
+@given(
+    solutions(),
+    st.integers(min_value=0, max_value=50),
+    st.integers(min_value=0, max_value=50),
+    st.lists(downgrades_st, max_size=3),
+)
+def test_digest_result_round_trips(solution, duplicates, unmatched, events):
+    instance = Instance(
+        solution.posts or [Post(0, 0.0, frozenset("a"))],
+        lam=1.0,
+    )
+    result = DigestResult(
+        solution=solution,
+        instance=instance,
+        matched=len(instance.posts),
+        duplicates_dropped=duplicates,
+        unmatched_dropped=unmatched,
+        downgrades=tuple(events),
+    )
+    back = DigestResult.from_dict(hop(result.to_dict()))
+    assert back.solution == result.solution
+    assert back.instance.posts == result.instance.posts
+    assert back.instance.lam == result.instance.lam
+    assert back.instance.labels == result.instance.labels
+    assert back.matched == result.matched
+    assert back.duplicates_dropped == result.duplicates_dropped
+    assert back.unmatched_dropped == result.unmatched_dropped
+    assert back.downgrades == result.downgrades
+
+
+def test_service_response_is_json_safe():
+    posts = (Post(1, 5.0, frozenset({"a"}), text="hello"),)
+    instance = Instance(posts, lam=2.0)
+    result = DigestResult(
+        solution=Solution("greedy_sc", posts),
+        instance=instance,
+        matched=1,
+        duplicates_dropped=0,
+        unmatched_dropped=2,
+    )
+    response = ServiceResponse(
+        status="ok", result=result, algorithm="greedy_sc",
+        cached=True, latency_s=0.01, epoch=3,
+    )
+    payload = hop(response.to_dict())
+    assert payload["status"] == "ok"
+    assert payload["cached"] is True
+    assert payload["epoch"] == 3
+    restored = DigestResult.from_dict(payload["result"])
+    assert restored.solution == result.solution
+
+
+def test_shed_response_serializes_without_result():
+    response = ServiceResponse(
+        status="shed", result=None, algorithm="greedy_sc",
+        reason="token bucket empty",
+    )
+    payload = hop(response.to_dict())
+    assert payload["result"] is None
+    assert payload["reason"] == "token bucket empty"
+
+
+def test_digest_request_normalises_labels():
+    request = DigestRequest(lam=5.0, labels=("b", "a", "b"))
+    assert request.labels == ("a", "b")

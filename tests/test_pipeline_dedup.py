@@ -1,0 +1,173 @@
+"""The streaming dedup path under interleaved multi-session feeds.
+
+The SimHash index must only learn fingerprints of *admitted* documents.
+Before the fix pinned here, ``DiversificationPipeline.feed`` registered a
+document's fingerprint during the duplicate probe — before the unmatched
+filter, the monotonicity gate, and the supervisor's sanitization had run
+— so a document the solver never saw could silently swallow a later,
+perfectly legitimate near-twin.  The interleaved-session tests mirror the
+serving layer, where many user sessions push documents through shared and
+per-session pipelines in arbitrary interleavings.
+"""
+
+import math
+
+import pytest
+
+from repro import DiversificationPipeline, ResilienceConfig
+from repro.errors import StreamOrderError
+from repro.index.inverted_index import Document
+from repro.index.query import TopicQuery
+from repro.index.simhash import hamming_distance, simhash
+from repro.resilience.policies import SanitizationPolicy
+
+# Texts chosen so UNMATCHED and MATCHED_TWIN are SimHash near-duplicates
+# at distance 10 (pinned below) while only the twin carries a keyword.
+UNMATCHED = "weather is nice today by the lake"
+MATCHED_TWIN = "weather is nice today by the tiger"
+DEDUP_DISTANCE = 12
+
+
+def _queries():
+    return [
+        TopicQuery(label="golf", keywords=frozenset({"tiger", "golf"})),
+        TopicQuery(label="nba", keywords=frozenset({"lebron", "nba"})),
+    ]
+
+
+def _pipeline(**kwargs):
+    # lam is kept below every inter-arrival gap so the "instant"
+    # algorithm emits each admitted post — making admission observable.
+    kwargs.setdefault("dedup_distance", DEDUP_DISTANCE)
+    kwargs.setdefault("stream_algorithm", "instant")
+    return DiversificationPipeline(_queries(), lam=0.1, **kwargs)
+
+
+def test_fixture_texts_are_near_duplicates():
+    distance = hamming_distance(simhash(UNMATCHED), simhash(MATCHED_TWIN))
+    assert 0 < distance <= DEDUP_DISTANCE
+
+
+class TestAdmissionGatesDedup:
+    def test_unmatched_document_does_not_shadow_matched_twin(self):
+        pipeline = _pipeline()
+        assert pipeline.feed(Document(0, 0.0, UNMATCHED)) == []
+        emissions = pipeline.feed(Document(1, 1.0, MATCHED_TWIN))
+        # The twin is a legitimate, admitted post: it must reach the
+        # solver (and, under "instant", be emitted immediately).
+        assert [e.post.uid for e in emissions] == [1]
+        pipeline.finish()
+
+    def test_order_violation_does_not_poison_retry(self):
+        pipeline = _pipeline()
+        pipeline.feed(Document(0, 100.0, "tiger wins the open"))
+        late = Document(1, 50.0, "lebron dominates the nba game")
+        with pytest.raises(StreamOrderError):
+            pipeline.feed(late)
+        # The producer fixes the timestamp and re-sends the same message;
+        # it must not collide with its own failed first attempt.
+        emissions = pipeline.feed(
+            Document(1, 100.0, "lebron dominates the nba game")
+        )
+        assert [e.post.uid for e in emissions] == [1]
+        pipeline.finish()
+
+    def test_true_duplicates_are_still_dropped(self):
+        pipeline = _pipeline()
+        first = pipeline.feed(Document(0, 0.0, "tiger wins the open"))
+        second = pipeline.feed(Document(1, 1.0, "tiger wins the open"))
+        assert [e.post.uid for e in first] == [0]
+        assert second == []
+        pipeline.finish()
+
+
+class TestSupervisedDedup:
+    def _supervised(self):
+        return _pipeline(
+            resilience=ResilienceConfig(policy=SanitizationPolicy()),
+        )
+
+    def test_quarantined_corrupt_value_does_not_shadow_redelivery(self):
+        pipeline = self._supervised()
+        # A mangled timestamp gets the post quarantined...
+        bad = Document(0, math.nan, "tiger wins the open")
+        assert pipeline.feed(bad) == []
+        assert pipeline.supervisor.health.quarantined == 1
+        assert not pipeline.supervisor.accepted(0)
+        # ...then the transport re-parses and re-delivers the same
+        # message.  It must be admitted, not dropped as a near-duplicate
+        # of its own quarantined ghost.
+        emissions = pipeline.feed(Document(1, 5.0, "tiger wins the open"))
+        pipeline.finish()
+        assert pipeline.supervisor is None
+        assert [e.post.uid for e in emissions] == [1]
+
+    def test_duplicate_uid_redelivery_does_not_reregister(self):
+        pipeline = self._supervised()
+        pipeline.feed(Document(0, 0.0, "tiger wins the open"))
+        # Same uid, reworded beyond the SimHash radius: the supervisor
+        # rejects it as a duplicate uid; registration must not blow up on
+        # the already-registered doc_id.
+        reworded = Document(0, 1.0, "lebron dominates the nba game")
+        assert pipeline.feed(reworded) == []
+        assert pipeline.supervisor.health.duplicates == 1
+        pipeline.finish()
+
+
+class TestInterleavedSessions:
+    def test_sessions_have_independent_dedup_state(self):
+        """Two per-session pipelines fed in interleaved order: session A's
+        history must never shadow session B's documents."""
+        session_a = _pipeline()
+        session_b = _pipeline()
+        text = "tiger wins the open"
+        out_a1 = session_a.feed(Document(0, 0.0, text))
+        out_b1 = session_b.feed(Document(100, 0.5, text))
+        out_a2 = session_a.feed(Document(1, 1.0, text))
+        out_b2 = session_b.feed(Document(101, 1.5, text))
+        # each session admits its first copy and drops its own re-post
+        assert [e.post.uid for e in out_a1] == [0]
+        assert [e.post.uid for e in out_b1] == [100]
+        assert out_a2 == []
+        assert out_b2 == []
+        session_a.finish()
+        session_b.finish()
+
+    def test_shared_pipeline_interleaved_feeds_keep_counts_exact(self):
+        """One shared pipeline, two producers interleaving: duplicates
+        are dropped exactly once each, non-duplicates all admitted."""
+        pipeline = _pipeline()
+        feed_plan = [
+            (0, 0.0, "tiger wins the open"),            # A: admitted
+            (100, 1.0, "lebron dominates the nba game"),  # B: admitted
+            (1, 2.0, "tiger wins the open"),            # A: duplicate
+            (101, 3.0, "lebron dominates the nba game"),  # B: duplicate
+            (2, 4.0, UNMATCHED),                        # A: unmatched
+            (102, 5.0, MATCHED_TWIN),                   # B: admitted
+        ]
+        emitted = []
+        for uid, when, text in feed_plan:
+            emitted.extend(pipeline.feed(Document(uid, when, text)))
+        emitted.extend(pipeline.finish())
+        assert sorted(e.post.uid for e in emitted) == [0, 100, 102]
+
+    def test_interleaved_sessions_against_batch_reference(self):
+        """The streaming dedup decisions match the batch digest over the
+        same interleaved document set."""
+        documents = [
+            Document(0, 0.0, "tiger wins the open"),
+            Document(100, 10.0, "lebron dominates the nba game"),
+            Document(1, 20.0, "tiger wins the open"),
+            Document(2, 30.0, "golf playoff goes to extra holes"),
+            Document(101, 40.0, "nba trade rumors heat up"),
+        ]
+        stream = _pipeline()
+        emitted = []
+        for document in documents:
+            emitted.extend(stream.feed(document))
+        emitted.extend(stream.finish())
+        batch = _pipeline().digest(documents)
+        streamed_uids = {e.post.uid for e in emitted}
+        # instant streaming emits every admitted post; the batch path
+        # admits the same survivors into its instance.
+        assert streamed_uids == {p.uid for p in batch.instance.posts}
