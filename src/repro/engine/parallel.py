@@ -24,10 +24,15 @@ Parity contract (enforced by the property suite in
 
 Process executors never pickle live instances: shards travel as
 :class:`~repro.engine.columnar.ShardPayload` arrays and are rebuilt on
-the worker.  Worker-side observability counters stay in the worker
+the worker.  Worker-side observability *counters* stay in the worker
 process; the engine publishes its own counters (shards, tasks, halo
-posts, fix-up re-runs, stitch repairs) in the parent, so the PR-2 facade
-still tells the whole planning story.
+posts, fix-up re-runs, stitch repairs) in the parent.  Worker-side
+*spans* do cross back: every shard task runs through
+:func:`~repro.observability.requesttrace.traced_run`, which records a
+per-shard span in the caller's tracer (in-process executors) or exports
+the worker's finished spans with the shard result and re-parents them
+on return (process executors), so an assembled request trace includes
+the shard work wherever it ran.
 """
 
 from __future__ import annotations
@@ -41,6 +46,7 @@ from ..core.post import Post
 from ..core.scan import _scan_plus_posts, order_labels
 from ..core.solution import Solution, timed_solution
 from ..observability import facade as _obs
+from ..observability.requesttrace import traced_run
 from .columnar import ShardPayload, snapshot
 from .executors import ProcessExecutor, ShardExecutor, get_executor
 from .kernels import first_uncovered, scan_segment_kernel
@@ -182,7 +188,8 @@ def _scan_posts_parallel(
         else:
             args.append((values, lam, start, end))
             rebase.append(0)
-    results = executor.run(_scan_task, args)
+    results = traced_run(executor, _scan_task, args,
+                         name="engine.scan.shard")
 
     # Merge per label, left to right, chaining the carry state.  A task
     # whose speculative start does not match where coverage really
@@ -343,8 +350,10 @@ def _scan_plus_posts_parallel(
     if len(plan) == 1:
         return _scan_plus_posts(instance, list(label_order))
     order = tuple(label_order)
-    uid_lists = executor.run(
-        _scan_plus_shard, [(payload, order) for payload in payloads]
+    uid_lists = traced_run(
+        executor, _scan_plus_shard,
+        [(payload, order) for payload in payloads],
+        name="engine.scan_plus.shard",
     )
     return _merge_shard_uids(instance, plan, uid_lists, "scan_plus")
 
@@ -391,9 +400,10 @@ def _greedy_posts_parallel(
     plan, payloads = _instance_shards(instance, max_shards, split)
     _count_plan(plan, "greedy_sc")
     if len(plan) > 1:
-        uid_lists = executor.run(
-            _greedy_shard,
+        uid_lists = traced_run(
+            executor, _greedy_shard,
             [(payload, strategy, engine) for payload in payloads],
+            name="engine.greedy_sc.shard",
         )
         return _merge_shard_uids(instance, plan, uid_lists, "greedy_sc")
 
@@ -414,7 +424,8 @@ def _greedy_posts_parallel(
         _obs.count("engine.greedy_sc.family_label_tasks", len(tasks))
     from ..core.fastpath import _update_family
 
-    results = executor.run(_family_label_task, tasks)
+    results = traced_run(executor, _family_label_task, tasks,
+                         name="engine.greedy_sc.family_label")
     family: List[set] = [set() for _ in instance.posts]
     universe: set = set()
     for (values, offsets, _lam, label_index, _nl), (coverer, encoded) \

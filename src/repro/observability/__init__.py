@@ -35,9 +35,11 @@ from .bench import (
 from .exporters import to_json, to_prometheus, write_json
 from .facade import (
     Observability,
+    activate,
     active,
     clock,
     count,
+    current_context,
     disable,
     enable,
     enabled,
@@ -47,7 +49,8 @@ from .facade import (
     span,
 )
 from .metrics import Counter, Gauge, Histogram, MetricsRegistry
-from .tracing import Span, Tracer
+from .requesttrace import traced_run
+from .tracing import Span, TraceContext, Tracer, mint_trace_id
 
 __all__ = [
     "BENCH_SCHEMA",
@@ -59,9 +62,11 @@ __all__ = [
     "to_prometheus",
     "write_json",
     "Observability",
+    "activate",
     "active",
     "clock",
     "count",
+    "current_context",
     "disable",
     "enable",
     "enabled",
@@ -74,5 +79,8 @@ __all__ = [
     "Histogram",
     "MetricsRegistry",
     "Span",
+    "TraceContext",
     "Tracer",
+    "mint_trace_id",
+    "traced_run",
 ]

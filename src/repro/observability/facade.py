@@ -30,7 +30,7 @@ from contextlib import contextmanager
 from typing import Callable, Iterator, Optional
 
 from .metrics import MetricsRegistry
-from .tracing import Tracer
+from .tracing import TraceContext, Tracer
 
 __all__ = [
     "Observability",
@@ -44,6 +44,8 @@ __all__ = [
     "observe",
     "set_gauge",
     "span",
+    "activate",
+    "current_context",
 ]
 
 
@@ -157,3 +159,20 @@ def span(name: str, **attributes):
     if _ACTIVE is not None:
         return _ACTIVE.tracer.span(name, **attributes)
     return _null_span()
+
+
+def activate(context: Optional[TraceContext]):
+    """``Tracer.activate`` when enabled, an inert context manager when
+    not — worker call-sites re-attach to their request's trace without
+    branching."""
+    if _ACTIVE is not None:
+        return _ACTIVE.tracer.activate(context)
+    return _null_span()
+
+
+def current_context(tenant: str = "") -> Optional[TraceContext]:
+    """The calling task/thread's trace position, or ``None`` when
+    observability is off (or nothing is traced)."""
+    if _ACTIVE is not None:
+        return _ACTIVE.tracer.current_context(tenant)
+    return None

@@ -1,0 +1,123 @@
+"""Request-scoped tracing across executor boundaries.
+
+The engine's parallel solvers push shard tasks through a
+:class:`~repro.engine.executors.ShardExecutor` — a thread pool, a
+process pool, or an in-process loop.  Two things break naive tracing
+there:
+
+* **threads** do not inherit the submitting task's span stack, so a
+  span opened on a pool thread parents on nothing;
+* **processes** do not even share the tracer — spans opened inside a
+  ``ProcessPoolExecutor`` worker live in that worker's (usually
+  disabled) facade and are dropped on the floor.
+
+:func:`traced_run` fixes both with one wrapper.  It captures the
+caller's :class:`~repro.observability.tracing.TraceContext`, ships it
+with every task (as a plain dict — it must survive pickling), and runs
+each task through :func:`_traced_task`:
+
+* where the parent's facade is visible (serial/thread executors, or a
+  process pool's ≤1-task in-process fallback), the context is activated
+  and the shard span lands directly in the shared tracer;
+* in a process worker the facade is off, so the shard records into a
+  **local, throwaway tracer** and returns its finished spans alongside
+  the result; the parent then :meth:`~repro.observability.tracing.
+  Tracer.adopt`\\ s them — fresh ids, internal parent links remapped,
+  roots grafted onto the submitting span — so the request's assembled
+  tree includes the work its shards did in other processes.
+
+Disabled, :func:`traced_run` is a single ``enabled()`` check and a plain
+``executor.run`` — nothing is wrapped, nothing is pickled beyond the
+task itself, and the ≤5% overhead gate keeps holding.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Any, Callable, Dict, List, Sequence
+
+from . import facade as _facade
+from .tracing import Span, TraceContext, Tracer, mint_trace_id
+
+__all__ = [
+    "Span",
+    "TraceContext",
+    "Tracer",
+    "mint_trace_id",
+    "traced_run",
+]
+
+
+def _traced_task(
+    fn: Callable,
+    name: str,
+    ctx_payload: Dict[str, Any],
+    index: int,
+    task: tuple,
+):
+    """Run one shard task under a span; module-level so process pools can
+    pickle it by reference.
+
+    Returns ``(result, exported_spans)`` where ``exported_spans`` is
+    ``None`` when the span already landed in the caller's tracer (same
+    process) and a list of span dicts when it was recorded in a worker
+    process and must be adopted by the caller.
+    """
+    bundle = _facade.active()
+    same_process = ctx_payload.get("pid") == os.getpid()
+    if bundle is not None and same_process:
+        # Same process as the submitter: attach to the shared tracer.
+        ctx = TraceContext.from_dict(ctx_payload)
+        with bundle.tracer.activate(ctx):
+            with bundle.tracer.span(name, shard=index):
+                return fn(*task), None
+    # Worker process.  The facade may *look* enabled here — forked
+    # workers inherit the parent's module globals — but recording into
+    # that inherited tracer writes to a copy the submitter never sees
+    # (the historical span-loss bug).  The PID check routes every
+    # foreign process here: record into a local, throwaway tracer and
+    # export the finished spans with the result.  The local spans form
+    # a self-contained forest (roots have parent_id=None), which is
+    # exactly what ``Tracer.adopt`` grafts.
+    local = Tracer()
+    with local.span(name, shard=index):
+        result = fn(*task)
+    return result, local.as_dicts()
+
+
+def traced_run(
+    executor,
+    fn: Callable,
+    tasks: Sequence[tuple],
+    *,
+    name: str,
+) -> List:
+    """``executor.run(fn, tasks)`` with one span per shard task.
+
+    Spans parent onto the caller's current trace position (typically the
+    enclosing ``solver.*`` span) regardless of which executor — or which
+    process — the task lands in.  With observability disabled this is a
+    straight pass-through.
+    """
+    if not _facade.enabled():
+        return executor.run(fn, tasks)
+    tracer = _facade.active().tracer
+    ctx = tracer.current_context() or TraceContext(trace_id=None)
+    payload = dict(ctx.to_dict(), pid=os.getpid())
+    wrapped = [
+        (fn, name, payload, index, task)
+        for index, task in enumerate(tasks)
+    ]
+    outputs = executor.run(_traced_task, wrapped)
+    results: List = []
+    adopted_spans = 0
+    for result, exported in outputs:
+        if exported:
+            tracer.adopt(
+                exported, parent_id=ctx.span_id, trace_id=ctx.trace_id
+            )
+            adopted_spans += len(exported)
+        results.append(result)
+    if adopted_spans:
+        _facade.count("trace.spans_adopted", adopted_spans)
+    return results

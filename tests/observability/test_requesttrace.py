@@ -1,0 +1,181 @@
+"""Tracing across executor boundaries (`traced_run`).
+
+The load-bearing fix under test: spans opened inside
+``ProcessPoolExecutor`` shard workers used to be dropped on the floor
+(the worker's facade is a fresh, disabled one).  ``traced_run`` ships
+the caller's trace context with every task, records a per-shard span
+wherever the task runs, and adopts worker-side spans back into the
+caller's tracer — so a request's assembled tree is complete regardless
+of executor kind.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.engine.executors import (
+    ProcessExecutor,
+    SerialExecutor,
+    ThreadExecutor,
+)
+from repro.observability import facade
+from repro.observability.requesttrace import TraceContext, traced_run
+
+
+def _double(x):
+    """Module-level so process pools can pickle it by reference."""
+    return 2 * x
+
+
+def _boom(x):
+    raise RuntimeError(f"boom {x}")
+
+
+TASKS = [(1,), (2,), (3,)]
+IN_PROCESS = [SerialExecutor(), ThreadExecutor(workers=2)]
+
+
+class TestDisabled:
+    @pytest.mark.parametrize("executor", IN_PROCESS + [
+        ProcessExecutor(workers=2)
+    ], ids=lambda e: e.name)
+    def test_pass_through_when_disabled(self, executor):
+        assert not facade.enabled()
+        assert traced_run(
+            executor, _double, TASKS, name="engine.test.shard"
+        ) == [2, 4, 6]
+
+
+class TestInProcess:
+    @pytest.mark.parametrize("executor", IN_PROCESS,
+                             ids=lambda e: e.name)
+    def test_results_and_spans(self, executor):
+        with facade.session() as obs:
+            results = traced_run(
+                executor, _double, TASKS, name="engine.test.shard"
+            )
+        assert results == [2, 4, 6]
+        spans = [s for s in obs.tracer.finished
+                 if s.name == "engine.test.shard"]
+        assert len(spans) == 3
+        assert sorted(s.attributes["shard"] for s in spans) == [0, 1, 2]
+
+    @pytest.mark.parametrize("executor", IN_PROCESS,
+                             ids=lambda e: e.name)
+    def test_spans_parent_on_the_enclosing_span(self, executor):
+        with facade.session() as obs:
+            ctx = TraceContext.mint(tenant="acme")
+            with obs.tracer.activate(ctx):
+                with obs.tracer.span("solver.test") as solve:
+                    traced_run(executor, _double, TASKS,
+                               name="engine.test.shard")
+        shards = [s for s in obs.tracer.finished
+                  if s.name == "engine.test.shard"]
+        assert {s.parent_id for s in shards} == {solve.span_id}
+        assert {s.trace_id for s in shards} == {ctx.trace_id}
+
+    def test_worker_error_still_records_span(self):
+        with facade.session() as obs:
+            with pytest.raises(RuntimeError):
+                traced_run(SerialExecutor(), _boom, [(7,)],
+                           name="engine.test.shard")
+        (span,) = obs.tracer.finished
+        assert "boom 7" in span.attributes["error"]
+
+
+class TestProcessWorkers:
+    """The span-loss fix: worker spans come back with the results."""
+
+    def test_worker_spans_are_adopted(self):
+        executor = ProcessExecutor(workers=2)
+        with facade.session() as obs:
+            ctx = TraceContext.mint(tenant="acme")
+            with obs.tracer.activate(ctx):
+                with obs.tracer.span("solver.test") as solve:
+                    results = traced_run(executor, _double, TASKS,
+                                         name="engine.test.shard")
+        assert results == [2, 4, 6]
+        shards = [s for s in obs.tracer.finished
+                  if s.name == "engine.test.shard"]
+        assert len(shards) == 3
+        # re-parented onto the submitting span, in the caller's trace
+        assert {s.parent_id for s in shards} == {solve.span_id}
+        assert {s.trace_id for s in shards} == {ctx.trace_id}
+        # adopted ids never collide with locally allocated ones
+        ids = [d["span_id"] for d in obs.tracer.as_dicts()]
+        assert len(ids) == len(set(ids))
+        assert obs.registry.counter("trace.spans_adopted").value == 3
+
+    def test_single_task_falls_back_in_process(self):
+        # ProcessExecutor runs <=1 tasks inline; the wrapper must notice
+        # the live facade and use the shared tracer, not export dicts
+        executor = ProcessExecutor(workers=2)
+        with facade.session() as obs:
+            results = traced_run(executor, _double, [(5,)],
+                                 name="engine.test.shard")
+        assert results == [10]
+        (span,) = [s for s in obs.tracer.finished
+                   if s.name == "engine.test.shard"]
+        assert span.attributes["shard"] == 0
+        assert obs.registry.counters().get("trace.spans_adopted", 0) == 0
+
+
+class TestEngineIntegration:
+    """The parallel solvers' shard work shows up in traces end to end."""
+
+    def _instance(self):
+        from repro.core.instance import Instance
+        from repro.core.post import Post
+
+        posts = [
+            Post(uid=i, value=float(v), labels=("golf",))
+            for i, v in enumerate([0, 1, 2, 10, 11, 12, 30, 31, 40])
+        ]
+        return Instance(posts=posts, lam=2.0)
+
+    @pytest.mark.parametrize("spec", ["serial", "thread", "process"])
+    def test_parallel_greedy_traces_shards(self, spec):
+        from repro.engine.parallel import parallel_greedy_sc
+
+        instance = self._instance()
+        with facade.session() as obs:
+            ctx = TraceContext.mint(tenant="t")
+            with obs.tracer.activate(ctx):
+                parallel_greedy_sc(
+                    instance, executor=spec, workers=2, split="halo",
+                    max_shards=4,
+                )
+        names = [s.name for s in obs.tracer.finished]
+        assert "solver.parallel_greedy_sc" in names
+        shard_spans = [
+            s for s in obs.tracer.finished
+            if s.name == "engine.greedy_sc.shard"
+        ]
+        assert shard_spans, f"no shard spans under {spec}"
+        # every shard span parents inside the same trace
+        ids = {s.span_id for s in obs.tracer.finished}
+        for span in shard_spans:
+            assert span.trace_id == ctx.trace_id
+            assert span.parent_id in ids
+
+    def test_parallel_scan_traces_shards_across_processes(self):
+        from repro.engine.parallel import parallel_scan
+
+        instance = self._instance()
+        with facade.session() as obs:
+            parallel_scan(
+                instance, executor="process", workers=2, max_shards=4
+            )
+        shard_spans = [
+            s for s in obs.tracer.finished
+            if s.name == "engine.scan.shard"
+        ]
+        assert shard_spans
+        (solve,) = [
+            s for s in obs.tracer.finished
+            if s.name == "solver.parallel_scan"
+        ]
+        assert {s.parent_id for s in shard_spans} <= {
+            solve.span_id,
+            *(s.span_id for s in obs.tracer.finished),
+        }
