@@ -51,10 +51,12 @@ from .core import (
     opt,
     opt_size,
     optimal_size,
+    register,
     scan,
     scan_plus,
     scan_variable,
     solve,
+    unregister,
     stream_solve,
     uncovered_pairs,
     verify_cover,
@@ -86,7 +88,12 @@ from .resilience import (
     solve_with_ladder,
 )
 from . import observability
-from .engine import parallel_greedy_sc, parallel_scan, parallel_scan_plus
+from .engine import (
+    make_parallel_solver,
+    parallel_greedy_sc,
+    parallel_scan,
+    parallel_scan_plus,
+)
 from .pipeline import DigestResult, DiversificationPipeline
 from .service import (
     DigestRequest,
@@ -125,7 +132,10 @@ __all__ = [
     "scan",
     "scan_plus",
     "solve",
+    "register",
+    "unregister",
     "available_algorithms",
+    "make_parallel_solver",
     "max_coverage",
     "coverage_curve",
     # sharded parallel engine

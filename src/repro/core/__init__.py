@@ -34,7 +34,7 @@ from .proportional import (
     greedy_sc_variable,
     scan_variable,
 )
-from .registry import available_algorithms, register, solve
+from .registry import available_algorithms, register, solve, unregister
 from .scan import scan, scan_plus
 from .solution import Solution
 from .stream_proportional import (
@@ -86,5 +86,6 @@ __all__ = [
     "coverage_curve",
     "solve",
     "register",
+    "unregister",
     "available_algorithms",
 ]

@@ -18,7 +18,7 @@ from .opt import opt
 from .scan import scan, scan_plus
 from .solution import Solution
 
-__all__ = ["solve", "available_algorithms", "register"]
+__all__ = ["solve", "available_algorithms", "register", "unregister"]
 
 _REGISTRY: Dict[str, Callable[[Instance], Solution]] = {
     "opt": opt,
@@ -40,6 +40,19 @@ def register(name: str, solver: Callable[[Instance], Solution]) -> None:
     if name in _REGISTRY:
         raise ValueError(f"algorithm {name!r} is already registered")
     _REGISTRY[name] = solver
+
+
+def unregister(name: str) -> None:
+    """Remove a custom solver; the built-in algorithms are permanent."""
+    if name not in _REGISTRY:
+        raise UnknownAlgorithmError(
+            f"unknown algorithm {name!r}; available: "
+            + ", ".join(available_algorithms())
+        )
+    if name in ("opt", "brute_force", "exact_setcover",
+                "greedy_sc", "scan", "scan+"):
+        raise ValueError(f"cannot unregister built-in algorithm {name!r}")
+    del _REGISTRY[name]
 
 
 def solve(name: str, instance: Instance, **kwargs) -> Solution:

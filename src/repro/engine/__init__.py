@@ -40,7 +40,12 @@ from .kernels import (
     scan_segment_kernel,
     scan_values_kernel,
 )
-from .parallel import parallel_greedy_sc, parallel_scan, parallel_scan_plus
+from .parallel import (
+    make_parallel_solver,
+    parallel_greedy_sc,
+    parallel_scan,
+    parallel_scan_plus,
+)
 from .sharding import (
     Shard,
     ShardPlan,
@@ -73,6 +78,7 @@ __all__ = [
     "get_executor",
     "default_workers",
     # parallel solvers
+    "make_parallel_solver",
     "parallel_scan",
     "parallel_scan_plus",
     "parallel_greedy_sc",

@@ -37,7 +37,7 @@ the shard work wherever it ran.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -52,7 +52,12 @@ from .executors import ProcessExecutor, ShardExecutor, get_executor
 from .kernels import first_uncovered, scan_segment_kernel
 from .sharding import plan_halo_shards, plan_shards, stitch_repair
 
-__all__ = ["parallel_scan", "parallel_scan_plus", "parallel_greedy_sc"]
+__all__ = [
+    "make_parallel_solver",
+    "parallel_greedy_sc",
+    "parallel_scan",
+    "parallel_scan_plus",
+]
 
 
 def exec_is_process(executor: ShardExecutor) -> bool:
@@ -468,3 +473,59 @@ def parallel_greedy_sc(
         "parallel_greedy_sc", _greedy_posts_parallel, instance,
         strategy, engine, exec_, shards, split,
     )
+
+
+# ---------------------------------------------------------------------------
+# Registry-compatible solver factory
+# ---------------------------------------------------------------------------
+
+_PARALLEL_KINDS: Dict[str, Callable[..., Solution]] = {
+    "scan": parallel_scan,
+    "scan+": parallel_scan_plus,
+    "greedy_sc": parallel_greedy_sc,
+}
+
+
+def make_parallel_solver(
+    kind: str,
+    *,
+    executor="serial",
+    workers: Optional[int] = None,
+    max_shards: Optional[int] = None,
+    **extra,
+) -> Callable[[Instance], Solution]:
+    """A registry-compatible ``solver(instance)`` with a pinned engine.
+
+    The core registry speaks the uniform ``solver(instance) -> Solution``
+    signature, but the parallel engines need an executor choice.  This
+    closes over one — so a deployment (or a test) can do::
+
+        register("scan.procs", make_parallel_solver(
+            "scan", executor="process", workers=4))
+
+    and serve it like any built-in, including through
+    :class:`~repro.service.DiversificationService` (where the worker
+    spans the executor produces are adopted into the request trace).
+    ``extra`` kwargs (``split``, ``strategy``, ...) pass through to the
+    underlying engine unchanged.
+    """
+    try:
+        engine_fn = _PARALLEL_KINDS[kind]
+    except KeyError:
+        raise ValueError(
+            f"unknown parallel solver kind {kind!r}; expected one of "
+            + ", ".join(sorted(_PARALLEL_KINDS))
+        ) from None
+
+    def _solver(instance: Instance) -> Solution:
+        return engine_fn(
+            instance,
+            executor=executor,
+            workers=workers,
+            max_shards=max_shards,
+            **extra,
+        )
+
+    _solver.__name__ = f"parallel_{kind}_solver"
+    _solver.__qualname__ = _solver.__name__
+    return _solver

@@ -32,7 +32,15 @@ from .bench import (
     BenchTrajectory,
     validate_bench,
 )
-from .exporters import to_json, to_prometheus, write_json
+from . import structlog
+from .exporters import (
+    PromFormatError,
+    parse_prometheus,
+    to_json,
+    to_prometheus,
+    trace_to_json,
+    write_json,
+)
 from .facade import (
     Observability,
     activate,
@@ -50,6 +58,7 @@ from .facade import (
 )
 from .metrics import Counter, Gauge, Histogram, MetricsRegistry
 from .requesttrace import traced_run
+from .slo import SLOMonitor
 from .tracing import Span, TraceContext, Tracer, mint_trace_id
 
 __all__ = [
@@ -58,8 +67,11 @@ __all__ = [
     "BenchSchemaError",
     "BenchTrajectory",
     "validate_bench",
+    "PromFormatError",
+    "parse_prometheus",
     "to_json",
     "to_prometheus",
+    "trace_to_json",
     "write_json",
     "Observability",
     "activate",
@@ -78,9 +90,11 @@ __all__ = [
     "Gauge",
     "Histogram",
     "MetricsRegistry",
+    "SLOMonitor",
     "Span",
     "TraceContext",
     "Tracer",
     "mint_trace_id",
+    "structlog",
     "traced_run",
 ]

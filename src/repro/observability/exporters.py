@@ -1,16 +1,23 @@
-"""Exporters: JSON snapshots and Prometheus text exposition.
+"""Exporters: JSON snapshots, trace trees, and Prometheus exposition.
 
-Two consumers, two formats:
+Consumers and formats:
 
 * :func:`to_json` / :func:`write_json` — the full bundle (metrics and
   spans) as one JSON document, for the bench trajectory and offline
   analysis;
+* :func:`trace_to_json` — one assembled request trace (the
+  :meth:`~repro.observability.tracing.Tracer.assemble` tree) as JSON,
+  for explaining a single served response;
 * :func:`to_prometheus` — the metrics as Prometheus text exposition
   format 0.0.4, for scraping a long-running deployment.  Dotted metric
   names become underscore-separated (``scan.window_advances`` →
   ``scan_window_advances``), counters get the ``_total`` suffix, and
   histograms emit the standard ``_bucket`` / ``_sum`` / ``_count``
-  series with cumulative ``le`` labels.
+  series with cumulative ``le`` labels;
+* :func:`parse_prometheus` — the inverse direction, used as a *lint*:
+  CI round-trips every exposition this repo produces through the
+  parser, so a malformed scrape fails the build instead of the
+  deployment's Prometheus.
 """
 
 from __future__ import annotations
@@ -19,12 +26,20 @@ import json
 import math
 import os
 import re
-from typing import List, Union
+from typing import Any, Dict, List, Union
 
 from .facade import Observability
 from .metrics import Counter, Gauge, Histogram, MetricsRegistry
+from .tracing import Tracer
 
-__all__ = ["to_json", "write_json", "to_prometheus"]
+__all__ = [
+    "PromFormatError",
+    "parse_prometheus",
+    "to_json",
+    "to_prometheus",
+    "trace_to_json",
+    "write_json",
+]
 
 _INVALID = re.compile(r"[^a-zA-Z0-9_:]")
 
@@ -94,3 +109,126 @@ def to_prometheus(
             lines.append(f"{prom}_sum {_prom_value(instrument.total)}")
             lines.append(f"{prom}_count {instrument.count}")
     return "\n".join(lines) + ("\n" if lines else "")
+
+
+def trace_to_json(
+    tracer: Tracer, trace_id: str, *, indent: int = 2
+) -> str:
+    """One assembled trace — the span tree plus linked traces — as JSON."""
+    return json.dumps(
+        tracer.assemble(trace_id), indent=indent, sort_keys=True
+    )
+
+
+# ---------------------------------------------------------------------------
+# Prometheus exposition linting (parse side)
+# ---------------------------------------------------------------------------
+
+class PromFormatError(ValueError):
+    """A line that is not valid Prometheus text exposition 0.0.4."""
+
+
+_METRIC_NAME = r"[a-zA-Z_:][a-zA-Z0-9_:]*"
+_SAMPLE = re.compile(
+    rf"^({_METRIC_NAME})(?:\{{(.*)\}})?\s+(\S+)(?:\s+(-?\d+))?$"
+)
+_LABEL = re.compile(
+    r'([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"'
+)
+_COMMENT = re.compile(
+    rf"^#\s+(HELP|TYPE)\s+({_METRIC_NAME})(?:\s+(.*))?$"
+)
+_TYPES = frozenset(
+    {"counter", "gauge", "histogram", "summary", "untyped"}
+)
+
+
+def _parse_labels(text: str, line_no: int) -> Dict[str, str]:
+    labels: Dict[str, str] = {}
+    rebuilt: List[str] = []
+    for match in _LABEL.finditer(text):
+        labels[match.group(1)] = (
+            match.group(2)
+            .replace(r"\"", '"').replace(r"\n", "\n").replace("\\\\", "\\")
+        )
+        rebuilt.append(match.group(0))
+    # everything between labels must be commas (possibly a trailing one)
+    leftover = _LABEL.sub("", text).replace(",", "").strip()
+    if leftover:
+        raise PromFormatError(
+            f"line {line_no}: malformed label set {{{text}}}"
+        )
+    return labels
+
+
+def _parse_value(token: str, line_no: int) -> float:
+    if token == "+Inf":
+        return math.inf
+    if token == "-Inf":
+        return -math.inf
+    if token == "NaN":
+        return math.nan
+    try:
+        return float(token)
+    except ValueError:
+        raise PromFormatError(
+            f"line {line_no}: invalid sample value {token!r}"
+        ) from None
+
+
+def parse_prometheus(text: str) -> List[Dict[str, Any]]:
+    """Parse a text exposition; raises :class:`PromFormatError` on junk.
+
+    Returns one record per sample line:
+    ``{"name", "labels", "value", "type"}`` — ``type`` is the declared
+    ``# TYPE`` for the sample's metric family (``None`` if undeclared).
+    This is the repo's scrape *lint*: anything :func:`to_prometheus` or
+    ``SLOMonitor.to_prometheus`` emits must round-trip through here.
+    """
+    samples: List[Dict[str, Any]] = []
+    types: Dict[str, str] = {}
+    for line_no, raw in enumerate(text.splitlines(), start=1):
+        line = raw.strip()
+        if not line:
+            continue
+        if line.startswith("#"):
+            match = _COMMENT.match(line)
+            if match is None:
+                # bare comments are legal; HELP/TYPE must be well-formed
+                if line.split()[0] == "#" and len(line.split()) >= 2 \
+                        and line.split()[1] in ("HELP", "TYPE"):
+                    raise PromFormatError(
+                        f"line {line_no}: malformed {line.split()[1]} "
+                        f"comment: {raw!r}"
+                    )
+                continue
+            kind, metric, rest = match.groups()
+            if kind == "TYPE":
+                if rest not in _TYPES:
+                    raise PromFormatError(
+                        f"line {line_no}: unknown metric type {rest!r}"
+                    )
+                types[metric] = rest
+            continue
+        match = _SAMPLE.match(line)
+        if match is None:
+            raise PromFormatError(
+                f"line {line_no}: not a valid sample line: {raw!r}"
+            )
+        name, label_text, value_token, _timestamp = match.groups()
+        labels = (
+            {} if label_text is None
+            else _parse_labels(label_text, line_no)
+        )
+        family = name
+        for suffix in ("_bucket", "_sum", "_count", "_total"):
+            if name.endswith(suffix):
+                family = name[: -len(suffix)]
+                break
+        samples.append({
+            "name": name,
+            "labels": labels,
+            "value": _parse_value(value_token, line_no),
+            "type": types.get(family, types.get(name)),
+        })
+    return samples

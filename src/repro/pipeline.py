@@ -74,6 +74,12 @@ class DigestResult:
     duplicates_dropped: int
     unmatched_dropped: int
     downgrades: Tuple[DowngradeEvent, ...] = ()
+    # Trace provenance, stamped by the serving layer: the trace that
+    # actually computed this digest and its solve span.  A coalesced
+    # follower or cache hit carries the *producer's* ids, which is what
+    # lets its own trace link back to the run that did the work.
+    trace_id: Optional[str] = None
+    solve_span_id: Optional[int] = None
 
     @property
     def posts(self):
@@ -95,6 +101,8 @@ class DigestResult:
             "duplicates_dropped": self.duplicates_dropped,
             "unmatched_dropped": self.unmatched_dropped,
             "downgrades": [d.to_dict() for d in self.downgrades],
+            "trace_id": self.trace_id,
+            "solve_span_id": self.solve_span_id,
         }
 
     @classmethod
@@ -110,6 +118,8 @@ class DigestResult:
                 DowngradeEvent.from_dict(d)
                 for d in payload.get("downgrades", [])
             ),
+            trace_id=payload.get("trace_id"),
+            solve_span_id=payload.get("solve_span_id"),
         )
 
 

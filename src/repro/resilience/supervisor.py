@@ -37,9 +37,12 @@ from dataclasses import asdict, dataclass
 from typing import Callable, Dict, Iterable, List, Optional, Sequence, \
     Set, Tuple, Union
 
+import logging
+
 from ..core.instance import Instance
 from ..core.post import Post
 from ..core.streaming import _STREAM_FACTORIES
+from ..observability import structlog
 from ..errors import (
     CheckpointError,
     EmissionInvariantError,
@@ -216,6 +219,14 @@ class StreamSupervisor:
         else:
             self.health.repaired += 1
             _obs.count("supervisor.repaired")
+        structlog.emit(
+            "supervisor.quarantine" if repaired is None
+            else "supervisor.repair",
+            level=logging.WARNING,
+            uid=post.uid,
+            reason=reason,
+            action=action,
+        )
 
     def _sanitize_payload(self, post: Post) -> Optional[Post]:
         """Apply value/label/duplicate policies; None means quarantined."""
@@ -399,6 +410,14 @@ class StreamSupervisor:
         if _obs.enabled():
             _obs.count("supervisor.downgrades")
             _obs.set_gauge("supervisor.rung", self._rung)
+        structlog.emit(
+            "supervisor.downgrade",
+            level=logging.WARNING,
+            from_algorithm=previous,
+            to_algorithm=self.ladder[self._rung],
+            trigger=trigger,
+            elapsed=elapsed,
+        )
         self._tolerate_reemission = True
         self._algorithm, replayed = self._replay(self._rung)
         # Posts the new rung selected during replay but the old rung never

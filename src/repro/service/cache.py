@@ -60,6 +60,7 @@ class CacheStats:
     evictions: int = 0
     expirations: int = 0
     invalidations: int = 0
+    stale_drops: int = 0
 
     def as_dict(self) -> Dict[str, int]:
         return {
@@ -68,6 +69,7 @@ class CacheStats:
             "evictions": self.evictions,
             "expirations": self.expirations,
             "invalidations": self.invalidations,
+            "stale_drops": self.stale_drops,
         }
 
 
@@ -177,11 +179,16 @@ class ResultCache:
             return value
 
     def put(self, key: CacheKey, value: Any) -> bool:
-        """Publish a result; silently refuses keys from a dead epoch
-        (a solve that straddled an invalidation must not resurrect the
-        old corpus).  Returns True when the entry was stored."""
+        """Publish a result; refuses keys from a dead epoch (a solve
+        that straddled an invalidation must not resurrect the old
+        corpus).  Returns True when the entry was stored.  A refusal is
+        not silent: it lands in ``stats.stale_drops`` and the
+        ``service.cache.stale_drops`` counter — the caller holds the
+        trace context and is responsible for the correlated event."""
         with self._lock:
             if key.epoch != self._epoch:
+                self.stats.stale_drops += 1
+                _obs.count("service.cache.stale_drops")
                 return False
             self._entries[key] = (self._clock(), value)
             self._entries.move_to_end(key)

@@ -34,9 +34,11 @@ every cached digest computed against the old corpus.
 from __future__ import annotations
 
 import asyncio
+import logging
 import time as _time
 from collections import deque
 from dataclasses import dataclass
+from dataclasses import replace as _dc_replace
 from typing import Any, Callable, Dict, Iterable, List, Optional, \
     Sequence, Tuple
 
@@ -47,6 +49,9 @@ from ..index.inverted_index import Document
 from ..index.query import TopicQuery
 from ..engine.executors import get_executor
 from ..observability import facade as _obs
+from ..observability import structlog
+from ..observability.slo import SLOMonitor
+from ..observability.tracing import TraceContext
 from ..pipeline import DigestResult, DiversificationPipeline
 from ..resilience.checkpoint import Checkpoint
 from ..resilience.policies import SanitizationPolicy
@@ -54,6 +59,7 @@ from ..resilience.supervisor import ResilienceConfig, StreamSupervisor
 from ..stream.events import Emission
 from .admission import ADMIT, DEGRADE, SHED, AdmissionController, \
     TokenBucket
+from .auditor import DigestAuditor
 from .cache import CacheKey, ResultCache
 from .coalescer import MicroBatcher, RequestCoalescer
 
@@ -107,6 +113,13 @@ class ServiceConfig:
     tau: float = 0.0
     subscription_depth: int = 256
     resilience: Optional[ResilienceConfig] = None
+    # SLO monitoring
+    slo_objective: float = 0.99
+    slo_windows: Tuple[float, float] = (300.0, 3600.0)
+    # quality auditing (0.0 = off; 1.0 = audit every served digest)
+    audit_sample: float = 0.0
+    audit_opt_max: int = 12
+    audit_seed: int = 0
     # time
     clock: Callable[[], float] = _time.perf_counter
 
@@ -134,6 +147,10 @@ class ServiceConfig:
             raise ReproError(
                 "the service batches live closures; executor must be "
                 f"'serial' or 'thread', got {self.executor!r}"
+            )
+        if not 0.0 <= self.audit_sample <= 1.0:
+            raise ReproError(
+                f"audit_sample must be in [0, 1], got {self.audit_sample}"
             )
 
 
@@ -178,6 +195,11 @@ class ServiceResponse:
     latency_s: float = 0.0
     epoch: int = 0
     reason: str = ""
+    # The request's own trace (always minted, even with observability
+    # off).  A coalesced/cached response's *result* additionally carries
+    # the producing trace's id — the two differ exactly when this
+    # request did not do the solving itself.
+    trace_id: str = ""
 
     def to_dict(self) -> Dict[str, Any]:
         """JSON-safe representation — the service's wire format."""
@@ -191,6 +213,7 @@ class ServiceResponse:
             "latency_s": self.latency_s,
             "epoch": self.epoch,
             "reason": self.reason,
+            "trace_id": self.trace_id,
         }
 
 
@@ -333,6 +356,19 @@ class DiversificationService:
         self.solves = 0
         self.requests = 0
         self.errors = 0
+        # Always-on service state (like the counters above): per-tenant
+        # SLO accounting and the quality auditor.  Neither is behind the
+        # observability facade — SLOs are a service feature.
+        self.slo = SLOMonitor(
+            objective=self.config.slo_objective,
+            windows=self.config.slo_windows,
+            clock=self._clock,
+        )
+        self.auditor = DigestAuditor(
+            sample_rate=self.config.audit_sample,
+            opt_max_posts=self.config.audit_opt_max,
+            seed=self.config.audit_seed,
+        )
 
     # -- construction ------------------------------------------------------
 
@@ -405,8 +441,15 @@ class DiversificationService:
         algorithm: str,
         dimension: str,
         documents: Tuple[Document, ...],
+        ctx: TraceContext,
     ) -> DigestResult:
-        """The synchronous work unit shipped to the shard executor."""
+        """The synchronous work unit shipped to the shard executor.
+
+        Runs on an executor thread with no inherited trace state, so the
+        leader's context is re-activated explicitly; the produced digest
+        is stamped with the trace that computed it, which is what lets
+        followers and cache hits link back to the actual solve.
+        """
         queries = [self._by_label[label] for label in labels]
         pipeline = DiversificationPipeline(
             queries,
@@ -416,53 +459,128 @@ class DiversificationService:
             dedup_distance=self.config.dedup_distance,
             resilience=self.config.resilience,
         )
-        with _obs.span(
-            "service.solve", algorithm=algorithm,
-            labels=len(labels), documents=len(documents),
-        ):
-            return pipeline.digest(documents)
+        with _obs.activate(ctx):
+            with _obs.span(
+                "service.solve", algorithm=algorithm,
+                labels=len(labels), documents=len(documents),
+            ) as span:
+                result = pipeline.digest(documents)
+        return _dc_replace(
+            result,
+            trace_id=ctx.trace_id,
+            solve_span_id=getattr(span, "span_id", None),
+        )
+
+    def _account(
+        self,
+        request: DigestRequest,
+        ctx: TraceContext,
+        response: ServiceResponse,
+    ) -> ServiceResponse:
+        """Post-serve hooks shared by every exit path: SLO accounting,
+        quality-audit sampling, and the correlated structured event."""
+        self.slo.record(
+            request.session, response.algorithm,
+            latency_s=response.latency_s, status=response.status,
+            cached=response.cached,
+        )
+        if response.result is not None:
+            self.auditor.observe(
+                response.result,
+                tenant=request.session,
+                algorithm=response.algorithm,
+                epoch=response.epoch,
+            )
+        level = logging.INFO if response.status in (OK, DEGRADED) \
+            else logging.WARNING
+        structlog.emit(
+            f"service.{response.status}",
+            level=level,
+            trace_id=ctx.trace_id,
+            tenant=request.session,
+            epoch=response.epoch,
+            algorithm=response.algorithm,
+            latency_s=response.latency_s,
+            cached=response.cached,
+            coalesced=response.coalesced,
+            reason=response.reason,
+        )
+        return response
 
     async def digest(self, request: DigestRequest) -> ServiceResponse:
         """Serve one digest request end to end.
 
         Never raises for overload or solver failure (unless
         ``raise_on_shed`` is set): pressure and faults come back as
-        ``shed`` / ``degraded`` / ``error`` responses.
+        ``shed`` / ``degraded`` / ``error`` responses.  Every response
+        carries a freshly minted trace_id; with observability enabled
+        its assembled span tree explains the whole request.
         """
         started = self._clock()
+        ctx = TraceContext.mint(tenant=request.session)
         self.requests += 1
         if _obs.enabled():
             _obs.count("service.requests")
             _obs.count(f"service.sessions.{request.session}.requests")
+        with _obs.activate(ctx):
+            with _obs.span(
+                "service.request",
+                tenant=request.session,
+                lam=request.lam,
+            ) as root:
+                return await self._serve(
+                    request,
+                    ctx.at(getattr(root, "span_id", None)),
+                    started,
+                )
+
+    async def _serve(
+        self,
+        request: DigestRequest,
+        ctx: TraceContext,
+        started: float,
+    ) -> ServiceResponse:
         decision = self.admission.admit(self._pending)
+        algorithm = request.algorithm or self.config.algorithm
         if decision.action == SHED:
             _obs.count("service.shed")
+            latency = self._clock() - started
+            response = self._account(request, ctx, ServiceResponse(
+                status=SHED, result=None, algorithm=algorithm,
+                latency_s=latency, epoch=self.epoch,
+                reason=decision.reason, trace_id=ctx.trace_id or "",
+            ))
             if self.config.raise_on_shed:
                 raise ServiceOverloadError(decision.reason)
-            return ServiceResponse(
-                status=SHED, result=None,
-                algorithm=request.algorithm or self.config.algorithm,
-                latency_s=self._clock() - started,
-                epoch=self.epoch, reason=decision.reason,
-            )
+            return response
         try:
             labels = self._resolve_labels(request.labels)
         except ReproError as error:
             self.errors += 1
             _obs.count("service.errors")
-            return ServiceResponse(
-                status=ERROR, result=None,
-                algorithm=request.algorithm or self.config.algorithm,
+            return self._account(request, ctx, ServiceResponse(
+                status=ERROR, result=None, algorithm=algorithm,
                 latency_s=self._clock() - started,
                 epoch=self.epoch, reason=str(error),
-            )
-        algorithm = request.algorithm or self.config.algorithm
+                trace_id=ctx.trace_id or "",
+            ))
         degraded = decision.action == DEGRADE
         if degraded:
+            requested = algorithm
             algorithm = self._degraded_algorithm(
                 algorithm, decision.degrade_steps
             )
             _obs.count("service.degraded")
+            structlog.emit(
+                "service.degrade",
+                trace_id=ctx.trace_id,
+                tenant=request.session,
+                epoch=self.epoch,
+                requested=requested,
+                algorithm=algorithm,
+                steps=decision.degrade_steps,
+                reason=decision.reason,
+            )
         dimension = request.dimension or self.config.dimension
         key = self.cache.key_for(labels, request.lam, algorithm, dimension)
         cached = self.cache.get(key)
@@ -471,12 +589,20 @@ class DiversificationService:
             if _obs.enabled():
                 _obs.observe("service.latency", latency)
                 _obs.observe("service.latency.cache_hit", latency)
-            return ServiceResponse(
+                # link-span: this request served the digest that trace
+                # computed — the assembled tree can follow it
+                with _obs.span(
+                    "service.cache_hit",
+                    link_trace_id=cached.trace_id,
+                    link_span_id=cached.solve_span_id,
+                ):
+                    pass
+            return self._account(request, ctx, ServiceResponse(
                 status=DEGRADED if degraded else OK,
                 result=cached, algorithm=algorithm, cached=True,
                 latency_s=latency, epoch=key.epoch,
-                reason=decision.reason,
-            )
+                reason=decision.reason, trace_id=ctx.trace_id or "",
+            ))
         documents = self.corpus()
 
         async def compute() -> DigestResult:
@@ -484,7 +610,8 @@ class DiversificationService:
             _obs.count("service.solves")
             return await self.batcher.run(
                 lambda: self._solve_job(
-                    labels, request.lam, algorithm, dimension, documents
+                    labels, request.lam, algorithm, dimension,
+                    documents, ctx,
                 )
             )
 
@@ -496,26 +623,50 @@ class DiversificationService:
         except Exception as error:  # solver failure becomes data, not a crash
             self.errors += 1
             _obs.count("service.errors")
-            return ServiceResponse(
+            return self._account(request, ctx, ServiceResponse(
                 status=ERROR, result=None, algorithm=algorithm,
                 latency_s=self._clock() - started,
                 epoch=key.epoch, reason=repr(error),
-            )
+                trace_id=ctx.trace_id or "",
+            ))
         finally:
             self._pending -= 1
             if _obs.enabled():
                 _obs.set_gauge("service.pending", self._pending)
+        if coalesced and _obs.enabled() and \
+                result.trace_id != ctx.trace_id:
+            # follower: the solve happened in the leader's trace
+            with _obs.span(
+                "service.coalesced_wait",
+                link_trace_id=result.trace_id,
+                link_span_id=result.solve_span_id,
+            ):
+                pass
         if not coalesced:
-            self.cache.put(key, result)
+            stored = self.cache.put(key, result)
+            if not stored:
+                # cache-invalidation race: the epoch moved while this
+                # solve was in flight; the digest is served but must
+                # not be published — record the drop, correlated
+                structlog.emit(
+                    "service.cache_stale_drop",
+                    level=logging.WARNING,
+                    trace_id=ctx.trace_id,
+                    tenant=request.session,
+                    epoch=self.epoch,
+                    key_epoch=key.epoch,
+                    algorithm=algorithm,
+                )
         latency = self._clock() - started
         if _obs.enabled():
             _obs.observe("service.latency", latency)
             _obs.observe("service.latency.solve", latency)
-        return ServiceResponse(
+        return self._account(request, ctx, ServiceResponse(
             status=DEGRADED if degraded or result.downgrades else OK,
             result=result, algorithm=algorithm, coalesced=coalesced,
             latency_s=latency, epoch=key.epoch, reason=decision.reason,
-        )
+            trace_id=ctx.trace_id or "",
+        ))
 
     # -- streaming path ----------------------------------------------------
 
@@ -677,3 +828,63 @@ class DiversificationService:
                 else supervisor.health.as_dict()
             ),
         }
+
+    def introspect(self) -> Dict[str, Any]:
+        """The debug endpoint: everything an operator asks first.
+
+        Extends :meth:`health` with the observability-era state — queue
+        depths, cache occupancy and epoch, admission decisions and token
+        balance, per-tenant SLO snapshots, auditor stats, and (when a
+        tracer is active) the currently-open spans.  JSON-safe.
+        """
+        bundle = _obs.active()
+        bucket = self.admission.bucket
+        supervisor = self._stream_pipeline.supervisor
+        return {
+            "epoch": self.epoch,
+            "corpus": {
+                "ingested": len(self._ingested),
+                "streamed": len(self._streamed),
+            },
+            "queues": {
+                "pending": self._pending,
+                "coalescer_inflight": self.coalescer.inflight(),
+                "batcher": {
+                    "batches": self.batcher.batches,
+                    "jobs": self.batcher.jobs,
+                },
+                "subscriptions": {
+                    sub.sid: len(sub)
+                    for sub in self._subscriptions.values()
+                },
+            },
+            "cache": {
+                "entries": len(self.cache),
+                "capacity": self.cache.capacity,
+                "epoch": self.cache.epoch,
+                "hit_rate": self.cache.hit_rate(),
+                "stats": self.cache.stats.as_dict(),
+            },
+            "admission": {
+                "decisions": dict(self.admission.decisions),
+                "soft_watermark": self.admission.soft_watermark,
+                "hard_watermark": self.admission.hard_watermark,
+                "tokens": (
+                    None if bucket is None else bucket.available()
+                ),
+            },
+            "slo": self.slo.snapshot(),
+            "auditor": self.auditor.snapshot(),
+            "supervisor": (
+                None if supervisor is None
+                else supervisor.health.as_dict()
+            ),
+            "observability_enabled": bundle is not None,
+            "open_spans": (
+                [] if bundle is None else bundle.tracer.open_spans()
+            ),
+        }
+
+    def slo_prometheus(self) -> str:
+        """Per-tenant SLO series in Prometheus exposition format."""
+        return self.slo.to_prometheus()
