@@ -201,6 +201,11 @@ class Tracer:
         The innermost *open span* wins (new work belongs under it); with
         no open span, the innermost :meth:`activate` context; else None.
         """
+        contexts = self._context_var.get()
+        if not tenant and contexts:
+            # an open span narrows the position but the activated
+            # request context still knows whose request this is
+            tenant = contexts[-1].tenant
         stack = self._stack_var.get()
         if stack:
             top = stack[-1]
@@ -208,7 +213,6 @@ class Tracer:
                 trace_id=top.trace_id, span_id=top.span_id,
                 tenant=tenant,
             )
-        contexts = self._context_var.get()
         if contexts:
             context = contexts[-1]
             return replace(context, tenant=tenant) if tenant else context

@@ -39,3 +39,30 @@ class TestRegistry:
         assert solve(name, figure2_instance).size == 4
         with pytest.raises(ValueError):
             register(name, fake)
+
+    def test_unregister_custom_solver(self, figure2_instance):
+        from repro.core.registry import unregister
+
+        def fake(instance):
+            return Solution.from_posts("fake", list(instance.posts))
+
+        register("ephemeral_test_only", fake)
+        assert "ephemeral_test_only" in available_algorithms()
+        unregister("ephemeral_test_only")
+        assert "ephemeral_test_only" not in available_algorithms()
+        # and the name is reusable afterwards
+        register("ephemeral_test_only", fake)
+        unregister("ephemeral_test_only")
+
+    def test_unregister_unknown_raises(self):
+        from repro.core.registry import unregister
+
+        with pytest.raises(UnknownAlgorithmError):
+            unregister("never_registered")
+
+    def test_unregister_builtin_refused(self):
+        from repro.core.registry import unregister
+
+        with pytest.raises(ValueError):
+            unregister("scan")
+        assert "scan" in available_algorithms()

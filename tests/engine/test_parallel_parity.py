@@ -234,3 +234,47 @@ class TestEngineObservability:
         with facade.session():
             observed = parallel_scan_plus(inst, max_shards=4)
         assert plain.uids == observed.uids
+
+
+class TestMakeParallelSolver:
+    """The registry-compatible factory wraps the engines unchanged."""
+
+    @pytest.fixture(scope="class")
+    def inst(self):
+        return exact_lambda_instance(lam=2.0, n=30)
+
+    def test_solver_matches_direct_engine_call(self, inst):
+        from repro.engine import make_parallel_solver
+
+        solver = make_parallel_solver("scan", max_shards=4)
+        assert solver(inst).uids == \
+            parallel_scan(inst, max_shards=4).uids
+
+    def test_extra_kwargs_pass_through(self, inst):
+        from repro.engine import make_parallel_solver
+
+        solver = make_parallel_solver(
+            "greedy_sc", max_shards=4, split="halo", strategy="rescan")
+        solution = solver(inst)
+        assert solution.algorithm == "parallel_greedy_sc"
+        assert is_cover(inst, solution.posts)
+
+    def test_registered_and_served_by_name(self, inst):
+        from repro.core.registry import register, solve, unregister
+        from repro.engine import make_parallel_solver
+
+        register("scan_factory_test_only",
+                 make_parallel_solver("scan", executor="thread",
+                                      workers=2))
+        try:
+            solution = solve("scan_factory_test_only", inst)
+            assert solution.algorithm == "parallel_scan"
+            assert solution.uids == scan(inst).uids
+        finally:
+            unregister("scan_factory_test_only")
+
+    def test_unknown_kind_raises(self):
+        from repro.engine import make_parallel_solver
+
+        with pytest.raises(ValueError, match="scan"):
+            make_parallel_solver("quantum")

@@ -71,3 +71,98 @@ class TestEndToEnd:
             facade.count("hits", 3)
         assert "hits_total 3" in to_prometheus(bundle)
         assert json.loads(to_json(bundle))["metrics"]["hits"]["value"] == 3
+
+
+class TestParsePrometheus:
+    def test_round_trips_our_own_exposition(self, fake_clock):
+        from repro.observability.exporters import parse_prometheus
+
+        bundle = _sample_bundle(fake_clock)
+        samples = parse_prometheus(to_prometheus(bundle))
+        by_name = {s["name"]: s for s in samples}
+        counter = by_name["scan_window_advances_total"]
+        assert counter["value"] == 120
+        assert counter["type"] == "counter"
+        assert by_name["supervisor_rung"]["type"] == "gauge"
+        inf_bucket = [
+            s for s in samples
+            if s["name"] == "solver_scan_elapsed_bucket"
+            and s["labels"]["le"] == "+Inf"
+        ]
+        assert inf_bucket[0]["value"] == 2
+        assert inf_bucket[0]["type"] == "histogram"
+
+    def test_inf_values_parse(self):
+        import math
+
+        from repro.observability.exporters import parse_prometheus
+
+        samples = parse_prometheus(
+            'x{le="+Inf"} +Inf\ny -Inf\nz NaN\n'
+        )
+        assert samples[0]["value"] == math.inf
+        assert samples[1]["value"] == -math.inf
+        assert math.isnan(samples[2]["value"])
+
+    def test_labels_with_escapes(self):
+        from repro.observability.exporters import parse_prometheus
+
+        (sample,) = parse_prometheus(
+            'm{tenant="a\\"b",algorithm="scan+"} 1\n'
+        )
+        assert sample["labels"] == {
+            "tenant": 'a"b', "algorithm": "scan+",
+        }
+
+    def test_blank_lines_and_bare_comments_skipped(self):
+        from repro.observability.exporters import parse_prometheus
+
+        samples = parse_prometheus("\n# scraped at noon\nm 1\n\n")
+        assert len(samples) == 1
+
+    def test_malformed_sample_raises(self):
+        import pytest
+
+        from repro.observability.exporters import (
+            PromFormatError,
+            parse_prometheus,
+        )
+
+        with pytest.raises(PromFormatError, match="line 1"):
+            parse_prometheus("not a metric!!! 1\n")
+        with pytest.raises(PromFormatError):
+            parse_prometheus("m{unclosed 1\n")
+        with pytest.raises(PromFormatError):
+            parse_prometheus("m notanumber\n")
+        with pytest.raises(PromFormatError):
+            parse_prometheus("# TYPE m flumph\n")
+
+    def test_timestamped_samples_accepted(self):
+        from repro.observability.exporters import parse_prometheus
+
+        (sample,) = parse_prometheus("m 1.5 1700000000\n")
+        assert sample["value"] == 1.5
+
+
+class TestTraceToJson:
+    def test_exports_one_assembled_trace(self, fake_clock):
+        from repro.observability.exporters import trace_to_json
+        from repro.observability.tracing import TraceContext, Tracer
+
+        tracer = Tracer(clock=fake_clock(step=1.0))
+        ctx = TraceContext.mint(tenant="acme")
+        with tracer.activate(ctx):
+            with tracer.span("service.request"):
+                with tracer.span("service.solve"):
+                    pass
+        # a second, unrelated trace must not leak in
+        other = TraceContext.mint()
+        with tracer.activate(other):
+            with tracer.span("service.request"):
+                pass
+        document = json.loads(trace_to_json(tracer, ctx.trace_id))
+        assert document["trace_id"] == ctx.trace_id
+        assert document["spans"] == 2
+        (root,) = document["roots"]
+        assert root["name"] == "service.request"
+        assert root["children"][0]["name"] == "service.solve"

@@ -1,0 +1,225 @@
+"""The digest auditor: sampling, coverage re-verification, OPT ratios."""
+
+from __future__ import annotations
+
+import asyncio
+import dataclasses
+import logging
+
+import pytest
+
+from repro import observability
+from repro.core.instance import Instance
+from repro.core.post import Post
+from repro.core.registry import solve
+from repro.core.solution import Solution
+from repro.observability import structlog
+from repro.pipeline import DigestResult
+from repro.service.auditor import DigestAuditor
+
+from .conftest import make_service, run
+from repro.service import DigestRequest
+
+
+def make_result(n_posts: int = 8, lam: float = 3.0,
+                corrupt: bool = False) -> DigestResult:
+    posts = [
+        Post(uid=i, value=float(i), labels=frozenset({"a", "b"}))
+        for i in range(n_posts)
+    ]
+    instance = Instance(posts=posts, lam=lam)
+    solution = solve("greedy_sc", instance)
+    if corrupt:
+        solution = dataclasses.replace(
+            solution, posts=solution.posts[:1]
+        )
+    return DigestResult(
+        solution=solution,
+        instance=instance,
+        matched=n_posts,
+        duplicates_dropped=0,
+        unmatched_dropped=0,
+        trace_id="feedface",
+    )
+
+
+class TestValidation:
+    def test_sample_rate_bounds(self):
+        with pytest.raises(ValueError):
+            DigestAuditor(sample_rate=1.5)
+        with pytest.raises(ValueError):
+            DigestAuditor(sample_rate=-0.1)
+
+    def test_queue_bound_positive(self):
+        with pytest.raises(ValueError):
+            DigestAuditor(max_queue=0)
+
+
+class TestSampling:
+    def test_none_result_is_ignored(self):
+        auditor = DigestAuditor()
+        assert auditor.observe(None) is False
+        assert auditor.offered == 0
+
+    def test_rate_zero_samples_nothing(self):
+        auditor = DigestAuditor(sample_rate=0.0)
+        assert auditor.observe(make_result()) is False
+        assert auditor.offered == 1
+        assert auditor.sampled == 0
+        assert auditor.pending() == 0
+
+    def test_rate_one_samples_everything(self):
+        auditor = DigestAuditor(sample_rate=1.0)
+        for _ in range(5):
+            assert auditor.observe(make_result()) is True
+        assert auditor.sampled == 5
+
+    def test_fractional_rate_is_seed_deterministic(self):
+        picks = []
+        for _ in range(2):
+            auditor = DigestAuditor(sample_rate=0.5, seed=7)
+            picks.append([
+                auditor.observe(make_result()) for _ in range(20)
+            ])
+        assert picks[0] == picks[1]
+        assert 0 < sum(picks[0]) < 20
+
+    def test_queue_overflow_drops_oldest(self):
+        auditor = DigestAuditor(max_queue=2)
+        for epoch in range(4):
+            auditor.observe(make_result(), epoch=epoch)
+        assert auditor.pending() == 2
+        assert auditor.dropped == 2
+        findings = auditor.audit_pending()
+        assert [f.epoch for f in findings] == [2, 3]
+
+
+class TestAuditing:
+    def test_clean_digest_passes(self):
+        auditor = DigestAuditor()
+        auditor.observe(make_result(), tenant="acme",
+                        algorithm="greedy_sc", epoch=2)
+        (finding,) = auditor.audit_pending()
+        assert finding.covered is True
+        assert finding.uncovered_pairs == 0
+        assert finding.tenant == "acme"
+        assert finding.epoch == 2
+        assert finding.trace_id == "feedface"
+        assert auditor.coverage_violations == 0
+        assert auditor.pass_rate() == 1.0
+
+    def test_corrupted_digest_is_detected(self):
+        auditor = DigestAuditor()
+        auditor.observe(make_result(corrupt=True), tenant="acme")
+        with structlog.capture() as events:
+            (finding,) = auditor.audit_pending()
+        assert finding.covered is False
+        assert finding.uncovered_pairs > 0
+        assert auditor.coverage_violations == 1
+        assert auditor.pass_rate() == 0.0
+        (event,) = events
+        assert event["event"] == "audit.coverage_violation"
+        assert event["level"] == "WARNING"
+        assert event["trace_id"] == "feedface"
+        assert event["tenant"] == "acme"
+        assert event["uncovered_pairs"] == finding.uncovered_pairs
+
+    def test_violation_counter_reaches_the_facade(self):
+        with observability.session() as bundle:
+            auditor = DigestAuditor()
+            auditor.observe(make_result(corrupt=True))
+            auditor.observe(make_result())
+            auditor.audit_pending()
+        counters = bundle.registry.counters()
+        assert counters["audit.coverage_violations"] == 1
+        assert counters["audit.audited"] == 2
+        assert counters["audit.samples"] == 2
+
+    def test_ratio_computed_on_small_instances(self):
+        auditor = DigestAuditor(opt_max_posts=12)
+        auditor.observe(make_result(n_posts=8))
+        (finding,) = auditor.audit_pending()
+        assert finding.opt is not None
+        assert finding.approx_ratio is not None
+        assert finding.approx_ratio >= 1.0
+
+    def test_ratio_skipped_above_opt_bound(self):
+        auditor = DigestAuditor(opt_max_posts=4)
+        auditor.observe(make_result(n_posts=8))
+        (finding,) = auditor.audit_pending()
+        assert finding.covered is True
+        assert finding.opt is None
+        assert finding.approx_ratio is None
+
+    def test_snapshot_shape(self):
+        auditor = DigestAuditor(sample_rate=1.0)
+        auditor.observe(make_result())
+        auditor.observe(make_result(corrupt=True))
+        auditor.audit_pending()
+        snap = auditor.snapshot()
+        assert snap["offered"] == 2
+        assert snap["sampled"] == 2
+        assert snap["audited"] == 2
+        assert snap["coverage_violations"] == 1
+        assert snap["pass_rate"] == 0.5
+        assert snap["approx_ratio"]["count"] == 1
+        assert snap["approx_ratio"]["mean"] >= 1.0
+        assert snap["pending"] == 0
+        assert snap["running"] is False
+        import json
+
+        json.dumps(snap)
+
+
+class TestBackgroundLoop:
+    def test_start_drains_and_stop_flushes(self):
+        async def scenario():
+            auditor = DigestAuditor()
+            auditor.observe(make_result())
+            task = auditor.start(interval=0.001)
+            assert auditor.start(interval=0.001) is task  # idempotent
+            await asyncio.sleep(0.02)
+            assert auditor.pending() == 0
+            assert auditor.snapshot()["running"] is True
+            # queued after the drain, flushed by stop()'s final drain
+            auditor.observe(make_result())
+            await auditor.stop()
+            assert auditor.pending() == 0
+            assert auditor.audited == 2
+            assert auditor.snapshot()["running"] is False
+
+        run(scenario())
+
+    def test_stop_without_start_is_a_noop(self):
+        async def scenario():
+            await DigestAuditor().stop()
+
+        run(scenario())
+
+
+class TestServiceIntegration:
+    def test_service_feeds_auditor_and_passes(self):
+        service = make_service(audit_sample=1.0)
+        from .conftest import make_docs
+
+        service.ingest(make_docs())
+
+        async def scenario():
+            await service.digest(DigestRequest(lam=25.0, session="acme"))
+            await service.digest(DigestRequest(lam=35.0, session="beta"))
+
+        run(scenario())
+        assert service.auditor.sampled == 2
+        findings = service.auditor.audit_pending()
+        assert len(findings) == 2
+        assert all(f.covered for f in findings)
+        assert {f.tenant for f in findings} == {"acme", "beta"}
+        assert service.introspect()["auditor"]["pass_rate"] == 1.0
+
+    def test_audit_off_by_default(self):
+        service = make_service()
+        from .conftest import make_docs
+
+        service.ingest(make_docs())
+        run(service.digest(DigestRequest(lam=25.0)))
+        assert service.auditor.sampled == 0
