@@ -39,11 +39,13 @@ RESULTS_DIR = pathlib.Path(__file__).parent / "results"
 BENCH_ARTIFACT = RESULTS_DIR / "BENCH_throughput.json"
 PARALLEL_ARTIFACT = RESULTS_DIR / "BENCH_parallel.json"
 SERVICE_ARTIFACT = RESULTS_DIR / "BENCH_service.json"
+SLO_ARTIFACT = RESULTS_DIR / "BENCH_slo.json"
 SMOKE = bool(os.environ.get("BENCH_SMOKE"))
 
 _TRAJECTORY = BenchTrajectory("throughput")
 _PARALLEL_TRAJECTORY = BenchTrajectory("parallel")
 _SERVICE_TRAJECTORY = BenchTrajectory("service")
+_SLO_TRAJECTORY = BenchTrajectory("slo")
 
 
 def report(rows, title: str) -> None:
@@ -89,6 +91,19 @@ def service_figure():
     return _SERVICE_TRAJECTORY.record_figure
 
 
+@pytest.fixture(scope="session")
+def slo_record():
+    """Record one per-tenant SLO entry into the SLO trajectory
+    (``BENCH_slo.json``)."""
+    return _SLO_TRAJECTORY.record_solver
+
+
+@pytest.fixture(scope="session")
+def slo_figure():
+    """Attach a per-tenant SLO/audit table to the SLO trajectory."""
+    return _SLO_TRAJECTORY.record_figure
+
+
 def _emit(trajectory, artifact):
     RESULTS_DIR.mkdir(exist_ok=True)
     document = trajectory.write(artifact)
@@ -109,3 +124,5 @@ def pytest_sessionfinish(session, exitstatus):
         _emit(_PARALLEL_TRAJECTORY, PARALLEL_ARTIFACT)
     if _SERVICE_TRAJECTORY.solvers:
         _emit(_SERVICE_TRAJECTORY, SERVICE_ARTIFACT)
+    if _SLO_TRAJECTORY.solvers:
+        _emit(_SLO_TRAJECTORY, SLO_ARTIFACT)

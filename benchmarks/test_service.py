@@ -269,3 +269,108 @@ def test_overload_sheds_cleanly(service_record):
         p95_s=percentile(latencies, 0.95),
         throughput_rps=n / wall,
     )
+
+
+def test_multi_tenant_slo(slo_record, slo_figure):
+    """Multi-tenant SLO/audit bench: per-tenant latency quantiles and
+    audit pass rates into ``BENCH_slo.json``.
+
+    Tenants with distinct traffic mixes (cache-friendly vs cold-heavy)
+    drive one service with full audit sampling; the per-tenant SLO
+    snapshot and the auditor's verification stats become the artifact
+    the ``service-smoke`` CI job validates and uploads.
+    """
+    from repro.observability import parse_prometheus
+
+    rng = random.Random(SEED + 2)
+    service = DiversificationService(
+        TOPICS,
+        ServiceConfig(dedup_distance=None, audit_sample=1.0,
+                      audit_seed=SEED),
+    )
+    texts = ("golf putt", "nba dunk", "cpu kernel", "film cinema")
+    service.ingest(
+        Document(i, float(i * 5), f"{texts[i % 4]} doc{i} word{i * 7}")
+        for i in range(N_DOCS)
+    )
+    per_tenant = 8 if SMOKE else 40
+    tenants = {
+        # cache-friendly: few keys, many repeats
+        "dashboard": [
+            DigestRequest(lam=30.0 + i % 3, session="dashboard")
+            for i in range(per_tenant)
+        ],
+        # cold-heavy: every request a fresh key
+        "analyst": [
+            DigestRequest(lam=60.0 + i, session="analyst",
+                          labels=rng.choice(LABEL_SETS))
+            for i in range(per_tenant)
+        ],
+    }
+
+    started = time.perf_counter()
+    for requests in tenants.values():
+        asyncio.run(closed_loop(service, requests))
+    wall = time.perf_counter() - started
+
+    findings = service.auditor.audit_pending()
+    assert findings and all(f.covered for f in findings)
+    snapshot = {
+        (s["tenant"], s["algorithm"]): s for s in service.slo.snapshot()
+    }
+    audit = service.auditor.snapshot()
+    assert audit["pass_rate"] == 1.0
+    assert audit["sampled"] == 2 * per_tenant
+
+    rows = []
+    for tenant in sorted(tenants):
+        record_ = snapshot[(tenant, service.config.algorithm)]
+        latency = record_["latency"]
+        assert record_["lifetime"]["requests"] == per_tenant
+        assert record_["burn"]["fast"]["burn_rate"] == 0.0
+        rows.append({
+            "tenant": tenant,
+            "requests": record_["lifetime"]["requests"],
+            "p50_ms": round(latency["p50"] * 1e3, 4),
+            "p95_ms": round(latency["p95"] * 1e3, 4),
+            "p99_ms": round(latency["p99"] * 1e3, 4),
+            "cache_hits": record_["cache_hits"],
+            "budget": record_["error_budget_remaining"],
+        })
+        slo_record(
+            f"slo[{tenant}]",
+            wall_time_s=wall,
+            solution_size=0,
+            instance={
+                "tenant": tenant,
+                "documents": N_DOCS,
+                "requests": per_tenant,
+                "objective": service.config.slo_objective,
+                "seed": SEED + 2,
+            },
+            counters={
+                "requests": record_["lifetime"]["requests"],
+                "failures": record_["lifetime"]["failures"],
+                "cache_hits": record_["cache_hits"],
+                "audited": audit["audited"],
+                "coverage_violations": audit["coverage_violations"],
+            },
+            p50_s=latency["p50"],
+            p95_s=latency["p95"],
+            p99_s=latency["p99"],
+            audit_pass_rate=audit["pass_rate"],
+            error_budget_remaining=record_["error_budget_remaining"],
+        )
+    # repeats are absorbed by the cache or the coalescer: one solve per
+    # distinct key (3 dashboard lambdas + per_tenant fresh analyst keys)
+    assert service.solves == per_tenant + 3
+    by_tenant = {r["tenant"]: r for r in rows}
+    assert by_tenant["dashboard"]["cache_hits"] >= 1
+    assert by_tenant["analyst"]["cache_hits"] == 0
+
+    report(rows, "Per-tenant SLO: latency quantiles and audit")
+    slo_figure("tenant_slo", rows)
+
+    # the exposition the deployment would scrape must stay lintable
+    samples = parse_prometheus(service.slo_prometheus())
+    assert {s["labels"]["tenant"] for s in samples} == set(tenants)

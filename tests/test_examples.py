@@ -19,6 +19,7 @@ LANDMARKS = {
     "streaming_dashboard.py": ("offline optimum", "Section 5.1"),
     "storm_tracker.py": ("spatiotemporal cover", "storm track"),
     "daily_digest.py": ("coverage vs budget", "per topic:"),
+    "trace_a_request.py": ("assembled trace", "per-tenant SLO"),
 }
 
 
