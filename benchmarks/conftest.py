@@ -40,12 +40,14 @@ BENCH_ARTIFACT = RESULTS_DIR / "BENCH_throughput.json"
 PARALLEL_ARTIFACT = RESULTS_DIR / "BENCH_parallel.json"
 SERVICE_ARTIFACT = RESULTS_DIR / "BENCH_service.json"
 SLO_ARTIFACT = RESULTS_DIR / "BENCH_slo.json"
+INGEST_ARTIFACT = RESULTS_DIR / "BENCH_ingest.json"
 SMOKE = bool(os.environ.get("BENCH_SMOKE"))
 
 _TRAJECTORY = BenchTrajectory("throughput")
 _PARALLEL_TRAJECTORY = BenchTrajectory("parallel")
 _SERVICE_TRAJECTORY = BenchTrajectory("service")
 _SLO_TRAJECTORY = BenchTrajectory("slo")
+_INGEST_TRAJECTORY = BenchTrajectory("ingest")
 
 
 def report(rows, title: str) -> None:
@@ -104,6 +106,19 @@ def slo_figure():
     return _SLO_TRAJECTORY.record_figure
 
 
+@pytest.fixture(scope="session")
+def ingest_record():
+    """Record one durable-ingest workload into the ingest trajectory
+    (``BENCH_ingest.json``)."""
+    return _INGEST_TRAJECTORY.record_solver
+
+
+@pytest.fixture(scope="session")
+def ingest_figure():
+    """Attach a durability/recovery table to the ingest trajectory."""
+    return _INGEST_TRAJECTORY.record_figure
+
+
 def _emit(trajectory, artifact):
     RESULTS_DIR.mkdir(exist_ok=True)
     document = trajectory.write(artifact)
@@ -126,3 +141,5 @@ def pytest_sessionfinish(session, exitstatus):
         _emit(_SERVICE_TRAJECTORY, SERVICE_ARTIFACT)
     if _SLO_TRAJECTORY.solvers:
         _emit(_SLO_TRAJECTORY, SLO_ARTIFACT)
+    if _INGEST_TRAJECTORY.solvers:
+        _emit(_INGEST_TRAJECTORY, INGEST_ARTIFACT)

@@ -1,0 +1,223 @@
+"""Durable ingest benchmark: what exactly-once delivery costs.
+
+Three questions, one ``BENCH_ingest.json`` artifact:
+
+* **durable vs in-memory** — the same document stream fed straight into
+  a supervised pipeline versus appended to the WAL and drained through
+  the full durable path (idempotent receiver, resequencer, offset
+  commits).  The corpus digests must be identical — durability buys
+  crash safety, never a different corpus.
+* **recovery time vs log size** — ``kill -9`` after N uncommitted
+  appends, then measure resurrect + full replay.  Replay is linear in
+  the log, which is the argument for commit intervals.
+* **fsync-interval tradeoff** — append throughput at fsync-every-record,
+  batched fsync, and OS-page-cache-only, quantifying the classic
+  durability/throughput dial.
+
+The CI ``ingest-smoke`` job runs this file under ``BENCH_SMOKE=1`` and
+validates the artifact with ``python -m repro.observability.bench
+--validate``.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.index.inverted_index import Document
+from repro.index.query import TopicQuery
+from repro.ingest import IngestConfig, IngestPipeline, IngestTarget, \
+    corpus_digest
+from repro.pipeline import DiversificationPipeline
+from repro.resilience.policies import SanitizationPolicy
+from repro.resilience.supervisor import ResilienceConfig
+
+from .conftest import SMOKE, report
+
+SEED = 20140328  # EDBT 2014 (the paper's venue) — fixed for replay
+
+if SMOKE:
+    N_DOCS = 150
+    LOG_SIZES = (50, 150)
+    FSYNC_INTERVALS = (1, 16, None)
+else:
+    N_DOCS = 1500
+    LOG_SIZES = (250, 750, 1500)
+    FSYNC_INTERVALS = (1, 8, 64, None)
+
+TOPICS = [
+    TopicQuery("golf", ["golf", "putt"]),
+    TopicQuery("nba", ["nba", "dunk"]),
+    TopicQuery("tech", ["cpu", "kernel"]),
+]
+TEXTS = ("golf putt", "nba dunk", "cpu kernel")
+
+
+def make_docs(n):
+    return [
+        Document(
+            i, float(i),
+            f"{TEXTS[i % 3]} doc{i} word{i * 7} tail{i * 13}",
+        )
+        for i in range(n)
+    ]
+
+
+def make_pipeline() -> DiversificationPipeline:
+    return DiversificationPipeline(
+        TOPICS,
+        lam=60.0,
+        stream_algorithm="stream_scan+",
+        dedup_distance=None,
+        resilience=ResilienceConfig(policy=SanitizationPolicy()),
+    )
+
+
+def make_ingest(directory, **config) -> IngestPipeline:
+    return IngestPipeline(
+        IngestTarget.for_pipeline(make_pipeline()),
+        directory,
+        IngestConfig(**config),
+    )
+
+
+def test_durable_vs_inmemory_throughput(tmp_path, ingest_record):
+    docs = make_docs(N_DOCS)
+
+    # in-memory baseline: straight through the supervised feed
+    plain = make_pipeline()
+    started = time.perf_counter()
+    for doc in docs:
+        plain.feed(doc)
+    plain.supervisor.flush()
+    memory_s = time.perf_counter() - started
+    memory_digest = corpus_digest(plain.supervisor.journal)
+
+    # the durable path: WAL append + drain + commit
+    ingest = make_ingest(tmp_path, fsync_interval=1)
+    started = time.perf_counter()
+    for doc in docs:
+        ingest.append(doc)
+    ingest.drain()
+    ingest.flush()
+    durable_s = time.perf_counter() - started
+
+    # durability must not change the corpus
+    assert ingest.corpus_digest() == memory_digest
+    assert ingest.duplicate_applies() == 0
+
+    rows = [
+        {
+            "mode": "in-memory",
+            "wall_s": round(memory_s, 4),
+            "docs_per_s": round(N_DOCS / memory_s, 1),
+        },
+        {
+            "mode": "durable (fsync=1)",
+            "wall_s": round(durable_s, 4),
+            "docs_per_s": round(N_DOCS / durable_s, 1),
+        },
+    ]
+    report(rows, "Ingest: durable vs in-memory throughput")
+    for row in rows:
+        ingest_record(
+            f"ingest-{row['mode'].split()[0]}",
+            wall_time_s=row["wall_s"],
+            solution_size=N_DOCS,
+            instance={"n_docs": N_DOCS, "mode": row["mode"]},
+            counters={"applied": N_DOCS},
+            docs_per_s=row["docs_per_s"],
+        )
+
+
+def test_recovery_time_vs_log_size(tmp_path, ingest_record,
+                                   ingest_figure):
+    rows = []
+    for size in LOG_SIZES:
+        docs = make_docs(size)
+        workdir = tmp_path / f"log{size}"
+
+        # the victim appends everything but never commits an offset —
+        # the worst-case replay
+        victim = make_ingest(workdir)
+        for doc in docs:
+            victim.append(doc)
+        victim.close()
+        log_bytes = victim.wal.size_bytes()
+
+        # baseline digest for the same stream
+        reference = make_ingest(tmp_path / f"ref{size}")
+        for doc in docs:
+            reference.append(doc)
+        reference.drain()
+        reference.flush()
+
+        started = time.perf_counter()
+        revived = make_ingest(workdir)
+        revived.recover()
+        revived.drain()
+        revived.flush()
+        recovery_s = time.perf_counter() - started
+
+        assert revived.corpus_digest() == reference.corpus_digest()
+        assert revived.duplicate_applies() == 0
+        assert revived.applied == size
+
+        rows.append({
+            "log_records": size,
+            "log_bytes": log_bytes,
+            "recovery_s": round(recovery_s, 4),
+            "records_per_s": round(size / recovery_s, 1),
+        })
+        ingest_record(
+            f"recovery-{size}",
+            wall_time_s=recovery_s,
+            solution_size=size,
+            instance={"n_docs": size, "log_bytes": log_bytes},
+            counters={"applied": size},
+            records_per_s=rows[-1]["records_per_s"],
+        )
+    report(rows, "Ingest: recovery time vs log size")
+    ingest_figure("recovery_vs_log_size", rows)
+    # replay is linear-ish: more log never recovers *faster* by 2x
+    assert rows[-1]["recovery_s"] >= rows[0]["recovery_s"] * 0.5
+
+
+def test_fsync_interval_tradeoff(tmp_path, ingest_record,
+                                 ingest_figure):
+    docs = make_docs(N_DOCS)
+    rows = []
+    throughput = {}
+    digests = set()
+    for interval in FSYNC_INTERVALS:
+        label = "none" if interval is None else str(interval)
+        ingest = make_ingest(
+            tmp_path / f"fsync-{label}", fsync_interval=interval
+        )
+        started = time.perf_counter()
+        for doc in docs:
+            ingest.append(doc)
+        ingest.sync()  # harden the batched tail before the clock stops
+        append_s = time.perf_counter() - started
+        ingest.drain()
+        ingest.flush()
+        digests.add(ingest.corpus_digest())
+        throughput[interval] = N_DOCS / append_s
+        rows.append({
+            "fsync_interval": label,
+            "append_s": round(append_s, 4),
+            "appends_per_s": round(throughput[interval], 1),
+        })
+        ingest_record(
+            f"fsync-{label}",
+            wall_time_s=append_s,
+            solution_size=N_DOCS,
+            instance={"n_docs": N_DOCS, "fsync_interval": label},
+            counters={"appended": N_DOCS},
+            appends_per_s=rows[-1]["appends_per_s"],
+        )
+    report(rows, "Ingest: fsync interval tradeoff")
+    ingest_figure("fsync_tradeoff", rows)
+    # the digest is identical under every durability setting
+    assert len(digests) == 1
+    # batching can only shed fsync work; it must not cost throughput
+    assert throughput[FSYNC_INTERVALS[-1]] >= throughput[1] * 0.5

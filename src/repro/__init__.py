@@ -65,6 +65,7 @@ from .errors import (
     AlgorithmBudgetExceeded,
     CheckpointError,
     EmissionInvariantError,
+    IngestError,
     InvalidCoverError,
     InvalidInstanceError,
     LoaderError,
@@ -73,12 +74,15 @@ from .errors import (
     ServiceOverloadError,
     StreamOrderError,
     UnknownAlgorithmError,
+    WalCorruptionError,
 )
 from .stream import Emission, StreamResult, run_stream
 from .resilience import (
     Checkpoint,
+    CrashSchedule,
     DowngradeEvent,
     FaultInjector,
+    KillPoint,
     QuarantineRecord,
     ResilienceConfig,
     SanitizationPolicy,
@@ -93,6 +97,13 @@ from .engine import (
     parallel_greedy_sc,
     parallel_scan,
     parallel_scan_plus,
+)
+from .ingest import (
+    ConsumerGroup,
+    IngestConfig,
+    IngestPipeline,
+    IngestTarget,
+    WriteAheadLog,
 )
 from .pipeline import DigestResult, DiversificationPipeline
 from .service import (
@@ -166,10 +177,18 @@ __all__ = [
     "QuarantineRecord",
     "ResilienceConfig",
     "Checkpoint",
+    "CrashSchedule",
     "DowngradeEvent",
     "FaultInjector",
+    "KillPoint",
     "run_supervised",
     "solve_with_ladder",
+    # durable ingest
+    "IngestPipeline",
+    "IngestTarget",
+    "IngestConfig",
+    "ConsumerGroup",
+    "WriteAheadLog",
     # errors
     "ReproError",
     "InvalidInstanceError",
@@ -179,6 +198,8 @@ __all__ = [
     "EmissionInvariantError",
     "SanitizationError",
     "CheckpointError",
+    "IngestError",
+    "WalCorruptionError",
     "LoaderError",
     "ServiceOverloadError",
     "UnknownAlgorithmError",

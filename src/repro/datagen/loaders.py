@@ -54,28 +54,50 @@ def read_text_with_retry(
     attempts: int = 4,
     base_delay: float = 0.05,
     max_delay: float = 2.0,
-    jitter: float = 0.25,
+    jitter: Union[str, float] = "full",
+    max_elapsed: Optional[float] = 30.0,
     sleep: Callable[[float], None] = time.sleep,
     rng: Optional[random.Random] = None,
+    clock: Callable[[], float] = time.monotonic,
     encoding: str = "utf-8",
     opener: Callable = open,
 ) -> str:
     """Read a text file, retrying transient ``OSError`` with backoff.
 
-    The pause before attempt ``k`` is ``base_delay * 2**(k-1)`` capped at
-    ``max_delay``, stretched by up to ``jitter`` (a fraction) of random
-    smear so a fleet of restarting consumers does not hammer the same
-    file in lockstep.  ``sleep``, ``rng`` and ``opener`` are injectable
-    so tests run instantly and deterministically.  After ``attempts``
-    failures the last ``OSError`` is wrapped in
+    The backoff ceiling before attempt ``k`` is ``base_delay * 2**(k-1)``
+    capped at ``max_delay``; ``jitter`` decides how much of it is slept:
+
+    * ``"full"`` (default) — *full jitter*: the pause is drawn uniformly
+      from ``[0, ceiling]``.  A fleet of consumers restarting off the
+      same failure decorrelates immediately instead of hammering the
+      file in synchronized waves.
+    * a float fraction — the legacy smear: the full ceiling plus up to
+      ``jitter`` of it on top (``0.0`` = deterministic exponential).
+
+    ``max_elapsed`` caps total time in the retry loop: once the clock
+    says the next pause cannot finish inside the budget, a dead source
+    fails fast with :class:`~repro.errors.LoaderError` instead of
+    grinding through the remaining schedule.  ``None`` disables the cap.
+
+    ``sleep``, ``rng``, ``clock`` and ``opener`` are injectable so tests
+    run instantly and deterministically.  After ``attempts`` failures
+    (or a blown budget) the last ``OSError`` is wrapped in
     :class:`~repro.errors.LoaderError`.
     """
     if attempts < 1:
         raise ValueError("attempts must be at least 1")
+    if isinstance(jitter, str) and jitter != "full":
+        raise ValueError(
+            f"jitter must be 'full' or a float fraction: {jitter!r}"
+        )
+    if max_elapsed is not None and max_elapsed < 0:
+        raise ValueError(f"max_elapsed must be non-negative: {max_elapsed}")
     if rng is None:
         rng = random.Random()
     delay = base_delay
+    started = clock()
     last_error: Optional[OSError] = None
+    exhausted = f"after {attempts} attempts"
     for attempt in range(attempts):
         try:
             with opener(path, "r", encoding=encoding) as handle:
@@ -84,12 +106,22 @@ def read_text_with_retry(
             last_error = error
             if attempt + 1 == attempts:
                 break
-            pause = min(delay, max_delay)
-            pause += pause * jitter * rng.random()
+            ceiling = min(delay, max_delay)
+            if jitter == "full":
+                pause = rng.random() * ceiling
+            else:
+                pause = ceiling + ceiling * jitter * rng.random()
+            if max_elapsed is not None and \
+                    clock() - started + pause > max_elapsed:
+                exhausted = (
+                    f"after {attempt + 1} attempts "
+                    f"(max_elapsed {max_elapsed}s budget spent)"
+                )
+                break
             sleep(pause)
             delay *= 2
     raise LoaderError(
-        f"could not read {os.fspath(path)!r} after {attempts} attempts: "
+        f"could not read {os.fspath(path)!r} {exhausted}: "
         f"{last_error}"
     ) from last_error
 

@@ -89,6 +89,24 @@ class ServiceOverloadError(ReproError):
     """
 
 
+class IngestError(ReproError):
+    """The durable ingest pipeline hit an unrecoverable condition.
+
+    Raised by :mod:`repro.ingest` for misconfiguration (bad directories,
+    invalid windows) and for protocol violations that replay cannot fix.
+    """
+
+
+class WalCorruptionError(IngestError):
+    """A write-ahead-log segment is damaged beyond framing recovery.
+
+    A torn *tail* record (the crash-mid-append case) is repaired silently
+    by truncation; this error means corruption struck *inside* the log —
+    a mangled magic marker or an unskippable frame — so the byte stream
+    can no longer be trusted as a replay source.
+    """
+
+
 class UnknownAlgorithmError(ReproError):
     """A name passed to the algorithm registry does not match any algorithm."""
 

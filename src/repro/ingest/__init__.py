@@ -1,0 +1,44 @@
+"""Durable exactly-once ingest for the diversification corpus.
+
+The streaming theory (Sec 5) assumes posts arrive in timestamp order,
+exactly once.  In-memory, that guarantee is the order gate's job and
+dies with the process; this package makes it survive ``kill -9``:
+
+* :mod:`~repro.ingest.wal` — the append-only **write-ahead log**:
+  CRC-framed records in rotated segments, fsync batching, torn-tail
+  repair (the transactional outbox);
+* :mod:`~repro.ingest.resequencer` — bounded-window timestamp
+  **resequencer** with gap timeouts (out-of-order arrival repair);
+* :mod:`~repro.ingest.deadletter` — the **dead-letter channel** for
+  late/duplicate/corrupt records, feeding the supervisor quarantine;
+* :mod:`~repro.ingest.pipeline` — :class:`IngestPipeline`, the
+  idempotent receiver + atomic offset commit that makes
+  crash-restart-replay reproduce a byte-identical corpus;
+* :mod:`~repro.ingest.consumers` — **competing consumers** with
+  redelivery over the shared log.
+
+See ``docs/robustness.md`` for the recovery model and
+``benchmarks/test_ingest.py`` (``BENCH_ingest.json``) for what
+durability costs.
+"""
+
+from .consumers import ConsumerGroup
+from .deadletter import DeadLetter, DeadLetterChannel
+from .pipeline import IngestConfig, IngestPipeline, IngestTarget, \
+    corpus_digest
+from .resequencer import Resequencer
+from .wal import CorruptRecord, WalRecord, WriteAheadLog
+
+__all__ = [
+    "ConsumerGroup",
+    "CorruptRecord",
+    "DeadLetter",
+    "DeadLetterChannel",
+    "IngestConfig",
+    "IngestPipeline",
+    "IngestTarget",
+    "Resequencer",
+    "WalRecord",
+    "WriteAheadLog",
+    "corpus_digest",
+]

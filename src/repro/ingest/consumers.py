@@ -1,0 +1,148 @@
+"""Competing consumers over the ingest log, with redelivery.
+
+The Enterprise Integration *Competing Consumers* pattern: several
+workers claim records from one channel so ingest keeps up with bursts;
+the price is that claim order is not timestamp order and a worker can
+die mid-record, forcing redelivery.  Both hazards are exactly what the
+rest of the durable pipeline absorbs — the
+:class:`~repro.ingest.resequencer.Resequencer` repairs the bounded
+shuffle competition introduces, and the idempotent receiver suppresses
+the duplicate delivery a redelivered claim becomes — so the
+:class:`ConsumerGroup` needs no ordering discipline of its own.
+
+The *apply* section stays serialized under one lock (the order gate is
+inherently single-writer; competition parallelizes claim/decode, not
+the final apply), which mirrors how a partitioned deployment would pin
+one applier per corpus shard.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from typing import Deque, Dict, List, Optional, Tuple, Union
+
+from ..errors import IngestError
+from ..observability import facade as _obs
+from ..observability import structlog
+from .pipeline import IngestPipeline
+from .wal import CorruptRecord, WalRecord
+
+__all__ = ["ConsumerGroup"]
+
+# (kill worker before or after the apply, leaving the claim unacked)
+CRASH_BEFORE = "before"
+CRASH_AFTER = "after"
+
+
+class ConsumerGroup:
+    """N competing workers draining one :class:`IngestPipeline`.
+
+    Parameters
+    ----------
+    pipeline:
+        The durable ingest pipeline whose WAL tail is consumed.
+    workers:
+        Number of competing claim threads.
+    crashes:
+        Test-only redelivery injection: ``{seq: "before" | "after"}``
+        makes the first worker that claims that record "die" before or
+        after applying it — the claim is never acknowledged, so the
+        record is redelivered to a surviving worker.  ``"after"`` is the
+        at-least-once hazard (applied twice without idempotence);
+        ``"before"`` is a plain retry.
+    """
+
+    def __init__(
+        self,
+        pipeline: IngestPipeline,
+        workers: int = 2,
+        *,
+        crashes: Optional[Dict[int, str]] = None,
+    ):
+        if workers < 1:
+            raise IngestError(f"workers must be >= 1: {workers}")
+        for seq, mode in (crashes or {}).items():
+            if mode not in (CRASH_BEFORE, CRASH_AFTER):
+                raise IngestError(
+                    f"crash mode for seq {seq} must be "
+                    f"'{CRASH_BEFORE}' or '{CRASH_AFTER}': {mode!r}"
+                )
+        self.pipeline = pipeline
+        self.workers = workers
+        self._crashes: Dict[int, str] = dict(crashes or {})
+        self._lock = threading.Lock()
+        self.redeliveries = 0
+        self.claims = 0
+
+    def drain(self, *, commit: bool = True) -> int:
+        """Fetch the WAL tail and apply it with competing workers.
+
+        Returns the number of records taken responsibility for.  The
+        final commit happens once the queue is drained and every worker
+        has parked.
+        """
+        queue: Deque[Union[WalRecord, CorruptRecord]] = deque()
+        with self._lock:
+            for record in self.pipeline.wal.replay(
+                self.pipeline.consumed_seq + 1
+            ):
+                if isinstance(record, CorruptRecord):
+                    if not self.pipeline.dead_letters.seen(record.key):
+                        self.pipeline.dead_letters.offer(
+                            record.key,
+                            f"corrupt WAL frame: {record.reason}",
+                        )
+                    continue
+                if record.seq > self.pipeline.consumed_seq:
+                    queue.append(record)
+        fetched = len(queue)
+
+        def worker() -> None:
+            while True:
+                with self._lock:
+                    if not queue:
+                        return
+                    record = queue.popleft()
+                    self.claims += 1
+                    crash = self._crashes.pop(record.seq, None)
+                    if crash == CRASH_BEFORE:
+                        # died between claim and apply: the record goes
+                        # back on the channel untouched, at the front —
+                        # redelivery preserves log position, so it
+                        # cannot fall behind the resequencer frontier
+                        queue.appendleft(record)
+                        self.redeliveries += 1
+                        _obs.count("ingest.redeliveries")
+                        structlog.emit(
+                            "ingest.redelivery",
+                            key=record.key, seq=record.seq,
+                            mode=CRASH_BEFORE,
+                        )
+                        continue
+                    self.pipeline._consume(record)
+                    if crash == CRASH_AFTER:
+                        # died between apply and ack: the transport
+                        # redelivers what was already applied — the
+                        # idempotent receiver must eat it
+                        queue.appendleft(record)
+                        self.redeliveries += 1
+                        _obs.count("ingest.redeliveries")
+                        structlog.emit(
+                            "ingest.redelivery",
+                            key=record.key, seq=record.seq,
+                            mode=CRASH_AFTER,
+                        )
+
+        threads = [
+            threading.Thread(target=worker, name=f"ingest-consumer-{i}")
+            for i in range(self.workers)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        if commit and fetched:
+            with self._lock:
+                self.pipeline.commit()
+        return fetched

@@ -1,0 +1,149 @@
+"""The dead-letter channel: where records the pipeline refuses end up.
+
+Every record the durable ingest path cannot apply — late beyond the
+reorder window, a duplicate idempotency key, a corrupt WAL frame —
+lands here as a :class:`DeadLetter`, with a counter and a structured
+event carrying the idempotency key, so refusal is never silent and an
+operator can replay or discard the channel deliberately.
+
+The channel also *feeds the supervisor quarantine*: when attached to a
+:class:`~repro.resilience.supervisor.StreamSupervisor`, each dead letter
+whose payload still parses as a post is appended to the supervisor's
+quarantine list as a :class:`~repro.resilience.policies.QuarantineRecord`
+(action ``"dead-letter"``), so the one quarantine surface an operator
+already watches covers the durable path too.  Frames too damaged to
+parse stay channel-only — there is no honest ``Post`` to quarantine.
+"""
+
+from __future__ import annotations
+
+import logging
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from ..core.post import Post
+from ..observability import facade as _obs
+from ..observability import structlog
+from ..resilience.policies import QuarantineRecord
+from ..resilience.supervisor import StreamSupervisor
+
+__all__ = ["DeadLetter", "DeadLetterChannel", "DEAD_LETTER_ACTION"]
+
+DEAD_LETTER_ACTION = "dead-letter"
+
+
+@dataclass(frozen=True)
+class DeadLetter:
+    """One refused record: the key, why, and what could be salvaged."""
+
+    key: str
+    reason: str
+    seq: int = -1
+    data: Optional[Dict[str, Any]] = field(default=None)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "key": self.key,
+            "reason": self.reason,
+            "seq": self.seq,
+            "data": self.data,
+        }
+
+
+class DeadLetterChannel:
+    """Bounded in-memory dead-letter store with quarantine forwarding.
+
+    ``capacity`` bounds the retained letters (oldest evicted first, with
+    a counter — the *count* of refusals is never lost even when the
+    letters themselves age out).
+    """
+
+    def __init__(self, capacity: int = 1024):
+        self.capacity = capacity
+        self.letters: List[DeadLetter] = []
+        self.total = 0
+        self.evicted = 0
+        self._keys: set = set()
+        self._supervisor: Optional[StreamSupervisor] = None
+
+    def attach_supervisor(self, supervisor: StreamSupervisor) -> None:
+        """Forward future (parseable) dead letters into this
+        supervisor's quarantine list."""
+        self._supervisor = supervisor
+
+    def seen(self, key: str) -> bool:
+        """True when this key was already dead-lettered (replay dedup)."""
+        return key in self._keys
+
+    def offer(
+        self,
+        key: str,
+        reason: str,
+        *,
+        seq: int = -1,
+        data: Optional[Dict[str, Any]] = None,
+    ) -> Optional[DeadLetter]:
+        """Admit one dead letter; returns it, or ``None`` when the key
+        was already channelled (a replayed refusal is not a new one)."""
+        if key in self._keys:
+            return None
+        self._keys.add(key)
+        letter = DeadLetter(key=key, reason=reason, seq=seq, data=data)
+        self.letters.append(letter)
+        self.total += 1
+        if len(self.letters) > self.capacity:
+            self.letters.pop(0)
+            self.evicted += 1
+        _obs.count("ingest.dead_letters")
+        structlog.emit(
+            "ingest.dead_letter",
+            level=logging.WARNING,
+            key=key,
+            reason=reason,
+            seq=seq,
+        )
+        if self._supervisor is not None and data is not None:
+            post = self._as_post(data)
+            if post is not None:
+                self._supervisor.quarantine.append(QuarantineRecord(
+                    post=post, reason=f"dead-letter: {reason}",
+                    action=DEAD_LETTER_ACTION,
+                ))
+        return letter
+
+    @staticmethod
+    def _as_post(data: Dict[str, Any]) -> Optional[Post]:
+        """Best-effort projection of a WAL payload onto a Post."""
+        try:
+            return Post(
+                uid=int(data["doc_id"]),
+                value=float(data["timestamp"]),
+                labels=frozenset(data.get("labels", ())),
+                text=str(data.get("text", "")),
+            )
+        except (KeyError, TypeError, ValueError):
+            return None
+
+    def snapshot(self) -> List[Dict[str, Any]]:
+        """JSON-safe view of the retained letters (for commits and
+        introspection)."""
+        return [letter.to_dict() for letter in self.letters]
+
+    def restore(self, letters: List[Dict[str, Any]], *,
+                total: int = 0, evicted: int = 0) -> None:
+        """Adopt a committed snapshot of the channel."""
+        self.letters = [
+            DeadLetter(
+                key=str(entry["key"]),
+                reason=str(entry["reason"]),
+                seq=int(entry.get("seq", -1)),
+                data=entry.get("data"),
+            )
+            for entry in letters
+        ]
+        self._keys = {letter.key for letter in self.letters}
+        self.total = max(total, len(self.letters))
+        self.evicted = evicted
+
+    def __len__(self) -> int:
+        return len(self.letters)

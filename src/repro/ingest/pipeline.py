@@ -1,0 +1,530 @@
+"""Durable exactly-once ingest: WAL -> resequencer -> apply -> commit.
+
+:class:`IngestPipeline` ties the durable pieces into the delivery
+guarantee the streaming theory needs (Sec 5 assumes ordered, loss-free,
+duplicate-free arrival):
+
+* **producers** append documents to the :class:`~repro.ingest.wal.
+  WriteAheadLog` with idempotency keys — the transactional outbox;
+* **consumers** (:meth:`drain`, or a :class:`~repro.ingest.consumers.
+  ConsumerGroup` competing over claims) read from the last committed
+  offset, pass records through the **idempotent receiver** (duplicate
+  keys suppressed, counted, dead-lettered) and the
+  :class:`~repro.ingest.resequencer.Resequencer` (timestamp order
+  restored within a bounded window; late arrivals dead-lettered), then
+  **apply** them through the supervised pipeline feed;
+* **commits** snapshot ``{consumed offset, supervisor checkpoint,
+  resequencer frontier+pending, dead letters, applied keys}`` in one
+  atomically-replaced JSON file, so the applied state and its log
+  position can never disagree on disk.
+
+**The exactly-once argument.**  The commit file is written atomically at
+a record boundary, so recovery always restores a state in which every
+record with ``seq <= offset`` is fully accounted for (applied into the
+checkpoint journal, buffered in ``pending``, or dead-lettered) and no
+record beyond ``offset`` has left any trace.  Replaying ``seq > offset``
+through the restored state is therefore a *re-execution of the exact
+pre-crash suffix*: the resequencer is deterministic in (frontier,
+pending, record sequence), the supervisor journal is a pure function of
+its admitted sequence, and producer-side duplicates are suppressed by
+key.  A ``kill -9`` anywhere — mid-append (torn tail, never
+acknowledged), mid-apply, mid-commit (temp file abandoned) — lands in
+one of those cases, which the randomized kill-point suite in
+``tests/ingest`` drives exhaustively.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import logging
+import os
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Iterable, List, Optional, \
+    Sequence, Tuple, Union
+
+from ..errors import IngestError
+from ..index.inverted_index import Document
+from ..ioutil import atomic_write_text
+from ..observability import facade as _obs
+from ..observability import structlog
+from ..resilience.checkpoint import Checkpoint
+from ..resilience.supervisor import StreamSupervisor
+from ..stream.events import Emission
+from .deadletter import DeadLetterChannel
+from .resequencer import Resequencer
+from .wal import CorruptRecord, FaultHook, WalRecord, WriteAheadLog
+
+__all__ = [
+    "IngestConfig",
+    "IngestPipeline",
+    "IngestTarget",
+    "corpus_digest",
+    "COMMIT_VERSION",
+]
+
+COMMIT_VERSION = 1
+COMMIT_FILE = "commit.json"
+
+
+def corpus_digest(posts: Iterable[Any]) -> str:
+    """Order-sensitive SHA-256 over admitted posts.
+
+    Two runs that admitted the same posts in the same order — the
+    exactly-once contract — produce equal digests; a duplicate, a loss,
+    or a reordering changes it.
+    """
+    digest = hashlib.sha256()
+    for post in posts:
+        digest.update(
+            json.dumps(
+                [post.uid, repr(post.value), sorted(post.labels),
+                 post.text],
+                separators=(",", ":"),
+            ).encode("utf-8")
+        )
+        digest.update(b"\n")
+    return digest.hexdigest()
+
+
+@dataclass(frozen=True)
+class IngestTarget:
+    """The apply side of the pipeline, as three callables plus a probe.
+
+    ``apply`` feeds one admitted document into the live corpus and
+    returns its emissions; ``checkpoint`` snapshots the applied state
+    (``None`` before the stream starts); ``restore`` adopts a restored
+    checkpoint; ``supervisor`` exposes the live stream supervisor for
+    quarantine forwarding and corpus digests.
+
+    Use :meth:`for_pipeline` for a bare
+    :class:`~repro.pipeline.DiversificationPipeline`; the serving layer
+    builds its own target in
+    :meth:`~repro.service.DiversificationService.durable_ingest`.
+    """
+
+    apply: Callable[[Document], List[Emission]]
+    checkpoint: Callable[[], Optional[Checkpoint]]
+    restore: Callable[[Checkpoint], None]
+    supervisor: Callable[[], Optional[StreamSupervisor]]
+
+    @classmethod
+    def for_pipeline(cls, pipeline: Any) -> "IngestTarget":
+        if getattr(pipeline, "resilience", None) is None:
+            raise IngestError(
+                "durable ingest needs a supervised pipeline (construct "
+                "it with a ResilienceConfig): the supervisor journal is "
+                "the checkpointable applied state"
+            )
+
+        def _checkpoint() -> Optional[Checkpoint]:
+            supervisor = pipeline.supervisor
+            return None if supervisor is None else supervisor.checkpoint()
+
+        def _restore(checkpoint: Checkpoint) -> None:
+            pipeline.adopt_supervisor(StreamSupervisor.restore(
+                checkpoint,
+                policy=pipeline.resilience.policy,
+                arrival_budget=pipeline.resilience.arrival_budget,
+                clock=pipeline.resilience.clock,
+            ))
+
+        return cls(
+            apply=pipeline.feed,
+            checkpoint=_checkpoint,
+            restore=_restore,
+            supervisor=lambda: pipeline.supervisor,
+        )
+
+
+@dataclass(frozen=True)
+class IngestConfig:
+    """Tuning knobs for one :class:`IngestPipeline`."""
+
+    segment_max_bytes: int = 4 * 1024 * 1024
+    fsync_interval: Optional[int] = 1
+    reorder_window: int = 8
+    gap_timeout: Optional[float] = None
+    commit_interval: int = 64
+    dead_letter_capacity: int = 1024
+
+    def __post_init__(self) -> None:
+        if self.commit_interval < 1:
+            raise IngestError(
+                f"commit_interval must be >= 1: {self.commit_interval}"
+            )
+
+
+class IngestPipeline:
+    """Durable exactly-once ingest for one apply target.
+
+    Typical producer/consumer flow::
+
+        ingest = IngestPipeline(IngestTarget.for_pipeline(p), directory)
+        ingest.recover()          # no-op on a fresh directory
+        ingest.append(document)   # durable once append returns
+        ingest.drain()            # apply everything new, commit
+
+    After a crash, rebuild the pipeline/service, construct the
+    :class:`IngestPipeline` over the same directory, and call
+    :meth:`recover` then :meth:`drain`: the corpus digest equals the
+    uninterrupted run's, with zero duplicate applies.
+    """
+
+    def __init__(
+        self,
+        target: IngestTarget,
+        directory: Union[str, "os.PathLike[str]"],
+        config: Optional[IngestConfig] = None,
+        *,
+        fault_hook: Optional[FaultHook] = None,
+    ):
+        self.target = target
+        self.config = config if config is not None else IngestConfig()
+        self.directory = os.fspath(directory)
+        os.makedirs(self.directory, exist_ok=True)
+        self._fault_hook = fault_hook
+        self.wal = WriteAheadLog(
+            os.path.join(self.directory, "wal"),
+            segment_max_bytes=self.config.segment_max_bytes,
+            fsync_interval=self.config.fsync_interval,
+            fault_hook=fault_hook,
+        )
+        self.dead_letters = DeadLetterChannel(
+            capacity=self.config.dead_letter_capacity
+        )
+        self.resequencer = Resequencer(
+            window=self.config.reorder_window,
+            gap_timeout=self.config.gap_timeout,
+            late_sink=self._late_sink,
+        )
+        self._consumed = -1
+        self._keys: set = set()
+        self._since_commit = 0
+        self._quarantine_linked = False
+        self.applied = 0
+        self.suppressed = 0
+        self.commits = 0
+        self.recoveries = 0
+
+    # -- fault-injection plumbing ------------------------------------------
+
+    def _fault(self, site: str, **context: Any) -> None:
+        if self._fault_hook is not None:
+            self._fault_hook(site, **context)
+
+    # -- producer side -----------------------------------------------------
+
+    @staticmethod
+    def key_for(document: Document) -> str:
+        """The default idempotency key: stable per document identity."""
+        return f"doc:{document.doc_id}"
+
+    def append(
+        self, document: Document, *, key: Optional[str] = None
+    ) -> int:
+        """Durably append one document; returns its WAL sequence.
+
+        A producer retrying after a timeout simply appends again with
+        the same key — the apply side suppresses the duplicate, which is
+        the idempotent-receiver half of exactly-once.
+        """
+        _obs.count("ingest.appended")
+        return self.wal.append(
+            key if key is not None else self.key_for(document),
+            {
+                "doc_id": document.doc_id,
+                "timestamp": document.timestamp,
+                "text": document.text,
+            },
+        )
+
+    def sync(self) -> None:
+        """Harden any fsync-batched tail of the log."""
+        self.wal.sync()
+
+    # -- consumer side -----------------------------------------------------
+
+    def _late_sink(self, value: float, seq: int, key: str, data: Any,
+                   frontier: float) -> None:
+        self.dead_letters.offer(
+            key,
+            f"late arrival: value {value} behind frontier {frontier}",
+            seq=seq, data=data,
+        )
+
+    def _ensure_quarantine_link(self) -> None:
+        if self._quarantine_linked:
+            return
+        supervisor = self.target.supervisor()
+        if supervisor is not None:
+            self.dead_letters.attach_supervisor(supervisor)
+            self._quarantine_linked = True
+
+    def _document(self, record: WalRecord) -> Optional[Document]:
+        try:
+            return Document(
+                doc_id=int(record.data["doc_id"]),
+                timestamp=float(record.data["timestamp"]),
+                text=str(record.data.get("text", "")),
+            )
+        except (KeyError, TypeError, ValueError):
+            return None
+
+    def _apply(self, value: float, seq: int, key: str,
+               document: Document) -> List[Emission]:
+        self._fault("apply.before", seq=seq, key=key)
+        emissions = self.target.apply(document)
+        self.applied += 1
+        _obs.count("ingest.applied")
+        self._ensure_quarantine_link()
+        self._fault("apply.after", seq=seq, key=key)
+        return emissions
+
+    def _consume(self, record: WalRecord) -> List[Emission]:
+        """Idempotent receiver + resequencer + apply for one record."""
+        if record.key in self._keys:
+            self.suppressed += 1
+            _obs.count("ingest.duplicates_suppressed")
+            structlog.emit(
+                "ingest.duplicate_suppressed",
+                level=logging.WARNING,
+                key=record.key,
+                seq=record.seq,
+            )
+            self.dead_letters.offer(
+                f"dup:{record.seq}:{record.key}",
+                f"duplicate idempotency key {record.key}",
+                seq=record.seq, data=record.data,
+            )
+            self._consumed = max(self._consumed, record.seq)
+            return []
+        self._keys.add(record.key)
+        document = self._document(record)
+        if document is None:
+            self.dead_letters.offer(
+                record.key, "malformed payload",
+                seq=record.seq, data=record.data,
+            )
+            self._consumed = max(self._consumed, record.seq)
+            return []
+        emissions: List[Emission] = []
+        released = self.resequencer.push(
+            document.timestamp, record.seq, record.key, record.data
+        )
+        self._consumed = max(self._consumed, record.seq)
+        for value, seq, key, data in released:
+            emissions.extend(self._apply(
+                value, seq, key,
+                Document(doc_id=int(data["doc_id"]), timestamp=value,
+                         text=str(data.get("text", ""))),
+            ))
+        return emissions
+
+    def drain(
+        self, *, commit: bool = True
+    ) -> List[Emission]:
+        """Apply every record past the consumed offset; returns the
+        emissions triggered.  Commits every ``commit_interval`` records
+        and once at the end (unless ``commit=False``)."""
+        emissions: List[Emission] = []
+        progressed = False
+        for record in self.wal.replay(self._consumed + 1):
+            if isinstance(record, CorruptRecord):
+                if not self.dead_letters.seen(record.key):
+                    self.dead_letters.offer(
+                        record.key,
+                        f"corrupt WAL frame: {record.reason}",
+                        data=None,
+                    )
+                continue
+            if record.seq <= self._consumed:
+                continue
+            emissions.extend(self._consume(record))
+            progressed = True
+            self._since_commit += 1
+            if commit and self._since_commit >= \
+                    self.config.commit_interval:
+                self.commit()
+        if commit and (progressed or self._since_commit):
+            self.commit()
+        return emissions
+
+    def flush(self) -> List[Emission]:
+        """Drain the resequencer window (end of stream / quiesce), then
+        commit."""
+        emissions: List[Emission] = []
+        for value, seq, key, data in self.resequencer.flush():
+            emissions.extend(self._apply(
+                value, seq, key,
+                Document(doc_id=int(data["doc_id"]), timestamp=value,
+                         text=str(data.get("text", ""))),
+            ))
+        self.commit()
+        return emissions
+
+    # -- offset commit / recovery ------------------------------------------
+
+    @property
+    def commit_path(self) -> str:
+        return os.path.join(self.directory, COMMIT_FILE)
+
+    @property
+    def consumed_seq(self) -> int:
+        """Highest WAL sequence the consumer has taken responsibility
+        for (applied, buffered, or dead-lettered)."""
+        return self._consumed
+
+    def commit(self) -> None:
+        """Atomically persist the applied state and its log offset.
+
+        The checkpoint inside is taken *now*, at a record boundary, so
+        offset and state describe the same instant; the atomic replace
+        makes torn commits impossible (see :mod:`repro.ioutil`).
+        """
+        self._fault("commit.before", offset=self._consumed)
+        checkpoint = self.target.checkpoint()
+        payload = {
+            "version": COMMIT_VERSION,
+            "offset": self._consumed,
+            "frontier": repr(self.resequencer.frontier),
+            "pending": [
+                [repr(value), seq, key, data]
+                for value, seq, key, data in self.resequencer.pending()
+            ],
+            "checkpoint": None if checkpoint is None
+            else checkpoint.to_dict(),
+            "keys": sorted(self._keys),
+            "dead_letters": self.dead_letters.snapshot(),
+            "dead_letter_totals": [
+                self.dead_letters.total, self.dead_letters.evicted,
+            ],
+            "counters": {
+                "applied": self.applied,
+                "suppressed": self.suppressed,
+                "gap_timeouts": self.resequencer.gap_timeouts,
+                "late": self.resequencer.late,
+            },
+        }
+        atomic_write_text(
+            self.commit_path, json.dumps(payload, sort_keys=True)
+        )
+        self.commits += 1
+        self._since_commit = 0
+        _obs.count("ingest.commits")
+        self._fault("commit.after", offset=self._consumed)
+
+    def recover(self) -> bool:
+        """Restore committed state from disk; returns True when a commit
+        existed.  Call :meth:`drain` afterwards to replay the WAL tail
+        — together they are the crash-recovery path."""
+        try:
+            with open(self.commit_path, "r", encoding="utf-8") as handle:
+                payload = json.load(handle)
+        except FileNotFoundError:
+            return False
+        except (OSError, json.JSONDecodeError) as error:
+            raise IngestError(
+                f"unreadable ingest commit at {self.commit_path}: "
+                f"{error}"
+            ) from error
+        try:
+            if int(payload["version"]) != COMMIT_VERSION:
+                raise IngestError(
+                    f"unsupported ingest commit version "
+                    f"{payload['version']!r}"
+                )
+            checkpoint = payload.get("checkpoint")
+            if checkpoint is not None:
+                self.target.restore(Checkpoint.from_dict(checkpoint))
+            self._consumed = int(payload["offset"])
+            self.resequencer.restore(
+                float(payload["frontier"]),
+                [
+                    (float(value), int(seq), str(key), data)
+                    for value, seq, key, data in payload["pending"]
+                ],
+            )
+            self._keys = set(payload["keys"])
+            totals = payload.get("dead_letter_totals", [0, 0])
+            self.dead_letters.restore(
+                payload.get("dead_letters", []),
+                total=int(totals[0]), evicted=int(totals[1]),
+            )
+            counters = payload.get("counters", {})
+            self.applied = int(counters.get("applied", 0))
+            self.suppressed = int(counters.get("suppressed", 0))
+            self.resequencer.gap_timeouts = int(
+                counters.get("gap_timeouts", 0)
+            )
+            self.resequencer.late = int(counters.get("late", 0))
+        except IngestError:
+            raise
+        except (KeyError, TypeError, ValueError) as error:
+            raise IngestError(
+                f"malformed ingest commit at {self.commit_path}"
+            ) from error
+        self._quarantine_linked = False
+        self._ensure_quarantine_link()
+        self._since_commit = 0
+        self.recoveries += 1
+        _obs.count("ingest.recoveries")
+        structlog.emit(
+            "ingest.recovered",
+            offset=self._consumed,
+            pending=len(self.resequencer),
+            applied=self.applied,
+        )
+        return True
+
+    def close(self) -> None:
+        self.wal.close()
+
+    # -- introspection ------------------------------------------------------
+
+    def corpus_digest(self) -> Optional[str]:
+        """Digest of the applied corpus (``None`` before any apply)."""
+        supervisor = self.target.supervisor()
+        if supervisor is None:
+            return None
+        return corpus_digest(supervisor.journal)
+
+    def duplicate_applies(self) -> int:
+        """Journal uids applied more than once — the exactly-once
+        invariant says this is always zero."""
+        supervisor = self.target.supervisor()
+        if supervisor is None:
+            return 0
+        journal = supervisor.journal
+        return len(journal) - len({post.uid for post in journal})
+
+    def introspect(self) -> Dict[str, Any]:
+        """JSON-safe snapshot of the durable ingest state."""
+        return {
+            "consumed_seq": self._consumed,
+            "applied": self.applied,
+            "suppressed_duplicates": self.suppressed,
+            "duplicate_applies": self.duplicate_applies(),
+            "commits": self.commits,
+            "recoveries": self.recoveries,
+            "corpus_digest": self.corpus_digest(),
+            "resequencer": {
+                "pending": len(self.resequencer),
+                "frontier": self.resequencer.frontier,
+                "released": self.resequencer.released,
+                "late": self.resequencer.late,
+                "gap_timeouts": self.resequencer.gap_timeouts,
+            },
+            "dead_letters": {
+                "retained": len(self.dead_letters),
+                "total": self.dead_letters.total,
+                "evicted": self.dead_letters.evicted,
+            },
+            "wal": {
+                "next_seq": self.wal.next_seq,
+                "segments": len(self.wal.segments),
+                "bytes": self.wal.size_bytes(),
+                "appended": self.wal.appended,
+                "rotations": self.wal.rotations,
+            },
+        }

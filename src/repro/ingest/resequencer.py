@@ -1,0 +1,143 @@
+"""The resequencer: restore timestamp order within a bounded window.
+
+The streaming solvers assume arrivals in non-decreasing dimension order
+(the ``s``-bound of StreamScan is meaningless otherwise), but competing
+consumers draining a log deliver in claim order, and producers racing on
+the log append in wall-clock order — both mildly shuffled.  This is the
+Enterprise Integration *Resequencer*: buffer out-of-order messages,
+release them in order, bound the buffer so a lost message cannot stall
+the stream forever.
+
+Ordering here is by **dimension value** (timestamp), with the WAL
+sequence number as the tie-break, so equal-timestamp records release in
+append order and replay is deterministic.  Two knobs bound the buffer:
+
+* ``window`` — maximum records held; when full, the oldest releases
+  even if a gap might still fill (same semantics as the supervisor's
+  reorder buffer).
+* ``gap_timeout`` — maximum *stream-time* spread the buffer may hold:
+  once ``newest - oldest > gap_timeout`` the oldest releases, on the
+  argument that a record delayed further than that is lost, not late.
+  Each such forced release emits ``ingest.resequencer_gap_timeout``.
+
+Records older than the already-released frontier are *late* — reordering
+beyond the window's power to repair — and are routed to the dead-letter
+channel rather than violating the order gate downstream.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, List, Optional, Tuple
+
+from ..errors import IngestError
+from ..observability import facade as _obs
+from ..observability import structlog
+
+__all__ = ["Resequencer", "SequencedItem"]
+
+# (value, seq, key, data)
+SequencedItem = Tuple[float, int, str, Any]
+
+
+class Resequencer:
+    """Bounded-window timestamp resequencer.
+
+    Parameters
+    ----------
+    window:
+        Maximum buffered records; ``0`` disables buffering (records
+        release immediately — only useful when the log is written in
+        order).
+    gap_timeout:
+        Maximum stream-time spread buffered at once; ``None`` disables
+        the timeout (the window alone bounds the buffer).
+    late_sink:
+        Called with ``(value, seq, key, data, frontier)`` for a record
+        that regresses behind the released frontier.
+    """
+
+    def __init__(
+        self,
+        window: int = 0,
+        gap_timeout: Optional[float] = None,
+        late_sink: Optional[Callable[..., None]] = None,
+    ):
+        if window < 0:
+            raise IngestError(f"window must be non-negative: {window}")
+        if gap_timeout is not None and gap_timeout < 0:
+            raise IngestError(
+                f"gap_timeout must be non-negative: {gap_timeout}"
+            )
+        self.window = window
+        self.gap_timeout = gap_timeout
+        self._late_sink = late_sink
+        self._heap: List[SequencedItem] = []
+        self.frontier = float("-inf")
+        self.released = 0
+        self.late = 0
+        self.gap_timeouts = 0
+
+    # -- state -------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def pending(self) -> List[SequencedItem]:
+        """Buffered items in release order (for commit snapshots)."""
+        return sorted(self._heap)
+
+    def restore(
+        self, frontier: float, pending: List[SequencedItem]
+    ) -> None:
+        """Adopt a committed snapshot: frontier plus buffered items."""
+        self.frontier = frontier
+        self._heap = list(pending)
+        heapq.heapify(self._heap)
+
+    # -- event flow --------------------------------------------------------
+
+    def _release_one(self) -> SequencedItem:
+        item = heapq.heappop(self._heap)
+        self.frontier = max(self.frontier, item[0])
+        self.released += 1
+        return item
+
+    def push(
+        self, value: float, seq: int, key: str, data: Any
+    ) -> List[SequencedItem]:
+        """Offer one record; returns the records released in order."""
+        if value < self.frontier:
+            self.late += 1
+            _obs.count("ingest.resequencer.late")
+            if self._late_sink is not None:
+                self._late_sink(value, seq, key, data, self.frontier)
+            return []
+        heapq.heappush(self._heap, (value, seq, key, data))
+        out: List[SequencedItem] = []
+        while len(self._heap) > self.window:
+            out.append(self._release_one())
+        if self.gap_timeout is not None:
+            newest = max(item[0] for item in self._heap) if self._heap \
+                else value
+            while self._heap and \
+                    newest - self._heap[0][0] > self.gap_timeout:
+                stale = self._release_one()
+                self.gap_timeouts += 1
+                _obs.count("ingest.resequencer.gap_timeouts")
+                structlog.emit(
+                    "ingest.resequencer_gap_timeout",
+                    key=stale[2],
+                    seq=stale[1],
+                    value=stale[0],
+                    gap=newest - stale[0],
+                )
+                out.append(stale)
+        return out
+
+    def flush(self) -> List[SequencedItem]:
+        """Release everything buffered, in order."""
+        out: List[SequencedItem] = []
+        while self._heap:
+            out.append(self._release_one())
+        return out

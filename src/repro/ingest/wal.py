@@ -1,0 +1,417 @@
+"""The append-only write-ahead log: segments, CRC frames, fsync batching.
+
+The WAL is the transactional outbox of the ingest pipeline: producers
+append ``(idempotency key, payload)`` records and the append is the
+commit point — once :meth:`WriteAheadLog.append` returns after a
+:meth:`~WriteAheadLog.sync`, the record survives ``kill -9`` and power
+loss, and the apply workers will eventually deliver it exactly once.
+
+**Record framing.**  Each record is one self-describing frame::
+
+    +-------+----------+---------+------------------+
+    | magic | length   | crc32   | payload          |
+    | 2 B   | u32 BE   | u32 BE  | ``length`` bytes |
+    +-------+----------+---------+------------------+
+
+The payload is one JSON object ``{"seq": n, "key": k, "data": {...}}``;
+the CRC covers the payload bytes, so a flipped bit anywhere in the body
+is detected.  Sequence numbers are global across segments, strictly
+increasing, and never reused — they are the replayable offsets the
+consumer commits.
+
+**Torn tails vs corruption.**  A crash mid-append leaves a partial frame
+at the end of the *last* segment; that is expected, carries no
+acknowledged data (append never returned), and is repaired by truncation
+when the log reopens.  A bad CRC on a *complete* frame is genuine
+corruption: the frame is skippable (its length field still stands), so
+the scan yields a :class:`CorruptRecord` for the dead-letter channel and
+continues.  A mangled magic marker destroys framing itself and raises
+:class:`~repro.errors.WalCorruptionError` — replay from that byte
+onward would be fiction.
+
+**Fsync batching.**  ``fsync_interval=k`` fsyncs every ``k`` appends
+(and on segment rotation / explicit ``sync()``), trading the tail of
+unsynced records for throughput; ``BENCH_ingest.json`` measures the
+trade.  ``fsync_interval=None`` leaves durability to the OS page cache.
+
+**Segment rotation.**  When the active segment exceeds
+``segment_max_bytes`` the log fsyncs and closes it, opens
+``wal-<next_seq>.log`` and fsyncs the directory, so the rotation itself
+is crash-atomic: recovery either sees the old tail or the new (empty)
+segment, both valid.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import struct
+import zlib
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Iterator, List, Mapping, \
+    Optional, Tuple, Union
+
+from ..errors import IngestError, WalCorruptionError
+from ..ioutil import fsync_directory
+from ..observability import facade as _obs
+from ..observability import structlog
+
+__all__ = ["CorruptRecord", "WalRecord", "WriteAheadLog"]
+
+_MAGIC = b"WR"
+_HEADER = struct.Struct(">2sII")  # magic, payload length, crc32
+_SEGMENT_PREFIX = "wal-"
+_SEGMENT_SUFFIX = ".log"
+
+FaultHook = Callable[..., None]
+
+
+@dataclass(frozen=True)
+class WalRecord:
+    """One durable ingest record, as written and as replayed."""
+
+    seq: int
+    key: str
+    data: Dict[str, Any]
+    segment: str = ""
+    offset: int = -1
+
+
+@dataclass(frozen=True)
+class CorruptRecord:
+    """A complete frame whose payload failed its CRC (dead-letter food).
+
+    ``seq`` is unknown (the payload is untrusted), so consumers key the
+    dead letter off the position instead.
+    """
+
+    segment: str
+    offset: int
+    length: int
+    reason: str
+
+    @property
+    def key(self) -> str:
+        return f"corrupt:{self.segment}@{self.offset}"
+
+
+def _segment_name(first_seq: int) -> str:
+    return f"{_SEGMENT_PREFIX}{first_seq:012d}{_SEGMENT_SUFFIX}"
+
+
+def _segment_first_seq(name: str) -> int:
+    stem = name[len(_SEGMENT_PREFIX):-len(_SEGMENT_SUFFIX)]
+    try:
+        return int(stem)
+    except ValueError:
+        raise IngestError(f"not a WAL segment name: {name!r}")
+
+
+def _encode(seq: int, key: str, data: Mapping[str, Any]) -> bytes:
+    payload = json.dumps(
+        {"seq": seq, "key": key, "data": dict(data)},
+        sort_keys=True, separators=(",", ":"),
+    ).encode("utf-8")
+    return _HEADER.pack(_MAGIC, len(payload), zlib.crc32(payload)) + payload
+
+
+class WriteAheadLog:
+    """Durable, segmented, replayable record log.
+
+    Parameters
+    ----------
+    directory:
+        Where segments live; created if missing.  Reopening a directory
+        resumes the existing log: the last segment's tail is scanned,
+        a torn final frame is truncated away, and appends continue from
+        the next sequence number.
+    segment_max_bytes:
+        Rotation threshold for the active segment.
+    fsync_interval:
+        Fsync every this-many appends (``1`` = every append, the
+        durability default); ``None`` disables explicit fsync.
+    fault_hook:
+        Test-only crash injection: called with a site name (and
+        site-specific context) at the instants a real process could die.
+        See :class:`repro.resilience.faults.CrashSchedule`.
+    """
+
+    def __init__(
+        self,
+        directory: Union[str, "os.PathLike[str]"],
+        *,
+        segment_max_bytes: int = 4 * 1024 * 1024,
+        fsync_interval: Optional[int] = 1,
+        fault_hook: Optional[FaultHook] = None,
+    ):
+        if segment_max_bytes < len(_HEADER.pack(_MAGIC, 0, 0)) + 2:
+            raise IngestError(
+                f"segment_max_bytes too small: {segment_max_bytes}"
+            )
+        if fsync_interval is not None and fsync_interval < 1:
+            raise IngestError(
+                f"fsync_interval must be >= 1 or None: {fsync_interval}"
+            )
+        self.directory = os.fspath(directory)
+        self.segment_max_bytes = segment_max_bytes
+        self.fsync_interval = fsync_interval
+        self._fault_hook = fault_hook
+        self._unsynced = 0
+        self.appended = 0
+        self.rotations = 0
+        os.makedirs(self.directory, exist_ok=True)
+        self._segments: List[str] = sorted(
+            name for name in os.listdir(self.directory)
+            if name.startswith(_SEGMENT_PREFIX)
+            and name.endswith(_SEGMENT_SUFFIX)
+        )
+        self._next_seq = self._recover_tail()
+        if not self._segments:
+            self._open_segment(self._next_seq, fresh_log=True)
+        else:
+            active = os.path.join(self.directory, self._segments[-1])
+            self._handle = open(active, "ab")
+
+    # -- construction / recovery -------------------------------------------
+
+    def _recover_tail(self) -> int:
+        """Scan existing segments for the next sequence number, repairing
+        a torn final frame by truncation."""
+        if not self._segments:
+            return 0
+        # Earlier segments were finalized by rotation; only the last one
+        # can have a torn tail.  The next seq still has to come from the
+        # last *complete* frame of the last non-empty segment.
+        last_seq = -1
+        for name in self._segments[:-1]:
+            last = self._last_complete_seq(name, repair=False)
+            if last is not None:
+                last_seq = max(last_seq, last)
+        tail = self._last_complete_seq(self._segments[-1], repair=True)
+        if tail is not None:
+            last_seq = max(last_seq, tail)
+        if last_seq < 0:
+            return _segment_first_seq(self._segments[-1])
+        return last_seq + 1
+
+    def _last_complete_seq(
+        self, name: str, *, repair: bool
+    ) -> Optional[int]:
+        path = os.path.join(self.directory, name)
+        last_seq: Optional[int] = None
+        good_end = 0
+        with open(path, "rb") as handle:
+            blob = handle.read()
+        offset = 0
+        while offset < len(blob):
+            frame = self._parse_frame(blob, offset, name, tail_ok=True)
+            if frame is None:  # torn tail
+                break
+            record, consumed = frame
+            if isinstance(record, WalRecord):
+                last_seq = record.seq
+            good_end = offset + consumed
+            offset = good_end
+        if repair and good_end < len(blob):
+            with open(path, "r+b") as handle:
+                handle.truncate(good_end)
+                handle.flush()
+                os.fsync(handle.fileno())
+            structlog.emit(
+                "ingest.wal_torn_tail_repaired",
+                segment=name,
+                kept_bytes=good_end,
+                dropped_bytes=len(blob) - good_end,
+            )
+            _obs.count("ingest.wal.torn_tails_repaired")
+        return last_seq
+
+    def _parse_frame(
+        self, blob: bytes, offset: int, segment: str, *, tail_ok: bool
+    ) -> Optional[Tuple[Union[WalRecord, CorruptRecord], int]]:
+        """Decode one frame at ``offset``; ``None`` means torn tail.
+
+        ``tail_ok`` governs whether an incomplete frame at the end of
+        the buffer is a repairable tail (last segment) or corruption
+        (an interior segment, which rotation should have finalized).
+        """
+        remaining = len(blob) - offset
+        if remaining < _HEADER.size:
+            if tail_ok:
+                return None
+            raise WalCorruptionError(
+                f"{segment}: truncated header at offset {offset}"
+            )
+        magic, length, crc = _HEADER.unpack_from(blob, offset)
+        if magic != _MAGIC:
+            raise WalCorruptionError(
+                f"{segment}: bad magic {magic!r} at offset {offset} — "
+                "framing lost"
+            )
+        body_start = offset + _HEADER.size
+        if len(blob) - body_start < length:
+            if tail_ok:
+                return None
+            raise WalCorruptionError(
+                f"{segment}: truncated payload at offset {offset}"
+            )
+        payload = blob[body_start:body_start + length]
+        consumed = _HEADER.size + length
+        if zlib.crc32(payload) != crc:
+            return CorruptRecord(
+                segment=segment, offset=offset, length=length,
+                reason="crc mismatch",
+            ), consumed
+        try:
+            decoded = json.loads(payload.decode("utf-8"))
+            record = WalRecord(
+                seq=int(decoded["seq"]),
+                key=str(decoded["key"]),
+                data=dict(decoded["data"]),
+                segment=segment,
+                offset=offset,
+            )
+        except (ValueError, KeyError, TypeError):
+            # CRC passed but the payload is not ours — treat as
+            # corruption rather than guessing.
+            return CorruptRecord(
+                segment=segment, offset=offset, length=length,
+                reason="undecodable payload",
+            ), consumed
+        return record, consumed
+
+    def _open_segment(self, first_seq: int, *,
+                      fresh_log: bool = False) -> None:
+        name = _segment_name(first_seq)
+        path = os.path.join(self.directory, name)
+        self._handle = open(path, "ab")
+        self._segments.append(name)
+        fsync_directory(self.directory)
+        if not fresh_log:
+            self.rotations += 1
+            _obs.count("ingest.wal.rotations")
+            structlog.emit(
+                "ingest.wal_rotated",
+                segment=name,
+                segments=len(self._segments),
+                first_seq=first_seq,
+            )
+
+    # -- fault-injection plumbing ------------------------------------------
+
+    def _fault(self, site: str, **context: Any) -> None:
+        if self._fault_hook is not None:
+            self._fault_hook(site, **context)
+
+    # -- write path --------------------------------------------------------
+
+    @property
+    def next_seq(self) -> int:
+        return self._next_seq
+
+    @property
+    def segments(self) -> Tuple[str, ...]:
+        return tuple(self._segments)
+
+    def size_bytes(self) -> int:
+        """Total bytes across all segments (observability)."""
+        total = 0
+        for name in self._segments:
+            try:
+                total += os.path.getsize(
+                    os.path.join(self.directory, name)
+                )
+            except OSError:
+                pass
+        return total
+
+    def append(self, key: str, data: Mapping[str, Any]) -> int:
+        """Append one record; returns its sequence number.
+
+        Durability of the returned sequence follows the fsync policy:
+        with ``fsync_interval=1`` the record is on disk before this
+        returns; with batching, call :meth:`sync` to harden the tail.
+        """
+        seq = self._next_seq
+        frame = _encode(seq, key, data)
+        # A crash inside the hook models dying mid-write: the hook may
+        # itself write a torn prefix of the frame (see CrashSchedule).
+        self._fault("wal.append", handle=self._handle, frame=frame)
+        self._handle.write(frame)
+        self._handle.flush()
+        self._next_seq = seq + 1
+        self.appended += 1
+        self._unsynced += 1
+        if (
+            self.fsync_interval is not None
+            and self._unsynced >= self.fsync_interval
+        ):
+            self.sync()
+        if self._handle.tell() >= self.segment_max_bytes:
+            self._rotate()
+        return seq
+
+    def sync(self) -> None:
+        """Fsync the active segment; after this, every appended record
+        survives power loss."""
+        self._fault("wal.sync")
+        self._handle.flush()
+        os.fsync(self._handle.fileno())
+        self._unsynced = 0
+
+    def _rotate(self) -> None:
+        self._fault("wal.rotate")
+        self._handle.flush()
+        os.fsync(self._handle.fileno())
+        self._handle.close()
+        self._unsynced = 0
+        self._open_segment(self._next_seq)
+
+    def close(self) -> None:
+        if getattr(self, "_handle", None) is not None \
+                and not self._handle.closed:
+            self._handle.flush()
+            os.fsync(self._handle.fileno())
+            self._handle.close()
+
+    def __enter__(self) -> "WriteAheadLog":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+    # -- read path ---------------------------------------------------------
+
+    def replay(
+        self, from_seq: int = 0
+    ) -> Iterator[Union[WalRecord, CorruptRecord]]:
+        """Yield records with ``seq >= from_seq`` in append order.
+
+        Complete-but-corrupt frames are yielded as
+        :class:`CorruptRecord` (position-keyed, payload untrusted) for
+        the caller to dead-letter; an unframeable byte stream raises
+        :class:`~repro.errors.WalCorruptionError`.  The torn tail of the
+        final segment, if any, is silently ignored — those bytes were
+        never acknowledged.
+        """
+        # Read through the filesystem, not internal state: replay must
+        # see exactly what a post-crash process would.
+        self._handle.flush()
+        for index, name in enumerate(self._segments):
+            last = index == len(self._segments) - 1
+            path = os.path.join(self.directory, name)
+            with open(path, "rb") as handle:
+                blob = handle.read()
+            offset = 0
+            while offset < len(blob):
+                frame = self._parse_frame(
+                    blob, offset, name, tail_ok=last
+                )
+                if frame is None:
+                    break
+                record, consumed = frame
+                offset += consumed
+                if isinstance(record, CorruptRecord):
+                    yield record
+                elif record.seq >= from_seq:
+                    yield record

@@ -1,0 +1,93 @@
+"""Crash-safe filesystem primitives shared by the durability layers.
+
+Both the checkpoint writer (:mod:`repro.resilience.checkpoint`) and the
+ingest write-ahead log (:mod:`repro.ingest`) need the same guarantee: a
+file either holds the complete previous content or the complete new
+content, never a torn prefix.  POSIX gives exactly one tool with that
+property — ``rename(2)`` within a filesystem — so every durable write
+here follows the classic recipe:
+
+1. write the payload to a uniquely-named temporary file *in the target
+   directory* (rename is only atomic within one filesystem);
+2. flush and ``fsync`` the temp file so the bytes are on the platter
+   before the name is;
+3. ``os.replace`` the temp file over the target;
+4. ``fsync`` the directory so the rename itself survives a power cut.
+
+A crash before step 3 leaves a stray ``*.tmp`` file and an intact
+target; a crash after leaves the new target.  There is no point in
+between at which a reader can observe a truncated file.
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+from typing import Union
+
+__all__ = ["atomic_write_text", "atomic_write_bytes", "fsync_directory"]
+
+PathLike = Union[str, "os.PathLike[str]"]
+
+
+def fsync_directory(directory: PathLike) -> None:
+    """Flush a directory's entry table to disk (best effort).
+
+    Needed after creating, renaming or removing files so the *names*
+    are as durable as the bytes.  Platforms whose directory handles
+    cannot be fsynced (Windows) silently skip — rename durability is
+    then the filesystem's promise, which is the best available there.
+    """
+    try:
+        fd = os.open(os.fspath(directory), os.O_RDONLY)
+    except OSError:  # pragma: no cover - platform-specific
+        return
+    try:
+        os.fsync(fd)
+    except OSError:  # pragma: no cover - platform-specific
+        pass
+    finally:
+        os.close(fd)
+
+
+def atomic_write_bytes(
+    path: PathLike, payload: bytes, *, durable: bool = True
+) -> None:
+    """Atomically replace ``path`` with ``payload``.
+
+    ``durable=False`` skips the fsyncs (for tests and throwaway data);
+    the write is still atomic with respect to concurrent readers, just
+    not guaranteed to survive power loss.
+    """
+    target = os.fspath(path)
+    directory = os.path.dirname(target) or "."
+    fd, temp_path = tempfile.mkstemp(
+        prefix=os.path.basename(target) + ".", suffix=".tmp",
+        dir=directory,
+    )
+    try:
+        with os.fdopen(fd, "wb") as handle:
+            handle.write(payload)
+            handle.flush()
+            if durable:
+                os.fsync(handle.fileno())
+        os.replace(temp_path, target)
+    except BaseException:
+        # The temp file must not survive a failed write: a later
+        # directory scan would mistake it for data.
+        try:
+            os.unlink(temp_path)
+        except OSError:
+            pass
+        raise
+    if durable:
+        fsync_directory(directory)
+
+
+def atomic_write_text(
+    path: PathLike, text: str, *, durable: bool = True,
+    encoding: str = "utf-8",
+) -> None:
+    """Atomically replace ``path`` with ``text`` (see
+    :func:`atomic_write_bytes`)."""
+    atomic_write_bytes(path, text.encode(encoding), durable=durable)

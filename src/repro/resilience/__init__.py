@@ -15,14 +15,23 @@ assumes neither.  It provides:
 * :func:`~repro.resilience.ladder.solve_with_ladder` — the batch half of
   graceful degradation, used by the pipeline's supervised digest.
 * :class:`~repro.resilience.faults.FaultInjector` — a seeded harness that
-  drops, duplicates, delays, reorders and corrupts posts so tests and
-  benchmarks can exercise all of the above deterministically.
+  drops, duplicates, delays, reorders, corrupts and redelivers posts so
+  tests and benchmarks can exercise all of the above deterministically;
+  :class:`~repro.resilience.faults.CrashSchedule` extends it to process
+  death, raising :class:`~repro.resilience.faults.KillPoint` (optionally
+  after a torn partial write) at a seeded durable-ingest fault site.
 
 See ``docs/robustness.md`` for the guided tour.
 """
 
 from .checkpoint import CHECKPOINT_VERSION, Checkpoint
-from .faults import FaultEvent, FaultInjector, FaultReport
+from .faults import (
+    CrashSchedule,
+    FaultEvent,
+    FaultInjector,
+    FaultReport,
+    KillPoint,
+)
 from .ladder import (
     DEFAULT_BATCH_LADDER,
     DEFAULT_STREAM_LADDER,
@@ -41,9 +50,11 @@ from .supervisor import (
 __all__ = [
     "Checkpoint",
     "CHECKPOINT_VERSION",
+    "CrashSchedule",
     "FaultEvent",
     "FaultInjector",
     "FaultReport",
+    "KillPoint",
     "DowngradeEvent",
     "DEFAULT_BATCH_LADDER",
     "DEFAULT_STREAM_LADDER",

@@ -19,11 +19,13 @@ storage.
 from __future__ import annotations
 
 import json
+import os
 from dataclasses import dataclass
-from typing import Any, Dict, Mapping, Sequence, Tuple
+from typing import Any, Dict, Mapping, Sequence, Tuple, Union
 
 from ..core.post import Post
 from ..errors import CheckpointError
+from ..ioutil import atomic_write_text
 
 __all__ = ["Checkpoint", "CHECKPOINT_VERSION"]
 
@@ -141,3 +143,31 @@ class Checkpoint:
         if not isinstance(payload, dict):
             raise CheckpointError("checkpoint must be a JSON object")
         return cls.from_dict(payload)
+
+    # -- durable files ----------------------------------------------------
+
+    def save(self, path: Union[str, "os.PathLike[str]"]) -> None:
+        """Write this checkpoint to ``path`` crash-atomically.
+
+        Temp file + fsync + atomic rename (:mod:`repro.ioutil`): a crash
+        mid-save leaves either the previous checkpoint or the new one,
+        never a truncated, unreadable hybrid.  Plain ``open(...).write``
+        can tear — a checkpoint that fails exactly when you need it.
+        """
+        atomic_write_text(os.fspath(path), self.to_json())
+
+    @classmethod
+    def load(cls, path: Union[str, "os.PathLike[str]"]) -> "Checkpoint":
+        """Read a checkpoint written by :meth:`save`.
+
+        Raises :class:`~repro.errors.CheckpointError` for a missing or
+        unreadable file, same as for a malformed payload.
+        """
+        try:
+            with open(os.fspath(path), "r", encoding="utf-8") as handle:
+                text = handle.read()
+        except OSError as error:
+            raise CheckpointError(
+                f"cannot read checkpoint at {os.fspath(path)!r}: {error}"
+            ) from error
+        return cls.from_json(text)

@@ -26,11 +26,17 @@ from __future__ import annotations
 import math
 import random
 from dataclasses import dataclass, field
-from typing import Iterable, List, Sequence, Set, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
 from ..core.post import Post
 
-__all__ = ["FaultEvent", "FaultInjector", "FaultReport"]
+__all__ = [
+    "CrashSchedule",
+    "FaultEvent",
+    "FaultInjector",
+    "FaultReport",
+    "KillPoint",
+]
 
 _CORRUPTIONS = ("nan", "inf", "-inf", "empty-labels")
 
@@ -53,6 +59,7 @@ class FaultReport:
     duplicated: Set[int] = field(default_factory=set)
     displaced: Set[int] = field(default_factory=set)
     corrupted: Set[int] = field(default_factory=set)
+    redelivered: Set[int] = field(default_factory=set)
 
     def record(self, kind: str, uid: int, detail: str = "") -> None:
         self.events.append(FaultEvent(kind=kind, uid=uid, detail=detail))
@@ -62,6 +69,7 @@ class FaultReport:
             "delay": self.displaced,
             "reorder": self.displaced,
             "corrupt": self.corrupted,
+            "redeliver": self.redelivered,
         }[kind]
         bucket.add(uid)
 
@@ -80,6 +88,12 @@ class FaultInjector:
         later in the sequence (drawn uniformly from ``1..displacement``).
         A reorder buffer of at least this size can fully repair delay and
         reorder faults.
+    redeliver:
+        Per-post probability of an at-least-once **redelivery**: the post
+        arrives again at the *end* of the stream, exactly as a transport
+        that lost an ack re-delivers after its visibility timeout.  The
+        redelivery draws happen after all other fault draws, so adding
+        redelivery never perturbs the stream an existing seed produced.
     """
 
     def __init__(
@@ -92,10 +106,12 @@ class FaultInjector:
         reorder: float = 0.0,
         corrupt: float = 0.0,
         displacement: int = 3,
+        redeliver: float = 0.0,
     ):
         for name, p in (
             ("drop", drop), ("duplicate", duplicate), ("delay", delay),
             ("reorder", reorder), ("corrupt", corrupt),
+            ("redeliver", redeliver),
         ):
             if not 0.0 <= p <= 1.0:
                 raise ValueError(f"{name} probability must be in [0, 1]")
@@ -108,6 +124,7 @@ class FaultInjector:
         self.reorder = reorder
         self.corrupt = corrupt
         self.displacement = displacement
+        self.redeliver = redeliver
         self.report = FaultReport()
 
     # -- fault families ---------------------------------------------------
@@ -169,6 +186,15 @@ class FaultInjector:
                 stream[index], stream[index + 1] = (
                     stream[index + 1], stream[index]
                 )
+        # Redelivery last, with draws consumed after every other family,
+        # so existing (seed, knobs) streams are byte-identical when
+        # redeliver stays 0.
+        tail: List[Post] = []
+        for post in list(stream):
+            if rng.random() < self.redeliver:
+                report.record("redeliver", post.uid)
+                tail.append(post)
+        stream.extend(tail)
         self.report = report
         return stream
 
@@ -183,3 +209,103 @@ class FaultInjector:
             if p.uid not in self.report.dropped
             and p.uid not in self.report.corrupted
         }
+
+
+class KillPoint(Exception):
+    """The simulated ``kill -9``.
+
+    Deliberately **not** a :class:`~repro.errors.ReproError`: library
+    code that politely absorbs its own error family must never absorb a
+    process death.  Raised by :class:`CrashSchedule` at the scheduled
+    site; the test harness catches it, abandons every in-memory object
+    (as death would), and exercises recovery from what is on disk.
+    """
+
+
+class CrashSchedule:
+    """A seeded kill-point: die at the n-th visit to one fault site.
+
+    The durable ingest machinery (:mod:`repro.ingest`) calls its
+    ``fault_hook`` at every instant a real process could die —
+    ``wal.append``, ``wal.sync``, ``wal.rotate``, ``apply.before``,
+    ``apply.after``, ``commit.before``, ``commit.after``.  A schedule is
+    such a hook: it counts visits per site and raises :class:`KillPoint`
+    when the chosen ``(site, hit)`` pair comes up.
+
+    **Torn writes.**  At the ``wal.append`` site the schedule can die
+    *mid-write*: it persists a strict prefix of the record frame before
+    raising, which is exactly the bytes a power cut mid-``write(2)``
+    leaves behind.  Recovery must truncate that tail.
+
+    Parameters
+    ----------
+    site:
+        The site name to die at.
+    hit:
+        Die on this visit (1-based) to ``site``.
+    torn_bytes:
+        When dying at ``wal.append``: persist this many bytes of the
+        frame first (clamped to ``len(frame) - 1`` so the frame is
+        always incomplete).  ``None`` dies cleanly before writing.
+    """
+
+    SITES: Tuple[str, ...] = (
+        "wal.append", "wal.sync", "wal.rotate",
+        "apply.before", "apply.after",
+        "commit.before", "commit.after",
+    )
+
+    def __init__(self, site: str, hit: int = 1, *,
+                 torn_bytes: Optional[int] = None):
+        if hit < 1:
+            raise ValueError(f"hit must be >= 1: {hit}")
+        if torn_bytes is not None and torn_bytes < 1:
+            raise ValueError(f"torn_bytes must be >= 1: {torn_bytes}")
+        self.site = site
+        self.hit = hit
+        self.torn_bytes = torn_bytes
+        self.visits: Dict[str, int] = {}
+        self.fired = False
+
+    @classmethod
+    def random(
+        cls,
+        seed: int,
+        sites: Optional[Sequence[str]] = None,
+        *,
+        max_hit: int = 4,
+        torn_probability: float = 0.5,
+    ) -> "CrashSchedule":
+        """Draw a schedule from a seed — the randomized crash suite's
+        generator.  Equal seeds give equal schedules."""
+        rng = random.Random(seed)
+        site = rng.choice(list(sites if sites is not None else cls.SITES))
+        hit = rng.randint(1, max_hit)
+        torn = None
+        if site == "wal.append" and rng.random() < torn_probability:
+            torn = rng.randint(1, 48)
+        return cls(site, hit, torn_bytes=torn)
+
+    def __call__(self, site: str, **context: object) -> None:
+        self.visits[site] = self.visits.get(site, 0) + 1
+        if self.fired or site != self.site:
+            return
+        if self.visits[site] != self.hit:
+            return
+        self.fired = True
+        if self.torn_bytes is not None:
+            frame = context.get("frame")
+            handle = context.get("handle")
+            if isinstance(frame, (bytes, bytearray)) \
+                    and handle is not None:
+                keep = min(self.torn_bytes, len(frame) - 1)
+                handle.write(bytes(frame[:keep]))  # type: ignore[union-attr]
+                handle.flush()  # type: ignore[union-attr]
+        raise KillPoint(
+            f"scheduled crash at {site} (visit {self.hit})"
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        torn = f", torn_bytes={self.torn_bytes}" \
+            if self.torn_bytes is not None else ""
+        return f"CrashSchedule({self.site!r}, hit={self.hit}{torn})"

@@ -707,15 +707,10 @@ class DiversificationService:
             _obs.count("service.fanned_out", delivered)
         return delivered
 
-    async def feed(self, document: Document) -> List[Emission]:
-        """Push one stream arrival through the supervised pipeline.
-
-        Sanitization faults (corrupt values, unknown labels, duplicates,
-        disorder) are absorbed by the supervisor per its policy — this
-        call does not raise for hostile input.  Admitted documents join
-        the digest corpus and bump the epoch; emissions fan out to every
-        matching subscription before being returned.
-        """
+    def _feed_document(self, document: Document) -> List[Emission]:
+        """The synchronous feed path shared by :meth:`feed` and durable
+        ingest replay: supervise, append admitted arrivals to the
+        streamed corpus, bump the epoch, fan emissions out."""
         with _obs.span("service.feed"):
             supervisor_before = self._stream_pipeline.supervisor
             accepted_before = (
@@ -734,6 +729,17 @@ class DiversificationService:
             if emissions:
                 self._fan_out(emissions)
         return emissions
+
+    async def feed(self, document: Document) -> List[Emission]:
+        """Push one stream arrival through the supervised pipeline.
+
+        Sanitization faults (corrupt values, unknown labels, duplicates,
+        disorder) are absorbed by the supervisor per its policy — this
+        call does not raise for hostile input.  Admitted documents join
+        the digest corpus and bump the epoch; emissions fan out to every
+        matching subscription before being returned.
+        """
+        return self._feed_document(document)
 
     async def flush_stream(self) -> List[Emission]:
         """Drain pending stream state (reorder buffer, deadlines) and fan
@@ -786,6 +792,38 @@ class DiversificationService:
         ]
         _obs.count("service.restores")
         return self.cache.bump_epoch("checkpoint-restore")
+
+    def durable_ingest(
+        self,
+        directory: "Any",
+        config: "Optional[Any]" = None,
+    ) -> "Any":
+        """Wire this service as the apply target of a durable
+        :class:`~repro.ingest.pipeline.IngestPipeline` rooted at
+        ``directory``.
+
+        Stream arrivals applied through the returned pipeline go through
+        the same supervised feed path as :meth:`feed` — admitted
+        documents join the corpus and **bump the cache epoch**, so a
+        digest computed before a crash can never be served after the
+        replay that re-derived the corpus.  Recovery
+        (:meth:`~repro.ingest.pipeline.IngestPipeline.recover`) restores
+        the service through :meth:`restore`, which also bumps the epoch.
+        """
+        from ..ingest.pipeline import IngestPipeline, IngestTarget
+
+        def _checkpoint() -> Optional[Checkpoint]:
+            supervisor = self._stream_pipeline.supervisor
+            return None if supervisor is None \
+                else supervisor.checkpoint()
+
+        target = IngestTarget(
+            apply=self._feed_document,
+            checkpoint=_checkpoint,
+            restore=lambda checkpoint: self.restore(checkpoint),
+            supervisor=lambda: self._stream_pipeline.supervisor,
+        )
+        return IngestPipeline(target, directory, config)
 
     # -- lifecycle / health ------------------------------------------------
 

@@ -178,6 +178,101 @@ class TestReadTextWithRetry:
         with pytest.raises(ValueError):
             read_text_with_retry("x", attempts=0)
 
+    def test_full_jitter_draws_uniform_below_ceiling(self):
+        import random as _random
+
+        from repro.datagen.loaders import read_text_with_retry
+        from repro.errors import LoaderError
+
+        sleeps = []
+        with pytest.raises(LoaderError):
+            read_text_with_retry(
+                "dummy.csv",
+                attempts=5,
+                base_delay=1.0,
+                max_delay=2.0,
+                jitter="full",
+                max_elapsed=None,
+                sleep=sleeps.append,
+                rng=_random.Random(0),
+                opener=self._flaky_opener(99, ""),
+            )
+        assert len(sleeps) == 4
+        # full jitter: uniformly in [0, ceiling], never above it
+        for pause, ceiling in zip(sleeps, [1.0, 2.0, 2.0, 2.0]):
+            assert 0.0 <= pause <= ceiling
+        # decorrelated fleets: the draws differ across retries
+        assert len(set(sleeps)) == len(sleeps)
+
+    def test_full_jitter_is_the_default(self):
+        import random as _random
+
+        from repro.datagen.loaders import read_text_with_retry
+
+        sleeps = []
+        text = read_text_with_retry(
+            "dummy.csv",
+            attempts=3,
+            base_delay=1.0,
+            sleep=sleeps.append,
+            rng=_random.Random(7),
+            opener=self._flaky_opener(2, "ok"),
+        )
+        assert text == "ok"
+        # smear semantics would sleep >= the full ceiling; full jitter
+        # sleeps strictly under it for these draws
+        assert all(p < c for p, c in zip(sleeps, [1.0, 2.0]))
+
+    def test_max_elapsed_fails_fast(self):
+        from repro.datagen.loaders import read_text_with_retry
+        from repro.errors import LoaderError
+
+        ticks = iter([0.0, 0.0, 3.0, 7.0, 11.0])
+        sleeps = []
+        with pytest.raises(LoaderError) as excinfo:
+            read_text_with_retry(
+                "dead-source.csv",
+                attempts=10,
+                base_delay=4.0,
+                max_delay=4.0,
+                jitter=0.0,
+                max_elapsed=10.0,
+                sleep=sleeps.append,
+                clock=lambda: next(ticks),
+                opener=self._flaky_opener(99, ""),
+            )
+        # the budget ran out long before the 10-attempt schedule did:
+        # at elapsed 7.0 the next 4.0s pause would overshoot 10.0
+        assert len(sleeps) == 2
+        assert "max_elapsed" in str(excinfo.value)
+        assert isinstance(excinfo.value.__cause__, OSError)
+
+    def test_max_elapsed_none_disables_the_cap(self):
+        from repro.datagen.loaders import read_text_with_retry
+        from repro.errors import LoaderError
+
+        sleeps = []
+        with pytest.raises(LoaderError) as excinfo:
+            read_text_with_retry(
+                "x.csv",
+                attempts=6,
+                base_delay=100.0,
+                jitter=0.0,
+                max_elapsed=None,
+                sleep=sleeps.append,
+                opener=self._flaky_opener(99, ""),
+            )
+        assert len(sleeps) == 5  # the whole schedule ran
+        assert "6 attempts" in str(excinfo.value)
+
+    def test_invalid_jitter_and_max_elapsed_rejected(self):
+        from repro.datagen.loaders import read_text_with_retry
+
+        with pytest.raises(ValueError):
+            read_text_with_retry("x", jitter="bogus")
+        with pytest.raises(ValueError):
+            read_text_with_retry("x", max_elapsed=-1.0)
+
     def test_non_oserror_propagates_immediately(self):
         from repro.datagen.loaders import read_text_with_retry
 

@@ -1,0 +1,68 @@
+"""Shared factories for the durable-ingest tests.
+
+Documents carry per-uid unique tokens so SimHash cannot merge two
+fixtures, and streaming pipelines default to ``dedup_distance=None`` so
+corpus counts stay exact.  Every pipeline is supervised — the supervisor
+journal is the checkpointable applied state durable ingest commits.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.index.inverted_index import Document
+from repro.index.query import TopicQuery
+from repro.ingest import IngestConfig, IngestPipeline, IngestTarget
+from repro.pipeline import DiversificationPipeline
+from repro.resilience.policies import SanitizationPolicy
+from repro.resilience.supervisor import ResilienceConfig
+
+TOPIC_TEXTS = ("golf putt", "nba dunk", "cpu kernel")
+
+
+def make_queries() -> List[TopicQuery]:
+    return [
+        TopicQuery("golf", ["golf", "putt"]),
+        TopicQuery("nba", ["nba", "dunk"]),
+        TopicQuery("tech", ["cpu", "kernel"]),
+    ]
+
+
+def make_docs(
+    n: int = 24, step: float = 1.0, offset: int = 0
+) -> List[Document]:
+    """``n`` documents cycling through the topics, ``step`` apart."""
+    docs = []
+    for i in range(n):
+        uid = offset + i
+        text = (
+            f"{TOPIC_TEXTS[i % 3]} update number{uid} "
+            f"token{uid * 7} extra{uid * 13}"
+        )
+        docs.append(Document(uid, uid * step, text))
+    return docs
+
+
+def make_stream_pipeline(**overrides) -> DiversificationPipeline:
+    overrides.setdefault("lam", 60.0)
+    overrides.setdefault("stream_algorithm", "stream_scan+")
+    overrides.setdefault("dedup_distance", None)
+    overrides.setdefault(
+        "resilience", ResilienceConfig(policy=SanitizationPolicy())
+    )
+    return DiversificationPipeline(make_queries(), **overrides)
+
+
+def make_ingest(
+    directory,
+    config: Optional[IngestConfig] = None,
+    *,
+    fault_hook=None,
+) -> IngestPipeline:
+    """A durable ingest pipeline over a fresh supervised target."""
+    return IngestPipeline(
+        IngestTarget.for_pipeline(make_stream_pipeline()),
+        directory,
+        config,
+        fault_hook=fault_hook,
+    )

@@ -1,0 +1,93 @@
+"""The dead-letter channel: admission, dedup, eviction, quarantine."""
+
+from repro.ingest import DeadLetter, DeadLetterChannel
+from repro.ingest.deadletter import DEAD_LETTER_ACTION
+from repro.observability.facade import session
+
+
+class _FakeSupervisor:
+    """Only the surface the channel touches: a quarantine list."""
+
+    def __init__(self):
+        self.quarantine = []
+
+
+class TestAdmission:
+    def test_offer_records_letter(self):
+        channel = DeadLetterChannel()
+        letter = channel.offer(
+            "doc:7", "late arrival", seq=7,
+            data={"doc_id": 7, "timestamp": 1.0},
+        )
+        assert isinstance(letter, DeadLetter)
+        assert channel.total == 1
+        assert channel.seen("doc:7")
+        assert channel.snapshot()[0]["reason"] == "late arrival"
+
+    def test_duplicate_key_is_not_a_new_refusal(self):
+        channel = DeadLetterChannel()
+        assert channel.offer("k", "first") is not None
+        assert channel.offer("k", "replayed refusal") is None
+        assert channel.total == 1
+        assert len(channel) == 1
+
+    def test_counter_fires_per_admission(self):
+        with session() as obs:
+            channel = DeadLetterChannel()
+            channel.offer("k1", "x")
+            channel.offer("k1", "x")  # dedup: no second count
+            channel.offer("k2", "y")
+            counter = obs.registry.counter("ingest.dead_letters")
+            assert counter.value == 2
+
+
+class TestEviction:
+    def test_capacity_evicts_oldest_but_keeps_totals(self):
+        channel = DeadLetterChannel(capacity=2)
+        for i in range(5):
+            channel.offer(f"k{i}", "r")
+        assert len(channel) == 2
+        assert [letter.key for letter in channel.letters] == ["k3", "k4"]
+        assert channel.total == 5
+        assert channel.evicted == 3
+
+
+class TestSnapshotRestore:
+    def test_roundtrip(self):
+        channel = DeadLetterChannel(capacity=4)
+        channel.offer("a", "one", seq=1, data={"doc_id": 1})
+        channel.offer("b", "two", seq=2)
+        fresh = DeadLetterChannel(capacity=4)
+        fresh.restore(
+            channel.snapshot(),
+            total=channel.total,
+            evicted=channel.evicted,
+        )
+        assert fresh.total == 2
+        assert fresh.seen("a") and fresh.seen("b")
+        assert fresh.snapshot() == channel.snapshot()
+
+
+class TestQuarantineForwarding:
+    def test_parseable_payload_reaches_quarantine(self):
+        channel = DeadLetterChannel()
+        supervisor = _FakeSupervisor()
+        channel.attach_supervisor(supervisor)
+        channel.offer(
+            "doc:3", "late arrival", seq=3,
+            data={"doc_id": 3, "timestamp": 4.5, "text": "hello"},
+        )
+        (record,) = supervisor.quarantine
+        assert record.action == DEAD_LETTER_ACTION
+        assert record.post.uid == 3
+        assert record.post.value == 4.5
+        assert "late arrival" in record.reason
+
+    def test_unparseable_payload_stays_channel_only(self):
+        channel = DeadLetterChannel()
+        supervisor = _FakeSupervisor()
+        channel.attach_supervisor(supervisor)
+        channel.offer("corrupt:x@0", "crc mismatch", data=None)
+        channel.offer("bad", "malformed", data={"nonsense": True})
+        assert supervisor.quarantine == []
+        assert channel.total == 2

@@ -1,0 +1,222 @@
+"""IngestPipeline: idempotent receiver, offset commits, recovery."""
+
+import json
+import os
+
+import pytest
+
+from repro.errors import IngestError
+from repro.index.inverted_index import Document
+from repro.ingest import IngestConfig, IngestPipeline, IngestTarget, \
+    corpus_digest
+from repro.ingest.deadletter import DEAD_LETTER_ACTION
+from repro.observability.facade import session
+from repro.pipeline import DiversificationPipeline
+
+from .conftest import make_docs, make_ingest, make_queries, \
+    make_stream_pipeline
+
+
+class TestApplyPath:
+    def test_append_drain_applies_in_order(self, tmp_path):
+        ingest = make_ingest(tmp_path)
+        docs = make_docs(12)
+        for doc in docs:
+            ingest.append(doc)
+        ingest.drain()
+        ingest.flush()
+        journal = ingest.target.supervisor().journal
+        assert [post.uid for post in journal] == [d.doc_id for d in docs]
+        assert ingest.applied == len(docs)
+        assert ingest.duplicate_applies() == 0
+
+    def test_two_identical_runs_share_a_digest(self, tmp_path):
+        digests = []
+        for sub in ("a", "b"):
+            ingest = make_ingest(tmp_path / sub)
+            for doc in make_docs(10):
+                ingest.append(doc)
+            ingest.drain()
+            ingest.flush()
+            digests.append(ingest.corpus_digest())
+        assert digests[0] == digests[1]
+
+    def test_out_of_order_appends_are_resequenced(self, tmp_path):
+        ingest = make_ingest(
+            tmp_path, IngestConfig(reorder_window=4)
+        )
+        docs = make_docs(12)
+        shuffled = docs[:]
+        # bounded shuffle: swap adjacent pairs
+        for i in range(0, len(shuffled) - 1, 2):
+            shuffled[i], shuffled[i + 1] = shuffled[i + 1], shuffled[i]
+        for doc in shuffled:
+            ingest.append(doc)
+        ingest.drain()
+        ingest.flush()
+        journal = ingest.target.supervisor().journal
+        assert [post.uid for post in journal] == [d.doc_id for d in docs]
+
+    def test_custom_idempotency_key(self, tmp_path):
+        ingest = make_ingest(tmp_path)
+        doc = make_docs(1)[0]
+        ingest.append(doc, key="tenant-a:1")
+        ingest.append(doc, key="tenant-a:1")  # producer retry
+        ingest.drain()
+        ingest.flush()
+        assert ingest.applied == 1
+        assert ingest.suppressed == 1
+
+
+class TestIdempotentReceiver:
+    def test_duplicate_key_suppressed_counted_and_dead_lettered(
+        self, tmp_path
+    ):
+        with session() as obs:
+            ingest = make_ingest(tmp_path)
+            doc = make_docs(1)[0]
+            ingest.append(doc)
+            ingest.append(doc)  # same default key doc:0
+            ingest.drain()
+            ingest.flush()
+            assert ingest.applied == 1
+            assert ingest.suppressed == 1
+            assert ingest.duplicate_applies() == 0
+            counter = obs.registry.counter(
+                "ingest.duplicates_suppressed"
+            )
+            assert counter.value == 1
+        keys = [letter.key for letter in ingest.dead_letters.letters]
+        assert keys == ["dup:1:doc:0"]
+
+    def test_malformed_payload_is_dead_lettered(self, tmp_path):
+        ingest = make_ingest(tmp_path)
+        ingest.wal.append("bad:1", {"no_doc_id": True})
+        ingest.drain()
+        assert ingest.applied == 0
+        (letter,) = ingest.dead_letters.letters
+        assert letter.key == "bad:1"
+        assert letter.reason == "malformed payload"
+
+    def test_late_arrival_reaches_supervisor_quarantine(self, tmp_path):
+        ingest = make_ingest(
+            tmp_path, IngestConfig(reorder_window=0)
+        )
+        docs = make_docs(3)
+        ingest.append(docs[2])  # frontier jumps to t=2
+        ingest.append(docs[0])  # now hopelessly late
+        ingest.drain()
+        ingest.flush()
+        (letter,) = ingest.dead_letters.letters
+        assert letter.key == "doc:0"
+        assert "late arrival" in letter.reason
+        quarantine = ingest.target.supervisor().quarantine
+        assert any(
+            record.action == DEAD_LETTER_ACTION
+            and record.post.uid == 0
+            for record in quarantine
+        )
+
+
+class TestCommitRecover:
+    def test_recover_on_fresh_directory_is_noop(self, tmp_path):
+        ingest = make_ingest(tmp_path)
+        assert ingest.recover() is False
+        assert ingest.consumed_seq == -1
+
+    def test_commit_recover_roundtrip(self, tmp_path):
+        ingest = make_ingest(tmp_path, IngestConfig(reorder_window=2))
+        docs = make_docs(20)
+        for doc in docs[:12]:
+            ingest.append(doc)
+        ingest.drain()
+        digest_mid = ingest.corpus_digest()
+        offset_mid = ingest.consumed_seq
+
+        # a new process over the same directory
+        revived = make_ingest(tmp_path, IngestConfig(reorder_window=2))
+        assert revived.recover() is True
+        assert revived.consumed_seq == offset_mid
+        assert revived.corpus_digest() == digest_mid
+        for doc in docs[12:]:
+            revived.append(doc)
+        revived.drain()
+        revived.flush()
+        journal = revived.target.supervisor().journal
+        assert [post.uid for post in journal] == \
+            [d.doc_id for d in docs]
+        assert revived.duplicate_applies() == 0
+
+    def test_commit_interval_batches_commits(self, tmp_path):
+        ingest = make_ingest(
+            tmp_path,
+            IngestConfig(reorder_window=0, commit_interval=5),
+        )
+        for doc in make_docs(12):
+            ingest.append(doc)
+        ingest.drain()
+        # two interval commits (after 5 and 10) plus the final one
+        assert ingest.commits == 3
+
+    def test_unreadable_commit_raises(self, tmp_path):
+        ingest = make_ingest(tmp_path)
+        with open(ingest.commit_path, "w", encoding="utf-8") as handle:
+            handle.write("{torn")
+        with pytest.raises(IngestError):
+            ingest.recover()
+
+    def test_unsupported_commit_version_raises(self, tmp_path):
+        ingest = make_ingest(tmp_path)
+        with open(ingest.commit_path, "w", encoding="utf-8") as handle:
+            json.dump({"version": 99}, handle)
+        with pytest.raises(IngestError):
+            ingest.recover()
+
+    def test_commit_is_a_single_atomic_file(self, tmp_path):
+        ingest = make_ingest(tmp_path)
+        for doc in make_docs(4):
+            ingest.append(doc)
+        ingest.drain()
+        ingest.flush()
+        # no temp-file litter next to the commit
+        entries = sorted(os.listdir(tmp_path))
+        assert entries == ["commit.json", "wal"]
+
+
+class TestTargetValidation:
+    def test_unsupervised_pipeline_rejected(self):
+        bare = DiversificationPipeline(
+            make_queries(), lam=60.0, stream_algorithm="stream_scan+",
+            dedup_distance=None,
+        )
+        with pytest.raises(IngestError):
+            IngestTarget.for_pipeline(bare)
+
+    def test_config_validation(self):
+        with pytest.raises(IngestError):
+            IngestConfig(commit_interval=0)
+
+
+class TestIntrospection:
+    def test_introspect_is_json_safe_and_complete(self, tmp_path):
+        ingest = make_ingest(tmp_path)
+        for doc in make_docs(6):
+            ingest.append(doc)
+        ingest.drain()
+        ingest.flush()
+        snapshot = ingest.introspect()
+        json.dumps(snapshot)  # JSON-safe
+        assert snapshot["applied"] == 6
+        assert snapshot["duplicate_applies"] == 0
+        assert snapshot["wal"]["next_seq"] == 6
+        assert snapshot["corpus_digest"] == ingest.corpus_digest()
+
+    def test_corpus_digest_is_order_sensitive(self):
+        from repro.core.post import Post
+
+        posts = [
+            Post(uid=0, value=1.0, labels=frozenset("a"), text="x"),
+            Post(uid=1, value=2.0, labels=frozenset("b"), text="y"),
+        ]
+        assert corpus_digest(posts) != corpus_digest(posts[::-1])
+        assert corpus_digest(posts) == corpus_digest(list(posts))

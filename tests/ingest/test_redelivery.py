@@ -1,0 +1,94 @@
+"""Competing consumers: parallel claims, crashes, redelivery idempotence."""
+
+import pytest
+
+from repro.errors import IngestError
+from repro.ingest import ConsumerGroup, IngestConfig
+
+from .conftest import make_docs, make_ingest
+
+N_DOCS = 24
+CONFIG = IngestConfig(reorder_window=4)
+
+
+def _serial_digest(tmp_path):
+    ingest = make_ingest(tmp_path / "serial", CONFIG)
+    for doc in make_docs(N_DOCS):
+        ingest.append(doc)
+    ingest.drain()
+    ingest.flush()
+    return ingest.corpus_digest()
+
+
+class TestCompetingConsumers:
+    @pytest.mark.parametrize("workers", [1, 2, 4])
+    def test_group_drain_matches_serial(self, tmp_path, workers):
+        expected = _serial_digest(tmp_path)
+        ingest = make_ingest(tmp_path / "group", CONFIG)
+        for doc in make_docs(N_DOCS):
+            ingest.append(doc)
+        group = ConsumerGroup(ingest, workers=workers)
+        fetched = group.drain()
+        ingest.flush()
+        assert fetched == N_DOCS
+        assert group.claims == N_DOCS
+        assert ingest.corpus_digest() == expected
+        assert ingest.duplicate_applies() == 0
+
+    def test_drain_is_resumable(self, tmp_path):
+        expected = _serial_digest(tmp_path)
+        ingest = make_ingest(tmp_path / "group", CONFIG)
+        docs = make_docs(N_DOCS)
+        for doc in docs[:10]:
+            ingest.append(doc)
+        group = ConsumerGroup(ingest, workers=2)
+        assert group.drain() == 10
+        for doc in docs[10:]:
+            ingest.append(doc)
+        assert group.drain() == N_DOCS - 10
+        ingest.flush()
+        assert ingest.corpus_digest() == expected
+
+
+class TestRedelivery:
+    @pytest.mark.parametrize("mode", ["before", "after"])
+    def test_crashed_claim_is_redelivered_idempotently(
+        self, tmp_path, mode
+    ):
+        expected = _serial_digest(tmp_path)
+        ingest = make_ingest(tmp_path / "group", CONFIG)
+        for doc in make_docs(N_DOCS):
+            ingest.append(doc)
+        group = ConsumerGroup(
+            ingest, workers=3, crashes={5: mode, 13: mode}
+        )
+        group.drain()
+        ingest.flush()
+        assert group.redeliveries == 2
+        assert ingest.corpus_digest() == expected
+        assert ingest.duplicate_applies() == 0
+
+    def test_after_crash_exercises_duplicate_suppression(self, tmp_path):
+        """An ``after`` crash means the record was applied, then the
+        unacked claim is redelivered — the idempotent receiver must
+        suppress the second delivery."""
+        ingest = make_ingest(tmp_path, CONFIG)
+        for doc in make_docs(N_DOCS):
+            ingest.append(doc)
+        group = ConsumerGroup(ingest, workers=2, crashes={7: "after"})
+        group.drain()
+        ingest.flush()
+        assert ingest.suppressed == 1
+        assert ingest.duplicate_applies() == 0
+
+
+class TestValidation:
+    def test_bad_worker_count(self, tmp_path):
+        ingest = make_ingest(tmp_path, CONFIG)
+        with pytest.raises(IngestError):
+            ConsumerGroup(ingest, workers=0)
+
+    def test_bad_crash_mode(self, tmp_path):
+        ingest = make_ingest(tmp_path, CONFIG)
+        with pytest.raises(IngestError):
+            ConsumerGroup(ingest, crashes={1: "sideways"})

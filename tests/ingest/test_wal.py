@@ -1,0 +1,183 @@
+"""The write-ahead log: framing, torn-tail repair, rotation, corruption."""
+
+import os
+import struct
+import zlib
+
+import pytest
+
+from repro.errors import IngestError, WalCorruptionError
+from repro.ingest import CorruptRecord, WalRecord, WriteAheadLog
+from repro.ingest.wal import _HEADER, _MAGIC, _encode
+
+
+def _records(log, from_seq=0):
+    return list(log.replay(from_seq))
+
+
+class TestAppendReplay:
+    def test_roundtrip(self, tmp_path):
+        with WriteAheadLog(tmp_path) as log:
+            assert log.append("k0", {"a": 1}) == 0
+            assert log.append("k1", {"b": 2.5}) == 1
+            records = _records(log)
+        assert [r.seq for r in records] == [0, 1]
+        assert [r.key for r in records] == ["k0", "k1"]
+        assert records[1].data == {"b": 2.5}
+        assert all(isinstance(r, WalRecord) for r in records)
+
+    def test_replay_from_offset(self, tmp_path):
+        with WriteAheadLog(tmp_path) as log:
+            for i in range(6):
+                log.append(f"k{i}", {"i": i})
+            assert [r.seq for r in log.replay(4)] == [4, 5]
+
+    def test_reopen_resumes_sequence(self, tmp_path):
+        with WriteAheadLog(tmp_path) as log:
+            log.append("k0", {})
+            log.append("k1", {})
+        with WriteAheadLog(tmp_path) as log:
+            assert log.next_seq == 2
+            assert log.append("k2", {}) == 2
+            assert [r.seq for r in _records(log)] == [0, 1, 2]
+
+    def test_records_carry_position(self, tmp_path):
+        with WriteAheadLog(tmp_path) as log:
+            log.append("k0", {})
+            (record,) = _records(log)
+        assert record.segment == log.segments[0]
+        assert record.offset == 0
+
+
+class TestTornTail:
+    def test_torn_tail_truncated_on_reopen(self, tmp_path):
+        with WriteAheadLog(tmp_path) as log:
+            log.append("k0", {"x": 1})
+            segment = os.path.join(log.directory, log.segments[-1])
+        frame = _encode(1, "k1", {"x": 2})
+        with open(segment, "ab") as handle:
+            handle.write(frame[: len(frame) - 5])  # power cut mid-write
+        with WriteAheadLog(tmp_path) as log:
+            # the torn frame was never acknowledged: truncated, reused
+            assert log.next_seq == 1
+            assert [r.seq for r in _records(log)] == [0]
+        assert os.path.getsize(segment) == len(_encode(0, "k0", {"x": 1}))
+
+    def test_torn_header_alone_truncated(self, tmp_path):
+        with WriteAheadLog(tmp_path) as log:
+            log.append("k0", {})
+            segment = os.path.join(log.directory, log.segments[-1])
+        with open(segment, "ab") as handle:
+            handle.write(b"WR\x00")  # 3 bytes of a 10-byte header
+        with WriteAheadLog(tmp_path) as log:
+            assert log.next_seq == 1
+
+    def test_replay_ignores_live_torn_tail(self, tmp_path):
+        log = WriteAheadLog(tmp_path)
+        log.append("k0", {})
+        # simulate a concurrent writer dying mid-frame
+        log._handle.write(b"WR\x00\x00")
+        log._handle.flush()
+        assert [r.seq for r in _records(log)] == [0]
+        log.close()
+
+
+class TestCorruption:
+    def test_crc_mismatch_yields_corrupt_record(self, tmp_path):
+        with WriteAheadLog(tmp_path) as log:
+            log.append("k0", {"x": 1})
+            log.append("k1", {"x": 2})
+            log.append("k2", {"x": 3})
+            segment = os.path.join(log.directory, log.segments[-1])
+        # flip one payload byte of the middle frame
+        frame_len = len(_encode(0, "k0", {"x": 1}))
+        with open(segment, "r+b") as handle:
+            handle.seek(frame_len + _HEADER.size + 2)
+            byte = handle.read(1)
+            handle.seek(frame_len + _HEADER.size + 2)
+            handle.write(bytes([byte[0] ^ 0xFF]))
+        with WriteAheadLog(tmp_path) as log:
+            records = _records(log)
+        kinds = [type(r).__name__ for r in records]
+        assert kinds == ["WalRecord", "CorruptRecord", "WalRecord"]
+        corrupt = records[1]
+        assert corrupt.reason == "crc mismatch"
+        # position-keyed: stable across replays for dead-letter dedup
+        assert corrupt.key == f"corrupt:{corrupt.segment}@{frame_len}"
+        assert records[2].seq == 2  # scan continued past the damage
+
+    def test_bad_magic_raises(self, tmp_path):
+        with WriteAheadLog(tmp_path) as log:
+            log.append("k0", {})
+            segment = os.path.join(log.directory, log.segments[-1])
+        with open(segment, "r+b") as handle:
+            handle.write(b"XX")
+        with pytest.raises(WalCorruptionError):
+            WriteAheadLog(tmp_path)
+
+    def test_valid_crc_wrong_shape_is_corrupt(self, tmp_path):
+        with WriteAheadLog(tmp_path) as log:
+            segment = os.path.join(log.directory, log.segments[-1])
+            payload = b'{"not": "ours"}'
+            frame = _HEADER.pack(
+                _MAGIC, len(payload), zlib.crc32(payload)
+            ) + payload
+            log._handle.write(frame)
+            log._handle.flush()
+            (record,) = _records(log)
+        assert isinstance(record, CorruptRecord)
+        assert record.reason == "undecodable payload"
+        assert segment.endswith(record.segment)
+
+
+class TestRotation:
+    def test_rotates_and_replays_across_segments(self, tmp_path):
+        with WriteAheadLog(tmp_path, segment_max_bytes=128) as log:
+            for i in range(20):
+                log.append(f"key{i}", {"i": i})
+            assert len(log.segments) > 1
+            assert log.rotations == len(log.segments) - 1
+            assert [r.seq for r in _records(log)] == list(range(20))
+        # reopen resumes across the segment set
+        with WriteAheadLog(tmp_path, segment_max_bytes=128) as log:
+            assert log.next_seq == 20
+            assert [r.seq for r in _records(log)] == list(range(20))
+
+    def test_segment_names_carry_first_seq(self, tmp_path):
+        with WriteAheadLog(tmp_path, segment_max_bytes=128) as log:
+            for i in range(12):
+                log.append(f"key{i}", {"i": i})
+            names = log.segments
+        assert names[0] == "wal-000000000000.log"
+        firsts = [int(n[4:-4]) for n in names]
+        assert firsts == sorted(firsts)
+
+    def test_size_bytes_counts_all_segments(self, tmp_path):
+        with WriteAheadLog(tmp_path, segment_max_bytes=128) as log:
+            for i in range(12):
+                log.append(f"key{i}", {"i": i})
+            total = sum(
+                os.path.getsize(os.path.join(log.directory, n))
+                for n in log.segments
+            )
+            assert log.size_bytes() == total
+
+
+class TestValidation:
+    def test_bad_fsync_interval(self, tmp_path):
+        with pytest.raises(IngestError):
+            WriteAheadLog(tmp_path, fsync_interval=0)
+
+    def test_bad_segment_size(self, tmp_path):
+        with pytest.raises(IngestError):
+            WriteAheadLog(tmp_path, segment_max_bytes=4)
+
+    def test_fsync_batching_counts(self, tmp_path):
+        calls = []
+        log = WriteAheadLog(tmp_path, fsync_interval=3)
+        original = log.sync
+        log.sync = lambda: calls.append(True) or original()
+        for i in range(7):
+            log.append(f"k{i}", {})
+        assert len(calls) == 2  # at appends 3 and 6
+        log.close()

@@ -1,0 +1,109 @@
+"""Durable checkpoint files: atomic save/load and torn-write regression."""
+
+import json
+import os
+
+import pytest
+
+from repro.core.post import Post
+from repro.errors import CheckpointError
+from repro.ioutil import atomic_write_bytes, atomic_write_text
+from repro.resilience.checkpoint import Checkpoint
+
+
+def _checkpoint(n=3):
+    posts = tuple(
+        Post(uid=i, value=float(i), labels=frozenset("ab"), text=f"t{i}")
+        for i in range(n)
+    )
+    return Checkpoint(
+        ladder=("stream_scan+", "stream_scan"),
+        rung=0,
+        labels=("a", "b"),
+        lam=60.0,
+        tau=0.0,
+        journal=posts,
+        buffered=(),
+        seen_uids=tuple(range(n)),
+        last_value=float(n - 1),
+        emissions=((0, 0.0),),
+        counters={"admitted": n},
+    )
+
+
+class TestSaveLoad:
+    def test_roundtrip(self, tmp_path):
+        path = tmp_path / "ckpt.json"
+        original = _checkpoint()
+        original.save(path)
+        assert Checkpoint.load(path) == original
+
+    def test_save_replaces_previous(self, tmp_path):
+        path = tmp_path / "ckpt.json"
+        _checkpoint(2).save(path)
+        _checkpoint(5).save(path)
+        assert len(Checkpoint.load(path).journal) == 5
+
+    def test_missing_file_raises_checkpoint_error(self, tmp_path):
+        with pytest.raises(CheckpointError):
+            Checkpoint.load(tmp_path / "nope.json")
+
+    def test_garbage_file_raises_checkpoint_error(self, tmp_path):
+        path = tmp_path / "ckpt.json"
+        path.write_text("{torn mid-wri")
+        with pytest.raises(CheckpointError):
+            Checkpoint.load(path)
+
+    def test_truncated_payload_raises_checkpoint_error(self, tmp_path):
+        path = tmp_path / "ckpt.json"
+        _checkpoint().save(path)
+        full = path.read_text()
+        path.write_text(full[: len(full) // 2])
+        with pytest.raises(CheckpointError):
+            Checkpoint.load(path)
+
+
+class TestTornWriteRegression:
+    def test_crash_mid_save_leaves_old_checkpoint(
+        self, tmp_path, monkeypatch
+    ):
+        """A save that dies before the atomic rename must leave the
+        previous checkpoint byte-intact and no half-written target —
+        the regression a plain ``open(path, 'w')`` save would fail."""
+        import repro.ioutil as ioutil
+
+        path = tmp_path / "ckpt.json"
+        old = _checkpoint(2)
+        old.save(path)
+        before = path.read_bytes()
+
+        def doomed_replace(src, dst):
+            raise OSError("simulated crash before rename")
+
+        monkeypatch.setattr(ioutil.os, "replace", doomed_replace)
+        with pytest.raises(OSError):
+            _checkpoint(7).save(path)
+        monkeypatch.undo()
+
+        assert path.read_bytes() == before
+        assert Checkpoint.load(path) == old
+        # the aborted temp file was cleaned up, not left as litter
+        assert os.listdir(tmp_path) == ["ckpt.json"]
+
+
+class TestAtomicWriteHelpers:
+    def test_bytes_roundtrip(self, tmp_path):
+        path = tmp_path / "blob.bin"
+        atomic_write_bytes(path, b"\x00\x01payload")
+        assert path.read_bytes() == b"\x00\x01payload"
+
+    def test_text_roundtrip(self, tmp_path):
+        path = tmp_path / "doc.json"
+        atomic_write_text(path, json.dumps({"k": 1}))
+        assert json.loads(path.read_text()) == {"k": 1}
+
+    def test_no_temp_litter_on_success(self, tmp_path):
+        atomic_write_text(tmp_path / "a.json", "x")
+        atomic_write_text(tmp_path / "a.json", "y")
+        assert os.listdir(tmp_path) == ["a.json"]
+        assert (tmp_path / "a.json").read_text() == "y"

@@ -163,3 +163,105 @@ class TestSupervisedUnderFaults:
         }
         assert quarantined_uids == injector.report.corrupted
         assert supervisor.health.quarantined == len(quarantined_uids)
+
+
+class TestRedelivery:
+    def test_redeliver_appends_to_stream_tail(self):
+        posts = _clean_stream(4, n=20)
+        injector = FaultInjector(seed=3, redeliver=1.0)
+        faulty = injector.apply(posts)
+        # every post redelivered once, at the end, in original order
+        assert faulty == posts + posts
+        assert injector.report.redelivered == {p.uid for p in posts}
+        kinds = {e.kind for e in injector.report.events}
+        assert kinds == {"redeliver"}
+
+    def test_zero_redeliver_keeps_existing_streams_identical(self):
+        """Adding the redeliver knob must not perturb the stream an
+        existing (seed, knobs) pair produced — the draws come last."""
+        posts = _clean_stream(5)
+        knobs = dict(drop=0.2, duplicate=0.2, delay=0.2, reorder=0.2,
+                     corrupt=0.2)
+        legacy = FaultInjector(seed=42, **knobs)
+        extended = FaultInjector(seed=42, redeliver=0.0, **knobs)
+        assert legacy.apply(posts) == extended.apply(posts)
+
+    def test_redeliver_probability_validated(self):
+        with pytest.raises(ValueError):
+            FaultInjector(redeliver=1.5)
+
+    def test_deterministic_for_equal_seeds(self):
+        posts = _clean_stream(6)
+        one = FaultInjector(seed=9, redeliver=0.3)
+        two = FaultInjector(seed=9, redeliver=0.3)
+        assert one.apply(posts) == two.apply(posts)
+
+
+class TestCrashSchedule:
+    def test_fires_on_scheduled_visit_only(self):
+        from repro.resilience.faults import CrashSchedule, KillPoint
+
+        schedule = CrashSchedule("apply.before", hit=3)
+        schedule("apply.before")
+        schedule("wal.append")  # other sites never trigger
+        schedule("apply.before")
+        with pytest.raises(KillPoint):
+            schedule("apply.before")
+        assert schedule.fired
+        # a fired schedule is inert (the process is already "dead")
+        schedule("apply.before")
+
+    def test_torn_bytes_written_before_death(self, tmp_path):
+        from repro.resilience.faults import CrashSchedule, KillPoint
+
+        schedule = CrashSchedule("wal.append", hit=1, torn_bytes=4)
+        path = tmp_path / "segment.log"
+        frame = b"WR" + bytes(range(20))
+        with open(path, "wb") as handle:
+            with pytest.raises(KillPoint):
+                schedule("wal.append", handle=handle, frame=frame)
+        assert path.read_bytes() == frame[:4]
+
+    def test_torn_bytes_clamped_below_frame_length(self, tmp_path):
+        from repro.resilience.faults import CrashSchedule, KillPoint
+
+        schedule = CrashSchedule("wal.append", hit=1, torn_bytes=999)
+        path = tmp_path / "segment.log"
+        frame = b"WR123456"
+        with open(path, "wb") as handle:
+            with pytest.raises(KillPoint):
+                schedule("wal.append", handle=handle, frame=frame)
+        # always a strict prefix: the frame must stay incomplete
+        assert path.read_bytes() == frame[:-1]
+
+    def test_random_is_deterministic_per_seed(self):
+        from repro.resilience.faults import CrashSchedule
+
+        one = CrashSchedule.random(17)
+        two = CrashSchedule.random(17)
+        assert (one.site, one.hit, one.torn_bytes) == \
+            (two.site, two.hit, two.torn_bytes)
+        assert one.site in CrashSchedule.SITES
+
+    def test_random_torn_only_at_append(self):
+        from repro.resilience.faults import CrashSchedule
+
+        for seed in range(60):
+            schedule = CrashSchedule.random(seed)
+            if schedule.torn_bytes is not None:
+                assert schedule.site == "wal.append"
+
+    def test_kill_point_is_not_a_repro_error(self):
+        from repro.errors import ReproError
+        from repro.resilience.faults import KillPoint
+
+        # library except-ReproError blocks must never swallow a death
+        assert not issubclass(KillPoint, ReproError)
+
+    def test_validation(self):
+        from repro.resilience.faults import CrashSchedule
+
+        with pytest.raises(ValueError):
+            CrashSchedule("wal.append", hit=0)
+        with pytest.raises(ValueError):
+            CrashSchedule("wal.append", torn_bytes=0)
