@@ -19,16 +19,21 @@ emitted and validated, which is what the CI smoke job checks.
 
 from __future__ import annotations
 
+import pickle
 import time
 
 from repro.core.coverage import is_cover
 from repro.core.greedy_sc import greedy_sc
 from repro.core.scan import scan, scan_plus
 from repro.engine import (
+    ProcessExecutor,
     parallel_greedy_sc,
     parallel_scan,
     parallel_scan_plus,
+    shared_snapshot,
+    snapshot,
 )
+from repro.engine.sharding import plan_halo_shards
 from repro.experiments.common import make_day_instance
 from repro.observability import facade
 
@@ -76,9 +81,20 @@ def describe(instance) -> dict:
 
 
 def test_parallel_greedy_sc_speedup(parallel_record, parallel_figure):
-    """Sharded GreedySC (halo split, process workers) vs serial."""
+    """Sharded GreedySC (halo split, process workers) vs serial.
+
+    Each worker count runs twice on ONE persistent executor: the cold
+    call pays pool spin-up, the warm call is what a service holding the
+    executor observes.  The gap between them is the per-call overhead
+    the persistent-pool fix removed, and the warm walls drive the
+    ``scaling_efficiency`` figure.
+    """
     instance = day_instance()
+    # two baseline runs, best-of: the CI box is shared and a single
+    # sample can swing tens of percent — every wall here is a min-of-2
     serial, serial_wall, serial_counters = timed(greedy_sc, instance)
+    _again, serial_again, _c = timed(greedy_sc, instance)
+    serial_wall = min(serial_wall, serial_again)
     parallel_record(
         "greedy_sc", wall_time_s=serial_wall,
         solution_size=serial.size, instance=describe(instance),
@@ -91,15 +107,29 @@ def test_parallel_greedy_sc_speedup(parallel_record, parallel_figure):
         "wall_ms": round(serial_wall * 1e3, 1), "size": serial.size,
         "speedup": 1.0,
     }]
+    efficiency_rows = []
     speedups = {}
+    warm_walls = {}
     for workers in WORKERS:
-        solution, wall, counters = timed(
-            parallel_greedy_sc, instance, split="halo",
-            executor="process", workers=workers, max_shards=MAX_SHARDS,
-        )
+        with ProcessExecutor(workers) as executor:
+            cold, cold_wall, _cold_counters = timed(
+                parallel_greedy_sc, instance, split="halo",
+                executor=executor, max_shards=MAX_SHARDS,
+            )
+            solution, wall, counters = timed(
+                parallel_greedy_sc, instance, split="halo",
+                executor=executor, max_shards=MAX_SHARDS,
+            )
+            _warm2, wall2, _c2 = timed(
+                parallel_greedy_sc, instance, split="halo",
+                executor=executor, max_shards=MAX_SHARDS,
+            )
+            wall = min(wall, wall2)
         assert is_cover(instance, solution.posts)
+        assert solution.size == cold.size  # warm != different answer
         speedup = serial_wall / wall
         speedups[workers] = speedup
+        warm_walls[workers] = wall
         parallel_record(
             "parallel_greedy_sc", wall_time_s=wall,
             solution_size=solution.size, instance=describe(instance),
@@ -107,24 +137,172 @@ def test_parallel_greedy_sc_speedup(parallel_record, parallel_figure):
             max_shards=MAX_SHARDS, split="halo", parity="verified",
             size_delta=solution.size - serial.size,
             speedup_vs_serial=round(speedup, 3),
+            cold_wall_time_s=cold_wall,
+            pool_overhead_ms=round((cold_wall - wall) * 1e3, 2),
         )
         rows.append({
             "solver": "parallel_greedy_sc", "executor": "process",
             "workers": workers, "wall_ms": round(wall * 1e3, 1),
             "size": solution.size, "speedup": round(speedup, 2),
         })
+        efficiency_rows.append({
+            "workers": workers,
+            "wall_ms": round(wall * 1e3, 1),
+            "cold_ms": round(cold_wall * 1e3, 1),
+            "speedup": round(speedup, 3),
+            "efficiency": round(speedup / max(workers, 1), 3),
+        })
         # halo seams may add picks but must never explode the cover
         assert solution.size <= serial.size * 1.25 + MAX_SHARDS
 
+    if not SMOKE:
+        # the before/after overhead measurement: the same 4-worker solve
+        # with the OLD lifecycle (string spec = fresh pool per call,
+        # also min-of-2)
+        _f1, fresh_a, _c1 = timed(
+            parallel_greedy_sc, instance, split="halo",
+            executor="process", workers=max(WORKERS),
+            max_shards=MAX_SHARDS,
+        )
+        _f2, fresh_b, _c2 = timed(
+            parallel_greedy_sc, instance, split="halo",
+            executor="process", workers=max(WORKERS),
+            max_shards=MAX_SHARDS,
+        )
+        fresh_wall = min(fresh_a, fresh_b)
+        efficiency_rows.append({
+            "workers": max(WORKERS),
+            "wall_ms": round(fresh_wall * 1e3, 1),
+            "cold_ms": round(fresh_wall * 1e3, 1),
+            "speedup": round(serial_wall / fresh_wall, 3),
+            "efficiency": "fresh-pool-per-call reference",
+        })
+
     report(rows, "Parallel GreedySC vs serial (fig13 day workload)")
     parallel_figure("parallel_greedy_sc_speedup", rows)
+    report(
+        efficiency_rows,
+        "GreedySC scaling efficiency (warm pools, fig13 day workload)",
+    )
+    parallel_figure("scaling_efficiency", efficiency_rows)
 
     if not SMOKE:
-        # the acceptance gate: >= 2x wall-time win at 4 process workers
+        # acceptance gates: >= 2x at 4 warm workers, and warm walls may
+        # not regress from 2 to 4 workers (the old flat-from-2 plateau).
+        # The warm-beats-fresh comparison is gated in
+        # test_process_executor_reuse_beats_fresh, whose interleaved
+        # multi-call totals are robust to machine drift; the fresh
+        # reference row recorded above is informational.
         assert speedups[4] >= 2.0, (
             f"sharded GreedySC speedup {speedups[4]:.2f}x < 2x "
             f"(serial {serial_wall * 1e3:.0f} ms)"
         )
+        assert warm_walls[4] <= warm_walls[2] * 1.25, (
+            f"scaling regressed 2 -> 4 workers: "
+            f"{warm_walls[2] * 1e3:.0f} ms -> {warm_walls[4] * 1e3:.0f} ms"
+        )
+
+
+def test_process_executor_reuse_beats_fresh(
+    parallel_record, parallel_figure
+):
+    """Warm persistent pool vs fresh-pool-per-call, plus the payload
+    bytes each task ships (the two overheads behind the old plateau).
+
+    The timed calls are interleaved (warm, fresh, warm, fresh, ...) so
+    that machine drift on a shared runner lands on both sides equally —
+    back-to-back pairs are what makes this gate stable where a
+    single-solve comparison is not.  Runs at smoke scale too — this is
+    the regression gate CI's bench-smoke job enforces.
+    """
+    instance = day_instance()
+    calls = 3
+    workers = min(2, max(WORKERS))
+
+    warm_total = fresh_total = 0.0
+    with ProcessExecutor(workers) as executor:
+        parallel_greedy_sc(  # warm the pool (and the shm snapshot)
+            instance, split="halo", executor=executor,
+            max_shards=MAX_SHARDS,
+        )
+        for _ in range(calls):
+            start = time.perf_counter()
+            parallel_greedy_sc(
+                instance, split="halo", executor=executor,
+                max_shards=MAX_SHARDS,
+            )
+            warm_total += time.perf_counter() - start
+            start = time.perf_counter()
+            # the string spec makes the engine build AND close a pool
+            # per call — exactly the old per-solve lifecycle
+            parallel_greedy_sc(
+                instance, split="halo", executor="process",
+                workers=workers, max_shards=MAX_SHARDS,
+            )
+            fresh_total += time.perf_counter() - start
+
+    # per-task bytes: a pickled ShardPayload vs a shared-memory tuple
+    snap = snapshot(instance)
+    plan = plan_halo_shards(snap, MAX_SHARDS)
+    payload_bytes = sum(
+        len(pickle.dumps(snap.payload(s.halo_start, s.halo_end)))
+        for s in plan.shards
+    )
+    shared = shared_snapshot(instance)
+    shm_bytes = (
+        None if shared is None else sum(
+            len(pickle.dumps(
+                (shared.name, s.halo_start, s.halo_end, "rescan", "auto")
+            ))
+            for s in plan.shards
+        )
+    )
+
+    rows = [
+        {
+            "pool": "fresh per call", "calls": calls,
+            "total_ms": round(fresh_total * 1e3, 1),
+            "per_call_ms": round(fresh_total / calls * 1e3, 1),
+        },
+        {
+            "pool": "warm (reused)", "calls": calls,
+            "total_ms": round(warm_total * 1e3, 1),
+            "per_call_ms": round(warm_total / calls * 1e3, 1),
+        },
+        {
+            "pool": "task bytes: pickled payloads", "calls": len(plan),
+            "total_ms": payload_bytes, "per_call_ms": round(
+                payload_bytes / len(plan)
+            ),
+        },
+        {
+            "pool": "task bytes: shm tuples", "calls": len(plan),
+            "total_ms": shm_bytes,
+            "per_call_ms": None if shm_bytes is None else round(
+                shm_bytes / len(plan)
+            ),
+        },
+    ]
+    report(rows, "Warm pool vs fresh pool per call (GreedySC, halo)")
+    parallel_figure("parallel_overhead", rows)
+    parallel_record(
+        "parallel_greedy_sc", wall_time_s=warm_total / calls,
+        solution_size=0, instance=describe(instance),
+        executor="process", workers=workers, split="halo",
+        parity="overhead-probe", mode="warm-pool",
+        fresh_wall_time_s=fresh_total / calls,
+        payload_bytes_per_solve=payload_bytes,
+        shm_bytes_per_solve=shm_bytes,
+    )
+
+    # the gate: reuse must beat rebuilding the pool every call
+    assert warm_total < fresh_total, (
+        f"warm pool {warm_total * 1e3:.0f} ms not faster than "
+        f"fresh-per-call {fresh_total * 1e3:.0f} ms over {calls} calls"
+    )
+    if shm_bytes is not None:
+        # shm tasks must be orders of magnitude lighter than payloads
+        assert shm_bytes * 10 < payload_bytes
 
 
 def test_parallel_scan_parity_and_time(parallel_record, parallel_figure):

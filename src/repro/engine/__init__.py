@@ -25,7 +25,16 @@ executor selection guide; ``benchmarks/test_parallel.py`` emits the
 """
 
 from .auto import AUTO_PAIR_THRESHOLD, choose_engine, probe_pair_count
-from .columnar import ColumnarInstance, ShardPayload, snapshot
+from .columnar import (
+    ColumnarInstance,
+    SharedSnapshot,
+    ShardPayload,
+    payload_from_shm,
+    posting_values_from_shm,
+    shared_snapshot,
+    shm_available,
+    snapshot,
+)
 from .executors import (
     ProcessExecutor,
     SerialExecutor,
@@ -58,7 +67,12 @@ __all__ = [
     # columnar snapshots
     "ColumnarInstance",
     "ShardPayload",
+    "SharedSnapshot",
     "snapshot",
+    "shared_snapshot",
+    "shm_available",
+    "payload_from_shm",
+    "posting_values_from_shm",
     # kernels
     "scan_values_kernel",
     "scan_segment_kernel",

@@ -6,7 +6,27 @@ is all the parallel solvers need, and it is the strictest common
 denominator — process pools additionally require the function to be
 importable and every task to be picklable, which the solvers honour by
 shipping :class:`~repro.engine.columnar.ShardPayload` objects (flat
-arrays) rather than live instances.
+arrays) or :class:`~repro.engine.columnar.SharedSnapshot` references
+rather than live instances.
+
+Pool lifecycle
+--------------
+
+``ThreadExecutor`` and ``ProcessExecutor`` own **one lazily-created
+pool, reused across ``run()`` calls**.  Spinning a fresh pool inside
+every call — the original design — charged every solve the full pool
+start-up (process fork + interpreter warm-up for process pools), which
+is exactly the per-call overhead that flattened the measured scaling
+curve.  The pool is created on the first ``run()`` that needs it and
+lives until :meth:`~ShardExecutor.close` (or the context manager exit);
+a closed executor stays usable — the next ``run()`` simply builds a new
+pool.
+
+Callers that want a warm pool must therefore hold the executor instance
+across calls (the service does; benchmarks do).  When the engine
+resolves a *string* spec itself it also closes the executor after the
+solve, so one-shot ``executor="process"`` calls keep their original
+no-leak semantics.
 
 ``get_executor`` resolves the user-facing spec:
 
@@ -15,23 +35,40 @@ arrays) rather than live instances.
 ``thread``  ``ThreadPoolExecutor``; shares memory, helps when the work
             releases the GIL (numpy kernels) or is I/O-bound
 ``process`` ``ProcessPoolExecutor``; true parallelism, pays pickling —
-            kept cheap by the columnar payloads
+            kept cheap by shared-memory snapshots / columnar payloads
 ========== ===========================================================
 """
 
 from __future__ import annotations
 
 import os
-from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
-from typing import Callable, List, Optional, Sequence, Tuple
+import pickle
+import threading
+from concurrent.futures import (
+    FIRST_EXCEPTION,
+    BrokenExecutor,
+    ProcessPoolExecutor,
+    ThreadPoolExecutor,
+    wait,
+)
+from typing import Callable, List, Optional, Sequence
 
 __all__ = ["ShardExecutor", "SerialExecutor", "ThreadExecutor",
            "ProcessExecutor", "get_executor", "default_workers"]
 
 
 def default_workers() -> int:
-    """A sane worker default: the CPU count, at least 1."""
-    return max(1, os.cpu_count() or 1)
+    """Workers this process may actually schedule, at least 1.
+
+    ``os.cpu_count()`` reports the machine, not the process: under a
+    cgroup CPU limit or an affinity mask (CI containers, ``taskset``) it
+    overcounts, and the surplus workers just contend.  The scheduling
+    affinity mask is the honest number where the platform exposes it.
+    """
+    try:
+        return max(1, len(os.sched_getaffinity(0)))
+    except (AttributeError, OSError):
+        return max(1, os.cpu_count() or 1)
 
 
 class ShardExecutor:
@@ -43,6 +80,16 @@ class ShardExecutor:
     def run(self, fn: Callable, tasks: Sequence[tuple]) -> List:
         raise NotImplementedError
 
+    def close(self) -> None:
+        """Release pooled resources.  The executor stays usable: the
+        next :meth:`run` lazily builds a fresh pool."""
+
+    def __enter__(self) -> "ShardExecutor":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
 
 class SerialExecutor(ShardExecutor):
     """The in-process baseline every parity test compares against."""
@@ -53,40 +100,117 @@ class SerialExecutor(ShardExecutor):
         return [fn(*task) for task in tasks]
 
 
-class ThreadExecutor(ShardExecutor):
-    name = "thread"
+class _PooledExecutor(ShardExecutor):
+    """Shared lifecycle for the thread/process executors: one lazily
+    created pool, reused across ``run()`` calls, torn down by
+    :meth:`close` — and fail-fast error handling (the first failing
+    shard cancels every shard still queued)."""
 
     def __init__(self, workers: Optional[int] = None):
         self.workers = workers or default_workers()
+        self._pool = None
+        self._lock = threading.Lock()
+
+    @property
+    def alive(self) -> bool:
+        """True while a warm pool exists."""
+        return self._pool is not None
+
+    def _make_pool(self):
+        raise NotImplementedError
+
+    def _ensure_pool(self):
+        pool = self._pool
+        if pool is None:
+            with self._lock:
+                pool = self._pool
+                if pool is None:
+                    pool = self._pool = self._make_pool()
+        return pool
 
     def run(self, fn: Callable, tasks: Sequence[tuple]) -> List:
         if len(tasks) <= 1 or self.workers <= 1:
             return [fn(*task) for task in tasks]
-        with ThreadPoolExecutor(max_workers=self.workers) as pool:
-            return list(pool.map(lambda task: fn(*task), tasks))
+        pool = self._ensure_pool()
+        try:
+            futures = [pool.submit(fn, *task) for task in tasks]
+            done, pending = wait(futures, return_when=FIRST_EXCEPTION)
+        except BrokenExecutor:
+            self.close()
+            raise
+        failures = [
+            future for future in futures
+            if future in done and not future.cancelled()
+            and future.exception() is not None
+        ]
+        if failures:
+            # Fail fast: shards still queued must not run to completion
+            # behind a failure nobody will read.  Cancel them, then
+            # surface the *first* failure in submission order (raising
+            # through result() keeps the original traceback).
+            for future in pending:
+                future.cancel()
+            if isinstance(failures[0].exception(), BrokenExecutor):
+                self.close()
+            failures[0].result()
+        return [future.result() for future in futures]
+
+    def close(self) -> None:
+        with self._lock:
+            pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.shutdown(wait=True, cancel_futures=True)
+
+    def __del__(self):  # pragma: no cover - GC backstop, not the API
+        pool = getattr(self, "_pool", None)
+        if pool is not None:
+            pool.shutdown(wait=False)
 
 
-class ProcessExecutor(ShardExecutor):
+class ThreadExecutor(_PooledExecutor):
+    name = "thread"
+
+    def _make_pool(self):
+        return ThreadPoolExecutor(max_workers=self.workers)
+
+
+class ProcessExecutor(_PooledExecutor):
     """Worker processes; ``fn`` must be a module-level function and every
-    task element picklable (the solvers pass columnar payloads)."""
+    task element picklable (the solvers pass shared-memory references or
+    columnar payloads)."""
 
     name = "process"
 
-    def __init__(self, workers: Optional[int] = None):
-        self.workers = workers or default_workers()
+    def _make_pool(self):
+        return ProcessPoolExecutor(max_workers=self.workers)
 
     def run(self, fn: Callable, tasks: Sequence[tuple]) -> List:
-        if len(tasks) <= 1 or self.workers <= 1:
-            return [fn(*task) for task in tasks]
-        with ProcessPoolExecutor(max_workers=self.workers) as pool:
-            futures = [pool.submit(fn, *task) for task in tasks]
-            return [future.result() for future in futures]
+        if len(tasks) > 1 and self.workers > 1:
+            # Reject unpicklable functions (lambdas, locals) before they
+            # reach the pool: a work item that fails to pickle on the
+            # queue-feeder thread leaves ProcessPoolExecutor.shutdown
+            # hanging forever on CPython 3.11 — a clear error here beats
+            # a deadlocked close() later.
+            try:
+                pickle.dumps(fn)
+            except Exception as err:
+                raise TypeError(
+                    f"process executor requires a picklable module-level "
+                    f"function, got {fn!r}"
+                ) from err
+        return super().run(fn, tasks)
 
 
 def get_executor(
     spec, workers: Optional[int] = None
 ) -> ShardExecutor:
-    """Resolve an executor spec: a name, or an executor instance."""
+    """Resolve an executor spec: a name, or an executor instance.
+
+    A name builds a *fresh* executor; hold the instance (and
+    :meth:`~ShardExecutor.close` it) to keep a warm pool across solves —
+    the engine closes executors it resolved from strings itself, so
+    one-shot calls never leak pools.
+    """
     if isinstance(spec, ShardExecutor):
         return spec
     if spec == "serial":

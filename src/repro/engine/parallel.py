@@ -22,21 +22,32 @@ Parity contract (enforced by the property suite in
   output is always a valid cover, though its size may exceed the serial
   one by a few seam picks.
 
-Process executors never pickle live instances: shards travel as
-:class:`~repro.engine.columnar.ShardPayload` arrays and are rebuilt on
-the worker.  Worker-side observability *counters* stay in the worker
-process; the engine publishes its own counters (shards, tasks, halo
-posts, fix-up re-runs, stitch repairs) in the parent.  Worker-side
-*spans* do cross back: every shard task runs through
-:func:`~repro.observability.requesttrace.traced_run`, which records a
-per-shard span in the caller's tracer (in-process executors) or exports
-the worker's finished spans with the shard result and re-parents them
-on return (process executors), so an assembled request trace includes
-the shard work wherever it ran.
+Process executors never pickle live instances.  Where
+:mod:`multiprocessing.shared_memory` works, the columnar snapshot is
+published **once** (:func:`~repro.engine.columnar.shared_snapshot`) and
+a shard task is just ``(shm_name, start, end, ...)`` — workers attach to
+the arrays and pay zero per-call serialisation.  Where it does not, the
+shards travel as pickled :class:`~repro.engine.columnar.ShardPayload`
+arrays exactly as before (the ``engine.<algo>.shm_tasks`` counter tells
+the two apart).  Executors resolved from a string spec are closed after
+the solve; pass a live :class:`~repro.engine.executors.ShardExecutor`
+to keep a warm pool across calls.
+
+Worker-side observability *counters* stay in the worker process; the
+engine publishes its own counters (shards, tasks, halo posts, fix-up
+re-runs, stitch repairs, and the parent-side stitch/merge time in
+``engine.<algo>.stitch_us`` — the measured serial fraction) in the
+parent.  Worker-side *spans* do cross back: every shard task runs
+through :func:`~repro.observability.requesttrace.traced_run`, which
+records a per-shard span in the caller's tracer (in-process executors)
+or exports the worker's finished spans with the shard result and
+re-parents them on return (process executors), so an assembled request
+trace includes the shard work wherever it ran.
 """
 
 from __future__ import annotations
 
+import time as _time
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -47,7 +58,13 @@ from ..core.scan import _scan_plus_posts, order_labels
 from ..core.solution import Solution, timed_solution
 from ..observability import facade as _obs
 from ..observability.requesttrace import traced_run
-from .columnar import ShardPayload, snapshot
+from .columnar import (
+    ShardPayload,
+    payload_from_shm,
+    posting_values_from_shm,
+    shared_snapshot,
+    snapshot,
+)
 from .executors import ProcessExecutor, ShardExecutor, get_executor
 from .kernels import first_uncovered, scan_segment_kernel
 from .sharding import plan_halo_shards, plan_shards, stitch_repair
@@ -77,6 +94,15 @@ def _scan_task(values: np.ndarray, lam: float, start: int,
     return picks, last
 
 
+def _scan_task_shm(shm_name: str, label_index: int, start: int,
+                   boundary: int) -> Tuple[List[int], float]:
+    """Scan shard over the shared snapshot: the worker reads the label's
+    full posting array from the segment, so picks come back in absolute
+    posting-list indices — no slicing, no rebase."""
+    values, lam = posting_values_from_shm(shm_name, label_index)
+    return _scan_task(values, lam, start, boundary)
+
+
 def _scan_plus_shard(payload: ShardPayload,
                      label_order: Sequence[str]) -> List[int]:
     """Scan+ over one shard, labels processed in the *global* order (the
@@ -84,6 +110,13 @@ def _scan_plus_shard(payload: ShardPayload,
     shard's posts, which is what pick parity needs)."""
     sub = payload.to_instance()
     return [post.uid for post in _scan_plus_posts(sub, list(label_order))]
+
+
+def _scan_plus_shard_shm(shm_name: str, start: int, end: int,
+                         label_order: Sequence[str]) -> List[int]:
+    return _scan_plus_shard(
+        payload_from_shm(shm_name, start, end), label_order
+    )
 
 
 def _greedy_shard(payload: ShardPayload, strategy: str,
@@ -95,6 +128,13 @@ def _greedy_shard(payload: ShardPayload, strategy: str,
     return [post.uid for post in _greedy_posts(sub, strategy, engine)]
 
 
+def _greedy_shard_shm(shm_name: str, start: int, end: int,
+                      strategy: str, engine: str) -> List[int]:
+    return _greedy_shard(
+        payload_from_shm(shm_name, start, end), strategy, engine
+    )
+
+
 def _family_label_task(
     values: np.ndarray, offsets: np.ndarray, lam: float,
     label_index: int, n_labels: int,
@@ -102,6 +142,27 @@ def _family_label_task(
     """One label's slice of the encoded set-cover family."""
     from ..core.fastpath import _label_window_pairs
 
+    coverer, encoded, _ = _label_window_pairs(
+        values, offsets, lam, label_index, n_labels
+    )
+    return coverer, encoded
+
+
+def _family_label_task_shm(
+    shm_name: str, label_index: int, n_labels: int,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """One label's family slice, arrays read from the shared snapshot."""
+    from ..core.fastpath import _label_window_pairs
+
+    values, lam = posting_values_from_shm(shm_name, label_index)
+    from .columnar import _attach
+
+    entry = _attach(shm_name)
+    posting_offsets = entry["posting_offsets"]
+    offsets = entry["posting_flat"][
+        int(posting_offsets[label_index]):
+        int(posting_offsets[label_index + 1])
+    ]
     coverer, encoded, _ = _label_window_pairs(
         values, offsets, lam, label_index, n_labels
     )
@@ -155,6 +216,7 @@ def _scan_posts_parallel(
 ) -> List[Post]:
     snap = snapshot(instance)
     lam = snap.lam
+    label_pos = {label: idx for idx, label in enumerate(snap.labels)}
     total_posting = sum(
         len(snap.posting_values[a]) for a in label_order
     )
@@ -174,15 +236,23 @@ def _scan_posts_parallel(
         )
         tasks.extend((label, start, end) for start, end in label_tasks)
 
-    # Process workers get a copy of just the slice they need (the core
-    # plus the lambda reach past it); in-process executors share the
-    # full array and index into it.
+    # In-process executors share the full posting arrays and index into
+    # them.  Process workers read the same arrays out of the shared
+    # snapshot when available (task = a name and two indices, picks come
+    # back absolute); only when shared memory is off do they get a copy
+    # of just the slice they need (the core plus the lambda reach past
+    # it), rebased on return.
     slicing = exec_is_process(executor)
+    shared = shared_snapshot(instance) if slicing else None
+    shm_fn = shared is not None
     args: List[tuple] = []
     rebase: List[int] = []
     for label, start, end in tasks:
         values = snap.posting_values[label]
-        if slicing:
+        if shm_fn:
+            args.append((shared.name, label_pos[label], start, end))
+            rebase.append(0)
+        elif slicing:
             reach = int(np.searchsorted(
                 values, values[end - 1] + lam, side="right"
             ))
@@ -193,14 +263,17 @@ def _scan_posts_parallel(
         else:
             args.append((values, lam, start, end))
             rebase.append(0)
-    results = traced_run(executor, _scan_task, args,
-                         name="engine.scan.shard")
+    results = traced_run(
+        executor, _scan_task_shm if shm_fn else _scan_task, args,
+        name="engine.scan.shard",
+    )
 
     # Merge per label, left to right, chaining the carry state.  A task
     # whose speculative start does not match where coverage really
     # stopped is re-run from the true start — the re-run uses the same
     # vectorised kernel, so the worst (gap-free, fully mispredicted)
     # case degrades to the serial vectorised scan, never to a wrong one.
+    merge_started = _time.perf_counter() if _obs.enabled() else 0.0
     picks_by_label: Dict[str, List[int]] = {a: [] for a in label_order}
     fixup_reruns = 0
     for (label, start, boundary), offset, (picks, last) in zip(
@@ -231,6 +304,12 @@ def _scan_posts_parallel(
         _obs.count("engine.scan.speculative_tasks",
                    len(tasks) - gap_tasks)
         _obs.count("engine.scan.fixup_reruns", fixup_reruns)
+        if shm_fn:
+            _obs.count("engine.scan.shm_tasks", len(tasks))
+        _obs.count(
+            "engine.scan.stitch_us",
+            int((_time.perf_counter() - merge_started) * 1e6),
+        )
 
     out: List[Post] = []
     for label in label_order:
@@ -258,20 +337,34 @@ def parallel_scan(
     more parallelism is requested than gaps exist, into speculative
     chunks whose seams are re-verified and re-run on mismatch.
     """
-    exec_ = get_executor(executor, workers)
-    shards = _resolve_max_shards(max_shards, exec_)
-    labels = order_labels(instance, label_order)
-    if _obs.enabled():
-        _obs.set_gauge("engine.workers", exec_.workers)
-    return timed_solution(
-        "parallel_scan", _scan_posts_parallel, instance, labels,
-        exec_, shards,
-    )
+    exec_, owned = _resolve_executor(executor, workers)
+    try:
+        shards = _resolve_max_shards(max_shards, exec_)
+        labels = order_labels(instance, label_order)
+        if _obs.enabled():
+            _obs.set_gauge("engine.workers", exec_.workers)
+        return timed_solution(
+            "parallel_scan", _scan_posts_parallel, instance, labels,
+            exec_, shards,
+        )
+    finally:
+        if owned:
+            exec_.close()
 
 
 # ---------------------------------------------------------------------------
 # Scan+ / GreedySC: whole-instance shards at global gaps
 # ---------------------------------------------------------------------------
+
+def _resolve_executor(
+    executor, workers: Optional[int]
+) -> Tuple[ShardExecutor, bool]:
+    """Resolve a spec; the second element says whether the engine owns
+    the executor (string specs) and must close it after the solve —
+    caller-provided instances keep their warm pools."""
+    owned = not isinstance(executor, ShardExecutor)
+    return get_executor(executor, workers), owned
+
 
 def _resolve_max_shards(max_shards: Optional[int],
                         executor: ShardExecutor) -> int:
@@ -288,7 +381,7 @@ def _resolve_max_shards(max_shards: Optional[int],
 def _instance_shards(
     instance: Instance, max_shards: int, split: str
 ):
-    """Plan whole-instance shards; returns ``(plan, payloads)``."""
+    """Plan whole-instance shards; returns ``(plan, snap)``."""
     if split not in ("auto", "gap", "halo"):
         raise ValueError(
             f"unknown split {split!r}; expected 'auto', 'gap' or 'halo'"
@@ -297,11 +390,39 @@ def _instance_shards(
     plan = plan_shards(snap, max_shards)
     if split == "halo" and len(plan) < max_shards:
         plan = plan_halo_shards(snap, max_shards)
-    payloads = [
-        snap.payload(shard.halo_start, shard.halo_end)
-        for shard in plan.shards
-    ]
-    return plan, payloads
+    return plan, snap
+
+
+def _shard_run(
+    instance: Instance,
+    plan,
+    snap,
+    executor: ShardExecutor,
+    algo: str,
+    payload_fn: Callable,
+    shm_fn: Callable,
+    extra: tuple,
+) -> Sequence[List[int]]:
+    """Fan the plan's shards out: shared-memory references for process
+    executors when a segment is available, pickled payloads otherwise."""
+    shared = (
+        shared_snapshot(instance) if exec_is_process(executor) else None
+    )
+    if shared is not None:
+        tasks = [
+            (shared.name, shard.halo_start, shard.halo_end) + extra
+            for shard in plan.shards
+        ]
+        fn = shm_fn
+        if _obs.enabled():
+            _obs.count(f"engine.{algo}.shm_tasks", len(tasks))
+    else:
+        tasks = [
+            (snap.payload(shard.halo_start, shard.halo_end),) + extra
+            for shard in plan.shards
+        ]
+        fn = payload_fn
+    return traced_run(executor, fn, tasks, name=f"engine.{algo}.shard")
 
 
 def _count_plan(plan, algo: str) -> None:
@@ -324,22 +445,33 @@ def _merge_shard_uids(
     instance: Instance, plan, uid_lists: Sequence[List[int]],
     algo: str,
 ) -> List[Post]:
-    """Union shard picks; for halo plans keep core picks, then stitch."""
+    """Union shard picks; for halo plans keep core picks, then stitch.
+
+    This is the parent-side serial phase of every sharded solve — it is
+    timed (``engine.<algo>.stitch_us``) and spanned so the serial
+    fraction limiting the scaling curve is measured, not guessed.
+    """
     if plan.kind != "halo":
         return [
             instance.post(uid) for uids in uid_lists for uid in uids
         ]
-    snap = snapshot(instance)
-    index_of = {int(uid): k for k, uid in enumerate(snap.uids)}
-    kept: Dict[int, Post] = {}
-    for shard, uids in zip(plan.shards, uid_lists):
-        for uid in uids:
-            k = index_of[uid]
-            if shard.start <= k < shard.end:
-                kept[uid] = instance.post(uid)
-    picks, repairs = stitch_repair(instance, list(kept.values()))
+    started = _time.perf_counter() if _obs.enabled() else 0.0
+    with _obs.span(f"engine.{algo}.stitch", shards=len(plan)):
+        snap = snapshot(instance)
+        index_of = {int(uid): k for k, uid in enumerate(snap.uids)}
+        kept: Dict[int, Post] = {}
+        for shard, uids in zip(plan.shards, uid_lists):
+            for uid in uids:
+                k = index_of[uid]
+                if shard.start <= k < shard.end:
+                    kept[uid] = instance.post(uid)
+        picks, repairs = stitch_repair(instance, list(kept.values()))
     if _obs.enabled():
         _obs.count(f"engine.{algo}.stitch_repairs", repairs)
+        _obs.count(
+            f"engine.{algo}.stitch_us",
+            int((_time.perf_counter() - started) * 1e6),
+        )
     return picks
 
 
@@ -350,15 +482,14 @@ def _scan_plus_posts_parallel(
     max_shards: int,
     split: str,
 ) -> List[Post]:
-    plan, payloads = _instance_shards(instance, max_shards, split)
+    plan, snap = _instance_shards(instance, max_shards, split)
     _count_plan(plan, "scan_plus")
     if len(plan) == 1:
         return _scan_plus_posts(instance, list(label_order))
     order = tuple(label_order)
-    uid_lists = traced_run(
-        executor, _scan_plus_shard,
-        [(payload, order) for payload in payloads],
-        name="engine.scan_plus.shard",
+    uid_lists = _shard_run(
+        instance, plan, snap, executor, "scan_plus",
+        _scan_plus_shard, _scan_plus_shard_shm, (order,),
     )
     return _merge_shard_uids(instance, plan, uid_lists, "scan_plus")
 
@@ -377,18 +508,22 @@ def parallel_scan_plus(
     Shards only at global gaps wider than lambda by default (cross-label
     strikes never cross such a gap, so parity with
     :func:`repro.core.scan.scan_plus` is exact; a gap-free instance runs
-    serially).  ``split="halo"`` forces equal-count halo shards whose
+    serially).  ``split="halo"`` forces equal-cost halo shards whose
     merged cover is stitch-repaired and re-verified.
     """
-    exec_ = get_executor(executor, workers)
-    shards = _resolve_max_shards(max_shards, exec_)
-    labels = order_labels(instance, label_order)
-    if _obs.enabled():
-        _obs.set_gauge("engine.workers", exec_.workers)
-    return timed_solution(
-        "parallel_scan+", _scan_plus_posts_parallel, instance, labels,
-        exec_, shards, split,
-    )
+    exec_, owned = _resolve_executor(executor, workers)
+    try:
+        shards = _resolve_max_shards(max_shards, exec_)
+        labels = order_labels(instance, label_order)
+        if _obs.enabled():
+            _obs.set_gauge("engine.workers", exec_.workers)
+        return timed_solution(
+            "parallel_scan+", _scan_plus_posts_parallel, instance, labels,
+            exec_, shards, split,
+        )
+    finally:
+        if owned:
+            exec_.close()
 
 
 def _greedy_posts_parallel(
@@ -402,45 +537,65 @@ def _greedy_posts_parallel(
     from ..core.greedy_sc import _greedy_posts
     from ..setcover import greedy_set_cover
 
-    plan, payloads = _instance_shards(instance, max_shards, split)
+    plan, snap = _instance_shards(instance, max_shards, split)
     _count_plan(plan, "greedy_sc")
     if len(plan) > 1:
-        uid_lists = traced_run(
-            executor, _greedy_shard,
-            [(payload, strategy, engine) for payload in payloads],
-            name="engine.greedy_sc.shard",
+        uid_lists = _shard_run(
+            instance, plan, snap, executor, "greedy_sc",
+            _greedy_shard, _greedy_shard_shm, (strategy, engine),
         )
         return _merge_shard_uids(instance, plan, uid_lists, "greedy_sc")
 
     # No safe cuts: the greedy rounds stay global, but the family build
     # is embarrassingly parallel per label.
-    snap = snapshot(instance)
     labels = snap.labels
     n_labels = len(labels)
-    tasks = [
-        (snap.posting_values[label], snap.posting_indices[label],
-         snap.lam, label_index, n_labels)
+    meta = [
+        (snap.posting_indices[label], label_index)
         for label_index, label in enumerate(labels)
         if len(snap.posting_values[label])
     ]
-    if not tasks:
+    if not meta:
         return []
     if _obs.enabled():
-        _obs.count("engine.greedy_sc.family_label_tasks", len(tasks))
+        _obs.count("engine.greedy_sc.family_label_tasks", len(meta))
     from ..core.fastpath import _update_family
 
-    results = traced_run(executor, _family_label_task, tasks,
+    shared = (
+        shared_snapshot(instance) if exec_is_process(executor) else None
+    )
+    if shared is not None:
+        tasks: List[tuple] = [
+            (shared.name, label_index, n_labels)
+            for _offsets, label_index in meta
+        ]
+        fn: Callable = _family_label_task_shm
+        if _obs.enabled():
+            _obs.count("engine.greedy_sc.shm_tasks", len(tasks))
+    else:
+        tasks = [
+            (snap.posting_values[labels[label_index]], offsets,
+             snap.lam, label_index, n_labels)
+            for offsets, label_index in meta
+        ]
+        fn = _family_label_task
+    results = traced_run(executor, fn, tasks,
                          name="engine.greedy_sc.family_label")
+    started = _time.perf_counter() if _obs.enabled() else 0.0
     family: List[set] = [set() for _ in instance.posts]
     universe: set = set()
-    for (values, offsets, _lam, label_index, _nl), (coverer, encoded) \
-            in zip(tasks, results):
+    for (offsets, label_index), (coverer, encoded) in zip(meta, results):
         _update_family(family, coverer, encoded)
         universe.update(
             (offsets * n_labels + label_index).tolist()
         )
     chosen = greedy_set_cover(family, universe=universe,
                               strategy=strategy)
+    if _obs.enabled():
+        _obs.count(
+            "engine.greedy_sc.stitch_us",
+            int((_time.perf_counter() - started) * 1e6),
+        )
     return [instance.posts[k] for k in chosen]
 
 
@@ -465,14 +620,18 @@ def parallel_greedy_sc(
     forces overlapping shards with stitch repair (verified, not
     pick-parity).
     """
-    exec_ = get_executor(executor, workers)
-    shards = _resolve_max_shards(max_shards, exec_)
-    if _obs.enabled():
-        _obs.set_gauge("engine.workers", exec_.workers)
-    return timed_solution(
-        "parallel_greedy_sc", _greedy_posts_parallel, instance,
-        strategy, engine, exec_, shards, split,
-    )
+    exec_, owned = _resolve_executor(executor, workers)
+    try:
+        shards = _resolve_max_shards(max_shards, exec_)
+        if _obs.enabled():
+            _obs.set_gauge("engine.workers", exec_.workers)
+        return timed_solution(
+            "parallel_greedy_sc", _greedy_posts_parallel, instance,
+            strategy, engine, exec_, shards, split,
+        )
+    finally:
+        if owned:
+            exec_.close()
 
 
 # ---------------------------------------------------------------------------
@@ -501,13 +660,15 @@ def make_parallel_solver(
     closes over one — so a deployment (or a test) can do::
 
         register("scan.procs", make_parallel_solver(
-            "scan", executor="process", workers=4))
+            "scan", executor=ProcessExecutor(4)))
 
     and serve it like any built-in, including through
     :class:`~repro.service.DiversificationService` (where the worker
     spans the executor produces are adopted into the request trace).
-    ``extra`` kwargs (``split``, ``strategy``, ...) pass through to the
-    underlying engine unchanged.
+    Pass an executor *instance* (as above) to keep one warm pool across
+    every solve the registered solver serves; a string spec builds and
+    closes a pool per call.  ``extra`` kwargs (``split``, ``strategy``,
+    ...) pass through to the underlying engine unchanged.
     """
     try:
         engine_fn = _PARALLEL_KINDS[kind]

@@ -92,25 +92,43 @@ def _gap_cut_positions(values: np.ndarray, lam: float) -> np.ndarray:
     return np.flatnonzero(gaps > lam).astype(np.int64) + 1
 
 
-def _balance_cuts(cuts: np.ndarray, n: int, max_shards: int) -> List[int]:
+def _cost_prefix(snap: ColumnarInstance) -> np.ndarray:
+    """``cost[k]`` = solver cost of the first ``k`` posts, measured in
+    ``(post, label)`` coverage pairs — what the per-shard work actually
+    scales with (a post carrying four labels feeds four posting lists
+    and four set-cover members, not one).  Balancing on raw post counts
+    let label-dense regions pile into one shard, and the straggler set
+    the wall clock."""
+    cost = np.zeros(len(snap) + 1, dtype=np.int64)
+    np.cumsum(snap.pair_counts, out=cost[1:])
+    return cost
+
+
+def _balance_cuts(
+    cuts: np.ndarray, cost: np.ndarray, max_shards: int
+) -> List[int]:
     """Pick at most ``max_shards - 1`` cut points, nearest to the ideal
-    equal-count boundaries, preserving order and uniqueness."""
+    equal-**cost** boundaries, preserving order and uniqueness."""
     if max_shards <= 1 or len(cuts) == 0:
         return []
     if len(cuts) <= max_shards - 1:
         return [int(c) for c in cuts]
+    total = float(cost[-1])
+    cut_costs = cost[cuts]
     chosen: List[int] = []
     for k in range(1, max_shards):
-        ideal = round(k * n / max_shards)
-        pos = int(np.searchsorted(cuts, ideal))
+        ideal = k * total / max_shards
+        pos = int(np.searchsorted(cut_costs, ideal))
         best: Optional[int] = None
+        best_gap = 0.0
         for cand_pos in (pos - 1, pos):
             if 0 <= cand_pos < len(cuts):
                 cand = int(cuts[cand_pos])
                 if cand in chosen:
                     continue
-                if best is None or abs(cand - ideal) < abs(best - ideal):
-                    best = cand
+                gap = abs(float(cut_costs[cand_pos]) - ideal)
+                if best is None or gap < best_gap:
+                    best, best_gap = cand, gap
         if best is not None and (not chosen or best > chosen[-1]):
             chosen.append(best)
     return chosen
@@ -124,8 +142,10 @@ def plan_shards(
 ) -> ShardPlan:
     """Cut at global gaps wider than lambda; exact-parity shards only.
 
-    Returns a ``"single"`` plan when no gap exists (or ``max_shards <= 1``)
-    — callers wanting forced sharding use :func:`plan_halo_shards`.
+    Cuts are balanced by per-shard *cost* (coverage pairs), not raw post
+    count.  Returns a ``"single"`` plan when no gap exists (or
+    ``max_shards <= 1``) — callers wanting forced sharding use
+    :func:`plan_halo_shards`.
     """
     n = len(snap)
     cuts = _gap_cut_positions(snap.values, snap.lam)
@@ -135,7 +155,7 @@ def plan_shards(
             shards=(Shard(0, n, 0, n),),
             gap_cuts_available=len(cuts),
         )
-    chosen = _balance_cuts(cuts, n, max_shards)
+    chosen = _balance_cuts(cuts, _cost_prefix(snap), max_shards)
     if min_shard_posts > 1:
         filtered: List[int] = []
         prev = 0
@@ -163,13 +183,16 @@ def plan_halo_shards(
     snap: ColumnarInstance,
     shards: int,
 ) -> ShardPlan:
-    """Equal-count cuts with a lambda halo on each side.
+    """Equal-**cost** cuts with a lambda halo on each side.
 
     Each shard's halo contains every post within lambda of its core, so a
     shard solved in isolation covers all of its core's (post, label)
     pairs; the union over shards is therefore always a valid cover, but
     not a pick-parity one — seams can duplicate or misalign picks, which
-    :func:`stitch_repair` cleans up.
+    :func:`stitch_repair` cleans up.  Cores are bounded where the
+    cumulative coverage-pair cost crosses the ideal equal split, so a
+    label-dense region is spread over workers instead of becoming one
+    straggler shard.
     """
     n = len(snap)
     values = snap.values
@@ -178,7 +201,12 @@ def plan_halo_shards(
     if shards <= 1 or n < 2:
         return ShardPlan(kind="single", shards=(Shard(0, n, 0, n),),
                          gap_cuts_available=len(cut_gaps))
-    bounds = sorted({round(k * n / shards) for k in range(1, shards)})
+    cost = _cost_prefix(snap)
+    total = float(cost[-1])
+    bounds = sorted({
+        int(np.searchsorted(cost, k * total / shards, side="left"))
+        for k in range(1, shards)
+    })
     bounds = [b for b in bounds if 0 < b < n]
     all_bounds = [0] + bounds + [n]
     out: List[Shard] = []

@@ -335,8 +335,15 @@ class DiversificationService:
             hard_watermark=self.config.hard_watermark,
         )
         self.coalescer = RequestCoalescer()
+        # One executor instance for the service's lifetime: its lazily
+        # created pool stays warm across requests (executors no longer
+        # rebuild a pool per run), and the service owns its teardown —
+        # close() here and on checkpoint restore.
+        self.executor = get_executor(
+            self.config.executor, self.config.workers
+        )
         self.batcher = MicroBatcher(
-            get_executor(self.config.executor, self.config.workers),
+            self.executor,
             window=self.config.coalesce_window,
             max_batch=self.config.max_batch,
         )
@@ -790,6 +797,10 @@ class DiversificationService:
             Document(post.uid, post.value, post.text)
             for post in checkpoint.journal
         ]
+        # Kill the warm pool: restore is the rollback path, and workers
+        # (or queued jobs) may hold pre-restore state.  The executor
+        # stays usable — the next solve lazily builds a fresh pool.
+        self.executor.close()
         _obs.count("service.restores")
         return self.cache.bump_epoch("checkpoint-restore")
 
@@ -833,6 +844,15 @@ class DiversificationService:
         if emissions:
             self._fan_out(emissions)
         return emissions
+
+    def close(self) -> None:
+        """Release pooled resources (the warm solver executor).
+
+        Idempotent, and not terminal: a request served after ``close()``
+        simply rebuilds the pool.  Call it when retiring the service so
+        worker threads/processes don't linger until interpreter exit.
+        """
+        self.executor.close()
 
     def health(self) -> Dict[str, Any]:
         """A JSON-safe snapshot of the tier's vitals."""
@@ -890,6 +910,13 @@ class DiversificationService:
                 "batcher": {
                     "batches": self.batcher.batches,
                     "jobs": self.batcher.jobs,
+                },
+                "executor": {
+                    "name": self.executor.name,
+                    "workers": self.executor.workers,
+                    "pool_alive": getattr(
+                        self.executor, "alive", False
+                    ),
                 },
                 "subscriptions": {
                     sub.sid: len(sub)

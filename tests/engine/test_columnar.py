@@ -3,12 +3,14 @@
 from __future__ import annotations
 
 import pickle
+import threading
 
 import numpy as np
 import pytest
 from hypothesis import given
 
 from repro.core.instance import Instance
+from repro.engine import columnar
 from repro.engine.columnar import ColumnarInstance, snapshot
 
 from .conftest import engine_instances
@@ -57,6 +59,14 @@ class TestColumnarInstance:
             decoded = frozenset(snap.labels[i] for i in snap.label_sets[k])
             assert decoded == post.labels
 
+    def test_pair_counts_match_label_cardinality(self, instance):
+        snap = ColumnarInstance(instance)
+        assert snap.pair_counts.tolist() == \
+            [len(p.labels) for p in instance.posts]
+        assert int(snap.pair_counts.sum()) == sum(
+            len(snap.posting_indices[a]) for a in snap.labels
+        )
+
     @given(engine_instances())
     def test_property_posting_fidelity(self, inst):
         snap = ColumnarInstance(inst)
@@ -74,6 +84,42 @@ class TestSnapshotCache:
     def test_distinct_instances_distinct_snapshots(self, instance):
         other = Instance.from_specs([(0.0, "a")], lam=1.0)
         assert snapshot(instance) is not snapshot(other)
+
+    def test_concurrent_snapshot_builds_exactly_once(self, monkeypatch):
+        # hammer the cache: many threads released together must agree on
+        # one snapshot object and build it exactly once (the unlocked
+        # WeakKeyDictionary used to race duplicate builds here)
+        inst = Instance.from_specs(
+            [(float(k), "ab"[k % 2]) for k in range(50)], lam=1.5
+        )
+        builds = []
+        real = columnar.ColumnarInstance
+
+        class Counting(real):
+            def __init__(self, instance):
+                builds.append(threading.get_ident())
+                super().__init__(instance)
+
+        monkeypatch.setattr(columnar, "ColumnarInstance", Counting)
+        threads = 16
+        barrier = threading.Barrier(threads)
+        results = [None] * threads
+
+        def hammer(slot):
+            barrier.wait()
+            results[slot] = snapshot(inst)
+
+        workers = [
+            threading.Thread(target=hammer, args=(slot,))
+            for slot in range(threads)
+        ]
+        for w in workers:
+            w.start()
+        for w in workers:
+            w.join()
+        assert len(builds) == 1
+        assert all(r is results[0] for r in results)
+        assert results[0] is not None
 
 
 class TestShardPayload:

@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import os
+
 import pytest
 
 from repro.engine.executors import (
@@ -40,6 +42,25 @@ class TestGetExecutor:
     def test_unknown_name_raises(self):
         with pytest.raises(ValueError, match="unknown executor"):
             get_executor("gpu")
+
+    def test_default_workers_prefers_affinity(self, monkeypatch):
+        # a cgroup/taskset mask smaller than the machine must win over
+        # os.cpu_count() — the surplus workers only contend
+        monkeypatch.setattr(
+            os, "sched_getaffinity", lambda pid: {0, 2, 5}
+        )
+        monkeypatch.setattr(os, "cpu_count", lambda: 64)
+        assert default_workers() == 3
+
+    def test_default_workers_falls_back_to_cpu_count(self, monkeypatch):
+        monkeypatch.delattr(os, "sched_getaffinity", raising=False)
+        monkeypatch.setattr(os, "cpu_count", lambda: 6)
+        assert default_workers() == 6
+
+    def test_default_workers_never_below_one(self, monkeypatch):
+        monkeypatch.delattr(os, "sched_getaffinity", raising=False)
+        monkeypatch.setattr(os, "cpu_count", lambda: None)
+        assert default_workers() == 1
 
     def test_abstract_run_raises(self):
         with pytest.raises(NotImplementedError):

@@ -81,6 +81,20 @@ class TestPlanShards:
         plan = plan_shards(snapshot(gapped_instance()), max_shards=1)
         assert plan.kind == "single"
 
+    def test_cuts_balance_pair_cost_not_post_count(self):
+        # label-heavy posts clustered left: 3 posts x 4 labels, then 6
+        # posts x 1 label, gaps everywhere (every cut is safe).  Cost
+        # prefix is [0, 4, 8, 12, 13, ..., 18]; the equal-cost halving
+        # cut is at post 2 (|8 - 9| < |12 - 9|) — equal-count balancing
+        # would have put it near post 4 and made the left shard carry
+        # two thirds of the coverage pairs.
+        specs = [(3.0 * k, "abcd") for k in range(3)]
+        specs += [(3.0 * k, "a") for k in range(3, 9)]
+        inst = Instance.from_specs(specs, lam=1.0)
+        plan = plan_shards(snapshot(inst), max_shards=2)
+        assert plan.kind == "gap"
+        assert [s.start for s in plan.shards] == [0, 2]
+
     @given(engine_instances(force_gaps=True))
     def test_property_partition_and_gap_invariants(self, inst):
         snap = snapshot(inst)
@@ -115,6 +129,16 @@ class TestPlanHaloShards:
             for k, v in enumerate(snap.values):
                 if lo_val <= v <= hi_val:
                     assert shard.halo_start <= k < shard.halo_end
+
+    def test_halo_bounds_balance_pair_cost(self):
+        # same skew, gap-free: the halving boundary lands where the
+        # cumulative pair cost crosses half, not at the post midpoint
+        specs = [(0.4 * k, "abcd") for k in range(3)]
+        specs += [(0.4 * k, "a") for k in range(3, 9)]
+        inst = Instance.from_specs(specs, lam=1.0)
+        plan = plan_halo_shards(snapshot(inst), 2)
+        assert plan.kind == "halo"
+        assert [s.start for s in plan.shards] == [0, 3]
 
     @given(engine_instances(gap_free=True, max_posts=40))
     def test_property_halo_invariants(self, inst):

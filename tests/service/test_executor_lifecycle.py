@@ -1,0 +1,91 @@
+"""The service's warm solver executor: one pool across requests.
+
+The scaling fix made pooled executors persistent; the service is the
+caller that benefits — it holds ONE executor instance for its lifetime,
+so the thread pool spun up by the first digest serves every later one.
+These tests pin the lifecycle: warm across requests, surfaced in
+introspection, killed cleanly on checkpoint restore and on ``close()``
+(both of which leave the service serviceable — the next solve lazily
+rebuilds the pool).
+"""
+
+from __future__ import annotations
+
+from repro.index.inverted_index import Document
+from repro.service import DigestRequest
+
+from .conftest import make_docs, make_service, run
+
+
+def streaming_service(**overrides):
+    overrides.setdefault("stream_algorithm", "instant")
+    overrides.setdefault("stream_lam", 0.1)
+    return make_service(**overrides)
+
+
+def test_one_executor_instance_for_the_service_lifetime():
+    service = make_service(executor="thread", workers=2)
+    executor = service.executor
+    assert service.batcher.executor is executor
+    service.ingest(make_docs(12))
+
+    async def scenario():
+        first = await service.digest(DigestRequest(lam=30.0))
+        second = await service.digest(
+            DigestRequest(lam=40.0)  # different key: a real second solve
+        )
+        return first, second
+
+    first, second = run(scenario())
+    assert first.status == "ok" and second.status == "ok"
+    assert service.executor is executor  # never swapped out
+    service.close()
+
+
+def test_introspect_reports_executor_state():
+    service = make_service(executor="thread", workers=3)
+    info = service.introspect()["queues"]["executor"]
+    assert info == {"name": "thread", "workers": 3, "pool_alive": False}
+    service.close()
+
+
+def test_restore_closes_the_warm_pool():
+    service = streaming_service(executor="thread", workers=2)
+
+    async def scenario():
+        for i in range(4):
+            await service.feed(Document(
+                i, 1000.0 + 10 * i,
+                f"golf putt stream{i} marker{i * 17}",
+            ))
+        checkpoint = service.checkpoint()
+        await service.digest(DigestRequest(lam=30.0, labels=("golf",)))
+        return checkpoint
+
+    checkpoint = run(scenario())
+    # force a warm pool even if the solve path stayed inline
+    service.executor.run(len, [((1, 2),), ((3,),)])
+    assert service.executor.alive
+    service.restore(checkpoint)
+    assert not service.executor.alive  # rollback killed the workers
+
+    # the restored service still serves (pool rebuilds lazily)
+    response = run(
+        service.digest(DigestRequest(lam=30.0, labels=("golf",)))
+    )
+    assert response.status == "ok"
+    service.close()
+
+
+def test_close_is_idempotent_and_not_terminal():
+    service = make_service(executor="thread", workers=2)
+    service.ingest(make_docs(6))
+    service.executor.run(len, [((1, 2),), ((3,),)])
+    assert service.executor.alive
+    service.close()
+    assert not service.executor.alive
+    service.close()  # idempotent
+
+    response = run(service.digest(DigestRequest(lam=30.0)))
+    assert response.status == "ok"
+    service.close()
