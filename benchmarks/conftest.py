@@ -41,6 +41,7 @@ PARALLEL_ARTIFACT = RESULTS_DIR / "BENCH_parallel.json"
 SERVICE_ARTIFACT = RESULTS_DIR / "BENCH_service.json"
 SLO_ARTIFACT = RESULTS_DIR / "BENCH_slo.json"
 INGEST_ARTIFACT = RESULTS_DIR / "BENCH_ingest.json"
+INCREMENTAL_ARTIFACT = RESULTS_DIR / "BENCH_incremental.json"
 SMOKE = bool(os.environ.get("BENCH_SMOKE"))
 
 _TRAJECTORY = BenchTrajectory("throughput")
@@ -48,6 +49,7 @@ _PARALLEL_TRAJECTORY = BenchTrajectory("parallel")
 _SERVICE_TRAJECTORY = BenchTrajectory("service")
 _SLO_TRAJECTORY = BenchTrajectory("slo")
 _INGEST_TRAJECTORY = BenchTrajectory("ingest")
+_INCREMENTAL_TRAJECTORY = BenchTrajectory("incremental")
 
 
 def report(rows, title: str) -> None:
@@ -119,6 +121,20 @@ def ingest_figure():
     return _INGEST_TRAJECTORY.record_figure
 
 
+@pytest.fixture(scope="session")
+def incremental_record():
+    """Record one incremental read-path workload into the incremental
+    trajectory (``BENCH_incremental.json``)."""
+    return _INCREMENTAL_TRAJECTORY.record_solver
+
+
+@pytest.fixture(scope="session")
+def incremental_figure():
+    """Attach a view-vs-batch latency or repair-cost table to the
+    incremental trajectory."""
+    return _INCREMENTAL_TRAJECTORY.record_figure
+
+
 def _emit(trajectory, artifact):
     RESULTS_DIR.mkdir(exist_ok=True)
     document = trajectory.write(artifact)
@@ -143,3 +159,5 @@ def pytest_sessionfinish(session, exitstatus):
         _emit(_SLO_TRAJECTORY, SLO_ARTIFACT)
     if _INGEST_TRAJECTORY.solvers:
         _emit(_INGEST_TRAJECTORY, INGEST_ARTIFACT)
+    if _INCREMENTAL_TRAJECTORY.solvers:
+        _emit(_INCREMENTAL_TRAJECTORY, INCREMENTAL_ARTIFACT)

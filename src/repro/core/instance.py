@@ -211,6 +211,38 @@ class Instance:
     # -- construction helpers -------------------------------------------------
 
     @classmethod
+    def from_sorted(
+        cls,
+        posts: Sequence[Post],
+        lam: float,
+        labels: Iterable[str],
+    ) -> "Instance":
+        """Trusted fast constructor for pre-validated, pre-sorted posts.
+
+        Skips the sort and the per-post invariant checks of ``__init__``;
+        the caller guarantees ``posts`` is sorted by ``(value, uid)`` with
+        unique uids, non-empty label sets, and labels inside ``labels``.
+        Used by the incremental view store, whose internal order already
+        satisfies all of the above — re-validating on every materialize
+        would put an O(n log n) sort on the near-O(1) read path.
+        """
+        if lam < 0:
+            raise InvalidInstanceError(f"lambda must be >= 0, got {lam}")
+        self = cls.__new__(cls)
+        self._posts = tuple(posts)
+        self._lam = float(lam)
+        self._labels = frozenset(labels)
+        self._by_uid = {p.uid: p for p in self._posts}
+        self._posting = {}
+        buckets: Dict[str, List[Post]] = {a: [] for a in self._labels}
+        for post in self._posts:
+            for label in post.labels:
+                buckets[label].append(post)
+        for label, bucket in buckets.items():
+            self._posting[label] = PostingList(label, bucket)
+        return self
+
+    @classmethod
     def from_specs(
         cls,
         specs: Iterable[tuple],

@@ -173,25 +173,54 @@ class InstantCover(StreamingAlgorithm):
     A small cache keeps the most recently selected post per label; an
     arriving post is output immediately iff at least one of its labels has
     no cached post within ``lambda``.
+
+    The cache stores only ``(value, uid)`` per label — holding whole
+    :class:`Post` objects would pin every selected post's text and label
+    set in memory for the stream's lifetime.  With ``window`` set, entries
+    older than ``now - window`` are evicted on arrival; any ``window >=
+    lam`` leaves the emission sequence untouched on time-ordered streams,
+    because an entry that old can never cover a future arrival again.
     """
 
     name = "instant"
 
-    def __init__(self, labels, lam: float):
+    def __init__(self, labels, lam: float, window: Optional[float] = None):
+        if window is not None and window < lam:
+            raise ValueError(
+                "window must be >= lambda: an entry younger than lambda "
+                f"can still cover arrivals (window={window}, lam={lam})"
+            )
         self.labels = set(labels)
         self.lam = float(lam)
-        self._cache: Dict[str, Post] = {}
+        self.window = None if window is None else float(window)
+        self._cache: Dict[str, Tuple[float, int]] = {}
+        self.evicted = 0
+
+    def _expire(self, now: float) -> None:
+        if self.window is None:
+            return
+        horizon = now - self.window
+        dead = [
+            label
+            for label, (value, _) in self._cache.items()
+            if value < horizon
+        ]
+        for label in dead:
+            del self._cache[label]
+        self.evicted += len(dead)
 
     def on_arrival(self, post: Post) -> List[Emission]:
+        self._expire(post.value)
         covered = all(
             label in self._cache
-            and abs(self._cache[label].value - post.value) <= self.lam
+            and abs(self._cache[label][0] - post.value) <= self.lam
             for label in post.labels
         )
         if covered:
             return []
+        entry = (post.value, post.uid)
         for label in post.labels:
-            self._cache[label] = post
+            self._cache[label] = entry
         return [Emission(post=post, emitted_at=post.value)]
 
     def next_deadline(self) -> Optional[float]:

@@ -1,0 +1,243 @@
+"""The view registry: epoch-committed, LRU-bounded cover views.
+
+Holds every live :class:`~repro.incremental.view.CoverView`, keyed by
+``(labels, λ, algorithm, dimension)`` — the same identity (minus epoch)
+the result cache keys on.  The registry is the single point where the
+service applies write-path deltas and where the read path asks for a
+materialized digest.
+
+**Epoch discipline.**  A view is servable only when its epoch equals
+both the registry's committed epoch *and* the epoch embedded in the
+caller's cache key.  The service's write path applies deltas first, then
+bumps the cache epoch, then :meth:`commit`\\ s the registry at the new
+epoch — so between the bump and the commit a concurrent read misses the
+view and falls through to the batch engine.  Stale views can be read
+*never*; at worst a fresh view is missed.  Seeding follows the result
+cache's dead-epoch rule: a solve that straddled an invalidation is
+refused (``stale_seeds``).
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from typing import Dict, Iterable, List, NamedTuple, Optional, Sequence, \
+    Tuple
+
+from ..core.post import Post
+from ..observability import facade as _obs
+from .store import PostStore
+from .view import CoverView
+
+__all__ = ["ViewKey", "ViewRegistry"]
+
+
+class ViewKey(NamedTuple):
+    """Identity of one maintained view (epoch-free: views roll forward
+    through epochs; servability is checked against the committed one)."""
+
+    labels: Tuple[str, ...]
+    lam: float
+    algorithm: str
+    dimension: str
+
+
+class ViewRegistry:
+    """All maintained cover views over one shared :class:`PostStore`."""
+
+    def __init__(
+        self,
+        store: PostStore,
+        *,
+        rebuild_ratio: float = 3.0,
+        rebuild_slack: int = 8,
+        max_views: int = 32,
+    ):
+        if max_views < 1:
+            raise ValueError(f"max_views must be >= 1, got {max_views}")
+        self.store = store
+        self.rebuild_ratio = rebuild_ratio
+        self.rebuild_slack = rebuild_slack
+        self.max_views = max_views
+        self._lock = threading.RLock()
+        self._views: "OrderedDict[ViewKey, CoverView]" = OrderedDict()
+        self.epoch = 0
+        # lifetime counters
+        self.hits = 0
+        self.misses = 0
+        self.stale_reads = 0
+        self.rebuild_reads = 0
+        self.seeds = 0
+        self.stale_seeds = 0
+        self.evictions = 0
+        self.invalidations = 0
+
+    @staticmethod
+    def key_for(
+        labels: Iterable[str],
+        lam: float,
+        algorithm: str,
+        dimension: str,
+    ) -> ViewKey:
+        return ViewKey(
+            labels=tuple(sorted(set(labels))),
+            lam=float(lam),
+            algorithm=algorithm,
+            dimension=dimension,
+        )
+
+    # -- write path --------------------------------------------------------
+
+    def seed(self, key: ViewKey, posts: Sequence[Post],
+             baseline_size: int, epoch: int) -> Optional[CoverView]:
+        """Adopt a batch cover for ``key``, computed at ``epoch``.
+
+        Refused when ``epoch`` is no longer the committed one — the
+        solve straddled an invalidation and its cover may not match the
+        current corpus.  Returns the seeded view, or ``None``.
+        """
+        with self._lock:
+            if epoch != self.epoch:
+                self.stale_seeds += 1
+                _obs.count("service.views.stale_seeds")
+                return None
+            view = self._views.get(key)
+            if view is None:
+                view = CoverView(
+                    self.store, key.labels, key.lam,
+                    algorithm=key.algorithm, dimension=key.dimension,
+                    rebuild_ratio=self.rebuild_ratio,
+                    rebuild_slack=self.rebuild_slack,
+                )
+                self._views[key] = view
+            view.seed(posts, baseline_size, epoch)
+            self._views.move_to_end(key)
+            while len(self._views) > self.max_views:
+                self._views.popitem(last=False)
+                self.evictions += 1
+                _obs.count("service.views.evictions")
+            self.seeds += 1
+            _obs.count("service.views.seeds")
+            return view
+
+    def apply_insert(self, post: Post) -> int:
+        """Fan one arrival out to every view; returns selection count."""
+        with self._lock:
+            selected = 0
+            for view in self._views.values():
+                if view.apply_insert(post):
+                    selected += 1
+            return selected
+
+    def apply_expire(self, removed: Sequence[Post]) -> int:
+        """Fan window expiries out; returns total evicted members."""
+        if not removed:
+            return 0
+        with self._lock:
+            evicted = 0
+            for view in self._views.values():
+                evicted += view.apply_expire(removed)
+            return evicted
+
+    def commit(self, epoch: int) -> None:
+        """Mark every maintained view current at ``epoch``.
+
+        Call *after* the deltas for the epoch bump have been applied;
+        stale/needs-rebuild views stay unservable regardless."""
+        with self._lock:
+            self.epoch = epoch
+            for view in self._views.values():
+                if not view.stale:
+                    view.epoch = epoch
+        _obs.count("service.views.commits")
+
+    def rebind(self, store: PostStore) -> None:
+        """Swap in a freshly rebuilt store; every view is invalidated
+        (its cover was maintained against the old projection)."""
+        with self._lock:
+            self.store = store
+            for view in self._views.values():
+                view.store = store
+                view.invalidate()
+            self.invalidations += len(self._views)
+        _obs.count("service.views.rebinds")
+
+    def invalidate_all(self, reason: str = "") -> int:
+        """Drop every view's maintained state (e.g. restore, reorder)."""
+        with self._lock:
+            for view in self._views.values():
+                view.invalidate()
+            count = len(self._views)
+            self.invalidations += count
+        if count:
+            _obs.count("service.views.invalidations", count)
+        return count
+
+    # -- read path ---------------------------------------------------------
+
+    def get(self, key: ViewKey) -> Optional[CoverView]:
+        with self._lock:
+            return self._views.get(key)
+
+    def read(self, key: ViewKey, epoch: int) -> Optional[CoverView]:
+        """The servable view for ``key`` at ``epoch``, or ``None``.
+
+        Misses are classified: absent (``misses``), wrong epoch or
+        unseeded (``stale_reads``), drifted past the ratio bound
+        (``rebuild_reads`` — the caller should batch-solve and re-seed).
+        """
+        with self._lock:
+            view = self._views.get(key)
+            if view is None:
+                self.misses += 1
+                _obs.count("service.views.misses")
+                return None
+            if view.needs_rebuild:
+                self.rebuild_reads += 1
+                _obs.count("service.views.rebuild_reads")
+                return None
+            if epoch != self.epoch or not view.fresh(epoch):
+                self.stale_reads += 1
+                _obs.count("service.views.stale_reads")
+                return None
+            self._views.move_to_end(key)
+            self.hits += 1
+            _obs.count("service.views.hits")
+            return view
+
+    # -- introspection -----------------------------------------------------
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._views)
+
+    def views(self) -> List[CoverView]:
+        with self._lock:
+            return list(self._views.values())
+
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses + self.stale_reads \
+            + self.rebuild_reads
+        return self.hits / total if total else 0.0
+
+    def snapshot(self) -> Dict[str, object]:
+        """JSON-safe registry + per-view stats for ``introspect()``."""
+        with self._lock:
+            return {
+                "epoch": self.epoch,
+                "count": len(self._views),
+                "max_views": self.max_views,
+                "hits": self.hits,
+                "misses": self.misses,
+                "stale_reads": self.stale_reads,
+                "rebuild_reads": self.rebuild_reads,
+                "hit_rate": self.hit_rate(),
+                "seeds": self.seeds,
+                "stale_seeds": self.stale_seeds,
+                "evictions": self.evictions,
+                "invalidations": self.invalidations,
+                "store": self.store.stats(),
+                "views": [
+                    view.snapshot() for view in self._views.values()
+                ],
+            }

@@ -1,0 +1,287 @@
+"""The write side of the incremental read path: projection + post store.
+
+The batch pipeline recomputes the whole document → post projection on
+every solve: SimHash dedup over the corpus in arrival order, keyword
+matching, value extraction, then an :class:`~repro.core.instance.Instance`
+sort.  At serving scale that projection *is* repeated work — the corpus
+only ever changes by appends (and, with a sliding window, expiries at the
+old end), so the projected post set can be maintained once and shared by
+every materialized cover view.
+
+Two pieces:
+
+* :class:`DocumentProjector` — the incremental twin of
+  ``DiversificationPipeline.digest``'s preprocessing.  One document in,
+  at most one post out, with the same SimHash kept-set semantics (a
+  dropped near-twin never registers its fingerprint, so later arrivals
+  dedup against exactly the posts the batch path would keep) and the
+  same matcher/value extraction.  Because SimHash kept-sets depend on
+  arrival order, the projector is only equivalent to the batch path when
+  it sees documents in the batch corpus order — the service falls back
+  to a full reprojection when that order diverges (ingest after stream).
+* :class:`PostStore` — the projected posts in ``(value, uid)`` order
+  with per-label key indexes, supporting append, window expiry at the
+  old end, ±λ neighborhood queries (for bounded view repair) and O(n)
+  relabeled materialization into a trusted
+  :meth:`~repro.core.instance.Instance.from_sorted` instance — no
+  re-sort, no re-validation on the read path.
+
+The store also tracks the values of *unmatched* kept documents, so a
+view can report exact ``unmatched_dropped`` counters even after window
+expiry removed some of them.
+"""
+
+from __future__ import annotations
+
+import bisect
+import threading
+from typing import Callable, Dict, FrozenSet, Iterable, List, Optional, \
+    Sequence, Set, Tuple
+
+from ..core.instance import Instance
+from ..core.post import Post
+from ..errors import ReproError
+from ..index.inverted_index import Document
+from ..index.query import LabelMatcher, TopicQuery
+from ..index.simhash import SimHashIndex, simhash
+
+__all__ = ["DocumentProjector", "PostStore"]
+
+
+class DocumentProjector:
+    """Incremental document → post projection (dedup, match, value).
+
+    Mirrors the preprocessing of ``DiversificationPipeline.digest`` one
+    document at a time: a document is dropped as a near-duplicate iff a
+    previously *kept* document's fingerprint is within ``dedup_distance``
+    (kept-set semantics — dropped documents never register), then matched
+    against the full query set; label-less documents are dropped.
+    """
+
+    def __init__(
+        self,
+        queries: Sequence[TopicQuery],
+        *,
+        dedup_distance: Optional[int] = None,
+        value_of: Optional[Callable[[Document], float]] = None,
+    ):
+        self.matcher = LabelMatcher(queries)
+        self.dedup_distance = dedup_distance
+        self._dedup: Optional[SimHashIndex] = (
+            None if dedup_distance is None
+            else SimHashIndex(max_distance=dedup_distance)
+        )
+        self._value_of = (
+            value_of if value_of is not None
+            else (lambda document: document.timestamp)
+        )
+        self.documents = 0
+        self.duplicates_dropped = 0
+        self.unmatched = 0
+
+    def project(self, document: Document) -> Optional[Post]:
+        """Project one document; ``None`` when deduped or unmatched."""
+        self.documents += 1
+        if self._dedup is not None:
+            fingerprint = simhash(document.text)
+            if self._dedup.query(fingerprint):
+                self.duplicates_dropped += 1
+                return None
+            self._dedup.add(document.doc_id, fingerprint)
+        labels = self.matcher.match(document.text)
+        if not labels:
+            self.unmatched += 1
+            return None
+        return Post(
+            uid=document.doc_id,
+            value=float(self._value_of(document)),
+            labels=labels,
+            text=document.text,
+        )
+
+
+class PostStore:
+    """Projected posts in ``(value, uid)`` order, shared by all views.
+
+    Thread-safe: the write path appends from ingest/feed (possibly WAL
+    consumer threads) while views materialize reads under the same lock.
+    """
+
+    def __init__(self, projector: Optional[DocumentProjector] = None):
+        self.projector = projector
+        self._lock = threading.RLock()
+        self._keys: List[Tuple[float, int]] = []
+        self._posts: List[Post] = []
+        self._by_label: Dict[str, List[Tuple[float, int]]] = {}
+        self._by_uid: Dict[int, Post] = {}
+        # values of kept-but-unmatched documents, sorted — expired with
+        # the window so views report exact unmatched_dropped counters
+        self._unmatched_values: List[float] = []
+        self._max_value: Optional[float] = None
+        self.version = 0
+        self.expired = 0
+        self.horizon: Optional[float] = None
+
+    # -- write path --------------------------------------------------------
+
+    def add(self, post: Post) -> None:
+        """Insert one projected post (uids must be unique)."""
+        with self._lock:
+            if post.uid in self._by_uid:
+                raise ReproError(
+                    f"duplicate post uid {post.uid} in view store"
+                )
+            if not post.labels:
+                raise ReproError(
+                    f"post {post.uid} has an empty label set"
+                )
+            key = (post.value, post.uid)
+            idx = bisect.bisect_left(self._keys, key)
+            self._keys.insert(idx, key)
+            self._posts.insert(idx, post)
+            for label in post.labels:
+                bisect.insort(self._by_label.setdefault(label, []), key)
+            self._by_uid[post.uid] = post
+            self._note_value(post.value)
+            self.version += 1
+
+    def ingest_document(self, document: Document) -> Optional[Post]:
+        """Project and store one document.
+
+        Returns the stored post, or ``None`` when the projector dropped
+        it (duplicate / unmatched).  Requires a projector.
+        """
+        if self.projector is None:
+            raise ReproError("this store has no projector attached")
+        with self._lock:
+            unmatched_before = self.projector.unmatched
+            post = self.projector.project(document)
+            if post is None:
+                if self.projector.unmatched > unmatched_before:
+                    # kept but label-less: it still counts against the
+                    # batch path's document tally, so track its value —
+                    # windowed unmatched_dropped counters stay exact
+                    value = float(self.projector._value_of(document))
+                    bisect.insort(self._unmatched_values, value)
+                    self._note_value(value)
+                return None
+            self.add(post)
+            return post
+
+    def _note_value(self, value: float) -> None:
+        if self._max_value is None or value > self._max_value:
+            self._max_value = value
+
+    def expire(self, cutoff: float) -> List[Post]:
+        """Drop every post with ``value < cutoff``; returns them.
+
+        Also trims the unmatched-value ledger and records ``cutoff`` as
+        the store horizon — the service uses the same horizon to filter
+        the batch path's corpus, so both paths see one window.
+        """
+        with self._lock:
+            self.horizon = cutoff if self.horizon is None \
+                else max(self.horizon, cutoff)
+            idx = bisect.bisect_left(self._keys, (cutoff,))
+            removed: List[Post] = []
+            if idx > 0:
+                removed = self._posts[:idx]
+                del self._keys[:idx]
+                del self._posts[:idx]
+                affected: Set[str] = set()
+                for post in removed:
+                    del self._by_uid[post.uid]
+                    affected |= post.labels
+                for label in affected:
+                    entries = self._by_label[label]
+                    del entries[:bisect.bisect_left(entries, (cutoff, -1))]
+                self.expired += len(removed)
+                self.version += 1
+            dead = bisect.bisect_left(self._unmatched_values, cutoff)
+            if dead:
+                del self._unmatched_values[:dead]
+            return removed
+
+    # -- read path ---------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._posts)
+
+    @property
+    def max_value(self) -> Optional[float]:
+        """Largest value of any kept document ever seen (incl. expired)."""
+        return self._max_value
+
+    @property
+    def live_documents(self) -> int:
+        """Kept documents inside the window (matched + unmatched)."""
+        return len(self._posts) + len(self._unmatched_values)
+
+    def post(self, uid: int) -> Optional[Post]:
+        return self._by_uid.get(uid)
+
+    def posts_near(
+        self, label: str, center: float, lam: float
+    ) -> List[Post]:
+        """Live posts carrying ``label`` with value within ``lam`` of
+        ``center``.  Boundary-widened bisect plus an exact ``abs()``
+        re-check, arithmetically identical to the coverage verifier."""
+        with self._lock:
+            entries = self._by_label.get(label)
+            if not entries:
+                return []
+            lo = max(0, bisect.bisect_left(entries, (center - lam,)) - 1)
+            hi = min(
+                len(entries),
+                bisect.bisect_right(
+                    entries, (center + lam, float("inf"))
+                ) + 1,
+            )
+            return [
+                self._by_uid[uid]
+                for value, uid in entries[lo:hi]
+                if abs(value - center) <= lam
+            ]
+
+    def materialize(
+        self, labels: Iterable[str], lam: float
+    ) -> Instance:
+        """The instance a batch solve over ``labels`` would see.
+
+        Posts are relabeled to the requested subset (per-query matching
+        is independent, so subset matching equals full matching
+        intersected with the subset) and handed to the trusted
+        constructor — already sorted, already validated.
+        """
+        universe: FrozenSet[str] = frozenset(labels)
+        with self._lock:
+            selected: List[Post] = []
+            for post in self._posts:
+                inter = post.labels & universe
+                if not inter:
+                    continue
+                if inter == post.labels:
+                    selected.append(post)
+                else:
+                    selected.append(Post(
+                        uid=post.uid, value=post.value,
+                        labels=inter, text=post.text,
+                    ))
+            return Instance.from_sorted(selected, lam, universe)
+
+    def stats(self) -> Dict[str, object]:
+        """JSON-safe store vitals for ``service.introspect()``."""
+        with self._lock:
+            projector = self.projector
+            return {
+                "posts": len(self._posts),
+                "labels": len(self._by_label),
+                "unmatched_live": len(self._unmatched_values),
+                "version": self.version,
+                "expired": self.expired,
+                "horizon": self.horizon,
+                "documents": None if projector is None
+                else projector.documents,
+                "duplicates_dropped": None if projector is None
+                else projector.duplicates_dropped,
+            }

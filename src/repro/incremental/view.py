@@ -1,0 +1,352 @@
+"""Materialized λ-cover views with delta maintenance and bounded repair.
+
+A :class:`CoverView` keeps a λ-cover for one ``(label-set, λ)`` pair
+alive as the corpus changes, so ``digest()`` can read it instead of
+re-running a batch solver.  The maintenance rules come straight from the
+paper's Section 5 streaming theory:
+
+* **insertion** is the instant-decision algorithm (``tau = 0``, bound
+  ``2s``): an arriving post joins the cover iff one of its labels has no
+  cover member within λ.  A post covers itself at distance 0, so the
+  cover stays verifier-valid by construction;
+* **window expiry** evicts cover members at the old end.  Evicting a
+  member can only orphan (post, label) pairs within ±λ of it —
+  StreamScan's locality argument — so repair is a *bounded local
+  re-scan*: enumerate live posts in that neighborhood, re-select any
+  whose labels went uncovered, in value order.  Each repair pick covers
+  itself, so validity again holds by construction;
+* **quality** is watched by a ledger.  Instant decisions guarantee
+  ``2s``-competitiveness against the stream, not against batch OPT on
+  the current window; when the maintained cover drifts past
+  ``rebuild_ratio × baseline + rebuild_slack`` (baseline = last batch
+  solve's size), the view flags ``needs_rebuild`` and the service routes
+  the next read through the batch engine, which re-seeds the view.
+
+Views never invent coverage state: they are *seeded* from a batch
+solver's digest and only grow/shrink through the two delta rules above.
+Freshness is epoch-disciplined exactly like the result cache — a view
+is servable only when its epoch equals the registry's committed epoch.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
+
+from ..core.coverage import uncovered_pairs
+from ..core.instance import Instance
+from ..core.post import Post
+from ..core.solution import Solution
+from ..errors import ReproError
+from .store import PostStore
+
+__all__ = ["CoverView", "ViewLedger"]
+
+
+@dataclass
+class ViewLedger:
+    """Monotone counters describing one view's maintenance history."""
+
+    cold_builds: int = 0
+    inserts: int = 0
+    selected_inserts: int = 0
+    expiries: int = 0
+    expired_members: int = 0
+    repairs: int = 0
+    repaired_pairs: int = 0
+    repair_candidates: int = 0
+    rebuild_flags: int = 0
+    reads: int = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        return {
+            "cold_builds": self.cold_builds,
+            "inserts": self.inserts,
+            "selected_inserts": self.selected_inserts,
+            "expiries": self.expiries,
+            "expired_members": self.expired_members,
+            "repairs": self.repairs,
+            "repaired_pairs": self.repaired_pairs,
+            "repair_candidates": self.repair_candidates,
+            "rebuild_flags": self.rebuild_flags,
+            "reads": self.reads,
+        }
+
+
+class CoverView:
+    """One maintained λ-cover over a label subset of a :class:`PostStore`.
+
+    Parameters
+    ----------
+    store:
+        The shared projected-post store (the view's source of truth for
+        materialization and repair scans).
+    labels:
+        The view's label subset.  Cover members are relabeled to it.
+    lam:
+        The λ threshold.
+    algorithm:
+        The batch algorithm family this view stands in for — cold builds
+        and rebuilds run it; reads advertise ``view:<algorithm>``.
+    rebuild_ratio / rebuild_slack:
+        Drift bound: the view flags ``needs_rebuild`` once its cover
+        exceeds ``rebuild_ratio * baseline + rebuild_slack`` members,
+        where baseline is the seeding batch solve's size.
+    """
+
+    def __init__(
+        self,
+        store: PostStore,
+        labels: Iterable[str],
+        lam: float,
+        *,
+        algorithm: str = "greedy_sc",
+        dimension: str = "time",
+        rebuild_ratio: float = 3.0,
+        rebuild_slack: int = 8,
+    ):
+        if lam < 0:
+            raise ReproError(f"lambda must be >= 0, got {lam}")
+        if rebuild_ratio < 1.0:
+            raise ReproError(
+                f"rebuild_ratio must be >= 1, got {rebuild_ratio}"
+            )
+        if rebuild_slack < 0:
+            raise ReproError(
+                f"rebuild_slack must be >= 0, got {rebuild_slack}"
+            )
+        self.store = store
+        self.labels: FrozenSet[str] = frozenset(labels)
+        self.lam = float(lam)
+        self.algorithm = algorithm
+        self.dimension = dimension
+        self.rebuild_ratio = float(rebuild_ratio)
+        self.rebuild_slack = int(rebuild_slack)
+        # the maintained cover: uid -> relabeled member, plus per-label
+        # sorted (value, uid) indexes for O(log) coverage probes
+        self._members: Dict[int, Post] = {}
+        self._index: Dict[str, List[Tuple[float, int]]] = {}
+        # read memoization: (store.version, mutation count) -> the last
+        # materialized answer.  A read against an unchanged store and an
+        # unchanged cover is a tuple compare — the near-O(1) hot path.
+        self._mutations = 0
+        self._materialized: Optional[
+            Tuple[Tuple[int, int], Instance, Solution]
+        ] = None
+        self.baseline_size: Optional[int] = None
+        self.epoch = -1
+        self.stale = True
+        self.needs_rebuild = False
+        self.ledger = ViewLedger()
+
+    # -- coverage probes ---------------------------------------------------
+
+    def _covered(self, label: str, value: float) -> bool:
+        entries = self._index.get(label)
+        if not entries:
+            return False
+        # boundary-widened bisect + exact abs() re-check, arithmetically
+        # identical to the coverage verifier (see _SelectedIndex)
+        idx = max(0, bisect.bisect_left(entries, (value - self.lam,)) - 1)
+        return any(
+            abs(member_value - value) <= self.lam
+            for member_value, _ in entries[idx:idx + 3]
+        )
+
+    def _select(self, post: Post) -> Post:
+        relevant = post.labels & self.labels
+        member = post if relevant == post.labels else Post(
+            uid=post.uid, value=post.value,
+            labels=relevant, text=post.text,
+        )
+        self._members[member.uid] = member
+        key = (member.value, member.uid)
+        for label in member.labels:
+            bisect.insort(self._index.setdefault(label, []), key)
+        self._mutations += 1
+        return member
+
+    def _deselect(self, member: Post) -> None:
+        key = (member.value, member.uid)
+        for label in member.labels:
+            entries = self._index.get(label, [])
+            idx = bisect.bisect_left(entries, key)
+            if idx < len(entries) and entries[idx] == key:
+                del entries[idx]
+        self._mutations += 1
+
+    # -- seeding -----------------------------------------------------------
+
+    def seed(
+        self,
+        posts: Iterable[Post],
+        baseline_size: int,
+        epoch: int,
+    ) -> None:
+        """Adopt a batch solve's cover as the view state.
+
+        ``posts`` must cover the store's current materialization of this
+        view's labels (they come from a batch digest over the same
+        corpus version).  Resets the drift baseline.
+        """
+        self._members = {}
+        self._index = {}
+        self._materialized = None
+        for post in posts:
+            self._select(post)
+        self.baseline_size = max(1, int(baseline_size))
+        self.epoch = epoch
+        self.stale = False
+        self.needs_rebuild = False
+        self.ledger.cold_builds += 1
+
+    def invalidate(self) -> None:
+        """Drop the maintained state; the next read must re-seed."""
+        self._members = {}
+        self._index = {}
+        self._materialized = None
+        self._mutations += 1
+        self.stale = True
+        self.needs_rebuild = False
+
+    # -- delta maintenance -------------------------------------------------
+
+    def apply_insert(self, post: Post) -> bool:
+        """One post arrived in the store.  Instant decision: select it
+        iff one of its (view-relevant) labels went uncovered.  Returns
+        True when the post joined the cover."""
+        relevant = post.labels & self.labels
+        if not relevant or self.stale:
+            return False
+        self.ledger.inserts += 1
+        if all(self._covered(a, post.value) for a in relevant):
+            return False
+        self._select(post)
+        self.ledger.selected_inserts += 1
+        self._check_drift()
+        return True
+
+    def apply_expire(self, removed: Iterable[Post]) -> int:
+        """Posts left the window (already removed from the store).
+
+        Evicts expired cover members and repairs locally: only pairs
+        within ±λ of an evicted member can have lost coverage, so the
+        re-scan is bounded by the neighborhood's live posts.  Returns
+        the number of evicted members.
+        """
+        if self.stale:
+            return 0
+        evicted: List[Post] = []
+        relevant = False
+        for post in removed:
+            if post.labels & self.labels:
+                relevant = True
+            member = self._members.pop(post.uid, None)
+            if member is not None:
+                evicted.append(member)
+        if not relevant:
+            return 0
+        self.ledger.expiries += 1
+        if not evicted:
+            return 0
+        for member in evicted:
+            self._deselect(member)
+        self.ledger.expired_members += len(evicted)
+        # orphan scan: live posts within lambda of an evicted member,
+        # restricted to the labels that member carried
+        orphans: Dict[Tuple[float, int], Post] = {}
+        for member in evicted:
+            for label in member.labels:
+                for post in self.store.posts_near(
+                    label, member.value, self.lam
+                ):
+                    self.ledger.repair_candidates += 1
+                    orphans.setdefault((post.value, post.uid), post)
+        repaired = 0
+        for key in sorted(orphans):
+            post = orphans[key]
+            relevant_labels = post.labels & self.labels
+            lost = [
+                a for a in relevant_labels
+                if not self._covered(a, post.value)
+            ]
+            if lost:
+                self._select(post)
+                repaired += len(lost)
+        if repaired:
+            self.ledger.repairs += 1
+            self.ledger.repaired_pairs += repaired
+        self._check_drift()
+        return len(evicted)
+
+    def _check_drift(self) -> None:
+        if self.baseline_size is None:
+            return
+        bound = self.rebuild_ratio * self.baseline_size \
+            + self.rebuild_slack
+        if len(self._members) > bound and not self.needs_rebuild:
+            self.needs_rebuild = True
+            self.ledger.rebuild_flags += 1
+
+    # -- read path ---------------------------------------------------------
+
+    @property
+    def size(self) -> int:
+        return len(self._members)
+
+    def drift_ratio(self) -> Optional[float]:
+        if self.baseline_size is None:
+            return None
+        return len(self._members) / self.baseline_size
+
+    def fresh(self, epoch: int) -> bool:
+        """Servable at ``epoch``: seeded, not drifted, right version."""
+        return not self.stale and not self.needs_rebuild \
+            and self.epoch == epoch
+
+    def cover_posts(self) -> Tuple[Post, ...]:
+        """The maintained cover, in canonical ``(value, uid)`` order."""
+        return tuple(sorted(
+            self._members.values(), key=lambda p: (p.value, p.uid)
+        ))
+
+    def materialize(self) -> Tuple[Instance, Solution]:
+        """The view's answer: the store's current instance for these
+        labels plus the maintained cover as a solution.  Memoized on
+        (store version, cover mutations) — repeated reads against an
+        unchanged corpus cost a tuple compare."""
+        self.ledger.reads += 1
+        state = (self.store.version, self._mutations)
+        memo = self._materialized
+        if memo is not None and memo[0] == state:
+            return memo[1], memo[2]
+        instance = self.store.materialize(self.labels, self.lam)
+        solution = Solution.from_posts(
+            f"view:{self.algorithm}", list(self.cover_posts()),
+            elapsed=0.0,
+        )
+        self._materialized = (state, instance, solution)
+        return instance, solution
+
+    def verify(self) -> List[Tuple[int, str]]:
+        """Uncovered (uid, label) pairs of the maintained cover against
+        the store's current state — empty iff the view is λ-valid."""
+        instance = self.store.materialize(self.labels, self.lam)
+        return uncovered_pairs(instance, self.cover_posts())
+
+    def snapshot(self) -> Dict[str, object]:
+        """JSON-safe per-view stats for ``service.introspect()``."""
+        return {
+            "labels": sorted(self.labels),
+            "lam": self.lam,
+            "algorithm": self.algorithm,
+            "dimension": self.dimension,
+            "size": len(self._members),
+            "baseline_size": self.baseline_size,
+            "drift_ratio": self.drift_ratio(),
+            "epoch": self.epoch,
+            "stale": self.stale,
+            "needs_rebuild": self.needs_rebuild,
+            "ledger": self.ledger.as_dict(),
+        }

@@ -8,8 +8,10 @@ many sessions' digest queries over a shared, continuously-fed corpus.
 direct use and testing.  See ``docs/serving.md`` for the tour.
 """
 
+from ..incremental import CoverView, ViewKey, ViewRegistry
 from .admission import ADMIT, DEGRADE, SHED, AdmissionController, \
     AdmissionDecision, TokenBucket
+from .auditor import AuditFinding, DigestAuditor
 from .cache import CacheKey, CacheStats, ResultCache
 from .coalescer import MicroBatcher, RequestCoalescer
 from .service import DigestRequest, DiversificationService, \
@@ -21,8 +23,13 @@ __all__ = [
     "SHED",
     "AdmissionController",
     "AdmissionDecision",
+    "AuditFinding",
     "CacheKey",
     "CacheStats",
+    "CoverView",
+    "DigestAuditor",
+    "ViewKey",
+    "ViewRegistry",
     "DigestRequest",
     "DiversificationService",
     "MicroBatcher",

@@ -98,6 +98,8 @@ class DigestAuditor:
         self.dropped = 0
         self.audited = 0
         self.coverage_violations = 0
+        self.audited_by_source: Dict[str, int] = {}
+        self.violations_by_source: Dict[str, int] = {}
         self.ratios: List[float] = []
 
     # -- intake (request path: cheap) --------------------------------------
@@ -109,8 +111,14 @@ class DigestAuditor:
         tenant: str = "",
         algorithm: str = "",
         epoch: int = 0,
+        source: str = "batch",
     ) -> bool:
-        """Offer one served digest; returns True when it was sampled."""
+        """Offer one served digest; returns True when it was sampled.
+
+        ``source`` tags where the digest came from (``"batch"`` solver
+        run, ``"view"`` maintained cover, ``"cache"`` hit) so audit
+        findings distinguish an incremental-maintenance regression from
+        a solver one."""
         if result is None:
             return False
         self.offered += 1
@@ -124,6 +132,7 @@ class DigestAuditor:
             "tenant": tenant,
             "algorithm": algorithm,
             "epoch": epoch,
+            "source": source,
             "trace_id": result.trace_id,
         }
         with self._lock:
@@ -152,10 +161,12 @@ class DigestAuditor:
             opt = opt_size(instance)
             if opt > 0:
                 ratio = result.size / opt
+        source = item.get("source", "batch")
         finding = AuditFinding(
             tenant=item["tenant"],
             algorithm=item["algorithm"],
             epoch=item["epoch"],
+            source=source,
             trace_id=item["trace_id"],
             covered=covered,
             uncovered_pairs=len(missing),
@@ -164,8 +175,12 @@ class DigestAuditor:
             approx_ratio=ratio,
         )
         self.audited += 1
+        self.audited_by_source[source] = \
+            self.audited_by_source.get(source, 0) + 1
         if not covered:
             self.coverage_violations += 1
+            self.violations_by_source[source] = \
+                self.violations_by_source.get(source, 0) + 1
             _obs.count("audit.coverage_violations")
             structlog.emit(
                 "audit.coverage_violation",
@@ -173,6 +188,7 @@ class DigestAuditor:
                 trace_id=item["trace_id"],
                 tenant=item["tenant"],
                 epoch=item["epoch"],
+                source=source,
                 algorithm=item["algorithm"],
                 uncovered_pairs=len(missing),
                 sample=[list(pair) for pair in missing[:5]],
@@ -247,7 +263,9 @@ class DigestAuditor:
             "dropped": self.dropped,
             "pending": self.pending(),
             "audited": self.audited,
+            "audited_by_source": dict(self.audited_by_source),
             "coverage_violations": self.coverage_violations,
+            "violations_by_source": dict(self.violations_by_source),
             "pass_rate": self.pass_rate(),
             "approx_ratio": {
                 "count": len(ratios),

@@ -61,8 +61,14 @@ class CacheStats:
     expirations: int = 0
     invalidations: int = 0
     stale_drops: int = 0
+    carried_forward: int = 0
 
-    def as_dict(self) -> Dict[str, int]:
+    def __post_init__(self) -> None:
+        # entries invalidated because a write touched this label — a
+        # label-targeted bump charges every label it intersected on
+        self.invalidations_by_label: Dict[str, int] = {}
+
+    def as_dict(self) -> Dict[str, Any]:
         return {
             "hits": self.hits,
             "misses": self.misses,
@@ -70,6 +76,8 @@ class CacheStats:
             "expirations": self.expirations,
             "invalidations": self.invalidations,
             "stale_drops": self.stale_drops,
+            "carried_forward": self.carried_forward,
+            "invalidations_by_label": dict(self.invalidations_by_label),
         }
 
 
@@ -131,19 +139,54 @@ class ResultCache:
             dimension=dimension,
         )
 
-    def bump_epoch(self, reason: str = "") -> int:
-        """Advance the corpus version and purge the dead generation.
+    def bump_epoch(
+        self,
+        reason: str = "",
+        labels: Optional[Iterable[str]] = None,
+    ) -> int:
+        """Advance the corpus version and invalidate the dead generation.
 
         Called by the service on batch ingest, on every stream advance,
         and on checkpoint restore.  Returns the new epoch.
+
+        With ``labels`` (the label sets the write actually touched),
+        invalidation is *fine-grained*: entries whose label set is
+        disjoint from the affected labels describe digests the write
+        cannot have changed — a digest is a pure function of the posts
+        matching its labels — so they are carried forward, re-keyed to
+        the new epoch, instead of purged.  ``labels=None`` keeps the
+        conservative purge-everything behaviour (restore, reprojection).
         """
+        affected = None if labels is None else frozenset(labels)
         with self._lock:
             self._epoch += 1
-            stale = len(self._entries)
-            self._entries.clear()
+            if affected is None:
+                stale = len(self._entries)
+                self._entries.clear()
+            else:
+                stale = 0
+                survivors: "OrderedDict[CacheKey, Tuple[float, Any]]" = \
+                    OrderedDict()
+                for key, entry in self._entries.items():
+                    touched = affected.intersection(key.labels)
+                    if touched:
+                        stale += 1
+                        for label in touched:
+                            self.stats.invalidations_by_label[label] = \
+                                self.stats.invalidations_by_label.get(
+                                    label, 0
+                                ) + 1
+                    else:
+                        survivors[key._replace(epoch=self._epoch)] = entry
+                self._entries = survivors
+                self.stats.carried_forward += len(survivors)
+                carried = len(survivors)
             self.stats.invalidations += stale
         if _obs.enabled():
             _obs.count("service.cache.invalidations", stale)
+            if affected is not None:
+                _obs.count("service.cache.invalidations_by_label", stale)
+                _obs.count("service.cache.carried_forward", carried)
             _obs.set_gauge("service.cache.epoch", self._epoch)
         return self._epoch
 

@@ -45,14 +45,16 @@ from typing import Any, Callable, Dict, Iterable, List, Optional, \
 from ..core.registry import available_algorithms
 from ..core.streaming import _STREAM_FACTORIES
 from ..errors import ReproError, ServiceOverloadError
+from ..incremental import DocumentProjector, PostStore, ViewRegistry
 from ..index.inverted_index import Document
-from ..index.query import TopicQuery
+from ..index.query import LabelMatcher, TopicQuery
 from ..engine.executors import get_executor
 from ..observability import facade as _obs
 from ..observability import structlog
 from ..observability.slo import SLOMonitor
 from ..observability.tracing import TraceContext
-from ..pipeline import DigestResult, DiversificationPipeline
+from ..pipeline import DigestResult, DiversificationPipeline, \
+    _resolve_dimension
 from ..resilience.checkpoint import Checkpoint
 from ..resilience.policies import SanitizationPolicy
 from ..resilience.supervisor import ResilienceConfig, StreamSupervisor
@@ -120,6 +122,20 @@ class ServiceConfig:
     audit_sample: float = 0.0
     audit_opt_max: int = 12
     audit_seed: int = 0
+    # incremental materialized cover views (the CQRS read path):
+    # ingest applies deltas, digest() reads a maintained cover.  A view
+    # past view_rebuild_ratio x its seeding batch solve (+ slack) is
+    # routed back through the batch engine and re-seeded.  view_window
+    # slides the corpus: posts older than (newest - view_window) expire
+    # from views AND from batch solves, keeping both paths on one
+    # window; it requires dedup off (SimHash kept-sets cannot be
+    # unwound when their anchor documents expire) and the time
+    # dimension (the window is an age).
+    views: bool = True
+    view_rebuild_ratio: float = 3.0
+    view_rebuild_slack: int = 8
+    max_views: int = 64
+    view_window: Optional[float] = None
     # time
     clock: Callable[[], float] = _time.perf_counter
 
@@ -152,6 +168,38 @@ class ServiceConfig:
             raise ReproError(
                 f"audit_sample must be in [0, 1], got {self.audit_sample}"
             )
+        if self.view_rebuild_ratio < 1.0:
+            raise ReproError(
+                "view_rebuild_ratio must be >= 1, got "
+                f"{self.view_rebuild_ratio}"
+            )
+        if self.view_rebuild_slack < 0:
+            raise ReproError(
+                "view_rebuild_slack must be >= 0, got "
+                f"{self.view_rebuild_slack}"
+            )
+        if self.max_views < 1:
+            raise ReproError(
+                f"max_views must be >= 1, got {self.max_views}"
+            )
+        if self.view_window is not None:
+            if self.view_window <= 0:
+                raise ReproError(
+                    f"view_window must be positive, got {self.view_window}"
+                )
+            if not self.views:
+                raise ReproError("view_window requires views=True")
+            if self.dimension != "time":
+                raise ReproError(
+                    "view_window is an age bound; it requires the "
+                    f"'time' dimension, got {self.dimension!r}"
+                )
+            if self.dedup_distance is not None:
+                raise ReproError(
+                    "view_window requires dedup_distance=None: SimHash "
+                    "kept-sets are order-sensitive and cannot be "
+                    "unwound when anchor documents expire"
+                )
 
 
 @dataclass(frozen=True)
@@ -192,6 +240,7 @@ class ServiceResponse:
     algorithm: str
     cached: bool = False
     coalesced: bool = False
+    view: bool = False
     latency_s: float = 0.0
     epoch: int = 0
     reason: str = ""
@@ -210,6 +259,7 @@ class ServiceResponse:
             "algorithm": self.algorithm,
             "cached": self.cached,
             "coalesced": self.coalesced,
+            "view": self.view,
             "latency_s": self.latency_s,
             "epoch": self.epoch,
             "reason": self.reason,
@@ -352,6 +402,26 @@ class DiversificationService:
             if self.config.resilience is not None
             else ResilienceConfig(policy=SanitizationPolicy())
         )
+        # Incremental read path: a shared projected-post store plus the
+        # registry of maintained cover views.  The bare matcher backs
+        # label-targeted cache invalidation when views are off.
+        self._value_of = _resolve_dimension(self.config.dimension)
+        self._matcher = LabelMatcher(self.queries)
+        self._view_store: Optional[PostStore] = None
+        self._views: Optional[ViewRegistry] = None
+        if self.config.views:
+            self._view_store = self._build_view_store()
+            self._views = ViewRegistry(
+                self._view_store,
+                rebuild_ratio=self.config.view_rebuild_ratio,
+                rebuild_slack=self.config.view_rebuild_slack,
+                max_views=self.config.max_views,
+            )
+        # Poisoned: the corpus reached a state the projection cannot
+        # represent (e.g. duplicate uids across ingest and stream — a
+        # state batch solves fail on too).  Views stay dark until a
+        # rebuild (restore) reprojects a clean corpus.
+        self._views_poisoned = False
         self._stream_pipeline = self._build_stream_pipeline()
         # Corpus: batch-ingested and stream-admitted documents, separate
         # so checkpoint restore can roll back exactly the streamed part.
@@ -379,6 +449,13 @@ class DiversificationService:
 
     # -- construction ------------------------------------------------------
 
+    def _build_view_store(self) -> PostStore:
+        return PostStore(DocumentProjector(
+            self.queries,
+            dedup_distance=self.config.dedup_distance,
+            value_of=self._value_of,
+        ))
+
     def _build_stream_pipeline(self) -> DiversificationPipeline:
         return DiversificationPipeline(
             self.queries,
@@ -404,15 +481,124 @@ class DiversificationService:
     def corpus_size(self) -> int:
         return len(self._ingested) + len(self._streamed)
 
+    def _served_documents(self) -> Tuple[Document, ...]:
+        """The corpus a batch solve sees: with a sliding view window,
+        documents older than the store horizon are excluded, keeping
+        the batch path on exactly the window the views maintain."""
+        documents = self.corpus()
+        if self._view_store is None or self._view_store.horizon is None:
+            return documents
+        horizon = self._view_store.horizon
+        value_of = self._value_of
+        return tuple(
+            document for document in documents
+            if value_of(document) >= horizon
+        )
+
     def ingest(self, documents: Iterable[Document]) -> int:
         """Add a document batch to the corpus; invalidates the cache.
 
-        Returns the new corpus epoch.
+        View deltas are applied before the epoch bump, and the bump is
+        label-targeted: cached digests whose labels the batch did not
+        touch survive, re-keyed to the new epoch.  Returns the new
+        corpus epoch.
         """
         documents = list(documents)
         self._ingested.extend(documents)
         _obs.count("service.ingested", len(documents))
-        return self.cache.bump_epoch("ingest")
+        affected = self._apply_view_deltas(documents, source="ingest")
+        epoch = self.cache.bump_epoch("ingest", labels=affected)
+        if self._views is not None:
+            self._views.commit(epoch)
+        return epoch
+
+    def _apply_view_deltas(
+        self,
+        documents: Sequence[Document],
+        source: str,
+    ) -> Optional[Iterable[str]]:
+        """Project new documents into the view store and fan deltas out.
+
+        Returns the affected label set for fine-grained cache
+        invalidation, or ``None`` when everything must be purged (the
+        incremental projection had to be rebuilt wholesale).
+        """
+        affected: set = set()
+        if self._views is None or self._view_store is None \
+                or self._views_poisoned:
+            for document in documents:
+                affected |= self._matcher.match(document.text)
+            return affected
+        if (
+            self.config.dedup_distance is not None
+            and source == "ingest"
+            and self._streamed
+        ):
+            # SimHash kept-sets are order-sensitive: the batch corpus
+            # is ingested-then-streamed, but these documents arrived
+            # *after* streamed ones — the incremental projection would
+            # diverge from what a batch solve sees.  Reproject the whole
+            # corpus in batch order and purge conservatively.
+            self._rebuild_views("ingest-after-stream")
+            return None
+        store = self._view_store
+        try:
+            for document in documents:
+                post = store.ingest_document(document)
+                if post is None:
+                    continue
+                affected |= post.labels
+                self._views.apply_insert(post)
+            if self.config.view_window is not None and \
+                    store.max_value is not None:
+                removed = store.expire(
+                    store.max_value - self.config.view_window
+                )
+                for post in removed:
+                    affected |= post.labels
+                self._views.apply_expire(removed)
+        except ReproError as error:
+            # e.g. duplicate uids across ingest and stream — a corpus
+            # state batch solves fail on too.  Views go dark rather
+            # than taking the write path down.
+            self._poison_views(repr(error))
+            return None
+        return affected
+
+    def _poison_views(self, reason: str) -> None:
+        self._views_poisoned = True
+        if self._views is not None:
+            self._views.invalidate_all("poisoned")
+        _obs.count("service.views.poisoned")
+        structlog.emit(
+            "service.views_poisoned",
+            level=logging.WARNING,
+            reason=reason,
+        )
+
+    def _rebuild_views(self, reason: str) -> None:
+        """Reproject the whole corpus into a fresh store and invalidate
+        every view (they re-seed from the next batch solve)."""
+        store = self._build_view_store()
+        try:
+            for document in self.corpus():
+                store.ingest_document(document)
+            if self.config.view_window is not None and \
+                    store.max_value is not None:
+                store.expire(store.max_value - self.config.view_window)
+        except ReproError as error:
+            self._poison_views(repr(error))
+            return
+        self._view_store = store
+        self._views_poisoned = False
+        if self._views is not None:
+            self._views.rebind(store)
+        _obs.count("service.views.rebuilds")
+        structlog.emit(
+            "service.views_rebuilt",
+            reason=reason,
+            posts=len(store),
+        )
 
     # -- digest path -------------------------------------------------------
 
@@ -478,6 +664,39 @@ class DiversificationService:
             solve_span_id=getattr(span, "span_id", None),
         )
 
+    def _read_view(self, key: CacheKey) -> Optional[DigestResult]:
+        """The maintained-view digest for this cache key, or ``None``.
+
+        Only views on the service's configured dimension are consulted
+        (the store projects values on that dimension); the registry
+        enforces the epoch discipline — a view is served only at the
+        exact corpus version it was committed at."""
+        if self._views is None or self._views_poisoned \
+                or key.dimension != self.config.dimension:
+            return None
+        view = self._views.read(
+            ViewRegistry.key_for(
+                key.labels, key.lam, key.algorithm, key.dimension
+            ),
+            key.epoch,
+        )
+        if view is None:
+            return None
+        instance, solution = view.materialize()
+        store = self._view_store
+        projector = store.projector if store is not None else None
+        live = store.live_documents if store is not None else 0
+        return DigestResult(
+            solution=solution,
+            instance=instance,
+            matched=len(instance.posts),
+            duplicates_dropped=(
+                0 if projector is None
+                else projector.duplicates_dropped
+            ),
+            unmatched_dropped=max(0, live - len(instance.posts)),
+        )
+
     def _account(
         self,
         request: DigestRequest,
@@ -497,6 +716,8 @@ class DiversificationService:
                 tenant=request.session,
                 algorithm=response.algorithm,
                 epoch=response.epoch,
+                source="view" if response.view
+                else ("cache" if response.cached else "batch"),
             )
         level = logging.INFO if response.status in (OK, DEGRADED) \
             else logging.WARNING
@@ -610,7 +831,25 @@ class DiversificationService:
                 latency_s=latency, epoch=key.epoch,
                 reason=decision.reason, trace_id=ctx.trace_id or "",
             ))
-        documents = self.corpus()
+        view_result = self._read_view(key)
+        if view_result is not None:
+            latency = self._clock() - started
+            if _obs.enabled():
+                _obs.count("service.view_hits")
+                _obs.observe("service.latency", latency)
+                _obs.observe("service.latency.view_hit", latency)
+                with _obs.span(
+                    "service.view_hit",
+                    view_size=len(view_result.solution.posts),
+                ):
+                    pass
+            return self._account(request, ctx, ServiceResponse(
+                status=DEGRADED if degraded else OK,
+                result=view_result, algorithm=algorithm, view=True,
+                latency_s=latency, epoch=key.epoch,
+                reason=decision.reason, trace_id=ctx.trace_id or "",
+            ))
+        documents = self._served_documents()
 
         async def compute() -> DigestResult:
             self.solves += 1
@@ -651,6 +890,24 @@ class DiversificationService:
                 pass
         if not coalesced:
             stored = self.cache.put(key, result)
+            if (
+                self._views is not None
+                and not self._views_poisoned
+                and key.dimension == self.config.dimension
+                and not result.downgrades
+            ):
+                # a clean solve at the current epoch doubles as a view
+                # seed: the cover becomes the maintained baseline (the
+                # registry refuses dead-epoch seeds, mirroring put())
+                self._views.seed(
+                    ViewRegistry.key_for(
+                        key.labels, key.lam, key.algorithm,
+                        key.dimension,
+                    ),
+                    result.solution.posts,
+                    len(result.solution.posts),
+                    epoch=key.epoch,
+                )
             if not stored:
                 # cache-invalidation race: the epoch moved while this
                 # solve was in flight; the digest is served but must
@@ -732,7 +989,14 @@ class DiversificationService:
             )
             if accepted and not accepted_before:
                 self._streamed.append(document)
-                self.cache.bump_epoch("stream-advance")
+                affected = self._apply_view_deltas(
+                    [document], source="stream"
+                )
+                epoch = self.cache.bump_epoch(
+                    "stream-advance", labels=affected
+                )
+                if self._views is not None:
+                    self._views.commit(epoch)
             if emissions:
                 self._fan_out(emissions)
         return emissions
@@ -801,8 +1065,16 @@ class DiversificationService:
         # (or queued jobs) may hold pre-restore state.  The executor
         # stays usable — the next solve lazily builds a fresh pool.
         self.executor.close()
+        # Views were maintained against the pre-restore corpus; rebuild
+        # the projection from the rolled-back corpus and invalidate them
+        # (they re-seed from the first post-restore batch solve).
+        if self._views is not None:
+            self._rebuild_views("checkpoint-restore")
         _obs.count("service.restores")
-        return self.cache.bump_epoch("checkpoint-restore")
+        epoch = self.cache.bump_epoch("checkpoint-restore")
+        if self._views is not None:
+            self._views.commit(epoch)
+        return epoch
 
     def durable_ingest(
         self,
@@ -869,6 +1141,16 @@ class DiversificationService:
             "pending": self._pending,
             "cache": self.cache.stats.as_dict(),
             "cache_entries": len(self.cache),
+            "views": None if self._views is None else {
+                "poisoned": self._views_poisoned,
+                "count": len(self._views),
+                "hits": self._views.hits,
+                "misses": self._views.misses,
+                "stale_reads": self._views.stale_reads,
+                "rebuild_reads": self._views.rebuild_reads,
+                "seeds": self._views.seeds,
+                "hit_rate": self._views.hit_rate(),
+            },
             "admission": dict(self.admission.decisions),
             "batches": self.batcher.batches,
             "subscriptions": {
@@ -938,6 +1220,10 @@ class DiversificationService:
                     None if bucket is None else bucket.available()
                 ),
             },
+            "views": (
+                None if self._views is None
+                else self._views.snapshot()
+            ),
             "slo": self.slo.snapshot(),
             "auditor": self.auditor.snapshot(),
             "supervisor": (

@@ -6,6 +6,7 @@ from hypothesis import given, settings
 from repro.core.brute_force import exact_via_setcover
 from repro.core.coverage import is_cover
 from repro.core.instance import Instance
+from repro.core.post import Post
 from repro.core.scan import scan
 from repro.core.streaming import (
     InstantCover,
@@ -141,6 +142,52 @@ class TestInstantCover:
         s = instance.max_labels_per_post()
         optimum = exact_via_setcover(instance).size
         assert result.size <= 2 * s * optimum
+
+
+class TestInstantCoverMemoryBound:
+    def test_cache_holds_value_uid_pairs_not_posts(self):
+        cover = InstantCover(["a"], lam=1.0)
+        post = Post(uid=7, value=3.0, labels=frozenset({"a"}),
+                    text="x" * 4096)
+        cover.on_arrival(post)
+        assert cover._cache["a"] == (3.0, 7)
+
+    def test_window_evicts_stale_entries(self):
+        cover = InstantCover(["a", "b"], lam=1.0, window=5.0)
+        cover.on_arrival(
+            Post(uid=1, value=0.0, labels=frozenset({"a"}), text="")
+        )
+        cover.on_arrival(
+            Post(uid=2, value=4.0, labels=frozenset({"b"}), text="")
+        )
+        assert cover.evicted == 0
+        # at t=6 the a-entry (t=0) is older than the window
+        cover.on_arrival(
+            Post(uid=3, value=6.0, labels=frozenset({"b"}), text="")
+        )
+        assert cover.evicted == 1
+        assert "a" not in cover._cache
+
+    def test_window_below_lambda_rejected(self):
+        with pytest.raises(ValueError):
+            InstantCover(["a"], lam=2.0, window=1.0)
+        InstantCover(["a"], lam=2.0, window=2.0)  # boundary is fine
+
+    @given(streaming_instances())
+    @settings(deadline=None, max_examples=60)
+    def test_windowed_emissions_identical(self, instance_tau):
+        """Any window >= lambda leaves the emission sequence untouched on
+        a time-ordered stream: an entry older than the window can never
+        cover a future arrival."""
+        instance, _ = instance_tau
+        plain = InstantCover(instance.labels, instance.lam)
+        windowed = InstantCover(
+            instance.labels, instance.lam,
+            window=instance.lam,
+        )
+        for post in instance.posts:
+            assert [e.post.uid for e in plain.on_arrival(post)] == \
+                [e.post.uid for e in windowed.on_arrival(post)]
 
 
 class TestStreamGreedySC:

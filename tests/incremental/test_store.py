@@ -1,0 +1,168 @@
+"""PostStore / DocumentProjector: projection equivalence with the batch
+pipeline's preprocessing, ordering invariants, window expiry."""
+
+import pytest
+
+from repro.core.instance import Instance
+from repro.core.post import Post
+from repro.errors import ReproError
+from repro.incremental import DocumentProjector, PostStore
+from repro.index.inverted_index import Document
+from repro.index.query import LabelMatcher, TopicQuery
+from repro.pipeline import DiversificationPipeline
+
+QUERIES = [
+    TopicQuery("golf", ["golf", "pga"]),
+    TopicQuery("nba", ["nba", "dunk"]),
+    TopicQuery("tech", ["tech", "gadget"]),
+]
+
+TEXTS = [
+    "golf pga birdie",
+    "nba dunk highlight",
+    "tech gadget launch",
+    "golf nba crossover dunk pga",
+    "nothing relevant here",
+]
+
+
+def make_docs(n, step=10.0):
+    return [
+        Document(i, i * step, f"{TEXTS[i % len(TEXTS)]} filler{i * 7}")
+        for i in range(n)
+    ]
+
+
+def build_store(docs, dedup_distance=None):
+    store = PostStore(DocumentProjector(
+        QUERIES, dedup_distance=dedup_distance
+    ))
+    for doc in docs:
+        store.ingest_document(doc)
+    return store
+
+
+class TestProjectionEquivalence:
+    @pytest.mark.parametrize("dedup", [None, 3])
+    def test_matches_batch_pipeline_preprocessing(self, dedup):
+        docs = make_docs(30)
+        # near-duplicates: same text as an earlier doc, later value
+        docs += [
+            Document(100 + i, 1000.0 + i, docs[i].text) for i in range(4)
+        ]
+        pipeline = DiversificationPipeline(
+            QUERIES, lam=30.0, dedup_distance=dedup
+        )
+        batch = pipeline.digest(docs)
+        store = build_store(docs, dedup_distance=dedup)
+        instance = store.materialize([q.label for q in QUERIES], 30.0)
+        assert instance.posts == batch.instance.posts
+        assert instance.labels == batch.instance.labels
+        assert store.projector.duplicates_dropped == \
+            batch.duplicates_dropped
+        assert store.live_documents - len(instance.posts) == \
+            batch.unmatched_dropped
+
+    def test_subset_materialization_equals_subset_batch(self):
+        docs = make_docs(25)
+        store = build_store(docs)
+        subset = ["golf", "nba"]
+        pipeline = DiversificationPipeline(
+            [q for q in QUERIES if q.label in subset],
+            lam=20.0, dedup_distance=None,
+        )
+        batch = pipeline.digest(docs)
+        instance = store.materialize(subset, 20.0)
+        assert instance.posts == batch.instance.posts
+        assert instance.labels == frozenset(subset)
+
+    def test_unmatched_documents_are_counted_not_stored(self):
+        docs = [Document(1, 1.0, "nothing"), Document(2, 2.0, "golf")]
+        store = build_store(docs)
+        assert len(store) == 1
+        assert store.live_documents == 2
+
+
+class TestStoreInvariants:
+    def test_posts_stay_sorted_under_shuffled_insert(self):
+        store = PostStore()
+        values = [5.0, 1.0, 9.0, 3.0, 3.0, 7.0]
+        for uid, value in enumerate(values):
+            store.add(Post(uid=uid, value=value,
+                           labels=frozenset({"golf"}), text=""))
+        instance = store.materialize(["golf"], 2.0)
+        keys = [(p.value, p.uid) for p in instance.posts]
+        assert keys == sorted(keys)
+        # from_sorted must agree with the validating constructor
+        strict = Instance(instance.posts, 2.0, labels=["golf"])
+        assert strict.posts == instance.posts
+
+    def test_duplicate_uid_rejected(self):
+        store = PostStore()
+        post = Post(uid=7, value=1.0, labels=frozenset({"golf"}), text="")
+        store.add(post)
+        with pytest.raises(ReproError):
+            store.add(post)
+
+    def test_posts_near_is_exact(self):
+        store = PostStore()
+        for uid, value in enumerate([0.0, 9.9, 10.0, 20.0, 30.0, 30.1]):
+            store.add(Post(uid=uid, value=value,
+                           labels=frozenset({"golf"}), text=""))
+        near = store.posts_near("golf", 20.0, 10.0)
+        assert [p.uid for p in near] == [2, 3, 4]
+        assert store.posts_near("nba", 20.0, 10.0) == []
+
+
+class TestExpiry:
+    def test_expire_drops_old_posts_and_unmatched(self):
+        docs = [
+            Document(1, 1.0, "golf"),
+            Document(2, 2.0, "nothing"),
+            Document(3, 3.0, "nba dunk"),
+            Document(4, 4.0, "golf pga"),
+        ]
+        store = build_store(docs)
+        removed = store.expire(2.5)
+        assert [p.uid for p in removed] == [1]
+        assert store.horizon == 2.5
+        assert len(store) == 2
+        assert store.live_documents == 2  # unmatched value 2.0 expired too
+        assert store.expired == 1
+        instance = store.materialize(["golf", "nba", "tech"], 1.0)
+        assert [p.uid for p in instance.posts] == [3, 4]
+
+    def test_expire_trims_label_indexes(self):
+        store = build_store(make_docs(12))
+        store.expire(60.0)
+        # posts_near must not resurrect expired posts
+        for label in ("golf", "nba", "tech"):
+            for post in store.posts_near(label, 0.0, 1000.0):
+                assert post.value >= 60.0
+
+    def test_horizon_never_regresses(self):
+        store = build_store(make_docs(6))
+        store.expire(30.0)
+        store.expire(10.0)
+        assert store.horizon == 30.0
+
+    def test_stats_json_safe(self):
+        import json
+
+        store = build_store(make_docs(6), dedup_distance=3)
+        store.expire(20.0)
+        json.dumps(store.stats())
+
+
+class TestMatcherSubsetLemma:
+    def test_subset_matching_equals_full_match_intersection(self):
+        # the relabeling in materialize() is sound because per-query
+        # matching is independent: match over a subset of queries equals
+        # the full match intersected with the subset's labels
+        full = LabelMatcher(QUERIES)
+        subset_queries = [q for q in QUERIES if q.label != "tech"]
+        subset = LabelMatcher(subset_queries)
+        universe = frozenset(q.label for q in subset_queries)
+        for doc in make_docs(40):
+            assert subset.match(doc.text) == \
+                full.match(doc.text) & universe

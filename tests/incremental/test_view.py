@@ -1,0 +1,201 @@
+"""CoverView delta maintenance: instant-decision inserts, bounded
+expiry repair, drift accounting, read memoization."""
+
+import json
+import random
+
+import pytest
+
+from repro.core.post import Post
+from repro.errors import ReproError
+from repro.incremental import CoverView, PostStore
+
+LABELS = ("golf", "nba")
+
+
+def make_post(uid, value, labels=("golf",)):
+    return Post(uid=uid, value=float(value),
+                labels=frozenset(labels), text=f"post {uid}")
+
+
+def seeded_view(lam=10.0, **kwargs):
+    store = PostStore()
+    view = CoverView(store, LABELS, lam, **kwargs)
+    view.seed([], baseline_size=1, epoch=0)
+    return store, view
+
+
+def feed(store, view, post):
+    store.add(post)
+    return view.apply_insert(post)
+
+
+class TestConstruction:
+    def test_rejects_bad_parameters(self):
+        store = PostStore()
+        with pytest.raises(ReproError):
+            CoverView(store, LABELS, -1.0)
+        with pytest.raises(ReproError):
+            CoverView(store, LABELS, 1.0, rebuild_ratio=0.5)
+        with pytest.raises(ReproError):
+            CoverView(store, LABELS, 1.0, rebuild_slack=-1)
+
+    def test_starts_stale(self):
+        view = CoverView(PostStore(), LABELS, 1.0)
+        assert view.stale
+        assert not view.fresh(0)
+        assert not view.apply_insert(make_post(1, 0.0))
+
+
+class TestInstantDecisionInsert:
+    def test_first_post_per_label_is_selected(self):
+        store, view = seeded_view(lam=10.0)
+        assert feed(store, view, make_post(1, 0.0, ("golf",)))
+        assert feed(store, view, make_post(2, 5.0, ("nba",)))
+        assert not feed(store, view, make_post(3, 5.0, ("golf",)))
+        assert {p.uid for p in view.cover_posts()} == {1, 2}
+
+    def test_post_outside_lambda_is_selected(self):
+        store, view = seeded_view(lam=10.0)
+        feed(store, view, make_post(1, 0.0))
+        assert feed(store, view, make_post(2, 10.5))
+        assert not feed(store, view, make_post(3, 10.0))
+
+    def test_irrelevant_labels_ignored(self):
+        store, view = seeded_view(lam=10.0)
+        post = make_post(1, 0.0, ("tech",))
+        store.add(post)
+        assert not view.apply_insert(post)
+        assert view.ledger.inserts == 0
+
+    def test_members_relabeled_to_view_universe(self):
+        store, view = seeded_view(lam=10.0)
+        feed(store, view, make_post(1, 0.0, ("golf", "tech")))
+        (member,) = view.cover_posts()
+        assert member.labels == frozenset({"golf"})
+
+    def test_cover_valid_under_any_insertion_order(self):
+        rng = random.Random(42)
+        posts = [
+            make_post(uid, rng.uniform(0, 100),
+                      rng.sample(LABELS, rng.randint(1, 2)))
+            for uid in range(60)
+        ]
+        for trial in range(5):
+            rng.shuffle(posts)
+            store, view = seeded_view(lam=7.0)
+            for post in posts:
+                feed(store, view, post)
+            assert view.verify() == []
+
+
+class TestExpiryRepair:
+    def test_expired_member_evicted_and_neighbors_repair(self):
+        store, view = seeded_view(lam=10.0)
+        feed(store, view, make_post(1, 0.0))   # selected
+        feed(store, view, make_post(2, 5.0))   # covered by 1
+        feed(store, view, make_post(3, 20.0))  # selected
+        removed = store.expire(1.0)
+        assert [p.uid for p in removed] == [1]
+        assert view.apply_expire(removed) == 1
+        # post 2 (value 5.0) lost its only cover; repair re-selects it
+        assert {p.uid for p in view.cover_posts()} == {2, 3}
+        assert view.verify() == []
+        assert view.ledger.repairs == 1
+        assert view.ledger.repaired_pairs >= 1
+
+    def test_expiry_of_non_member_is_cheap(self):
+        store, view = seeded_view(lam=10.0)
+        feed(store, view, make_post(1, 3.0))   # selected
+        feed(store, view, make_post(2, 0.0))   # covered, not selected
+        removed = store.expire(1.0)
+        assert [p.uid for p in removed] == [2]
+        assert view.apply_expire(removed) == 0
+        assert view.ledger.expired_members == 0
+        assert view.verify() == []
+
+    def test_stale_view_ignores_deltas(self):
+        store, view = seeded_view(lam=10.0)
+        feed(store, view, make_post(1, 0.0))
+        view.invalidate()
+        assert view.apply_expire(store.expire(1.0)) == 0
+        assert view.cover_posts() == ()
+
+    def test_repair_randomized_property(self):
+        rng = random.Random(7)
+        store, view = seeded_view(lam=5.0)
+        uid = 0
+        clock = 0.0
+        for step in range(200):
+            clock += rng.uniform(0.0, 2.0)
+            post = make_post(uid, clock,
+                             rng.sample(LABELS, rng.randint(1, 2)))
+            uid += 1
+            feed(store, view, post)
+            if step % 17 == 0 and clock > 20.0:
+                view.apply_expire(store.expire(clock - 20.0))
+            assert view.verify() == []
+
+
+class TestDrift:
+    def test_drift_flags_needs_rebuild(self):
+        store, view = seeded_view(
+            lam=0.0, rebuild_ratio=1.0, rebuild_slack=2
+        )
+        # lam=0: every distinct value selects.  baseline=1, bound=3.
+        for uid in range(4):
+            feed(store, view, make_post(uid, float(uid)))
+        assert view.needs_rebuild
+        assert view.ledger.rebuild_flags == 1
+        assert not view.fresh(0)
+        assert view.drift_ratio() == 4.0
+
+    def test_reseed_clears_drift(self):
+        store, view = seeded_view(
+            lam=0.0, rebuild_ratio=1.0, rebuild_slack=2
+        )
+        for uid in range(4):
+            feed(store, view, make_post(uid, float(uid)))
+        assert view.needs_rebuild
+        view.seed(store.materialize(LABELS, 0.0).posts,
+                  baseline_size=4, epoch=3)
+        assert not view.needs_rebuild
+        assert view.fresh(3)
+
+
+class TestReadPath:
+    def test_materialize_memoized_until_mutation(self):
+        store, view = seeded_view(lam=10.0)
+        feed(store, view, make_post(1, 0.0))
+        first = view.materialize()
+        second = view.materialize()
+        assert first[0] is second[0]
+        assert first[1] is second[1]
+        feed(store, view, make_post(2, 50.0))
+        third = view.materialize()
+        assert third[0] is not first[0]
+        assert view.ledger.reads == 3
+
+    def test_solution_is_canonical(self):
+        store, view = seeded_view(lam=10.0)
+        feed(store, view, make_post(2, 50.0))
+        feed(store, view, make_post(1, 0.0))
+        _, solution = view.materialize()
+        assert solution.algorithm == "view:greedy_sc"
+        assert [p.uid for p in solution.posts] == [1, 2]
+
+    def test_snapshot_json_safe(self):
+        store, view = seeded_view(lam=10.0)
+        feed(store, view, make_post(1, 0.0))
+        view.apply_expire(store.expire(0.5))
+        payload = view.snapshot()
+        json.dumps(payload)
+        assert payload["size"] == len(view.cover_posts())
+        assert payload["ledger"]["inserts"] == 1
+
+    def test_epoch_discipline(self):
+        store, view = seeded_view(lam=10.0)
+        assert view.fresh(0)
+        assert not view.fresh(1)
+        view.epoch = 1
+        assert view.fresh(1)

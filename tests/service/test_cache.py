@@ -120,3 +120,69 @@ def test_rejects_bad_parameters():
 def test_cache_key_is_hashable_and_value_typed():
     k = CacheKey(0, ("a",), 1.0, "scan", "time")
     assert hash(k) == hash(CacheKey(0, ("a",), 1.0, "scan", "time"))
+
+
+# -- label-targeted invalidation ---------------------------------------------
+
+
+def test_label_bump_invalidates_only_touched_entries(clock):
+    cache = ResultCache(clock=clock)
+    golf = key(cache, labels=("golf",))
+    nba = key(cache, labels=("nba",))
+    both = key(cache, labels=("golf", "nba"))
+    for k, v in ((golf, "g"), (nba, "n"), (both, "gn")):
+        cache.put(k, v)
+    epoch = cache.bump_epoch("ingest", labels={"golf"})
+    assert epoch == 1
+    # golf-touching entries are gone — under old or re-derived keys
+    assert cache.get(golf) is None
+    assert cache.get(key(cache, labels=("golf",))) is None
+    assert cache.get(key(cache, labels=("golf", "nba"))) is None
+    # the disjoint entry survives, re-keyed to the new epoch
+    assert cache.get(key(cache, labels=("nba",))) == "n"
+    assert cache.get(nba) is None  # ...but not under its dead key
+    assert cache.stats.invalidations == 2
+    assert cache.stats.carried_forward == 1
+    assert cache.stats.invalidations_by_label == {"golf": 2}
+
+
+def test_label_bump_counts_each_affected_label(clock):
+    cache = ResultCache(clock=clock)
+    cache.put(key(cache, labels=("golf", "nba")), "gn")
+    cache.put(key(cache, labels=("golf", "tech")), "gt")
+    cache.bump_epoch("ingest", labels={"golf", "nba"})
+    by_label = cache.stats.invalidations_by_label
+    assert by_label == {"golf": 2, "nba": 1}
+
+
+def test_empty_label_bump_carries_everything(clock):
+    cache = ResultCache(clock=clock)
+    cache.put(key(cache, labels=("golf",)), "g")
+    cache.put(key(cache, labels=("nba",)), "n")
+    epoch = cache.bump_epoch("noop-ingest", labels=set())
+    assert epoch == 1
+    assert cache.stats.invalidations == 0
+    assert cache.stats.carried_forward == 2
+    assert cache.get(key(cache, labels=("golf",))) == "g"
+    assert cache.get(key(cache, labels=("nba",))) == "n"
+
+
+def test_none_label_bump_purges_everything(clock):
+    cache = ResultCache(clock=clock)
+    cache.put(key(cache, labels=("golf",)), "g")
+    cache.put(key(cache, labels=("nba",)), "n")
+    cache.bump_epoch("restore", labels=None)
+    assert len(cache) == 0
+    assert cache.stats.invalidations == 2
+    assert cache.stats.carried_forward == 0
+
+
+def test_label_bump_survivor_respects_ttl(clock):
+    cache = ResultCache(ttl=5.0, clock=clock)
+    cache.put(key(cache, labels=("nba",)), "n")
+    clock.advance(4.0)
+    cache.bump_epoch("ingest", labels={"golf"})
+    # the carry-forward does not refresh the entry's deadline
+    clock.advance(1.5)
+    assert cache.get(key(cache, labels=("nba",))) is None
+    assert cache.stats.expirations == 1

@@ -121,8 +121,27 @@ def test_ingest_invalidates_cache():
     second = run(service.digest(request))
     assert not second.cached
     assert second.epoch > first.epoch
+    # the maintained view absorbed the ingest as a delta: the stale
+    # cache entry is gone, but no second batch solve ran either —
+    # and the new documents are still visible in the served digest
+    assert second.view
+    assert service.solves == 1
+    assert len(second.result.instance.posts) > len(first.result.instance.posts)
+
+
+def test_ingest_invalidates_cache_views_off():
+    # with views disabled the PR-4 contract holds: every post-ingest
+    # digest is a fresh batch solve
+    service = make_service(views=False)
+    service.ingest(make_docs())
+    request = DigestRequest(lam=30.0)
+    first = run(service.digest(request))
+    service.ingest(make_docs(n=6, offset=1000))
+    second = run(service.digest(request))
+    assert not second.cached
+    assert not second.view
+    assert second.epoch > first.epoch
     assert service.solves == 2
-    # the new documents are actually visible to the recomputed digest
     assert len(second.result.instance.posts) > len(first.result.instance.posts)
 
 
