@@ -42,6 +42,7 @@ SERVICE_ARTIFACT = RESULTS_DIR / "BENCH_service.json"
 SLO_ARTIFACT = RESULTS_DIR / "BENCH_slo.json"
 INGEST_ARTIFACT = RESULTS_DIR / "BENCH_ingest.json"
 INCREMENTAL_ARTIFACT = RESULTS_DIR / "BENCH_incremental.json"
+CLUSTER_ARTIFACT = RESULTS_DIR / "BENCH_cluster.json"
 SMOKE = bool(os.environ.get("BENCH_SMOKE"))
 
 _TRAJECTORY = BenchTrajectory("throughput")
@@ -50,6 +51,7 @@ _SERVICE_TRAJECTORY = BenchTrajectory("service")
 _SLO_TRAJECTORY = BenchTrajectory("slo")
 _INGEST_TRAJECTORY = BenchTrajectory("ingest")
 _INCREMENTAL_TRAJECTORY = BenchTrajectory("incremental")
+_CLUSTER_TRAJECTORY = BenchTrajectory("cluster")
 
 
 def report(rows, title: str) -> None:
@@ -135,6 +137,20 @@ def incremental_figure():
     return _INCREMENTAL_TRAJECTORY.record_figure
 
 
+@pytest.fixture(scope="session")
+def cluster_record():
+    """Record one sharded-serving workload into the cluster trajectory
+    (``BENCH_cluster.json``)."""
+    return _CLUSTER_TRAJECTORY.record_solver
+
+
+@pytest.fixture(scope="session")
+def cluster_figure():
+    """Attach a nodes-vs-throughput or failover table to the cluster
+    trajectory."""
+    return _CLUSTER_TRAJECTORY.record_figure
+
+
 def _emit(trajectory, artifact):
     RESULTS_DIR.mkdir(exist_ok=True)
     document = trajectory.write(artifact)
@@ -161,3 +177,5 @@ def pytest_sessionfinish(session, exitstatus):
         _emit(_INGEST_TRAJECTORY, INGEST_ARTIFACT)
     if _INCREMENTAL_TRAJECTORY.solvers:
         _emit(_INCREMENTAL_TRAJECTORY, INCREMENTAL_ARTIFACT)
+    if _CLUSTER_TRAJECTORY.solvers:
+        _emit(_CLUSTER_TRAJECTORY, CLUSTER_ARTIFACT)

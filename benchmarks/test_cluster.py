@@ -1,0 +1,307 @@
+"""Sharded-serving benchmarks: nodes vs throughput/p99, failover recovery.
+
+Two experiments over the fig13 day workload, both emitted into
+``BENCH_cluster.json``:
+
+* ``test_nodes_vs_throughput`` boots a :class:`LocalCluster` at several
+  node counts, drives a mixed single-/multi-label digest load through
+  the router (each request a fresh ``(labels, lam)`` pair so worker
+  caches cannot flatter the numbers), and records throughput plus
+  p50/p99 latency per node count.
+* ``test_failover_recovery`` kills the primary owner of a label
+  mid-load on a replicated cluster and measures how long the router
+  takes to serve that label again (replica failover), then how long a
+  revive + heartbeat resync takes.
+
+Workers run with views off so responses are byte-comparable across
+placements; every served cover is still pushed through the verifier.
+``BENCH_SMOKE=1`` shrinks the corpus and request counts so the CI
+cluster-smoke job finishes in seconds.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from typing import List, Optional
+
+from repro.cluster.harness import LocalCluster
+from repro.cluster.protocol import canonical_fingerprint
+from repro.cluster.router import ClusterConfig
+from repro.cluster.worker import default_worker_config
+from repro.core.coverage import verify_cover
+from repro.experiments.common import make_day_instance
+from repro.index.inverted_index import Document
+from repro.index.query import TopicQuery
+from repro.service import DigestRequest
+
+from .conftest import SMOKE, report
+
+SEED = 20140328
+LAM_S = 300.0
+NUM_LABELS = 5
+SCALE = 0.002 if SMOKE else 0.004
+DURATION = 21_600.0 if SMOKE else 43_200.0
+NODE_COUNTS = (1, 3) if SMOKE else (1, 2, 3, 4)
+REQUEST_ROUNDS = 3 if SMOKE else 10
+CONCURRENCY = 8
+
+# the request mix: singles route whole, pairs and the full universe
+# scatter-gather (the day workload's multi-label posts produce seams)
+LABEL_MIX = (
+    ("q0",),
+    ("q2",),
+    ("q0", "q1"),
+    ("q2", "q4"),
+    None,  # every label -> every shard
+    ("q1", "q3", "q4"),
+)
+
+_DAY_DOCS: Optional[List[Document]] = None
+
+
+def day_queries() -> List[TopicQuery]:
+    return [TopicQuery(f"q{i}", [f"kwq{i}"]) for i in range(NUM_LABELS)]
+
+
+def day_documents() -> List[Document]:
+    global _DAY_DOCS
+    if _DAY_DOCS is None:
+        instance = make_day_instance(
+            seed=SEED, num_labels=NUM_LABELS, lam=LAM_S,
+            scale=SCALE, duration=DURATION,
+        )
+        _DAY_DOCS = [
+            Document(
+                post.uid,
+                post.value,
+                " ".join(sorted(f"kw{label}" for label in post.labels))
+                + f" body{post.uid}",
+            )
+            for post in instance.posts
+        ]
+    return _DAY_DOCS
+
+
+def request_mix() -> List[DigestRequest]:
+    """REQUEST_ROUNDS passes over LABEL_MIX, each pass at a fresh
+    lambda so no request repeats and worker caches stay cold."""
+    requests = []
+    for round_index in range(REQUEST_ROUNDS):
+        for labels in LABEL_MIX:
+            requests.append(DigestRequest(
+                lam=LAM_S + 2.0 * round_index, labels=labels,
+            ))
+    return requests
+
+
+def batch_config():
+    return default_worker_config(views=False)
+
+
+def percentile(samples: List[float], q: float) -> float:
+    ordered = sorted(samples)
+    index = int(round(q * (len(ordered) - 1)))
+    return ordered[max(0, min(index, len(ordered) - 1))]
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+async def timed_digest(router, request):
+    start = time.perf_counter()
+    response = await router.digest(request)
+    return response, (time.perf_counter() - start) * 1000.0
+
+
+async def drive(router, requests, concurrency: int = CONCURRENCY):
+    """Issue the requests in waves of ``concurrency``; returns
+    (responses, per-request latencies in ms, total wall seconds)."""
+    responses, latencies = [], []
+    start = time.perf_counter()
+    for offset in range(0, len(requests), concurrency):
+        wave = requests[offset:offset + concurrency]
+        outcomes = await asyncio.gather(
+            *(timed_digest(router, request) for request in wave)
+        )
+        for response, elapsed_ms in outcomes:
+            responses.append(response)
+            latencies.append(elapsed_ms)
+    return responses, latencies, time.perf_counter() - start
+
+
+def test_nodes_vs_throughput(cluster_record, cluster_figure):
+    docs = day_documents()
+    requests = request_mix()
+    rows = []
+
+    async def one_count(nodes: int):
+        async with LocalCluster(
+            day_queries(), nodes=nodes, worker_config=batch_config(),
+        ) as cluster:
+            await cluster.router.ingest(docs)
+            responses, latencies, wall_s = await drive(
+                cluster.router, requests
+            )
+            for response in responses:
+                assert response.status == "ok"
+            # the covers the cluster serves are real lambda-covers
+            sample = responses[-1].result
+            verify_cover(sample.instance, sample.solution.posts)
+            counters = cluster.router.introspect()["counters"]
+            return responses, latencies, wall_s, counters
+
+    fingerprints = {}
+    for nodes in NODE_COUNTS:
+        responses, latencies, wall_s, counters = run(one_count(nodes))
+        for request, response in zip(requests, responses):
+            key = (request.labels, request.lam)
+            fingerprint = canonical_fingerprint(response.result)
+            # every node count serves byte-identical answers: sharding
+            # is a placement decision, not a semantic one
+            assert fingerprints.setdefault(key, fingerprint) == \
+                fingerprint
+        row = {
+            "nodes": nodes,
+            "requests": len(responses),
+            "throughput_rps": round(len(responses) / wall_s, 2),
+            "p50_ms": round(percentile(latencies, 0.50), 3),
+            "p99_ms": round(percentile(latencies, 0.99), 3),
+            "seam_requests": counters["seam_requests"],
+            "scatter_legs": counters["scatter_legs"],
+        }
+        rows.append(row)
+        cluster_record(
+            f"cluster_nodes_{nodes}",
+            wall_time_s=wall_s,
+            solution_size=len(responses[-1].result.solution.posts),
+            instance={
+                "workload": "fig13_day",
+                "documents": len(docs),
+                "labels": NUM_LABELS,
+                "nodes": nodes,
+                "lam": LAM_S,
+            },
+            counters={
+                "requests": counters["requests"],
+                "seam_requests": counters["seam_requests"],
+                "scatter_legs": counters["scatter_legs"],
+                "resolves": counters["resolves"],
+                "errors": counters["errors"],
+            },
+            throughput_rps=row["throughput_rps"],
+            p50_ms=row["p50_ms"],
+            p99_ms=row["p99_ms"],
+        )
+
+    # multi-node runs must actually scatter: otherwise the node axis
+    # measured nothing
+    multi = [row for row in rows if row["nodes"] > 1]
+    assert all(row["scatter_legs"] > 0 for row in multi)
+    cluster_figure("cluster_nodes_vs_throughput", rows)
+    report(rows, "Cluster: nodes vs throughput and tail latency")
+
+
+def test_failover_recovery(cluster_record, cluster_figure):
+    docs = day_documents()
+    probe = DigestRequest(lam=LAM_S, labels=("q0",))
+    background = [
+        DigestRequest(lam=LAM_S, labels=labels)
+        for labels in (("q1",), ("q2", "q3"), None)
+    ]
+
+    async def go():
+        async with LocalCluster(
+            day_queries(), nodes=3,
+            config=ClusterConfig(replication=2, max_missed=1,
+                                 hedge_delay=0.05),
+            worker_config=batch_config(),
+        ) as cluster:
+            router = cluster.router
+            await router.ingest(docs)
+            baseline = await router.digest(probe)
+            assert baseline.status == "ok"
+            expected = canonical_fingerprint(baseline.result)
+            for request in background:
+                warm = await router.digest(request)
+                assert warm.status == "ok"
+
+            victim = router.ring.owner("q0")
+            killed_at = time.perf_counter()
+            await cluster.kill(victim)
+
+            # keep the router under load until the probe label serves
+            # again; the first ok answer marks recovery
+            recovery_s = None
+            disrupted = 0
+            while recovery_s is None:
+                response = await router.digest(probe)
+                if response.status == "ok":
+                    recovery_s = time.perf_counter() - killed_at
+                    # the replica's answer is byte-identical: views are
+                    # off and both copies ingested the same batch
+                    assert canonical_fingerprint(response.result) == \
+                        expected
+                else:
+                    disrupted += 1
+                    await asyncio.sleep(0.01)
+                assert disrupted < 200, "failover never converged"
+
+            # the rest of the mix keeps serving around the dead node
+            for request in background:
+                steady = await router.digest(request)
+                assert steady.status == "ok"
+
+            # revive + heartbeat: membership flips back up and the
+            # node is resynced from its replicas
+            revive_at = time.perf_counter()
+            await cluster.revive(victim)
+            await router.heartbeat_once()
+            resync_s = time.perf_counter() - revive_at
+            recovered = await router.digest(probe)
+            assert recovered.status == "ok"
+            assert canonical_fingerprint(recovered.result) == expected
+
+            counters = router.introspect()["counters"]
+            return {
+                "victim": victim,
+                "recovery_s": recovery_s,
+                "disrupted_requests": disrupted,
+                "resync_s": resync_s,
+                "failovers": counters["failovers"],
+                "errors": counters["errors"],
+                "solution_size": len(baseline.result.solution.posts),
+            }
+
+    outcome = run(go())
+    assert outcome["failovers"] > 0
+    row = {
+        "nodes": 3,
+        "replication": 2,
+        "recovery_ms": round(outcome["recovery_s"] * 1000.0, 3),
+        "disrupted_requests": outcome["disrupted_requests"],
+        "resync_ms": round(outcome["resync_s"] * 1000.0, 3),
+        "failovers": outcome["failovers"],
+    }
+    cluster_record(
+        "cluster_failover",
+        wall_time_s=outcome["recovery_s"],
+        solution_size=outcome["solution_size"],
+        instance={
+            "workload": "fig13_day",
+            "documents": len(day_documents()),
+            "labels": NUM_LABELS,
+            "nodes": 3,
+            "lam": LAM_S,
+        },
+        counters={
+            "failovers": outcome["failovers"],
+            "errors": outcome["errors"],
+            "disrupted_requests": outcome["disrupted_requests"],
+        },
+        recovery_ms=row["recovery_ms"],
+        resync_ms=row["resync_ms"],
+    )
+    cluster_figure("cluster_failover", [row])
+    report([row], "Cluster: failover recovery and resync")

@@ -1,0 +1,64 @@
+"""repro.cluster — sharded multi-node serving for the digest tier.
+
+The cluster partitions the *label space* with consistent hashing:
+each :class:`~repro.cluster.worker.WorkerNode` wraps one ordinary
+:class:`~repro.service.DiversificationService` holding the documents
+for its labels, and the :class:`~repro.cluster.router.ClusterRouter`
+scatter-gathers multi-label digests and stitches the partial covers
+back together — byte-identical to a single process when no post spans
+shards, verifier-backed always.  See ``docs/cluster.md``.
+"""
+
+from .frames import (
+    FrameDecoder,
+    FrameError,
+    FrameTooLargeError,
+    MAX_FRAME,
+    TruncatedFrameError,
+    encode_frame,
+    read_frame,
+)
+from .harness import LocalCluster
+from .hashring import HashRing
+from .membership import DOWN, Membership, NodeState, UP
+from .protocol import (
+    ClusterError,
+    NodeUnavailableError,
+    ShardTimeoutError,
+    WorkerFaultError,
+    canonical_fingerprint,
+    document_from_dict,
+    document_to_dict,
+)
+from .router import ClusterConfig, ClusterResponse, ClusterRouter, \
+    NodeClient
+from .worker import WorkerNode, default_worker_config
+
+__all__ = [
+    "ClusterConfig",
+    "ClusterError",
+    "ClusterResponse",
+    "ClusterRouter",
+    "DOWN",
+    "FrameDecoder",
+    "FrameError",
+    "FrameTooLargeError",
+    "HashRing",
+    "LocalCluster",
+    "MAX_FRAME",
+    "Membership",
+    "NodeClient",
+    "NodeState",
+    "NodeUnavailableError",
+    "ShardTimeoutError",
+    "TruncatedFrameError",
+    "UP",
+    "WorkerFaultError",
+    "WorkerNode",
+    "canonical_fingerprint",
+    "default_worker_config",
+    "document_from_dict",
+    "document_to_dict",
+    "encode_frame",
+    "read_frame",
+]

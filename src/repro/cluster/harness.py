@@ -1,0 +1,149 @@
+"""An in-process N-node cluster: real sockets, one event loop.
+
+:class:`LocalCluster` boots N :class:`~repro.cluster.worker.WorkerNode`
+servers on ephemeral ports (always port 0, addresses read back from the
+bound sockets) plus one :class:`~repro.cluster.router.ClusterRouter`
+wired to all of them.  Everything the production topology has — frames,
+scatter-gather, heartbeats, rebalance — exercised without spawning
+processes, which keeps the cluster tests, the benchmark and the CI
+smoke job deterministic and fast.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from ..index.query import TopicQuery
+from ..service import ServiceConfig
+from .protocol import ClusterError
+from .router import ClusterConfig, ClusterRouter
+from .worker import WorkerNode, default_worker_config
+
+__all__ = ["LocalCluster"]
+
+
+class LocalCluster:
+    """N workers + 1 router, started together, stopped together.
+
+    Usage::
+
+        cluster = LocalCluster(queries, nodes=3)
+        await cluster.start()
+        try:
+            await cluster.router.ingest(docs)
+            response = await cluster.router.digest(request)
+        finally:
+            await cluster.stop()
+    """
+
+    def __init__(
+        self,
+        queries: Sequence[TopicQuery],
+        nodes: int = 3,
+        *,
+        config: Optional[ClusterConfig] = None,
+        worker_config: Optional[ServiceConfig] = None,
+        wal_base: Optional[Any] = None,
+    ):
+        if nodes < 1:
+            raise ClusterError(f"a cluster needs >= 1 node, got {nodes}")
+        self.queries = tuple(queries)
+        self.config = config if config is not None else ClusterConfig()
+        self._worker_config = worker_config
+        self._wal_base = wal_base
+        self.router = ClusterRouter(self.queries, self.config)
+        self.workers: Dict[str, WorkerNode] = {}
+        for index in range(nodes):
+            name = f"node{index}"
+            self.workers[name] = self._build_worker(name)
+        self._started = False
+
+    def _build_worker(self, name: str) -> WorkerNode:
+        config = self._worker_config
+        if config is None:
+            config = default_worker_config()
+        wal_dir = None
+        if self._wal_base is not None:
+            import os
+
+            wal_dir = os.path.join(str(self._wal_base), name)
+        return WorkerNode(
+            name, self.queries, config,
+            port=0,  # ephemeral; the bound address is read back
+            max_frame=self.config.max_frame,
+            wal_dir=wal_dir,
+        )
+
+    # -- lifecycle ---------------------------------------------------------
+
+    async def start(self) -> "LocalCluster":
+        if self._started:
+            raise ClusterError("cluster already started")
+        for name, worker in self.workers.items():
+            address = await worker.start()
+            await self.router.add_worker(name, address)
+        self._started = True
+        return self
+
+    async def stop(self) -> None:
+        await self.router.close()
+        for worker in self.workers.values():
+            if worker.running:
+                await worker.stop()
+        self._started = False
+
+    async def __aenter__(self) -> "LocalCluster":
+        return await self.start()
+
+    async def __aexit__(self, *exc: Any) -> None:
+        await self.stop()
+
+    # -- topology helpers --------------------------------------------------
+
+    def worker(self, name: str) -> WorkerNode:
+        return self.workers[name]
+
+    @property
+    def names(self) -> List[str]:
+        return sorted(self.workers)
+
+    async def kill(self, name: str) -> None:
+        """Hard-stop one worker without telling the router — the crash
+        the failover tests and the recovery benchmark simulate."""
+        await self.workers[name].stop()
+
+    async def revive(self, name: str) -> Tuple[str, int]:
+        """Restart a killed worker's server on a fresh ephemeral port
+        and point the router's client at the new address."""
+        worker = self.workers[name]
+        if worker.running:
+            raise ClusterError(f"worker {name!r} is still running")
+        fresh = self._build_worker(name)
+        # carry the corpus over only in durable mode (the WAL replays
+        # it); otherwise the node genuinely lost its state and the
+        # router's resync-from-replicas path must repopulate it
+        self.workers[name] = fresh
+        address = await fresh.start()
+        client = self.router._clients[name]
+        await client.close()
+        client.address = address
+        state = self.router.membership.get(name)
+        if state is not None:
+            state.address = address
+        return address
+
+    async def add_node(self, name: str) -> Tuple[str, int]:
+        """Boot a fresh worker and rebalance it into the ring."""
+        if name in self.workers:
+            raise ClusterError(f"worker {name!r} already exists")
+        worker = self._build_worker(name)
+        self.workers[name] = worker
+        address = await worker.start()
+        await self.router.add_worker(name, address)
+        return address
+
+    async def remove_node(self, name: str) -> None:
+        """Gracefully drain a worker out of the ring and stop it."""
+        await self.router.remove_worker(name)
+        worker = self.workers.pop(name)
+        await worker.stop()

@@ -1,0 +1,135 @@
+"""Consistent hashing for the label space.
+
+The cluster partitions the corpus *by label*: every topic label hashes
+onto a ring, every node contributes ``virtual_nodes`` points, and a
+label belongs to the first node clockwise from its hash.  Virtual nodes
+smooth the partition (a physical node's share concentrates around
+``1/N`` instead of the high-variance single-point split), and make
+rebalancing on join/leave proportional: only the labels between the new
+node's points and their predecessors move.
+
+Placement is fully deterministic — SHA-1 of ``"{node}#{replica}"`` and
+of the label itself, no process-seeded randomness — so tests (and
+operators) can compute ownership offline, and every router instance
+over the same node set derives the same placement.
+
+:meth:`HashRing.owners` walks clockwise collecting *distinct* nodes,
+which is the N-way replication rule: the first owner is the primary,
+the next ``n - 1`` distinct successors hold replicas.
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+from typing import Dict, Iterable, List, Tuple
+
+from ..errors import ReproError
+
+__all__ = ["HashRing"]
+
+
+def _point(key: str) -> int:
+    """A stable 64-bit ring position for ``key``."""
+    digest = hashlib.sha1(key.encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big")
+
+
+class HashRing:
+    """A consistent-hash ring with virtual nodes."""
+
+    def __init__(
+        self,
+        nodes: Iterable[str] = (),
+        *,
+        virtual_nodes: int = 32,
+    ):
+        if virtual_nodes < 1:
+            raise ReproError(
+                f"virtual_nodes must be >= 1, got {virtual_nodes}"
+            )
+        self.virtual_nodes = virtual_nodes
+        self._points: List[Tuple[int, str]] = []
+        self._nodes: Dict[str, bool] = {}
+        for node in nodes:
+            self.add(node)
+
+    # -- membership --------------------------------------------------------
+
+    @property
+    def nodes(self) -> Tuple[str, ...]:
+        return tuple(sorted(self._nodes))
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    def __contains__(self, node: str) -> bool:
+        return node in self._nodes
+
+    def add(self, node: str) -> None:
+        if node in self._nodes:
+            raise ReproError(f"node {node!r} is already on the ring")
+        for replica in range(self.virtual_nodes):
+            bisect.insort(
+                self._points, (_point(f"{node}#{replica}"), node)
+            )
+        self._nodes[node] = True
+
+    def remove(self, node: str) -> None:
+        if node not in self._nodes:
+            raise ReproError(f"node {node!r} is not on the ring")
+        self._points = [
+            entry for entry in self._points if entry[1] != node
+        ]
+        del self._nodes[node]
+
+    # -- placement ---------------------------------------------------------
+
+    def owner(self, key: str) -> str:
+        """The primary owner of ``key``."""
+        return self.owners(key, 1)[0]
+
+    def owners(self, key: str, n: int = 1) -> List[str]:
+        """The first ``n`` *distinct* nodes clockwise from ``key``.
+
+        Fewer than ``n`` come back when the ring holds fewer nodes —
+        replication degrades gracefully on small clusters.
+        """
+        if not self._points:
+            raise ReproError("the hash ring has no nodes")
+        if n < 1:
+            raise ReproError(f"owners() needs n >= 1, got {n}")
+        start = bisect.bisect_right(self._points, (_point(key), ""))
+        found: List[str] = []
+        for offset in range(len(self._points)):
+            node = self._points[(start + offset) % len(self._points)][1]
+            if node not in found:
+                found.append(node)
+                if len(found) == n:
+                    break
+        return found
+
+    def ownership(
+        self, keys: Iterable[str], n: int = 1
+    ) -> Dict[str, List[str]]:
+        """``node -> sorted keys`` it owns (primary or replica) among
+        ``keys`` — the ring summary health endpoints expose."""
+        owned: Dict[str, List[str]] = {node: [] for node in self._nodes}
+        for key in sorted(set(keys)):
+            for node in self.owners(key, n):
+                owned[node].append(key)
+        return owned
+
+    def moved_keys(
+        self, keys: Iterable[str], other: "HashRing", n: int = 1
+    ) -> Dict[str, List[str]]:
+        """Keys whose owner set changes between ``self`` and ``other``:
+        ``node -> keys`` that node *gains* under ``other``.  This is the
+        rebalance work list for a join/leave."""
+        gained: Dict[str, List[str]] = {}
+        for key in sorted(set(keys)):
+            before = set(self.owners(key, n)) if len(self) else set()
+            for node in other.owners(key, n):
+                if node not in before:
+                    gained.setdefault(node, []).append(key)
+        return gained

@@ -1,0 +1,155 @@
+"""Heartbeat-based membership and failure detection.
+
+The router is the membership authority: it heartbeats every registered
+worker on an interval, counts consecutive misses, and flips a node to
+``down`` after ``max_missed`` of them.  Request-path failures feed the
+same counters — a node that times out under load is detected without
+waiting for the next heartbeat tick.  A later successful heartbeat (or
+request) flips the node back ``up``, which is the rejoin signal the
+router uses to trigger a resync.
+
+Every heartbeat *piggybacks* the full membership snapshot and the ring
+ownership summary onto the probe, so each worker holds a recent picture
+of its peers — ``health()`` on any node shows cluster state, which is
+the operator's satellite requirement.
+
+The clock is injectable; tests drive :class:`Membership` with a fake
+clock and explicit probe calls, so failure detection is deterministic
+rather than sleep-based.
+"""
+
+from __future__ import annotations
+
+import time as _time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from ..errors import ReproError
+
+__all__ = ["Membership", "NodeState", "UP", "DOWN"]
+
+UP = "up"
+DOWN = "down"
+
+
+@dataclass
+class NodeState:
+    """One worker as the membership table sees it."""
+
+    name: str
+    address: Tuple[str, int]
+    status: str = UP
+    missed: int = 0
+    last_seen: Optional[float] = None
+    transitions: int = 0
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "name": self.name,
+            "address": list(self.address),
+            "status": self.status,
+            "missed": self.missed,
+            "last_seen": self.last_seen,
+            "transitions": self.transitions,
+        }
+
+
+class Membership:
+    """The router's view of who is alive."""
+
+    def __init__(
+        self,
+        *,
+        max_missed: int = 3,
+        clock: Callable[[], float] = _time.monotonic,
+    ):
+        if max_missed < 1:
+            raise ReproError(
+                f"max_missed must be >= 1, got {max_missed}"
+            )
+        self.max_missed = max_missed
+        self._clock = clock
+        self._nodes: Dict[str, NodeState] = {}
+        self.failures_detected = 0
+        self.recoveries = 0
+
+    # -- membership changes ------------------------------------------------
+
+    def add(self, name: str, address: Tuple[str, int]) -> NodeState:
+        if name in self._nodes:
+            raise ReproError(f"node {name!r} is already a member")
+        state = NodeState(
+            name=name, address=tuple(address),
+            last_seen=self._clock(),
+        )
+        self._nodes[name] = state
+        return state
+
+    def remove(self, name: str) -> None:
+        if name not in self._nodes:
+            raise ReproError(f"node {name!r} is not a member")
+        del self._nodes[name]
+
+    # -- probe results -----------------------------------------------------
+
+    def record_success(self, name: str) -> bool:
+        """A probe or request succeeded; True when the node *recovered*
+        (flipped down -> up), which is the router's resync trigger."""
+        state = self._nodes.get(name)
+        if state is None:
+            return False
+        state.missed = 0
+        state.last_seen = self._clock()
+        if state.status == DOWN:
+            state.status = UP
+            state.transitions += 1
+            self.recoveries += 1
+            return True
+        return False
+
+    def record_failure(self, name: str) -> bool:
+        """A probe or request failed; True when this miss crossed the
+        threshold and the node flipped up -> down."""
+        state = self._nodes.get(name)
+        if state is None:
+            return False
+        state.missed += 1
+        if state.status == UP and state.missed >= self.max_missed:
+            state.status = DOWN
+            state.transitions += 1
+            self.failures_detected += 1
+            return True
+        return False
+
+    # -- queries -----------------------------------------------------------
+
+    def get(self, name: str) -> Optional[NodeState]:
+        return self._nodes.get(name)
+
+    def is_alive(self, name: str) -> bool:
+        state = self._nodes.get(name)
+        return state is not None and state.status == UP
+
+    def alive(self) -> List[str]:
+        return sorted(
+            name for name, state in self._nodes.items()
+            if state.status == UP
+        )
+
+    def members(self) -> List[str]:
+        return sorted(self._nodes)
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    def snapshot(self) -> Dict[str, object]:
+        """JSON-safe table — piggybacked on every heartbeat."""
+        return {
+            "max_missed": self.max_missed,
+            "failures_detected": self.failures_detected,
+            "recoveries": self.recoveries,
+            "nodes": {
+                name: state.as_dict()
+                for name, state in sorted(self._nodes.items())
+            },
+        }

@@ -1,0 +1,1234 @@
+"""The asyncio scatter-gather router: the cluster's front end.
+
+One :class:`ClusterRouter` owns the hash ring, the membership table and
+one multiplexed connection per worker.  A digest request resolves its
+labels, groups them by live owner, and either
+
+* **forwards whole** — every requested label lives on one node — or
+* **scatter-gathers** — each owner group solves its label block, and
+  the router merges the partial covers.
+
+**Why the merge is exact.**  λ-coverage decomposes by label: post ``p``
+with label ``ℓ`` is covered iff some selected post carries ``ℓ`` within
+λ.  Partitioning labels across nodes therefore splits the set-cover
+instance into blocks, and when no post spans blocks (no *seam* posts),
+the blocks are fully independent — the same argument
+:mod:`repro.engine.sharding` proves for gap cuts: GreedySC's global
+pick set restricted to a block equals the block-local pick set (picks
+in one block never change gains in another), and Scan/Scan+ decisions
+read only the post's own labels' coverage state.  So the union of the
+shard picks *is* the single-process solution.  Seam posts (labels on
+two nodes) break independence; the router detects them on merge — a
+uid in more than one sub-instance — and in ``stitch_mode="exact"``
+re-solves the merged instance locally (byte-identical by construction,
+the label analogue of the engine's halo fallback).  In
+``stitch_mode="stitch"`` it instead repairs the union with
+:func:`repro.engine.sharding.stitch_repair` — bounded extra picks,
+verifier-guaranteed valid.  Either way the merged cover passes through
+the verifier before it is served; an invalid stitched cover cannot
+escape.
+
+**Failure semantics**: per-shard deadlines, hedged retries to replicas
+after ``hedge_delay``, request-path failures feeding the same detector
+as heartbeats.  A label whose owners are all down degrades the
+response explicitly (``missing_labels``) rather than failing it —
+partial answers with honest labels beat outages.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import logging
+import time as _time
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from dataclasses import replace as _dc_replace
+from typing import Any, Callable, Dict, Iterable, List, Mapping, \
+    Optional, Sequence, Set, Tuple
+
+from ..core.instance import Instance
+from ..core.post import Post
+from ..core.registry import solve
+from ..core.solution import Solution
+from ..engine.sharding import stitch_repair
+from ..errors import ReproError
+from ..index.inverted_index import Document
+from ..index.query import LabelMatcher, TopicQuery
+from ..observability import facade as _obs
+from ..observability import structlog
+from ..observability.tracing import TraceContext
+from ..pipeline import DigestResult
+from ..service import DigestRequest, ServiceResponse
+from .frames import MAX_FRAME, encode_frame, read_frame
+from .hashring import HashRing
+from .membership import Membership
+from .protocol import (
+    ClusterError,
+    NodeUnavailableError,
+    OP_DIGEST,
+    OP_EXPORT,
+    OP_HEALTH,
+    OP_HEARTBEAT,
+    OP_INGEST,
+    OP_INTROSPECT,
+    OP_SET_WINDOW,
+    OP_WARM,
+    ShardTimeoutError,
+    WorkerFaultError,
+    document_to_dict,
+    request_frame,
+)
+
+__all__ = ["ClusterConfig", "ClusterResponse", "ClusterRouter",
+           "NodeClient"]
+
+OK = "ok"
+DEGRADED = "degraded"
+ERROR = "error"
+
+
+@dataclass(frozen=True)
+class ClusterConfig:
+    """Tuning knobs for one :class:`ClusterRouter`."""
+
+    # placement
+    replication: int = 1
+    virtual_nodes: int = 32
+    # scatter behaviour
+    request_timeout: float = 5.0
+    hedge_delay: float = 0.25
+    stitch_mode: str = "exact"  # "exact" re-solves seams; "stitch" repairs
+    # membership
+    heartbeat_interval: float = 1.0
+    heartbeat_timeout: float = 1.0
+    max_missed: int = 3
+    # wire
+    max_frame: int = MAX_FRAME
+    # rebalance warm-up: how many hot digest keys the router remembers
+    warm_keys: int = 128
+    clock: Callable[[], float] = _time.perf_counter
+
+    def __post_init__(self) -> None:
+        if self.replication < 1:
+            raise ClusterError(
+                f"replication must be >= 1, got {self.replication}"
+            )
+        if self.stitch_mode not in ("exact", "stitch"):
+            raise ClusterError(
+                "stitch_mode must be 'exact' or 'stitch', got "
+                f"{self.stitch_mode!r}"
+            )
+        if self.request_timeout <= 0 or self.hedge_delay < 0:
+            raise ClusterError(
+                "request_timeout must be > 0 and hedge_delay >= 0"
+            )
+
+
+@dataclass(frozen=True)
+class ClusterResponse:
+    """Outcome of one routed digest.
+
+    ``status`` mirrors the service tier (``ok`` / ``degraded`` /
+    ``error``); ``missing_labels`` names label blocks no live shard
+    could serve; ``stitched``/``stitch_repairs``/``resolves`` describe
+    how the partial covers were merged.
+    """
+
+    status: str
+    result: Optional[DigestResult]
+    algorithm: str
+    latency_s: float = 0.0
+    trace_id: str = ""
+    shards: Tuple[str, ...] = ()
+    missing_labels: Tuple[str, ...] = ()
+    seam_posts: int = 0
+    stitched: bool = False
+    stitch_repairs: int = 0
+    resolves: int = 0
+    hedges: int = 0
+    reason: str = ""
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "status": self.status,
+            "result": None if self.result is None
+            else self.result.to_dict(),
+            "algorithm": self.algorithm,
+            "latency_s": self.latency_s,
+            "trace_id": self.trace_id,
+            "shards": list(self.shards),
+            "missing_labels": list(self.missing_labels),
+            "seam_posts": self.seam_posts,
+            "stitched": self.stitched,
+            "stitch_repairs": self.stitch_repairs,
+            "resolves": self.resolves,
+            "hedges": self.hedges,
+            "reason": self.reason,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "ClusterResponse":
+        result = payload.get("result")
+        return cls(
+            status=str(payload["status"]),
+            result=None if result is None
+            else DigestResult.from_dict(result),
+            algorithm=str(payload.get("algorithm", "")),
+            latency_s=float(payload.get("latency_s", 0.0)),
+            trace_id=str(payload.get("trace_id", "")),
+            shards=tuple(payload.get("shards", ())),
+            missing_labels=tuple(payload.get("missing_labels", ())),
+            seam_posts=int(payload.get("seam_posts", 0)),
+            stitched=bool(payload.get("stitched", False)),
+            stitch_repairs=int(payload.get("stitch_repairs", 0)),
+            resolves=int(payload.get("resolves", 0)),
+            hedges=int(payload.get("hedges", 0)),
+            reason=str(payload.get("reason", "")),
+        )
+
+
+class NodeClient:
+    """One multiplexed frame connection to a worker.
+
+    Requests carry a per-connection ``rid``; a single reader task
+    resolves pending futures as responses arrive in any order.  A dead
+    connection fails every pending call with
+    :class:`NodeUnavailableError` and the next call reconnects.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        address: Tuple[str, int],
+        *,
+        max_frame: int = MAX_FRAME,
+    ):
+        self.name = name
+        self.address = tuple(address)
+        self.max_frame = max_frame
+        self._reader: Optional[asyncio.StreamReader] = None
+        self._writer: Optional[asyncio.StreamWriter] = None
+        self._reader_task: Optional["asyncio.Task"] = None
+        self._pending: Dict[int, "asyncio.Future"] = {}
+        self._next_rid = 1
+        self._connect_lock: Optional[asyncio.Lock] = None
+        self.calls = 0
+        self.failures = 0
+
+    async def _ensure_connected(self) -> None:
+        if self._connect_lock is None:
+            self._connect_lock = asyncio.Lock()
+        async with self._connect_lock:
+            if self._writer is not None and \
+                    not self._writer.is_closing():
+                return
+            try:
+                reader, writer = await asyncio.open_connection(
+                    self.address[0], self.address[1]
+                )
+            except (ConnectionError, OSError) as error:
+                raise NodeUnavailableError(
+                    f"cannot connect to {self.name} at "
+                    f"{self.address}: {error}"
+                ) from None
+            self._reader, self._writer = reader, writer
+            self._reader_task = asyncio.ensure_future(self._read_loop())
+
+    async def _read_loop(self) -> None:
+        reader = self._reader
+        try:
+            while reader is not None:
+                frame = await read_frame(reader, self.max_frame)
+                if frame is None:
+                    break
+                future = self._pending.pop(frame.get("rid"), None)
+                if future is not None and not future.done():
+                    future.set_result(frame)
+        except Exception:  # frame error / connection reset
+            pass
+        self._fail_pending()
+
+    def _fail_pending(self) -> None:
+        self._writer = None
+        self._reader = None
+        pending, self._pending = self._pending, {}
+        for future in pending.values():
+            if not future.done():
+                future.set_exception(NodeUnavailableError(
+                    f"connection to {self.name} died mid-request"
+                ))
+
+    async def call(
+        self,
+        op: str,
+        payload: Dict[str, Any],
+        *,
+        trace: Optional[Mapping[str, Any]] = None,
+        want_spans: bool = False,
+        timeout: Optional[float] = None,
+    ) -> Dict[str, Any]:
+        """One request/response round trip; returns the response frame."""
+        await self._ensure_connected()
+        assert self._writer is not None
+        rid = self._next_rid
+        self._next_rid += 1
+        future: "asyncio.Future" = \
+            asyncio.get_running_loop().create_future()
+        self._pending[rid] = future
+        frame = request_frame(
+            op, rid, payload, trace=trace, want_spans=want_spans
+        )
+        self.calls += 1
+        try:
+            self._writer.write(encode_frame(frame, self.max_frame))
+            await self._writer.drain()
+        except (ConnectionError, OSError) as error:
+            self._pending.pop(rid, None)
+            self._fail_pending()
+            self.failures += 1
+            raise NodeUnavailableError(
+                f"write to {self.name} failed: {error}"
+            ) from None
+        try:
+            if timeout is not None:
+                response = await asyncio.wait_for(future, timeout)
+            else:
+                response = await future
+        except asyncio.TimeoutError:
+            self.failures += 1
+            raise ShardTimeoutError(
+                f"{self.name} missed its {timeout}s deadline"
+            ) from None
+        except NodeUnavailableError:
+            self.failures += 1
+            raise
+        finally:
+            self._pending.pop(rid, None)
+        if response.get("status") != "ok":
+            raise WorkerFaultError(
+                f"{self.name}: {response.get('error', 'unknown fault')}"
+            )
+        return response
+
+    async def close(self) -> None:
+        writer, self._writer = self._writer, None
+        self._reader = None
+        if self._reader_task is not None:
+            self._reader_task.cancel()
+            self._reader_task = None
+        if writer is not None:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):  # pragma: no cover
+                pass
+        self._fail_pending()
+
+
+class ClusterRouter:
+    """Scatter-gather front end over a set of :class:`WorkerNode`\\ s."""
+
+    def __init__(
+        self,
+        queries: Sequence[TopicQuery],
+        config: Optional[ClusterConfig] = None,
+    ):
+        self.config = config if config is not None else ClusterConfig()
+        self.queries: Tuple[TopicQuery, ...] = tuple(queries)
+        self._matcher = LabelMatcher(self.queries)
+        self.labels: Tuple[str, ...] = tuple(sorted(
+            q.label for q in self.queries
+        ))
+        self.ring = HashRing(virtual_nodes=self.config.virtual_nodes)
+        self.membership = Membership(max_missed=self.config.max_missed)
+        self._clients: Dict[str, NodeClient] = {}
+        # labels being handed to a joining node: ingest dual-writes to
+        # both old and new owners during the window, so the cutover
+        # loses nothing (readers keep seeing old owners until the swap)
+        self._joining: Dict[str, Set[str]] = {}
+        # recently served digest identities, per label — the rebalance
+        # warm list (the keys re-issued to a new owner to seed views)
+        self._hot: "OrderedDict[Tuple, None]" = OrderedDict()
+        self._clock = self.config.clock
+        self._heartbeat_task: Optional["asyncio.Task"] = None
+        # counters
+        self.requests = 0
+        self.errors = 0
+        self.documents_ingested = 0
+        self.documents_unrouted = 0
+        self.scatter_legs = 0
+        self.hedges = 0
+        self.resolves = 0
+        self.stitch_repairs = 0
+        self.seam_requests = 0
+        self.degraded_responses = 0
+        self.failovers = 0
+        self.rebalances = 0
+        self._inflight = 0
+        self._node_epochs: Dict[str, int] = {}
+
+    # -- membership / topology --------------------------------------------
+
+    def _client(self, name: str) -> NodeClient:
+        try:
+            return self._clients[name]
+        except KeyError:
+            raise ClusterError(f"unknown node {name!r}") from None
+
+    async def add_worker(
+        self, name: str, address: Tuple[str, int]
+    ) -> Dict[str, Any]:
+        """Join a node: register, rebalance its labels onto it, warm it.
+
+        Readers keep hitting the old owners until the ring swap at the
+        end; ingest dual-writes to the joining node during the handoff,
+        so the cutover is lossless (see ``docs/cluster.md``).
+        """
+        if name in self._clients:
+            raise ClusterError(f"node {name!r} already joined")
+        self.membership.add(name, address)
+        self._clients[name] = NodeClient(
+            name, address, max_frame=self.config.max_frame
+        )
+        if len(self.ring) == 0:
+            self.ring.add(name)
+            structlog.emit("cluster.node_joined", node=name, moved=0)
+            return {"node": name, "moved_labels": []}
+        target = HashRing(
+            list(self.ring.nodes) + [name],
+            virtual_nodes=self.config.virtual_nodes,
+        )
+        gained = self.ring.moved_keys(
+            self.labels, target, self.config.replication
+        ).get(name, [])
+        moved = await self._handoff(name, gained, source_ring=self.ring)
+        self.ring = target
+        self._joining.pop(name, None)
+        self.rebalances += 1
+        _obs.count("cluster.router.rebalances")
+        structlog.emit(
+            "cluster.node_joined", node=name, moved=len(moved),
+        )
+        await self._warm(name, moved)
+        return {"node": name, "moved_labels": sorted(moved)}
+
+    async def remove_worker(self, name: str) -> Dict[str, Any]:
+        """Graceful leave: hand the node's labels to their new owners,
+        then drop it from the ring and the membership table."""
+        if name not in self._clients:
+            raise ClusterError(f"unknown node {name!r}")
+        if len(self.ring) <= 1:
+            raise ClusterError(
+                "cannot remove the last node of the cluster"
+            )
+        remaining = [n for n in self.ring.nodes if n != name]
+        target = HashRing(
+            remaining, virtual_nodes=self.config.virtual_nodes
+        )
+        gains = self.ring.moved_keys(
+            self.labels, target, self.config.replication
+        )
+        moved_total: List[str] = []
+        for gainer, labels in sorted(gains.items()):
+            if gainer == name:
+                continue
+            moved = await self._handoff(
+                gainer, labels, source_ring=self.ring,
+                prefer_source=name,
+            )
+            moved_total.extend(moved)
+        self.ring = target
+        client = self._clients.pop(name)
+        await client.close()
+        self.membership.remove(name)
+        self._node_epochs.pop(name, None)
+        self.rebalances += 1
+        _obs.count("cluster.router.rebalances")
+        structlog.emit(
+            "cluster.node_left", node=name, moved=len(moved_total),
+        )
+        for gainer, labels in sorted(gains.items()):
+            if gainer != name:
+                await self._warm(gainer, labels)
+        return {"node": name, "moved_labels": sorted(set(moved_total))}
+
+    async def _handoff(
+        self,
+        target: str,
+        labels: Sequence[str],
+        *,
+        source_ring: HashRing,
+        prefer_source: Optional[str] = None,
+    ) -> List[str]:
+        """Copy the documents for ``labels`` onto ``target`` from their
+        current live holders.  Returns the labels actually moved."""
+        if not labels:
+            return []
+        self._joining.setdefault(target, set()).update(labels)
+        by_source: Dict[str, List[str]] = {}
+        moved: List[str] = []
+        for label in sorted(set(labels)):
+            holders = [
+                node
+                for node in source_ring.owners(
+                    label, self.config.replication
+                )
+                if node != target and self.membership.is_alive(node)
+            ]
+            if prefer_source is not None and prefer_source in holders:
+                holders = [prefer_source] + [
+                    node for node in holders if node != prefer_source
+                ]
+            if not holders:
+                # no live holder: nothing to copy (the label was
+                # already dark); the new owner starts it empty
+                continue
+            by_source.setdefault(holders[0], []).append(label)
+            moved.append(label)
+        for source, source_labels in sorted(by_source.items()):
+            response = await self._client(source).call(
+                OP_EXPORT, {"labels": source_labels},
+                timeout=self.config.request_timeout,
+            )
+            documents = response["payload"]["documents"]
+            if documents:
+                await self._client(target).call(
+                    OP_INGEST, {"documents": documents},
+                    timeout=self.config.request_timeout,
+                )
+        return moved
+
+    async def _warm(
+        self, name: str, labels: Iterable[str]
+    ) -> int:
+        """Re-issue the hot digest keys touching ``labels`` on the new
+        owner, re-seeding its result cache and cover views."""
+        wanted = set(labels)
+        if not wanted:
+            return 0
+        requests = [
+            {
+                "lam": lam, "labels": list(key_labels),
+                "algorithm": algorithm, "dimension": dimension,
+                "session": "cluster-warm",
+            }
+            for (key_labels, lam, algorithm, dimension) in self._hot
+            if wanted & set(key_labels)
+        ]
+        if not requests:
+            return 0
+        try:
+            response = await self._client(name).call(
+                OP_WARM, {"requests": requests},
+                timeout=self.config.request_timeout,
+            )
+        except ClusterError:
+            return 0  # warming is best-effort
+        warmed = int(response["payload"].get("warmed", 0))
+        _obs.count("cluster.router.warmed", warmed)
+        return warmed
+
+    async def _resync(self, name: str) -> None:
+        """A crashed node came back: its corpus missed every ingest
+        while it was down, so re-copy its owned labels from the live
+        replicas (the worker's doc-id gate dedups the overlap)."""
+        owned = [
+            label for label in self.labels
+            if name in self.ring.owners(label, self.config.replication)
+        ]
+        moved = await self._handoff(name, owned, source_ring=self.ring)
+        self._joining.pop(name, None)
+        structlog.emit(
+            "cluster.node_resynced", node=name, labels=len(moved),
+        )
+        await self._warm(name, moved)
+
+    # -- heartbeats --------------------------------------------------------
+
+    async def heartbeat_once(self) -> Dict[str, str]:
+        """Probe every member once; returns ``node -> up/down``.
+
+        Piggybacks the membership snapshot and ring ownership summary
+        so every worker can answer for cluster state.  Deterministic
+        and directly callable — tests drive probes explicitly instead
+        of sleeping through the background interval.
+        """
+        ring_summary = {
+            node: labels for node, labels in self.ring.ownership(
+                self.labels, self.config.replication
+            ).items()
+        } if len(self.ring) else {}
+        snapshot = self.membership.snapshot()
+        statuses: Dict[str, str] = {}
+        for name in self.membership.members():
+            try:
+                response = await self._client(name).call(
+                    OP_HEARTBEAT,
+                    {"membership": snapshot, "ring": ring_summary},
+                    timeout=self.config.heartbeat_timeout,
+                )
+                self._node_epochs[name] = int(
+                    response["payload"].get("epoch", 0)
+                )
+                recovered = self.membership.record_success(name)
+                if recovered:
+                    structlog.emit(
+                        "cluster.node_recovered", node=name,
+                    )
+                    _obs.count("cluster.router.recoveries")
+                    await self._resync(name)
+            except ClusterError:
+                went_down = self.membership.record_failure(name)
+                if went_down:
+                    structlog.emit(
+                        "cluster.node_down",
+                        level=logging.WARNING, node=name,
+                    )
+                    _obs.count("cluster.router.nodes_down")
+            state = self.membership.get(name)
+            statuses[name] = state.status if state else "unknown"
+        return statuses
+
+    async def start_heartbeats(self) -> None:
+        """Run :meth:`heartbeat_once` on the configured interval until
+        :meth:`close`."""
+        if self._heartbeat_task is not None:
+            return
+
+        async def beat() -> None:
+            while True:
+                await asyncio.sleep(self.config.heartbeat_interval)
+                await self.heartbeat_once()
+
+        self._heartbeat_task = asyncio.ensure_future(beat())
+
+    async def close(self) -> None:
+        if self._heartbeat_task is not None:
+            self._heartbeat_task.cancel()
+            self._heartbeat_task = None
+        for client in self._clients.values():
+            await client.close()
+
+    # -- note request-path outcomes into the failure detector --------------
+
+    def _note_failure(self, name: str) -> None:
+        if self.membership.record_failure(name):
+            structlog.emit(
+                "cluster.node_down", level=logging.WARNING,
+                node=name, via="request-path",
+            )
+            _obs.count("cluster.router.nodes_down")
+
+    def _note_success(self, name: str) -> None:
+        # request-path recovery only resets the miss counter; the full
+        # down -> up flip (with resync) stays a heartbeat decision
+        state = self.membership.get(name)
+        if state is not None and state.status == "up":
+            state.missed = 0
+
+    # -- ingest ------------------------------------------------------------
+
+    async def ingest(
+        self, documents: Iterable[Document]
+    ) -> Dict[str, Any]:
+        """Route a document batch to the owning shards.
+
+        Every document goes to *all* live owners of each label it
+        matches (replicas stay byte-identical for their labels), plus
+        any joining node currently receiving those labels (the
+        dual-write that makes rebalance lossless).  Unmatched documents
+        are counted but shipped nowhere — no node needs them, and the
+        router's tally keeps cluster digest counters identical to a
+        single process that did see them.
+        """
+        batches: Dict[str, List[Dict[str, Any]]] = {}
+        unrouted = 0
+        total = 0
+        for document in documents:
+            total += 1
+            labels = self._matcher.match(document.text)
+            if not labels:
+                unrouted += 1
+                continue
+            targets: Set[str] = set()
+            for label in labels:
+                for node in self.ring.owners(
+                    label, self.config.replication
+                ):
+                    if self.membership.is_alive(node):
+                        targets.add(node)
+                for joiner, moving in self._joining.items():
+                    if label in moving:
+                        targets.add(joiner)
+            payload = document_to_dict(document)
+            for node in sorted(targets):
+                batches.setdefault(node, []).append(payload)
+        self.documents_ingested += total
+        self.documents_unrouted += unrouted
+        _obs.count("cluster.router.ingested", total)
+        results: Dict[str, Any] = {}
+        failed: List[str] = []
+        for node in sorted(batches):
+            try:
+                response = await self._client(node).call(
+                    OP_INGEST, {"documents": batches[node]},
+                    timeout=self.config.request_timeout,
+                )
+                self._note_success(node)
+                payload = response["payload"]
+                self._node_epochs[node] = int(payload.get("epoch", 0))
+                results[node] = {
+                    "accepted": payload.get("accepted", 0),
+                    "skipped": payload.get("skipped", 0),
+                    "epoch": payload.get("epoch", 0),
+                }
+            except ClusterError as error:
+                self._note_failure(node)
+                failed.append(node)
+                results[node] = {"error": repr(error)}
+        return {
+            "documents": total,
+            "unrouted": unrouted,
+            "routed": results,
+            "failed": failed,
+        }
+
+    # -- digest ------------------------------------------------------------
+
+    def _resolve_labels(
+        self, requested: Optional[Tuple[str, ...]]
+    ) -> Tuple[str, ...]:
+        if requested is None:
+            return self.labels
+        unknown = [
+            label for label in requested if label not in self.labels
+        ]
+        if unknown:
+            raise ClusterError(
+                f"unknown labels {unknown}; this cluster answers over "
+                f"{list(self.labels)}"
+            )
+        if not requested:
+            raise ClusterError(
+                "a digest request needs at least one label"
+            )
+        return requested
+
+    def _live_owners(self, label: str) -> List[str]:
+        """Replica-ordered live owners for ``label`` (primary first).
+
+        A dead primary simply drops out — reads fail over to the next
+        replica without any ownership change."""
+        owners = self.ring.owners(label, self.config.replication)
+        alive = [n for n in owners if self.membership.is_alive(n)]
+        if len(alive) < len(owners):
+            self.failovers += 1
+            _obs.count("cluster.router.failovers")
+        return alive
+
+    def _remember_hot(self, request: DigestRequest,
+                      labels: Tuple[str, ...]) -> None:
+        key = (
+            labels, float(request.lam),
+            request.algorithm, request.dimension,
+        )
+        self._hot[key] = None
+        self._hot.move_to_end(key)
+        while len(self._hot) > self.config.warm_keys:
+            self._hot.popitem(last=False)
+
+    async def digest(self, request: DigestRequest) -> ClusterResponse:
+        """Serve one digest request across the cluster."""
+        started = self._clock()
+        ctx = TraceContext.mint(tenant=request.session)
+        self.requests += 1
+        _obs.count("cluster.router.requests")
+        with _obs.activate(ctx):
+            with _obs.span(
+                "cluster.request", tenant=request.session,
+                lam=request.lam,
+            ) as root:
+                response = await self._serve(
+                    request, ctx.at(getattr(root, "span_id", None)),
+                    started,
+                )
+        if response.status == ERROR:
+            self.errors += 1
+            _obs.count("cluster.router.errors")
+        elif response.status == DEGRADED:
+            self.degraded_responses += 1
+            _obs.count("cluster.router.degraded")
+        structlog.emit(
+            f"cluster.{response.status}",
+            level=logging.INFO if response.status == OK
+            else logging.WARNING,
+            trace_id=ctx.trace_id,
+            tenant=request.session,
+            shards=list(response.shards),
+            missing=list(response.missing_labels),
+            latency_s=response.latency_s,
+        )
+        return response
+
+    async def _serve(
+        self,
+        request: DigestRequest,
+        ctx: TraceContext,
+        started: float,
+    ) -> ClusterResponse:
+        try:
+            labels = self._resolve_labels(request.labels)
+        except ClusterError as error:
+            return ClusterResponse(
+                status=ERROR, result=None, algorithm="",
+                latency_s=self._clock() - started,
+                trace_id=ctx.trace_id or "", reason=str(error),
+            )
+        if len(self.ring) == 0:
+            return ClusterResponse(
+                status=ERROR, result=None, algorithm="",
+                latency_s=self._clock() - started,
+                trace_id=ctx.trace_id or "",
+                reason="the cluster has no nodes",
+            )
+        self._remember_hot(request, labels)
+        # group the requested labels by their live owner list: labels
+        # sharing owners ride one scatter leg (and hedge together)
+        groups: "OrderedDict[Tuple[str, ...], List[str]]" = OrderedDict()
+        missing: List[str] = []
+        for label in labels:
+            owners = tuple(self._live_owners(label))
+            if not owners:
+                missing.append(label)
+                continue
+            groups.setdefault(owners, []).append(label)
+        if not groups:
+            return ClusterResponse(
+                status=ERROR, result=None,
+                algorithm=request.algorithm or "",
+                latency_s=self._clock() - started,
+                trace_id=ctx.trace_id or "",
+                missing_labels=tuple(sorted(missing)),
+                reason="no live shard owns any requested label",
+            )
+        self._inflight += 1
+        if _obs.enabled():
+            _obs.set_gauge("cluster.router.inflight", self._inflight)
+        try:
+            legs = await self._scatter(request, groups, ctx)
+        finally:
+            self._inflight -= 1
+            if _obs.enabled():
+                _obs.set_gauge(
+                    "cluster.router.inflight", self._inflight
+                )
+        hedges = sum(leg["hedges"] for leg in legs)
+        failed_labels = [
+            label
+            for leg in legs if leg["response"] is None
+            for label in leg["labels"]
+        ]
+        missing.extend(failed_labels)
+        served = [leg for leg in legs if leg["response"] is not None]
+        if not served:
+            return ClusterResponse(
+                status=ERROR, result=None,
+                algorithm=request.algorithm or "",
+                latency_s=self._clock() - started,
+                trace_id=ctx.trace_id or "",
+                missing_labels=tuple(sorted(missing)),
+                hedges=hedges,
+                reason="every scatter leg failed",
+            )
+        return self._merge(
+            request, ctx, started, served,
+            missing=tuple(sorted(missing)), hedges=hedges,
+        )
+
+    async def _scatter(
+        self,
+        request: DigestRequest,
+        groups: "OrderedDict[Tuple[str, ...], List[str]]",
+        ctx: TraceContext,
+    ) -> List[Dict[str, Any]]:
+        """Fan the label groups out; every leg resolves to a dict with
+        its labels, serving node, hedge count and response (or None)."""
+
+        async def leg(
+            owners: Tuple[str, ...], leg_labels: List[str]
+        ) -> Dict[str, Any]:
+            self.scatter_legs += 1
+            _obs.count("cluster.router.scatter_legs")
+            sub = DigestRequest(
+                lam=request.lam, labels=tuple(leg_labels),
+                algorithm=request.algorithm,
+                dimension=request.dimension,
+                session=request.session,
+            )
+            try:
+                node, frame, hedges = await self._call_with_failover(
+                    owners, OP_DIGEST, {"request": sub.to_dict()}, ctx,
+                )
+            except ClusterError as error:
+                structlog.emit(
+                    "cluster.leg_failed", level=logging.WARNING,
+                    trace_id=ctx.trace_id, labels=leg_labels,
+                    reason=repr(error),
+                )
+                return {"labels": leg_labels, "node": None,
+                        "hedges": 0, "response": None}
+            spans = frame.get("spans")
+            if spans:
+                bundle = _obs.active()
+                if bundle is not None:
+                    # graft the worker's spans into this request's
+                    # trace — the existing Tracer.adopt path
+                    bundle.tracer.adopt(
+                        spans, parent_id=ctx.span_id,
+                        trace_id=ctx.trace_id,
+                    )
+            response = ServiceResponse.from_dict(
+                frame["payload"]["response"]
+            )
+            if response.result is None:
+                structlog.emit(
+                    "cluster.leg_empty", level=logging.WARNING,
+                    trace_id=ctx.trace_id, node=node,
+                    labels=leg_labels, reason=response.reason,
+                )
+                return {"labels": leg_labels, "node": node,
+                        "hedges": hedges, "response": None}
+            return {"labels": leg_labels, "node": node,
+                    "hedges": hedges, "response": response}
+
+        return list(await asyncio.gather(*(
+            leg(owners, leg_labels)
+            for owners, leg_labels in groups.items()
+        )))
+
+    async def _call_with_failover(
+        self,
+        owners: Sequence[str],
+        op: str,
+        payload: Dict[str, Any],
+        ctx: TraceContext,
+    ) -> Tuple[str, Dict[str, Any], int]:
+        """Hedged replica fan-out: start the primary, start the next
+        replica after ``hedge_delay`` (or on failure), first success
+        wins.  The per-shard ``request_timeout`` bounds the whole leg.
+        """
+        loop = asyncio.get_running_loop()
+        deadline = loop.time() + self.config.request_timeout
+        want_spans = _obs.enabled()
+        trace = ctx.to_dict() if want_spans else None
+        pending: Dict["asyncio.Future", str] = {}
+        errors: List[str] = []
+        hedges = 0
+        index = 0
+        try:
+            while True:
+                now = loop.time()
+                if now >= deadline:
+                    for task in pending:
+                        task.cancel()
+                    for node in pending.values():
+                        self._note_failure(node)
+                    tried = errors or list(owners)
+                    raise ShardTimeoutError(
+                        f"shard deadline exhausted after {tried}"
+                    )
+                if index < len(owners) and (
+                    not pending or index > 0
+                ):
+                    # launch the next replica: immediately when nothing
+                    # is in flight, as a hedge otherwise
+                    node = owners[index]
+                    index += 1
+                    if pending:
+                        hedges += 1
+                        self.hedges += 1
+                        _obs.count("cluster.router.hedges")
+                    task = asyncio.ensure_future(self._client(node).call(
+                        op, payload, trace=trace,
+                        want_spans=want_spans,
+                    ))
+                    pending[task] = node
+                wait_for = deadline - now
+                if index < len(owners):
+                    wait_for = min(
+                        wait_for, self.config.hedge_delay or 0.001
+                    )
+                done, _ = await asyncio.wait(
+                    set(pending), timeout=wait_for,
+                    return_when=asyncio.FIRST_COMPLETED,
+                )
+                for task in done:
+                    node = pending.pop(task)
+                    try:
+                        frame = task.result()
+                    except Exception as error:
+                        errors.append(f"{node}: {error!r}")
+                        self._note_failure(node)
+                        continue
+                    self._note_success(node)
+                    return node, frame, hedges
+                if not pending and index >= len(owners):
+                    raise NodeUnavailableError(
+                        "every replica failed: " + "; ".join(errors)
+                    )
+        finally:
+            for task in pending:
+                task.cancel()
+
+    # -- merge -------------------------------------------------------------
+
+    def _merge(
+        self,
+        request: DigestRequest,
+        ctx: TraceContext,
+        started: float,
+        legs: List[Dict[str, Any]],
+        *,
+        missing: Tuple[str, ...],
+        hedges: int,
+    ) -> ClusterResponse:
+        algorithm = legs[0]["response"].algorithm
+        served_labels = tuple(sorted(
+            label for leg in legs for label in leg["labels"]
+        ))
+        shards = tuple(sorted({leg["node"] for leg in legs}))
+        degraded = bool(missing) or any(
+            leg["response"].status == DEGRADED for leg in legs
+        )
+        with _obs.span(
+            "cluster.merge", legs=len(legs),
+            labels=len(served_labels),
+        ) as span:
+            if len(legs) == 1 and not missing:
+                # single-owner fast path: the worker's digest IS the
+                # answer; only the cluster-wide counters are rewritten
+                response: ServiceResponse = legs[0]["response"]
+                result = response.result
+                assert result is not None
+                result = _dc_replace(
+                    result,
+                    duplicates_dropped=0,
+                    unmatched_dropped=max(
+                        0,
+                        self.documents_ingested
+                        - len(result.instance.posts),
+                    ),
+                    trace_id=ctx.trace_id,
+                )
+                return ClusterResponse(
+                    status=DEGRADED if degraded
+                    or result.downgrades else OK,
+                    result=result, algorithm=algorithm,
+                    latency_s=self._clock() - started,
+                    trace_id=ctx.trace_id or "",
+                    shards=shards, missing_labels=missing,
+                    hedges=hedges,
+                    reason=legs[0]["response"].reason,
+                )
+            # merge the sub-instances by uid; a seam post appears in
+            # more than one leg (its labels span owners) with partial
+            # label sets whose union is its true requested label set
+            merged: Dict[int, Post] = {}
+            appearances: Dict[int, int] = {}
+            for leg in legs:
+                for post in leg["response"].result.instance.posts:
+                    appearances[post.uid] = \
+                        appearances.get(post.uid, 0) + 1
+                    known = merged.get(post.uid)
+                    if known is None:
+                        merged[post.uid] = post
+                    else:
+                        merged[post.uid] = Post(
+                            uid=post.uid, value=post.value,
+                            labels=known.labels | post.labels,
+                            text=post.text,
+                        )
+            seam_uids = {
+                uid for uid, count in appearances.items() if count > 1
+            }
+            instance = Instance(
+                list(merged.values()), float(request.lam),
+                labels=served_labels,
+            )
+            resolves = 0
+            repairs = 0
+            stitched = False
+            if seam_uids:
+                self.seam_requests += 1
+                _obs.count("cluster.router.seam_requests")
+            if seam_uids and self.config.stitch_mode == "exact" \
+                    and not missing:
+                # the label analogue of the engine's halo fallback:
+                # seams break block independence, so re-solve the
+                # merged instance — byte-identical by construction
+                solution = solve(algorithm, instance)
+                resolves = 1
+                self.resolves += 1
+                _obs.count("cluster.router.resolves")
+            else:
+                # union of the shard picks (block-independent, hence
+                # byte-identical, when seam-free — see module docstring)
+                # repaired and verified by the existing seam machinery
+                pick_uids = sorted({
+                    post.uid
+                    for leg in legs
+                    for post in leg["response"].result.solution.posts
+                })
+                picks = [merged[uid] for uid in pick_uids
+                         if uid in merged]
+                picks, repairs = stitch_repair(instance, picks)
+                stitched = True
+                if repairs:
+                    self.stitch_repairs += repairs
+                    _obs.count(
+                        "cluster.router.stitch_repairs", repairs
+                    )
+                solution = Solution.from_posts(
+                    algorithm, picks, elapsed=0.0
+                )
+            span.set_attribute("seams", len(seam_uids))
+            span.set_attribute("repairs", repairs)
+            downgrades: Tuple = ()
+            for leg in legs:
+                downgrades = downgrades + tuple(
+                    leg["response"].result.downgrades
+                )
+            result = DigestResult(
+                solution=solution,
+                instance=instance,
+                matched=len(instance.posts),
+                duplicates_dropped=0,
+                unmatched_dropped=max(
+                    0, self.documents_ingested - len(instance.posts)
+                ),
+                downgrades=downgrades,
+                trace_id=ctx.trace_id,
+            )
+        return ClusterResponse(
+            status=DEGRADED if degraded or downgrades else OK,
+            result=result, algorithm=algorithm,
+            latency_s=self._clock() - started,
+            trace_id=ctx.trace_id or "",
+            shards=shards, missing_labels=missing,
+            seam_posts=len(seam_uids),
+            stitched=stitched, stitch_repairs=repairs,
+            resolves=resolves, hedges=hedges,
+            reason="partial cover: some labels have no live shard"
+            if missing else "",
+        )
+
+    # -- per-view windows across the cluster --------------------------------
+
+    async def set_view_window(
+        self,
+        labels: Iterable[str],
+        window: Optional[float],
+    ) -> Dict[str, Any]:
+        """Pin a view horizon for one label set on every owning shard
+        (the per-tenant-partition window override)."""
+        labels = tuple(sorted(set(labels)))
+        unknown = [l for l in labels if l not in self.labels]
+        if unknown:
+            raise ClusterError(f"unknown labels {unknown}")
+        targets: Set[str] = set()
+        for label in labels:
+            targets.update(self._live_owners(label))
+        acks: Dict[str, Any] = {}
+        for node in sorted(targets):
+            response = await self._client(node).call(
+                OP_SET_WINDOW,
+                {"labels": list(labels), "window": window},
+                timeout=self.config.request_timeout,
+            )
+            acks[node] = response["payload"]
+        return {"labels": list(labels), "window": window,
+                "nodes": acks}
+
+    # -- remote health -----------------------------------------------------
+
+    async def node_health(self, name: str) -> Dict[str, Any]:
+        response = await self._client(name).call(
+            OP_HEALTH, {}, timeout=self.config.request_timeout
+        )
+        return response["payload"]
+
+    async def node_introspect(self, name: str) -> Dict[str, Any]:
+        response = await self._client(name).call(
+            OP_INTROSPECT, {}, timeout=self.config.request_timeout
+        )
+        return response["payload"]
+
+    # -- local health ------------------------------------------------------
+
+    def health(self) -> Dict[str, Any]:
+        """The router's vitals: role, ring, liveness, scatter state."""
+        return {
+            "cluster": {
+                "role": "router",
+                "nodes": list(self.ring.nodes),
+                "alive": self.membership.alive(),
+                "replication": self.config.replication,
+                "ring": {
+                    node: len(labels)
+                    for node, labels in self.ring.ownership(
+                        self.labels, self.config.replication
+                    ).items()
+                } if len(self.ring) else {},
+                "inflight_scatters": self._inflight,
+                "node_epochs": dict(self._node_epochs),
+            },
+            "requests": self.requests,
+            "errors": self.errors,
+            "degraded": self.degraded_responses,
+            "documents": self.documents_ingested,
+            "unrouted": self.documents_unrouted,
+        }
+
+    def introspect(self) -> Dict[str, Any]:
+        """Everything an operator asks a router first."""
+        return {
+            "role": "router",
+            "labels": list(self.labels),
+            "ring": {
+                "virtual_nodes": self.config.virtual_nodes,
+                "replication": self.config.replication,
+                "ownership": self.ring.ownership(
+                    self.labels, self.config.replication
+                ) if len(self.ring) else {},
+            },
+            "membership": self.membership.snapshot(),
+            "queues": {
+                "inflight_scatters": self._inflight,
+            },
+            "counters": {
+                "requests": self.requests,
+                "errors": self.errors,
+                "degraded_responses": self.degraded_responses,
+                "scatter_legs": self.scatter_legs,
+                "hedges": self.hedges,
+                "resolves": self.resolves,
+                "stitch_repairs": self.stitch_repairs,
+                "seam_requests": self.seam_requests,
+                "failovers": self.failovers,
+                "rebalances": self.rebalances,
+                "documents_ingested": self.documents_ingested,
+                "documents_unrouted": self.documents_unrouted,
+            },
+            "clients": {
+                name: {"calls": client.calls,
+                       "failures": client.failures}
+                for name, client in sorted(self._clients.items())
+            },
+            "node_epochs": dict(self._node_epochs),
+            "joining": {
+                node: sorted(labels)
+                for node, labels in self._joining.items()
+            },
+            "hot_keys": len(self._hot),
+            "stitch_mode": self.config.stitch_mode,
+        }

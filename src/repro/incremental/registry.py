@@ -52,6 +52,7 @@ class ViewRegistry:
         rebuild_ratio: float = 3.0,
         rebuild_slack: int = 8,
         max_views: int = 32,
+        default_window: Optional[float] = None,
     ):
         if max_views < 1:
             raise ValueError(f"max_views must be >= 1, got {max_views}")
@@ -59,6 +60,11 @@ class ViewRegistry:
         self.rebuild_ratio = rebuild_ratio
         self.rebuild_slack = rebuild_slack
         self.max_views = max_views
+        # sliding windows: the service-wide default plus per-label-set
+        # overrides.  The *store* physically expires at the widest of
+        # them (retention()); narrower windows are per-view horizons.
+        self.default_window = default_window
+        self._windows: Dict[Tuple[str, ...], float] = {}
         self._lock = threading.RLock()
         self._views: "OrderedDict[ViewKey, CoverView]" = OrderedDict()
         self.epoch = 0
@@ -86,6 +92,87 @@ class ViewRegistry:
             dimension=dimension,
         )
 
+    # -- per-label-set windows ---------------------------------------------
+
+    def set_window(
+        self, labels: Iterable[str], window: Optional[float]
+    ) -> int:
+        """Override the sliding window for one label set.
+
+        ``None`` clears the override (the label set falls back to the
+        default window).  Views materialized for exactly this label set
+        are invalidated — their cover was maintained against the old
+        horizon — and re-seed from the next batch solve.  Returns the
+        number of views invalidated.
+        """
+        key = tuple(sorted(set(labels)))
+        with self._lock:
+            if window is None:
+                self._windows.pop(key, None)
+            else:
+                self._windows[key] = float(window)
+            invalidated = 0
+            for view_key, view in self._views.items():
+                if view_key.labels == key:
+                    view.invalidate()
+                    view.window = self.window_for(key)
+                    invalidated += 1
+            self.invalidations += invalidated
+        if invalidated:
+            _obs.count("service.views.invalidations", invalidated)
+        return invalidated
+
+    def window_for(
+        self, labels: Iterable[str]
+    ) -> Optional[float]:
+        """The effective window for a label set: its override, else the
+        default."""
+        return self._windows.get(
+            tuple(sorted(set(labels))), self.default_window
+        )
+
+    def windows(self) -> Dict[Tuple[str, ...], float]:
+        with self._lock:
+            return dict(self._windows)
+
+    def retention(self) -> Optional[float]:
+        """How long the *store* must physically keep posts: the widest
+        of the default window and every override.  ``None`` (keep
+        everything) when the default is unbounded — an override can
+        narrow a view below the default, never widen physical retention
+        past an unbounded one."""
+        if self.default_window is None:
+            return None
+        with self._lock:
+            if not self._windows:
+                return self.default_window
+            return max(self.default_window, max(self._windows.values()))
+
+    def advance(self, max_value: Optional[float]) -> set:
+        """Slide every windowed view's own horizon to
+        ``max_value - window``.  Returns the labels of views whose
+        horizon actually moved — their cached digests must not be
+        carried forward across the epoch bump, even when the arriving
+        batch touched none of their labels."""
+        if max_value is None:
+            return set()
+        affected: set = set()
+        with self._lock:
+            store_horizon = self.store.horizon
+            for key, view in self._views.items():
+                window = self.window_for(key.labels)
+                if window is None:
+                    continue
+                cutoff = max_value - window
+                if view.advance_horizon(cutoff) is None:
+                    continue
+                # a horizon at or below the store's physical one drops
+                # nothing the expiry pass did not already report — only
+                # a *narrower* window invalidates on its own
+                if store_horizon is None or cutoff > store_horizon:
+                    affected.update(key.labels)
+        return affected
+
     # -- write path --------------------------------------------------------
 
     def seed(self, key: ViewKey, posts: Sequence[Post],
@@ -110,6 +197,14 @@ class ViewRegistry:
                     rebuild_slack=self.rebuild_slack,
                 )
                 self._views[key] = view
+            window = self.window_for(key.labels)
+            view.window = window
+            if window is not None and self.store.max_value is not None:
+                # the seeding solve was clipped at this horizon; record
+                # it so reads and future deltas clip identically
+                view.horizon = self.store.max_value - window
+            elif window is None:
+                view.horizon = None
             view.seed(posts, baseline_size, epoch)
             self._views.move_to_end(key)
             while len(self._views) > self.max_views:
@@ -236,6 +331,12 @@ class ViewRegistry:
                 "stale_seeds": self.stale_seeds,
                 "evictions": self.evictions,
                 "invalidations": self.invalidations,
+                "default_window": self.default_window,
+                "window_overrides": {
+                    ",".join(labels): window
+                    for labels, window in sorted(self._windows.items())
+                },
+                "retention": self.retention(),
                 "store": self.store.stats(),
                 "views": [
                     view.snapshot() for view in self._views.values()

@@ -217,6 +217,21 @@ class PostStore:
         """Kept documents inside the window (matched + unmatched)."""
         return len(self._posts) + len(self._unmatched_values)
 
+    def live_documents_since(self, min_value: Optional[float]) -> int:
+        """Kept documents with value ``>= min_value`` — the corpus size
+        a view with its own (narrower) horizon reports counters against.
+        ``None`` counts the whole physical window."""
+        if min_value is None:
+            return self.live_documents
+        with self._lock:
+            posts = len(self._keys) - bisect.bisect_left(
+                self._keys, (min_value,)
+            )
+            unmatched = len(self._unmatched_values) - bisect.bisect_left(
+                self._unmatched_values, min_value
+            )
+            return posts + unmatched
+
     def post(self, uid: int) -> Optional[Post]:
         return self._by_uid.get(uid)
 
@@ -244,19 +259,28 @@ class PostStore:
             ]
 
     def materialize(
-        self, labels: Iterable[str], lam: float
+        self,
+        labels: Iterable[str],
+        lam: float,
+        min_value: Optional[float] = None,
     ) -> Instance:
         """The instance a batch solve over ``labels`` would see.
 
         Posts are relabeled to the requested subset (per-query matching
         is independent, so subset matching equals full matching
         intersected with the subset) and handed to the trusted
-        constructor — already sorted, already validated.
+        constructor — already sorted, already validated.  ``min_value``
+        additionally clips the old end — how a view with a narrower
+        per-label-set window reads a store whose physical retention is
+        the widest window of any view.
         """
         universe: FrozenSet[str] = frozenset(labels)
         with self._lock:
             selected: List[Post] = []
-            for post in self._posts:
+            start = 0 if min_value is None else bisect.bisect_left(
+                self._keys, (min_value,)
+            )
+            for post in self._posts[start:]:
                 inter = post.labels & universe
                 if not inter:
                     continue

@@ -138,6 +138,12 @@ class CoverView:
         self.epoch = -1
         self.stale = True
         self.needs_rebuild = False
+        # per-view window: the registry attaches the (label-set
+        # specific) window at seed time; ``horizon`` is this view's own
+        # old-end cutoff, which may sit *above* the store's physical
+        # horizon when another view retains a wider window
+        self.window: Optional[float] = None
+        self.horizon: Optional[float] = None
         self.ledger = ViewLedger()
 
     # -- coverage probes ---------------------------------------------------
@@ -219,6 +225,8 @@ class CoverView:
         relevant = post.labels & self.labels
         if not relevant or self.stale:
             return False
+        if self.horizon is not None and post.value < self.horizon:
+            return False  # already behind this view's own window
         self.ledger.inserts += 1
         if all(self._covered(a, post.value) for a in relevant):
             return False
@@ -255,12 +263,24 @@ class CoverView:
         self.ledger.expired_members += len(evicted)
         # orphan scan: live posts within lambda of an evicted member,
         # restricted to the labels that member carried
+        self._repair_around(evicted)
+        self._check_drift()
+        return len(evicted)
+
+    def _repair_around(self, evicted: Iterable[Post]) -> int:
+        """Bounded local repair after evictions: only pairs within ±λ of
+        an evicted member can have lost coverage.  Candidates behind the
+        view's own horizon are skipped — they are no longer part of this
+        view's instance even when the store still holds them."""
         orphans: Dict[Tuple[float, int], Post] = {}
         for member in evicted:
             for label in member.labels:
                 for post in self.store.posts_near(
                     label, member.value, self.lam
                 ):
+                    if self.horizon is not None \
+                            and post.value < self.horizon:
+                        continue
                     self.ledger.repair_candidates += 1
                     orphans.setdefault((post.value, post.uid), post)
         repaired = 0
@@ -277,6 +297,37 @@ class CoverView:
         if repaired:
             self.ledger.repairs += 1
             self.ledger.repaired_pairs += repaired
+        return repaired
+
+    def advance_horizon(self, cutoff: float) -> Optional[int]:
+        """Slide this view's own window edge up to ``cutoff``.
+
+        The store may retain older posts (another view's window is
+        wider); this view stops *seeing* them: members below the cutoff
+        are evicted with the usual bounded repair, and materialization
+        clips the instance at the horizon.  Returns the number of
+        evicted members, or ``None`` when the horizon did not move (the
+        no-op fast path — the memoized read stays valid).
+        """
+        if self.horizon is not None and cutoff <= self.horizon:
+            return None
+        self.horizon = cutoff
+        # the horizon itself changes the materialized instance even
+        # when no member falls — always invalidate the memo
+        self._mutations += 1
+        if self.stale:
+            return 0
+        evicted = [
+            member for member in self._members.values()
+            if member.value < cutoff
+        ]
+        for member in evicted:
+            del self._members[member.uid]
+            self._deselect(member)
+        if evicted:
+            self.ledger.expiries += 1
+            self.ledger.expired_members += len(evicted)
+            self._repair_around(evicted)
         self._check_drift()
         return len(evicted)
 
@@ -321,7 +372,9 @@ class CoverView:
         memo = self._materialized
         if memo is not None and memo[0] == state:
             return memo[1], memo[2]
-        instance = self.store.materialize(self.labels, self.lam)
+        instance = self.store.materialize(
+            self.labels, self.lam, min_value=self.horizon
+        )
         solution = Solution.from_posts(
             f"view:{self.algorithm}", list(self.cover_posts()),
             elapsed=0.0,
@@ -332,7 +385,9 @@ class CoverView:
     def verify(self) -> List[Tuple[int, str]]:
         """Uncovered (uid, label) pairs of the maintained cover against
         the store's current state — empty iff the view is λ-valid."""
-        instance = self.store.materialize(self.labels, self.lam)
+        instance = self.store.materialize(
+            self.labels, self.lam, min_value=self.horizon
+        )
         return uncovered_pairs(instance, self.cover_posts())
 
     def snapshot(self) -> Dict[str, object]:
@@ -348,5 +403,7 @@ class CoverView:
             "epoch": self.epoch,
             "stale": self.stale,
             "needs_rebuild": self.needs_rebuild,
+            "window": self.window,
+            "horizon": self.horizon,
             "ledger": self.ledger.as_dict(),
         }

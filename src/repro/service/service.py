@@ -39,8 +39,8 @@ import time as _time
 from collections import deque
 from dataclasses import dataclass
 from dataclasses import replace as _dc_replace
-from typing import Any, Callable, Dict, Iterable, List, Optional, \
-    Sequence, Tuple
+from typing import Any, Callable, Dict, Iterable, List, Mapping, \
+    Optional, Sequence, Tuple
 
 from ..core.registry import available_algorithms
 from ..core.streaming import _STREAM_FACTORIES
@@ -225,6 +225,29 @@ class DigestRequest:
                 self, "labels", tuple(sorted(set(self.labels)))
             )
 
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-safe representation — what the cluster router puts on
+        the wire when it forwards a request to a worker shard."""
+        return {
+            "lam": self.lam,
+            "labels": None if self.labels is None
+            else list(self.labels),
+            "algorithm": self.algorithm,
+            "dimension": self.dimension,
+            "session": self.session,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "DigestRequest":
+        labels = payload.get("labels")
+        return cls(
+            lam=float(payload["lam"]),
+            labels=None if labels is None else tuple(labels),
+            algorithm=payload.get("algorithm"),
+            dimension=payload.get("dimension"),
+            session=str(payload.get("session", "anonymous")),
+        )
+
 
 @dataclass(frozen=True)
 class ServiceResponse:
@@ -265,6 +288,25 @@ class ServiceResponse:
             "reason": self.reason,
             "trace_id": self.trace_id,
         }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "ServiceResponse":
+        """Inverse of :meth:`to_dict` — the router reconstructs a
+        worker's response from its wire frame."""
+        result = payload.get("result")
+        return cls(
+            status=str(payload["status"]),
+            result=None if result is None
+            else DigestResult.from_dict(result),
+            algorithm=str(payload.get("algorithm", "")),
+            cached=bool(payload.get("cached", False)),
+            coalesced=bool(payload.get("coalesced", False)),
+            view=bool(payload.get("view", False)),
+            latency_s=float(payload.get("latency_s", 0.0)),
+            epoch=int(payload.get("epoch", 0)),
+            reason=str(payload.get("reason", "")),
+            trace_id=str(payload.get("trace_id", "")),
+        )
 
 
 class Subscription:
@@ -416,6 +458,7 @@ class DiversificationService:
                 rebuild_ratio=self.config.view_rebuild_ratio,
                 rebuild_slack=self.config.view_rebuild_slack,
                 max_views=self.config.max_views,
+                default_window=self.config.view_window,
             )
         # Poisoned: the corpus reached a state the projection cannot
         # represent (e.g. duplicate uids across ingest and stream — a
@@ -446,6 +489,10 @@ class DiversificationService:
             opt_max_posts=self.config.audit_opt_max,
             seed=self.config.audit_seed,
         )
+        # When this service runs as a cluster worker, the node sets
+        # this to a callable returning its role/ring/peer summary —
+        # health() and introspect() surface it as a "cluster" section.
+        self.cluster_info: Optional[Callable[[], Dict[str, Any]]] = None
 
     # -- construction ------------------------------------------------------
 
@@ -481,18 +528,31 @@ class DiversificationService:
     def corpus_size(self) -> int:
         return len(self._ingested) + len(self._streamed)
 
-    def _served_documents(self) -> Tuple[Document, ...]:
+    def _served_documents(
+        self, labels: Optional[Tuple[str, ...]] = None
+    ) -> Tuple[Document, ...]:
         """The corpus a batch solve sees: with a sliding view window,
         documents older than the store horizon are excluded, keeping
-        the batch path on exactly the window the views maintain."""
+        the batch path on exactly the window the views maintain.  A
+        per-label-set window override may clip further than the store's
+        physical horizon (which sits at the *widest* window)."""
         documents = self.corpus()
-        if self._view_store is None or self._view_store.horizon is None:
+        store = self._view_store
+        if store is None:
             return documents
-        horizon = self._view_store.horizon
+        horizon = store.horizon
+        if labels is not None and self._views is not None:
+            window = self._views.window_for(labels)
+            if window is not None and store.max_value is not None:
+                own = store.max_value - window
+                horizon = own if horizon is None else max(horizon, own)
+        if horizon is None:
+            return documents
         value_of = self._value_of
+        cutoff = horizon
         return tuple(
             document for document in documents
-            if value_of(document) >= horizon
+            if value_of(document) >= cutoff
         )
 
     def ingest(self, documents: Iterable[Document]) -> int:
@@ -549,14 +609,18 @@ class DiversificationService:
                     continue
                 affected |= post.labels
                 self._views.apply_insert(post)
-            if self.config.view_window is not None and \
-                    store.max_value is not None:
-                removed = store.expire(
-                    store.max_value - self.config.view_window
-                )
+            retention = self._views.retention()
+            if retention is not None and store.max_value is not None:
+                # physical expiry at the *widest* window any view needs
+                removed = store.expire(store.max_value - retention)
                 for post in removed:
                     affected |= post.labels
                 self._views.apply_expire(removed)
+            # narrower per-view windows slide their own horizons; a
+            # moved horizon changes that view's answer even when the
+            # batch touched none of its labels, so those labels join
+            # the invalidation set
+            affected |= self._views.advance(store.max_value)
         except ReproError as error:
             # e.g. duplicate uids across ingest and stream — a corpus
             # state batch solves fail on too.  Views go dark rather
@@ -564,6 +628,67 @@ class DiversificationService:
             self._poison_views(repr(error))
             return None
         return affected
+
+    def set_view_window(
+        self,
+        labels: Iterable[str],
+        window: Optional[float],
+    ) -> int:
+        """Override the sliding window for one label set.
+
+        Same preconditions as ``ServiceConfig.view_window`` (views on,
+        time dimension, dedup off); ``None`` clears the override.  The
+        store keeps retaining at the widest window of any view; a
+        narrower override clips that label set's reads at its own
+        horizon.  Invalidate-then-commit: affected cached digests are
+        dropped and the label set's views re-seed from the next batch
+        solve.  Returns the new corpus epoch.
+        """
+        if self._views is None:
+            raise ReproError("view windows require views=True")
+        if self.config.dimension != "time":
+            raise ReproError(
+                "view windows are age bounds; they require the 'time' "
+                f"dimension, got {self.config.dimension!r}"
+            )
+        if self.config.dedup_distance is not None:
+            raise ReproError(
+                "view windows require dedup_distance=None: SimHash "
+                "kept-sets are order-sensitive and cannot be unwound "
+                "when anchor documents expire"
+            )
+        labels = tuple(sorted(set(labels)))
+        unknown = [lbl for lbl in labels if lbl not in self._by_label]
+        if unknown:
+            raise ReproError(
+                f"unknown labels {unknown}; this service answers over "
+                f"{list(self.labels)}"
+            )
+        if not labels:
+            raise ReproError("a view window needs at least one label")
+        if window is not None and window <= 0:
+            raise ReproError(
+                f"view_window must be positive, got {window}"
+            )
+        self._views.set_window(labels, window)
+        store = self._view_store
+        if store is not None and store.max_value is not None:
+            # apply the new horizon right away: physical expiry at the
+            # (possibly changed) widest window, then per-view horizons
+            retention = self._views.retention()
+            if retention is not None:
+                removed = store.expire(store.max_value - retention)
+                self._views.apply_expire(removed)
+            self._views.advance(store.max_value)
+        epoch = self.cache.bump_epoch("view-window", labels=labels)
+        self._views.commit(epoch)
+        structlog.emit(
+            "service.view_window_set",
+            labels=list(labels),
+            window=window,
+            epoch=epoch,
+        )
+        return epoch
 
     def _poison_views(self, reason: str) -> None:
         self._views_poisoned = True
@@ -583,9 +708,12 @@ class DiversificationService:
         try:
             for document in self.corpus():
                 store.ingest_document(document)
-            if self.config.view_window is not None and \
-                    store.max_value is not None:
-                store.expire(store.max_value - self.config.view_window)
+            retention = (
+                self._views.retention() if self._views is not None
+                else self.config.view_window
+            )
+            if retention is not None and store.max_value is not None:
+                store.expire(store.max_value - retention)
         except ReproError as error:
             self._poison_views(repr(error))
             return
@@ -685,7 +813,8 @@ class DiversificationService:
         instance, solution = view.materialize()
         store = self._view_store
         projector = store.projector if store is not None else None
-        live = store.live_documents if store is not None else 0
+        live = store.live_documents_since(view.horizon) \
+            if store is not None else 0
         return DigestResult(
             solution=solution,
             instance=instance,
@@ -849,7 +978,7 @@ class DiversificationService:
                 latency_s=latency, epoch=key.epoch,
                 reason=decision.reason, trace_id=ctx.trace_id or "",
             ))
-        documents = self._served_documents()
+        documents = self._served_documents(labels)
 
         async def compute() -> DigestResult:
             self.solves += 1
@@ -1167,6 +1296,10 @@ class DiversificationService:
                 None if supervisor is None
                 else supervisor.health.as_dict()
             ),
+            "cluster": (
+                None if self.cluster_info is None
+                else self.cluster_info()
+            ),
         }
 
     def introspect(self) -> Dict[str, Any]:
@@ -1233,6 +1366,10 @@ class DiversificationService:
             "observability_enabled": bundle is not None,
             "open_spans": (
                 [] if bundle is None else bundle.tracer.open_spans()
+            ),
+            "cluster": (
+                None if self.cluster_info is None
+                else self.cluster_info()
             ),
         }
 

@@ -1,0 +1,102 @@
+"""Deterministic placement, replication, and rebalance work lists."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster.hashring import HashRing
+from repro.errors import ReproError
+
+LABELS = [f"q{i}" for i in range(40)]
+NODES = ["node0", "node1", "node2", "node3", "node4"]
+
+
+def test_placement_is_deterministic_across_instances():
+    a = HashRing(NODES)
+    b = HashRing(list(reversed(NODES)))  # insertion order is irrelevant
+    for label in LABELS:
+        assert a.owner(label) == b.owner(label)
+        assert a.owners(label, 3) == b.owners(label, 3)
+
+
+def test_owners_are_distinct_and_primary_first():
+    ring = HashRing(NODES)
+    for label in LABELS:
+        owners = ring.owners(label, 3)
+        assert len(owners) == 3
+        assert len(set(owners)) == 3
+        assert owners[0] == ring.owner(label)
+
+
+def test_replication_degrades_on_small_rings():
+    ring = HashRing(["only"])
+    assert ring.owners("q0", 3) == ["only"]  # fewer, never padded
+
+
+def test_every_node_gets_some_share():
+    ring = HashRing(NODES)
+    owned = ring.ownership(LABELS)
+    assert set(owned) == set(NODES)
+    # virtual nodes smooth the split: nobody is starved outright
+    assert all(len(labels) > 0 for labels in owned.values())
+    assert sum(len(labels) for labels in owned.values()) == len(LABELS)
+
+
+def test_ownership_with_replication_counts_each_label_n_times():
+    ring = HashRing(NODES)
+    owned = ring.ownership(LABELS, 2)
+    assert sum(len(labels) for labels in owned.values()) == 2 * len(LABELS)
+
+
+def test_join_moves_only_labels_the_new_node_gains():
+    before = HashRing(NODES[:3])
+    after = HashRing(NODES[:4])
+    gained = before.moved_keys(LABELS, after)
+    # with n=1, only the joining node can gain labels: the mapping
+    # from surviving nodes is unchanged (consistency property)
+    assert set(gained) <= {"node3"}
+    for label in LABELS:
+        if label not in gained.get("node3", []):
+            assert before.owner(label) == after.owner(label)
+
+
+def test_leave_redistributes_only_the_leavers_labels():
+    before = HashRing(NODES[:4])
+    after = HashRing(NODES[:3])
+    gained = before.moved_keys(LABELS, after)
+    moved = [l for ls in gained.values() for l in ls]
+    lost = [l for l in LABELS if before.owner(l) == "node3"]
+    assert sorted(moved) == sorted(lost)
+
+
+def test_membership_api():
+    ring = HashRing(["a"])
+    ring.add("b")
+    assert len(ring) == 2 and "b" in ring
+    with pytest.raises(ReproError):
+        ring.add("b")
+    ring.remove("a")
+    assert ring.nodes == ("b",)
+    with pytest.raises(ReproError):
+        ring.remove("a")
+
+
+def test_empty_ring_refuses_placement():
+    with pytest.raises(ReproError):
+        HashRing().owner("q0")
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    st.sets(st.sampled_from(NODES), min_size=1, max_size=5),
+    st.sampled_from(LABELS),
+    st.integers(min_value=1, max_value=3),
+)
+def test_fuzz_owners_always_distinct_and_bounded(nodes, label, n):
+    ring = HashRing(sorted(nodes))
+    owners = ring.owners(label, n)
+    assert len(owners) == min(n, len(nodes))
+    assert len(set(owners)) == len(owners)
+    assert set(owners) <= nodes

@@ -1,0 +1,92 @@
+"""Failure detection: miss counting, threshold flips, recovery."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster.membership import DOWN, Membership, UP
+from repro.errors import ReproError
+
+
+def make_membership(max_missed: int = 3) -> Membership:
+    clock = [0.0]
+    membership = Membership(
+        max_missed=max_missed, clock=lambda: clock[0]
+    )
+    membership._test_clock = clock  # type: ignore[attr-defined]
+    return membership
+
+
+def test_nodes_start_up():
+    m = make_membership()
+    m.add("a", ("127.0.0.1", 1))
+    assert m.is_alive("a")
+    assert m.alive() == ["a"]
+
+
+def test_flip_down_after_max_missed():
+    m = make_membership(max_missed=3)
+    m.add("a", ("127.0.0.1", 1))
+    assert m.record_failure("a") is False
+    assert m.record_failure("a") is False
+    assert m.is_alive("a")
+    assert m.record_failure("a") is True  # third miss crosses
+    assert not m.is_alive("a")
+    assert m.get("a").status == DOWN
+    # further misses don't re-announce
+    assert m.record_failure("a") is False
+    assert m.failures_detected == 1
+
+
+def test_success_resets_the_miss_counter():
+    m = make_membership(max_missed=2)
+    m.add("a", ("127.0.0.1", 1))
+    m.record_failure("a")
+    assert m.record_success("a") is False  # was never down
+    m.record_failure("a")
+    assert m.is_alive("a")  # counter was reset; one more miss needed
+
+
+def test_recovery_is_announced_exactly_once():
+    m = make_membership(max_missed=1)
+    m.add("a", ("127.0.0.1", 1))
+    m.record_failure("a")
+    assert not m.is_alive("a")
+    assert m.record_success("a") is True  # the resync trigger
+    assert m.record_success("a") is False
+    assert m.get("a").status == UP
+    assert m.recoveries == 1
+    assert m.get("a").transitions == 2
+
+
+def test_unknown_nodes_are_ignored():
+    m = make_membership()
+    assert m.record_success("ghost") is False
+    assert m.record_failure("ghost") is False
+
+
+def test_add_remove_and_duplicates():
+    m = make_membership()
+    m.add("a", ("127.0.0.1", 1))
+    with pytest.raises(ReproError):
+        m.add("a", ("127.0.0.1", 2))
+    m.remove("a")
+    with pytest.raises(ReproError):
+        m.remove("a")
+    assert len(m) == 0
+
+
+def test_snapshot_is_json_safe_and_complete():
+    import json
+
+    m = make_membership(max_missed=2)
+    m.add("a", ("127.0.0.1", 10))
+    m.add("b", ("127.0.0.1", 11))
+    m.record_failure("b")
+    m.record_failure("b")
+    snap = m.snapshot()
+    json.dumps(snap)  # piggybacked on heartbeats: must serialize
+    assert snap["nodes"]["a"]["status"] == UP
+    assert snap["nodes"]["b"]["status"] == DOWN
+    assert snap["failures_detected"] == 1
+    assert snap["max_missed"] == 2

@@ -1,0 +1,467 @@
+"""Router tests: routing, scatter-gather, failover, rebalance.
+
+All parity assertions compare :func:`canonical_fingerprint` of the
+routed digest against a single-process reference service over the same
+documents.  Views are off on both sides here — view-maintained covers
+are verifier-equal but not byte-identical to fresh batch solves, and
+these tests pin the *batch* parity guarantee.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster.harness import LocalCluster
+from repro.cluster.protocol import ClusterError, canonical_fingerprint
+from repro.cluster.router import ClusterConfig, ClusterRouter
+from repro.cluster.worker import default_worker_config
+from repro.index.inverted_index import Document
+from repro.index.query import TopicQuery
+from repro.service import DigestRequest, DiversificationService
+
+from .conftest import make_docs, make_queries, run
+
+LAM = 30.0
+
+
+def batch_config():
+    return default_worker_config(views=False)
+
+
+def fast_cluster(**overrides) -> ClusterConfig:
+    overrides.setdefault("hedge_delay", 0.05)
+    overrides.setdefault("request_timeout", 5.0)
+    return ClusterConfig(**overrides)
+
+
+def reference_service(docs) -> DiversificationService:
+    service = DiversificationService(make_queries(), batch_config())
+    service.ingest(docs)
+    return service
+
+
+async def reference_fingerprint(docs, request: DigestRequest) -> str:
+    service = reference_service(docs)
+    try:
+        response = await service.digest(request)
+        assert response.result is not None
+        return canonical_fingerprint(response.result)
+    finally:
+        service.close()
+
+
+# -- configuration ---------------------------------------------------------
+
+
+def test_config_validation():
+    with pytest.raises(ClusterError):
+        ClusterConfig(replication=0)
+    with pytest.raises(ClusterError):
+        ClusterConfig(stitch_mode="sideways")
+    with pytest.raises(ClusterError):
+        ClusterConfig(request_timeout=0.0)
+    with pytest.raises(ClusterError):
+        ClusterConfig(hedge_delay=-1.0)
+
+
+def test_router_without_nodes_serves_an_error():
+    async def go():
+        router = ClusterRouter(make_queries())
+        response = await router.digest(DigestRequest(lam=LAM))
+        assert response.status == "error"
+        assert "no nodes" in response.reason
+        await router.close()
+
+    run(go())
+
+
+# -- routing and merging ---------------------------------------------------
+
+
+def test_single_label_routes_to_the_owner():
+    async def go():
+        docs = make_docs(24)
+        async with LocalCluster(
+            make_queries(), nodes=3, config=fast_cluster(),
+            worker_config=batch_config(),
+        ) as cluster:
+            await cluster.router.ingest(docs)
+            request = DigestRequest(lam=LAM, labels=("golf",))
+            response = await cluster.router.digest(request)
+            assert response.status == "ok"
+            assert response.shards == (
+                cluster.router.ring.owner("golf"),
+            )
+            assert response.seam_posts == 0
+            assert response.result is not None
+            assert canonical_fingerprint(response.result) == \
+                await reference_fingerprint(docs, request)
+
+    run(go())
+
+
+def test_multi_label_scatter_gather_is_byte_identical():
+    async def go():
+        docs = make_docs(24)
+        async with LocalCluster(
+            make_queries(), nodes=3, config=fast_cluster(),
+            worker_config=batch_config(),
+        ) as cluster:
+            await cluster.router.ingest(docs)
+            # labels=None means the whole universe: every shard serves
+            request = DigestRequest(lam=LAM)
+            response = await cluster.router.digest(request)
+            assert response.status == "ok"
+            assert response.result is not None
+            # make_docs posts carry one label each: no seams, so the
+            # union of the shard picks is the global solution outright
+            assert response.seam_posts == 0
+            assert response.resolves == 0
+            assert canonical_fingerprint(response.result) == \
+                await reference_fingerprint(docs, request)
+            owners = {
+                cluster.router.ring.owner(label)
+                for label in ("golf", "nba", "tech")
+            }
+            assert set(response.shards) == owners
+
+    run(go())
+
+
+def test_stitch_mode_also_matches_when_seam_free():
+    async def go():
+        docs = make_docs(24)
+        async with LocalCluster(
+            make_queries(), nodes=3,
+            config=fast_cluster(stitch_mode="stitch"),
+            worker_config=batch_config(),
+        ) as cluster:
+            await cluster.router.ingest(docs)
+            request = DigestRequest(lam=LAM)
+            response = await cluster.router.digest(request)
+            assert response.status == "ok"
+            assert response.stitch_repairs == 0
+            assert canonical_fingerprint(response.result) == \
+                await reference_fingerprint(docs, request)
+
+    run(go())
+
+
+def test_unknown_label_is_an_error_response():
+    async def go():
+        async with LocalCluster(
+            make_queries(), nodes=2, config=fast_cluster(),
+            worker_config=batch_config(),
+        ) as cluster:
+            response = await cluster.router.digest(
+                DigestRequest(lam=LAM, labels=("curling",))
+            )
+            assert response.status == "error"
+            assert "unknown labels" in response.reason
+            assert cluster.router.errors == 1
+
+    run(go())
+
+
+# -- ingest routing --------------------------------------------------------
+
+
+def test_ingest_fans_out_to_every_replica():
+    async def go():
+        docs = make_docs(24)
+        async with LocalCluster(
+            make_queries(), nodes=3,
+            config=fast_cluster(replication=2),
+            worker_config=batch_config(),
+        ) as cluster:
+            report = await cluster.router.ingest(docs)
+            assert report["documents"] == 24
+            assert report["unrouted"] == 0
+            assert report["failed"] == []
+            # every doc matches exactly one label -> lands on exactly
+            # its two replicas
+            total = sum(
+                len(cluster.worker(name)._documents)
+                for name in cluster.names
+            )
+            assert total == 2 * 24
+
+    run(go())
+
+
+def test_unmatched_documents_are_counted_not_shipped():
+    async def go():
+        async with LocalCluster(
+            make_queries(), nodes=2, config=fast_cluster(),
+            worker_config=batch_config(),
+        ) as cluster:
+            stray = Document(99, 990.0, "nothing relevant here")
+            report = await cluster.router.ingest(
+                make_docs(6) + [stray]
+            )
+            assert report["documents"] == 7
+            assert report["unrouted"] == 1
+            held = sum(
+                len(cluster.worker(name)._documents)
+                for name in cluster.names
+            )
+            assert held == 6  # the stray went nowhere
+            # ...but it still counts toward the cluster-wide
+            # unmatched_dropped, matching a single process that saw it
+            response = await cluster.router.digest(
+                DigestRequest(lam=LAM)
+            )
+            assert response.result.unmatched_dropped == 1
+
+    run(go())
+
+
+# -- failover --------------------------------------------------------------
+
+
+def test_replica_serves_when_the_primary_dies():
+    async def go():
+        docs = make_docs(24)
+        config = fast_cluster(replication=2, max_missed=1)
+        async with LocalCluster(
+            make_queries(), nodes=3, config=config,
+            worker_config=batch_config(),
+        ) as cluster:
+            router = cluster.router
+            await router.ingest(docs)
+            primary, replica = router.ring.owners("golf", 2)
+            await cluster.kill(primary)
+            request = DigestRequest(lam=LAM, labels=("golf",))
+            response = await router.digest(request)
+            # first request discovers the crash and fails over inline
+            assert response.status == "ok"
+            assert response.shards == (replica,)
+            assert canonical_fingerprint(response.result) == \
+                await reference_fingerprint(docs, request)
+            # the request-path failure fed the detector
+            assert not router.membership.is_alive(primary)
+            # subsequent requests skip the dead primary outright
+            again = await router.digest(request)
+            assert again.status == "ok"
+            assert again.shards == (replica,)
+            assert router.failovers > 0
+
+    run(go())
+
+
+def test_unreplicated_label_down_degrades_honestly():
+    # a wider universe than the shared fixtures: with 8 labels over 3
+    # nodes, every node owns a strict, non-empty label subset
+    queries = [
+        TopicQuery(f"t{i}", [f"kw{i}"]) for i in range(8)
+    ]
+    docs = [
+        Document(i, i * 10.0, f"kw{i % 8} body{i}") for i in range(32)
+    ]
+    labels = tuple(q.label for q in queries)
+
+    async def go():
+        config = fast_cluster(replication=1, max_missed=1)
+        async with LocalCluster(
+            queries, nodes=3, config=config,
+            worker_config=batch_config(),
+        ) as cluster:
+            router = cluster.router
+            await router.ingest(docs)
+            ownership = router.ring.ownership(labels)
+            victim, dark = next(
+                (node, sorted(owned))
+                for node, owned in sorted(ownership.items())
+                if owned and len(owned) < len(labels)
+            )
+            survivors = tuple(
+                label for label in labels if label not in dark
+            )
+            await cluster.kill(victim)
+            await router.heartbeat_once()  # max_missed=1: flips down
+            assert not router.membership.is_alive(victim)
+            response = await router.digest(DigestRequest(lam=LAM))
+            assert response.status == "degraded"
+            assert response.missing_labels == tuple(dark)
+            assert "no live shard" in response.reason
+            # the served remainder matches a reference over the same
+            # label subset
+            reference = DiversificationService(
+                queries, batch_config()
+            )
+            reference.ingest(docs)
+            local = await reference.digest(
+                DigestRequest(lam=LAM, labels=survivors)
+            )
+            reference.close()
+            assert canonical_fingerprint(response.result) == \
+                canonical_fingerprint(local.result)
+            assert router.degraded_responses == 1
+
+    run(go())
+
+
+def test_recovered_node_is_resynced_from_replicas():
+    async def go():
+        docs = make_docs(24)
+        config = fast_cluster(replication=2, max_missed=1)
+        async with LocalCluster(
+            make_queries(), nodes=3, config=config,
+            worker_config=batch_config(),
+        ) as cluster:
+            router = cluster.router
+            await router.ingest(docs)
+            victim = router.ring.owner("golf")
+            before = len(cluster.worker(victim)._documents)
+            assert before > 0
+            await cluster.kill(victim)
+            await router.heartbeat_once()
+            assert not router.membership.is_alive(victim)
+            # the revived node starts empty (no WAL): the heartbeat
+            # recovery path must re-copy its labels from live replicas
+            await cluster.revive(victim)
+            await router.heartbeat_once()
+            assert router.membership.is_alive(victim)
+            assert len(cluster.worker(victim)._documents) == before
+            request = DigestRequest(lam=LAM, labels=("golf",))
+            response = await router.digest(request)
+            assert response.status == "ok"
+            assert canonical_fingerprint(response.result) == \
+                await reference_fingerprint(docs, request)
+
+    run(go())
+
+
+# -- rebalance -------------------------------------------------------------
+
+
+def test_join_rebalances_and_reads_stay_correct():
+    async def go():
+        docs = make_docs(24)
+        async with LocalCluster(
+            make_queries(), nodes=2, config=fast_cluster(),
+            worker_config=batch_config(),
+        ) as cluster:
+            router = cluster.router
+            await router.ingest(docs)
+            await cluster.add_node("node2")
+            assert "node2" in router.ring
+            assert router.rebalances >= 1
+            assert router.introspect()["joining"] == {}
+            for label in ("golf", "nba", "tech"):
+                request = DigestRequest(lam=LAM, labels=(label,))
+                response = await router.digest(request)
+                assert response.status == "ok"
+                assert canonical_fingerprint(response.result) == \
+                    await reference_fingerprint(docs, request)
+
+    run(go())
+
+
+def test_graceful_leave_hands_labels_over():
+    async def go():
+        docs = make_docs(24)
+        async with LocalCluster(
+            make_queries(), nodes=3, config=fast_cluster(),
+            worker_config=batch_config(),
+        ) as cluster:
+            router = cluster.router
+            await router.ingest(docs)
+            leaver = router.ring.owner("golf")
+            await cluster.remove_node(leaver)
+            assert leaver not in router.ring
+            assert router.membership.get(leaver) is None
+            request = DigestRequest(lam=LAM)
+            response = await router.digest(request)
+            assert response.status == "ok"
+            assert leaver not in response.shards
+            assert canonical_fingerprint(response.result) == \
+                await reference_fingerprint(docs, request)
+
+    run(go())
+
+
+def test_cannot_remove_the_last_node():
+    async def go():
+        async with LocalCluster(
+            make_queries(), nodes=1, config=fast_cluster(),
+            worker_config=batch_config(),
+        ) as cluster:
+            with pytest.raises(ClusterError):
+                await cluster.remove_node("node0")
+
+    run(go())
+
+
+# -- per-view windows across the cluster -----------------------------------
+
+
+def test_set_view_window_reaches_every_owner():
+    async def go():
+        async with LocalCluster(
+            make_queries(), nodes=3,
+            config=fast_cluster(replication=2),
+        ) as cluster:  # default worker config: views on
+            router = cluster.router
+            ack = await router.set_view_window(["golf"], 500.0)
+            assert ack["window"] == 500.0
+            owners = set(router.ring.owners("golf", 2))
+            assert set(ack["nodes"]) == owners
+            for name in owners:
+                views = cluster.worker(name).service._views
+                assert views.window_for(("golf",)) == 500.0
+            cleared = await router.set_view_window(["golf"], None)
+            assert cleared["window"] is None
+            for name in owners:
+                views = cluster.worker(name).service._views
+                assert views.window_for(("golf",)) is None
+            with pytest.raises(ClusterError):
+                await router.set_view_window(["curling"], 10.0)
+
+    run(go())
+
+
+# -- health / introspection ------------------------------------------------
+
+
+def test_router_health_and_introspect_describe_the_cluster():
+    async def go():
+        docs = make_docs(12)
+        async with LocalCluster(
+            make_queries(), nodes=3, config=fast_cluster(),
+            worker_config=batch_config(),
+        ) as cluster:
+            router = cluster.router
+            await router.ingest(docs)
+            await router.heartbeat_once()
+            await router.digest(DigestRequest(lam=LAM))
+            health = router.health()
+            assert health["cluster"]["role"] == "router"
+            assert sorted(health["cluster"]["nodes"]) == cluster.names
+            assert health["cluster"]["alive"] == cluster.names
+            assert health["cluster"]["inflight_scatters"] == 0
+            assert sum(health["cluster"]["ring"].values()) == 3
+            assert health["requests"] == 1
+            assert health["documents"] == 12
+
+            info = router.introspect()
+            assert info["role"] == "router"
+            assert info["stitch_mode"] == "exact"
+            assert info["counters"]["requests"] == 1
+            assert info["counters"]["scatter_legs"] >= 1
+            assert set(info["clients"]) == set(cluster.names)
+            assert all(
+                entry["calls"] > 0
+                for entry in info["clients"].values()
+            )
+            assert set(info["node_epochs"]) == set(cluster.names)
+
+            # workers answer for the cluster through the same surface
+            name = cluster.names[0]
+            node_health = await router.node_health(name)
+            assert node_health["cluster"]["role"] == "worker"
+            assert node_health["cluster"]["node"] == name
+            node_info = await router.node_introspect(name)
+            assert node_info["cluster"]["heartbeats_seen"] == 1
+
+    run(go())

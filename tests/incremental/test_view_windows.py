@@ -1,0 +1,340 @@
+"""Per-(label-set) view window overrides.
+
+The store physically expires at the *widest* window any view needs
+(``ViewRegistry.retention``); narrower overrides are per-view horizons
+that clip reads without touching shared state.  These tests pin the
+registry semantics (``set_window`` / ``window_for`` / ``retention`` /
+``advance``), the view's own horizon maintenance, the store's clipped
+read primitives, and the service-level ``set_view_window`` end to end.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro.core.registry import solve
+from repro.errors import ReproError
+from repro.incremental import DocumentProjector, PostStore
+from repro.incremental.registry import ViewRegistry
+from repro.incremental.view import CoverView
+from repro.index.inverted_index import Document
+from repro.index.query import TopicQuery
+from repro.service import DigestRequest, DiversificationService, \
+    ServiceConfig
+
+QUERIES = [
+    TopicQuery("golf", ["golf", "pga"]),
+    TopicQuery("nba", ["nba", "dunk"]),
+]
+
+LAM = 30.0
+
+
+def make_docs(n=24, step=10.0, offset=0):
+    texts = ("golf pga birdie", "nba dunk highlight")
+    return [
+        Document(
+            offset + i, (offset + i) * step,
+            f"{texts[(offset + i) % 2]} filler{(offset + i) * 7}",
+        )
+        for i in range(n)
+    ]
+
+
+def build_store(docs):
+    store = PostStore(DocumentProjector(QUERIES, dedup_distance=None))
+    for doc in docs:
+        store.ingest_document(doc)
+    return store
+
+
+def seeded_view(registry, store, labels, lam=LAM):
+    """Seed a registry view from a real batch solve (epoch 0)."""
+    key = ViewRegistry.key_for(labels, lam, "greedy_sc", "time")
+    instance = store.materialize(labels, lam)
+    solution = solve("greedy_sc", instance)
+    view = registry.seed(
+        key, solution.posts, len(solution.posts), registry.epoch
+    )
+    assert view is not None
+    return key, view
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+# -- registry semantics ----------------------------------------------------
+
+
+def test_window_for_override_beats_default_and_clears():
+    registry = ViewRegistry(build_store([]), default_window=50.0)
+    assert registry.window_for(("golf",)) == 50.0
+    registry.set_window(("golf",), 20.0)
+    assert registry.window_for(("golf",)) == 20.0
+    assert registry.window_for(("nba",)) == 50.0
+    assert registry.window_for(("golf", "nba")) == 50.0  # exact key only
+    assert registry.windows() == {("golf",): 20.0}
+    registry.set_window(("golf",), None)
+    assert registry.window_for(("golf",)) == 50.0
+    assert registry.windows() == {}
+
+
+def test_retention_is_the_widest_window():
+    store = build_store([])
+    unbounded = ViewRegistry(store, default_window=None)
+    assert unbounded.retention() is None
+    unbounded.set_window(("golf",), 10.0)
+    # an override can narrow a view, never widen unbounded retention
+    assert unbounded.retention() is None
+
+    bounded = ViewRegistry(store, default_window=50.0)
+    assert bounded.retention() == 50.0
+    bounded.set_window(("golf",), 20.0)  # narrower: retention unchanged
+    assert bounded.retention() == 50.0
+    bounded.set_window(("nba",), 80.0)  # wider: retention follows
+    assert bounded.retention() == 80.0
+    bounded.set_window(("nba",), None)
+    assert bounded.retention() == 50.0
+
+
+def test_set_window_invalidates_only_the_exact_label_set():
+    store = build_store(make_docs())
+    registry = ViewRegistry(store)
+    _, golf_view = seeded_view(registry, store, ("golf",))
+    _, both_view = seeded_view(registry, store, ("golf", "nba"))
+    invalidated = registry.set_window(("golf",), 40.0)
+    assert invalidated == 1
+    assert golf_view.stale  # must re-seed against the new horizon
+    assert golf_view.window == 40.0
+    assert not both_view.stale  # different label set: untouched
+    assert registry.invalidations == 1
+
+
+def test_advance_slides_horizons_and_reports_affected_labels():
+    docs = make_docs(24)  # values 0..230
+    store = build_store(docs)
+    registry = ViewRegistry(store, default_window=150.0)
+    registry.set_window(("golf",), 50.0)  # narrower than retention
+    _, golf_view = seeded_view(registry, store, ("golf",))
+    _, nba_view = seeded_view(registry, store, ("nba",))
+    # seeding already attached each view's clipped horizon
+    assert golf_view.horizon == 180.0
+    assert nba_view.horizon == 80.0
+    # the corpus moves on: mirror the service's write path — ingest,
+    # physical expiry at retention(), then advance the view horizons
+    for doc in make_docs(10, offset=24):  # values up to 330
+        post = store.ingest_document(doc)
+        registry.apply_insert(post)
+    removed = store.expire(330.0 - registry.retention())
+    registry.apply_expire(removed)
+    assert store.horizon == 180.0
+    affected = registry.advance(store.max_value)
+    # the narrower golf view clips itself past the store horizon, so
+    # its labels must join the invalidation set...
+    assert affected == {"golf"}
+    assert golf_view.horizon == 280.0
+    assert all(p.value >= 280.0 for p in golf_view.cover_posts())
+    # ...while the default-window nba view lands exactly AT the store
+    # horizon: the expiry pass already reported those labels
+    assert nba_view.horizon == 180.0
+    again = registry.advance(store.max_value)
+    assert again == set()  # nothing moved: the no-op fast path
+
+
+def test_seed_attaches_window_and_horizon():
+    docs = make_docs(24)
+    store = build_store(docs)
+    registry = ViewRegistry(store, default_window=100.0)
+    _, view = seeded_view(registry, store, ("golf",))
+    assert view.window == 100.0
+    assert view.horizon == 230.0 - 100.0
+
+
+# -- view horizon maintenance ----------------------------------------------
+
+
+def test_advance_horizon_evicts_repairs_and_stays_valid():
+    store = build_store(make_docs(24))
+    view = CoverView(store, ("golf",), LAM)
+    instance = store.materialize(("golf",), LAM)
+    solution = solve("greedy_sc", instance)
+    view.seed(solution.posts, len(solution.posts), 0)
+    assert view.verify() == []
+    evicted = view.advance_horizon(115.0)
+    assert evicted is not None
+    assert view.horizon == 115.0
+    assert all(p.value >= 115.0 for p in view.cover_posts())
+    # the maintained cover still covers the clipped instance
+    assert view.verify() == []
+    clipped, _ = view.materialize()
+    assert all(p.value >= 115.0 for p in clipped.posts)
+    # moving backwards (or not at all) is the memo-preserving no-op
+    assert view.advance_horizon(115.0) is None
+    assert view.advance_horizon(50.0) is None
+
+
+def test_inserts_behind_the_horizon_are_ignored():
+    store = build_store(make_docs(24))
+    view = CoverView(store, ("golf",), LAM)
+    instance = store.materialize(("golf",), LAM)
+    solution = solve("greedy_sc", instance)
+    view.seed(solution.posts, len(solution.posts), 0)
+    view.advance_horizon(100.0)
+    from repro.core.post import Post
+
+    stale_post = Post(uid=900, value=40.0, labels=frozenset({"golf"}),
+                      text="late straggler")
+    assert view.apply_insert(stale_post) is False
+    assert 900 not in {p.uid for p in view.cover_posts()}
+
+
+# -- store read primitives --------------------------------------------------
+
+
+def test_live_documents_since_clips_matched_and_unmatched():
+    docs = make_docs(10)  # values 0..90, all matched
+    docs.append(Document(50, 55.0, "nothing relevant"))  # unmatched
+    store = build_store(docs)
+    assert store.live_documents == 11
+    assert store.live_documents_since(None) == 11
+    assert store.live_documents_since(0.0) == 11
+    # >= 50.0: matched posts at 50..90 (5) plus the unmatched at 55
+    assert store.live_documents_since(50.0) == 6
+    assert store.live_documents_since(56.0) == 4
+    assert store.live_documents_since(1000.0) == 0
+
+
+def test_materialize_min_value_equals_filtered_batch():
+    docs = make_docs(24)
+    store = build_store(docs)
+    clipped = store.materialize(("golf", "nba"), LAM, min_value=100.0)
+    full = store.materialize(("golf", "nba"), LAM)
+    assert clipped.posts == tuple(
+        p for p in full.posts if p.value >= 100.0
+    )
+    assert clipped.labels == full.labels
+
+
+# -- the service surface ----------------------------------------------------
+
+
+def make_service(**overrides) -> DiversificationService:
+    overrides.setdefault("dedup_distance", None)
+    return DiversificationService(QUERIES, ServiceConfig(**overrides))
+
+
+def test_set_view_window_preconditions():
+    views_off = make_service(views=False)
+    with pytest.raises(ReproError):
+        views_off.set_view_window(("golf",), 10.0)
+    views_off.close()
+
+    deduped = DiversificationService(
+        QUERIES, ServiceConfig(dedup_distance=3)
+    )
+    with pytest.raises(ReproError):
+        deduped.set_view_window(("golf",), 10.0)
+    deduped.close()
+
+    service = make_service()
+    with pytest.raises(ReproError):
+        service.set_view_window(("curling",), 10.0)
+    with pytest.raises(ReproError):
+        service.set_view_window(("golf",), 0.0)
+    with pytest.raises(ReproError):
+        service.set_view_window((), 10.0)
+    service.close()
+
+
+def test_narrower_override_clips_one_label_set_only():
+    service = make_service()  # no default window: keep everything
+    service.ingest(make_docs(24))  # values 0..230
+    epoch_before = service.epoch
+    epoch = service.set_view_window(("golf",), 100.0)
+    assert epoch > epoch_before  # the override bumps the corpus epoch
+    golf = run(service.digest(DigestRequest(lam=LAM, labels=("golf",))))
+    assert golf.status == "ok"
+    # clipped at max_value - window = 130: 5 golf posts remain, and
+    # the 6 nba documents inside the clipped window count as unmatched
+    assert all(p.value >= 130.0 for p in golf.result.instance.posts)
+    assert golf.result.matched == 5
+    assert golf.result.unmatched_dropped == 6
+    nba = run(service.digest(DigestRequest(lam=LAM, labels=("nba",))))
+    assert min(p.value for p in nba.result.instance.posts) < 130.0
+    service.close()
+
+
+def test_override_windows_survive_further_ingests_and_views():
+    service = make_service()
+    service.ingest(make_docs(24))
+    service.set_view_window(("golf",), 100.0)
+    first = run(
+        service.digest(DigestRequest(lam=LAM, labels=("golf",)))
+    )  # batch solve + view seed at the clipped horizon
+    assert not first.view
+    service.ingest(make_docs(4, offset=24))  # values up to 270
+    second = run(
+        service.digest(DigestRequest(lam=LAM, labels=("golf",)))
+    )
+    assert second.view  # served from the maintained view
+    # the view slid its own horizon with the corpus: 270 - 100
+    assert all(
+        p.value >= 170.0 for p in second.result.instance.posts
+    )
+    from repro.core.coverage import uncovered_pairs
+
+    assert uncovered_pairs(
+        second.result.instance, second.result.solution.posts
+    ) == []
+    service.close()
+
+
+def test_wider_override_retains_more_than_the_default():
+    service = make_service(view_window=50.0)
+    service.ingest(make_docs(10))  # values 0..90, horizon at 40
+    service.set_view_window(("golf",), 200.0)
+    service.ingest(make_docs(14, offset=10))  # values up to 230
+    # nba stays on the 50.0 default: clipped at 230 - 50 = 180
+    nba = run(service.digest(DigestRequest(lam=LAM, labels=("nba",))))
+    assert all(p.value >= 180.0 for p in nba.result.instance.posts)
+    # golf's wider window reaches back to the physical horizon (40.0,
+    # set before the override): far older than the default allows
+    golf = run(service.digest(DigestRequest(lam=LAM, labels=("golf",))))
+    oldest = min(p.value for p in golf.result.instance.posts)
+    assert oldest < 180.0
+    assert oldest >= 40.0
+    service.close()
+
+
+def test_global_window_behavior_is_unchanged_by_the_feature():
+    # no overrides anywhere: the pre-existing global-window semantics
+    # (physical expiry + carried-forward cache on untouched labels)
+    service = make_service(view_window=100.0)
+    service.ingest(make_docs(24))
+    response = run(service.digest(DigestRequest(lam=LAM)))
+    assert all(
+        p.value >= 130.0 for p in response.result.instance.posts
+    )
+    registry = service._views
+    assert registry.retention() == 100.0
+    assert registry.windows() == {}
+    # an unmatched-only ingest must still carry cached digests forward
+    # (advance() reports nothing when horizons track the store's own)
+    service.ingest([Document(999, 9999.0, "nothing relevant here")])
+    again = run(service.digest(DigestRequest(lam=LAM)))
+    assert again.cached or again.view
+    service.close()
+
+
+def test_introspect_exposes_window_overrides():
+    service = make_service(view_window=50.0)
+    service.ingest(make_docs(10))
+    service.set_view_window(("golf",), 75.0)
+    snapshot = service.introspect()["views"]
+    assert snapshot["default_window"] == 50.0
+    assert snapshot["window_overrides"] == {"golf": 75.0}
+    assert snapshot["retention"] == 75.0
+    service.close()
