@@ -43,6 +43,7 @@ SLO_ARTIFACT = RESULTS_DIR / "BENCH_slo.json"
 INGEST_ARTIFACT = RESULTS_DIR / "BENCH_ingest.json"
 INCREMENTAL_ARTIFACT = RESULTS_DIR / "BENCH_incremental.json"
 CLUSTER_ARTIFACT = RESULTS_DIR / "BENCH_cluster.json"
+OBSERVABILITY_ARTIFACT = RESULTS_DIR / "BENCH_observability.json"
 SMOKE = bool(os.environ.get("BENCH_SMOKE"))
 
 _TRAJECTORY = BenchTrajectory("throughput")
@@ -52,6 +53,7 @@ _SLO_TRAJECTORY = BenchTrajectory("slo")
 _INGEST_TRAJECTORY = BenchTrajectory("ingest")
 _INCREMENTAL_TRAJECTORY = BenchTrajectory("incremental")
 _CLUSTER_TRAJECTORY = BenchTrajectory("cluster")
+_OBSERVABILITY_TRAJECTORY = BenchTrajectory("observability")
 
 
 def report(rows, title: str) -> None:
@@ -151,6 +153,20 @@ def cluster_figure():
     return _CLUSTER_TRAJECTORY.record_figure
 
 
+@pytest.fixture(scope="session")
+def observability_record():
+    """Record one observability-overhead workload into the
+    observability trajectory (``BENCH_observability.json``)."""
+    return _OBSERVABILITY_TRAJECTORY.record_solver
+
+
+@pytest.fixture(scope="session")
+def observability_figure():
+    """Attach an overhead/interval/sampling table to the
+    observability trajectory."""
+    return _OBSERVABILITY_TRAJECTORY.record_figure
+
+
 def _emit(trajectory, artifact):
     RESULTS_DIR.mkdir(exist_ok=True)
     document = trajectory.write(artifact)
@@ -179,3 +195,5 @@ def pytest_sessionfinish(session, exitstatus):
         _emit(_INCREMENTAL_TRAJECTORY, INCREMENTAL_ARTIFACT)
     if _CLUSTER_TRAJECTORY.solvers:
         _emit(_CLUSTER_TRAJECTORY, CLUSTER_ARTIFACT)
+    if _OBSERVABILITY_TRAJECTORY.solvers:
+        _emit(_OBSERVABILITY_TRAJECTORY, OBSERVABILITY_ARTIFACT)

@@ -98,6 +98,16 @@ class LocalCluster:
     async def __aexit__(self, *exc: Any) -> None:
         await self.stop()
 
+    # -- observability -----------------------------------------------------
+
+    def enable_collector(self, **kwargs: Any) -> Any:
+        """Attach a fleet collector to the router (passthrough)."""
+        return self.router.enable_collector(**kwargs)
+
+    def attach_trace_pipeline(self, pipeline: Any) -> None:
+        """Attach a trace pipeline to the router (passthrough)."""
+        self.router.attach_trace_pipeline(pipeline)
+
     # -- topology helpers --------------------------------------------------
 
     def worker(self, name: str) -> WorkerNode:

@@ -38,6 +38,8 @@ __all__ = [
     "OP_HEARTBEAT",
     "OP_INGEST",
     "OP_INTROSPECT",
+    "OP_PROFILE",
+    "OP_SCRAPE",
     "OP_SET_WINDOW",
     "OP_WARM",
     "canonical_fingerprint",
@@ -73,10 +75,12 @@ OP_INTROSPECT = "introspect"
 OP_EXPORT = "export"
 OP_WARM = "warm"
 OP_SET_WINDOW = "set_window"
+OP_SCRAPE = "scrape"
+OP_PROFILE = "profile"
 
 KNOWN_OPS = frozenset({
     OP_DIGEST, OP_INGEST, OP_HEARTBEAT, OP_HEALTH, OP_INTROSPECT,
-    OP_EXPORT, OP_WARM, OP_SET_WINDOW,
+    OP_EXPORT, OP_WARM, OP_SET_WINDOW, OP_SCRAPE, OP_PROFILE,
 })
 
 

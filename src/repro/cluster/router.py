@@ -38,6 +38,7 @@ partial answers with honest labels beat outages.
 from __future__ import annotations
 
 import asyncio
+import contextlib
 import logging
 import time as _time
 from collections import OrderedDict
@@ -56,6 +57,8 @@ from ..index.inverted_index import Document
 from ..index.query import LabelMatcher, TopicQuery
 from ..observability import facade as _obs
 from ..observability import structlog
+from ..observability.collector import Collector
+from ..observability.traces import TracePipeline, head_sample
 from ..observability.tracing import TraceContext
 from ..pipeline import DigestResult
 from ..service import DigestRequest, ServiceResponse
@@ -71,6 +74,8 @@ from .protocol import (
     OP_HEARTBEAT,
     OP_INGEST,
     OP_INTROSPECT,
+    OP_PROFILE,
+    OP_SCRAPE,
     OP_SET_WINDOW,
     OP_WARM,
     ShardTimeoutError,
@@ -85,6 +90,18 @@ __all__ = ["ClusterConfig", "ClusterResponse", "ClusterRouter",
 OK = "ok"
 DEGRADED = "degraded"
 ERROR = "error"
+
+
+class _NoSpan:
+    """Inert span stand-in for unsampled requests."""
+
+    __slots__ = ()
+
+    def set_attribute(self, key: str, value: Any) -> None:
+        pass
+
+
+_NO_SPAN = _NoSpan()
 
 
 @dataclass(frozen=True)
@@ -351,6 +368,10 @@ class ClusterRouter:
         self._hot: "OrderedDict[Tuple, None]" = OrderedDict()
         self._clock = self.config.clock
         self._heartbeat_task: Optional["asyncio.Task"] = None
+        # observability control plane (optional, attached post-init)
+        self._collector: Optional[Collector] = None
+        self._collector_task: Optional["asyncio.Task"] = None
+        self._trace_pipeline: Optional[TracePipeline] = None
         # counters
         self.requests = 0
         self.errors = 0
@@ -606,6 +627,11 @@ class ClusterRouter:
         if self._heartbeat_task is not None:
             self._heartbeat_task.cancel()
             self._heartbeat_task = None
+        if self._collector_task is not None:
+            self._collector_task.cancel()
+            self._collector_task = None
+        if self._trace_pipeline is not None:
+            self._trace_pipeline.close()
         for client in self._clients.values():
             await client.close()
 
@@ -625,6 +651,121 @@ class ClusterRouter:
         state = self.membership.get(name)
         if state is not None and state.status == "up":
             state.missed = 0
+
+    # -- observability control plane ---------------------------------------
+
+    def attach_trace_pipeline(self, pipeline: TracePipeline) -> None:
+        """Route every finished digest through ``pipeline``.
+
+        Attaching also turns on router-level head sampling: a request
+        that loses the pipeline policy's coin flip creates no spans at
+        all (here or on the workers) — the cheap path the p50 gate in
+        ``BENCH_observability.json`` measures."""
+        self._trace_pipeline = pipeline
+
+    def enable_collector(
+        self,
+        *,
+        interval: float = 1.0,
+        engine: Optional[Any] = None,
+    ) -> Collector:
+        """Build the fleet collector over the ``scrape`` op.
+
+        The collector pulls every *live* member each cycle with a
+        versioned cursor, feeds scrape outcomes into the same failure
+        detector as the request path, and (with an ``engine``) raises
+        anomaly alerts against the merged fleet state.  The caller owns
+        the cadence: drive :meth:`collect_once` explicitly (tests) or
+        :meth:`start_collector` for the background loop."""
+
+        async def scrape(
+            name: str, cursor: Optional[int]
+        ) -> Dict[str, Any]:
+            try:
+                response = await self._client(name).call(
+                    OP_SCRAPE, {"cursor": cursor},
+                    timeout=self.config.request_timeout,
+                )
+            except ClusterError:
+                self._note_failure(name)
+                raise
+            self._note_success(name)
+            return response["payload"]
+
+        self._collector = Collector(
+            nodes=lambda: self.membership.alive(),
+            scrape=scrape,
+            interval=interval,
+            engine=engine,
+            fleet_state=lambda: {"dark_labels": self._dark_labels()},
+        )
+        return self._collector
+
+    def _dark_labels(self) -> List[str]:
+        """Labels whose every replica is down — requests for them are
+        already degrading; the ``dark_shard`` rule alerts on this."""
+        if len(self.ring) == 0:
+            return list(self.labels)
+        return [
+            label for label in self.labels
+            if not any(
+                self.membership.is_alive(node)
+                for node in self.ring.owners(
+                    label, self.config.replication
+                )
+            )
+        ]
+
+    async def collect_once(self) -> Dict[str, Any]:
+        """One explicit collector cycle (tests drive this directly)."""
+        if self._collector is None:
+            raise ClusterError(
+                "no collector enabled; call enable_collector() first"
+            )
+        return await self._collector.collect_once()
+
+    async def start_collector(self) -> None:
+        """Run :meth:`collect_once` on the collector's interval until
+        :meth:`close`."""
+        if self._collector is None:
+            raise ClusterError(
+                "no collector enabled; call enable_collector() first"
+            )
+        if self._collector_task is not None:
+            return
+
+        async def pull() -> None:
+            while True:
+                await asyncio.sleep(self._collector.interval)
+                try:
+                    await self._collector.collect_once()
+                except Exception:  # pragma: no cover - defensive
+                    logging.getLogger(__name__).exception(
+                        "collector cycle failed"
+                    )
+
+        self._collector_task = asyncio.ensure_future(pull())
+
+    def federated_prometheus(self) -> str:
+        """The fleet's one Prometheus page (collector required)."""
+        if self._collector is None:
+            raise ClusterError(
+                "no collector enabled; call enable_collector() first"
+            )
+        return self._collector.to_prometheus()
+
+    async def profile_node(
+        self, name: str, *, seconds: float = 2.0, hz: int = 100
+    ) -> Dict[str, Any]:
+        """Capture ``seconds`` of wall-clock stack samples from a live
+        node via the ``profile`` op."""
+        response = await self._client(name).call(
+            OP_PROFILE, {"seconds": seconds, "hz": hz},
+            timeout=max(
+                self.config.request_timeout, seconds + 5.0
+            ),
+        )
+        return response["payload"]
 
     # -- ingest ------------------------------------------------------------
 
@@ -743,21 +884,62 @@ class ClusterRouter:
         ctx = TraceContext.mint(tenant=request.session)
         self.requests += 1
         _obs.count("cluster.router.requests")
-        with _obs.activate(ctx):
-            with _obs.span(
-                "cluster.request", tenant=request.session,
-                lam=request.lam,
-            ) as root:
-                response = await self._serve(
-                    request, ctx.at(getattr(root, "span_id", None)),
-                    started,
-                )
+        # router-level head sampling: with a trace pipeline attached,
+        # the policy's deterministic coin flip decides *before* the
+        # request runs whether this trace records spans anywhere
+        traced = _obs.enabled() and (
+            self._trace_pipeline is None
+            or head_sample(
+                ctx.trace_id, self._trace_pipeline.policy.rate
+            )
+        )
+        if traced:
+            with _obs.activate(ctx):
+                with _obs.span(
+                    "cluster.request", tenant=request.session,
+                    lam=request.lam,
+                ) as root:
+                    response = await self._serve(
+                        request,
+                        ctx.at(getattr(root, "span_id", None)),
+                        started,
+                    )
+        else:
+            if _obs.enabled():
+                _obs.count("cluster.router.trace_unsampled")
+            response = await self._serve(
+                request, ctx, started, traced=False
+            )
         if response.status == ERROR:
             self.errors += 1
             _obs.count("cluster.router.errors")
         elif response.status == DEGRADED:
             self.degraded_responses += 1
             _obs.count("cluster.router.degraded")
+            structlog.emit(
+                "cluster.degraded_response",
+                level=logging.WARNING,
+                trace_id=ctx.trace_id,
+                tenant=request.session,
+                missing_labels=list(response.missing_labels),
+                dark_labels=self._dark_labels(),
+            )
+        if self._trace_pipeline is not None:
+            bundle = _obs.active()
+            self._trace_pipeline.offer(
+                trace_id=ctx.trace_id,
+                status=response.status,
+                latency_s=response.latency_s,
+                tracer=(
+                    bundle.tracer
+                    if traced and bundle is not None else None
+                ),
+                attributes={
+                    "tenant": request.session,
+                    "shards": list(response.shards),
+                    "missing_labels": list(response.missing_labels),
+                },
+            )
         structlog.emit(
             f"cluster.{response.status}",
             level=logging.INFO if response.status == OK
@@ -775,6 +957,8 @@ class ClusterRouter:
         request: DigestRequest,
         ctx: TraceContext,
         started: float,
+        *,
+        traced: bool = True,
     ) -> ClusterResponse:
         try:
             labels = self._resolve_labels(request.labels)
@@ -815,7 +999,9 @@ class ClusterRouter:
         if _obs.enabled():
             _obs.set_gauge("cluster.router.inflight", self._inflight)
         try:
-            legs = await self._scatter(request, groups, ctx)
+            legs = await self._scatter(
+                request, groups, ctx, traced=traced
+            )
         finally:
             self._inflight -= 1
             if _obs.enabled():
@@ -843,6 +1029,7 @@ class ClusterRouter:
         return self._merge(
             request, ctx, started, served,
             missing=tuple(sorted(missing)), hedges=hedges,
+            traced=traced,
         )
 
     async def _scatter(
@@ -850,6 +1037,8 @@ class ClusterRouter:
         request: DigestRequest,
         groups: "OrderedDict[Tuple[str, ...], List[str]]",
         ctx: TraceContext,
+        *,
+        traced: bool = True,
     ) -> List[Dict[str, Any]]:
         """Fan the label groups out; every leg resolves to a dict with
         its labels, serving node, hedge count and response (or None)."""
@@ -868,6 +1057,7 @@ class ClusterRouter:
             try:
                 node, frame, hedges = await self._call_with_failover(
                     owners, OP_DIGEST, {"request": sub.to_dict()}, ctx,
+                    traced=traced,
                 )
             except ClusterError as error:
                 structlog.emit(
@@ -882,11 +1072,12 @@ class ClusterRouter:
                 bundle = _obs.active()
                 if bundle is not None:
                     # graft the worker's spans into this request's
-                    # trace — the existing Tracer.adopt path
-                    bundle.tracer.adopt(
-                        spans, parent_id=ctx.span_id,
-                        trace_id=ctx.trace_id,
-                    )
+                    # trace — the existing Tracer.adopt path.  No
+                    # trace_id override: the worker span already
+                    # carries this trace, and the service-side spans
+                    # riding along keep their own trace so the
+                    # link_trace_id hop stays resolvable
+                    bundle.tracer.adopt(spans, parent_id=ctx.span_id)
             response = ServiceResponse.from_dict(
                 frame["payload"]["response"]
             )
@@ -912,6 +1103,8 @@ class ClusterRouter:
         op: str,
         payload: Dict[str, Any],
         ctx: TraceContext,
+        *,
+        traced: bool = True,
     ) -> Tuple[str, Dict[str, Any], int]:
         """Hedged replica fan-out: start the primary, start the next
         replica after ``hedge_delay`` (or on failure), first success
@@ -919,7 +1112,7 @@ class ClusterRouter:
         """
         loop = asyncio.get_running_loop()
         deadline = loop.time() + self.config.request_timeout
-        want_spans = _obs.enabled()
+        want_spans = _obs.enabled() and traced
         trace = ctx.to_dict() if want_spans else None
         pending: Dict["asyncio.Future", str] = {}
         errors: List[str] = []
@@ -948,6 +1141,14 @@ class ClusterRouter:
                         hedges += 1
                         self.hedges += 1
                         _obs.count("cluster.router.hedges")
+                        structlog.emit(
+                            "cluster.hedged_retry",
+                            trace_id=ctx.trace_id,
+                            node=node,
+                            attempt=index,
+                            op=op,
+                            hedge_delay_s=self.config.hedge_delay,
+                        )
                     task = asyncio.ensure_future(self._client(node).call(
                         op, payload, trace=trace,
                         want_spans=want_spans,
@@ -969,6 +1170,16 @@ class ClusterRouter:
                     except Exception as error:
                         errors.append(f"{node}: {error!r}")
                         self._note_failure(node)
+                        structlog.emit(
+                            "cluster.inline_failover",
+                            level=logging.WARNING,
+                            trace_id=ctx.trace_id,
+                            node=node,
+                            op=op,
+                            reason=repr(error),
+                            remaining=len(pending)
+                            + max(0, len(owners) - index),
+                        )
                         continue
                     self._note_success(node)
                     return node, frame, hedges
@@ -991,6 +1202,7 @@ class ClusterRouter:
         *,
         missing: Tuple[str, ...],
         hedges: int,
+        traced: bool = True,
     ) -> ClusterResponse:
         algorithm = legs[0]["response"].algorithm
         served_labels = tuple(sorted(
@@ -1000,10 +1212,14 @@ class ClusterRouter:
         degraded = bool(missing) or any(
             leg["response"].status == DEGRADED for leg in legs
         )
-        with _obs.span(
-            "cluster.merge", legs=len(legs),
-            labels=len(served_labels),
-        ) as span:
+        merge_span = (
+            _obs.span(
+                "cluster.merge", legs=len(legs),
+                labels=len(served_labels),
+            )
+            if traced else contextlib.nullcontext(_NO_SPAN)
+        )
+        with merge_span as span:
             if len(legs) == 1 and not missing:
                 # single-owner fast path: the worker's digest IS the
                 # answer; only the cluster-wide counters are rewritten
@@ -1187,6 +1403,10 @@ class ClusterRouter:
             "degraded": self.degraded_responses,
             "documents": self.documents_ingested,
             "unrouted": self.documents_unrouted,
+            "fleet": (
+                self._collector.fleet()
+                if self._collector is not None else None
+            ),
         }
 
     def introspect(self) -> Dict[str, Any]:
@@ -1231,4 +1451,17 @@ class ClusterRouter:
             },
             "hot_keys": len(self._hot),
             "stitch_mode": self.config.stitch_mode,
+            "fleet": (
+                self._collector.fleet()
+                if self._collector is not None else None
+            ),
+            "alerts": (
+                self._collector.engine.snapshot()
+                if self._collector is not None
+                and self._collector.engine is not None else None
+            ),
+            "traces": (
+                self._trace_pipeline.snapshot()
+                if self._trace_pipeline is not None else None
+            ),
         }

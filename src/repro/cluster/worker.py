@@ -40,6 +40,7 @@ from ..index.inverted_index import Document
 from ..index.query import TopicQuery
 from ..observability import facade as _obs
 from ..observability import structlog
+from ..observability.profiling import MAX_CAPTURE_SECONDS, Profiler
 from ..observability.tracing import TraceContext, Tracer
 from ..service import DigestRequest, DiversificationService, \
     ServiceConfig
@@ -52,6 +53,8 @@ from .protocol import (
     OP_HEARTBEAT,
     OP_INGEST,
     OP_INTROSPECT,
+    OP_PROFILE,
+    OP_SCRAPE,
     OP_SET_WINDOW,
     OP_WARM,
     document_from_dict,
@@ -268,9 +271,28 @@ class WorkerNode:
                 with tracer.activate(context):
                     with tracer.span(
                         f"cluster.worker.{op}", node=self.name,
-                    ):
+                    ) as worker_span:
                         result = await self._dispatch(op, payload)
+                if op == OP_DIGEST:
+                    # link the worker span to the service-side trace:
+                    # the router's assembled tree follows it, so the
+                    # persisted cross-node tree reaches down to the
+                    # worker's service.solve spans
+                    linked = (
+                        (result.get("response") or {}).get("trace_id")
+                    )
+                    if linked:
+                        worker_span.set_attribute(
+                            "link_trace_id", linked
+                        )
                 spans = tracer.as_dicts()
+                # the worker root's parent is the *router's* span id —
+                # an id from a different allocator that can collide
+                # with this tracer's own ids.  Null it out: the router
+                # re-parents foreign roots onto its span on adoption.
+                for entry in spans:
+                    if entry["span_id"] == worker_span.span_id:
+                        entry["parent_id"] = None
             else:
                 result = await self._dispatch(op, payload)
             response = ok_frame(rid, result, spans=spans)
@@ -309,6 +331,10 @@ class WorkerNode:
             return await self._op_warm(payload)
         if op == OP_SET_WINDOW:
             return self._op_set_window(payload)
+        if op == OP_SCRAPE:
+            return self._op_scrape(payload)
+        if op == OP_PROFILE:
+            return await self._op_profile(payload)
         if op == OP_HEALTH:
             return self.service.health()
         if op == OP_INTROSPECT:
@@ -391,6 +417,50 @@ class WorkerNode:
             if response.status in ("ok", "degraded"):
                 warmed += 1
         return {"node": self.name, "warmed": warmed}
+
+    def _op_scrape(self, payload: Dict[str, Any]) -> Dict[str, Any]:
+        """The federation pull: this node's telemetry as a versioned
+        delta against the collector's cursor (see
+        :meth:`DiversificationService.scrape`)."""
+        cursor = payload.get("cursor")
+        out = self.service.scrape(
+            None if cursor is None else int(cursor)
+        )
+        out["node"] = self.name
+        # exclude this scrape request from the inflight count
+        out["service"]["inflight"] = self._inflight - 1
+        return out
+
+    async def _op_profile(self, payload: Dict[str, Any]) -> Dict[str, Any]:
+        """On-demand continuous-profiling capture: sample this node's
+        threads for a bounded number of seconds and return collapsed
+        stacks plus the speedscope document.  The worker keeps serving
+        while the sampler runs — that is the point."""
+        seconds = min(
+            float(payload.get("seconds", 1.0)), MAX_CAPTURE_SECONDS
+        )
+        if seconds <= 0:
+            raise ClusterError(
+                f"profile capture needs seconds > 0, got {seconds}"
+            )
+        hz = int(payload.get("hz", 100))
+        profiler = Profiler(hz=hz)
+        profiler.start()
+        try:
+            await asyncio.sleep(seconds)
+        finally:
+            profiler.stop()
+        return {
+            "node": self.name,
+            "seconds": seconds,
+            "hz": profiler.hz,
+            "samples": profiler.sample_count,
+            "overflowed": profiler.overflowed,
+            "collapsed": profiler.collapsed(),
+            "speedscope": profiler.speedscope(
+                name=f"{self.name} profile"
+            ),
+        }
 
     def _op_set_window(self, payload: Dict[str, Any]) -> Dict[str, Any]:
         labels = tuple(payload["labels"])

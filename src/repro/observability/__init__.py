@@ -25,6 +25,7 @@ See ``docs/observability.md`` for the metric catalogue and artifact
 schema.
 """
 
+from .anomaly import Alert, AnomalyEngine, RULES
 from .bench import (
     BENCH_SCHEMA,
     BENCH_SCHEMA_VERSION,
@@ -33,6 +34,14 @@ from .bench import (
     validate_bench,
 )
 from . import structlog
+from .collector import (
+    Collector,
+    FleetStore,
+    ScrapeLedger,
+    escape_label_value,
+    merge_histograms,
+    quantile_from_buckets,
+)
 from .exporters import (
     PromFormatError,
     parse_prometheus,
@@ -57,11 +66,34 @@ from .facade import (
     span,
 )
 from .metrics import Counter, Gauge, Histogram, MetricsRegistry
+from .profiling import Profiler
 from .requesttrace import traced_run
 from .slo import SLOMonitor
+from .traces import (
+    SamplingPolicy,
+    TraceBuffer,
+    TracePipeline,
+    TraceSink,
+    head_sample,
+)
 from .tracing import Span, TraceContext, Tracer, mint_trace_id
 
 __all__ = [
+    "Alert",
+    "AnomalyEngine",
+    "RULES",
+    "Collector",
+    "FleetStore",
+    "ScrapeLedger",
+    "escape_label_value",
+    "merge_histograms",
+    "quantile_from_buckets",
+    "Profiler",
+    "SamplingPolicy",
+    "TraceBuffer",
+    "TracePipeline",
+    "TraceSink",
+    "head_sample",
     "BENCH_SCHEMA",
     "BENCH_SCHEMA_VERSION",
     "BenchSchemaError",

@@ -1,0 +1,335 @@
+"""Rule-based anomaly detection over each collector cycle.
+
+The :class:`~repro.observability.collector.Collector` hands
+:meth:`AnomalyEngine.evaluate` one state dict per cycle (fleet latency
+quantiles, per-node SLO burn + service blocks, and router-contributed
+extras such as ``dark_labels``); the engine runs its configured rules,
+keeps the set of *active* alerts across cycles, and reports every
+transition as a structlog event (``obs.alert_raised`` /
+``obs.alert_cleared``), a ``repro_alerts`` Prometheus series on the
+federated page, and the ``alerts`` block in router ``introspect()``.
+
+Rules (all thresholds are constructor knobs):
+
+``p99_regression``
+    Fleet p99 exceeds ``p99_ratio ×`` the trailing-baseline median of
+    the last ``baseline_cycles`` observed p99s, with at least
+    ``min_samples`` observations behind the current quantile.
+``error_budget_fast_burn``
+    Any node's fast-window burn rate is at or above ``fast_burn`` —
+    14.4 by default, the classic 2 %-budget-in-one-hour multiplier.
+``dark_shard``
+    The router reports labels whose every replica is down — requests
+    for them are already coming back ``degraded``.
+``queue_watermark_saturation``
+    A node's pending queue is at or above ``queue_ratio`` of its hard
+    admission watermark (sheds are imminent).
+``view_ledger_drift``
+    A node reports poisoned materialized views, or its stale-read
+    count grew by more than ``stale_reads_per_cycle`` in one cycle.
+"""
+
+from __future__ import annotations
+
+import logging
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Deque, Dict, List, Mapping, Optional, Tuple
+
+from . import structlog
+
+__all__ = ["Alert", "AnomalyEngine", "RULES"]
+
+RULES = (
+    "p99_regression",
+    "error_budget_fast_burn",
+    "dark_shard",
+    "queue_watermark_saturation",
+    "view_ledger_drift",
+)
+
+WARNING = "warning"
+CRITICAL = "critical"
+
+
+@dataclass(frozen=True)
+class Alert:
+    """One active anomaly finding."""
+
+    rule: str
+    severity: str
+    message: str
+    subject: str = ""  # node name, label, or "" for fleet-wide
+    value: float = 0.0
+    since_cycle: int = 0
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "rule": self.rule,
+            "severity": self.severity,
+            "message": self.message,
+            "subject": self.subject,
+            "value": self.value,
+            "since_cycle": self.since_cycle,
+        }
+
+    @property
+    def key(self) -> Tuple[str, str]:
+        return (self.rule, self.subject)
+
+
+@dataclass
+class AnomalyEngine:
+    """Evaluates the rule set each cycle and tracks alert lifecycle."""
+
+    p99_ratio: float = 2.0
+    baseline_cycles: int = 10
+    min_samples: int = 20
+    fast_burn: float = 14.4
+    queue_ratio: float = 0.8
+    stale_reads_per_cycle: int = 10
+
+    active: Dict[Tuple[str, str], Alert] = field(default_factory=dict)
+    raised_total: Dict[str, int] = field(default_factory=dict)
+    cleared_total: Dict[str, int] = field(default_factory=dict)
+    evaluations: int = 0
+
+    def __post_init__(self) -> None:
+        if self.p99_ratio <= 1.0:
+            raise ValueError(
+                f"p99_ratio must be > 1, got {self.p99_ratio}"
+            )
+        if self.baseline_cycles < 1:
+            raise ValueError(
+                "baseline_cycles must be >= 1, got "
+                f"{self.baseline_cycles}"
+            )
+        self._p99_history: Deque[float] = deque(
+            maxlen=self.baseline_cycles
+        )
+        self._stale_reads: Dict[str, int] = {}
+
+    # -- rules -------------------------------------------------------------
+
+    def _rule_p99_regression(
+        self, state: Mapping[str, Any], cycle: int
+    ) -> List[Alert]:
+        latency = state.get("latency") or {}
+        p99 = latency.get("p99")
+        count = latency.get("count", 0)
+        alerts: List[Alert] = []
+        if p99 is not None and count >= self.min_samples \
+                and len(self._p99_history) >= 3:
+            ordered = sorted(self._p99_history)
+            baseline = ordered[len(ordered) // 2]
+            if baseline > 0 and p99 > self.p99_ratio * baseline:
+                alerts.append(Alert(
+                    rule="p99_regression",
+                    severity=WARNING,
+                    message=(
+                        f"fleet p99 {p99:.6f}s is "
+                        f"{p99 / baseline:.1f}x the trailing "
+                        f"baseline {baseline:.6f}s"
+                    ),
+                    value=p99,
+                    since_cycle=cycle,
+                ))
+        if p99 is not None:
+            self._p99_history.append(p99)
+        return alerts
+
+    def _rule_fast_burn(
+        self, state: Mapping[str, Any], cycle: int
+    ) -> List[Alert]:
+        alerts: List[Alert] = []
+        for node, node_state in (state.get("nodes") or {}).items():
+            burn = (node_state.get("slo") or {}).get(
+                "max_fast_burn", 0.0
+            )
+            if burn >= self.fast_burn:
+                alerts.append(Alert(
+                    rule="error_budget_fast_burn",
+                    severity=CRITICAL,
+                    message=(
+                        f"node {node} burning error budget at "
+                        f"{burn:.1f}x (threshold {self.fast_burn})"
+                    ),
+                    subject=node,
+                    value=burn,
+                    since_cycle=cycle,
+                ))
+        return alerts
+
+    def _rule_dark_shard(
+        self, state: Mapping[str, Any], cycle: int
+    ) -> List[Alert]:
+        labels = state.get("dark_labels") or []
+        if not labels:
+            return []
+        return [Alert(
+            rule="dark_shard",
+            severity=CRITICAL,
+            message=(
+                f"{len(labels)} label(s) have no live replica: "
+                f"{', '.join(sorted(labels)[:5])}"
+            ),
+            subject=",".join(sorted(labels)),
+            value=float(len(labels)),
+            since_cycle=cycle,
+        )]
+
+    def _rule_queue_saturation(
+        self, state: Mapping[str, Any], cycle: int
+    ) -> List[Alert]:
+        alerts: List[Alert] = []
+        for node, node_state in (state.get("nodes") or {}).items():
+            service = node_state.get("service") or {}
+            pending = service.get("pending")
+            hard = service.get("hard_watermark")
+            if not pending or not hard:
+                continue
+            ratio = pending / hard
+            if ratio >= self.queue_ratio:
+                alerts.append(Alert(
+                    rule="queue_watermark_saturation",
+                    severity=WARNING,
+                    message=(
+                        f"node {node} queue at {pending}/{hard} "
+                        f"({ratio:.0%} of hard watermark)"
+                    ),
+                    subject=node,
+                    value=ratio,
+                    since_cycle=cycle,
+                ))
+        return alerts
+
+    def _rule_view_drift(
+        self, state: Mapping[str, Any], cycle: int
+    ) -> List[Alert]:
+        alerts: List[Alert] = []
+        for node, node_state in (state.get("nodes") or {}).items():
+            service = node_state.get("service") or {}
+            poisoned = service.get("views_poisoned", 0)
+            stale = service.get("view_stale_reads")
+            if poisoned:
+                alerts.append(Alert(
+                    rule="view_ledger_drift",
+                    severity=CRITICAL,
+                    message=(
+                        f"node {node} reports {poisoned} poisoned "
+                        "view(s)"
+                    ),
+                    subject=node,
+                    value=float(poisoned),
+                    since_cycle=cycle,
+                ))
+                continue
+            if stale is not None:
+                prior = self._stale_reads.get(node)
+                self._stale_reads[node] = stale
+                if prior is not None and \
+                        stale - prior > self.stale_reads_per_cycle:
+                    alerts.append(Alert(
+                        rule="view_ledger_drift",
+                        severity=WARNING,
+                        message=(
+                            f"node {node} stale view reads grew by "
+                            f"{stale - prior} in one cycle"
+                        ),
+                        subject=node,
+                        value=float(stale - prior),
+                        since_cycle=cycle,
+                    ))
+        return alerts
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def evaluate(self, state: Mapping[str, Any]) -> List[Alert]:
+        """Run every rule; returns the full active-alert list."""
+        self.evaluations += 1
+        cycle = int(state.get("cycle", self.evaluations))
+        found: List[Alert] = []
+        found.extend(self._rule_p99_regression(state, cycle))
+        found.extend(self._rule_fast_burn(state, cycle))
+        found.extend(self._rule_dark_shard(state, cycle))
+        found.extend(self._rule_queue_saturation(state, cycle))
+        found.extend(self._rule_view_drift(state, cycle))
+
+        next_active: Dict[Tuple[str, str], Alert] = {}
+        for alert in found:
+            known = self.active.get(alert.key)
+            if known is not None:
+                # keep the original since_cycle; refresh the payload
+                alert = Alert(
+                    rule=alert.rule,
+                    severity=alert.severity,
+                    message=alert.message,
+                    subject=alert.subject,
+                    value=alert.value,
+                    since_cycle=known.since_cycle,
+                )
+            else:
+                self.raised_total[alert.rule] = \
+                    self.raised_total.get(alert.rule, 0) + 1
+                structlog.emit(
+                    "obs.alert_raised",
+                    level=logging.WARNING,
+                    rule=alert.rule,
+                    severity=alert.severity,
+                    subject=alert.subject,
+                    value=alert.value,
+                    message=alert.message,
+                )
+            next_active[alert.key] = alert
+        for key, alert in self.active.items():
+            if key not in next_active:
+                self.cleared_total[alert.rule] = \
+                    self.cleared_total.get(alert.rule, 0) + 1
+                structlog.emit(
+                    "obs.alert_cleared",
+                    rule=alert.rule,
+                    severity=alert.severity,
+                    subject=alert.subject,
+                )
+        self.active = next_active
+        return self.alerts()
+
+    def alerts(self) -> List[Alert]:
+        """Active alerts, most severe first, stable within severity."""
+        rank = {CRITICAL: 0, WARNING: 1}
+        return sorted(
+            self.active.values(),
+            key=lambda a: (rank.get(a.severity, 2), a.rule, a.subject),
+        )
+
+    def snapshot(self) -> Dict[str, Any]:
+        """The ``alerts`` block for ``introspect()``."""
+        return {
+            "active": [alert.as_dict() for alert in self.alerts()],
+            "raised_total": dict(sorted(self.raised_total.items())),
+            "cleared_total": dict(sorted(self.cleared_total.items())),
+            "evaluations": self.evaluations,
+            "rules": list(RULES),
+        }
+
+    def to_prometheus_lines(self) -> List[str]:
+        """The ``repro_alerts`` series for the federated page."""
+        from .collector import escape_label_value
+
+        lines = ["# TYPE repro_alerts gauge"]
+        for alert in self.alerts():
+            subject = escape_label_value(alert.subject)
+            severity = escape_label_value(alert.severity)
+            lines.append(
+                f'repro_alerts{{rule="{alert.rule}",'
+                f'severity="{severity}",subject="{subject}"}} 1'
+            )
+        lines.append("# TYPE repro_alerts_active gauge")
+        lines.append(f"repro_alerts_active {len(self.active)}")
+        lines.append("# TYPE repro_alerts_raised_total counter")
+        for rule in RULES:
+            lines.append(
+                f'repro_alerts_raised_total{{rule="{rule}"}} '
+                f"{self.raised_total.get(rule, 0)}"
+            )
+        return lines

@@ -1,0 +1,245 @@
+"""Diff two ``BENCH_*.json`` trajectory artifacts and gate regressions.
+
+CI uploads a bench artifact per suite but nothing *compares* runs — a
+2x wall-time regression sails through as long as the document is
+well-formed.  This CLI closes the loop::
+
+    python -m repro.observability.benchdiff \
+        --current BENCH_service.json --baseline prev/BENCH_service.json \
+        --fail-over 1.5 --gate warm_digest=1.05
+
+Solver entries are matched by ``solver`` name (first occurrence wins on
+duplicates — later entries of repeated names are reported as unmatched)
+and compared on ``wall_time_s``.  ``--fail-over R`` fails the run when
+any matched solver's current/baseline ratio exceeds ``R``;
+``--gate NAME=R`` overrides the threshold for one solver.  With no
+``--fail-over`` and no gates the diff is informational and always exits
+0.  ``--self-check`` runs the detector against synthetic documents (a
+planted 2x regression must fail, an improvement must pass) so the CI
+job proves the gate can actually fire before trusting it.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Any, Dict, List, Optional, Sequence
+
+from .bench import BenchSchemaError, BenchTrajectory, validate_bench
+
+__all__ = ["diff_documents", "main"]
+
+
+def _index_solvers(document: Dict[str, Any]) -> Dict[str, dict]:
+    index: Dict[str, dict] = {}
+    for entry in document.get("solvers", []):
+        index.setdefault(entry["solver"], entry)
+    return index
+
+
+def diff_documents(
+    current: Dict[str, Any],
+    baseline: Dict[str, Any],
+    *,
+    fail_over: Optional[float] = None,
+    gates: Optional[Dict[str, float]] = None,
+) -> Dict[str, Any]:
+    """Compare two validated BENCH documents.
+
+    Returns ``{"rows": [...], "unmatched": [...], "failures": [...]}``
+    where each row carries the solver name, both wall times, the ratio,
+    the applicable threshold (or ``None``) and a ``regressed`` flag.
+    """
+    gates = dict(gates or {})
+    current_index = _index_solvers(current)
+    baseline_index = _index_solvers(baseline)
+    rows: List[Dict[str, Any]] = []
+    failures: List[str] = []
+    for name in sorted(current_index):
+        entry = current_index[name]
+        base = baseline_index.get(name)
+        if base is None:
+            continue
+        base_wall = float(base["wall_time_s"])
+        cur_wall = float(entry["wall_time_s"])
+        ratio = (
+            cur_wall / base_wall if base_wall > 0
+            else (1.0 if cur_wall == 0 else float("inf"))
+        )
+        threshold = gates.get(name, fail_over)
+        regressed = threshold is not None and ratio > threshold
+        rows.append({
+            "solver": name,
+            "baseline_s": base_wall,
+            "current_s": cur_wall,
+            "ratio": ratio,
+            "threshold": threshold,
+            "regressed": regressed,
+        })
+        if regressed:
+            failures.append(
+                f"{name}: {cur_wall:.6f}s vs {base_wall:.6f}s "
+                f"({ratio:.2f}x > {threshold:.2f}x allowed)"
+            )
+    unmatched = sorted(
+        set(current_index) ^ set(baseline_index)
+    )
+    for name in gates:
+        if name not in current_index or name not in baseline_index:
+            failures.append(
+                f"{name}: gated solver missing from "
+                f"{'current' if name not in current_index else 'baseline'}"
+                " document"
+            )
+    return {"rows": rows, "unmatched": unmatched,
+            "failures": failures}
+
+
+def _parse_gate(text: str) -> Sequence[Any]:
+    name, _, ratio = text.partition("=")
+    if not name or not ratio:
+        raise argparse.ArgumentTypeError(
+            f"gate must look like NAME=RATIO, got {text!r}"
+        )
+    try:
+        value = float(ratio)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"gate ratio must be a number, got {ratio!r}"
+        )
+    if value <= 0:
+        raise argparse.ArgumentTypeError(
+            f"gate ratio must be > 0, got {value}"
+        )
+    return (name, value)
+
+
+def _synthetic(suite: str, walls: Dict[str, float]) -> Dict[str, Any]:
+    trajectory = BenchTrajectory(suite, now=0.0)
+    for solver, wall in walls.items():
+        trajectory.record_solver(
+            solver,
+            wall_time_s=wall,
+            solution_size=4,
+            instance={"posts": 100, "labels": 3},
+            counters={"scan.posts": 100},
+        )
+    return trajectory.to_dict()
+
+
+def _self_check() -> int:
+    baseline = _synthetic(
+        "selfcheck", {"warm_digest": 0.010, "cold_solve": 0.100}
+    )
+    regressed = _synthetic(
+        "selfcheck", {"warm_digest": 0.020, "cold_solve": 0.090}
+    )
+    report = diff_documents(
+        regressed, baseline, gates={"warm_digest": 1.05}
+    )
+    if not report["failures"]:
+        print(
+            "SELF-CHECK FAILED: planted 2x regression not detected",
+            file=sys.stderr,
+        )
+        return 1
+    improved = _synthetic(
+        "selfcheck", {"warm_digest": 0.009, "cold_solve": 0.080}
+    )
+    report = diff_documents(
+        improved, baseline,
+        fail_over=1.5, gates={"warm_digest": 1.05},
+    )
+    if report["failures"]:
+        print(
+            "SELF-CHECK FAILED: improvement flagged as regression: "
+            f"{report['failures']}",
+            file=sys.stderr,
+        )
+        return 1
+    missing = diff_documents(
+        _synthetic("selfcheck", {"cold_solve": 0.080}), baseline,
+        gates={"warm_digest": 1.05},
+    )
+    if not missing["failures"]:
+        print(
+            "SELF-CHECK FAILED: missing gated solver not detected",
+            file=sys.stderr,
+        )
+        return 1
+    print(
+        "benchdiff self-check OK: regression detected, improvement "
+        "passed, missing gated solver detected"
+    )
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.observability.benchdiff",
+        description=(
+            "Diff two BENCH_*.json artifacts and fail on configured "
+            "wall-time regressions."
+        ),
+    )
+    parser.add_argument("--current", metavar="PATH",
+                        help="the artifact from this run")
+    parser.add_argument("--baseline", metavar="PATH",
+                        help="the previous trajectory entry")
+    parser.add_argument(
+        "--fail-over", type=float, metavar="RATIO", default=None,
+        help="fail when any matched solver regresses past RATIO",
+    )
+    parser.add_argument(
+        "--gate", type=_parse_gate, action="append", default=[],
+        metavar="NAME=RATIO",
+        help="per-solver threshold override (repeatable)",
+    )
+    parser.add_argument(
+        "--self-check", action="store_true",
+        help="verify the detector on synthetic documents and exit",
+    )
+    args = parser.parse_args(argv)
+    if args.self_check:
+        return _self_check()
+    if not args.current or not args.baseline:
+        parser.error(
+            "--current and --baseline are required "
+            "(or use --self-check)"
+        )
+    try:
+        current = validate_bench(args.current)
+        baseline = validate_bench(args.baseline)
+    except BenchSchemaError as error:
+        print(f"INVALID: {error}", file=sys.stderr)
+        return 1
+    report = diff_documents(
+        current, baseline,
+        fail_over=args.fail_over, gates=dict(args.gate),
+    )
+    for row in report["rows"]:
+        marker = "REGRESSED" if row["regressed"] else "ok"
+        limit = (
+            f" (limit {row['threshold']:.2f}x)"
+            if row["threshold"] is not None else ""
+        )
+        print(
+            f"{marker:9s} {row['solver']}: "
+            f"{row['baseline_s']:.6f}s -> {row['current_s']:.6f}s "
+            f"({row['ratio']:.2f}x{limit})"
+        )
+    for name in report["unmatched"]:
+        print(f"unmatched {name}")
+    if report["failures"]:
+        print(
+            f"benchdiff: {len(report['failures'])} regression(s):",
+            file=sys.stderr,
+        )
+        for failure in report["failures"]:
+            print(f"  {failure}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via CLI test
+    sys.exit(main())

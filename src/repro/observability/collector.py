@@ -1,0 +1,623 @@
+"""Cluster-wide metrics federation: scrape ledgers, fleet merge, export.
+
+PR 9 made the serving tier a multi-node cluster, but every metrics
+registry stayed per-process: the operator of a 5-node ``LocalCluster``
+had five disjoint namespaces and no fleet p99.  This module is the
+pull side of the fix:
+
+* a :class:`ScrapeLedger` wraps one
+  :class:`~repro.observability.metrics.MetricsRegistry` and answers
+  **versioned** scrapes — a scraper presents the last version it saw
+  (its *cursor*) and receives counters/histogram buckets as **deltas**
+  since that version, or a full cumulative snapshot (``reset``) when
+  the cursor is unknown (first scrape, ledger restart, or a cursor that
+  aged out of the retained history).  Deltas make the scrape payload
+  proportional to what *changed*, and the reset path makes a missed
+  scrape safe rather than silently wrong;
+* a :class:`FleetStore` re-accumulates those deltas per node into
+  cumulative series and merges them fleet-wide: **counters sum**,
+  **gauges stay per-node**, **histograms merge bucket-wise** (same
+  bounds, counts add — exact, so fleet quantiles interpolated from the
+  merged buckets equal a whole-fleet recompute, which
+  ``tests/observability/test_collector.py`` pins property-style);
+* a :class:`Collector` drives the scrape cycle over any set of targets
+  (cluster workers via the ``scrape`` op, or local services directly),
+  feeds the per-cycle fleet state to an optional
+  :class:`~repro.observability.anomaly.AnomalyEngine`, and renders the
+  one federated Prometheus page (``node=<id>`` labelled per-node
+  series plus ``fleet_*`` aggregate families) that
+  ``parse_prometheus`` lints in CI.
+
+Everything is deterministic and clock-injectable; nothing here starts
+threads — the router (or a bench loop) owns the interval.
+"""
+
+from __future__ import annotations
+
+import inspect
+from collections import OrderedDict
+from typing import Any, Awaitable, Callable, Dict, List, Mapping, \
+    Optional, Sequence, Tuple, Union
+
+from .metrics import MetricsRegistry
+
+__all__ = [
+    "Collector",
+    "FleetStore",
+    "ScrapeLedger",
+    "escape_label_value",
+    "merge_histograms",
+    "quantile_from_buckets",
+]
+
+
+def escape_label_value(value: str) -> str:
+    """Prometheus label-value escaping: ``\\``, ``"`` and newline."""
+    return (
+        str(value)
+        .replace("\\", "\\\\")
+        .replace('"', '\\"')
+        .replace("\n", "\\n")
+    )
+
+
+def quantile_from_buckets(
+    bounds: Sequence[float],
+    counts: Sequence[int],
+    q: float,
+) -> Optional[float]:
+    """Interpolated quantile of a fixed-bucket histogram.
+
+    ``counts`` is per-bucket (not cumulative), one entry per bound plus
+    the trailing overflow bucket — the layout
+    :class:`~repro.observability.metrics.Histogram.bucket_counts` uses.
+    Linear interpolation within the winning bucket, the
+    ``histogram_quantile`` convention; observations past the last
+    finite bound clamp to it (the honest answer a bounded histogram
+    can give).  Returns ``None`` on an empty histogram.
+    """
+    if not 0.0 <= q <= 1.0:
+        raise ValueError(f"quantile must be in [0, 1], got {q}")
+    total = sum(counts)
+    if total == 0:
+        return None
+    rank = q * total
+    cumulative = 0
+    lower = 0.0
+    for bound, count in zip(bounds, counts):
+        before = cumulative
+        cumulative += count
+        if cumulative >= rank and count > 0:
+            fraction = (rank - before) / count if count else 0.0
+            return lower + (float(bound) - lower) * min(1.0, fraction)
+        lower = float(bound)
+    return float(bounds[-1]) if bounds else None
+
+
+def merge_histograms(
+    entries: Sequence[Mapping[str, Any]]
+) -> Optional[Dict[str, Any]]:
+    """Bucket-wise merge of cumulative histogram snapshot entries.
+
+    Every entry must share bucket bounds (the registry's fixed-bucket
+    design guarantees it for one metric name); counts and sums add,
+    min/max fold.  Returns ``None`` when nothing merges.
+    """
+    merged: Optional[Dict[str, Any]] = None
+    for entry in entries:
+        if entry.get("type") != "histogram":
+            continue
+        buckets = entry.get("buckets") or []
+        if merged is None:
+            merged = {
+                "type": "histogram",
+                "count": int(entry.get("count", 0)),
+                "sum": float(entry.get("sum", 0.0)),
+                "min": entry.get("min"),
+                "max": entry.get("max"),
+                "buckets": [dict(b) for b in buckets],
+            }
+            continue
+        bounds = [b["le"] for b in merged["buckets"]]
+        if [b["le"] for b in buckets] != bounds:
+            raise ValueError(
+                "cannot merge histograms with different bucket bounds"
+            )
+        merged["count"] += int(entry.get("count", 0))
+        merged["sum"] += float(entry.get("sum", 0.0))
+        for mine, theirs in zip(merged["buckets"], buckets):
+            mine["count"] += int(theirs.get("count", 0))
+        for key, fold in (("min", min), ("max", max)):
+            theirs_v = entry.get(key)
+            if theirs_v is None:
+                continue
+            merged[key] = (
+                theirs_v if merged[key] is None
+                else fold(merged[key], theirs_v)
+            )
+    if merged is not None:
+        merged["mean"] = (
+            merged["sum"] / merged["count"] if merged["count"] else None
+        )
+    return merged
+
+
+class ScrapeLedger:
+    """Versioned delta scrapes over one :class:`MetricsRegistry`.
+
+    Each :meth:`scrape` bumps the version and retains the cumulative
+    snapshot it answered with; a follow-up scrape presenting that
+    version as its *cursor* receives only what changed since.  The
+    retained history is bounded (``history`` versions), so a scraper
+    that falls too far behind gets a full snapshot with ``reset=True``
+    instead of a delta against a base the ledger no longer holds —
+    stale cursors degrade to correctness, never to double counting.
+    """
+
+    def __init__(self, registry: MetricsRegistry, *, history: int = 4):
+        if history < 1:
+            raise ValueError(f"history must be >= 1, got {history}")
+        self.registry = registry
+        self.history = history
+        self.version = 0
+        self.scrapes = 0
+        self.resets = 0
+        self._snapshots: "OrderedDict[int, Dict[str, dict]]" = \
+            OrderedDict()
+
+    @staticmethod
+    def _delta(
+        base: Mapping[str, dict], current: Mapping[str, dict]
+    ) -> Dict[str, dict]:
+        out: Dict[str, dict] = {}
+        for name, entry in current.items():
+            prior = base.get(name)
+            kind = entry.get("type")
+            if kind == "counter":
+                before = prior["value"] if prior else 0
+                delta = entry["value"] - before
+                if delta:
+                    out[name] = {"type": "counter", "value": delta}
+            elif kind == "gauge":
+                # gauges are point-in-time: always ship the current value
+                out[name] = {"type": "gauge", "value": entry["value"]}
+            else:
+                prior_count = prior["count"] if prior else 0
+                if entry["count"] == prior_count:
+                    continue
+                prior_buckets = prior["buckets"] if prior else None
+                buckets = []
+                for idx, bucket in enumerate(entry["buckets"]):
+                    before = (
+                        prior_buckets[idx]["count"]
+                        if prior_buckets else 0
+                    )
+                    buckets.append({
+                        "le": bucket["le"],
+                        "count": bucket["count"] - before,
+                    })
+                out[name] = {
+                    "type": "histogram",
+                    "count": entry["count"] - prior_count,
+                    "sum": entry["sum"] - (prior["sum"] if prior else 0.0),
+                    "min": entry.get("min"),
+                    "max": entry.get("max"),
+                    "buckets": buckets,
+                }
+        return out
+
+    def scrape(self, cursor: Optional[int] = None) -> Dict[str, Any]:
+        """One scrape: ``{"version", "reset", "metrics"}``.
+
+        ``reset=True`` means ``metrics`` is the full cumulative
+        snapshot (replace, don't add); otherwise it is the delta since
+        the presented ``cursor``.
+        """
+        current = self.registry.snapshot()
+        self.version += 1
+        self.scrapes += 1
+        base = (
+            self._snapshots.get(cursor) if cursor is not None else None
+        )
+        self._snapshots[self.version] = current
+        while len(self._snapshots) > self.history:
+            self._snapshots.popitem(last=False)
+        if base is None:
+            self.resets += 1
+            return {
+                "version": self.version,
+                "reset": True,
+                "metrics": current,
+            }
+        return {
+            "version": self.version,
+            "reset": False,
+            "metrics": self._delta(base, current),
+        }
+
+
+class _NodeSeries:
+    """One node's re-accumulated cumulative metrics plus scrape health."""
+
+    __slots__ = ("metrics", "version", "scrapes", "failures",
+                 "consecutive_failures", "last_cycle", "slo", "service")
+
+    def __init__(self) -> None:
+        self.metrics: Dict[str, dict] = {}
+        self.version: Optional[int] = None
+        self.scrapes = 0
+        self.failures = 0
+        self.consecutive_failures = 0
+        self.last_cycle: Optional[int] = None
+        self.slo: Dict[str, Any] = {}
+        self.service: Dict[str, Any] = {}
+
+
+class FleetStore:
+    """Per-node cumulative series rebuilt from versioned scrapes."""
+
+    def __init__(self) -> None:
+        self._nodes: Dict[str, _NodeSeries] = {}
+
+    def _series(self, node: str) -> _NodeSeries:
+        series = self._nodes.get(node)
+        if series is None:
+            series = self._nodes[node] = _NodeSeries()
+        return series
+
+    def ingest(self, node: str, payload: Mapping[str, Any],
+               *, cycle: int = 0) -> None:
+        """Apply one scrape payload (reset snapshot or delta)."""
+        series = self._series(node)
+        series.version = payload.get("version")
+        series.scrapes += 1
+        series.consecutive_failures = 0
+        series.last_cycle = cycle
+        series.slo = dict(payload.get("slo") or {})
+        series.service = dict(payload.get("service") or {})
+        metrics = payload.get("metrics") or {}
+        if payload.get("reset"):
+            series.metrics = {
+                name: _copy_entry(entry)
+                for name, entry in metrics.items()
+            }
+            return
+        for name, entry in metrics.items():
+            kind = entry.get("type")
+            known = series.metrics.get(name)
+            if known is None or known.get("type") != kind:
+                series.metrics[name] = _copy_entry(entry)
+                continue
+            if kind == "counter":
+                known["value"] += entry["value"]
+            elif kind == "gauge":
+                known["value"] = entry["value"]
+            else:
+                known["count"] += int(entry.get("count", 0))
+                known["sum"] += float(entry.get("sum", 0.0))
+                known["min"] = entry.get("min")
+                known["max"] = entry.get("max")
+                theirs = entry.get("buckets") or []
+                if [b["le"] for b in theirs] != \
+                        [b["le"] for b in known["buckets"]]:
+                    series.metrics[name] = _copy_entry(entry)
+                    continue
+                for mine, bucket in zip(known["buckets"], theirs):
+                    mine["count"] += int(bucket.get("count", 0))
+                known["mean"] = (
+                    known["sum"] / known["count"]
+                    if known["count"] else None
+                )
+
+    def note_failure(self, node: str) -> None:
+        series = self._series(node)
+        series.failures += 1
+        series.consecutive_failures += 1
+
+    # -- views -------------------------------------------------------------
+
+    def nodes(self) -> List[str]:
+        return sorted(self._nodes)
+
+    def node_metrics(self, node: str) -> Dict[str, dict]:
+        series = self._nodes.get(node)
+        return dict(series.metrics) if series else {}
+
+    def node_health(self) -> Dict[str, Dict[str, Any]]:
+        return {
+            name: {
+                "version": series.version,
+                "scrapes": series.scrapes,
+                "failures": series.failures,
+                "consecutive_failures": series.consecutive_failures,
+                "last_cycle": series.last_cycle,
+            }
+            for name, series in sorted(self._nodes.items())
+        }
+
+    def node_states(self) -> Dict[str, Dict[str, Any]]:
+        """Per-node auxiliary scrape state (SLO burn + service block)."""
+        return {
+            name: {
+                "slo": dict(series.slo),
+                "service": dict(series.service),
+                "consecutive_failures": series.consecutive_failures,
+            }
+            for name, series in sorted(self._nodes.items())
+        }
+
+    def fleet_counters(self) -> Dict[str, int]:
+        """Counters summed across every node."""
+        totals: Dict[str, int] = {}
+        for series in self._nodes.values():
+            for name, entry in series.metrics.items():
+                if entry.get("type") == "counter":
+                    totals[name] = totals.get(name, 0) + entry["value"]
+        return dict(sorted(totals.items()))
+
+    def fleet_histogram(self, name: str) -> Optional[Dict[str, Any]]:
+        """One metric's histograms merged bucket-wise across nodes."""
+        entries = [
+            series.metrics[name]
+            for series in self._nodes.values()
+            if name in series.metrics
+        ]
+        return merge_histograms(entries) if entries else None
+
+    def fleet_quantiles(
+        self, name: str, quantiles: Sequence[float] = (0.5, 0.95, 0.99)
+    ) -> Dict[str, Optional[float]]:
+        merged = self.fleet_histogram(name)
+        out: Dict[str, Optional[float]] = {"count": 0}
+        if merged is None:
+            out.update({f"p{int(q * 100)}": None for q in quantiles})
+            return out
+        bounds = [
+            b["le"] for b in merged["buckets"] if b["le"] != "+Inf"
+        ]
+        counts = [b["count"] for b in merged["buckets"]]
+        out["count"] = merged["count"]
+        for q in quantiles:
+            out[f"p{int(q * 100)}"] = quantile_from_buckets(
+                bounds, counts, q
+            )
+        return out
+
+
+def _copy_entry(entry: Mapping[str, Any]) -> dict:
+    out = dict(entry)
+    if "buckets" in out:
+        out["buckets"] = [dict(b) for b in out["buckets"]]
+    return out
+
+
+ScrapeFn = Callable[
+    [str, Optional[int]],
+    Union[Dict[str, Any], Awaitable[Dict[str, Any]]],
+]
+
+# the fleet latency histogram the SLO quantiles read; every
+# DiversificationService publishes it through its telemetry registry
+LATENCY_METRIC = "service.latency_s"
+
+
+class Collector:
+    """The scrape cycle: pull every node, merge, evaluate, export.
+
+    Parameters
+    ----------
+    nodes:
+        Callable returning the node names to scrape this cycle (the
+        router passes its live membership; a standalone deployment a
+        static list).
+    scrape:
+        ``scrape(node, cursor)`` returning the node's scrape payload;
+        sync or async (the router's is async over the ``scrape`` op).
+    interval:
+        The intended scrape period in seconds — recorded for the fleet
+        block and used by whoever owns the background loop.
+    engine:
+        Optional :class:`~repro.observability.anomaly.AnomalyEngine`
+        evaluated after each cycle's merge.
+    fleet_state:
+        Optional callable contributing extra state to the engine's
+        input (the router supplies ``dark_labels`` from its ring +
+        membership view).
+    """
+
+    def __init__(
+        self,
+        *,
+        nodes: Callable[[], Sequence[str]],
+        scrape: ScrapeFn,
+        interval: float = 1.0,
+        engine: Optional[Any] = None,
+        fleet_state: Optional[Callable[[], Dict[str, Any]]] = None,
+    ):
+        if interval <= 0:
+            raise ValueError(f"interval must be > 0, got {interval}")
+        self.nodes = nodes
+        self.scrape = scrape
+        self.interval = interval
+        self.engine = engine
+        self.fleet_state = fleet_state
+        self.store = FleetStore()
+        self.cycles = 0
+        self.scrape_failures = 0
+        self._cursors: Dict[str, Optional[int]] = {}
+
+    @classmethod
+    def for_services(
+        cls,
+        services: Mapping[str, Any],
+        **kwargs: Any,
+    ) -> "Collector":
+        """A collector over in-process services (no cluster needed):
+        each target must expose ``scrape(cursor)`` — which every
+        :class:`~repro.service.service.DiversificationService` does."""
+        targets = dict(services)
+
+        def scrape(node: str, cursor: Optional[int]) -> Dict[str, Any]:
+            payload = targets[node].scrape(cursor)
+            payload.setdefault("node", node)
+            return payload
+
+        return cls(
+            nodes=lambda: sorted(targets), scrape=scrape, **kwargs
+        )
+
+    async def collect_once(self) -> Dict[str, Any]:
+        """One full cycle: scrape, merge, evaluate.  Returns the cycle
+        summary (scraped/failed nodes and any active alerts)."""
+        self.cycles += 1
+        scraped: List[str] = []
+        failed: List[str] = []
+        for node in list(self.nodes()):
+            try:
+                result = self.scrape(node, self._cursors.get(node))
+                if inspect.isawaitable(result):
+                    result = await result
+            except Exception:
+                self.scrape_failures += 1
+                self.store.note_failure(node)
+                self._cursors.pop(node, None)
+                failed.append(node)
+                continue
+            self._cursors[node] = result.get("version")
+            self.store.ingest(node, result, cycle=self.cycles)
+            scraped.append(node)
+        alerts: List[Any] = []
+        if self.engine is not None:
+            alerts = self.engine.evaluate(self._engine_state())
+        return {
+            "cycle": self.cycles,
+            "scraped": scraped,
+            "failed": failed,
+            "alerts": [alert.as_dict() for alert in alerts],
+        }
+
+    def _engine_state(self) -> Dict[str, Any]:
+        state: Dict[str, Any] = {
+            "cycle": self.cycles,
+            "latency": self.store.fleet_quantiles(LATENCY_METRIC),
+            "nodes": self.store.node_states(),
+        }
+        if self.fleet_state is not None:
+            state.update(self.fleet_state())
+        return state
+
+    # -- views -------------------------------------------------------------
+
+    def fleet(self) -> Dict[str, Any]:
+        """The ``fleet`` block ``health()``/``introspect()`` surface."""
+        slo_max = {"fast_burn": 0.0, "slow_burn": 0.0}
+        for node_state in self.store.node_states().values():
+            slo = node_state["slo"]
+            slo_max["fast_burn"] = max(
+                slo_max["fast_burn"], slo.get("max_fast_burn", 0.0)
+            )
+            slo_max["slow_burn"] = max(
+                slo_max["slow_burn"], slo.get("max_slow_burn", 0.0)
+            )
+        return {
+            "cycles": self.cycles,
+            "interval_s": self.interval,
+            "scrape_failures": self.scrape_failures,
+            "nodes": self.store.node_health(),
+            "counters": self.store.fleet_counters(),
+            "latency": self.store.fleet_quantiles(LATENCY_METRIC),
+            "slo": slo_max,
+            "alerts_active": (
+                len(self.engine.active) if self.engine is not None
+                else 0
+            ),
+        }
+
+    def to_prometheus(self) -> str:
+        """The one federated page: per-node series under ``node=<id>``
+        labels, fleet aggregates under ``fleet_*`` families, and (with
+        an engine attached) the ``repro_alerts`` series."""
+        from .exporters import _prom_name, _prom_value
+
+        lines: List[str] = []
+        typed: set = set()
+
+        def declare(family: str, kind: str) -> None:
+            if family not in typed:
+                typed.add(family)
+                lines.append(f"# TYPE {family} {kind}")
+
+        for node in self.store.nodes():
+            label = f'node="{escape_label_value(node)}"'
+            for name, entry in sorted(
+                self.store.node_metrics(node).items()
+            ):
+                prom = _prom_name(name)
+                kind = entry.get("type")
+                if kind == "counter":
+                    declare(f"{prom}_total", "counter")
+                    lines.append(
+                        f"{prom}_total{{{label}}} {entry['value']}"
+                    )
+                elif kind == "gauge":
+                    declare(prom, "gauge")
+                    lines.append(
+                        f"{prom}{{{label}}} "
+                        f"{_prom_value(entry['value'])}"
+                    )
+                else:
+                    declare(prom, "histogram")
+                    cumulative = 0
+                    for bucket in entry["buckets"]:
+                        cumulative += bucket["count"]
+                        le = (
+                            "+Inf" if bucket["le"] == "+Inf"
+                            else _prom_value(bucket["le"])
+                        )
+                        lines.append(
+                            f'{prom}_bucket{{{label},le="{le}"}} '
+                            f"{cumulative}"
+                        )
+                    lines.append(
+                        f"{prom}_sum{{{label}}} "
+                        f"{_prom_value(entry['sum'])}"
+                    )
+                    lines.append(
+                        f"{prom}_count{{{label}}} {entry['count']}"
+                    )
+        for name, total in self.store.fleet_counters().items():
+            family = f"fleet_{_prom_name(name)}_total"
+            declare(family, "counter")
+            lines.append(f"{family} {total}")
+        merged = self.store.fleet_histogram(LATENCY_METRIC)
+        if merged is not None:
+            family = f"fleet_{_prom_name(LATENCY_METRIC)}"
+            declare(family, "histogram")
+            cumulative = 0
+            for bucket in merged["buckets"]:
+                cumulative += bucket["count"]
+                le = (
+                    "+Inf" if bucket["le"] == "+Inf"
+                    else _prom_value(bucket["le"])
+                )
+                lines.append(
+                    f'{family}_bucket{{le="{le}"}} {cumulative}'
+                )
+            lines.append(
+                f"{family}_sum {_prom_value(merged['sum'])}"
+            )
+            lines.append(f"{family}_count {merged['count']}")
+            quantiles = self.store.fleet_quantiles(LATENCY_METRIC)
+            declare("fleet_slo_latency_seconds", "gauge")
+            for key in ("p50", "p95", "p99"):
+                value = quantiles.get(key)
+                if value is None:
+                    continue
+                q = f"0.{key[1:]}"
+                lines.append(
+                    f'fleet_slo_latency_seconds{{quantile="{q}"}} '
+                    f"{_prom_value(value)}"
+                )
+        if self.engine is not None:
+            lines.extend(self.engine.to_prometheus_lines())
+        return "\n".join(lines) + ("\n" if lines else "")

@@ -143,15 +143,46 @@ _TYPES = frozenset(
 )
 
 
+def _unescape_label_value(raw: str, line_no: int) -> str:
+    """Decode a label value, rejecting any escape that is not one of
+    the three the exposition format defines (``\\\\``, ``\\"``,
+    ``\\n``).  A sequential scan, so ``\\\\n`` decodes to a backslash
+    followed by a literal ``n`` — replace-chains get this wrong."""
+    out: List[str] = []
+    index = 0
+    while index < len(raw):
+        char = raw[index]
+        if char != "\\":
+            out.append(char)
+            index += 1
+            continue
+        if index + 1 >= len(raw):
+            raise PromFormatError(
+                f"line {line_no}: dangling escape in label value "
+                f"{raw!r}"
+            )
+        escape = raw[index + 1]
+        if escape == "\\":
+            out.append("\\")
+        elif escape == '"':
+            out.append('"')
+        elif escape == "n":
+            out.append("\n")
+        else:
+            raise PromFormatError(
+                f"line {line_no}: illegal escape '\\{escape}' in "
+                f"label value {raw!r}"
+            )
+        index += 2
+    return "".join(out)
+
+
 def _parse_labels(text: str, line_no: int) -> Dict[str, str]:
     labels: Dict[str, str] = {}
-    rebuilt: List[str] = []
     for match in _LABEL.finditer(text):
-        labels[match.group(1)] = (
-            match.group(2)
-            .replace(r"\"", '"').replace(r"\n", "\n").replace("\\\\", "\\")
+        labels[match.group(1)] = _unescape_label_value(
+            match.group(2), line_no
         )
-        rebuilt.append(match.group(0))
     # everything between labels must be commas (possibly a trailing one)
     leftover = _LABEL.sub("", text).replace(",", "").strip()
     if leftover:
@@ -182,11 +213,19 @@ def parse_prometheus(text: str) -> List[Dict[str, Any]]:
     Returns one record per sample line:
     ``{"name", "labels", "value", "type"}`` — ``type`` is the declared
     ``# TYPE`` for the sample's metric family (``None`` if undeclared).
-    This is the repo's scrape *lint*: anything :func:`to_prometheus` or
-    ``SLOMonitor.to_prometheus`` emits must round-trip through here.
+    This is the repo's scrape *lint*: anything :func:`to_prometheus`,
+    ``SLOMonitor.to_prometheus`` or the cluster collector's federated
+    page emits must round-trip through here.
+
+    Two whole-page checks guard the federated exposition: a repeated
+    series — same metric name *and* same label set, the classic bug
+    when per-node series lose their ``node`` label in a merge — is an
+    error, and label values may only use the three legal escapes
+    (``\\\\``, ``\\"``, ``\\n``).
     """
     samples: List[Dict[str, Any]] = []
     types: Dict[str, str] = {}
+    seen: set = set()
     for line_no, raw in enumerate(text.splitlines(), start=1):
         line = raw.strip()
         if not line:
@@ -220,6 +259,16 @@ def parse_prometheus(text: str) -> List[Dict[str, Any]]:
             {} if label_text is None
             else _parse_labels(label_text, line_no)
         )
+        series = (name, tuple(sorted(labels.items())))
+        if series in seen:
+            label_repr = ",".join(
+                f'{key}="{value}"' for key, value in series[1]
+            )
+            raise PromFormatError(
+                f"line {line_no}: duplicate series "
+                f"{name}{{{label_repr}}}"
+            )
+        seen.add(series)
         family = name
         for suffix in ("_bucket", "_sum", "_count", "_total"):
             if name.endswith(suffix):

@@ -70,6 +70,32 @@ def _self_check() -> List[str]:
         f"slo exposition: {lint_text(text, 'SLOMonitor.to_prometheus')} "
         "samples"
     )
+
+    # the federated page: two services scraped through a collector,
+    # anomaly series included — per-node series must keep their
+    # node= labels distinct (the duplicate-series lint) and label
+    # values must escape cleanly (one node name is deliberately nasty)
+    import asyncio
+
+    from ..index.query import TopicQuery
+    from ..service import DiversificationService, ServiceConfig
+    from .anomaly import AnomalyEngine
+    from .collector import Collector
+
+    queries = [TopicQuery(label="q0", keywords=("alpha",)),
+               TopicQuery(label="q1", keywords=("beta",))]
+    services = {
+        name: DiversificationService(queries, ServiceConfig())
+        for name in ("node-a", 'node"b\\weird')
+    }
+    engine = AnomalyEngine()
+    collector = Collector.for_services(services, engine=engine)
+    asyncio.run(collector.collect_once())
+    text = collector.to_prometheus()
+    reports.append(
+        "federated exposition: "
+        f"{lint_text(text, 'Collector.to_prometheus')} samples"
+    )
     return reports
 
 

@@ -27,8 +27,15 @@ each task gets a copy of its creator's context, so a request span held
 open across an ``await`` can never become the accidental parent of a
 concurrent request's spans.  The stacks themselves are immutable tuples
 (set, not mutated), which is what makes the per-task copies sound.
-Span-id allocation and the shared ``finished`` list are guarded by a
+Span-id allocation and the shared ``finished`` ring are guarded by a
 lock, so ``as_dicts`` sees each finished span exactly once.
+
+Retention is bounded: ``finished`` is a ring holding the most recent
+``max_finished`` spans (default :data:`DEFAULT_MAX_FINISHED`), with a
+``dropped_spans`` counter when old spans fall off — an always-on tracer
+on a long-lived worker keeps a working set, not an unbounded log.
+Exports that assemble *recent* traces are unaffected; pass
+``max_finished=None`` for the old unbounded behaviour.
 """
 
 from __future__ import annotations
@@ -37,12 +44,19 @@ import contextvars
 import threading
 import time as _time
 import uuid
+from collections import deque
 from contextlib import contextmanager
 from dataclasses import dataclass, field, replace
-from typing import Any, Callable, Dict, Iterator, List, Mapping, \
-    Optional, Sequence, Union
+from typing import Any, Callable, Deque, Dict, Iterator, List, \
+    Mapping, Optional, Sequence, Union
 
-__all__ = ["Span", "TraceContext", "Tracer", "mint_trace_id"]
+__all__ = ["DEFAULT_MAX_FINISHED", "Span", "TraceContext", "Tracer",
+           "mint_trace_id"]
+
+# Generous enough that every in-repo export/assembly pattern (the
+# threadsafety suite finishes 3200 spans; a request tree is dozens)
+# fits with headroom, small enough that a week-long worker stays flat.
+DEFAULT_MAX_FINISHED = 16384
 
 Attr = Union[str, int, float, bool, None]
 
@@ -150,9 +164,20 @@ class Span:
 class Tracer:
     """Collects spans; nesting is tracked through per-task/thread stacks."""
 
-    def __init__(self, clock: Callable[[], float] = _time.perf_counter):
+    def __init__(
+        self,
+        clock: Callable[[], float] = _time.perf_counter,
+        *,
+        max_finished: Optional[int] = DEFAULT_MAX_FINISHED,
+    ):
+        if max_finished is not None and max_finished < 1:
+            raise ValueError(
+                f"max_finished must be >= 1 or None, got {max_finished}"
+            )
         self.clock = clock
-        self.finished: List[Span] = []
+        self.max_finished = max_finished
+        self.finished: Deque[Span] = deque()
+        self.dropped_spans = 0
         self._lock = threading.Lock()
         self._next_id = 1
         self._open: Dict[int, Span] = {}
@@ -173,6 +198,16 @@ class Tracer:
             span_id = self._next_id
             self._next_id += 1
         return span_id
+
+    def _trim_finished_locked(self) -> None:
+        # caller holds the lock; the ring keeps the newest spans
+        if self.max_finished is None:
+            return
+        overflow = len(self.finished) - self.max_finished
+        if overflow > 0:
+            for _ in range(overflow):
+                self.finished.popleft()
+            self.dropped_spans += overflow
 
     # -- context activation ------------------------------------------------
 
@@ -259,6 +294,7 @@ class Tracer:
             with self._lock:
                 self._open.pop(span.span_id, None)
                 self.finished.append(span)
+                self._trim_finished_locked()
 
     # -- adoption (cross-process re-parenting) -----------------------------
 
@@ -296,6 +332,7 @@ class Tracer:
             adopted.append(span)
         with self._lock:
             self.finished.extend(adopted)
+            self._trim_finished_locked()
         return adopted
 
     # -- introspection -----------------------------------------------------

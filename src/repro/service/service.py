@@ -51,7 +51,10 @@ from ..index.query import LabelMatcher, TopicQuery
 from ..engine.executors import get_executor
 from ..observability import facade as _obs
 from ..observability import structlog
+from ..observability.collector import ScrapeLedger
+from ..observability.metrics import MetricsRegistry
 from ..observability.slo import SLOMonitor
+from ..observability.traces import head_sample
 from ..observability.tracing import TraceContext
 from ..pipeline import DigestResult, DiversificationPipeline, \
     _resolve_dimension
@@ -136,6 +139,14 @@ class ServiceConfig:
     view_rebuild_slack: int = 8
     max_views: int = 64
     view_window: Optional[float] = None
+    # observability control plane: head-based trace sampling (None =
+    # trace every request when the facade is on; 0.1 = spans for ~10 %
+    # of requests, chosen deterministically from the trace id so every
+    # tier agrees) and the slow-solve profile-capture threshold (a
+    # solve slower than this, with a profiler attached, gets its
+    # trailing profile window recorded against the trace id)
+    trace_sample: Optional[float] = None
+    profile_slow_s: Optional[float] = None
     # time
     clock: Callable[[], float] = _time.perf_counter
 
@@ -181,6 +192,15 @@ class ServiceConfig:
         if self.max_views < 1:
             raise ReproError(
                 f"max_views must be >= 1, got {self.max_views}"
+            )
+        if self.trace_sample is not None \
+                and not 0.0 <= self.trace_sample <= 1.0:
+            raise ReproError(
+                f"trace_sample must be in [0, 1], got {self.trace_sample}"
+            )
+        if self.profile_slow_s is not None and self.profile_slow_s < 0:
+            raise ReproError(
+                f"profile_slow_s must be >= 0, got {self.profile_slow_s}"
             )
         if self.view_window is not None:
             if self.view_window <= 0:
@@ -489,6 +509,16 @@ class DiversificationService:
             opt_max_posts=self.config.audit_opt_max,
             seed=self.config.audit_seed,
         )
+        # Per-service telemetry: the always-on registry the cluster
+        # `scrape` op federates.  Deliberately NOT the process-global
+        # facade registry — in-process cluster harnesses share that one
+        # across every worker, which would defeat per-node federation.
+        self.telemetry = MetricsRegistry(clock=self._clock)
+        self._telemetry_ledger = ScrapeLedger(self.telemetry)
+        # Continuous-profiling hooks: an attached Profiler plus the
+        # bounded ring of slow-solve captures (profile_slow_s gates).
+        self._profiler: Optional[Any] = None
+        self.slow_profiles: "deque" = deque(maxlen=8)
         # When this service runs as a cluster worker, the node sets
         # this to a callable returning its role/ring/peer summary —
         # health() and introspect() surface it as a "cluster" section.
@@ -833,12 +863,32 @@ class DiversificationService:
         response: ServiceResponse,
     ) -> ServiceResponse:
         """Post-serve hooks shared by every exit path: SLO accounting,
-        quality-audit sampling, and the correlated structured event."""
+        per-node telemetry, slow-solve profile capture, quality-audit
+        sampling, and the correlated structured event."""
         self.slo.record(
             request.session, response.algorithm,
             latency_s=response.latency_s, status=response.status,
             cached=response.cached,
         )
+        telemetry = self.telemetry
+        telemetry.counter("service.requests").inc()
+        telemetry.counter(f"service.status.{response.status}").inc()
+        if response.cached:
+            telemetry.counter("service.cache_hits").inc()
+        if response.view:
+            telemetry.counter("service.view_hits").inc()
+        telemetry.histogram("service.latency_s").observe(
+            response.latency_s
+        )
+        if (
+            self._profiler is not None
+            and self.config.profile_slow_s is not None
+            and not response.cached
+            and not response.view
+            and response.status in (OK, DEGRADED)
+            and response.latency_s >= self.config.profile_slow_s
+        ):
+            self._capture_slow_profile(request, response)
         if response.result is not None:
             self.auditor.observe(
                 response.result,
@@ -864,6 +914,37 @@ class DiversificationService:
         )
         return response
 
+    def _capture_slow_profile(
+        self,
+        request: DigestRequest,
+        response: ServiceResponse,
+    ) -> None:
+        """Attach the profiler's trailing window to a flagged slow
+        solve — the same over-threshold solves the auditor samples —
+        so "why was this one slow" has stacks, not just a latency."""
+        capture = self._profiler.snapshot_recent(
+            window_s=max(response.latency_s, 0.25)
+        )
+        self.slow_profiles.append({
+            "trace_id": response.trace_id,
+            "tenant": request.session,
+            "algorithm": response.algorithm,
+            "latency_s": response.latency_s,
+            "samples": capture["samples"],
+            "collapsed": capture["collapsed"],
+        })
+        self.telemetry.counter("service.slow_profiles").inc()
+        structlog.emit(
+            "service.slow_solve_profiled",
+            level=logging.WARNING,
+            trace_id=response.trace_id,
+            tenant=request.session,
+            epoch=response.epoch,
+            algorithm=response.algorithm,
+            latency_s=response.latency_s,
+            samples=capture["samples"],
+        )
+
     async def digest(self, request: DigestRequest) -> ServiceResponse:
         """Serve one digest request end to end.
 
@@ -879,6 +960,21 @@ class DiversificationService:
         if _obs.enabled():
             _obs.count("service.requests")
             _obs.count(f"service.sessions.{request.session}.requests")
+        # Head-based trace sampling: metrics stay exact for every
+        # request; spans are only recorded for the sampled fraction.
+        # The decision hashes the trace id, so the router/worker tiers
+        # reach the same verdict for the same request without any flag
+        # on the wire.
+        traced = _obs.enabled() and (
+            self.config.trace_sample is None
+            or head_sample(ctx.trace_id, self.config.trace_sample)
+        )
+        if not traced:
+            if _obs.enabled():
+                _obs.count("service.trace_unsampled")
+            return await self._serve(
+                request, ctx, started, traced=False
+            )
         with _obs.activate(ctx):
             with _obs.span(
                 "service.request",
@@ -896,6 +992,8 @@ class DiversificationService:
         request: DigestRequest,
         ctx: TraceContext,
         started: float,
+        *,
+        traced: bool = True,
     ) -> ServiceResponse:
         decision = self.admission.admit(self._pending)
         algorithm = request.algorithm or self.config.algorithm
@@ -946,6 +1044,7 @@ class DiversificationService:
             if _obs.enabled():
                 _obs.observe("service.latency", latency)
                 _obs.observe("service.latency.cache_hit", latency)
+            if traced:
                 # link-span: this request served the digest that trace
                 # computed — the assembled tree can follow it
                 with _obs.span(
@@ -967,6 +1066,7 @@ class DiversificationService:
                 _obs.count("service.view_hits")
                 _obs.observe("service.latency", latency)
                 _obs.observe("service.latency.view_hit", latency)
+            if traced:
                 with _obs.span(
                     "service.view_hit",
                     view_size=len(view_result.solution.posts),
@@ -1008,7 +1108,7 @@ class DiversificationService:
             self._pending -= 1
             if _obs.enabled():
                 _obs.set_gauge("service.pending", self._pending)
-        if coalesced and _obs.enabled() and \
+        if coalesced and traced and \
                 result.trace_id != ctx.trace_id:
             # follower: the solve happened in the leader's trace
             with _obs.span(
@@ -1255,6 +1355,81 @@ class DiversificationService:
         """
         self.executor.close()
 
+    # -- observability control plane ---------------------------------------
+
+    def attach_profiler(self, profiler: Any) -> None:
+        """Attach a running
+        :class:`~repro.observability.profiling.Profiler`; with
+        ``profile_slow_s`` set, solves over the threshold record their
+        trailing profile window into :attr:`slow_profiles`."""
+        self._profiler = profiler
+
+    def _slo_burn_summary(self) -> Dict[str, Any]:
+        """Worst-case burn rates across tenants — the compact SLO block
+        a scrape ships to the collector's anomaly engine."""
+        max_fast = 0.0
+        max_slow = 0.0
+        worst_p99: Optional[float] = None
+        snapshot = self.slo.snapshot()
+        for record in snapshot:
+            burn = record.get("burn", {})
+            max_fast = max(
+                max_fast,
+                burn.get("fast", {}).get("burn_rate", 0.0),
+            )
+            max_slow = max(
+                max_slow,
+                burn.get("slow", {}).get("burn_rate", 0.0),
+            )
+            p99 = record.get("latency", {}).get("p99")
+            if p99 is not None:
+                worst_p99 = (
+                    p99 if worst_p99 is None else max(worst_p99, p99)
+                )
+        return {
+            "max_fast_burn": max_fast,
+            "max_slow_burn": max_slow,
+            "worst_p99": worst_p99,
+            "series": len(snapshot),
+        }
+
+    def scrape(self, cursor: Optional[int] = None) -> Dict[str, Any]:
+        """One federation scrape of this service's telemetry.
+
+        Counters and histogram buckets come back as deltas against the
+        presented ``cursor`` (or a full ``reset`` snapshot when the
+        cursor is unknown — see
+        :class:`~repro.observability.collector.ScrapeLedger`); gauges
+        are refreshed point-in-time here, and the SLO burn summary plus
+        a small ``service`` state block ride along for the anomaly
+        rules.  The cluster ``scrape`` op is a thin wrapper over this.
+        """
+        telemetry = self.telemetry
+        telemetry.gauge("service.corpus").set(self.corpus_size())
+        telemetry.gauge("service.pending").set(self._pending)
+        telemetry.gauge("service.cache_entries").set(len(self.cache))
+        telemetry.gauge("service.epoch").set(self.epoch)
+        if self._views is not None:
+            telemetry.gauge("service.views").set(len(self._views))
+        payload = self._telemetry_ledger.scrape(cursor)
+        payload["slo"] = self._slo_burn_summary()
+        payload["service"] = {
+            "epoch": self.epoch,
+            "corpus": self.corpus_size(),
+            "pending": self._pending,
+            "soft_watermark": self.admission.soft_watermark,
+            "hard_watermark": self.admission.hard_watermark,
+            "views_poisoned": (
+                1 if (self._views is not None and self._views_poisoned)
+                else 0
+            ),
+            "view_stale_reads": (
+                None if self._views is None
+                else self._views.stale_reads
+            ),
+        }
+        return payload
+
     def health(self) -> Dict[str, Any]:
         """A JSON-safe snapshot of the tier's vitals."""
         supervisor = self._stream_pipeline.supervisor
@@ -1367,6 +1542,30 @@ class DiversificationService:
             "open_spans": (
                 [] if bundle is None else bundle.tracer.open_spans()
             ),
+            "telemetry": {
+                "scrapes": self._telemetry_ledger.scrapes,
+                "version": self._telemetry_ledger.version,
+                "resets": self._telemetry_ledger.resets,
+                "instruments": len(self.telemetry.names()),
+            },
+            "profiling": {
+                "attached": self._profiler is not None,
+                "running": (
+                    bool(getattr(self._profiler, "running", False))
+                ),
+                "threshold_s": self.config.profile_slow_s,
+                "captured": self.telemetry.counter(
+                    "service.slow_profiles"
+                ).value,
+                "recent": [
+                    {
+                        key: value
+                        for key, value in record.items()
+                        if key != "collapsed"
+                    }
+                    for record in self.slow_profiles
+                ],
+            },
             "cluster": (
                 None if self.cluster_info is None
                 else self.cluster_info()

@@ -1,0 +1,169 @@
+"""The anomaly engine: every rule, plus raise/clear lifecycle."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.observability import structlog
+from repro.observability.anomaly import RULES, Alert, AnomalyEngine
+
+
+def _state(cycle=1, latency=None, nodes=None, dark_labels=None):
+    return {
+        "cycle": cycle,
+        "latency": latency or {"count": 0, "p50": None,
+                               "p95": None, "p99": None},
+        "nodes": nodes or {},
+        "dark_labels": dark_labels or [],
+    }
+
+
+def _node(fast_burn=0.0, pending=None, hard=None,
+          poisoned=0, stale=None):
+    return {
+        "slo": {"max_fast_burn": fast_burn, "max_slow_burn": 0.0},
+        "service": {
+            "pending": pending,
+            "hard_watermark": hard,
+            "views_poisoned": poisoned,
+            "view_stale_reads": stale,
+        },
+        "consecutive_failures": 0,
+    }
+
+
+class TestRules:
+    def test_p99_regression_needs_a_baseline(self):
+        engine = AnomalyEngine(min_samples=5)
+        # 4 calm cycles build the trailing baseline
+        for cycle in range(1, 5):
+            engine.evaluate(_state(
+                cycle=cycle,
+                latency={"count": 100, "p99": 0.010},
+            ))
+        assert engine.active == {}
+        alerts = engine.evaluate(_state(
+            cycle=5, latency={"count": 100, "p99": 0.100},
+        ))
+        assert [a.rule for a in alerts] == ["p99_regression"]
+        assert alerts[0].severity == "warning"
+
+    def test_p99_regression_needs_min_samples(self):
+        engine = AnomalyEngine(min_samples=50)
+        for cycle in range(1, 5):
+            engine.evaluate(_state(
+                cycle=cycle, latency={"count": 10, "p99": 0.010},
+            ))
+        alerts = engine.evaluate(_state(
+            cycle=5, latency={"count": 10, "p99": 0.500},
+        ))
+        assert alerts == []
+
+    def test_fast_burn_alert_is_critical(self):
+        engine = AnomalyEngine()
+        alerts = engine.evaluate(_state(
+            nodes={"node0": _node(fast_burn=20.0)}
+        ))
+        assert [a.rule for a in alerts] == ["error_budget_fast_burn"]
+        assert alerts[0].severity == "critical"
+        assert alerts[0].subject == "node0"
+
+    def test_dark_shard_alert(self):
+        engine = AnomalyEngine()
+        alerts = engine.evaluate(_state(dark_labels=["golf", "nba"]))
+        assert [a.rule for a in alerts] == ["dark_shard"]
+        assert alerts[0].severity == "critical"
+        assert alerts[0].value == 2.0
+        assert "golf" in alerts[0].message
+
+    def test_queue_saturation_alert(self):
+        engine = AnomalyEngine(queue_ratio=0.8)
+        alerts = engine.evaluate(_state(
+            nodes={"node1": _node(pending=9, hard=10)}
+        ))
+        assert [a.rule for a in alerts] == ["queue_watermark_saturation"]
+        assert engine.evaluate(_state(
+            nodes={"node1": _node(pending=2, hard=10)}
+        )) == []
+
+    def test_view_drift_on_poisoned_views(self):
+        engine = AnomalyEngine()
+        alerts = engine.evaluate(_state(
+            nodes={"node2": _node(poisoned=1)}
+        ))
+        assert [a.rule for a in alerts] == ["view_ledger_drift"]
+        assert alerts[0].severity == "critical"
+
+    def test_view_drift_on_stale_read_growth(self):
+        engine = AnomalyEngine(stale_reads_per_cycle=10)
+        assert engine.evaluate(_state(
+            cycle=1, nodes={"node2": _node(stale=0)}
+        )) == []
+        alerts = engine.evaluate(_state(
+            cycle=2, nodes={"node2": _node(stale=50)}
+        ))
+        assert [a.rule for a in alerts] == ["view_ledger_drift"]
+        assert alerts[0].severity == "warning"
+
+
+class TestLifecycle:
+    def test_raise_then_clear_emits_structured_events(self):
+        engine = AnomalyEngine()
+        with structlog.capture() as events:
+            engine.evaluate(_state(cycle=1, dark_labels=["golf"]))
+            engine.evaluate(_state(cycle=2, dark_labels=[]))
+        names = [e["event"] for e in events]
+        assert "obs.alert_raised" in names
+        assert "obs.alert_cleared" in names
+        assert engine.active == {}
+        assert engine.raised_total == {"dark_shard": 1}
+        assert engine.cleared_total == {"dark_shard": 1}
+
+    def test_persisting_alert_keeps_its_since_cycle(self):
+        engine = AnomalyEngine()
+        engine.evaluate(_state(cycle=3, dark_labels=["golf"]))
+        alerts = engine.evaluate(_state(cycle=4, dark_labels=["golf"]))
+        assert alerts[0].since_cycle == 3
+        assert engine.raised_total == {"dark_shard": 1}
+
+    def test_alerts_sorted_most_severe_first(self):
+        engine = AnomalyEngine()
+        alerts = engine.evaluate(_state(
+            nodes={
+                "a": _node(pending=9, hard=10),       # warning
+                "b": _node(fast_burn=20.0),           # critical
+            },
+        ))
+        assert alerts[0].severity == "critical"
+        assert alerts[-1].severity == "warning"
+
+    def test_snapshot_shape(self):
+        engine = AnomalyEngine()
+        engine.evaluate(_state(dark_labels=["golf"]))
+        snapshot = engine.snapshot()
+        assert snapshot["active"][0]["rule"] == "dark_shard"
+        assert snapshot["raised_total"] == {"dark_shard": 1}
+        assert snapshot["evaluations"] == 1
+        assert snapshot["rules"] == list(RULES)
+
+    def test_prometheus_lines_cover_every_rule(self):
+        engine = AnomalyEngine()
+        engine.evaluate(_state(dark_labels=["golf"]))
+        text = "\n".join(engine.to_prometheus_lines())
+        assert 'repro_alerts{rule="dark_shard"' in text
+        assert "repro_alerts_active 1" in text
+        for rule in RULES:
+            assert f'repro_alerts_raised_total{{rule="{rule}"}}' in text
+
+
+class TestValidation:
+    def test_threshold_validation(self):
+        with pytest.raises(ValueError):
+            AnomalyEngine(p99_ratio=1.0)
+        with pytest.raises(ValueError):
+            AnomalyEngine(baseline_cycles=0)
+
+    def test_alert_key_is_rule_and_subject(self):
+        alert = Alert(rule="dark_shard", severity="critical",
+                      message="m", subject="golf")
+        assert alert.key == ("dark_shard", "golf")

@@ -1,0 +1,110 @@
+"""The benchdiff CI gate: diffing trajectories and failing regressions."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.observability.bench import BenchTrajectory
+from repro.observability.benchdiff import diff_documents, main
+
+
+def _document(walls):
+    trajectory = BenchTrajectory("diffsuite", now=0.0)
+    for solver, wall in walls.items():
+        trajectory.record_solver(
+            solver,
+            wall_time_s=wall,
+            solution_size=4,
+            instance={"posts": 100, "labels": 3},
+        )
+    return trajectory.to_dict()
+
+
+class TestDiffDocuments:
+    def test_matched_solvers_get_ratio_rows(self):
+        report = diff_documents(
+            _document({"a": 0.02}), _document({"a": 0.01}),
+        )
+        (row,) = report["rows"]
+        assert row["solver"] == "a"
+        assert row["ratio"] == pytest.approx(2.0)
+        assert row["regressed"] is False  # informational without gates
+
+    def test_fail_over_flags_regressions(self):
+        report = diff_documents(
+            _document({"a": 0.02, "b": 0.01}),
+            _document({"a": 0.01, "b": 0.01}),
+            fail_over=1.5,
+        )
+        assert len(report["failures"]) == 1
+        assert report["failures"][0].startswith("a:")
+
+    def test_per_solver_gate_overrides_fail_over(self):
+        report = diff_documents(
+            _document({"a": 0.014}), _document({"a": 0.01}),
+            fail_over=1.5, gates={"a": 1.2},
+        )
+        assert report["failures"]
+
+    def test_missing_gated_solver_is_a_failure(self):
+        report = diff_documents(
+            _document({"b": 0.01}), _document({"b": 0.01}),
+            gates={"a": 1.05},
+        )
+        assert any("missing" in f for f in report["failures"])
+
+    def test_unmatched_solvers_reported(self):
+        report = diff_documents(
+            _document({"a": 0.01, "new": 0.01}),
+            _document({"a": 0.01, "old": 0.01}),
+        )
+        assert report["unmatched"] == ["new", "old"]
+
+    def test_zero_baseline_is_not_a_crash(self):
+        report = diff_documents(
+            _document({"a": 0.01}), _document({"a": 0.0}),
+            fail_over=1.5,
+        )
+        assert report["rows"][0]["ratio"] == float("inf")
+        assert report["failures"]
+
+
+class TestCli:
+    def test_self_check_passes(self, capsys):
+        assert main(["--self-check"]) == 0
+        assert "self-check OK" in capsys.readouterr().out
+
+    def test_diff_run_fails_on_regression(self, tmp_path, capsys):
+        current = tmp_path / "current.json"
+        baseline = tmp_path / "baseline.json"
+        current.write_text(json.dumps(_document({"a": 0.03})))
+        baseline.write_text(json.dumps(_document({"a": 0.01})))
+        code = main([
+            "--current", str(current), "--baseline", str(baseline),
+            "--fail-over", "1.5",
+        ])
+        assert code == 1
+        captured = capsys.readouterr()
+        assert "REGRESSED" in captured.out
+        assert "regression(s)" in captured.err
+
+    def test_diff_run_passes_without_gates(self, tmp_path):
+        current = tmp_path / "current.json"
+        baseline = tmp_path / "baseline.json"
+        current.write_text(json.dumps(_document({"a": 0.03})))
+        baseline.write_text(json.dumps(_document({"a": 0.01})))
+        assert main([
+            "--current", str(current), "--baseline", str(baseline),
+        ]) == 0
+
+    def test_invalid_document_is_rejected(self, tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text("{}")
+        good = tmp_path / "good.json"
+        good.write_text(json.dumps(_document({"a": 0.01})))
+        assert main([
+            "--current", str(bad), "--baseline", str(good),
+        ]) == 1
+        assert "INVALID" in capsys.readouterr().err

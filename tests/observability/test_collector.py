@@ -1,0 +1,316 @@
+"""Metrics federation: scrape ledgers, fleet merge, federated export.
+
+The load-bearing property here is the bucket-wise histogram merge:
+fixed shared bounds mean per-node bucket counts add exactly, so a
+quantile interpolated from the merged buckets equals the quantile of a
+single histogram that observed the whole fleet's samples.  The
+hypothesis test pins that equality over random workloads and splits.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.index.query import TopicQuery
+from repro.observability.anomaly import AnomalyEngine
+from repro.observability.collector import (
+    Collector,
+    FleetStore,
+    ScrapeLedger,
+    escape_label_value,
+    merge_histograms,
+    quantile_from_buckets,
+)
+from repro.observability.exporters import parse_prometheus
+from repro.observability.metrics import MetricsRegistry
+from repro.service import DiversificationService, ServiceConfig
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+class TestScrapeLedger:
+    def test_first_scrape_is_a_full_reset_snapshot(self):
+        registry = MetricsRegistry()
+        registry.counter("requests").inc(3)
+        ledger = ScrapeLedger(registry)
+        payload = ledger.scrape(None)
+        assert payload["reset"] is True
+        assert payload["version"] == 1
+        assert payload["metrics"]["requests"]["value"] == 3
+
+    def test_cursor_scrape_returns_counter_deltas(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("requests")
+        counter.inc(3)
+        ledger = ScrapeLedger(registry)
+        first = ledger.scrape(None)
+        counter.inc(2)
+        second = ledger.scrape(first["version"])
+        assert second["reset"] is False
+        assert second["metrics"]["requests"]["value"] == 2
+
+    def test_unchanged_counters_are_omitted_from_deltas(self):
+        registry = MetricsRegistry()
+        registry.counter("idle").inc(5)
+        registry.counter("busy").inc(1)
+        ledger = ScrapeLedger(registry)
+        first = ledger.scrape(None)
+        registry.counter("busy").inc(1)
+        second = ledger.scrape(first["version"])
+        assert "idle" not in second["metrics"]
+        assert second["metrics"]["busy"]["value"] == 1
+
+    def test_gauges_always_ship_current_value(self):
+        registry = MetricsRegistry()
+        registry.gauge("depth").set(7)
+        ledger = ScrapeLedger(registry)
+        first = ledger.scrape(None)
+        second = ledger.scrape(first["version"])
+        assert second["metrics"]["depth"]["value"] == 7
+
+    def test_histogram_deltas_are_per_bucket(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("lat", buckets=(0.1, 1.0))
+        hist.observe(0.05)
+        ledger = ScrapeLedger(registry)
+        first = ledger.scrape(None)
+        hist.observe(0.5)
+        hist.observe(5.0)
+        second = ledger.scrape(first["version"])
+        entry = second["metrics"]["lat"]
+        assert entry["count"] == 2
+        counts = [b["count"] for b in entry["buckets"]]
+        assert counts == [0, 1, 1]
+
+    def test_stale_cursor_degrades_to_reset_not_double_count(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("requests")
+        ledger = ScrapeLedger(registry, history=2)
+        old = ledger.scrape(None)
+        for _ in range(3):  # age the old version out of history
+            counter.inc()
+            ledger.scrape(None)
+        payload = ledger.scrape(old["version"])
+        assert payload["reset"] is True
+        assert payload["metrics"]["requests"]["value"] == 3
+        assert ledger.resets >= 2
+
+    def test_history_must_be_positive(self):
+        with pytest.raises(ValueError):
+            ScrapeLedger(MetricsRegistry(), history=0)
+
+
+class TestFleetStore:
+    def _payload(self, version, metrics, reset=False):
+        return {"version": version, "reset": reset, "metrics": metrics}
+
+    def test_counters_sum_across_nodes(self):
+        store = FleetStore()
+        store.ingest("a", self._payload(
+            1, {"req": {"type": "counter", "value": 3}}, reset=True))
+        store.ingest("b", self._payload(
+            1, {"req": {"type": "counter", "value": 4}}, reset=True))
+        assert store.fleet_counters() == {"req": 7}
+
+    def test_deltas_accumulate_and_resets_replace(self):
+        store = FleetStore()
+        store.ingest("a", self._payload(
+            1, {"req": {"type": "counter", "value": 3}}, reset=True))
+        store.ingest("a", self._payload(
+            2, {"req": {"type": "counter", "value": 2}}))
+        assert store.node_metrics("a")["req"]["value"] == 5
+        store.ingest("a", self._payload(
+            3, {"req": {"type": "counter", "value": 1}}, reset=True))
+        assert store.node_metrics("a")["req"]["value"] == 1
+
+    def test_gauges_stay_per_node(self):
+        store = FleetStore()
+        store.ingest("a", self._payload(
+            1, {"depth": {"type": "gauge", "value": 2.0}}, reset=True))
+        store.ingest("b", self._payload(
+            1, {"depth": {"type": "gauge", "value": 9.0}}, reset=True))
+        assert store.node_metrics("a")["depth"]["value"] == 2.0
+        assert store.node_metrics("b")["depth"]["value"] == 9.0
+        assert "depth" not in store.fleet_counters()
+
+    def test_scrape_failures_tracked_per_node(self):
+        store = FleetStore()
+        store.note_failure("a")
+        store.note_failure("a")
+        health = store.node_health()["a"]
+        assert health["failures"] == 2
+        assert health["consecutive_failures"] == 2
+        store.ingest("a", self._payload(1, {}, reset=True))
+        assert store.node_health()["a"]["consecutive_failures"] == 0
+
+
+class TestQuantileFromBuckets:
+    def test_empty_histogram_has_no_quantile(self):
+        assert quantile_from_buckets((1.0, 2.0), (0, 0, 0), 0.5) is None
+
+    def test_interpolates_within_the_winning_bucket(self):
+        # 10 samples in (0, 1]; p50 lands mid-bucket
+        value = quantile_from_buckets((1.0,), (10, 0), 0.5)
+        assert value == pytest.approx(0.5)
+
+    def test_overflow_clamps_to_last_finite_bound(self):
+        value = quantile_from_buckets((1.0, 2.0), (0, 0, 5), 0.99)
+        assert value == 2.0
+
+    def test_rejects_out_of_range_quantile(self):
+        with pytest.raises(ValueError):
+            quantile_from_buckets((1.0,), (1, 0), 1.5)
+
+
+BOUNDS = (0.001, 0.01, 0.1, 1.0, 10.0)
+
+
+def _observe_all(samples):
+    registry = MetricsRegistry()
+    hist = registry.histogram("lat", buckets=BOUNDS)
+    for value in samples:
+        hist.observe(value)
+    return registry.snapshot()["lat"]
+
+
+class TestHistogramMergeProperty:
+    @settings(max_examples=60, deadline=None)
+    @given(
+        samples=st.lists(
+            st.floats(min_value=0.0001, max_value=50.0,
+                      allow_nan=False, allow_infinity=False),
+            min_size=1, max_size=120,
+        ),
+        splits=st.lists(st.integers(min_value=0, max_value=3),
+                        min_size=1, max_size=120),
+        q=st.sampled_from([0.5, 0.9, 0.95, 0.99]),
+    )
+    def test_merged_quantiles_equal_whole_fleet_recompute(
+        self, samples, splits, q
+    ):
+        """Split one workload across 4 nodes; merging the per-node
+        histograms bucket-wise must reproduce the single whole-fleet
+        histogram exactly — counts, sum, and quantiles."""
+        per_node = {i: [] for i in range(4)}
+        for index, value in enumerate(samples):
+            per_node[splits[index % len(splits)]].append(value)
+        entries = [
+            _observe_all(node_samples)
+            for node_samples in per_node.values() if node_samples
+        ]
+        merged = merge_histograms(entries)
+        whole = _observe_all(samples)
+        assert merged["count"] == whole["count"]
+        assert merged["sum"] == pytest.approx(whole["sum"])
+        assert [b["count"] for b in merged["buckets"]] == \
+            [b["count"] for b in whole["buckets"]]
+        bounds = [b["le"] for b in whole["buckets"] if b["le"] != "+Inf"]
+        counts_merged = [b["count"] for b in merged["buckets"]]
+        counts_whole = [b["count"] for b in whole["buckets"]]
+        assert quantile_from_buckets(bounds, counts_merged, q) == \
+            quantile_from_buckets(bounds, counts_whole, q)
+
+    def test_bound_mismatch_is_an_error(self):
+        a = _observe_all([0.5])
+        registry = MetricsRegistry()
+        registry.histogram("lat", buckets=(1.0, 2.0)).observe(0.5)
+        b = registry.snapshot()["lat"]
+        with pytest.raises(ValueError):
+            merge_histograms([a, b])
+
+
+def _make_services(names=("alpha", "beta"), *, serve=0):
+    from repro.index.inverted_index import Document
+    from repro.service import DigestRequest
+
+    queries = [TopicQuery("q0", ["kwa"]), TopicQuery("q1", ["kwb"])]
+    services = {
+        name: DiversificationService(queries, ServiceConfig())
+        for name in names
+    }
+    if serve:
+        docs = [
+            Document(i, i * 10.0, f"kwa kwb body{i}") for i in range(8)
+        ]
+
+        async def drive(service):
+            service.ingest(docs)
+            for _ in range(serve):
+                await service.digest(DigestRequest(lam=30.0))
+
+        for service in services.values():
+            run(drive(service))
+    return services
+
+
+class TestCollector:
+    def test_collect_once_scrapes_every_service(self):
+        services = _make_services()
+        collector = Collector.for_services(services)
+        summary = run(collector.collect_once())
+        assert summary["scraped"] == ["alpha", "beta"]
+        assert summary["failed"] == []
+        assert collector.store.nodes() == ["alpha", "beta"]
+
+    def test_federated_page_parses_without_duplicate_series(self):
+        services = _make_services(("node-a", 'node"b'), serve=2)
+        collector = Collector.for_services(
+            services, engine=AnomalyEngine()
+        )
+        run(collector.collect_once())
+        samples = parse_prometheus(collector.to_prometheus())
+        node_labels = {
+            s["labels"].get("node") for s in samples
+            if "node" in s["labels"]
+        }
+        assert node_labels == {"node-a", 'node"b'}
+        fleet = [s for s in samples if s["name"].startswith("fleet_")]
+        assert fleet, "expected fleet aggregate families"
+        alerts = [s for s in samples if s["name"] == "repro_alerts_active"]
+        assert alerts and alerts[0]["value"] == 0.0
+
+    def test_scrape_failure_counts_and_resets_the_cursor(self):
+        services = _make_services(("alpha",))
+        collector = Collector.for_services(services)
+        run(collector.collect_once())
+        assert collector._cursors["alpha"] is not None
+        services["alpha"].scrape = _raise  # type: ignore[assignment]
+        summary = run(collector.collect_once())
+        assert summary["failed"] == ["alpha"]
+        assert collector.scrape_failures == 1
+        assert "alpha" not in collector._cursors
+        health = collector.store.node_health()["alpha"]
+        assert health["consecutive_failures"] == 1
+
+    def test_fleet_block_shape(self):
+        services = _make_services()
+        collector = Collector.for_services(
+            services, interval=0.5, engine=AnomalyEngine()
+        )
+        run(collector.collect_once())
+        fleet = collector.fleet()
+        assert fleet["cycles"] == 1
+        assert fleet["interval_s"] == 0.5
+        assert set(fleet["nodes"]) == {"alpha", "beta"}
+        assert "p99" in fleet["latency"]
+        assert fleet["alerts_active"] == 0
+        assert fleet["slo"] == {"fast_burn": 0.0, "slow_burn": 0.0}
+
+    def test_interval_must_be_positive(self):
+        with pytest.raises(ValueError):
+            Collector(nodes=list, scrape=lambda n, c: {}, interval=0)
+
+
+def _raise(cursor=None):
+    raise RuntimeError("scrape blew up")
+
+
+class TestEscapeLabelValue:
+    def test_escapes_the_three_legal_sequences(self):
+        assert escape_label_value('a"b\\c\nd') == 'a\\"b\\\\c\\nd'

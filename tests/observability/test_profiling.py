@@ -1,0 +1,111 @@
+"""The sampling profiler: capture, folding, speedscope export."""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+from repro.observability.profiling import MAX_HZ, Profiler
+
+
+def _spin(stop: threading.Event) -> None:
+    while not stop.is_set():
+        _busy_leaf()
+
+
+def _busy_leaf() -> float:
+    total = 0.0
+    for index in range(500):
+        total += index * 0.5
+    return total
+
+
+class TestProfiler:
+    def test_captures_stacks_from_a_busy_thread(self):
+        stop = threading.Event()
+        worker = threading.Thread(target=_spin, args=(stop,), daemon=True)
+        worker.start()
+        try:
+            profiler = Profiler(hz=200)
+            with profiler:
+                time.sleep(0.3)
+        finally:
+            stop.set()
+            worker.join()
+        assert profiler.sample_count > 0
+        collapsed = profiler.collapsed()
+        assert "_spin" in collapsed
+        lines = [line for line in collapsed.splitlines() if line]
+        # folded format: "frame;frame;... count"
+        for line in lines:
+            stack, count = line.rsplit(" ", 1)
+            assert stack
+            assert int(count) >= 1
+
+    def test_speedscope_document_shape(self):
+        stop = threading.Event()
+        worker = threading.Thread(target=_spin, args=(stop,), daemon=True)
+        worker.start()
+        try:
+            profiler = Profiler(hz=200)
+            with profiler:
+                time.sleep(0.2)
+        finally:
+            stop.set()
+            worker.join()
+        doc = profiler.speedscope(name="unit")
+        assert doc["$schema"].startswith("https://www.speedscope.app")
+        assert doc["profiles"][0]["type"] == "sampled"
+        assert doc["profiles"][0]["name"] == "unit"
+        frames = doc["shared"]["frames"]
+        samples = doc["profiles"][0]["samples"]
+        assert len(samples) == len(doc["profiles"][0]["weights"])
+        for indexed in samples:
+            for idx in indexed:
+                assert 0 <= idx < len(frames)
+
+    def test_capture_is_blocking_and_bounded(self):
+        profiler = Profiler(hz=100)
+        result = profiler.capture(0.05)
+        assert result["seconds"] == pytest.approx(0.05)
+        assert result["hz"] == 100
+        assert "collapsed" in result and "speedscope" in result
+        assert profiler.running is False
+
+    def test_capture_rejects_nonpositive_seconds(self):
+        with pytest.raises(ValueError):
+            Profiler().capture(0.0)
+
+    def test_hz_validation(self):
+        with pytest.raises(ValueError):
+            Profiler(hz=0)
+        with pytest.raises(ValueError):
+            Profiler(hz=MAX_HZ + 1)
+        with pytest.raises(ValueError):
+            Profiler().start(hz=-5)
+
+    def test_sample_buffer_is_bounded(self):
+        stop = threading.Event()
+        worker = threading.Thread(target=_spin, args=(stop,), daemon=True)
+        worker.start()
+        try:
+            profiler = Profiler(hz=500, max_samples=20)
+            with profiler:
+                time.sleep(0.3)
+        finally:
+            stop.set()
+            worker.join()
+        snapshot = profiler.snapshot()
+        assert snapshot["buffered"] <= 20
+        if profiler.sample_count > 20:
+            assert snapshot["overflowed"] > 0
+
+    def test_double_start_is_a_no_op_and_stop_is_idempotent(self):
+        profiler = Profiler(hz=50)
+        profiler.start()
+        assert profiler.start() is profiler  # already running: no-op
+        profiler.stop()
+        profiler.stop()  # no-op
+        assert profiler.running is False

@@ -1,0 +1,65 @@
+"""parse_prometheus as the federated-page lint: duplicate series and
+label-value escape validation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.observability.exporters import (
+    PromFormatError,
+    parse_prometheus,
+)
+
+
+class TestDuplicateSeries:
+    def test_same_name_same_labels_is_rejected(self):
+        text = (
+            'requests_total{node="a"} 1\n'
+            'requests_total{node="a"} 2\n'
+        )
+        with pytest.raises(PromFormatError, match="duplicate series"):
+            parse_prometheus(text)
+
+    def test_duplicate_unlabelled_series_is_rejected(self):
+        with pytest.raises(PromFormatError, match="duplicate series"):
+            parse_prometheus("up 1\nup 0\n")
+
+    def test_node_label_disambiguates(self):
+        samples = parse_prometheus(
+            'requests_total{node="a"} 1\n'
+            'requests_total{node="b"} 2\n'
+        )
+        assert len(samples) == 2
+
+    def test_label_order_does_not_evade_detection(self):
+        text = (
+            'x{a="1",b="2"} 1\n'
+            'x{b="2",a="1"} 1\n'
+        )
+        with pytest.raises(PromFormatError, match="duplicate series"):
+            parse_prometheus(text)
+
+
+class TestLabelEscapes:
+    def test_legal_escapes_decode(self):
+        (sample,) = parse_prometheus(
+            'x{v="a\\"b\\\\c\\nd"} 1\n'
+        )
+        assert sample["labels"]["v"] == 'a"b\\c\nd'
+
+    def test_backslash_backslash_n_is_not_a_newline(self):
+        # \\n is an escaped backslash followed by a literal n —
+        # replace-chains decode this wrong
+        (sample,) = parse_prometheus('x{v="a\\\\nb"} 1\n')
+        assert sample["labels"]["v"] == "a\\nb"
+        assert "\n" not in sample["labels"]["v"]
+
+    def test_illegal_escape_is_rejected(self):
+        with pytest.raises(PromFormatError, match="illegal escape"):
+            parse_prometheus('x{v="a\\tb"} 1\n')
+
+    def test_dangling_escape_is_rejected(self):
+        # the escaped quote swallows the closing delimiter, so the
+        # whole label set fails to parse — rejected either way
+        with pytest.raises(PromFormatError):
+            parse_prometheus('x{v="a\\"} 1\n')

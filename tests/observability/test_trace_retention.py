@@ -1,0 +1,39 @@
+"""Tracer finished-span retention: bounded ring + dropped counter."""
+
+from __future__ import annotations
+
+from repro.observability.tracing import DEFAULT_MAX_FINISHED, Tracer
+
+
+class TestFinishedSpanRetention:
+    def test_default_cap_is_generous_but_finite(self):
+        assert Tracer().max_finished == DEFAULT_MAX_FINISHED
+        assert DEFAULT_MAX_FINISHED >= 4096
+
+    def test_oldest_spans_drop_at_the_cap(self):
+        tracer = Tracer(max_finished=5)
+        for index in range(8):
+            with tracer.span(f"s{index}"):
+                pass
+        assert len(tracer.finished) == 5
+        assert tracer.dropped_spans == 3
+        assert [s.name for s in tracer.finished] == \
+            [f"s{i}" for i in range(3, 8)]
+
+    def test_unbounded_mode(self):
+        tracer = Tracer(max_finished=None)
+        for index in range(100):
+            with tracer.span(f"s{index}"):
+                pass
+        assert len(tracer.finished) == 100
+        assert tracer.dropped_spans == 0
+
+    def test_adopt_respects_the_cap(self):
+        source = Tracer()
+        for index in range(6):
+            with source.span(f"w{index}"):
+                pass
+        target = Tracer(max_finished=4)
+        target.adopt([s.as_dict() for s in source.finished])
+        assert len(target.finished) == 4
+        assert target.dropped_spans == 2

@@ -1,0 +1,177 @@
+"""The durable trace pipeline: sampling, buffering, JSONL rotation."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.observability.tracing import Tracer
+from repro.observability.traces import (
+    SamplingPolicy,
+    TraceBuffer,
+    TracePipeline,
+    TraceSink,
+    head_sample,
+)
+
+
+class TestHeadSample:
+    def test_deterministic_per_trace_id(self):
+        trace_id = "00ab" * 8
+        assert head_sample(trace_id, 0.5) == head_sample(trace_id, 0.5)
+
+    def test_rate_bounds(self):
+        assert head_sample("ff" * 16, 1.0) is True
+        assert head_sample("00" * 16, 0.0) is False
+
+    def test_rate_orders_decisions(self):
+        # a trace kept at rate r is kept at every rate above r
+        trace_id = "40" * 16  # draw = 0.25...
+        assert head_sample(trace_id, 0.3) is True
+        assert head_sample(trace_id, 0.2) is False
+
+    def test_junk_trace_ids_default_to_kept(self):
+        assert head_sample("not-hex!", 0.5) is True
+
+
+class TestSamplingPolicy:
+    def test_error_statuses_always_keep(self):
+        policy = SamplingPolicy(rate=0.0)
+        assert policy.decide("00" * 16, "error", 0.001) == "status"
+        assert policy.decide("00" * 16, "degraded", 0.001) == "status"
+        assert policy.decide("00" * 16, "shed", 0.001) == "status"
+
+    def test_slow_requests_always_keep(self):
+        policy = SamplingPolicy(rate=0.0, slow_threshold_s=0.5)
+        assert policy.decide("00" * 16, "ok", 0.6) == "slow"
+        assert policy.decide("00" * 16, "ok", 0.4) is None
+
+    def test_probabilistic_keep(self):
+        policy = SamplingPolicy(rate=1.0)
+        assert policy.decide("00" * 16, "ok", 0.001) == "sampled"
+
+    def test_rate_validation(self):
+        with pytest.raises(ValueError):
+            SamplingPolicy(rate=1.5)
+        with pytest.raises(ValueError):
+            SamplingPolicy(slow_threshold_s=0.0)
+
+
+class TestTraceBuffer:
+    def test_bounded_with_dropped_counter(self):
+        buffer = TraceBuffer(capacity=3)
+        for index in range(5):
+            buffer.append({"trace_id": str(index)})
+        assert len(buffer) == 3
+        assert buffer.kept == 5
+        assert buffer.dropped == 2
+        assert [r["trace_id"] for r in buffer.records()] == \
+            ["2", "3", "4"]
+
+
+class TestTraceSink:
+    def test_write_and_read_back(self, tmp_path):
+        sink = TraceSink(str(tmp_path / "traces.jsonl"))
+        sink.write({"trace_id": "a"})
+        sink.write({"trace_id": "b"})
+        assert [r["trace_id"] for r in sink.read_records()] == ["a", "b"]
+        sink.close()
+
+    def test_rotation_is_size_bounded(self, tmp_path):
+        sink = TraceSink(
+            str(tmp_path / "traces.jsonl"),
+            max_bytes=1024, max_segments=2,
+        )
+        record = {"trace_id": "x" * 200}
+        for _ in range(20):
+            sink.write(record)
+        assert sink.rotations >= 2
+        segments = sink.segments()
+        assert len(segments) <= 3  # active + 2 rotated
+        # the oldest data was deleted, the newest survives
+        assert sink.read_records()
+        sink.close()
+
+    def test_segment_files_are_valid_jsonl(self, tmp_path):
+        sink = TraceSink(
+            str(tmp_path / "traces.jsonl"), max_bytes=1024
+        )
+        for index in range(30):
+            sink.write({"trace_id": f"t{index}", "pad": "y" * 100})
+        for segment in sink.segments():
+            with open(segment, "r", encoding="utf-8") as handle:
+                for line in handle:
+                    json.loads(line)
+        sink.close()
+
+    def test_parameter_validation(self, tmp_path):
+        with pytest.raises(ValueError):
+            TraceSink(str(tmp_path / "t.jsonl"), max_bytes=10)
+        with pytest.raises(ValueError):
+            TraceSink(str(tmp_path / "t.jsonl"), max_segments=0)
+
+
+class TestTracePipeline:
+    def test_sampled_request_persists_the_assembled_tree(self, tmp_path):
+        tracer = Tracer()
+        with tracer.span("cluster.request") as root:
+            with tracer.span("service.solve"):
+                pass
+        trace_id = root.trace_id
+        pipeline = TracePipeline(
+            policy=SamplingPolicy(rate=1.0),
+            sink=TraceSink(str(tmp_path / "traces.jsonl")),
+        )
+        record = pipeline.offer(
+            trace_id=trace_id, status="ok", latency_s=0.01,
+            tracer=tracer,
+        )
+        assert record is not None
+        assert record["reason"] == "sampled"
+        assert record["tree"]["trace_id"] == trace_id
+        assert record["tree"]["spans"] == 2
+
+        def names(nodes):
+            out = set()
+            for node in nodes:
+                out.add(node["name"])
+                out |= names(node["children"])
+            return out
+
+        assert names(record["tree"]["roots"]) == \
+            {"cluster.request", "service.solve"}
+        persisted = pipeline.sink.read_records()
+        assert persisted[0]["trace_id"] == trace_id
+        pipeline.close()
+
+    def test_unsampled_error_persists_a_skeleton(self):
+        pipeline = TracePipeline(policy=SamplingPolicy(rate=0.0))
+        record = pipeline.offer(
+            trace_id="00" * 16, status="error", latency_s=0.2,
+            tracer=None,
+        )
+        assert record is not None
+        assert record["reason"] == "status"
+        assert record["tree"] is None
+        assert pipeline.skeletons == 1
+
+    def test_unsampled_ok_is_skipped(self):
+        pipeline = TracePipeline(policy=SamplingPolicy(rate=0.0))
+        assert pipeline.offer(
+            trace_id="00" * 16, status="ok", latency_s=0.001,
+        ) is None
+        assert pipeline.skipped == 1
+
+    def test_snapshot_shape(self, tmp_path):
+        pipeline = TracePipeline(
+            policy=SamplingPolicy(rate=1.0),
+            sink=TraceSink(str(tmp_path / "traces.jsonl")),
+        )
+        pipeline.offer(trace_id="ab" * 16, status="ok", latency_s=0.01)
+        snapshot = pipeline.snapshot()
+        assert snapshot["offered"] == 1
+        assert snapshot["kept"] == 1
+        assert snapshot["rate"] == 1.0
+        assert snapshot["sink"]["written"] == 1
+        pipeline.close()

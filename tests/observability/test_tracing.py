@@ -14,7 +14,7 @@ class TestTracer:
         with tracer.span("work") as span:
             pass
         assert span.duration == 3.5
-        assert tracer.finished == [span]
+        assert list(tracer.finished) == [span]
 
     def test_nesting_records_parent_ids(self, fake_clock):
         tracer = Tracer(clock=fake_clock(step=1.0))
